@@ -1,0 +1,67 @@
+//! Criterion micro-benchmarks for the shortest-path substrate: full and
+//! bounded Dijkstra and round-trip balls — the inner loops of both the
+//! offline clustering and the query-time coverage computation.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netclus_datagen::{grid_city, GridCityConfig};
+use netclus_roadnet::{DijkstraEngine, NodeId, RoundTripEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let city = grid_city(
+        &GridCityConfig {
+            rows: 40,
+            cols: 40,
+            spacing_m: 150.0,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let net = &city.net;
+    let mut engine = DijkstraEngine::new(net.node_count());
+    let source = NodeId((net.node_count() / 2) as u32);
+
+    let mut group = c.benchmark_group("dijkstra");
+    group.bench_function("full_single_source", |b| {
+        b.iter(|| {
+            engine.run(net.forward(), black_box(source));
+            black_box(engine.reached().len())
+        })
+    });
+    for bound in [400.0, 800.0, 1600.0] {
+        group.bench_with_input(
+            BenchmarkId::new("bounded", bound as u64),
+            &bound,
+            |b, &bound| {
+                b.iter(|| {
+                    engine.run_bounded(net.forward(), black_box(source), bound);
+                    black_box(engine.reached().len())
+                })
+            },
+        );
+    }
+    let mut rt = RoundTripEngine::for_network(net);
+    for limit in [800.0, 1600.0, 3200.0] {
+        group.bench_with_input(
+            BenchmarkId::new("round_trip_ball", limit as u64),
+            &limit,
+            |b, &limit| b.iter(|| black_box(rt.ball(net, source, limit).len())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1600));
+    targets = bench_dijkstra
+}
+criterion_main!(benches);

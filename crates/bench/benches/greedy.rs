@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks for the selection algorithms on real coverage
+//! data, including the eager-vs-lazy Inc-Greedy ablation (DESIGN.md
+//! decision: the paper's eager updates are the default; CELF laziness is an
+//! implementation alternative) and FM-greedy at the paper's f = 30.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netclus::prelude::*;
+use netclus_datagen::beijing_small;
+use std::hint::black_box;
+
+fn bench_greedy(c: &mut Criterion) {
+    let s = beijing_small(7);
+    let tau = 800.0;
+    let cov = CoverageIndex::build(
+        &s.net,
+        &s.trajectories,
+        &s.sites,
+        tau,
+        DetourModel::RoundTrip,
+        1,
+    );
+
+    let mut group = c.benchmark_group("greedy");
+    for k in [5usize, 15] {
+        group.bench_with_input(BenchmarkId::new("inc_greedy_eager", k), &k, |b, &k| {
+            b.iter(|| black_box(inc_greedy(&cov, &GreedyConfig::binary(k, tau))))
+        });
+        group.bench_with_input(BenchmarkId::new("inc_greedy_lazy", k), &k, |b, &k| {
+            let cfg = GreedyConfig {
+                lazy: true,
+                ..GreedyConfig::binary(k, tau)
+            };
+            b.iter(|| black_box(inc_greedy(&cov, &cfg)))
+        });
+        group.bench_with_input(BenchmarkId::new("fm_greedy_f30", k), &k, |b, &k| {
+            let cfg = FmGreedyConfig {
+                k,
+                copies: 30,
+                seed: 1,
+            };
+            b.iter(|| black_box(fm_greedy(&cov, &cfg)))
+        });
+    }
+    // The coverage construction that dominates Inc-Greedy's query cost.
+    group.sample_size(20);
+    group.bench_function("coverage_build_tau800", |b| {
+        b.iter(|| {
+            black_box(CoverageIndex::build(
+                &s.net,
+                &s.trajectories,
+                &s.sites,
+                tau,
+                DetourModel::RoundTrip,
+                1,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(40)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1600));
+    targets = bench_greedy
+}
+criterion_main!(benches);

@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the offline phase: Greedy-GDSP clustering
+//! (exact lazy-greedy vs the paper's FM-sketch oracle — DESIGN.md decision
+//! 4) and full instance construction, including the representative-strategy
+//! ablation (decision 5).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netclus::cluster::{ClusterInstance, RepresentativeStrategy};
+use netclus::prelude::*;
+use netclus_datagen::beijing_small;
+use std::hint::black_box;
+
+fn bench_index_build(c: &mut Criterion) {
+    let s = beijing_small(7);
+    let is_site = vec![true; s.net.node_count()];
+
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    for radius in [100.0f64, 400.0] {
+        group.bench_with_input(
+            BenchmarkId::new("gdsp_exact", radius as u64),
+            &radius,
+            |b, &radius| {
+                b.iter(|| {
+                    black_box(greedy_gdsp(
+                        &s.net,
+                        &GdspConfig {
+                            radius,
+                            mode: GdspMode::Exact,
+                            threads: 1,
+                        },
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("gdsp_fm30", radius as u64),
+            &radius,
+            |b, &radius| {
+                b.iter(|| {
+                    black_box(greedy_gdsp(
+                        &s.net,
+                        &GdspConfig {
+                            radius,
+                            mode: GdspMode::Fm {
+                                copies: 30,
+                                seed: 3,
+                            },
+                            threads: 1,
+                        },
+                    ))
+                })
+            },
+        );
+    }
+
+    let gdsp = greedy_gdsp(
+        &s.net,
+        &GdspConfig {
+            radius: 200.0,
+            mode: GdspMode::Exact,
+            threads: 1,
+        },
+    );
+    for strategy in [
+        RepresentativeStrategy::ClosestToCenter,
+        RepresentativeStrategy::MostFrequented,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("instance_build", format!("{strategy:?}")),
+            &strategy,
+            |b, &strategy| {
+                b.iter(|| {
+                    black_box(ClusterInstance::build(
+                        &s.net,
+                        &s.trajectories,
+                        &is_site,
+                        &gdsp,
+                        200.0,
+                        0.75,
+                        strategy,
+                        1,
+                    ))
+                })
+            },
+        );
+    }
+
+    group.bench_function("full_ladder_tau400_2400", |b| {
+        b.iter(|| {
+            black_box(NetClusIndex::build(
+                &s.net,
+                &s.trajectories,
+                &s.sites,
+                NetClusConfig {
+                    tau_min: 400.0,
+                    tau_max: 2_400.0,
+                    threads: 1,
+                    ..Default::default()
+                },
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1600));
+    targets = bench_index_build
+}
+criterion_main!(benches);

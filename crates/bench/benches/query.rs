@@ -1,0 +1,90 @@
+//! Criterion micro-benchmarks for the online phase: NetClus queries (plain
+//! and FM) against the Inc-Greedy full pipeline, across τ — the headline
+//! comparison behind the paper's Fig. 6.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netclus::prelude::*;
+use netclus_datagen::beijing_small;
+use std::hint::black_box;
+
+fn bench_query(c: &mut Criterion) {
+    let s = beijing_small(7);
+    let index = NetClusIndex::build(
+        &s.net,
+        &s.trajectories,
+        &s.sites,
+        NetClusConfig {
+            tau_min: 400.0,
+            tau_max: 3_200.0,
+            threads: 1,
+            ..Default::default()
+        },
+    );
+
+    let mut group = c.benchmark_group("query");
+    for tau in [800.0f64, 1_600.0, 3_000.0] {
+        let q = TopsQuery::binary(5, tau);
+        group.bench_with_input(
+            BenchmarkId::new("netclus", tau as u64),
+            &q,
+            |b, q| b.iter(|| black_box(index.query(&s.trajectories, q))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("fm_netclus", tau as u64),
+            &q,
+            |b, q| {
+                b.iter(|| {
+                    black_box(index.query_fm(&s.trajectories, q, &FmGreedyConfig::default()))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("incgreedy_full", tau as u64),
+            &tau,
+            |b, &tau| {
+                b.iter(|| {
+                    let cov = CoverageIndex::build(
+                        &s.net,
+                        &s.trajectories,
+                        &s.sites,
+                        tau,
+                        DetourModel::RoundTrip,
+                        1,
+                    );
+                    black_box(inc_greedy(&cov, &GreedyConfig::binary(5, tau)))
+                })
+            },
+        );
+        // Exact re-evaluation of a k-site answer (used by every experiment).
+        let answer = index.query(&s.trajectories, &q);
+        group.bench_with_input(
+            BenchmarkId::new("evaluate_sites", tau as u64),
+            &answer,
+            |b, answer| {
+                b.iter(|| {
+                    black_box(evaluate_sites(
+                        &s.net,
+                        &s.trajectories,
+                        &answer.solution.sites,
+                        tau,
+                        PreferenceFunction::Binary,
+                        DetourModel::RoundTrip,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1600));
+    targets = bench_query
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion micro-benchmarks for the FM sketch substrate: insertion,
+//! union, estimation — the operations repeated n·k times inside FM-greedy
+//! (paper Sec. 3.5 claims they are "extremely fast"; verify).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netclus_sketch::{FmSketch, FmSketchFamily};
+use std::hint::black_box;
+
+fn bench_sketch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fm_sketch");
+    for f in [10usize, 30, 100] {
+        let family = FmSketchFamily::new(f, 42);
+        group.bench_with_input(BenchmarkId::new("insert_1k", f), &f, |b, _| {
+            b.iter(|| {
+                let mut s = family.empty();
+                for i in 0..1_000u64 {
+                    family.insert(&mut s, black_box(i));
+                }
+                black_box(s)
+            })
+        });
+        let a = family.sketch_of(0..5_000u64);
+        let bsk = family.sketch_of(2_500..7_500u64);
+        group.bench_with_input(BenchmarkId::new("union_estimate", f), &f, |b, _| {
+            b.iter(|| black_box(family.union_estimate(black_box(&a), black_box(&bsk))))
+        });
+        group.bench_with_input(BenchmarkId::new("union_materialize", f), &f, |b, _| {
+            b.iter(|| black_box(FmSketch::union(black_box(&a), black_box(&bsk))))
+        });
+        group.bench_with_input(BenchmarkId::new("estimate", f), &f, |b, _| {
+            b.iter(|| black_box(family.estimate(black_box(&a))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(50)
+        .warm_up_time(Duration::from_millis(400))
+        .measurement_time(Duration::from_millis(1600));
+    targets = bench_sketch
+}
+criterion_main!(benches);

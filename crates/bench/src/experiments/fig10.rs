@@ -1,0 +1,95 @@
+//! Fig. 10 — scalability with the number of candidate sites and
+//! trajectories (k = 5, τ = 0.8 km, Beijing-like).
+//!
+//! Paper shape: both algorithms grow roughly linearly in each dimension,
+//! with NetClus about an order of magnitude faster throughout. Site counts
+//! are swept by subsampling the candidate set; trajectory counts by
+//! subsampling the corpus (index rebuilt per point — the offline cost is
+//! excluded from query times, as in the paper).
+
+use netclus::prelude::*;
+use netclus_datagen::Scenario;
+use netclus_trajectory::TrajectorySet;
+
+use crate::runners::{build_index, run_incgreedy, run_netclus};
+use crate::{fmt_or_oom, print_table, Ctx};
+
+const TAU: f64 = 800.0;
+const K: usize = 5;
+
+fn with_sites(base: &Scenario, fraction: f64) -> Scenario {
+    let take = ((base.sites.len() as f64 * fraction) as usize).max(1);
+    let step = (base.sites.len() / take).max(1);
+    let mut s = base.clone();
+    s.sites = base.sites.iter().copied().step_by(step).take(take).collect();
+    s
+}
+
+fn with_trajectories(base: &Scenario, fraction: f64) -> Scenario {
+    let take = ((base.trajectory_count() as f64 * fraction) as usize).max(1);
+    let step = (base.trajectory_count() / take).max(1);
+    let mut s = base.clone();
+    let subset: Vec<_> = base
+        .trajectories
+        .iter()
+        .step_by(step)
+        .take(take)
+        .map(|(_, t)| t.clone())
+        .collect();
+    s.trajectories = TrajectorySet::from_trajectories(base.net.node_count(), subset);
+    s
+}
+
+pub fn run(ctx: &mut Ctx) {
+    let base = ctx.beijing();
+    let threads = ctx.cfg.threads;
+    let budget = ctx.cfg.memory_budget;
+
+    // --- Fig 10a: vs number of candidate sites. ----------------------------
+    let mut rows = Vec::new();
+    for fraction in [0.4f64, 0.6, 0.8, 1.0] {
+        let s = with_sites(&base, fraction);
+        let index = build_index(&s, 400.0, 2_000.0, 0.75, threads);
+        let incg = run_incgreedy(&s, K, TAU, PreferenceFunction::Binary, threads, budget);
+        let nc = run_netclus(&s, &index, K, TAU, PreferenceFunction::Binary);
+        rows.push(vec![
+            s.sites.len().to_string(),
+            fmt_or_oom(
+                incg.as_ref()
+                    .map(|r| format!("{:.3}", r.query_time.as_secs_f64())),
+            ),
+            format!("{:.3}", nc.query_time.as_secs_f64()),
+        ]);
+    }
+    let header = ["sites", "INCG_s", "NC_s"];
+    print_table(
+        "Fig 10a — query time (s) vs number of candidate sites (k = 5, τ = 0.8 km)",
+        &header,
+        &rows,
+    );
+    ctx.write_csv("fig10a_vs_sites", &header, &rows);
+
+    // --- Fig 10b: vs number of trajectories. -------------------------------
+    let mut rows = Vec::new();
+    for fraction in [0.2f64, 0.4, 0.6, 0.8, 1.0] {
+        let s = with_trajectories(&base, fraction);
+        let index = build_index(&s, 400.0, 2_000.0, 0.75, threads);
+        let incg = run_incgreedy(&s, K, TAU, PreferenceFunction::Binary, threads, budget);
+        let nc = run_netclus(&s, &index, K, TAU, PreferenceFunction::Binary);
+        rows.push(vec![
+            s.trajectory_count().to_string(),
+            fmt_or_oom(
+                incg.as_ref()
+                    .map(|r| format!("{:.3}", r.query_time.as_secs_f64())),
+            ),
+            format!("{:.3}", nc.query_time.as_secs_f64()),
+        ]);
+    }
+    let header = ["trajectories", "INCG_s", "NC_s"];
+    print_table(
+        "Fig 10b — query time (s) vs number of trajectories (k = 5, τ = 0.8 km)",
+        &header,
+        &rows,
+    );
+    ctx.write_csv("fig10b_vs_trajectories", &header, &rows);
+}

@@ -1,0 +1,81 @@
+//! Fig. 12 — effect of trajectory length (k = 5, τ = 0.8 km).
+//!
+//! The paper buckets Beijing trajectories into 14–16 / 19–21 / 24–26 /
+//! 29–31 km classes (5,000 each). Longer trajectories pass more candidate
+//! sites over a wider area, so they are easier to cover (higher utility)
+//! but cost more marginal-update work (higher time).
+//!
+//! Our synthetic city is smaller than Beijing (~41 km extent), so the four
+//! classes are rescaled proportionally to the generated extent; the class
+//! *ratios* — and therefore the paper's qualitative shape — are preserved.
+
+use netclus::prelude::*;
+use netclus_datagen::{Scenario, WorkloadConfig, WorkloadGenerator};
+use netclus_trajectory::TrajectorySet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::runners::{build_index, run_incgreedy, run_netclus};
+use crate::{fmt_or_oom, print_table, Ctx};
+
+/// Beijing's approximate extent backing the paper's class bounds, meters.
+const PAPER_EXTENT_M: f64 = 41_000.0;
+const PAPER_CLASSES_KM: [(f64, f64); 4] = [(14.0, 16.0), (19.0, 21.0), (24.0, 26.0), (29.0, 31.0)];
+
+pub fn run(ctx: &mut Ctx) {
+    let base = ctx.beijing();
+    let threads = ctx.cfg.threads;
+    let budget = ctx.cfg.memory_budget;
+    let per_class = ((5_000.0 * ctx.cfg.scale) as usize).max(50);
+
+    let bb = base.net.bounding_box();
+    let extent = bb.width().max(bb.height());
+    let ratio = extent / PAPER_EXTENT_M;
+
+    let mut rows = Vec::new();
+    for (class_idx, &(lo_km, hi_km)) in PAPER_CLASSES_KM.iter().enumerate() {
+        let (lo, hi) = (lo_km * ratio, hi_km * ratio);
+        // Generate a fresh class-constrained corpus on the same network.
+        let mut rng = StdRng::seed_from_u64(ctx.cfg.seed ^ (class_idx as u64 + 101));
+        let mut gen = WorkloadGenerator::new(&base.net, &base.grid, &base.hotspots);
+        let cfg = WorkloadConfig {
+            count: per_class,
+            max_attempts: 60,
+            ..Default::default()
+        }
+        .with_length_class_km(lo, hi);
+        let routes = gen.generate(&cfg, &mut rng);
+        if routes.is_empty() {
+            eprintln!("[warn] class {lo_km}-{hi_km} km infeasible at this scale; skipped");
+            continue;
+        }
+        let mut s: Scenario = (*base).clone();
+        s.trajectories = TrajectorySet::from_trajectories(base.net.node_count(), routes);
+        let m = s.trajectory_count();
+
+        let index = build_index(&s, 400.0, 2_000.0, 0.75, threads);
+        let incg = run_incgreedy(&s, 5, 800.0, PreferenceFunction::Binary, threads, budget);
+        let nc = run_netclus(&s, &index, 5, 800.0, PreferenceFunction::Binary);
+        rows.push(vec![
+            format!("{lo_km:.0}-{hi_km:.0}"),
+            format!("{lo:.1}-{hi:.1}"),
+            m.to_string(),
+            fmt_or_oom(incg.as_ref().map(|r| format!("{:.1}", r.utility_pct(m)))),
+            format!("{:.1}", nc.utility_pct(m)),
+            fmt_or_oom(
+                incg.as_ref()
+                    .map(|r| format!("{:.3}", r.query_time.as_secs_f64())),
+            ),
+            format!("{:.3}", nc.query_time.as_secs_f64()),
+        ]);
+    }
+    let header = [
+        "paper_km", "scaled_km", "m", "INCG%", "NC%", "INCG_s", "NC_s",
+    ];
+    print_table(
+        "Fig 12 — trajectory-length classes: utility (%) and time (s), k = 5, τ = 0.8 km",
+        &header,
+        &rows,
+    );
+    ctx.write_csv("fig12_length_classes", &header, &rows);
+}

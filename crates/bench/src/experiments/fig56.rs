@@ -1,0 +1,116 @@
+//! Figs. 5 & 6 — quality and running time vs k and vs τ on Beijing-like.
+//!
+//! Paper shapes to reproduce:
+//! * utilities of NETCLUS/FMNETCLUS within a few percent of INCG/FMG
+//!   (≈ 93% on average, Sec. 8.4);
+//! * INCG/FMG hit the memory wall beyond a moderate τ (paper: 1.2 km) and
+//!   disappear from the curves; NetClus keeps answering to τ = 8 km;
+//! * NetClus an order of magnitude faster, with the gap *growing* in τ
+//!   (coarser instances have fewer clusters).
+//!
+//! Both figures come from one sweep; running `fig5` or `fig6` produces the
+//! utility and the time CSVs. Coverage sets are built once per τ and
+//! reused across algorithms/k (construction time is still charged to every
+//! reported query, as the paper does).
+
+use netclus::prelude::*;
+
+use crate::runners::{
+    build_coverage, build_index, fm_greedy_on, incgreedy_on, run_fm_netclus, run_netclus,
+};
+use crate::{fmt_or_oom, print_table, Ctx};
+
+const F: usize = 30; // FM copies (paper default, Table 8)
+
+pub fn run(ctx: &mut Ctx) {
+    let s = ctx.beijing();
+    let m = s.trajectory_count();
+    let threads = ctx.cfg.threads;
+    let budget = ctx.cfg.memory_budget;
+    let index = build_index(&s, 400.0, 8_000.0, 0.75, threads);
+    eprintln!(
+        "[idx ] {} instances, {} built in {:?}",
+        index.instances().len(),
+        format_bytes(index.heap_size_bytes()),
+        index.build_time()
+    );
+
+    // ---- Sweep k at τ = 0.8 km (Figs 5a / 6a). ----------------------------
+    let tau = 800.0;
+    let coverage = build_coverage(&s, tau, threads, budget);
+    let mut rows_k = Vec::new();
+    for k in [1usize, 5, 10, 15, 20, 25] {
+        let incg = coverage
+            .as_ref()
+            .map(|(c, b)| incgreedy_on(&s, c, *b, k, tau, PreferenceFunction::Binary));
+        let fmg = coverage
+            .as_ref()
+            .map(|(c, b)| fm_greedy_on(&s, c, *b, k, tau, F));
+        let nc = run_netclus(&s, &index, k, tau, PreferenceFunction::Binary);
+        let fnc = run_fm_netclus(&s, &index, k, tau, F);
+        rows_k.push(vec![
+            k.to_string(),
+            fmt_or_oom(incg.as_ref().map(|r| format!("{:.1}", r.utility_pct(m)))),
+            fmt_or_oom(fmg.as_ref().map(|r| format!("{:.1}", r.utility_pct(m)))),
+            format!("{:.1}", nc.utility_pct(m)),
+            format!("{:.1}", fnc.utility_pct(m)),
+            fmt_or_oom(incg.as_ref().map(|r| format!("{:.3}", r.query_time.as_secs_f64()))),
+            fmt_or_oom(fmg.as_ref().map(|r| format!("{:.3}", r.query_time.as_secs_f64()))),
+            format!("{:.3}", nc.query_time.as_secs_f64()),
+            format!("{:.3}", fnc.query_time.as_secs_f64()),
+        ]);
+    }
+    let header_k = [
+        "k", "INCG%", "FMG%", "NC%", "FMNC%", "INCG_s", "FMG_s", "NC_s", "FMNC_s",
+    ];
+    print_table(
+        "Figs 5a/6a — utility (%) and query time (s) vs k, Beijing-like, τ = 0.8 km",
+        &header_k,
+        &rows_k,
+    );
+    ctx.write_csv("fig5a_fig6a_vs_k", &header_k, &rows_k);
+    drop(coverage);
+
+    // ---- Sweep τ at k = 5 (Figs 5b / 6b). ---------------------------------
+    let mut rows_t = Vec::new();
+    let mut incg_oom = false; // once OOM, always OOM (sets only grow with τ)
+    for tau_km in [0.4f64, 0.8, 1.2, 1.6, 2.4, 4.0, 6.0, 8.0] {
+        let tau = tau_km * 1000.0;
+        let coverage = if incg_oom {
+            None
+        } else {
+            let c = build_coverage(&s, tau, threads, budget);
+            incg_oom = c.is_none();
+            c
+        };
+        let incg = coverage
+            .as_ref()
+            .map(|(c, b)| incgreedy_on(&s, c, *b, 5, tau, PreferenceFunction::Binary));
+        let fmg = coverage
+            .as_ref()
+            .map(|(c, b)| fm_greedy_on(&s, c, *b, 5, tau, F));
+        let nc = run_netclus(&s, &index, 5, tau, PreferenceFunction::Binary);
+        let fnc = run_fm_netclus(&s, &index, 5, tau, F);
+        rows_t.push(vec![
+            format!("{tau_km:.1}"),
+            fmt_or_oom(incg.as_ref().map(|r| format!("{:.1}", r.utility_pct(m)))),
+            fmt_or_oom(fmg.as_ref().map(|r| format!("{:.1}", r.utility_pct(m)))),
+            format!("{:.1}", nc.utility_pct(m)),
+            format!("{:.1}", fnc.utility_pct(m)),
+            fmt_or_oom(incg.as_ref().map(|r| format!("{:.3}", r.query_time.as_secs_f64()))),
+            fmt_or_oom(fmg.as_ref().map(|r| format!("{:.3}", r.query_time.as_secs_f64()))),
+            format!("{:.3}", nc.query_time.as_secs_f64()),
+            format!("{:.3}", fnc.query_time.as_secs_f64()),
+        ]);
+    }
+    let header_t = [
+        "tau_km", "INCG%", "FMG%", "NC%", "FMNC%", "INCG_s", "FMG_s", "NC_s", "FMNC_s",
+    ];
+    print_table(
+        "Figs 5b/6b — utility (%) and query time (s) vs τ, Beijing-like, k = 5 \
+         (OOM = coverage sets over the memory budget, as in the paper)",
+        &header_t,
+        &rows_t,
+    );
+    ctx.write_csv("fig5b_fig6b_vs_tau", &header_t, &rows_t);
+}

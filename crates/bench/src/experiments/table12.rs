@@ -1,0 +1,69 @@
+//! Table 12 — the rejected alternative: Jaccard-similarity clustering
+//! (paper Appendix B.1).
+//!
+//! Paper shape: because the covering sets `TC` exist only once τ is known,
+//! the Jaccard clustering pays the full `O(mn)` coverage construction *per
+//! τ*, with time and memory growing steeply until out-of-memory (paper:
+//! τ = 2.4 km) — the motivation for NetClus's distance-based clustering,
+//! whose per-τ cost is a table lookup.
+
+use netclus::prelude::*;
+
+use crate::runners::build_coverage;
+use crate::{print_table, Ctx};
+
+pub fn run(ctx: &mut Ctx) {
+    let s = ctx.beijing();
+    let threads = ctx.cfg.threads;
+    let budget = ctx.cfg.memory_budget;
+    let alpha = 0.8; // the paper's Jaccard-distance threshold
+
+    let mut rows = Vec::new();
+    let mut oom = false;
+    for tau_km in [0.0f64, 0.2, 0.4, 0.8, 1.2, 1.6, 2.4, 4.0, 6.0] {
+        let tau = tau_km * 1000.0;
+        if oom {
+            rows.push(vec![
+                format!("{tau_km:.1}"),
+                "OOM".into(),
+                "OOM".into(),
+                "OOM".into(),
+            ]);
+            continue;
+        }
+        let t = std::time::Instant::now();
+        match build_coverage(&s, tau, threads, budget) {
+            None => {
+                oom = true;
+                rows.push(vec![
+                    format!("{tau_km:.1}"),
+                    "OOM".into(),
+                    "OOM".into(),
+                    "OOM".into(),
+                ]);
+            }
+            Some((cov, _)) => {
+                let clustering = jaccard_clustering(&cov, &JaccardConfig { alpha });
+                let total = t.elapsed();
+                let memory = cov.heap_size_bytes() + clustering.scratch_bytes;
+                rows.push(vec![
+                    format!("{tau_km:.1}"),
+                    format!("{:.3}", total.as_secs_f64()),
+                    format_bytes(memory),
+                    clustering.cluster_count().to_string(),
+                ]);
+            }
+        }
+    }
+    let header = ["tau_km", "time_s", "memory", "clusters"];
+    print_table(
+        &format!(
+            "Table 12 — Jaccard clustering (α = {alpha}): per-τ cost \
+             (coverage + clustering; OOM at budget {})",
+            format_bytes(ctx.cfg.memory_budget)
+        ),
+        &header,
+        &rows,
+    );
+    ctx.write_csv("table12_jaccard", &header, &rows);
+}

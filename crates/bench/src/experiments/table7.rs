@@ -1,0 +1,73 @@
+//! Table 7 — the index resolution parameter γ.
+//!
+//! Paper shape: smaller γ ⇒ more index instances ⇒ longer offline builds
+//! and larger indexes, but tighter distance estimates and thus smaller
+//! relative utility loss vs Inc-Greedy; γ = 0.75 is the paper's sweet spot
+//! (≈ 4.5% error at moderate size).
+//!
+//! Relative error is averaged over a grid of query points (k ∈ {5, 10},
+//! τ ∈ {0.5, 0.8, 1.3, 2.1} km) — a single query point is dominated by how
+//! that particular τ aligns with the instance boundaries.
+
+use netclus::prelude::*;
+
+use crate::runners::{build_coverage, build_index, incgreedy_on, run_netclus};
+use crate::{print_table, Ctx};
+
+const TAUS: [f64; 4] = [500.0, 800.0, 1_300.0, 2_100.0];
+const KS: [usize; 2] = [5, 10];
+
+pub fn run(ctx: &mut Ctx) {
+    let s = ctx.beijing();
+    let m = s.trajectory_count();
+    let threads = ctx.cfg.threads;
+
+    // Reference quality: Inc-Greedy at each grid point (coverage built once
+    // per τ, shared across γ values).
+    let mut reference = Vec::new();
+    for &tau in &TAUS {
+        let (cov, cov_time) = build_coverage(&s, tau, threads, usize::MAX).expect("no budget");
+        for &k in &KS {
+            let incg = incgreedy_on(&s, &cov, cov_time, k, tau, PreferenceFunction::Binary);
+            reference.push((k, tau, incg.utility));
+        }
+    }
+
+    let mut rows = Vec::new();
+    for gamma in [0.25f64, 0.5, 0.75, 1.0] {
+        let t = std::time::Instant::now();
+        let index = build_index(&s, 400.0, 8_000.0, gamma, threads);
+        let build_time = t.elapsed();
+        let mut err_sum = 0.0;
+        let mut util_sum = 0.0;
+        for &(k, tau, incg_utility) in &reference {
+            let nc = run_netclus(&s, &index, k, tau, PreferenceFunction::Binary);
+            err_sum += 100.0 * (incg_utility - nc.utility).max(0.0) / incg_utility.max(1e-9);
+            util_sum += nc.utility_pct(m);
+        }
+        let points = reference.len() as f64;
+        rows.push(vec![
+            format!("{gamma:.2}"),
+            index.instances().len().to_string(),
+            format!("{:.1}", build_time.as_secs_f64()),
+            format_bytes(index.heap_size_bytes()),
+            format!("{:.2}", err_sum / points),
+            format!("{:.1}", util_sum / points),
+        ]);
+    }
+    let header = [
+        "gamma",
+        "instances",
+        "build_s",
+        "space",
+        "rel_err_pct",
+        "NC_util_pct",
+    ];
+    print_table(
+        "Table 7 — γ: offline build time, index space, mean relative error vs INCG \
+         over a (k, τ) query grid",
+        &header,
+        &rows,
+    );
+    ctx.write_csv("table7_gamma", &header, &rows);
+}

@@ -1,0 +1,65 @@
+//! Table 9 — memory footprints of the four algorithms vs τ.
+//!
+//! Paper shape: INCG/FMG footprints (the `TC`/`SC` coverage sets) grow
+//! steeply with τ until they exceed the machine budget — "Out of memory"
+//! beyond 1.2 km on Beijing. NetClus/FMNetClus footprints (the index) are
+//! flat-to-*decreasing* in τ because larger thresholds route to coarser
+//! instances with fewer, more compressed clusters. The FM variants carry a
+//! small sketch overhead on top of their exact counterparts.
+//!
+//! We report live-heap bytes of the structures each algorithm needs at
+//! query time; the budget (`--memory-budget`) emulates the paper's 32 GB
+//! ceiling at harness scale.
+
+use netclus::prelude::*;
+
+use crate::runners::{build_coverage, build_index};
+use crate::{fmt_or_oom, print_table, Ctx};
+
+const F: usize = 30;
+
+pub fn run(ctx: &mut Ctx) {
+    let s = ctx.beijing();
+    let threads = ctx.cfg.threads;
+    let budget = ctx.cfg.memory_budget;
+    let index = build_index(&s, 400.0, 8_000.0, 0.75, threads);
+
+    let mut rows = Vec::new();
+    let mut oom = false;
+    for tau_km in [0.1f64, 0.2, 0.4, 0.8, 1.2, 1.6, 2.4, 4.0, 6.0] {
+        let tau = tau_km * 1000.0;
+        let coverage = if oom {
+            None
+        } else {
+            let c = build_coverage(&s, tau, threads, budget);
+            oom = c.is_none();
+            c
+        };
+        let incg_mem = coverage.as_ref().map(|(c, _)| c.heap_size_bytes());
+        let fmg_mem = incg_mem.map(|b| b + s.sites.len() * F * 4);
+        // NetClus's query-time footprint: the instance serving τ plus the
+        // clustered view it materializes.
+        let p = index.instance_for(tau);
+        let provider = ClusteredProvider::build(index.instance(p), tau, s.trajectories.id_bound());
+        let nc_mem = index.heap_size_bytes() + provider.heap_size_bytes();
+        let fnc_mem = nc_mem + index.instance(p).cluster_count() * F * 4;
+
+        rows.push(vec![
+            format!("{tau_km:.1}"),
+            fmt_or_oom(incg_mem.map(format_bytes)),
+            fmt_or_oom(fmg_mem.map(format_bytes)),
+            format_bytes(nc_mem),
+            format_bytes(fnc_mem),
+        ]);
+    }
+    let header = ["tau_km", "INCG", "FMG", "NETCLUS", "FMNETCLUS"];
+    print_table(
+        &format!(
+            "Table 9 — memory footprints vs τ (budget {} emulating the paper's RAM ceiling)",
+            format_bytes(ctx.cfg.memory_budget)
+        ),
+        &header,
+        &rows,
+    );
+    ctx.write_csv("table9_memory", &header, &rows);
+}

@@ -1,0 +1,297 @@
+//! Standard algorithm runners shared by the experiment modules.
+//!
+//! All four evaluated algorithms (paper Sec. 8.1) are exposed behind one
+//! result type so every table/figure scores them identically:
+//!
+//! * **INCG** — Inc-Greedy over exact coverage sets (`CoverageIndex`), the
+//!   paper's baseline;
+//! * **FMG** — the FM-sketch greedy over the same coverage sets;
+//! * **NETCLUS** — Inc-Greedy over cluster representatives from the
+//!   multi-resolution index;
+//! * **FMNETCLUS** — the FM greedy over cluster representatives.
+//!
+//! Quality is always the **exact** utility of the returned sites
+//! ([`evaluate_sites`]); timings separate data-structure construction from
+//! the selection phase; memory is the live heap of the structures each
+//! algorithm needs at query time. Coverage construction beyond the
+//! configured memory budget is reported as OOM, emulating the paper's
+//! testbed ceiling (Table 9).
+
+use std::time::{Duration, Instant};
+
+use netclus::prelude::*;
+use netclus_datagen::Scenario;
+
+/// Outcome of running one algorithm at one parameter point.
+#[derive(Clone, Debug)]
+pub struct AlgoRun {
+    /// Selected sites.
+    pub sites: Vec<netclus_roadnet::NodeId>,
+    /// Exact utility of the selected sites.
+    pub utility: f64,
+    /// Exact covered-trajectory count.
+    pub covered: usize,
+    /// Query-time cost: coverage/provider construction + selection.
+    pub query_time: Duration,
+    /// Selection phase only (the greedy loop).
+    pub select_time: Duration,
+    /// Live heap bytes of the structures the algorithm queried.
+    pub memory: usize,
+}
+
+impl AlgoRun {
+    /// Utility as a percentage of `m`.
+    pub fn utility_pct(&self, m: usize) -> f64 {
+        if m == 0 {
+            0.0
+        } else {
+            100.0 * self.utility / m as f64
+        }
+    }
+}
+
+/// `None` = the algorithm exceeded the memory budget (reported as OOM).
+pub type MaybeRun = Option<AlgoRun>;
+
+/// Exact re-evaluation shared by all runners.
+fn score(s: &Scenario, sites: &[netclus_roadnet::NodeId], tau: f64, pref: PreferenceFunction) -> (f64, usize) {
+    let eval = evaluate_sites(
+        &s.net,
+        &s.trajectories,
+        sites,
+        tau,
+        pref,
+        DetourModel::RoundTrip,
+    );
+    (eval.utility, eval.covered)
+}
+
+/// Builds the exact coverage sets, honoring the memory budget.
+pub fn build_coverage(
+    s: &Scenario,
+    tau: f64,
+    threads: usize,
+    memory_budget: usize,
+) -> Option<(CoverageIndex, Duration)> {
+    let t = Instant::now();
+    let cov = CoverageIndex::build(
+        &s.net,
+        &s.trajectories,
+        &s.sites,
+        tau,
+        DetourModel::RoundTrip,
+        threads,
+    );
+    let elapsed = t.elapsed();
+    if cov.heap_size_bytes() > memory_budget {
+        return None; // the paper's "Out of memory"
+    }
+    Some((cov, elapsed))
+}
+
+/// INCG selection over a prebuilt coverage index. `build` is the coverage
+/// construction time to charge to the query (the paper charges it per
+/// query, since `TC`/`SC` depend on the query's τ).
+pub fn incgreedy_on(
+    s: &Scenario,
+    cov: &CoverageIndex,
+    build: Duration,
+    k: usize,
+    tau: f64,
+    pref: PreferenceFunction,
+) -> AlgoRun {
+    let sol = inc_greedy(
+        cov,
+        &GreedyConfig {
+            k,
+            tau,
+            preference: pref,
+            lazy: false,
+        },
+    );
+    let (utility, covered) = score(s, &sol.sites, tau, pref);
+    AlgoRun {
+        sites: sol.sites,
+        utility,
+        covered,
+        query_time: build + sol.elapsed,
+        select_time: sol.elapsed,
+        memory: cov.heap_size_bytes(),
+    }
+}
+
+/// FMG selection over a prebuilt coverage index (binary ψ only).
+pub fn fm_greedy_on(
+    s: &Scenario,
+    cov: &CoverageIndex,
+    build: Duration,
+    k: usize,
+    tau: f64,
+    copies: usize,
+) -> AlgoRun {
+    let sol = fm_greedy(
+        cov,
+        &FmGreedyConfig {
+            k,
+            copies,
+            seed: 0xF14_5EED,
+        },
+    );
+    let (utility, covered) = score(s, &sol.sites, tau, PreferenceFunction::Binary);
+    // FM keeps the coverage sets plus one sketch per site.
+    let memory = cov.heap_size_bytes() + cov.site_count() * copies * 4;
+    AlgoRun {
+        sites: sol.sites,
+        utility,
+        covered,
+        query_time: build + sol.elapsed,
+        select_time: sol.elapsed,
+        memory,
+    }
+}
+
+/// INCG: exact coverage + Inc-Greedy (one-shot convenience).
+pub fn run_incgreedy(
+    s: &Scenario,
+    k: usize,
+    tau: f64,
+    pref: PreferenceFunction,
+    threads: usize,
+    memory_budget: usize,
+) -> MaybeRun {
+    let (cov, build) = build_coverage(s, tau, threads, memory_budget)?;
+    Some(incgreedy_on(s, &cov, build, k, tau, pref))
+}
+
+/// FMG: exact coverage + FM-sketch greedy (one-shot convenience).
+pub fn run_fm_greedy(
+    s: &Scenario,
+    k: usize,
+    tau: f64,
+    copies: usize,
+    threads: usize,
+    memory_budget: usize,
+) -> MaybeRun {
+    let (cov, build) = build_coverage(s, tau, threads, memory_budget)?;
+    Some(fm_greedy_on(s, &cov, build, k, tau, copies))
+}
+
+/// Builds a NetClus index covering `[tau_min, tau_max)`.
+pub fn build_index(
+    s: &Scenario,
+    tau_min: f64,
+    tau_max: f64,
+    gamma: f64,
+    threads: usize,
+) -> NetClusIndex {
+    NetClusIndex::build(
+        &s.net,
+        &s.trajectories,
+        &s.sites,
+        NetClusConfig {
+            gamma,
+            tau_min,
+            tau_max,
+            threads,
+            ..Default::default()
+        },
+    )
+}
+
+/// NETCLUS: query the prebuilt index with Inc-Greedy over representatives.
+pub fn run_netclus(
+    s: &Scenario,
+    index: &NetClusIndex,
+    k: usize,
+    tau: f64,
+    pref: PreferenceFunction,
+) -> AlgoRun {
+    let answer = index.query(
+        &s.trajectories,
+        &TopsQuery {
+            k,
+            tau,
+            preference: pref,
+        },
+    );
+    let (utility, covered) = score(s, &answer.solution.sites, tau, pref);
+    AlgoRun {
+        sites: answer.solution.sites,
+        utility,
+        covered,
+        query_time: answer.solution.elapsed,
+        select_time: answer.solution.elapsed - answer.provider_build,
+        memory: index.heap_size_bytes(),
+    }
+}
+
+/// FMNETCLUS: query the prebuilt index with the FM greedy (binary ψ).
+pub fn run_fm_netclus(
+    s: &Scenario,
+    index: &NetClusIndex,
+    k: usize,
+    tau: f64,
+    copies: usize,
+) -> AlgoRun {
+    let answer = index.query_fm(
+        &s.trajectories,
+        &TopsQuery::binary(k, tau),
+        &FmGreedyConfig {
+            k,
+            copies,
+            seed: 0xF14_5EED,
+        },
+    );
+    let (utility, covered) = score(s, &answer.solution.sites, tau, PreferenceFunction::Binary);
+    let p = index.instance_for(tau);
+    let memory =
+        index.heap_size_bytes() + index.instance(p).cluster_count() * copies * 4;
+    AlgoRun {
+        sites: answer.solution.sites,
+        utility,
+        covered,
+        query_time: answer.solution.elapsed,
+        select_time: answer.solution.elapsed - answer.provider_build,
+        memory,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclus_datagen::beijing_small;
+
+    #[test]
+    fn all_four_algorithms_run_and_agree_on_shape() {
+        let s = beijing_small(3);
+        let m = s.trajectory_count();
+        let threads = 2;
+        let budget = usize::MAX;
+        let index = build_index(&s, 400.0, 2_000.0, 0.75, threads);
+
+        let incg = run_incgreedy(&s, 5, 800.0, PreferenceFunction::Binary, threads, budget)
+            .expect("within budget");
+        let fmg = run_fm_greedy(&s, 5, 800.0, 30, threads, budget).expect("within budget");
+        let nc = run_netclus(&s, &index, 5, 800.0, PreferenceFunction::Binary);
+        let fnc = run_fm_netclus(&s, &index, 5, 800.0, 30);
+
+        for run in [&incg, &fmg, &nc, &fnc] {
+            assert_eq!(run.sites.len(), 5);
+            assert!(run.utility > 0.0);
+            assert!(run.utility_pct(m) <= 100.0);
+            assert!(run.memory > 0);
+        }
+        // Quality ordering within tolerance: INCG is the strongest of the
+        // four on expectation; nobody should beat it by much.
+        for run in [&fmg, &nc, &fnc] {
+            assert!(run.utility <= incg.utility * 1.05 + 1.0);
+        }
+    }
+
+    #[test]
+    fn memory_budget_triggers_oom() {
+        let s = beijing_small(3);
+        let r = run_incgreedy(&s, 5, 800.0, PreferenceFunction::Binary, 2, 1);
+        assert!(r.is_none(), "1-byte budget must OOM");
+    }
+}

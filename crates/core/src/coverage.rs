@@ -1,0 +1,286 @@
+//! Query-time coverage sets `TC` / `SC` (paper Sec. 3.2).
+//!
+//! Given the threshold `τ` (known only at query time), Inc-Greedy needs, for
+//! every candidate site, the trajectories it covers with their detour
+//! distances (`TC(s_i)`, ascending), and for every trajectory the sites
+//! covering it (`SC(T_j)`). [`CoverageIndex::build`] computes both with one
+//! pair of `τ`-bounded Dijkstra runs per site, parallelized across sites.
+//!
+//! The memory footprint of these sets is the reason Inc-Greedy fails at
+//! city scale (paper Sec. 3.4, Table 9) — [`CoverageIndex::heap_size_bytes`]
+//! exposes it so the benchmark harness can reproduce that behaviour.
+//!
+//! [`CoverageProvider`] abstracts "sites with covered-trajectory lists" so
+//! the same greedy implementations run on exact coverage (this module) and
+//! on NetClus's clustered approximation (`crate::query`), exactly as the
+//! paper runs Inc-Greedy over cluster representatives.
+
+use std::time::{Duration, Instant};
+
+use netclus_roadnet::{NodeId, RoadNetwork};
+use netclus_trajectory::{TrajId, TrajectorySet};
+
+use crate::detour::{DetourEngine, DetourModel};
+
+/// Abstraction over a set of candidate sites with covered-trajectory lists.
+///
+/// Implementors: [`CoverageIndex`] (exact, site-level) and the clustered
+/// view in [`crate::query`] (cluster representatives with estimated
+/// distances).
+pub trait CoverageProvider {
+    /// Number of candidate sites (`n`, or `η_p` for the clustered view).
+    fn site_count(&self) -> usize;
+    /// Exclusive upper bound on trajectory id indices.
+    fn traj_id_bound(&self) -> usize;
+    /// Network node of the site at `idx`.
+    fn site_node(&self, idx: usize) -> NodeId;
+    /// `TC(s_idx)`: covered trajectories with detour distances, ascending.
+    fn covered(&self, idx: usize) -> &[(TrajId, f64)];
+    /// `SC(T_j)`: sites covering `tj` as `(site_idx, detour)` pairs.
+    fn covering(&self, tj: TrajId) -> &[(u32, f64)];
+}
+
+/// Exact site-level coverage sets for one `(τ, detour-model)` pair.
+#[derive(Clone, Debug)]
+pub struct CoverageIndex {
+    sites: Vec<NodeId>,
+    tau: f64,
+    model: DetourModel,
+    /// `tc[i]`: trajectories covered by site `i`, ascending by detour.
+    tc: Vec<Vec<(TrajId, f64)>>,
+    /// `sc[j]`: sites covering trajectory `j` (site index, detour).
+    sc: Vec<Vec<(u32, f64)>>,
+    traj_id_bound: usize,
+    build_time: Duration,
+}
+
+impl CoverageIndex {
+    /// Builds the coverage sets for `sites` under threshold `tau`.
+    ///
+    /// `threads` bounds the worker count (0 or 1 = sequential). Each worker
+    /// owns a [`DetourEngine`], so peak scratch memory scales with the
+    /// thread count while the result is identical to a sequential build.
+    pub fn build(
+        net: &RoadNetwork,
+        trajs: &TrajectorySet,
+        sites: &[NodeId],
+        tau: f64,
+        model: DetourModel,
+        threads: usize,
+    ) -> CoverageIndex {
+        assert!(tau.is_finite() && tau >= 0.0, "invalid τ: {tau}");
+        let start = Instant::now();
+        let n = sites.len();
+        let mut tc: Vec<Vec<(TrajId, f64)>> = vec![Vec::new(); n];
+
+        let workers = threads.max(1).min(n.max(1));
+        if workers <= 1 {
+            let mut eng = DetourEngine::new(net, model);
+            for (i, &s) in sites.iter().enumerate() {
+                tc[i] = eng.site_coverage(trajs, s, tau);
+            }
+        } else {
+            let chunk = n.div_ceil(workers);
+            let site_chunks: Vec<&[NodeId]> = sites.chunks(chunk).collect();
+            let mut tc_chunks: Vec<&mut [Vec<(TrajId, f64)>]> =
+                tc.chunks_mut(chunk).collect();
+            crossbeam::thread::scope(|scope| {
+                for (site_chunk, tc_chunk) in site_chunks.iter().zip(tc_chunks.iter_mut()) {
+                    scope.spawn(move |_| {
+                        let mut eng = DetourEngine::new(net, model);
+                        for (slot, &s) in tc_chunk.iter_mut().zip(site_chunk.iter()) {
+                            *slot = eng.site_coverage(trajs, s, tau);
+                        }
+                    });
+                }
+            })
+            .expect("coverage worker panicked");
+        }
+
+        // Invert TC into SC.
+        let traj_id_bound = trajs.id_bound();
+        let mut sc: Vec<Vec<(u32, f64)>> = vec![Vec::new(); traj_id_bound];
+        for (i, list) in tc.iter().enumerate() {
+            for &(tj, d) in list {
+                sc[tj.index()].push((i as u32, d));
+            }
+        }
+
+        CoverageIndex {
+            sites: sites.to_vec(),
+            tau,
+            model,
+            tc,
+            sc,
+            traj_id_bound,
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// The threshold this index was built for.
+    pub fn tau(&self) -> f64 {
+        self.tau
+    }
+
+    /// The detour model used.
+    pub fn model(&self) -> DetourModel {
+        self.model
+    }
+
+    /// The candidate sites, in provider index order.
+    pub fn sites(&self) -> &[NodeId] {
+        &self.sites
+    }
+
+    /// Wall-clock time of the build.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Number of trajectories covered by at least one site.
+    pub fn coverable_trajectories(&self) -> usize {
+        self.sc.iter().filter(|l| !l.is_empty()).count()
+    }
+
+    /// Total `(site, trajectory)` coverage pairs — the `O(mn)` quantity that
+    /// dominates Inc-Greedy's footprint.
+    pub fn pair_count(&self) -> usize {
+        self.tc.iter().map(Vec::len).sum()
+    }
+
+    /// Approximate heap footprint in bytes: both directions of the coverage
+    /// lists plus the site table.
+    pub fn heap_size_bytes(&self) -> usize {
+        let pair = std::mem::size_of::<(TrajId, f64)>();
+        let tc: usize = self
+            .tc
+            .iter()
+            .map(|l| std::mem::size_of::<Vec<(TrajId, f64)>>() + l.capacity() * pair)
+            .sum();
+        let sc: usize = self
+            .sc
+            .iter()
+            .map(|l| std::mem::size_of::<Vec<(u32, f64)>>() + l.capacity() * pair)
+            .sum();
+        tc + sc + self.sites.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
+impl CoverageProvider for CoverageIndex {
+    fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    fn traj_id_bound(&self) -> usize {
+        self.traj_id_bound
+    }
+
+    fn site_node(&self, idx: usize) -> NodeId {
+        self.sites[idx]
+    }
+
+    fn covered(&self, idx: usize) -> &[(TrajId, f64)] {
+        &self.tc[idx]
+    }
+
+    fn covering(&self, tj: TrajId) -> &[(u32, f64)] {
+        &self.sc[tj.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclus_roadnet::{Point, RoadNetworkBuilder};
+    use netclus_trajectory::Trajectory;
+
+    /// Two-way line 0—1—2—3—4 (100 m edges) with three trajectories.
+    fn fixture() -> (RoadNetwork, TrajectorySet) {
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..5 {
+            b.add_node(Point::new(i as f64 * 100.0, 0.0));
+        }
+        for i in 0..4u32 {
+            b.add_two_way(NodeId(i), NodeId(i + 1), 100.0).unwrap();
+        }
+        let net = b.build().unwrap();
+        let mut trajs = TrajectorySet::for_network(&net);
+        for r in [&[0u32, 1][..], &[1, 2, 3], &[3, 4]] {
+            trajs.add(Trajectory::new(r.iter().map(|&i| NodeId(i)).collect()));
+        }
+        (net, trajs)
+    }
+
+    #[test]
+    fn tc_and_sc_are_consistent_inverses() {
+        let (net, trajs) = fixture();
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let idx = CoverageIndex::build(&net, &trajs, &sites, 200.0, DetourModel::RoundTrip, 1);
+        for i in 0..idx.site_count() {
+            for &(tj, d) in idx.covered(i) {
+                assert!(
+                    idx.covering(tj).iter().any(|&(si, d2)| si as usize == i && d2 == d),
+                    "SC missing inverse of TC[{i}] -> {tj:?}"
+                );
+            }
+        }
+        let total_sc: usize = (0..trajs.id_bound())
+            .map(|j| idx.covering(TrajId(j as u32)).len())
+            .sum();
+        assert_eq!(total_sc, idx.pair_count());
+    }
+
+    #[test]
+    fn coverage_matches_expected_sets() {
+        let (net, trajs) = fixture();
+        let sites: Vec<NodeId> = net.nodes().collect();
+        // τ = 0: a site covers exactly the trajectories passing through it.
+        let idx = CoverageIndex::build(&net, &trajs, &sites, 0.0, DetourModel::RoundTrip, 1);
+        assert_eq!(idx.covered(1), &[(TrajId(0), 0.0), (TrajId(1), 0.0)]);
+        assert_eq!(idx.covered(3), &[(TrajId(1), 0.0), (TrajId(2), 0.0)]);
+        assert_eq!(idx.covered(0), &[(TrajId(0), 0.0)]);
+        // τ = 200 m: site 0 also covers T1 (node 1 at round-trip 200).
+        let idx = CoverageIndex::build(&net, &trajs, &sites, 200.0, DetourModel::RoundTrip, 1);
+        assert_eq!(idx.covered(0), &[(TrajId(0), 0.0), (TrajId(1), 200.0)]);
+    }
+
+    #[test]
+    fn parallel_build_equals_sequential() {
+        let (net, trajs) = fixture();
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let seq = CoverageIndex::build(&net, &trajs, &sites, 300.0, DetourModel::RoundTrip, 1);
+        let par = CoverageIndex::build(&net, &trajs, &sites, 300.0, DetourModel::RoundTrip, 4);
+        for i in 0..sites.len() {
+            assert_eq!(seq.covered(i), par.covered(i), "site {i}");
+        }
+        assert_eq!(seq.pair_count(), par.pair_count());
+    }
+
+    #[test]
+    fn footprint_grows_with_tau() {
+        let (net, trajs) = fixture();
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let small = CoverageIndex::build(&net, &trajs, &sites, 100.0, DetourModel::RoundTrip, 1);
+        let large = CoverageIndex::build(&net, &trajs, &sites, 800.0, DetourModel::RoundTrip, 1);
+        assert!(large.pair_count() > small.pair_count());
+        assert!(large.heap_size_bytes() >= small.heap_size_bytes());
+    }
+
+    #[test]
+    fn coverable_trajectories_counts_nonempty_sc() {
+        let (net, trajs) = fixture();
+        // Only site 0 as candidate; τ = 0 → covers only T0.
+        let idx =
+            CoverageIndex::build(&net, &trajs, &[NodeId(0)], 0.0, DetourModel::RoundTrip, 1);
+        assert_eq!(idx.coverable_trajectories(), 1);
+        assert_eq!(idx.site_count(), 1);
+        assert_eq!(idx.site_node(0), NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid τ")]
+    fn invalid_tau_panics() {
+        let (net, trajs) = fixture();
+        CoverageIndex::build(&net, &trajs, &[NodeId(0)], f64::NAN, DetourModel::RoundTrip, 1);
+    }
+}

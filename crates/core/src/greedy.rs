@@ -1,0 +1,662 @@
+//! Inc-Greedy: the `(1 − 1/e)`-approximate greedy for TOPS (paper Sec. 3.3,
+//! Algorithm 1).
+//!
+//! The utility `U(Q) = Σ_j max_{s∈Q} ψ(T_j, s)` is monotone submodular
+//! (paper Th. 2), so iteratively adding the site of maximal marginal gain
+//! achieves `max{1 − 1/e, k/n}` of the optimum (Th. 3). The implementation
+//! follows the paper's Algorithm 1, including its tie-breaking (max gain →
+//! max weight → highest index), with one representational difference: the
+//! per-pair marginal values `α_ji` are recomputed from `ψ_ji` and `U_j` on
+//! the fly instead of being materialized (they are determined by those two
+//! numbers), saving the extra `O(mn)` array without changing any iterate.
+//!
+//! A CELF-style **lazy** evaluation mode (`GreedyConfig::lazy`) is provided
+//! as an ablation: submodularity makes stale heap priorities valid upper
+//! bounds, so most marginal recomputations can be skipped. Both modes select
+//! identical sites (up to equal-gain ties, where both apply the paper's
+//! rule).
+//!
+//! Because it is written against [`CoverageProvider`], this single
+//! implementation serves both exact TOPS (over [`CoverageIndex`]) and
+//! TOPS-Cluster (over cluster representatives, paper Sec. 5.1).
+//!
+//! [`CoverageIndex`]: crate::coverage::CoverageIndex
+
+use std::collections::BinaryHeap;
+use std::time::Instant;
+
+use crate::coverage::CoverageProvider;
+use crate::preference::PreferenceFunction;
+use crate::solution::Solution;
+
+/// Parameters of a greedy TOPS run.
+#[derive(Clone, Debug)]
+pub struct GreedyConfig {
+    /// Number of sites to select (`k`).
+    pub k: usize,
+    /// Coverage threshold `τ` in meters (used to score detours).
+    pub tau: f64,
+    /// Preference function `ψ`.
+    pub preference: PreferenceFunction,
+    /// Use CELF-style lazy evaluation instead of the paper's eager updates.
+    pub lazy: bool,
+}
+
+impl GreedyConfig {
+    /// Binary-TOPS config with the paper's defaults in mind.
+    pub fn binary(k: usize, tau: f64) -> Self {
+        GreedyConfig {
+            k,
+            tau,
+            preference: PreferenceFunction::Binary,
+            lazy: false,
+        }
+    }
+}
+
+/// Runs Inc-Greedy over `provider`, selecting `cfg.k` sites.
+pub fn inc_greedy<P: CoverageProvider>(provider: &P, cfg: &GreedyConfig) -> Solution {
+    inc_greedy_from(provider, cfg, &[])
+}
+
+/// Inc-Greedy with existing services (paper Sec. 7.3): the sites at
+/// `existing` (provider indices) are treated as already deployed — `Q_0 =
+/// ES` — and `cfg.k` *additional* sites are selected. The `(1 − 1/e)` bound
+/// holds on the extra utility.
+pub fn inc_greedy_from<P: CoverageProvider>(
+    provider: &P,
+    cfg: &GreedyConfig,
+    existing: &[usize],
+) -> Solution {
+    run_greedy(provider, cfg, existing, None)
+}
+
+/// Inc-Greedy seeded with per-trajectory baseline utilities — the general
+/// form of existing-services support (Sec. 7.3) for when the existing
+/// facilities are *not* part of the provider's candidate set (e.g. NetClus
+/// queries where deployed services sit at arbitrary network nodes, not at
+/// cluster representatives). `seed_utilities[j]` is the utility trajectory
+/// `j` already enjoys; the solver maximizes (and reports) the *extra*
+/// utility on top of it.
+///
+/// # Panics
+/// Panics if `seed_utilities.len() != provider.traj_id_bound()`.
+pub fn inc_greedy_seeded<P: CoverageProvider>(
+    provider: &P,
+    cfg: &GreedyConfig,
+    seed_utilities: &[f64],
+) -> Solution {
+    assert_eq!(
+        seed_utilities.len(),
+        provider.traj_id_bound(),
+        "one seed utility per trajectory id required"
+    );
+    run_greedy(provider, cfg, &[], Some(seed_utilities))
+}
+
+fn run_greedy<P: CoverageProvider>(
+    provider: &P,
+    cfg: &GreedyConfig,
+    existing: &[usize],
+    seed_utilities: Option<&[f64]>,
+) -> Solution {
+    assert!(cfg.preference.validate().is_ok(), "invalid preference");
+    let start = Instant::now();
+    let state = if cfg.lazy {
+        lazy_greedy(provider, cfg, existing, seed_utilities)
+    } else {
+        eager_greedy(provider, cfg, existing, seed_utilities)
+    };
+    let covered = state.utilities.iter().filter(|&&u| u > 0.0).count();
+    Solution {
+        sites: state
+            .selected
+            .iter()
+            .map(|&i| provider.site_node(i))
+            .collect(),
+        site_indices: state.selected,
+        utility: state.gains.iter().sum(),
+        gains: state.gains,
+        covered,
+        elapsed: start.elapsed(),
+    }
+}
+
+struct GreedyState {
+    selected: Vec<usize>,
+    gains: Vec<f64>,
+    utilities: Vec<f64>,
+}
+
+/// The paper's Algorithm 1: eager marginal-utility maintenance.
+fn eager_greedy<P: CoverageProvider>(
+    provider: &P,
+    cfg: &GreedyConfig,
+    existing: &[usize],
+    seed_utilities: Option<&[f64]>,
+) -> GreedyState {
+    let n = provider.site_count();
+    let mut utilities = match seed_utilities {
+        Some(seed) => seed.to_vec(),
+        None => vec![0.0f64; provider.traj_id_bound()],
+    };
+    // Site weights w_i = Σ ψ(T_j, s_i): the tie-breaking key (and, absent
+    // seed utilities, the initial marginals).
+    let weights: Vec<f64> = (0..n)
+        .map(|i| {
+            provider
+                .covered(i)
+                .iter()
+                .map(|&(_, d)| cfg.preference.score(d, cfg.tau))
+                .sum()
+        })
+        .collect();
+    let mut marginal = match seed_utilities {
+        None => weights.clone(),
+        Some(_) => (0..n)
+            .map(|i| {
+                provider
+                    .covered(i)
+                    .iter()
+                    .map(|&(tj, d)| {
+                        (cfg.preference.score(d, cfg.tau) - utilities[tj.index()]).max(0.0)
+                    })
+                    .sum()
+            })
+            .collect(),
+    };
+    let mut chosen = vec![false; n];
+
+    // Existing services: fold their coverage in before the k iterations.
+    for &e in existing {
+        assert!(e < n, "existing site index {e} out of range");
+        if !chosen[e] {
+            chosen[e] = true;
+            apply_selection(provider, cfg, e, &mut utilities, &mut marginal, &chosen);
+        }
+    }
+
+    let mut selected = Vec::with_capacity(cfg.k);
+    let mut gains = Vec::with_capacity(cfg.k);
+    for _ in 0..cfg.k.min(n.saturating_sub(existing.len())) {
+        // Paper tie-breaking: max marginal gain, then max weight, then
+        // highest index.
+        let mut best: Option<usize> = None;
+        for i in 0..n {
+            if chosen[i] {
+                continue;
+            }
+            let better = match best {
+                None => true,
+                Some(b) => {
+                    marginal[i] > marginal[b]
+                        || (marginal[i] == marginal[b]
+                            && (weights[i] > weights[b]
+                                || (weights[i] == weights[b] && i > b)))
+                }
+            };
+            if better {
+                best = Some(i);
+            }
+        }
+        let Some(s) = best else { break };
+        chosen[s] = true;
+        selected.push(s);
+        gains.push(marginal[s].max(0.0));
+        if marginal[s] > 0.0 {
+            apply_selection(provider, cfg, s, &mut utilities, &mut marginal, &chosen);
+        }
+    }
+
+    GreedyState {
+        selected,
+        gains,
+        utilities,
+    }
+}
+
+/// Folds site `s` into the solution: raise trajectory utilities and push
+/// the marginal-utility deltas to all sites covering an improved trajectory
+/// (the paper's lines 11–17, with `α_ji` recomputed instead of stored).
+fn apply_selection<P: CoverageProvider>(
+    provider: &P,
+    cfg: &GreedyConfig,
+    s: usize,
+    utilities: &mut [f64],
+    marginal: &mut [f64],
+    chosen: &[bool],
+) {
+    for &(tj, d) in provider.covered(s) {
+        let score = cfg.preference.score(d, cfg.tau);
+        let old_u = utilities[tj.index()];
+        if score <= old_u {
+            continue;
+        }
+        for &(si, d2) in provider.covering(tj) {
+            let si = si as usize;
+            if chosen[si] {
+                continue;
+            }
+            let psi = cfg.preference.score(d2, cfg.tau);
+            let delta = (psi - old_u).max(0.0) - (psi - score).max(0.0);
+            if delta > 0.0 {
+                marginal[si] -= delta;
+            }
+        }
+        utilities[tj.index()] = score;
+    }
+}
+
+/// CELF lazy greedy: stale heap priorities are upper bounds by
+/// submodularity; re-evaluate only the top until it stays on top.
+fn lazy_greedy<P: CoverageProvider>(
+    provider: &P,
+    cfg: &GreedyConfig,
+    existing: &[usize],
+    seed_utilities: Option<&[f64]>,
+) -> GreedyState {
+    #[derive(PartialEq)]
+    struct Entry {
+        gain: f64,
+        weight: f64,
+        idx: usize,
+        round: usize,
+    }
+    impl Eq for Entry {}
+    impl Ord for Entry {
+        fn cmp(&self, o: &Self) -> std::cmp::Ordering {
+            self.gain
+                .total_cmp(&o.gain)
+                .then(self.weight.total_cmp(&o.weight))
+                .then(self.idx.cmp(&o.idx))
+        }
+    }
+    impl PartialOrd for Entry {
+        fn partial_cmp(&self, o: &Self) -> Option<std::cmp::Ordering> {
+            Some(self.cmp(o))
+        }
+    }
+
+    let n = provider.site_count();
+    let mut utilities = match seed_utilities {
+        Some(seed) => seed.to_vec(),
+        None => vec![0.0f64; provider.traj_id_bound()],
+    };
+    let mut chosen = vec![false; n];
+
+    let gain_of = |i: usize, utilities: &[f64]| -> f64 {
+        provider
+            .covered(i)
+            .iter()
+            .map(|&(tj, d)| (cfg.preference.score(d, cfg.tau) - utilities[tj.index()]).max(0.0))
+            .sum()
+    };
+
+    for &e in existing {
+        assert!(e < n, "existing site index {e} out of range");
+        if !chosen[e] {
+            chosen[e] = true;
+            for &(tj, d) in provider.covered(e) {
+                let score = cfg.preference.score(d, cfg.tau);
+                if score > utilities[tj.index()] {
+                    utilities[tj.index()] = score;
+                }
+            }
+        }
+    }
+
+    let mut heap: BinaryHeap<Entry> = (0..n)
+        .filter(|&i| !chosen[i])
+        .map(|i| {
+            let w = gain_of(i, &utilities);
+            Entry {
+                gain: w,
+                weight: w,
+                idx: i,
+                round: 0,
+            }
+        })
+        .collect();
+
+    let mut selected = Vec::with_capacity(cfg.k);
+    let mut gains = Vec::with_capacity(cfg.k);
+    let mut round = 0usize;
+    while selected.len() < cfg.k {
+        let Some(top) = heap.pop() else { break };
+        if chosen[top.idx] {
+            continue;
+        }
+        if top.round == round {
+            // Fresh value: select it.
+            chosen[top.idx] = true;
+            selected.push(top.idx);
+            gains.push(top.gain.max(0.0));
+            for &(tj, d) in provider.covered(top.idx) {
+                let score = cfg.preference.score(d, cfg.tau);
+                if score > utilities[tj.index()] {
+                    utilities[tj.index()] = score;
+                }
+            }
+            round += 1;
+        } else {
+            // Stale: refresh and push back.
+            let g = gain_of(top.idx, &utilities);
+            heap.push(Entry {
+                gain: g,
+                weight: top.weight,
+                idx: top.idx,
+                round,
+            });
+        }
+    }
+
+    GreedyState {
+        selected,
+        gains,
+        utilities,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclus_roadnet::NodeId;
+    use netclus_trajectory::TrajId;
+
+    /// A mock provider built directly from ψ-relevant detour tables.
+    pub(crate) struct MockProvider {
+        pub tc: Vec<Vec<(TrajId, f64)>>,
+        pub sc: Vec<Vec<(u32, f64)>>,
+        pub m: usize,
+    }
+
+    impl MockProvider {
+        /// Builds from per-site `(traj, detour)` lists over `m` trajectories.
+        pub fn new(m: usize, tc: Vec<Vec<(TrajId, f64)>>) -> Self {
+            let mut sc = vec![Vec::new(); m];
+            for (i, list) in tc.iter().enumerate() {
+                for &(tj, d) in list {
+                    sc[tj.index()].push((i as u32, d));
+                }
+            }
+            MockProvider { tc, sc, m }
+        }
+    }
+
+    impl CoverageProvider for MockProvider {
+        fn site_count(&self) -> usize {
+            self.tc.len()
+        }
+        fn traj_id_bound(&self) -> usize {
+            self.m
+        }
+        fn site_node(&self, idx: usize) -> NodeId {
+            NodeId(idx as u32)
+        }
+        fn covered(&self, idx: usize) -> &[(TrajId, f64)] {
+            &self.tc[idx]
+        }
+        fn covering(&self, tj: TrajId) -> &[(u32, f64)] {
+            &self.sc[tj.index()]
+        }
+    }
+
+    /// The paper's Example 1 (Tables 2 & 3): ψ values realized through
+    /// linear decay with τ = 1000:
+    ///   ψ(T1,s1)=0.4, ψ(T1,s2)=0.11, ψ(T1,s3)=0
+    ///   ψ(T2,s1)=0,   ψ(T2,s2)=0.5,  ψ(T2,s3)=0.6
+    fn example1() -> MockProvider {
+        let d = |psi: f64| (1.0 - psi) * 1000.0; // invert linear decay
+        MockProvider::new(
+            2,
+            vec![
+                vec![(TrajId(0), d(0.4))],
+                vec![(TrajId(0), d(0.11)), (TrajId(1), d(0.5))],
+                vec![(TrajId(1), d(0.6))],
+            ],
+        )
+    }
+
+    fn linear_cfg(k: usize) -> GreedyConfig {
+        GreedyConfig {
+            k,
+            tau: 1000.0,
+            preference: PreferenceFunction::LinearDecay,
+            lazy: false,
+        }
+    }
+
+    #[test]
+    fn example1_greedy_picks_s2_then_s1() {
+        // Paper Table 3: Inc-Greedy selects {s1, s2} with utility 0.9
+        // (s2 first with gain 0.61, then s1 with gain 0.29).
+        let p = example1();
+        let sol = inc_greedy(&p, &linear_cfg(2));
+        assert_eq!(sol.site_indices, vec![1, 0]);
+        assert!((sol.utility - 0.9).abs() < 1e-9, "utility {}", sol.utility);
+        assert!((sol.gains[0] - 0.61).abs() < 1e-9);
+        assert!((sol.gains[1] - 0.29).abs() < 1e-9);
+        assert_eq!(sol.covered, 2);
+    }
+
+    #[test]
+    fn example1_lazy_matches_eager() {
+        let p = example1();
+        let mut cfg = linear_cfg(2);
+        cfg.lazy = true;
+        let sol = inc_greedy(&p, &cfg);
+        assert_eq!(sol.site_indices, vec![1, 0]);
+        assert!((sol.utility - 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_one_picks_max_weight_site() {
+        let p = example1();
+        let sol = inc_greedy(&p, &linear_cfg(1));
+        assert_eq!(sol.site_indices, vec![1]); // s2, weight 0.61
+        assert!((sol.utility - 0.61).abs() < 1e-9);
+    }
+
+    #[test]
+    fn k_larger_than_n_selects_all() {
+        let p = example1();
+        let sol = inc_greedy(&p, &linear_cfg(10));
+        assert_eq!(sol.site_indices.len(), 3);
+        assert!((sol.utility - 1.0).abs() < 1e-9); // 0.4 + 0.6
+    }
+
+    #[test]
+    fn binary_greedy_counts_distinct_coverage() {
+        // Site 0 covers {T0, T1}; site 1 covers {T1, T2}; site 2 covers {T2}.
+        let p = MockProvider::new(
+            3,
+            vec![
+                vec![(TrajId(0), 0.0), (TrajId(1), 0.0)],
+                vec![(TrajId(1), 0.0), (TrajId(2), 0.0)],
+                vec![(TrajId(2), 0.0)],
+            ],
+        );
+        let sol = inc_greedy(&p, &GreedyConfig::binary(2, 100.0));
+        assert_eq!(sol.utility, 3.0);
+        // First pick ties at weight 2: highest index wins per the paper.
+        assert_eq!(sol.site_indices[0], 1);
+        assert_eq!(sol.covered, 3);
+    }
+
+    #[test]
+    fn tie_breaks_prefer_higher_weight_then_higher_index() {
+        // Sites 0 and 2 tie on marginal gain AND weight (2) in round one:
+        // the paper picks the highest index → site 2. In round two, sites 0
+        // and 1 tie on marginal gain (1) but site 0 has the larger raw
+        // weight → site 0.
+        let p = MockProvider::new(
+            4,
+            vec![
+                vec![(TrajId(0), 0.0), (TrajId(1), 0.0)],
+                vec![(TrajId(2), 0.0)],
+                vec![(TrajId(1), 0.0), (TrajId(3), 0.0)],
+            ],
+        );
+        let sol = inc_greedy(&p, &GreedyConfig::binary(2, 100.0));
+        assert_eq!(sol.site_indices, vec![2, 0]);
+    }
+
+    #[test]
+    fn existing_services_shift_marginals() {
+        // ES = {site 1}. T1, T2 already covered; best addition covers T0.
+        let p = MockProvider::new(
+            3,
+            vec![
+                vec![(TrajId(0), 0.0), (TrajId(1), 0.0)],
+                vec![(TrajId(1), 0.0), (TrajId(2), 0.0)],
+                vec![(TrajId(1), 0.0), (TrajId(2), 0.0)],
+            ],
+        );
+        let cfg = GreedyConfig::binary(1, 100.0);
+        let sol = inc_greedy_from(&p, &cfg, &[1]);
+        assert_eq!(sol.site_indices, vec![0]);
+        // Utility counts only the gain over the existing services.
+        assert_eq!(sol.utility, 1.0);
+        // Covered reflects all covered trajectories including ES coverage.
+        assert_eq!(sol.covered, 3);
+    }
+
+    #[test]
+    fn greedy_respects_submodular_gain_ordering() {
+        // Gains must be non-increasing (Theorem 2 consequence).
+        let p = MockProvider::new(
+            6,
+            vec![
+                vec![(TrajId(0), 0.0), (TrajId(1), 0.0), (TrajId(2), 0.0)],
+                vec![(TrajId(2), 0.0), (TrajId(3), 0.0)],
+                vec![(TrajId(4), 0.0)],
+                vec![(TrajId(5), 0.0), (TrajId(0), 0.0)],
+            ],
+        );
+        let sol = inc_greedy(&p, &GreedyConfig::binary(4, 100.0));
+        for w in sol.gains.windows(2) {
+            assert!(w[0] >= w[1] - 1e-9, "gains increased: {:?}", sol.gains);
+        }
+    }
+
+    #[test]
+    fn seeded_greedy_equals_existing_when_seed_matches_coverage() {
+        // Seeding with exactly site 1's coverage must reproduce
+        // inc_greedy_from with existing = [1] (site 1 stays selectable but
+        // adds no gain, so it is never picked while better options exist).
+        let p = MockProvider::new(
+            3,
+            vec![
+                vec![(TrajId(0), 0.0), (TrajId(1), 0.0)],
+                vec![(TrajId(1), 0.0), (TrajId(2), 0.0)],
+                vec![(TrajId(2), 0.0)],
+            ],
+        );
+        let cfg = GreedyConfig::binary(1, 100.0);
+        let from = inc_greedy_from(&p, &cfg, &[1]);
+        let seeded = inc_greedy_seeded(&p, &cfg, &[0.0, 1.0, 1.0]);
+        assert_eq!(from.site_indices, seeded.site_indices);
+        assert_eq!(from.utility, seeded.utility);
+    }
+
+    #[test]
+    fn seeded_greedy_counts_only_extra_utility() {
+        let p = MockProvider::new(2, vec![vec![(TrajId(0), 0.0), (TrajId(1), 0.0)]]);
+        // T0 already enjoys utility 1.0 → only T1 contributes gain.
+        let sol = inc_greedy_seeded(&p, &GreedyConfig::binary(1, 100.0), &[1.0, 0.0]);
+        assert_eq!(sol.utility, 1.0);
+        assert_eq!(sol.site_indices, vec![0]);
+        // Graded seed: partial prior coverage leaves partial gain.
+        let cfg = GreedyConfig {
+            k: 1,
+            tau: 100.0,
+            preference: PreferenceFunction::Binary,
+            lazy: false,
+        };
+        let sol = inc_greedy_seeded(&p, &cfg, &[0.25, 0.5]);
+        assert!((sol.utility - (0.75 + 0.5)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn seeded_lazy_matches_seeded_eager() {
+        let p = MockProvider::new(
+            4,
+            vec![
+                vec![(TrajId(0), 0.0), (TrajId(1), 100.0)],
+                vec![(TrajId(2), 0.0), (TrajId(3), 200.0)],
+                vec![(TrajId(1), 0.0)],
+            ],
+        );
+        let seed = vec![0.2, 0.9, 0.0, 0.4];
+        let mut cfg = GreedyConfig {
+            k: 2,
+            tau: 1000.0,
+            preference: PreferenceFunction::LinearDecay,
+            lazy: false,
+        };
+        let eager = inc_greedy_seeded(&p, &cfg, &seed);
+        cfg.lazy = true;
+        let lazy = inc_greedy_seeded(&p, &cfg, &seed);
+        assert!((eager.utility - lazy.utility).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "one seed utility per trajectory")]
+    fn seeded_greedy_rejects_wrong_length() {
+        let p = MockProvider::new(3, vec![vec![(TrajId(0), 0.0)]]);
+        inc_greedy_seeded(&p, &GreedyConfig::binary(1, 100.0), &[0.0]);
+    }
+
+    #[test]
+    fn zero_k_returns_empty() {
+        let p = example1();
+        let sol = inc_greedy(&p, &linear_cfg(0));
+        assert!(sol.site_indices.is_empty());
+        assert_eq!(sol.utility, 0.0);
+    }
+
+    #[test]
+    fn lazy_matches_eager_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for trial in 0..25 {
+            let m = rng.random_range(1..40);
+            let n = rng.random_range(1..25);
+            let tc: Vec<Vec<(TrajId, f64)>> = (0..n)
+                .map(|_| {
+                    let cnt = rng.random_range(0..m.min(12));
+                    let mut tjs: Vec<u32> = (0..m as u32).collect();
+                    // Partial shuffle for a random subset.
+                    for i in 0..cnt {
+                        let j = rng.random_range(i..m);
+                        tjs.swap(i, j);
+                    }
+                    let mut list: Vec<(TrajId, f64)> = tjs[..cnt]
+                        .iter()
+                        .map(|&t| (TrajId(t), rng.random_range(0.0..1000.0)))
+                        .collect();
+                    list.sort_by(|a, b| a.1.total_cmp(&b.1));
+                    list
+                })
+                .collect();
+            let p = MockProvider::new(m, tc);
+            let cfg = GreedyConfig {
+                k: rng.random_range(1..6),
+                tau: 1000.0,
+                preference: PreferenceFunction::LinearDecay,
+                lazy: false,
+            };
+            let eager = inc_greedy(&p, &cfg);
+            let mut lazy_cfg = cfg.clone();
+            lazy_cfg.lazy = true;
+            let lazy = inc_greedy(&p, &lazy_cfg);
+            assert!(
+                (eager.utility - lazy.utility).abs() < 1e-6,
+                "trial {trial}: eager {} vs lazy {}",
+                eager.utility,
+                lazy.utility
+            );
+        }
+    }
+}

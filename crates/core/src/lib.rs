@@ -1,0 +1,119 @@
+//! # netclus — trajectory-aware top-k service placement
+//!
+//! A production-quality Rust implementation of **NetClus** (Mitra, Saraf,
+//! Sharma, Bhattacharya, Ranu: *NetClus: A Scalable Framework for Locating
+//! Top-K Sites for Placement of Trajectory-Aware Services*, ICDE 2017).
+//!
+//! ## The problem
+//!
+//! Given a road network, a corpus of user trajectories `T` and candidate
+//! sites `S`, the **TOPS** query `(k, τ, ψ)` selects `k` sites maximizing
+//! `Σ_j max_{s∈Q} ψ(T_j, s)`, where the preference `ψ` is any
+//! non-increasing function of the round-trip *detour* a user must take to
+//! reach the site, cut off at the coverage threshold `τ`. TOPS is NP-hard;
+//! even the `(1 − 1/e)`-greedy needs `O(mn)` coverage sets and fails at
+//! city scale. NetClus answers TOPS queries approximately from a compact
+//! multi-resolution clustering index with bounded quality loss, practical
+//! latency, dynamic updates, and support for cost/capacity constraints and
+//! existing services.
+//!
+//! ## Module map
+//!
+//! | Paper concept | Module |
+//! |---------------|--------|
+//! | Preference family `ψ` (Def. 2, Sec. 7.4) | [`preference`] |
+//! | Detour distance `dr(T_j, s_i)` (Sec. 2) | [`detour`] |
+//! | Coverage sets `TC`/`SC` (Sec. 3.2) | [`coverage`] |
+//! | Inc-Greedy (Sec. 3.3, Alg. 1) | [`greedy`] |
+//! | FM-sketch greedy (Sec. 3.5) | [`fm_greedy`] |
+//! | Optimal solver (Sec. 3.1) | [`exact`] |
+//! | Greedy-GDSP clustering (Sec. 4.1) | [`gdsp`] |
+//! | Index instances & representatives (Sec. 4.2–4.3) | [`cluster`] |
+//! | Multi-resolution index (Sec. 4.4) | [`index`] |
+//! | Online TOPS-Cluster query (Sec. 5) | [`query`] |
+//! | Dynamic updates (Sec. 6) | [`update`] |
+//! | TOPS-COST (Sec. 7.1) | [`cost`] |
+//! | TOPS-CAPACITY (Sec. 7.2) | [`capacity`] |
+//! | Existing services (Sec. 7.3) | [`greedy::inc_greedy_from`] |
+//! | TOPS4 market share (Sec. 7.4) | [`market`] |
+//! | Jaccard baseline (App. B.1) | [`jaccard`] |
+//! | Memory accounting (Tables 9, 12) | [`memory`] |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use netclus::prelude::*;
+//! use netclus_roadnet::{Point, RoadNetworkBuilder};
+//! use netclus_trajectory::{Trajectory, TrajectorySet};
+//!
+//! // A short two-way corridor with two commuters.
+//! let mut b = RoadNetworkBuilder::new();
+//! let nodes: Vec<_> = (0..6)
+//!     .map(|i| b.add_node(Point::new(i as f64 * 400.0, 0.0)))
+//!     .collect();
+//! for w in nodes.windows(2) {
+//!     b.add_two_way(w[0], w[1], 400.0).unwrap();
+//! }
+//! let net = b.build().unwrap();
+//! let mut trajs = TrajectorySet::for_network(&net);
+//! trajs.add(Trajectory::new(nodes[0..4].to_vec()));
+//! trajs.add(Trajectory::new(nodes[2..6].to_vec()));
+//! let sites: Vec<_> = net.nodes().collect();
+//!
+//! // Offline: build the index. Online: answer a TOPS query.
+//! let index = NetClusIndex::build(
+//!     &net,
+//!     &trajs,
+//!     &sites,
+//!     NetClusConfig { tau_min: 800.0, tau_max: 4_000.0, threads: 1, ..Default::default() },
+//! );
+//! let answer = index.query(&trajs, &TopsQuery::binary(1, 800.0));
+//! let eval = evaluate_sites(
+//!     &net, &trajs, &answer.solution.sites, 800.0,
+//!     PreferenceFunction::Binary, DetourModel::RoundTrip,
+//! );
+//! assert_eq!(eval.utility, 2.0); // one site covers both commuters
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod cluster;
+pub mod cost;
+pub mod coverage;
+pub mod detour;
+pub mod exact;
+pub mod fm_greedy;
+pub mod gdsp;
+pub mod greedy;
+pub mod index;
+pub mod jaccard;
+pub mod market;
+pub mod memory;
+pub mod preference;
+pub mod query;
+pub mod solution;
+pub mod update;
+
+/// The most commonly used items in one import.
+pub mod prelude {
+    pub use crate::capacity::{tops_capacity, CapacityConfig};
+    pub use crate::cluster::RepresentativeStrategy;
+    pub use crate::cost::{tops_cost, CostConfig};
+    pub use crate::coverage::{CoverageIndex, CoverageProvider};
+    pub use crate::detour::{DetourEngine, DetourModel};
+    pub use crate::exact::{exact_optimal, ExactConfig, ExactResult};
+    pub use crate::fm_greedy::{build_site_sketches, fm_greedy, fm_greedy_prebuilt, FmGreedyConfig};
+    pub use crate::gdsp::{greedy_gdsp, GdspConfig, GdspMode};
+    pub use crate::greedy::{inc_greedy, inc_greedy_from, inc_greedy_seeded, GreedyConfig};
+    pub use crate::index::{estimate_tau_range, NetClusConfig, NetClusIndex};
+    pub use crate::jaccard::{jaccard_clustering, JaccardConfig};
+    pub use crate::market::{tops_market_share, MarketShareConfig};
+    pub use crate::memory::{format_bytes, HeapSize};
+    pub use crate::preference::PreferenceFunction;
+    pub use crate::query::{ClusteredProvider, NetClusAnswer, TopsQuery};
+    pub use crate::solution::{evaluate_sites, EvalResult, Solution};
+}
+
+pub use prelude::*;

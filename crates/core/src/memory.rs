@@ -1,0 +1,67 @@
+//! Uniform memory accounting (DESIGN.md decision 8).
+//!
+//! The paper's Table 9 and Table 12 compare the memory footprints of
+//! Inc-Greedy's coverage sets against the NetClus index. [`HeapSize`]
+//! exposes every measurable structure through one trait so the benchmark
+//! harness reports like against like: live heap bytes of the data
+//! structures themselves, independent of allocator or runtime overhead
+//! (the paper's JVM numbers include such overhead; relative ordering is
+//! what must reproduce).
+
+use crate::coverage::CoverageIndex;
+use crate::index::NetClusIndex;
+use crate::query::ClusteredProvider;
+
+/// Approximate live heap bytes owned by a structure.
+pub trait HeapSize {
+    /// Heap bytes reachable from `self` (excluding `size_of::<Self>()`).
+    fn heap_size_bytes(&self) -> usize;
+}
+
+impl HeapSize for CoverageIndex {
+    fn heap_size_bytes(&self) -> usize {
+        CoverageIndex::heap_size_bytes(self)
+    }
+}
+
+impl HeapSize for NetClusIndex {
+    fn heap_size_bytes(&self) -> usize {
+        NetClusIndex::heap_size_bytes(self)
+    }
+}
+
+impl HeapSize for ClusteredProvider {
+    fn heap_size_bytes(&self) -> usize {
+        ClusteredProvider::heap_size_bytes(self)
+    }
+}
+
+/// Pretty-prints a byte count with binary units (e.g. `"3.22 GiB"`).
+pub fn format_bytes(bytes: usize) -> String {
+    const UNITS: [&str; 5] = ["B", "KiB", "MiB", "GiB", "TiB"];
+    let mut value = bytes as f64;
+    let mut unit = 0;
+    while value >= 1024.0 && unit + 1 < UNITS.len() {
+        value /= 1024.0;
+        unit += 1;
+    }
+    if unit == 0 {
+        format!("{bytes} B")
+    } else {
+        format!("{value:.2} {}", UNITS[unit])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(format_bytes(0), "0 B");
+        assert_eq!(format_bytes(512), "512 B");
+        assert_eq!(format_bytes(2048), "2.00 KiB");
+        assert_eq!(format_bytes(5 * 1024 * 1024), "5.00 MiB");
+        assert_eq!(format_bytes(3 * 1024 * 1024 * 1024 + 250 * 1024 * 1024), "3.24 GiB");
+    }
+}

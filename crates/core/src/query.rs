@@ -1,0 +1,508 @@
+//! The NetClus online phase: TOPS-Cluster (paper Sec. 5).
+//!
+//! Given query parameters `(k, τ, ψ)`, the index instance serving `τ` is
+//! selected and a site-level problem is built over the **cluster
+//! representatives**: for representative `r_i` of cluster `g_i`, the
+//! approximate covered set is
+//!
+//! ```text
+//! T̂C(r_i) = { T_j ∈ TC(g_i) : d̂r(T_j, r_i) ≤ τ }
+//! d̂r(T_j, r_i) = dr(T_j, c_j) + dr(c_j, c_i) + dr(c_i, r_i)    (Eq. 9)
+//! ```
+//!
+//! where `T_j` ranges over the trajectory lists of `g_i` and its neighbors
+//! `CL(g_i)` — examining neighbors is sufficient because `d̂r ≤ τ` forces
+//! `dr(c_j, c_i) ≤ 4R_p(1+γ)`, the exact neighbor threshold (Sec. 5.1).
+//! Since `d̂r` over-estimates the true detour, `T̂C(r_i) ⊆ TC(r_i)` — the
+//! estimate never claims coverage that does not exist.
+//!
+//! The resulting [`ClusteredProvider`] implements
+//! [`CoverageProvider`], so the *same* Inc-Greedy / FM-greedy code that
+//! solves exact TOPS solves TOPS-Cluster, exactly as in the paper.
+
+use std::time::{Duration, Instant};
+
+use netclus_trajectory::{TrajId, TrajectorySet};
+use netclus_roadnet::NodeId;
+
+use crate::cluster::ClusterInstance;
+use crate::coverage::CoverageProvider;
+use crate::fm_greedy::{fm_greedy, FmGreedyConfig};
+use crate::greedy::{inc_greedy_from, GreedyConfig};
+use crate::index::NetClusIndex;
+use crate::preference::PreferenceFunction;
+use crate::solution::Solution;
+
+/// A TOPS query `(k, τ, ψ)`.
+#[derive(Clone, Copy, Debug)]
+pub struct TopsQuery {
+    /// Number of service locations to select.
+    pub k: usize,
+    /// Coverage threshold in meters.
+    pub tau: f64,
+    /// Preference function.
+    pub preference: PreferenceFunction,
+}
+
+impl TopsQuery {
+    /// A binary query (TOPS1) — the paper's default evaluation setting.
+    pub fn binary(k: usize, tau: f64) -> Self {
+        TopsQuery {
+            k,
+            tau,
+            preference: PreferenceFunction::Binary,
+        }
+    }
+}
+
+/// The clustered coverage view: cluster representatives with estimated
+/// detour distances.
+#[derive(Clone, Debug)]
+pub struct ClusteredProvider {
+    /// Representative site per provider index.
+    reps: Vec<NodeId>,
+    /// Cluster index behind each provider index.
+    rep_cluster: Vec<u32>,
+    /// `T̂C` lists, ascending by estimated detour.
+    tc: Vec<Vec<(TrajId, f64)>>,
+    /// Inverted `ŜC` lists.
+    sc: Vec<Vec<(u32, f64)>>,
+    traj_id_bound: usize,
+    build_time: Duration,
+}
+
+impl ClusteredProvider {
+    /// Builds the clustered view of `instance` for threshold `tau`.
+    ///
+    /// Clusters without a representative (no candidate site among their
+    /// members) contribute trajectories only through their neighbors.
+    pub fn build(instance: &ClusterInstance, tau: f64, traj_id_bound: usize) -> Self {
+        let start = Instant::now();
+        let mut reps = Vec::new();
+        let mut rep_cluster = Vec::new();
+        let mut tc: Vec<Vec<(TrajId, f64)>> = Vec::new();
+
+        // Stamped scratch: minimal d̂r per trajectory for the current rep.
+        let mut best = vec![f64::INFINITY; traj_id_bound];
+        let mut stamp = vec![0u32; traj_id_bound];
+        let mut touched: Vec<TrajId> = Vec::new();
+        let mut version = 0u32;
+
+        for (ci, cluster) in instance.clusters.iter().enumerate() {
+            let Some(rep) = cluster.representative else {
+                continue;
+            };
+            version += 1;
+            touched.clear();
+            for &(cj, d_centers) in &cluster.neighbors {
+                let base = d_centers + cluster.rep_distance;
+                if base > tau {
+                    // Neighbors are sorted by distance; all further ones
+                    // yield only larger estimates.
+                    break;
+                }
+                for &(tj, d_traj) in &instance.clusters[cj as usize].traj_list {
+                    let est = d_traj + base;
+                    if est > tau {
+                        continue;
+                    }
+                    let j = tj.index();
+                    if stamp[j] != version {
+                        stamp[j] = version;
+                        best[j] = est;
+                        touched.push(tj);
+                    } else if est < best[j] {
+                        best[j] = est;
+                    }
+                }
+            }
+            let mut list: Vec<(TrajId, f64)> =
+                touched.iter().map(|&tj| (tj, best[tj.index()])).collect();
+            list.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+            reps.push(rep);
+            rep_cluster.push(ci as u32);
+            tc.push(list);
+        }
+
+        let mut sc: Vec<Vec<(u32, f64)>> = vec![Vec::new(); traj_id_bound];
+        for (i, list) in tc.iter().enumerate() {
+            for &(tj, d) in list {
+                sc[tj.index()].push((i as u32, d));
+            }
+        }
+
+        ClusteredProvider {
+            reps,
+            rep_cluster,
+            tc,
+            sc,
+            traj_id_bound,
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// Cluster index behind provider index `idx`.
+    pub fn cluster_of(&self, idx: usize) -> u32 {
+        self.rep_cluster[idx]
+    }
+
+    /// Time spent building the clustered view.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Approximate heap footprint in bytes (the query-time working set of
+    /// NetClus beyond the index itself).
+    pub fn heap_size_bytes(&self) -> usize {
+        let pair = std::mem::size_of::<(TrajId, f64)>();
+        let tc: usize = self
+            .tc
+            .iter()
+            .map(|l| std::mem::size_of::<Vec<(TrajId, f64)>>() + l.capacity() * pair)
+            .sum();
+        let sc: usize = self
+            .sc
+            .iter()
+            .map(|l| std::mem::size_of::<Vec<(u32, f64)>>() + l.capacity() * pair)
+            .sum();
+        tc + sc + self.reps.capacity() * 4 + self.rep_cluster.capacity() * 4
+    }
+}
+
+impl CoverageProvider for ClusteredProvider {
+    fn site_count(&self) -> usize {
+        self.reps.len()
+    }
+
+    fn traj_id_bound(&self) -> usize {
+        self.traj_id_bound
+    }
+
+    fn site_node(&self, idx: usize) -> NodeId {
+        self.reps[idx]
+    }
+
+    fn covered(&self, idx: usize) -> &[(TrajId, f64)] {
+        &self.tc[idx]
+    }
+
+    fn covering(&self, tj: TrajId) -> &[(u32, f64)] {
+        &self.sc[tj.index()]
+    }
+}
+
+/// A NetClus query answer.
+#[derive(Clone, Debug)]
+pub struct NetClusAnswer {
+    /// The solver solution; `utility` is measured under the estimated
+    /// distances `d̂r` (re-evaluate with
+    /// [`crate::solution::evaluate_sites`] for exact utility).
+    pub solution: Solution,
+    /// Which index instance served the query.
+    pub instance: usize,
+    /// Number of cluster representatives processed (`η_p` bound).
+    pub representatives: usize,
+    /// Time to build the clustered view (included in the total query time).
+    pub provider_build: Duration,
+}
+
+impl NetClusIndex {
+    /// Answers a TOPS query with Inc-Greedy over cluster representatives
+    /// (the paper's NETCLUS algorithm).
+    pub fn query(&self, trajs: &TrajectorySet, q: &TopsQuery) -> NetClusAnswer {
+        let p = self.instance_for(q.tau);
+        let provider = ClusteredProvider::build(self.instance(p), q.tau, trajs.id_bound());
+        let cfg = GreedyConfig {
+            k: q.k,
+            tau: q.tau,
+            preference: q.preference,
+            lazy: false,
+        };
+        let mut solution = inc_greedy_from(&provider, &cfg, &[]);
+        solution.elapsed += provider.build_time();
+        NetClusAnswer {
+            representatives: provider.site_count(),
+            instance: p,
+            provider_build: provider.build_time(),
+            solution,
+        }
+    }
+
+    /// Answers a TOPS query in the presence of already-deployed services at
+    /// arbitrary network nodes (paper Sec. 7.3): the existing services'
+    /// exact coverage is folded into the trajectory utilities first
+    /// (`Q_0 = ES`), then Inc-Greedy selects `k` *additional* sites among
+    /// the cluster representatives, maximizing the extra utility.
+    ///
+    /// `net` must be the network the index was built on.
+    pub fn query_with_existing(
+        &self,
+        net: &netclus_roadnet::RoadNetwork,
+        trajs: &TrajectorySet,
+        q: &TopsQuery,
+        existing: &[NodeId],
+    ) -> NetClusAnswer {
+        use crate::detour::{DetourEngine, DetourModel};
+        let p = self.instance_for(q.tau);
+        let provider = ClusteredProvider::build(self.instance(p), q.tau, trajs.id_bound());
+        // Exact coverage of the deployed services (|ES| bounded searches).
+        let mut seed = vec![0.0f64; trajs.id_bound()];
+        let mut eng = DetourEngine::new(net, DetourModel::RoundTrip);
+        let effective_tau = q.preference.effective_tau(q.tau);
+        for &s in existing {
+            for (tj, d) in eng.site_coverage(trajs, s, effective_tau) {
+                let score = q.preference.score(d, q.tau);
+                if score > seed[tj.index()] {
+                    seed[tj.index()] = score;
+                }
+            }
+        }
+        let cfg = GreedyConfig {
+            k: q.k,
+            tau: q.tau,
+            preference: q.preference,
+            lazy: false,
+        };
+        let mut solution = crate::greedy::inc_greedy_seeded(&provider, &cfg, &seed);
+        solution.elapsed += provider.build_time();
+        NetClusAnswer {
+            representatives: provider.site_count(),
+            instance: p,
+            provider_build: provider.build_time(),
+            solution,
+        }
+    }
+
+    /// Answers a binary TOPS query with the FM-sketch greedy over cluster
+    /// representatives (the paper's FM-NETCLUS).
+    pub fn query_fm(
+        &self,
+        trajs: &TrajectorySet,
+        q: &TopsQuery,
+        fm: &FmGreedyConfig,
+    ) -> NetClusAnswer {
+        assert!(
+            q.preference.is_binary(),
+            "FM-NetClus requires the binary preference (paper Sec. 5.1)"
+        );
+        let p = self.instance_for(q.tau);
+        let provider = ClusteredProvider::build(self.instance(p), q.tau, trajs.id_bound());
+        let mut cfg = fm.clone();
+        cfg.k = q.k;
+        let mut solution = fm_greedy(&provider, &cfg);
+        solution.elapsed += provider.build_time();
+        NetClusAnswer {
+            representatives: provider.site_count(),
+            instance: p,
+            provider_build: provider.build_time(),
+            solution,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detour::DetourModel;
+    use crate::index::{NetClusConfig, NetClusIndex};
+    use crate::solution::evaluate_sites;
+    use netclus_roadnet::{Point, RoadNetwork, RoadNetworkBuilder};
+    use netclus_trajectory::Trajectory;
+
+    /// Line network 0..30, 100 m apart, with bundles of trajectories on
+    /// two separated segments.
+    fn fixture() -> (RoadNetwork, TrajectorySet, Vec<NodeId>) {
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..30 {
+            b.add_node(Point::new(i as f64 * 100.0, 0.0));
+        }
+        for i in 0..29u32 {
+            b.add_two_way(NodeId(i), NodeId(i + 1), 100.0).unwrap();
+        }
+        let net = b.build().unwrap();
+        let mut trajs = TrajectorySet::for_network(&net);
+        // 6 trajectories around nodes 2..8, 4 around nodes 20..26.
+        for s in 0..6u32 {
+            trajs.add(Trajectory::new((2 + s / 2..8 - s / 3).map(NodeId).collect()));
+        }
+        for s in 0..4u32 {
+            trajs.add(Trajectory::new((20 + s..26).map(NodeId).collect()));
+        }
+        let sites: Vec<NodeId> = net.nodes().collect();
+        (net, trajs, sites)
+    }
+
+    fn index(net: &RoadNetwork, trajs: &TrajectorySet, sites: &[NodeId]) -> NetClusIndex {
+        NetClusIndex::build(
+            net,
+            trajs,
+            sites,
+            NetClusConfig {
+                gamma: 0.75,
+                tau_min: 200.0,
+                tau_max: 4_000.0,
+                threads: 1,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn estimates_never_underestimate_coverage() {
+        // T̂C(r) ⊆ TC(r): every trajectory the provider claims within τ
+        // must truly be within τ of the representative.
+        let (net, trajs, sites) = fixture();
+        let idx = index(&net, &trajs, &sites);
+        let tau = 800.0;
+        let p = idx.instance_for(tau);
+        let provider = ClusteredProvider::build(idx.instance(p), tau, trajs.id_bound());
+        let mut eng = crate::detour::DetourEngine::new(&net, DetourModel::RoundTrip);
+        for i in 0..provider.site_count() {
+            let rep = provider.site_node(i);
+            let exact: std::collections::BTreeMap<TrajId, f64> =
+                eng.site_coverage(&trajs, rep, tau).into_iter().collect();
+            for &(tj, est) in provider.covered(i) {
+                let true_d = exact.get(&tj).copied();
+                assert!(
+                    true_d.is_some(),
+                    "rep {rep:?} claims {tj:?} at d̂r={est} but exact > τ"
+                );
+                assert!(
+                    true_d.unwrap() <= est + 1e-9,
+                    "d̂r={est} below true detour {}",
+                    true_d.unwrap()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn netclus_solution_quality_close_to_greedy() {
+        let (net, trajs, sites) = fixture();
+        let idx = index(&net, &trajs, &sites);
+        let q = TopsQuery::binary(2, 800.0);
+        let answer = idx.query(&trajs, &q);
+        assert_eq!(answer.solution.sites.len(), 2);
+        // Exact utility of NetClus's sites: the two bundles are far apart,
+        // so 2 well-placed sites cover everything.
+        let eval = evaluate_sites(
+            &net,
+            &trajs,
+            &answer.solution.sites,
+            q.tau,
+            q.preference,
+            DetourModel::RoundTrip,
+        );
+        assert_eq!(eval.utility, 10.0, "NetClus missed a bundle: {answer:?}");
+    }
+
+    #[test]
+    fn fm_netclus_matches_netclus_on_separated_bundles() {
+        let (net, trajs, sites) = fixture();
+        let idx = index(&net, &trajs, &sites);
+        let q = TopsQuery::binary(2, 800.0);
+        let fm = idx.query_fm(
+            &trajs,
+            &q,
+            &FmGreedyConfig {
+                k: 2,
+                copies: 50,
+                seed: 3,
+            },
+        );
+        let eval = evaluate_sites(
+            &net,
+            &trajs,
+            &fm.solution.sites,
+            q.tau,
+            q.preference,
+            DetourModel::RoundTrip,
+        );
+        assert_eq!(eval.utility, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "binary preference")]
+    fn fm_netclus_rejects_graded_preference() {
+        let (net, trajs, sites) = fixture();
+        let idx = index(&net, &trajs, &sites);
+        let q = TopsQuery {
+            k: 1,
+            tau: 800.0,
+            preference: PreferenceFunction::LinearDecay,
+        };
+        idx.query_fm(&trajs, &q, &FmGreedyConfig::default());
+    }
+
+    #[test]
+    fn larger_tau_uses_coarser_instance_with_fewer_reps() {
+        let (net, trajs, sites) = fixture();
+        let idx = index(&net, &trajs, &sites);
+        let fine = idx.query(&trajs, &TopsQuery::binary(2, 250.0));
+        let coarse = idx.query(&trajs, &TopsQuery::binary(2, 3_500.0));
+        assert!(fine.instance < coarse.instance);
+        assert!(fine.representatives >= coarse.representatives);
+    }
+
+    #[test]
+    fn sparse_sites_restrict_representatives() {
+        let (net, trajs, _) = fixture();
+        let sites = vec![NodeId(4), NodeId(23)];
+        let idx = index(&net, &trajs, &sites);
+        let q = TopsQuery::binary(2, 800.0);
+        let answer = idx.query(&trajs, &q);
+        // Only the two real sites can ever be selected.
+        let mut got = answer.solution.sites.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![NodeId(4), NodeId(23)]);
+    }
+
+    #[test]
+    fn query_with_existing_avoids_served_demand() {
+        let (net, trajs, sites) = fixture();
+        let idx = index(&net, &trajs, &sites);
+        let q = TopsQuery::binary(1, 800.0);
+        // Without existing services, k=1 goes to the bigger bundle (nodes
+        // 2..8, 6 trajectories).
+        let plain = idx.query(&trajs, &q);
+        let plain_best = plain.solution.sites[0];
+        assert!(plain_best.0 <= 10, "expected first bundle, got {plain_best:?}");
+        // With a service already at node 5 (serving that bundle), the next
+        // site must go to the second bundle (nodes 20..26).
+        let answer = idx.query_with_existing(&net, &trajs, &q, &[NodeId(5)]);
+        let best = answer.solution.sites[0];
+        assert!(
+            (16..=29).contains(&best.0),
+            "existing service ignored; picked {best:?}"
+        );
+        // Reported utility is the *extra* coverage only (4 trajectories).
+        assert!((answer.solution.utility - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn query_with_no_existing_matches_plain_query() {
+        let (net, trajs, sites) = fixture();
+        let idx = index(&net, &trajs, &sites);
+        let q = TopsQuery::binary(3, 800.0);
+        let plain = idx.query(&trajs, &q);
+        let with = idx.query_with_existing(&net, &trajs, &q, &[]);
+        assert_eq!(plain.solution.sites, with.solution.sites);
+        assert!((plain.solution.utility - with.solution.utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn provider_sc_inverts_tc() {
+        let (net, trajs, sites) = fixture();
+        let idx = index(&net, &trajs, &sites);
+        let provider = ClusteredProvider::build(idx.instance(1), 600.0, trajs.id_bound());
+        for i in 0..provider.site_count() {
+            for &(tj, d) in provider.covered(i) {
+                assert!(provider
+                    .covering(tj)
+                    .iter()
+                    .any(|&(si, d2)| si as usize == i && d2 == d));
+            }
+        }
+        assert!(provider.heap_size_bytes() > 0);
+    }
+}

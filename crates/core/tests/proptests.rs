@@ -1,0 +1,254 @@
+//! Property-based tests for the NetClus core on randomized road networks.
+//!
+//! Each property runs over a random strongly-connected network with random
+//! trajectories, checking the invariants the paper's correctness rests on:
+//! coverage-set consistency, greedy bounds, clustering radius/partition
+//! invariants, index instance selection, and estimate conservativeness.
+
+use netclus::prelude::*;
+use netclus_roadnet::{NodeId, Point, RoadNetwork, RoadNetworkBuilder};
+use netclus_trajectory::{Trajectory, TrajectorySet};
+use proptest::prelude::*;
+
+/// A random strongly-connected network: ring + chords, with edge weights in
+/// [50, 500] meters, plus random-walk trajectories.
+#[derive(Clone, Debug)]
+struct Instance {
+    n: usize,
+    ring_w: Vec<f64>,
+    chords: Vec<(usize, usize, f64)>,
+    walks: Vec<(usize, Vec<usize>)>, // (start, step choices)
+}
+
+fn instance_strategy() -> impl Strategy<Value = Instance> {
+    (6usize..28)
+        .prop_flat_map(|n| {
+            let ring = prop::collection::vec(50.0f64..500.0, n);
+            let chords = prop::collection::vec((0..n, 0..n, 50.0f64..500.0), 0..n);
+            let walks = prop::collection::vec(
+                (0..n, prop::collection::vec(0usize..8, 1..10)),
+                1..12,
+            );
+            (Just(n), ring, chords, walks)
+        })
+        .prop_map(|(n, ring_w, chords, walks)| Instance {
+            n,
+            ring_w,
+            chords,
+            walks,
+        })
+}
+
+fn build(inst: &Instance) -> (RoadNetwork, TrajectorySet) {
+    let mut b = RoadNetworkBuilder::new();
+    for i in 0..inst.n {
+        b.add_node(Point::new(i as f64 * 100.0, (i % 3) as f64 * 80.0));
+    }
+    for i in 0..inst.n {
+        b.add_edge(
+            NodeId(i as u32),
+            NodeId(((i + 1) % inst.n) as u32),
+            inst.ring_w[i],
+        )
+        .unwrap();
+        // Make it two-way-ish for richer round trips.
+        b.add_edge(
+            NodeId(((i + 1) % inst.n) as u32),
+            NodeId(i as u32),
+            inst.ring_w[i] * 1.1,
+        )
+        .unwrap();
+    }
+    for &(u, v, w) in &inst.chords {
+        if u != v {
+            b.add_edge(NodeId(u as u32), NodeId(v as u32), w).unwrap();
+        }
+    }
+    let net = b.build().unwrap();
+    let mut trajs = TrajectorySet::for_network(&net);
+    for (start, steps) in &inst.walks {
+        // Walk along out-edges by index choice.
+        let mut nodes = vec![NodeId(*start as u32)];
+        let mut cur = NodeId(*start as u32);
+        for &choice in steps {
+            let deg = net.out_degree(cur);
+            if deg == 0 {
+                break;
+            }
+            let (next, _) = net.out_edges(cur).nth(choice % deg).unwrap();
+            nodes.push(next);
+            cur = next;
+        }
+        trajs.add(Trajectory::new(nodes));
+    }
+    (net, trajs)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// TC/SC are exact inverses, sorted, and within τ.
+    #[test]
+    fn coverage_sets_are_consistent(inst in instance_strategy(), tau in 100.0f64..2000.0) {
+        let (net, trajs) = build(&inst);
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let cov = CoverageIndex::build(&net, &trajs, &sites, tau, DetourModel::RoundTrip, 1);
+        for i in 0..cov.site_count() {
+            let list = cov.covered(i);
+            prop_assert!(list.windows(2).all(|w| w[0].1 <= w[1].1), "TC not sorted");
+            for &(tj, d) in list {
+                prop_assert!(d <= tau);
+                prop_assert!(cov.covering(tj).iter().any(|&(si, d2)| si as usize == i && d2 == d));
+            }
+        }
+    }
+
+    /// Coverage distances are the true round-trip detours (cross-checked
+    /// with the unbounded exact engine).
+    #[test]
+    fn coverage_distances_are_exact(inst in instance_strategy(), tau in 200.0f64..1500.0) {
+        let (net, trajs) = build(&inst);
+        let sites: Vec<NodeId> = net.nodes().take(6).collect();
+        let cov = CoverageIndex::build(&net, &trajs, &sites, tau, DetourModel::RoundTrip, 1);
+        let mut eng = DetourEngine::new(&net, DetourModel::RoundTrip);
+        for (i, &s) in sites.iter().enumerate() {
+            for &(tj, d) in cov.covered(i) {
+                let exact = eng.detour_exact(trajs.get(tj).unwrap(), s)
+                    .expect("covered ⇒ reachable");
+                prop_assert!((d - exact).abs() < 1e-9,
+                    "site {s:?} traj {tj:?}: coverage {d} vs exact {exact}");
+            }
+        }
+    }
+
+    /// Greedy utility equals independent re-evaluation, and respects the
+    /// k/n bound of Lemma 2.
+    #[test]
+    fn greedy_utility_is_sound(inst in instance_strategy(), k in 1usize..6) {
+        let (net, trajs) = build(&inst);
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let tau = 600.0;
+        let cov = CoverageIndex::build(&net, &trajs, &sites, tau, DetourModel::RoundTrip, 1);
+        let sol = inc_greedy(&cov, &GreedyConfig::binary(k, tau));
+        let eval = evaluate_sites(&net, &trajs, &sol.sites, tau,
+            PreferenceFunction::Binary, DetourModel::RoundTrip);
+        prop_assert!((sol.utility - eval.utility).abs() < 1e-9,
+            "greedy-internal {} vs re-eval {}", sol.utility, eval.utility);
+        // Lemma 2: U(Q_k) ≥ (k/n) U(S).
+        let all = inc_greedy(&cov, &GreedyConfig::binary(sites.len(), tau));
+        prop_assert!(sol.utility >= (k as f64 / sites.len() as f64) * all.utility - 1e-9);
+        // Gains non-increasing (submodularity).
+        prop_assert!(sol.gains.windows(2).all(|w| w[0] >= w[1] - 1e-9));
+    }
+
+    /// GDSP clusters partition V, satisfy the 2R radius bound, and shrink
+    /// with growing radius.
+    #[test]
+    fn gdsp_invariants(inst in instance_strategy(), r1 in 50.0f64..400.0, factor in 1.5f64..4.0) {
+        let (net, _) = build(&inst);
+        let run = |radius: f64| greedy_gdsp(&net, &GdspConfig {
+            radius, mode: GdspMode::Exact, threads: 1,
+        });
+        let small = run(r1);
+        let large = run(r1 * factor);
+        for result in [&small, &large] {
+            let mut seen = vec![false; net.node_count()];
+            for c in &result.clusters {
+                for &(v, d) in &c.members {
+                    prop_assert!(!seen[v.index()]);
+                    seen[v.index()] = true;
+                    prop_assert!(d <= 2.0 * r1 * factor + 1e-9);
+                }
+            }
+            prop_assert!(seen.iter().all(|&s| s));
+        }
+        for (c, radius) in [(&small, r1), (&large, r1 * factor)] {
+            for cl in &c.clusters {
+                for &(_, d) in &cl.members {
+                    prop_assert!(d <= 2.0 * radius + 1e-9);
+                }
+            }
+        }
+        prop_assert!(large.cluster_count() <= small.cluster_count());
+    }
+
+    /// The index serves every τ with the invariant 4R_p ≤ τ (within range),
+    /// and cluster counts decrease along the ladder.
+    #[test]
+    fn index_ladder_invariants(inst in instance_strategy(), tau in 400.0f64..4000.0) {
+        let (net, trajs) = build(&inst);
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let cfg = NetClusConfig {
+            tau_min: 400.0, tau_max: 4_000.0, threads: 1, ..Default::default()
+        };
+        let index = NetClusIndex::build(&net, &trajs, &sites, cfg);
+        let p = index.instance_for(tau);
+        prop_assert!(4.0 * index.instance(p).radius <= tau + 1e-9);
+        if p + 1 < index.instances().len() {
+            prop_assert!(tau < 4.0 * index.instance(p).radius * (1.0 + cfg.gamma) + 1e-9);
+        }
+        for w in index.instances().windows(2) {
+            prop_assert!(w[0].cluster_count() >= w[1].cluster_count());
+        }
+    }
+
+    /// NetClus never claims coverage that exact evaluation refutes, under
+    /// any preference in the family.
+    #[test]
+    fn netclus_estimates_conservative(inst in instance_strategy(), k in 1usize..5, tau in 500.0f64..3000.0) {
+        let (net, trajs) = build(&inst);
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let index = NetClusIndex::build(&net, &trajs, &sites, NetClusConfig {
+            tau_min: 400.0, tau_max: 4_000.0, threads: 1, ..Default::default()
+        });
+        for pref in [PreferenceFunction::Binary, PreferenceFunction::LinearDecay] {
+            let answer = index.query(&trajs, &TopsQuery { k, tau, preference: pref });
+            let eval = evaluate_sites(&net, &trajs, &answer.solution.sites, tau, pref,
+                DetourModel::RoundTrip);
+            prop_assert!(answer.solution.utility <= eval.utility + 1e-9,
+                "{pref:?}: estimated {} > exact {}", answer.solution.utility, eval.utility);
+        }
+    }
+
+    /// Dynamic updates commute with rebuilds at the query level.
+    #[test]
+    fn updates_equal_rebuild(inst in instance_strategy()) {
+        let (net, mut trajs) = build(&inst);
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let cfg = NetClusConfig {
+            tau_min: 400.0, tau_max: 2_000.0, threads: 1, ..Default::default()
+        };
+        let mut index = NetClusIndex::build(&net, &trajs, &sites, cfg);
+        // Remove the first trajectory, add a copy of the last.
+        let first = trajs.iter().next().map(|(id, _)| id);
+        if let Some(id) = first {
+            let t = trajs.remove(id).unwrap();
+            index.remove_trajectory(id);
+            let new_id = trajs.add(t.clone());
+            index.add_trajectory(new_id, &t);
+        }
+        let rebuilt = NetClusIndex::build(&net, &trajs, &sites, cfg);
+        let q = TopsQuery::binary(2, 800.0);
+        let a = index.query(&trajs, &q);
+        let b = rebuilt.query(&trajs, &q);
+        prop_assert_eq!(a.solution.sites, b.solution.sites);
+        prop_assert!((a.solution.utility - b.solution.utility).abs() < 1e-9);
+    }
+
+    /// TOPS-COST with unit costs and budget k equals plain greedy; the
+    /// budget is always respected.
+    #[test]
+    fn cost_variant_reduction(inst in instance_strategy(), k in 1usize..5) {
+        let (net, trajs) = build(&inst);
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let tau = 700.0;
+        let cov = CoverageIndex::build(&net, &trajs, &sites, tau, DetourModel::RoundTrip, 1);
+        let costs = vec![1.0; sites.len()];
+        let cost_sol = tops_cost(&cov, &CostConfig {
+            budget: k as f64, tau, preference: PreferenceFunction::Binary,
+        }, &costs);
+        let greedy_sol = inc_greedy(&cov, &GreedyConfig::binary(k, tau));
+        prop_assert!((cost_sol.utility - greedy_sol.utility).abs() < 1e-9);
+        prop_assert!(cost_sol.site_indices.len() <= k);
+    }
+}

@@ -1,0 +1,37 @@
+//! # netclus-datagen — synthetic datasets for the NetClus evaluation
+//!
+//! The paper evaluates on the T-Drive Beijing taxi corpus and three
+//! MNTG-generated city workloads, none of which are redistributable. This
+//! crate generates topology-matched synthetic substitutes (DESIGN.md §5):
+//!
+//! * [`city`] — road-network generators: mesh (Atlanta-like), star
+//!   (New York-like), polycentric (Bangalore-like), ring-radial
+//!   (Beijing-like);
+//! * [`workload`] — hotspot-based trip generation with waypoint deviations,
+//!   length-class targeting (Fig. 12), and GPS-trace synthesis for the
+//!   map-matching pipeline;
+//! * [`sites`] — candidate-site selection and cost/capacity assignment
+//!   (Sec. 7 extensions);
+//! * [`scenario`] — one preset per paper dataset (Table 6), scaled to run
+//!   on a single machine.
+//!
+//! All generation is deterministic given the seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod city;
+pub mod scenario;
+pub mod sites;
+pub mod workload;
+
+pub use city::{
+    grid_city, polycentric_city, ring_radial_city, star_city, City, GridCityConfig, Hotspot,
+    PolycentricCityConfig, RingRadialCityConfig, StarCityConfig,
+};
+pub use scenario::{
+    atlanta_like, bangalore_like, beijing_like, beijing_small, new_york_like, Scenario,
+    ScenarioConfig,
+};
+pub use sites::{assign_capacities_normal, assign_costs_normal, select_sites, SiteSelection};
+pub use workload::{gaussian, synthesize_gps, WorkloadConfig, WorkloadGenerator};

@@ -1,0 +1,96 @@
+//! Property-based tests for the data generators: every generated city must
+//! be strongly connected with positive finite edge weights; every generated
+//! workload must consist of valid connected routes; GPS synthesis must
+//! track its route.
+
+use netclus_datagen::{
+    grid_city, polycentric_city, star_city, synthesize_gps, GridCityConfig,
+    PolycentricCityConfig, StarCityConfig, WorkloadConfig, WorkloadGenerator,
+};
+use netclus_roadnet::{is_strongly_connected, GridIndex};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn grid_cities_are_valid(
+        seed in any::<u64>(),
+        rows in 5usize..14,
+        cols in 5usize..14,
+        removal in 0.0f64..0.25,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let city = grid_city(&GridCityConfig {
+            rows, cols, removal_fraction: removal, ..Default::default()
+        }, &mut rng);
+        prop_assert!(is_strongly_connected(&city.net));
+        prop_assert!(city.net.node_count() >= rows * cols / 2);
+        for v in city.net.nodes() {
+            for (_, w) in city.net.out_edges(v) {
+                prop_assert!(w.is_finite() && w > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn star_and_polycentric_cities_are_valid(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let star = star_city(&StarCityConfig {
+            core_size: 5, spokes: 4, spoke_len: 8, ..Default::default()
+        }, &mut rng);
+        prop_assert!(is_strongly_connected(&star.net));
+        let poly = polycentric_city(&PolycentricCityConfig {
+            centers: 3, center_size: 5, ..Default::default()
+        }, &mut rng);
+        prop_assert!(is_strongly_connected(&poly.net));
+    }
+
+    #[test]
+    fn workload_routes_are_connected_paths(seed in any::<u64>(), count in 1usize..25) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let city = grid_city(&GridCityConfig {
+            rows: 8, cols: 8, ..Default::default()
+        }, &mut rng);
+        let grid = GridIndex::build(&city.net, 250.0);
+        let mut gen = WorkloadGenerator::new(&city.net, &grid, &city.hotspots);
+        let trajs = gen.generate(&WorkloadConfig {
+            count, ..Default::default()
+        }, &mut rng);
+        prop_assert_eq!(trajs.len(), count);
+        for t in &trajs {
+            for w in t.nodes().windows(2) {
+                prop_assert!(city.net.edge_weight(w[0], w[1]).is_some(),
+                    "disconnected route step {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn gps_traces_follow_their_route(
+        seed in any::<u64>(),
+        speed in 5.0f64..25.0,
+        interval in 2.0f64..15.0,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let city = grid_city(&GridCityConfig {
+            rows: 8, cols: 8, ..Default::default()
+        }, &mut rng);
+        let grid = GridIndex::build(&city.net, 250.0);
+        let mut gen = WorkloadGenerator::new(&city.net, &grid, &city.hotspots);
+        let traj = gen.generate(&WorkloadConfig { count: 1, ..Default::default() }, &mut rng)
+            .pop().unwrap();
+        // Noise-free synthesis must stay exactly on the route polyline.
+        let trace = synthesize_gps(&city.net, &traj, speed, interval, 0.0, &mut rng);
+        prop_assert!(trace.len() >= 2);
+        // Timestamps are uniform; path length ≤ route length (chords cut corners).
+        prop_assert!(trace.path_length() <= traj.route_length(&city.net) + 1e-6);
+        // Endpoints coincide with route endpoints.
+        let first = trace.points().first().unwrap().pos;
+        let last = trace.points().last().unwrap().pos;
+        prop_assert!(first.distance(&city.net.point(traj.origin())) < 1e-9);
+        prop_assert!(last.distance(&city.net.point(traj.destination())) < 1e-9);
+    }
+}

@@ -1,0 +1,374 @@
+//! Dijkstra shortest-path engine with reusable, version-stamped buffers.
+//!
+//! The NetClus offline phase runs *hundreds of thousands* of bounded Dijkstra
+//! searches (one or two per vertex per index instance, plus one pair per
+//! candidate site at query time). Allocating and clearing `O(N)` state per
+//! search would dominate the cost, so [`DijkstraEngine`] keeps its distance
+//! and parent arrays alive across runs and invalidates them with a version
+//! stamp — a run over a ball of `ν` vertices costs `O(ν log ν)` regardless of
+//! the network size.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::csr::Csr;
+use crate::NodeId;
+
+/// Min-heap entry ordered by distance (ties broken by node id for
+/// determinism).
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    dist: f64,
+    node: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.node == other.node
+    }
+}
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want smallest dist on top.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+const NO_PARENT: u32 = u32::MAX;
+
+/// Reusable single-source Dijkstra solver.
+///
+/// # Example
+/// ```
+/// use netclus_roadnet::{DijkstraEngine, RoadNetworkBuilder, Point, NodeId};
+///
+/// let mut b = RoadNetworkBuilder::new();
+/// let a = b.add_node(Point::new(0.0, 0.0));
+/// let c = b.add_node(Point::new(1.0, 0.0));
+/// let d = b.add_node(Point::new(2.0, 0.0));
+/// b.add_edge(a, c, 10.0).unwrap();
+/// b.add_edge(c, d, 5.0).unwrap();
+/// let net = b.build().unwrap();
+///
+/// let mut engine = DijkstraEngine::new(net.node_count());
+/// engine.run(net.forward(), a);
+/// assert_eq!(engine.distance(d), Some(15.0));
+/// // Running on the reverse CSR gives distances *to* the source:
+/// engine.run(net.backward(), d);
+/// assert_eq!(engine.distance(a), Some(15.0));
+/// ```
+#[derive(Clone, Debug)]
+pub struct DijkstraEngine {
+    dist: Vec<f64>,
+    settled_stamp: Vec<u32>,
+    tentative_stamp: Vec<u32>,
+    parent: Vec<u32>,
+    version: u32,
+    heap: BinaryHeap<HeapEntry>,
+    reached: Vec<NodeId>,
+    track_parents: bool,
+}
+
+impl DijkstraEngine {
+    /// Creates an engine for graphs of up to `n` nodes.
+    pub fn new(n: usize) -> Self {
+        DijkstraEngine {
+            dist: vec![f64::INFINITY; n],
+            settled_stamp: vec![0; n],
+            tentative_stamp: vec![0; n],
+            parent: vec![NO_PARENT; n],
+            version: 0,
+            heap: BinaryHeap::new(),
+            reached: Vec::new(),
+            track_parents: false,
+        }
+    }
+
+    /// Enables or disables parent tracking (needed for
+    /// [`DijkstraEngine::path_to`]). Off by default; tracking costs one extra
+    /// write per relaxation.
+    pub fn set_track_parents(&mut self, on: bool) {
+        self.track_parents = on;
+    }
+
+    /// Full single-source run: settles every node reachable from `source`.
+    pub fn run(&mut self, csr: &Csr, source: NodeId) {
+        self.run_bounded(csr, source, f64::INFINITY);
+    }
+
+    /// Bounded run: settles exactly the nodes `v` with `d(source, v) ≤ bound`.
+    ///
+    /// Settled nodes are recorded in [`DijkstraEngine::reached`] in
+    /// non-decreasing distance order.
+    pub fn run_bounded(&mut self, csr: &Csr, source: NodeId, bound: f64) {
+        self.run_bounded_until(csr, source, bound, |_, _| false);
+    }
+
+    /// Bounded run with early exit: stops as soon as `stop(node, dist)`
+    /// returns true for a newly settled node (that node is still settled and
+    /// recorded). Used for point-to-point queries.
+    pub fn run_bounded_until<F>(&mut self, csr: &Csr, source: NodeId, bound: f64, mut stop: F)
+    where
+        F: FnMut(NodeId, f64) -> bool,
+    {
+        assert!(
+            csr.node_count() <= self.dist.len(),
+            "engine sized for {} nodes, graph has {}",
+            self.dist.len(),
+            csr.node_count()
+        );
+        self.begin_run();
+        let v = self.version;
+        self.heap.clear();
+        self.reached.clear();
+
+        let s = source.index();
+        self.dist[s] = 0.0;
+        self.tentative_stamp[s] = v;
+        if self.track_parents {
+            self.parent[s] = NO_PARENT;
+        }
+        self.heap.push(HeapEntry {
+            dist: 0.0,
+            node: source.0,
+        });
+
+        while let Some(HeapEntry { dist, node }) = self.heap.pop() {
+            let u = node as usize;
+            if self.settled_stamp[u] == v {
+                continue; // stale entry
+            }
+            if dist > bound {
+                break; // min-heap ⇒ everything left exceeds the bound
+            }
+            self.settled_stamp[u] = v;
+            self.reached.push(NodeId(node));
+            if stop(NodeId(node), dist) {
+                break;
+            }
+            for (nbr, w) in csr.neighbors(NodeId(node)) {
+                let t = nbr.index();
+                if self.settled_stamp[t] == v {
+                    continue;
+                }
+                let nd = dist + w;
+                if nd > bound {
+                    continue; // keep the heap small
+                }
+                if self.tentative_stamp[t] != v || nd < self.dist[t] {
+                    self.dist[t] = nd;
+                    self.tentative_stamp[t] = v;
+                    if self.track_parents {
+                        self.parent[t] = node;
+                    }
+                    self.heap.push(HeapEntry {
+                        dist: nd,
+                        node: nbr.0,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Distance to `v` from the last run's source, if `v` was settled.
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> Option<f64> {
+        if self.settled_stamp[v.index()] == self.version {
+            Some(self.dist[v.index()])
+        } else {
+            None
+        }
+    }
+
+    /// Nodes settled by the last run, in non-decreasing distance order.
+    #[inline]
+    pub fn reached(&self) -> &[NodeId] {
+        &self.reached
+    }
+
+    /// Reconstructs the shortest path from the last run's source to `v`
+    /// (inclusive of both endpoints). Requires parent tracking; returns
+    /// `None` if `v` was not settled.
+    ///
+    /// Note: when running on a *backward* CSR the returned sequence is the
+    /// reversed path in the original graph.
+    pub fn path_to(&self, v: NodeId) -> Option<Vec<NodeId>> {
+        assert!(self.track_parents, "enable set_track_parents(true) first");
+        self.distance(v)?;
+        let mut path = vec![v];
+        let mut cur = v.0;
+        while self.parent[cur as usize] != NO_PARENT {
+            cur = self.parent[cur as usize];
+            path.push(NodeId(cur));
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    fn begin_run(&mut self) {
+        if self.version == u32::MAX {
+            // Stamp wrap-around: reset all stamps once every 2^32 runs.
+            self.settled_stamp.fill(0);
+            self.tentative_stamp.fill(0);
+            self.version = 0;
+        }
+        self.version += 1;
+    }
+
+    /// Approximate heap footprint in bytes of the engine's buffers.
+    pub fn heap_size_bytes(&self) -> usize {
+        self.dist.capacity() * 8
+            + self.settled_stamp.capacity() * 4
+            + self.tentative_stamp.capacity() * 4
+            + self.parent.capacity() * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoadNetworkBuilder;
+    use crate::geometry::Point;
+    use crate::RoadNetwork;
+
+    /// 0 -> 1 -> 2 -> 3 line with weights 1, 2, 3 and a shortcut 0 -> 2 (w=5).
+    fn line() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..4 {
+            b.add_node(Point::new(i as f64, 0.0));
+        }
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(2), 2.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 3.0).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 5.0).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn full_run_distances() {
+        let net = line();
+        let mut e = DijkstraEngine::new(net.node_count());
+        e.run(net.forward(), NodeId(0));
+        assert_eq!(e.distance(NodeId(0)), Some(0.0));
+        assert_eq!(e.distance(NodeId(1)), Some(1.0));
+        assert_eq!(e.distance(NodeId(2)), Some(3.0)); // via 1, not shortcut
+        assert_eq!(e.distance(NodeId(3)), Some(6.0));
+    }
+
+    #[test]
+    fn backward_run_gives_distance_to_source() {
+        let net = line();
+        let mut e = DijkstraEngine::new(net.node_count());
+        e.run(net.backward(), NodeId(3));
+        assert_eq!(e.distance(NodeId(0)), Some(6.0)); // d(0 -> 3)
+        assert_eq!(e.distance(NodeId(2)), Some(3.0));
+        assert_eq!(e.distance(NodeId(3)), Some(0.0));
+    }
+
+    #[test]
+    fn bounded_run_excludes_far_nodes() {
+        let net = line();
+        let mut e = DijkstraEngine::new(net.node_count());
+        e.run_bounded(net.forward(), NodeId(0), 3.0);
+        assert_eq!(e.distance(NodeId(2)), Some(3.0)); // exactly at bound: settled
+        assert_eq!(e.distance(NodeId(3)), None);
+        assert_eq!(e.reached(), &[NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn reached_is_sorted_by_distance() {
+        let net = line();
+        let mut e = DijkstraEngine::new(net.node_count());
+        e.run(net.forward(), NodeId(0));
+        let dists: Vec<f64> = e
+            .reached()
+            .iter()
+            .map(|&v| e.distance(v).unwrap())
+            .collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn unreachable_nodes_are_none() {
+        // 0 -> 1, node 2 isolated.
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..3 {
+            b.add_node(Point::new(i as f64, 0.0));
+        }
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        let net = b.build().unwrap();
+        let mut e = DijkstraEngine::new(net.node_count());
+        e.run(net.forward(), NodeId(0));
+        assert_eq!(e.distance(NodeId(2)), None);
+        // Direction matters: from node 1 nothing is reachable but itself.
+        e.run(net.forward(), NodeId(1));
+        assert_eq!(e.distance(NodeId(0)), None);
+        assert_eq!(e.distance(NodeId(1)), Some(0.0));
+    }
+
+    #[test]
+    fn version_stamps_isolate_runs() {
+        let net = line();
+        let mut e = DijkstraEngine::new(net.node_count());
+        e.run(net.forward(), NodeId(0));
+        assert_eq!(e.distance(NodeId(3)), Some(6.0));
+        e.run(net.forward(), NodeId(3));
+        // Previous run's results must be invisible now.
+        assert_eq!(e.distance(NodeId(0)), None);
+        assert_eq!(e.distance(NodeId(3)), Some(0.0));
+    }
+
+    #[test]
+    fn path_reconstruction() {
+        let net = line();
+        let mut e = DijkstraEngine::new(net.node_count());
+        e.set_track_parents(true);
+        e.run(net.forward(), NodeId(0));
+        assert_eq!(
+            e.path_to(NodeId(3)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]
+        );
+        assert_eq!(e.path_to(NodeId(0)).unwrap(), vec![NodeId(0)]);
+    }
+
+    #[test]
+    fn early_stop_halts_search() {
+        let net = line();
+        let mut e = DijkstraEngine::new(net.node_count());
+        e.run_bounded_until(net.forward(), NodeId(0), f64::INFINITY, |v, _| v == NodeId(1));
+        assert_eq!(e.distance(NodeId(1)), Some(1.0));
+        assert_eq!(e.distance(NodeId(2)), None); // never settled
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        // Two equal-length paths to node 3: 0->1->3 and 0->2->3.
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..4 {
+            b.add_node(Point::new(i as f64, 0.0));
+        }
+        b.add_edge(NodeId(0), NodeId(1), 1.0).unwrap();
+        b.add_edge(NodeId(0), NodeId(2), 1.0).unwrap();
+        b.add_edge(NodeId(1), NodeId(3), 1.0).unwrap();
+        b.add_edge(NodeId(2), NodeId(3), 1.0).unwrap();
+        let net = b.build().unwrap();
+        let mut e = DijkstraEngine::new(net.node_count());
+        let mut orders = Vec::new();
+        for _ in 0..3 {
+            e.run(net.forward(), NodeId(0));
+            orders.push(e.reached().to_vec());
+        }
+        assert_eq!(orders[0], orders[1]);
+        assert_eq!(orders[1], orders[2]);
+    }
+}

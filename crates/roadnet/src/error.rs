@@ -1,0 +1,64 @@
+//! Error types for road-network construction and queries.
+
+use std::fmt;
+
+use crate::NodeId;
+
+/// Errors raised while building or querying a road network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RoadNetError {
+    /// An edge referenced a node id that was never added.
+    UnknownNode(NodeId),
+    /// An edge weight was not a finite positive number.
+    InvalidWeight {
+        /// Source node of the offending edge.
+        from: NodeId,
+        /// Target node of the offending edge.
+        to: NodeId,
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// A self-loop edge was supplied (`from == to`); these carry no routing
+    /// information and are rejected to keep Dijkstra invariants simple.
+    SelfLoop(NodeId),
+    /// The requested edge does not exist.
+    NoSuchEdge(NodeId, NodeId),
+    /// The network contains no nodes.
+    EmptyNetwork,
+}
+
+impl fmt::Display for RoadNetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoadNetError::UnknownNode(n) => write!(f, "unknown node {n:?}"),
+            RoadNetError::InvalidWeight { from, to, weight } => write!(
+                f,
+                "edge {from:?}->{to:?} has invalid weight {weight}; weights must be finite and > 0"
+            ),
+            RoadNetError::SelfLoop(n) => write!(f, "self-loop at {n:?} rejected"),
+            RoadNetError::NoSuchEdge(u, v) => write!(f, "no edge {u:?}->{v:?}"),
+            RoadNetError::EmptyNetwork => write!(f, "road network has no nodes"),
+        }
+    }
+}
+
+impl std::error::Error for RoadNetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = RoadNetError::InvalidWeight {
+            from: NodeId(1),
+            to: NodeId(2),
+            weight: -3.0,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("n1"));
+        assert!(msg.contains("-3"));
+        assert!(RoadNetError::EmptyNetwork.to_string().contains("no nodes"));
+        assert!(RoadNetError::SelfLoop(NodeId(4)).to_string().contains("n4"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Strongly-typed identifiers for road-network entities.
+//!
+//! Node and edge identifiers are thin `u32` newtypes: the NetClus paper works
+//! with city-scale networks of a few hundred thousand vertices, so 32 bits is
+//! ample while halving the memory footprint of the adjacency structures
+//! compared to `usize` indices.
+
+use std::fmt;
+
+/// Identifier of a road-network vertex (a road intersection, or a candidate
+/// site that was folded into the vertex set).
+///
+/// `NodeId`s are dense indices in `0..N` assigned by the
+/// [`RoadNetworkBuilder`](crate::RoadNetworkBuilder) in insertion order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Returns the raw index as a `usize`, for direct slice indexing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds a `NodeId` from a dense index.
+    ///
+    /// # Panics
+    /// Panics if `index` does not fit in `u32`.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "node index overflows u32");
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    #[inline]
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a directed road segment.
+///
+/// Edge ids are assigned densely by insertion order in the builder. After the
+/// network is frozen into CSR form, edges are addressed positionally, so
+/// `EdgeId` is primarily useful while constructing or mutating a network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct EdgeId(pub u32);
+
+impl EdgeId {
+    /// Returns the raw index as a `usize`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds an `EdgeId` from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize, "edge index overflows u32");
+        EdgeId(index as u32)
+    }
+}
+
+impl fmt::Debug for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let id = NodeId::from_index(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(id, NodeId(42));
+        assert_eq!(format!("{id:?}"), "n42");
+        assert_eq!(format!("{id}"), "42");
+    }
+
+    #[test]
+    fn edge_id_roundtrip() {
+        let id = EdgeId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(format!("{id:?}"), "e7");
+    }
+
+    #[test]
+    fn node_id_ordering_matches_indices() {
+        assert!(NodeId(1) < NodeId(2));
+        assert_eq!(NodeId::from(5u32), NodeId(5));
+    }
+
+    #[test]
+    fn node_id_is_small() {
+        assert_eq!(std::mem::size_of::<NodeId>(), 4);
+        assert_eq!(std::mem::size_of::<Option<EdgeId>>(), 8);
+    }
+}

@@ -1,0 +1,209 @@
+//! Property-based tests for the road-network substrate.
+//!
+//! Dijkstra is cross-checked against a naive Floyd–Warshall oracle on random
+//! strongly-connected graphs, and the round-trip primitives are checked
+//! against the metric identities the NetClus index relies on.
+
+use netclus_roadnet::{
+    is_strongly_connected, DijkstraEngine, NodeId, Point, RoadNetwork, RoadNetworkBuilder,
+    RoundTripEngine,
+};
+use proptest::prelude::*;
+
+/// A random strongly-connected directed graph: a ring (guaranteeing strong
+/// connectivity) plus arbitrary chord edges with weights in [0.1, 10].
+#[derive(Clone, Debug)]
+struct RandomNet {
+    n: usize,
+    chords: Vec<(usize, usize, f64)>,
+    ring_weights: Vec<f64>,
+}
+
+fn random_net_strategy(max_n: usize, max_chords: usize) -> impl Strategy<Value = RandomNet> {
+    (3..=max_n)
+        .prop_flat_map(move |n| {
+            let chords = prop::collection::vec(
+                (0..n, 0..n, 0.1f64..10.0),
+                0..=max_chords,
+            );
+            let ring = prop::collection::vec(0.1f64..10.0, n);
+            (Just(n), chords, ring)
+        })
+        .prop_map(|(n, chords, ring_weights)| RandomNet {
+            n,
+            chords,
+            ring_weights,
+        })
+}
+
+fn build(rn: &RandomNet) -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new();
+    for i in 0..rn.n {
+        b.add_node(Point::new(i as f64, 0.0));
+    }
+    for i in 0..rn.n {
+        b.add_edge(
+            NodeId(i as u32),
+            NodeId(((i + 1) % rn.n) as u32),
+            rn.ring_weights[i],
+        )
+        .unwrap();
+    }
+    for &(u, v, w) in &rn.chords {
+        if u != v {
+            b.add_edge(NodeId(u as u32), NodeId(v as u32), w).unwrap();
+        }
+    }
+    b.build().unwrap()
+}
+
+/// O(n³) all-pairs oracle.
+#[allow(clippy::needless_range_loop)] // index symmetry mirrors the textbook algorithm
+fn floyd_warshall(net: &RoadNetwork) -> Vec<Vec<f64>> {
+    let n = net.node_count();
+    let mut d = vec![vec![f64::INFINITY; n]; n];
+    for (i, row) in d.iter_mut().enumerate() {
+        row[i] = 0.0;
+    }
+    for u in net.nodes() {
+        for (v, w) in net.out_edges(u) {
+            let e = &mut d[u.index()][v.index()];
+            if w < *e {
+                *e = w;
+            }
+        }
+    }
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[i][k];
+            if !dik.is_finite() {
+                continue;
+            }
+            for j in 0..n {
+                let alt = dik + d[k][j];
+                if alt < d[i][j] {
+                    d[i][j] = alt;
+                }
+            }
+        }
+    }
+    d
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dijkstra_matches_floyd_warshall(rn in random_net_strategy(24, 40)) {
+        let net = build(&rn);
+        let oracle = floyd_warshall(&net);
+        let mut e = DijkstraEngine::new(net.node_count());
+        for s in net.nodes() {
+            e.run(net.forward(), s);
+            for t in net.nodes() {
+                let got = e.distance(t).unwrap_or(f64::INFINITY);
+                let want = oracle[s.index()][t.index()];
+                prop_assert!((got - want).abs() < 1e-9,
+                    "d({s},{t}): dijkstra {got} vs oracle {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn backward_dijkstra_is_transposed_forward(rn in random_net_strategy(20, 30)) {
+        let net = build(&rn);
+        let oracle = floyd_warshall(&net);
+        let mut e = DijkstraEngine::new(net.node_count());
+        for t in net.nodes() {
+            e.run(net.backward(), t);
+            for s in net.nodes() {
+                let got = e.distance(s).unwrap_or(f64::INFINITY);
+                let want = oracle[s.index()][t.index()];
+                prop_assert!((got - want).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn bounded_dijkstra_settles_exactly_ball(rn in random_net_strategy(20, 30), bound in 0.5f64..20.0) {
+        let net = build(&rn);
+        let oracle = floyd_warshall(&net);
+        let mut e = DijkstraEngine::new(net.node_count());
+        for s in net.nodes() {
+            e.run_bounded(net.forward(), s, bound);
+            for t in net.nodes() {
+                let want = oracle[s.index()][t.index()];
+                match e.distance(t) {
+                    Some(d) => {
+                        prop_assert!((d - want).abs() < 1e-9);
+                        prop_assert!(d <= bound);
+                    }
+                    None => prop_assert!(want > bound,
+                        "node {t} at distance {want} missing from ball of bound {bound}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_is_symmetric_and_metric(rn in random_net_strategy(16, 24)) {
+        let net = build(&rn);
+        prop_assert!(is_strongly_connected(&net));
+        let mut e = RoundTripEngine::for_network(&net);
+        let oracle = floyd_warshall(&net);
+        for u in net.nodes() {
+            for v in net.nodes() {
+                let rt = e.round_trip(&net, u, v).expect("strongly connected");
+                let want = oracle[u.index()][v.index()] + oracle[v.index()][u.index()];
+                prop_assert!((rt - want).abs() < 1e-9);
+                let rev = e.round_trip(&net, v, u).unwrap();
+                prop_assert!((rt - rev).abs() < 1e-9, "round trip must be symmetric");
+                if u == v {
+                    prop_assert!(rt == 0.0);
+                } else {
+                    prop_assert!(rt > 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ball_equals_brute_force_ball(rn in random_net_strategy(16, 24), limit in 0.5f64..25.0) {
+        let net = build(&rn);
+        let oracle = floyd_warshall(&net);
+        let mut e = RoundTripEngine::for_network(&net);
+        for c in net.nodes() {
+            let ball = e.ball(&net, c, limit);
+            let got: std::collections::BTreeMap<NodeId, u64> =
+                ball.iter().map(|&(v, d)| (v, d.to_bits())).collect();
+            for v in net.nodes() {
+                let rt = oracle[c.index()][v.index()] + oracle[v.index()][c.index()];
+                if rt <= limit {
+                    let d = got.get(&v).copied().map(f64::from_bits);
+                    prop_assert!(d.is_some(), "missing {v} (rt {rt}) in ball({c}, {limit})");
+                    prop_assert!((d.unwrap() - rt).abs() < 1e-9);
+                } else {
+                    prop_assert!(!got.contains_key(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_on_shortest_paths(rn in random_net_strategy(14, 20)) {
+        let net = build(&rn);
+        let d = floyd_warshall(&net);
+        let mut e = DijkstraEngine::new(net.node_count());
+        for u in net.nodes() {
+            e.run(net.forward(), u);
+            for v in net.nodes() {
+                for w in net.nodes() {
+                    let duv = d[u.index()][v.index()];
+                    let dvw = d[v.index()][w.index()];
+                    let duw = d[u.index()][w.index()];
+                    prop_assert!(duw <= duv + dvw + 1e-9);
+                }
+            }
+        }
+    }
+}

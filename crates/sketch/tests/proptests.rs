@@ -1,0 +1,69 @@
+//! Property-based tests for the FM sketch substrate.
+
+use netclus_sketch::{FmSketch, FmSketchFamily};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Insertion order and duplication never change the sketch.
+    #[test]
+    fn order_and_duplicates_irrelevant(
+        mut items in prop::collection::vec(any::<u64>(), 1..200),
+        seed in any::<u64>(),
+    ) {
+        let fam = FmSketchFamily::new(8, seed);
+        let a = fam.sketch_of(items.iter().copied());
+        items.reverse();
+        let doubled: Vec<u64> = items.iter().chain(items.iter()).copied().collect();
+        let b = fam.sketch_of(doubled);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Union is commutative, associative, idempotent; estimates are
+    /// monotone under union.
+    #[test]
+    fn union_is_a_semilattice(
+        xs in prop::collection::vec(any::<u64>(), 0..100),
+        ys in prop::collection::vec(any::<u64>(), 0..100),
+        zs in prop::collection::vec(any::<u64>(), 0..100),
+    ) {
+        let fam = FmSketchFamily::new(6, 99);
+        let (a, b, c) = (fam.sketch_of(xs), fam.sketch_of(ys), fam.sketch_of(zs));
+        prop_assert_eq!(FmSketch::union(&a, &b), FmSketch::union(&b, &a));
+        prop_assert_eq!(
+            FmSketch::union(&FmSketch::union(&a, &b), &c),
+            FmSketch::union(&a, &FmSketch::union(&b, &c))
+        );
+        prop_assert_eq!(FmSketch::union(&a, &a), a.clone());
+        let u = FmSketch::union(&a, &b);
+        prop_assert!(fam.estimate(&u) + 1e-12 >= fam.estimate(&a).max(fam.estimate(&b)));
+        prop_assert_eq!(fam.union_estimate(&a, &b), fam.estimate(&u));
+    }
+
+    /// Subset sketches estimate no more than their superset.
+    #[test]
+    fn subset_estimate_monotone(
+        items in prop::collection::vec(any::<u64>(), 2..300),
+        cut in 1usize..200,
+    ) {
+        let fam = FmSketchFamily::new(12, 5);
+        let cut = cut.min(items.len() - 1);
+        let small = fam.sketch_of(items[..cut].iter().copied());
+        let big = fam.sketch_of(items.iter().copied());
+        prop_assert!(fam.estimate(&small) <= fam.estimate(&big) + 1e-12);
+    }
+
+    /// With many copies, the estimate lands within a loose statistical band
+    /// around the true distinct count.
+    #[test]
+    fn estimate_within_band(n in 64u64..4096, seed in any::<u64>()) {
+        let fam = FmSketchFamily::new(128, seed);
+        // Spread items to avoid accidental structure.
+        let s = fam.sketch_of((0..n).map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        let est = fam.estimate(&s);
+        let rel = (est - n as f64).abs() / n as f64;
+        // stderr ≈ 0.78/√128 ≈ 6.9%; allow ~5σ for proptest stability.
+        prop_assert!(rel < 0.35, "n={n}: estimate {est} ({rel:.2} rel err)");
+    }
+}

@@ -1,0 +1,54 @@
+//! Error types for trajectory processing.
+
+use std::fmt;
+
+/// Errors raised by map matching.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MapMatchError {
+    /// The trace has no fixes.
+    EmptyTrace,
+    /// No network vertex lies within the candidate radius of the given fix.
+    NoCandidates {
+        /// Index of the offending fix in the trace.
+        point_index: usize,
+    },
+    /// The Viterbi lattice became disconnected: no candidate of the given
+    /// fix is network-reachable from any surviving candidate of the
+    /// previous fix.
+    BrokenPath {
+        /// Index of the fix where connectivity was lost.
+        point_index: usize,
+    },
+}
+
+impl fmt::Display for MapMatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapMatchError::EmptyTrace => write!(f, "cannot match an empty GPS trace"),
+            MapMatchError::NoCandidates { point_index } => {
+                write!(f, "no candidate vertices near fix #{point_index}")
+            }
+            MapMatchError::BrokenPath { point_index } => {
+                write!(f, "matching lattice disconnected at fix #{point_index}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapMatchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(MapMatchError::EmptyTrace.to_string().contains("empty"));
+        assert!(MapMatchError::NoCandidates { point_index: 3 }
+            .to_string()
+            .contains("#3"));
+        assert!(MapMatchError::BrokenPath { point_index: 9 }
+            .to_string()
+            .contains("#9"));
+    }
+}

@@ -1,0 +1,255 @@
+//! Trajectory collections with a node → trajectories inverted index.
+//!
+//! Both Inc-Greedy's coverage computation and the NetClus cluster trajectory
+//! lists `T L(g)` need to answer "which trajectories pass through node `v`"
+//! in O(answer). [`TrajectorySet`] maintains that inverted index and supports
+//! the dynamic trajectory additions/removals of paper Sec. 6.
+
+use netclus_roadnet::{NodeId, RoadNetwork};
+
+use crate::trajectory::{TrajId, Trajectory};
+
+/// A mutable collection of trajectories over one road network.
+///
+/// Removed trajectories leave a tombstone (ids stay stable); the inverted
+/// index is updated eagerly on both insertion and removal.
+#[derive(Clone, Debug, Default)]
+pub struct TrajectorySet {
+    trajs: Vec<Option<Trajectory>>,
+    /// Inverted index: for each node, the ids of live trajectories whose
+    /// node sequence contains it (each id listed once per node).
+    node_index: Vec<Vec<TrajId>>,
+    live: usize,
+}
+
+impl TrajectorySet {
+    /// Creates an empty set for a network of `node_count` vertices.
+    pub fn new(node_count: usize) -> Self {
+        TrajectorySet {
+            trajs: Vec::new(),
+            node_index: vec![Vec::new(); node_count],
+            live: 0,
+        }
+    }
+
+    /// Convenience constructor sized for `net`.
+    pub fn for_network(net: &RoadNetwork) -> Self {
+        Self::new(net.node_count())
+    }
+
+    /// Builds a set from an iterator of trajectories.
+    pub fn from_trajectories<I>(node_count: usize, trajs: I) -> Self
+    where
+        I: IntoIterator<Item = Trajectory>,
+    {
+        let mut set = Self::new(node_count);
+        for t in trajs {
+            set.add(t);
+        }
+        set
+    }
+
+    /// Adds a trajectory, returning its stable id.
+    pub fn add(&mut self, traj: Trajectory) -> TrajId {
+        let id = TrajId::from_index(self.trajs.len());
+        self.index_nodes(id, &traj);
+        self.trajs.push(Some(traj));
+        self.live += 1;
+        id
+    }
+
+    /// Removes a trajectory. Returns the removed trajectory, or `None` if it
+    /// was already removed or never existed.
+    pub fn remove(&mut self, id: TrajId) -> Option<Trajectory> {
+        let slot = self.trajs.get_mut(id.index())?;
+        let traj = slot.take()?;
+        self.live -= 1;
+        for v in dedup_nodes(&traj) {
+            let bucket = &mut self.node_index[v.index()];
+            if let Some(pos) = bucket.iter().position(|&t| t == id) {
+                bucket.swap_remove(pos);
+            }
+        }
+        Some(traj)
+    }
+
+    /// The trajectory with this id, if live.
+    #[inline]
+    pub fn get(&self, id: TrajId) -> Option<&Trajectory> {
+        self.trajs.get(id.index()).and_then(|t| t.as_ref())
+    }
+
+    /// Number of live trajectories (`m` in the paper).
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// True if no live trajectories remain.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Total id slots ever allocated (live + tombstoned). Useful for sizing
+    /// per-trajectory arrays indexed by [`TrajId::index`].
+    #[inline]
+    pub fn id_bound(&self) -> usize {
+        self.trajs.len()
+    }
+
+    /// Iterates over `(id, trajectory)` for all live trajectories.
+    pub fn iter(&self) -> impl Iterator<Item = (TrajId, &Trajectory)> {
+        self.trajs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, t)| t.as_ref().map(|t| (TrajId::from_index(i), t)))
+    }
+
+    /// Ids of live trajectories passing through node `v` (each listed once).
+    #[inline]
+    pub fn trajectories_through(&self, v: NodeId) -> &[TrajId] {
+        &self.node_index[v.index()]
+    }
+
+    /// Extends the node-index to a larger network (after node insertions).
+    pub fn grow_network(&mut self, new_node_count: usize) {
+        if new_node_count > self.node_index.len() {
+            self.node_index.resize(new_node_count, Vec::new());
+        }
+    }
+
+    /// Mean node count over live trajectories; 0 when empty.
+    pub fn mean_length(&self) -> f64 {
+        if self.live == 0 {
+            return 0.0;
+        }
+        let total: usize = self.iter().map(|(_, t)| t.len()).sum();
+        total as f64 / self.live as f64
+    }
+
+    /// Approximate heap footprint in bytes (trajectories + inverted index).
+    pub fn heap_size_bytes(&self) -> usize {
+        let traj_bytes: usize = self
+            .trajs
+            .iter()
+            .map(|t| {
+                std::mem::size_of::<Option<Trajectory>>()
+                    + t.as_ref().map_or(0, Trajectory::heap_size_bytes)
+            })
+            .sum();
+        let index_bytes: usize = self
+            .node_index
+            .iter()
+            .map(|b| std::mem::size_of::<Vec<TrajId>>() + b.capacity() * 4)
+            .sum();
+        traj_bytes + index_bytes
+    }
+}
+
+/// Distinct nodes of a trajectory (a node may repeat non-consecutively).
+fn dedup_nodes(traj: &Trajectory) -> Vec<NodeId> {
+    let mut nodes: Vec<NodeId> = traj.nodes().to_vec();
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+}
+
+impl TrajectorySet {
+    /// Indexes the distinct nodes of `traj` under `id`.
+    fn index_nodes(&mut self, id: TrajId, traj: &Trajectory) {
+        for v in dedup_nodes(traj) {
+            assert!(
+                v.index() < self.node_index.len(),
+                "trajectory references node {v:?} beyond network size {}",
+                self.node_index.len()
+            );
+            self.node_index[v.index()].push(id);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(nodes: &[u32]) -> Trajectory {
+        Trajectory::new(nodes.iter().map(|&n| NodeId(n)).collect())
+    }
+
+    #[test]
+    fn add_and_query_inverted_index() {
+        let mut set = TrajectorySet::new(5);
+        let t0 = set.add(t(&[0, 1, 2]));
+        let t1 = set.add(t(&[2, 3]));
+        assert_eq!(set.len(), 2);
+        assert_eq!(set.trajectories_through(NodeId(2)), &[t0, t1]);
+        assert_eq!(set.trajectories_through(NodeId(0)), &[t0]);
+        assert_eq!(set.trajectories_through(NodeId(4)), &[] as &[TrajId]);
+    }
+
+    #[test]
+    fn remove_updates_index_and_tombstones() {
+        let mut set = TrajectorySet::new(4);
+        let t0 = set.add(t(&[0, 1]));
+        let t1 = set.add(t(&[1, 2]));
+        let removed = set.remove(t0).unwrap();
+        assert_eq!(removed.nodes(), &[NodeId(0), NodeId(1)]);
+        assert_eq!(set.len(), 1);
+        assert!(set.get(t0).is_none());
+        assert!(set.get(t1).is_some());
+        assert_eq!(set.trajectories_through(NodeId(1)), &[t1]);
+        // Double remove is a no-op.
+        assert!(set.remove(t0).is_none());
+        assert_eq!(set.len(), 1);
+        // Ids remain stable after removal.
+        let t2 = set.add(t(&[3]));
+        assert_eq!(t2.index(), 2);
+    }
+
+    #[test]
+    fn repeated_node_indexed_once() {
+        let mut set = TrajectorySet::new(3);
+        // Node 1 appears twice, non-consecutively.
+        let id = set.add(t(&[1, 2, 1]));
+        assert_eq!(set.trajectories_through(NodeId(1)), &[id]);
+        set.remove(id);
+        assert!(set.trajectories_through(NodeId(1)).is_empty());
+    }
+
+    #[test]
+    fn iter_skips_tombstones() {
+        let mut set = TrajectorySet::new(3);
+        let a = set.add(t(&[0]));
+        let b = set.add(t(&[1]));
+        set.remove(a);
+        let ids: Vec<TrajId> = set.iter().map(|(id, _)| id).collect();
+        assert_eq!(ids, vec![b]);
+        assert_eq!(set.id_bound(), 2);
+    }
+
+    #[test]
+    fn mean_length() {
+        let mut set = TrajectorySet::new(6);
+        assert_eq!(set.mean_length(), 0.0);
+        set.add(t(&[0, 1]));
+        set.add(t(&[0, 1, 2, 3]));
+        assert_eq!(set.mean_length(), 3.0);
+    }
+
+    #[test]
+    fn grow_network_extends_index() {
+        let mut set = TrajectorySet::new(2);
+        set.add(t(&[0, 1]));
+        set.grow_network(5);
+        let id = set.add(t(&[4]));
+        assert_eq!(set.trajectories_through(NodeId(4)), &[id]);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond network size")]
+    fn out_of_range_node_panics() {
+        let mut set = TrajectorySet::new(2);
+        set.add(t(&[5]));
+    }
+}

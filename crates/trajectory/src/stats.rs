@@ -1,0 +1,215 @@
+//! Trajectory statistics and length classification.
+//!
+//! The paper's Fig. 12 buckets trajectories into route-length classes
+//! (14–16, 19–21, 24–26, 29–31 km) to study how trajectory length affects
+//! coverage; this module provides that classification plus summary
+//! statistics used across the benchmark harness.
+
+use netclus_roadnet::RoadNetwork;
+
+use crate::set::TrajectorySet;
+use crate::trajectory::{TrajId, Trajectory};
+
+/// A half-open route-length class `[min_m, max_m)` in meters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LengthClass {
+    /// Inclusive lower bound, meters.
+    pub min_m: f64,
+    /// Exclusive upper bound, meters.
+    pub max_m: f64,
+}
+
+impl LengthClass {
+    /// Builds a class from kilometer bounds.
+    pub fn from_km(min_km: f64, max_km: f64) -> Self {
+        assert!(min_km < max_km, "degenerate length class");
+        LengthClass {
+            min_m: min_km * 1000.0,
+            max_m: max_km * 1000.0,
+        }
+    }
+
+    /// True if a route length (meters) falls into this class.
+    pub fn contains(&self, length_m: f64) -> bool {
+        length_m >= self.min_m && length_m < self.max_m
+    }
+
+    /// The paper's Fig. 12 classes: 14–16, 19–21, 24–26, 29–31 km.
+    pub fn paper_classes() -> [LengthClass; 4] {
+        [
+            LengthClass::from_km(14.0, 16.0),
+            LengthClass::from_km(19.0, 21.0),
+            LengthClass::from_km(24.0, 26.0),
+            LengthClass::from_km(29.0, 31.0),
+        ]
+    }
+
+    /// Human-readable label like `"14-16"` (km).
+    pub fn label(&self) -> String {
+        format!("{:.0}-{:.0}", self.min_m / 1000.0, self.max_m / 1000.0)
+    }
+}
+
+/// Ids of trajectories in `set` whose route length falls in `class`.
+pub fn trajectories_in_class(
+    net: &RoadNetwork,
+    set: &TrajectorySet,
+    class: &LengthClass,
+) -> Vec<TrajId> {
+    set.iter()
+        .filter(|(_, t)| class.contains(t.route_length(net)))
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Summary statistics over a trajectory set.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TrajectoryStats {
+    /// Number of live trajectories.
+    pub count: usize,
+    /// Mean node count.
+    pub mean_nodes: f64,
+    /// Maximum node count (`l` in the paper's complexity bounds).
+    pub max_nodes: usize,
+    /// Mean route length, meters.
+    pub mean_length_m: f64,
+    /// Minimum route length, meters.
+    pub min_length_m: f64,
+    /// Maximum route length, meters.
+    pub max_length_m: f64,
+}
+
+/// Computes summary statistics of `set` on `net`.
+pub fn compute_stats(net: &RoadNetwork, set: &TrajectorySet) -> TrajectoryStats {
+    let mut stats = TrajectoryStats {
+        min_length_m: f64::INFINITY,
+        ..Default::default()
+    };
+    let mut total_nodes = 0usize;
+    let mut total_len = 0.0;
+    for (_, t) in set.iter() {
+        let len = t.route_length(net);
+        stats.count += 1;
+        total_nodes += t.len();
+        stats.max_nodes = stats.max_nodes.max(t.len());
+        total_len += len;
+        stats.min_length_m = stats.min_length_m.min(len);
+        stats.max_length_m = stats.max_length_m.max(len);
+    }
+    if stats.count > 0 {
+        stats.mean_nodes = total_nodes as f64 / stats.count as f64;
+        stats.mean_length_m = total_len / stats.count as f64;
+    } else {
+        stats.min_length_m = 0.0;
+    }
+    stats
+}
+
+/// Histogram of trajectory lengths over arbitrary classes; the final slot
+/// counts trajectories matching no class.
+pub fn length_histogram(
+    net: &RoadNetwork,
+    set: &TrajectorySet,
+    classes: &[LengthClass],
+) -> Vec<usize> {
+    let mut hist = vec![0usize; classes.len() + 1];
+    for (_, t) in set.iter() {
+        let len = t.route_length(net);
+        match classes.iter().position(|c| c.contains(len)) {
+            Some(i) => hist[i] += 1,
+            None => *hist.last_mut().unwrap() += 1,
+        }
+    }
+    hist
+}
+
+/// Convenience: route length of one trajectory (re-exported logic).
+pub fn route_length(net: &RoadNetwork, traj: &Trajectory) -> f64 {
+    traj.route_length(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclus_roadnet::{NodeId, Point, RoadNetworkBuilder};
+
+    fn line_net(n: u32, spacing: f64) -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..n {
+            b.add_node(Point::new(i as f64 * spacing, 0.0));
+        }
+        for i in 0..n - 1 {
+            b.add_two_way(NodeId(i), NodeId(i + 1), spacing).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    fn traj(nodes: &[u32]) -> Trajectory {
+        Trajectory::new(nodes.iter().map(|&n| NodeId(n)).collect())
+    }
+
+    #[test]
+    fn class_membership() {
+        let c = LengthClass::from_km(14.0, 16.0);
+        assert!(c.contains(14_000.0));
+        assert!(c.contains(15_999.9));
+        assert!(!c.contains(16_000.0));
+        assert!(!c.contains(13_999.9));
+        assert_eq!(c.label(), "14-16");
+    }
+
+    #[test]
+    fn paper_classes_are_disjoint() {
+        let classes = LengthClass::paper_classes();
+        for w in classes.windows(2) {
+            assert!(w[0].max_m <= w[1].min_m);
+        }
+    }
+
+    #[test]
+    fn classification_and_histogram() {
+        let net = line_net(40, 1000.0); // 1 km edges
+        let mut set = TrajectorySet::for_network(&net);
+        let t15: Vec<u32> = (0..16).collect(); // 15 km
+        let t20: Vec<u32> = (0..21).collect(); // 20 km
+        let t5: Vec<u32> = (0..6).collect(); // 5 km
+        let id15 = set.add(traj(&t15));
+        let id20 = set.add(traj(&t20));
+        set.add(traj(&t5));
+        let classes = LengthClass::paper_classes();
+        assert_eq!(
+            trajectories_in_class(&net, &set, &classes[0]),
+            vec![id15]
+        );
+        assert_eq!(
+            trajectories_in_class(&net, &set, &classes[1]),
+            vec![id20]
+        );
+        assert_eq!(length_histogram(&net, &set, &classes), vec![1, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn stats_on_empty_set() {
+        let net = line_net(3, 100.0);
+        let set = TrajectorySet::for_network(&net);
+        let s = compute_stats(&net, &set);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.min_length_m, 0.0);
+        assert_eq!(s.mean_length_m, 0.0);
+    }
+
+    #[test]
+    fn stats_basic() {
+        let net = line_net(10, 100.0);
+        let mut set = TrajectorySet::for_network(&net);
+        set.add(traj(&[0, 1, 2])); // 200 m, 3 nodes
+        set.add(traj(&[0, 1, 2, 3, 4])); // 400 m, 5 nodes
+        let s = compute_stats(&net, &set);
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean_nodes, 4.0);
+        assert_eq!(s.max_nodes, 5);
+        assert_eq!(s.mean_length_m, 300.0);
+        assert_eq!(s.min_length_m, 200.0);
+        assert_eq!(s.max_length_m, 400.0);
+    }
+}

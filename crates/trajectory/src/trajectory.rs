@@ -1,0 +1,201 @@
+//! Map-matched trajectories: node sequences on a road network.
+
+use netclus_roadnet::{NodeId, RoadNetwork};
+use std::fmt;
+
+/// Identifier of a trajectory within a [`TrajectorySet`](crate::TrajectorySet).
+///
+/// Dense `u32` index assigned in insertion order; also the item id hashed
+/// into FM sketches.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct TrajId(pub u32);
+
+impl TrajId {
+    /// Raw index for slice addressing.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Builds from a dense index.
+    #[inline]
+    pub fn from_index(index: usize) -> Self {
+        debug_assert!(index <= u32::MAX as usize);
+        TrajId(index as u32)
+    }
+}
+
+impl fmt::Debug for TrajId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}", self.0)
+    }
+}
+
+impl fmt::Display for TrajId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// A single user trajectory: the sequence of road intersections the user's
+/// trip passes through, in travel order (paper Sec. 2: `T_j = {v_j1 … v_jl}`).
+///
+/// Consecutive duplicate nodes are collapsed at construction. A static user
+/// is the degenerate single-node trajectory, so TOPS strictly generalizes
+/// static facility location.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Trajectory {
+    nodes: Vec<NodeId>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory from a node sequence, collapsing consecutive
+    /// duplicates.
+    ///
+    /// # Panics
+    /// Panics on an empty sequence — trajectories have at least one node.
+    pub fn new(nodes: Vec<NodeId>) -> Self {
+        assert!(!nodes.is_empty(), "trajectory must have at least one node");
+        let mut deduped: Vec<NodeId> = Vec::with_capacity(nodes.len());
+        for v in nodes {
+            if deduped.last() != Some(&v) {
+                deduped.push(v);
+            }
+        }
+        Trajectory { nodes: deduped }
+    }
+
+    /// The node sequence.
+    #[inline]
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+
+    /// Number of (deduplicated) nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True for single-node (static-user) trajectories. Never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First node of the trip.
+    pub fn origin(&self) -> NodeId {
+        self.nodes[0]
+    }
+
+    /// Last node of the trip.
+    pub fn destination(&self) -> NodeId {
+        *self.nodes.last().expect("nonempty")
+    }
+
+    /// Travel length along the trajectory in meters: the sum of edge weights
+    /// of consecutive node pairs. Pairs without a direct edge contribute the
+    /// straight-line distance (this only happens for trajectories that were
+    /// not produced by the map matcher).
+    pub fn route_length(&self, net: &RoadNetwork) -> f64 {
+        self.nodes
+            .windows(2)
+            .map(|w| {
+                net.edge_weight(w[0], w[1])
+                    .unwrap_or_else(|| net.point(w[0]).distance(&net.point(w[1])))
+            })
+            .sum()
+    }
+
+    /// Cumulative along-route distance from the origin to each node
+    /// (`cum[0] = 0`). Used by the pair-detour distance engine, where the
+    /// saved distance `d(v_k, v_l)` is measured along the user's route.
+    pub fn cumulative_distances(&self, net: &RoadNetwork) -> Vec<f64> {
+        let mut cum = Vec::with_capacity(self.nodes.len());
+        cum.push(0.0);
+        for w in self.nodes.windows(2) {
+            let step = net
+                .edge_weight(w[0], w[1])
+                .unwrap_or_else(|| net.point(w[0]).distance(&net.point(w[1])));
+            cum.push(cum.last().unwrap() + step);
+        }
+        cum
+    }
+
+    /// Merges this trajectory with another belonging to the same user
+    /// (paper Sec. 2: multiple trajectories of one user are their union).
+    /// The result is the concatenation; coverage semantics treat all nodes
+    /// equally.
+    pub fn union(&self, other: &Trajectory) -> Trajectory {
+        let mut nodes = self.nodes.clone();
+        nodes.extend_from_slice(&other.nodes);
+        Trajectory::new(nodes)
+    }
+
+    /// Heap footprint in bytes.
+    pub fn heap_size_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclus_roadnet::{Point, RoadNetworkBuilder};
+
+    fn line_net() -> RoadNetwork {
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..4 {
+            b.add_node(Point::new(i as f64 * 100.0, 0.0));
+        }
+        for i in 0..3u32 {
+            b.add_two_way(NodeId(i), NodeId(i + 1), 100.0).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dedups_consecutive_nodes() {
+        let t = Trajectory::new(vec![NodeId(1), NodeId(1), NodeId(2), NodeId(2), NodeId(1)]);
+        assert_eq!(t.nodes(), &[NodeId(1), NodeId(2), NodeId(1)]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn empty_rejected() {
+        Trajectory::new(vec![]);
+    }
+
+    #[test]
+    fn static_user_is_single_node() {
+        let t = Trajectory::new(vec![NodeId(5)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.origin(), NodeId(5));
+        assert_eq!(t.destination(), NodeId(5));
+        assert_eq!(t.route_length(&line_net()), 0.0);
+    }
+
+    #[test]
+    fn route_length_sums_edges() {
+        let net = line_net();
+        let t = Trajectory::new(vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3)]);
+        assert_eq!(t.route_length(&net), 300.0);
+        assert_eq!(t.cumulative_distances(&net), vec![0.0, 100.0, 200.0, 300.0]);
+    }
+
+    #[test]
+    fn union_concatenates() {
+        let a = Trajectory::new(vec![NodeId(0), NodeId(1)]);
+        let b = Trajectory::new(vec![NodeId(1), NodeId(2)]);
+        let u = a.union(&b);
+        assert_eq!(u.nodes(), &[NodeId(0), NodeId(1), NodeId(2)]);
+    }
+
+    #[test]
+    fn traj_id_roundtrip() {
+        let id = TrajId::from_index(9);
+        assert_eq!(id.index(), 9);
+        assert_eq!(format!("{id:?}"), "T9");
+    }
+}

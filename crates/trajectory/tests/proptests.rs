@@ -1,0 +1,140 @@
+//! Property-based tests for the trajectory substrate: inverted-index
+//! consistency under arbitrary add/remove interleavings, and map-matching
+//! recovery of noise-free traces.
+
+use netclus_roadnet::{GridIndex, NodeId, Point, RoadNetwork, RoadNetworkBuilder};
+use netclus_trajectory::{GpsPoint, GpsTrace, MapMatcher, TrajId, Trajectory, TrajectorySet};
+use proptest::prelude::*;
+
+fn grid_net(n: u32, spacing: f64) -> RoadNetwork {
+    let mut b = RoadNetworkBuilder::new();
+    for y in 0..n {
+        for x in 0..n {
+            b.add_node(Point::new(x as f64 * spacing, y as f64 * spacing));
+        }
+    }
+    for y in 0..n {
+        for x in 0..n {
+            let id = NodeId(y * n + x);
+            if x + 1 < n {
+                b.add_two_way(id, NodeId(y * n + x + 1), spacing).unwrap();
+            }
+            if y + 1 < n {
+                b.add_two_way(id, NodeId((y + 1) * n + x), spacing).unwrap();
+            }
+        }
+    }
+    b.build().unwrap()
+}
+
+/// Operations on a trajectory set.
+#[derive(Clone, Debug)]
+enum Op {
+    Add(Vec<u8>),
+    Remove(u8),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        prop::collection::vec(any::<u8>(), 1..10).prop_map(Op::Add),
+        any::<u8>().prop_map(Op::Remove),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any interleaving of adds and removes, the inverted index
+    /// matches a from-scratch recomputation.
+    #[test]
+    fn inverted_index_consistent_under_churn(ops in prop::collection::vec(op_strategy(), 1..40)) {
+        let node_count = 16usize;
+        let mut set = TrajectorySet::new(node_count);
+        let mut live: Vec<(TrajId, Trajectory)> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Add(raw) => {
+                    let nodes: Vec<NodeId> = raw
+                        .iter()
+                        .map(|&b| NodeId((b as usize % node_count) as u32))
+                        .collect();
+                    let t = Trajectory::new(nodes);
+                    let id = set.add(t.clone());
+                    live.push((id, t));
+                }
+                Op::Remove(i) => {
+                    if !live.is_empty() {
+                        let idx = i as usize % live.len();
+                        let (id, _) = live.remove(idx);
+                        prop_assert!(set.remove(id).is_some());
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(set.len(), live.len());
+        // Recompute the index from scratch and compare.
+        for v in 0..node_count {
+            let node = NodeId(v as u32);
+            let mut expected: Vec<TrajId> = live
+                .iter()
+                .filter(|(_, t)| t.nodes().contains(&node))
+                .map(|&(id, _)| id)
+                .collect();
+            expected.sort_unstable();
+            let mut got = set.trajectories_through(node).to_vec();
+            got.sort_unstable();
+            prop_assert_eq!(got, expected, "index mismatch at node {}", v);
+        }
+    }
+
+    /// Cumulative distances are non-decreasing and end at the route length.
+    #[test]
+    fn cumulative_distances_consistent(raw in prop::collection::vec(0u32..25, 1..15)) {
+        let net = grid_net(5, 100.0);
+        let t = Trajectory::new(raw.into_iter().map(NodeId).collect());
+        let cum = t.cumulative_distances(&net);
+        prop_assert_eq!(cum.len(), t.len());
+        prop_assert_eq!(cum[0], 0.0);
+        prop_assert!(cum.windows(2).all(|w| w[0] <= w[1]));
+        prop_assert!((cum.last().unwrap() - t.route_length(&net)).abs() < 1e-9);
+    }
+
+    /// The map matcher exactly recovers noise-free traces sampled on grid
+    /// vertices.
+    #[test]
+    fn matcher_recovers_clean_vertex_traces(
+        steps in prop::collection::vec(0u8..4, 1..12),
+        start in 0u32..36,
+    ) {
+        let n = 6u32;
+        let net = grid_net(n, 150.0);
+        let grid = GridIndex::build(&net, 150.0);
+        // Build a lattice walk (may revisit nodes; consecutive moves valid).
+        let mut nodes = vec![NodeId(start % (n * n))];
+        for &s in &steps {
+            let cur = *nodes.last().unwrap();
+            let (x, y) = (cur.0 % n, cur.0 / n);
+            let next = match s {
+                0 if x + 1 < n => NodeId(y * n + x + 1),
+                1 if x > 0 => NodeId(y * n + x - 1),
+                2 if y + 1 < n => NodeId((y + 1) * n + x),
+                _ if y > 0 => NodeId((y - 1) * n + x),
+                _ => cur,
+            };
+            if next != cur {
+                nodes.push(next);
+            }
+        }
+        let want = Trajectory::new(nodes.clone());
+        let trace = GpsTrace::new(
+            want.nodes()
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| GpsPoint::new(net.point(v), i as f64 * 10.0))
+                .collect(),
+        );
+        let matcher = MapMatcher::default();
+        let got = matcher.match_trace(&net, &grid, &trace).unwrap();
+        prop_assert_eq!(got.nodes(), want.nodes());
+    }
+}

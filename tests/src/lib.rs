@@ -1,0 +1,5 @@
+//! Integration-test crate for the NetClus workspace.
+//!
+//! The library target is intentionally empty; all content lives in
+//! `tests/tests/*.rs` which exercise the public APIs of every workspace crate
+//! together (GPS → map-match → index build → query → update pipelines).

@@ -1,0 +1,163 @@
+//! Full-pipeline integration test: synthetic city → routes → noisy GPS →
+//! map matching → NetClus index → TOPS query (the complete flow of the
+//! paper's Fig. 2).
+
+use netclus::prelude::*;
+use netclus_datagen::{
+    grid_city, synthesize_gps, GridCityConfig, WorkloadConfig, WorkloadGenerator,
+};
+use netclus_roadnet::GridIndex;
+use netclus_trajectory::{MapMatcher, TrajectorySet};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn gps_to_query_pipeline() {
+    // 1. City and ground-truth routes.
+    let mut rng = StdRng::seed_from_u64(2024);
+    let city = grid_city(
+        &GridCityConfig {
+            rows: 14,
+            cols: 14,
+            spacing_m: 200.0,
+            jitter: 0.15,
+            removal_fraction: 0.05,
+        },
+        &mut rng,
+    );
+    let grid = GridIndex::build(&city.net, 250.0);
+    let mut gen = WorkloadGenerator::new(&city.net, &grid, &city.hotspots);
+    let routes = gen.generate(
+        &WorkloadConfig {
+            count: 40,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    assert_eq!(routes.len(), 40);
+
+    // 2. Noisy GPS traces from the routes, then map-match them back.
+    let matcher = MapMatcher {
+        sigma: 20.0,
+        candidate_radius: 150.0,
+        ..Default::default()
+    };
+    let mut matched = TrajectorySet::for_network(&city.net);
+    let mut exact_node_matches = 0usize;
+    for route in &routes {
+        let trace = synthesize_gps(&city.net, route, 12.0, 4.0, 12.0, &mut rng);
+        let traj = matcher
+            .match_trace(&city.net, &grid, &trace)
+            .expect("matching a synthesized trace must succeed");
+        if traj.nodes() == route.nodes() {
+            exact_node_matches += 1;
+        }
+        matched.add(traj);
+    }
+    // With 12 m noise on a 200 m grid, most matches recover the route
+    // exactly; all must at least be plausible (similar length).
+    assert!(
+        exact_node_matches * 10 >= routes.len() * 7,
+        "only {exact_node_matches}/40 exact matches"
+    );
+
+    // 3. Offline index over the matched trajectories.
+    let sites: Vec<_> = city.net.nodes().collect();
+    let index = NetClusIndex::build(
+        &city.net,
+        &matched,
+        &sites,
+        NetClusConfig {
+            tau_min: 400.0,
+            tau_max: 4_000.0,
+            threads: 2,
+            ..Default::default()
+        },
+    );
+
+    // 4. Online query + exact evaluation.
+    let q = TopsQuery::binary(3, 800.0);
+    let answer = index.query(&matched, &q);
+    assert_eq!(answer.solution.sites.len(), 3);
+    let eval = evaluate_sites(
+        &city.net,
+        &matched,
+        &answer.solution.sites,
+        q.tau,
+        q.preference,
+        DetourModel::RoundTrip,
+    );
+    // 3 sites at τ=800 m on a 2.6 km-wide city with hotspot traffic must
+    // cover a decent share of the 40 trips.
+    assert!(
+        eval.covered >= 15,
+        "NetClus covered only {}/40 trajectories",
+        eval.covered
+    );
+    // The estimated utility can never exceed the exact one (d̂r ≥ dr for
+    // binary coverage means estimated covers are subsets).
+    assert!(answer.solution.utility <= eval.utility + 1e-9);
+}
+
+#[test]
+fn netclus_vs_incgreedy_on_pipeline_data() {
+    let mut rng = StdRng::seed_from_u64(77);
+    let city = grid_city(
+        &GridCityConfig {
+            rows: 12,
+            cols: 12,
+            spacing_m: 200.0,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let grid = GridIndex::build(&city.net, 250.0);
+    let mut gen = WorkloadGenerator::new(&city.net, &grid, &city.hotspots);
+    let routes = gen.generate(
+        &WorkloadConfig {
+            count: 60,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let trajs = TrajectorySet::from_trajectories(city.net.node_count(), routes);
+    let sites: Vec<_> = city.net.nodes().collect();
+    let tau = 600.0;
+
+    // Exact Inc-Greedy baseline.
+    let coverage = CoverageIndex::build(&city.net, &trajs, &sites, tau, DetourModel::RoundTrip, 2);
+    let greedy = inc_greedy(&coverage, &GreedyConfig::binary(4, tau));
+
+    // NetClus.
+    let index = NetClusIndex::build(
+        &city.net,
+        &trajs,
+        &sites,
+        NetClusConfig {
+            tau_min: 300.0,
+            tau_max: 3_000.0,
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    let answer = index.query(&trajs, &TopsQuery::binary(4, tau));
+    let nc_eval = evaluate_sites(
+        &city.net,
+        &trajs,
+        &answer.solution.sites,
+        tau,
+        PreferenceFunction::Binary,
+        DetourModel::RoundTrip,
+    );
+
+    // Paper Sec. 8.4: NetClus utilities within ~93% of Inc-Greedy on
+    // average; we allow a generous 60% floor for this small instance.
+    assert!(
+        nc_eval.utility >= 0.6 * greedy.utility,
+        "NetClus {} too far below greedy {}",
+        nc_eval.utility,
+        greedy.utility
+    );
+    // And NetClus must touch far fewer candidates than Inc-Greedy.
+    assert!(answer.representatives < sites.len());
+}

@@ -1,0 +1,232 @@
+//! Quality guarantees across the solver stack, checked on real (generated)
+//! road-network coverage rather than mock tables:
+//!
+//! * Inc-Greedy ≥ (1 − 1/e) · OPT (paper Th. 3) and ≥ (k/n) · U(S) (Lem. 2);
+//! * U is monotone submodular on actual coverage data (Th. 2);
+//! * NetClus quality tracks Inc-Greedy (Sec. 8.4) and respects the
+//!   Th. 7 lower bound; FM variants track their exact counterparts.
+
+use netclus::prelude::*;
+use netclus_datagen::{beijing_small, grid_city, GridCityConfig, WorkloadConfig, WorkloadGenerator};
+use netclus_roadnet::GridIndex;
+use netclus_trajectory::TrajectorySet;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+fn coverage_fixture(
+    seed: u64,
+    traj_count: usize,
+    tau: f64,
+) -> (netclus_roadnet::RoadNetwork, TrajectorySet, CoverageIndex) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let city = grid_city(
+        &GridCityConfig {
+            rows: 9,
+            cols: 9,
+            spacing_m: 200.0,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let grid = GridIndex::build(&city.net, 250.0);
+    let mut gen = WorkloadGenerator::new(&city.net, &grid, &city.hotspots);
+    let routes = gen.generate(
+        &WorkloadConfig {
+            count: traj_count,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+    let trajs = TrajectorySet::from_trajectories(city.net.node_count(), routes);
+    let sites: Vec<_> = city.net.nodes().collect();
+    let coverage = CoverageIndex::build(&city.net, &trajs, &sites, tau, DetourModel::RoundTrip, 2);
+    (city.net, trajs, coverage)
+}
+
+#[test]
+fn greedy_respects_both_approximation_bounds() {
+    let (_, _, coverage) = coverage_fixture(10, 30, 500.0);
+    // Sub-sample 12 sites so the exact solver is instant.
+    let sub_sites: Vec<_> = (0..coverage.site_count()).step_by(7).take(12).collect();
+    // Build a sub-provider by re-building coverage over those nodes only.
+    let nodes: Vec<_> = sub_sites.iter().map(|&i| coverage.sites()[i]).collect();
+    let (net2, trajs2, _) = coverage_fixture(10, 30, 500.0);
+    let sub =
+        CoverageIndex::build(&net2, &trajs2, &nodes, 500.0, DetourModel::RoundTrip, 1);
+
+    for k in [1, 2, 3, 4] {
+        let greedy = inc_greedy(&sub, &GreedyConfig::binary(k, 500.0));
+        let exact = exact_optimal(
+            &sub,
+            &ExactConfig {
+                k,
+                tau: 500.0,
+                preference: PreferenceFunction::Binary,
+                node_limit: None,
+            },
+        );
+        assert!(exact.proved_optimal);
+        let bound1 = (1.0 - 1.0 / std::f64::consts::E) * exact.solution.utility;
+        assert!(
+            greedy.utility >= bound1 - 1e-9,
+            "k={k}: greedy {} < (1-1/e)·OPT {}",
+            greedy.utility,
+            bound1
+        );
+        // Lemma 2: U(Q_k) ≥ (k/n)·U(S).
+        let all = inc_greedy(&sub, &GreedyConfig::binary(sub.site_count(), 500.0));
+        let bound2 = k as f64 / sub.site_count() as f64 * all.utility;
+        assert!(greedy.utility >= bound2 - 1e-9);
+    }
+}
+
+#[test]
+fn utility_is_monotone_submodular_on_real_coverage() {
+    let (_, _, coverage) = coverage_fixture(21, 40, 600.0);
+    let mut rng = StdRng::seed_from_u64(7);
+    let n = coverage.site_count();
+
+    let utility_of = |set: &[usize]| -> f64 {
+        let mut best = vec![0.0f64; coverage.traj_id_bound()];
+        for &i in set {
+            for &(tj, _) in coverage.covered(i) {
+                best[tj.index()] = 1.0;
+            }
+        }
+        best.iter().sum()
+    };
+
+    for _ in 0..30 {
+        // Random nested pair Q ⊂ R and a site s ∉ R.
+        let mut r_set: Vec<usize> = (0..n).filter(|_| rng.random::<f64>() < 0.08).collect();
+        if r_set.len() < 2 {
+            continue;
+        }
+        let q_set: Vec<usize> = r_set[..r_set.len() / 2].to_vec();
+        let s = loop {
+            let c = rng.random_range(0..n);
+            if !r_set.contains(&c) {
+                break c;
+            }
+        };
+        // Monotonicity.
+        assert!(utility_of(&r_set) >= utility_of(&q_set) - 1e-9);
+        // Submodularity (diminishing returns, paper Ineq. 3).
+        let mut q_s = q_set.clone();
+        q_s.push(s);
+        let gain_q = utility_of(&q_s) - utility_of(&q_set);
+        r_set.push(s);
+        let with_s = utility_of(&r_set);
+        r_set.pop();
+        let gain_r = with_s - utility_of(&r_set);
+        assert!(
+            gain_q >= gain_r - 1e-9,
+            "submodularity violated: gain_q {gain_q} < gain_r {gain_r}"
+        );
+    }
+}
+
+#[test]
+fn fm_greedy_tracks_exact_greedy_at_paper_default_f() {
+    let (_, _, coverage) = coverage_fixture(33, 80, 700.0);
+    let exact = inc_greedy(&coverage, &GreedyConfig::binary(5, 700.0));
+    let fm = fm_greedy(
+        &coverage,
+        &FmGreedyConfig {
+            k: 5,
+            copies: 30,
+            seed: 77,
+        },
+    );
+    // Paper Table 8 at f=30: ≈ 4.8% relative error. Allow 25% on this small
+    // instance.
+    assert!(
+        fm.utility >= 0.75 * exact.utility,
+        "fm {} vs exact {}",
+        fm.utility,
+        exact.utility
+    );
+}
+
+#[test]
+fn netclus_theorem7_lower_bound_holds() {
+    // Th. 7 (binary, all nodes candidate sites): utility ≥ (k/η_p)·m.
+    let s = beijing_small(55);
+    // All nodes as sites for the theorem's premise.
+    let sites: Vec<_> = s.net.nodes().collect();
+    let index = NetClusIndex::build(
+        &s.net,
+        &s.trajectories,
+        &sites,
+        NetClusConfig {
+            tau_min: 400.0,
+            tau_max: 2_400.0,
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    let q = TopsQuery::binary(5, 1_200.0);
+    let answer = index.query(&s.trajectories, &q);
+    let eval = evaluate_sites(
+        &s.net,
+        &s.trajectories,
+        &answer.solution.sites,
+        q.tau,
+        q.preference,
+        DetourModel::RoundTrip,
+    );
+    let eta = index.instance(answer.instance).cluster_count() as f64;
+    let m = s.trajectory_count() as f64;
+    let bound = (q.k as f64 / eta).min(1.0) * m;
+    assert!(
+        eval.utility >= bound - 1e-9,
+        "Th.7 violated: utility {} < (k/η)·m = {}",
+        eval.utility,
+        bound
+    );
+}
+
+#[test]
+fn netclus_estimated_utility_is_conservative() {
+    // The solver's own utility (under d̂r) never exceeds the exact utility
+    // of the same sites, because T̂C ⊆ TC for every preference that is
+    // non-increasing in distance.
+    let s = beijing_small(66);
+    let index = NetClusIndex::build(
+        &s.net,
+        &s.trajectories,
+        &s.sites,
+        NetClusConfig {
+            tau_min: 400.0,
+            tau_max: 2_400.0,
+            threads: 2,
+            ..Default::default()
+        },
+    );
+    for pref in [
+        PreferenceFunction::Binary,
+        PreferenceFunction::LinearDecay,
+        PreferenceFunction::ConvexProbability { alpha: 2.0 },
+    ] {
+        let q = TopsQuery {
+            k: 4,
+            tau: 1_000.0,
+            preference: pref,
+        };
+        let answer = index.query(&s.trajectories, &q);
+        let eval = evaluate_sites(
+            &s.net,
+            &s.trajectories,
+            &answer.solution.sites,
+            q.tau,
+            pref,
+            DetourModel::RoundTrip,
+        );
+        assert!(
+            answer.solution.utility <= eval.utility + 1e-9,
+            "{pref:?}: estimate {} exceeds exact {}",
+            answer.solution.utility,
+            eval.utility
+        );
+    }
+}
