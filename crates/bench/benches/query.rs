@@ -26,20 +26,12 @@ fn bench_query(c: &mut Criterion) {
     let mut group = c.benchmark_group("query");
     for tau in [800.0f64, 1_600.0, 3_000.0] {
         let q = TopsQuery::binary(5, tau);
-        group.bench_with_input(
-            BenchmarkId::new("netclus", tau as u64),
-            &q,
-            |b, q| b.iter(|| black_box(index.query(&s.trajectories, q))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("fm_netclus", tau as u64),
-            &q,
-            |b, q| {
-                b.iter(|| {
-                    black_box(index.query_fm(&s.trajectories, q, &FmGreedyConfig::default()))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("netclus", tau as u64), &q, |b, q| {
+            b.iter(|| black_box(index.query(&s.trajectories, q)))
+        });
+        group.bench_with_input(BenchmarkId::new("fm_netclus", tau as u64), &q, |b, q| {
+            b.iter(|| black_box(index.query_fm(&s.trajectories, q, &FmGreedyConfig::default())))
+        });
         group.bench_with_input(
             BenchmarkId::new("incgreedy_full", tau as u64),
             &tau,

@@ -1,0 +1,111 @@
+//! Criterion micro-benchmarks for the serving layer: end-to-end request
+//! latency through the worker pool on the three characteristic paths —
+//! cache hit, dedup'd compute, and a post-update (cold cache) query — plus
+//! a closed-loop burst throughput measurement.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use netclus::prelude::*;
+use netclus_datagen::beijing_small;
+use netclus_service::{NetClusService, ServiceConfig, ServiceRequest, UpdateOp};
+use netclus_trajectory::Trajectory;
+use std::hint::black_box;
+
+fn start_service(workers: usize) -> NetClusService {
+    let s = beijing_small(7);
+    let index = NetClusIndex::build(
+        &s.net,
+        &s.trajectories,
+        &s.sites,
+        NetClusConfig {
+            tau_min: 400.0,
+            tau_max: 3_200.0,
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    NetClusService::start(
+        s.net,
+        s.trajectories,
+        index,
+        ServiceConfig {
+            workers,
+            ..Default::default()
+        },
+    )
+}
+
+fn bench_service(c: &mut Criterion) {
+    let mut group = c.benchmark_group("service_throughput");
+
+    // Steady-state cache hit: the dominant path for dashboard traffic.
+    let svc = start_service(4);
+    let q = TopsQuery::binary(5, 800.0);
+    svc.query_blocking(ServiceRequest::greedy(q)).unwrap(); // warm the entry
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| black_box(svc.query_blocking(ServiceRequest::greedy(q)).unwrap()))
+    });
+
+    // Computed path: rotate τ over a lattice big enough to defeat the
+    // cache, measuring queue + provider build + greedy.
+    let mut tau_i = 0u64;
+    group.bench_function("computed", |b| {
+        b.iter(|| {
+            tau_i += 1;
+            let tau = 500.0 + (tau_i % 512) as f64 + (tau_i / 512) as f64 * 0.001;
+            black_box(
+                svc.query_blocking(ServiceRequest::greedy(TopsQuery::binary(5, tau)))
+                    .unwrap(),
+            )
+        })
+    });
+
+    // Post-update query: epoch advance invalidates the cache, so this pays
+    // copy-on-write publication plus a cold query.
+    let mut flip = 0u32;
+    group.sample_size(20);
+    group.bench_function("update_then_query", |b| {
+        b.iter(|| {
+            flip += 1;
+            let t = Trajectory::new(vec![netclus_roadnet::NodeId(flip % 400)]);
+            svc.apply_updates(vec![UpdateOp::AddTrajectory(t)]);
+            black_box(svc.query_blocking(ServiceRequest::greedy(q)).unwrap())
+        })
+    });
+    drop(svc);
+
+    // Closed-loop burst: 64 mixed requests in flight at once, per worker
+    // count — the headline throughput number.
+    for workers in [2usize, 4, 8] {
+        let svc = start_service(workers);
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("burst64", workers), &workers, |b, _| {
+            b.iter(|| {
+                let handles: Vec<_> = (0..64u32)
+                    .filter_map(|i| {
+                        let k = 1 + (i % 5) as usize;
+                        let tau = 600.0 + (i % 8) as f64 * 150.0;
+                        svc.submit(ServiceRequest::greedy(TopsQuery::binary(k, tau)))
+                            .ok()
+                    })
+                    .collect();
+                for h in handles {
+                    black_box(h.wait());
+                }
+            })
+        });
+        svc.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(300))
+        .measurement_time(Duration::from_millis(1200));
+    targets = bench_service
+}
+criterion_main!(benches);

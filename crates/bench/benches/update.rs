@@ -52,7 +52,12 @@ fn bench_update(c: &mut Criterion) {
     });
     group.bench_function("batch_add_100_trajectories", |b| {
         let batch: Vec<(TrajId, Trajectory)> = (0..100)
-            .map(|i| (TrajId((s.trajectories.id_bound() + i) as u32), sample.clone()))
+            .map(|i| {
+                (
+                    TrajId((s.trajectories.id_bound() + i) as u32),
+                    sample.clone(),
+                )
+            })
             .collect();
         b.iter_with_setup(
             || index.clone(),

@@ -21,7 +21,13 @@ fn with_sites(base: &Scenario, fraction: f64) -> Scenario {
     let take = ((base.sites.len() as f64 * fraction) as usize).max(1);
     let step = (base.sites.len() / take).max(1);
     let mut s = base.clone();
-    s.sites = base.sites.iter().copied().step_by(step).take(take).collect();
+    s.sites = base
+        .sites
+        .iter()
+        .copied()
+        .step_by(step)
+        .take(take)
+        .collect();
     s
 }
 

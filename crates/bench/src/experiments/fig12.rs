@@ -70,7 +70,13 @@ pub fn run(ctx: &mut Ctx) {
         ]);
     }
     let header = [
-        "paper_km", "scaled_km", "m", "INCG%", "NC%", "INCG_s", "NC_s",
+        "paper_km",
+        "scaled_km",
+        "m",
+        "INCG%",
+        "NC%",
+        "INCG_s",
+        "NC_s",
     ];
     print_table(
         "Fig 12 — trajectory-length classes: utility (%) and time (s), k = 5, τ = 0.8 km",

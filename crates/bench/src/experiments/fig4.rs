@@ -96,8 +96,7 @@ pub fn run(ctx: &mut Ctx) {
     }
 
     let header = [
-        "k", "OPT%", "INCG%", "FMG%", "NC%", "FMNC%", "OPT_s", "INCG_s", "FMG_s", "NC_s",
-        "FMNC_s",
+        "k", "OPT%", "INCG%", "FMG%", "NC%", "FMNC%", "OPT_s", "INCG_s", "FMG_s", "NC_s", "FMNC_s",
     ];
     print_table(
         "Fig 4 — utility (%) and query time (s) vs k, Beijing-Small, τ = 0.8 km \

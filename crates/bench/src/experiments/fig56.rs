@@ -54,8 +54,14 @@ pub fn run(ctx: &mut Ctx) {
             fmt_or_oom(fmg.as_ref().map(|r| format!("{:.1}", r.utility_pct(m)))),
             format!("{:.1}", nc.utility_pct(m)),
             format!("{:.1}", fnc.utility_pct(m)),
-            fmt_or_oom(incg.as_ref().map(|r| format!("{:.3}", r.query_time.as_secs_f64()))),
-            fmt_or_oom(fmg.as_ref().map(|r| format!("{:.3}", r.query_time.as_secs_f64()))),
+            fmt_or_oom(
+                incg.as_ref()
+                    .map(|r| format!("{:.3}", r.query_time.as_secs_f64())),
+            ),
+            fmt_or_oom(
+                fmg.as_ref()
+                    .map(|r| format!("{:.3}", r.query_time.as_secs_f64())),
+            ),
             format!("{:.3}", nc.query_time.as_secs_f64()),
             format!("{:.3}", fnc.query_time.as_secs_f64()),
         ]);
@@ -97,8 +103,14 @@ pub fn run(ctx: &mut Ctx) {
             fmt_or_oom(fmg.as_ref().map(|r| format!("{:.1}", r.utility_pct(m)))),
             format!("{:.1}", nc.utility_pct(m)),
             format!("{:.1}", fnc.utility_pct(m)),
-            fmt_or_oom(incg.as_ref().map(|r| format!("{:.3}", r.query_time.as_secs_f64()))),
-            fmt_or_oom(fmg.as_ref().map(|r| format!("{:.3}", r.query_time.as_secs_f64()))),
+            fmt_or_oom(
+                incg.as_ref()
+                    .map(|r| format!("{:.3}", r.query_time.as_secs_f64())),
+            ),
+            fmt_or_oom(
+                fmg.as_ref()
+                    .map(|r| format!("{:.3}", r.query_time.as_secs_f64())),
+            ),
             format!("{:.3}", nc.query_time.as_secs_f64()),
             format!("{:.3}", fnc.query_time.as_secs_f64()),
         ]);

@@ -8,6 +8,7 @@ pub mod fig12;
 pub mod fig4;
 pub mod fig56;
 pub mod fig789;
+pub mod service;
 pub mod table10;
 pub mod table11;
 pub mod table12;
@@ -102,6 +103,12 @@ pub fn all() -> Vec<Experiment> {
             id: "table12",
             description: "Table 12: Jaccard-similarity clustering baseline",
             run: table12::run,
+        },
+        Experiment {
+            id: "service",
+            description:
+                "Serving layer: closed-loop throughput with live updates (BENCH_SERVICE_THROUGHPUT)",
+            run: service::run,
         },
     ]
 }

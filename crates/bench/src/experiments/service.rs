@@ -1,0 +1,159 @@
+//! `service`: serving-layer throughput under a mixed query stream with
+//! concurrent update batches (beyond the paper — the ROADMAP's
+//! production-serving direction).
+//!
+//! Closed-loop clients replay a generated TOPS mix against the worker
+//! pool while a writer publishes trajectory batches. Prints the metrics
+//! report as a table, writes `results/service.csv`, and emits the raw
+//! report as a single-line JSON record prefixed `BENCH_SERVICE_THROUGHPUT`
+//! for the performance trajectory.
+
+use std::sync::Arc;
+
+use netclus::prelude::*;
+use netclus_datagen::{
+    generate_query_workload, ArrivalProcess, QueryKind, QueryWorkloadConfig, WorkloadConfig,
+    WorkloadGenerator,
+};
+use netclus_service::{NetClusService, ServiceConfig, ServiceRequest, UpdateOp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{print_table, Ctx};
+
+/// Runs the serving-throughput experiment.
+pub fn run(ctx: &mut Ctx) {
+    let s = ctx.beijing_small();
+    let workers = ctx.cfg.threads.clamp(2, 8);
+    let count = ((4_000.0 * ctx.cfg.scale) as usize).max(400);
+    // The arrival process below is the single source of truth for the
+    // closed-loop shape; the driver reads clients/think_time back from it.
+    let arrival = ArrivalProcess::Closed {
+        clients: workers * 2,
+        think_time: std::time::Duration::ZERO,
+    };
+    let ArrivalProcess::Closed {
+        clients,
+        think_time,
+    } = arrival
+    else {
+        unreachable!()
+    };
+
+    let index = NetClusIndex::build(
+        &s.net,
+        &s.trajectories,
+        &s.sites,
+        NetClusConfig {
+            tau_min: 400.0,
+            tau_max: 3_200.0,
+            threads: ctx.cfg.threads,
+            ..Default::default()
+        },
+    );
+
+    let mut rng = StdRng::seed_from_u64(ctx.cfg.seed ^ 0x53_45_52_56);
+    let mut gen = WorkloadGenerator::new(&s.net, &s.grid, &s.hotspots);
+    let update_batches: Vec<Vec<UpdateOp>> = (0..10)
+        .map(|_| {
+            gen.generate(
+                &WorkloadConfig {
+                    count: 20,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+            .into_iter()
+            .map(UpdateOp::AddTrajectory)
+            .collect()
+        })
+        .collect();
+    let queries = generate_query_workload(
+        &QueryWorkloadConfig {
+            count,
+            tau_min: 400.0,
+            tau_max: 2_800.0,
+            repeat_fraction: 0.5,
+            arrival,
+            ..Default::default()
+        },
+        &mut rng,
+    );
+
+    let service = Arc::new(NetClusService::start(
+        s.net.clone(),
+        s.trajectories.clone(),
+        index,
+        ServiceConfig {
+            workers,
+            ..Default::default()
+        },
+    ));
+
+    std::thread::scope(|scope| {
+        // Writer: spread the update batches across the run.
+        {
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                for batch in update_batches {
+                    std::thread::sleep(std::time::Duration::from_millis(40));
+                    service.apply_updates(batch);
+                }
+            });
+        }
+        // Closed-loop clients: each replays its slice, thinking between
+        // completions as the arrival process prescribes.
+        for slice in queries.chunks(queries.len().div_ceil(clients)) {
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                for tq in slice {
+                    let request = match tq.kind {
+                        QueryKind::Greedy => ServiceRequest::greedy(tq.query),
+                        QueryKind::Fm { copies } => ServiceRequest::fm(tq.query, copies, 0xF1),
+                    };
+                    service.query_blocking(request);
+                    if !think_time.is_zero() {
+                        std::thread::sleep(think_time);
+                    }
+                }
+            });
+        }
+    });
+
+    let report = service.metrics_report();
+    let header = [
+        "workers",
+        "clients",
+        "completed",
+        "q/s",
+        "p50 µs",
+        "p99 µs",
+        "hit%",
+        "dedup",
+        "epochs",
+    ];
+    let hit_pct = if report.cache.hits + report.cache.misses > 0 {
+        100.0 * report.cache.hits as f64 / (report.cache.hits + report.cache.misses) as f64
+    } else {
+        0.0
+    };
+    let row = vec![
+        workers.to_string(),
+        clients.to_string(),
+        report.completed.to_string(),
+        format!("{:.0}", report.throughput_qps),
+        report.latency.p50_micros.to_string(),
+        report.latency.p99_micros.to_string(),
+        format!("{hit_pct:.1}"),
+        report.dedup_joined.to_string(),
+        report.epoch_advances.to_string(),
+    ];
+    print_table(
+        "service — closed-loop serving throughput (beijing-small)",
+        &header,
+        &[row.clone()],
+    );
+    ctx.write_csv("service", &header, &[row]);
+    println!("BENCH_SERVICE_THROUGHPUT {}", report.to_json_line());
+    service.shutdown();
+}

@@ -69,7 +69,12 @@ pub fn run(ctx: &mut Ctx) {
             format!("{:.3}", site_time.as_secs_f64() * 1e3),
         ]);
     }
-    let header = ["traj_added", "traj_update_ms", "sites_added", "site_update_ms"];
+    let header = [
+        "traj_added",
+        "traj_update_ms",
+        "sites_added",
+        "site_update_ms",
+    ];
     print_table(
         "Table 10 — index update cost: batch trajectory and site additions",
         &header,

@@ -54,7 +54,12 @@ impl AlgoRun {
 pub type MaybeRun = Option<AlgoRun>;
 
 /// Exact re-evaluation shared by all runners.
-fn score(s: &Scenario, sites: &[netclus_roadnet::NodeId], tau: f64, pref: PreferenceFunction) -> (f64, usize) {
+fn score(
+    s: &Scenario,
+    sites: &[netclus_roadnet::NodeId],
+    tau: f64,
+    pref: PreferenceFunction,
+) -> (f64, usize) {
     let eval = evaluate_sites(
         &s.net,
         &s.trajectories,
@@ -244,8 +249,7 @@ pub fn run_fm_netclus(
     );
     let (utility, covered) = score(s, &answer.solution.sites, tau, PreferenceFunction::Binary);
     let p = index.instance_for(tau);
-    let memory =
-        index.heap_size_bytes() + index.instance(p).cluster_count() * copies * 4;
+    let memory = index.heap_size_bytes() + index.instance(p).cluster_count() * copies * 4;
     AlgoRun {
         sites: answer.solution.sites,
         utility,

@@ -1,0 +1,334 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset of the criterion 0.5 API the workspace's benches
+//! use — [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher`],
+//! [`criterion_group!`] and [`criterion_main!`] — with a simple
+//! warm-up + fixed-sample measurement loop instead of criterion's
+//! statistical machinery. Results are printed one line per benchmark:
+//!
+//! ```text
+//! bench group/id ... time: [min 1.234 µs  mean 1.301 µs  max 1.402 µs]  (N iters)
+//! ```
+//!
+//! Set `NETCLUS_BENCH_FAST=1` to clamp warm-up/measurement times for smoke
+//! runs (used by CI).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver: holds the measurement configuration.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 50,
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_millis(2_000),
+        }
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("NETCLUS_BENCH_FAST").is_ok_and(|v| v != "0")
+}
+
+impl Criterion {
+    /// Sets the target number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the warm-up duration before timing starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the time budget for the timed samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Benches a standalone function.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.clone();
+        run_one(&cfg, None, &id.into(), &mut f);
+    }
+}
+
+/// A named collection of benchmarks sharing group-level configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample size for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    /// Benches a function under this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = self.effective();
+        run_one(&cfg, Some(&self.name), &id.into(), &mut f);
+        self
+    }
+
+    /// Benches a function parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let cfg = self.effective();
+        run_one(&cfg, Some(&self.name), &id.into(), &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+
+    fn effective(&self) -> Criterion {
+        let mut cfg = self.criterion.clone();
+        if let Some(n) = self.sample_size {
+            cfg.sample_size = n;
+        }
+        cfg
+    }
+}
+
+/// Identifies one benchmark: a function name plus an optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    name: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id for `name` at parameter value `parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: name.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name,
+            parameter: None,
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) => write!(f, "{}/{}", self.name, p),
+            None => f.write_str(&self.name),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] runs and times the
+/// workload.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    samples: Vec<Duration>,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording per-iteration timings.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses (at least once).
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        loop {
+            std::hint::black_box(f());
+            warm_iters += 1;
+            if start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let per_iter = start.elapsed() / warm_iters.max(1) as u32;
+        // Choose an inner iteration count so one sample is ≥ ~50 µs but all
+        // samples fit the measurement budget.
+        let budget_per_sample = self.measurement / self.sample_size.max(1) as u32;
+        let inner = if per_iter.is_zero() {
+            1_000
+        } else {
+            (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..inner {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed() / inner as u32);
+            self.iters += inner;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+
+    /// Like [`Bencher::iter`], but re-creates the routine's input with
+    /// `setup` before every (untimed) invocation; only `routine` is timed.
+    pub fn iter_with_setup<I, O, S, F>(&mut self, mut setup: S, mut routine: F)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warm-up: at least one run, until the warm-up budget elapses.
+        let start = Instant::now();
+        loop {
+            std::hint::black_box(routine(setup()));
+            if start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Timed samples: one routine call per sample, setup excluded.
+        let deadline = Instant::now() + self.measurement;
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.samples.push(t.elapsed());
+            self.iters += 1;
+            if Instant::now() >= deadline {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one(
+    cfg: &Criterion,
+    group: Option<&str>,
+    id: &BenchmarkId,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let (warm_up, measurement) = if fast_mode() {
+        (
+            Duration::from_millis(10).min(cfg.warm_up),
+            Duration::from_millis(50).min(cfg.measurement),
+        )
+    } else {
+        (cfg.warm_up, cfg.measurement)
+    };
+    let mut b = Bencher {
+        warm_up,
+        measurement,
+        sample_size: cfg.sample_size,
+        samples: Vec::new(),
+        iters: 0,
+    };
+    f(&mut b);
+    let label = match group {
+        Some(g) => format!("{g}/{id}"),
+        None => id.to_string(),
+    };
+    if b.samples.is_empty() {
+        println!("bench {label:<40} (no samples; closure never called iter)");
+        return;
+    }
+    let min = b.samples.iter().min().unwrap();
+    let max = b.samples.iter().max().unwrap();
+    let mean = b.samples.iter().sum::<Duration>() / b.samples.len() as u32;
+    println!(
+        "bench {label:<40} time: [min {}  mean {}  max {}]  ({} iters)",
+        fmt_duration(*min),
+        fmt_duration(mean),
+        fmt_duration(*max),
+        b.iters
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function named `$name` running `$targets`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $cfg;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

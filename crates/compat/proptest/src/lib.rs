@@ -1,0 +1,120 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Provides the subset of the proptest API this workspace's property tests
+//! use: the [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! range / tuple / [`strategy::Just`] / [`collection::vec`] strategies,
+//! [`arbitrary::any`], the [`proptest!`] test macro with
+//! `#![proptest_config(..)]`, and `prop_assert!`/`prop_assert_eq!`/
+//! [`prop_oneof!`].
+//!
+//! Unlike real proptest there is **no shrinking**: each test case draws
+//! fresh random values from a generator seeded deterministically by
+//! `(module, test name, case number)`, so failures reproduce exactly on
+//! re-run. That trade keeps the shim tiny while preserving the coverage
+//! the workspace's properties rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+/// Namespace mirror of proptest's `prop` module.
+pub mod prop {
+    /// Collection strategies (`prop::collection::vec`).
+    pub mod collection {
+        pub use crate::collection::vec;
+    }
+}
+
+/// The common imports for property tests.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Asserts a property holds for the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts two values are equal for the current case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// A strategy choosing uniformly between the given strategies (which must
+/// share a value type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($crate::strategy::boxed($s)),+])
+    };
+}
+
+/// Declares property tests. Each `fn name(x in strategy, ...) { body }`
+/// item becomes a `#[test]` that runs `body` for `config.cases` freshly
+/// generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ cfg = ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr); ) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::test_runner::ProptestConfig = $cfg;
+            for __case in 0..__config.cases {
+                let mut __rng =
+                    $crate::test_runner::case_rng(module_path!(), stringify!($name), __case);
+                $crate::__proptest_bind!(__rng; $($args)*);
+                $body
+            }
+        }
+        $crate::__proptest_impl!{ cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: binds one `pat in strategy` arg.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; mut $name:ident in $strat:expr) => {
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; mut $name:ident in $strat:expr, $($rest:tt)*) => {
+        let mut $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident in $strat:expr) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+    };
+    ($rng:ident; $name:ident in $strat:expr, $($rest:tt)*) => {
+        let $name = $crate::strategy::Strategy::generate(&($strat), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}

@@ -1,0 +1,36 @@
+//! Test-runner configuration and per-case seeding.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Deterministic per-case generator: seeded by an FNV-1a hash of the test's
+/// module path and name plus the case number, so every case reproduces
+/// exactly on re-run while distinct tests get independent streams.
+pub fn case_rng(module: &str, test: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in module.bytes().chain([b':']).chain(test.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64) << 32 | case as u64))
+}

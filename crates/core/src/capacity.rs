@@ -69,8 +69,7 @@ pub fn tops_capacity<P: CoverageProvider>(
                 Some((bi, bg)) => {
                     gain > bg
                         || (gain == bg
-                            && (weights[i] > weights[bi]
-                                || (weights[i] == weights[bi] && i > bi)))
+                            && (weights[i] > weights[bi] || (weights[i] == weights[bi] && i > bi)))
                 }
             };
             if better {

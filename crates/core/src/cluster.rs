@@ -159,8 +159,7 @@ impl ClusterInstance {
         // Trajectory lists and inverse map.
         let mut traj_clusters: Vec<Vec<(u32, f64)>> = vec![Vec::new(); trajs.id_bound()];
         for (tj, traj) in trajs.iter() {
-            traj_clusters[tj.index()] =
-                map_trajectory(traj, &node_cluster, &node_center_dist);
+            traj_clusters[tj.index()] = map_trajectory(traj, &node_cluster, &node_center_dist);
         }
         for (j, ccs) in traj_clusters.iter().enumerate() {
             for &(ci, d) in ccs {
@@ -174,8 +173,7 @@ impl ClusterInstance {
         for (ci, &c) in centers.iter().enumerate() {
             center_of[c.index()] = ci as u32;
         }
-        let neighbor_lists =
-            compute_neighbors(net, &centers, &center_of, neighbor_limit, threads);
+        let neighbor_lists = compute_neighbors(net, &centers, &center_of, neighbor_limit, threads);
         for (c, nb) in clusters.iter_mut().zip(neighbor_lists) {
             c.neighbors = nb;
         }
@@ -324,17 +322,16 @@ fn compute_neighbors(
         let chunk = eta.div_ceil(workers);
         let center_chunks: Vec<&[NodeId]> = centers.chunks(chunk).collect();
         let mut list_chunks: Vec<&mut [Vec<(u32, f64)>]> = lists.chunks_mut(chunk).collect();
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (cs, ls) in center_chunks.iter().zip(list_chunks.iter_mut()) {
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut rt = RoundTripEngine::for_network(net);
                     for (slot, &c) in ls.iter_mut().zip(cs.iter()) {
                         *slot = compute(c, &mut rt);
                     }
                 });
             }
-        })
-        .expect("neighbor worker panicked");
+        });
     }
     lists
 }
@@ -356,7 +353,12 @@ mod tests {
         }
         let net = b.build().unwrap();
         let mut trajs = TrajectorySet::for_network(&net);
-        for r in [&[0u32, 1, 2, 3][..], &[4, 5, 6], &[8, 9, 10, 11], &[2, 3, 4, 5]] {
+        for r in [
+            &[0u32, 1, 2, 3][..],
+            &[4, 5, 6],
+            &[8, 9, 10, 11],
+            &[2, 3, 4, 5],
+        ] {
             trajs.add(Trajectory::new(r.iter().map(|&i| NodeId(i)).collect()));
         }
         (net, trajs)
@@ -386,7 +388,10 @@ mod tests {
         let inst = build_instance(&net, &trajs, 200.0, RepresentativeStrategy::default());
         // Every node mapped; every cluster has a representative (all nodes
         // are sites).
-        assert!(inst.node_cluster.iter().all(|&c| (c as usize) < inst.cluster_count()));
+        assert!(inst
+            .node_cluster
+            .iter()
+            .all(|&c| (c as usize) < inst.cluster_count()));
         for c in &inst.clusters {
             assert!(c.representative.is_some());
             // With every node a site, the closest site is the center itself.
@@ -396,7 +401,10 @@ mod tests {
             assert_eq!(c.neighbors[0], (inst.node_cluster[c.center.index()], 0.0));
             // Neighbor distances are within the limit and sorted.
             assert!(c.neighbors.windows(2).all(|w| w[0].1 <= w[1].1));
-            assert!(c.neighbors.iter().all(|&(_, d)| d <= inst.neighbor_limit + 1e-9));
+            assert!(c
+                .neighbors
+                .iter()
+                .all(|&(_, d)| d <= inst.neighbor_limit + 1e-9));
         }
     }
 
@@ -506,12 +514,24 @@ mod tests {
             },
         );
         let seq = ClusterInstance::build(
-            &net, &trajs, &is_site, &gdsp, 150.0, 0.75,
-            RepresentativeStrategy::ClosestToCenter, 1,
+            &net,
+            &trajs,
+            &is_site,
+            &gdsp,
+            150.0,
+            0.75,
+            RepresentativeStrategy::ClosestToCenter,
+            1,
         );
         let par = ClusterInstance::build(
-            &net, &trajs, &is_site, &gdsp, 150.0, 0.75,
-            RepresentativeStrategy::ClosestToCenter, 4,
+            &net,
+            &trajs,
+            &is_site,
+            &gdsp,
+            150.0,
+            0.75,
+            RepresentativeStrategy::ClosestToCenter,
+            4,
         );
         for (a, b) in seq.clusters.iter().zip(par.clusters.iter()) {
             assert_eq!(a.neighbors, b.neighbors);

@@ -31,11 +31,7 @@ pub struct CostConfig {
 /// # Panics
 /// Panics if `costs.len() != provider.site_count()` or any cost is not
 /// positive/finite.
-pub fn tops_cost<P: CoverageProvider>(
-    provider: &P,
-    cfg: &CostConfig,
-    costs: &[f64],
-) -> Solution {
+pub fn tops_cost<P: CoverageProvider>(provider: &P, cfg: &CostConfig, costs: &[f64]) -> Solution {
     assert_eq!(
         costs.len(),
         provider.site_count(),
@@ -71,9 +67,7 @@ pub fn tops_cost<P: CoverageProvider>(
             let gain: f64 = provider
                 .covered(i)
                 .iter()
-                .map(|&(tj, d)| {
-                    (cfg.preference.score(d, cfg.tau) - utilities[tj.index()]).max(0.0)
-                })
+                .map(|&(tj, d)| (cfg.preference.score(d, cfg.tau) - utilities[tj.index()]).max(0.0))
                 .sum();
             let ratio = gain / costs[i];
             let better = match best {
@@ -134,7 +128,10 @@ pub fn tops_cost<P: CoverageProvider>(
     };
 
     Solution {
-        sites: site_indices.iter().map(|&i| provider.site_node(i)).collect(),
+        sites: site_indices
+            .iter()
+            .map(|&i| provider.site_node(i))
+            .collect(),
         site_indices,
         utility,
         gains,

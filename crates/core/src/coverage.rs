@@ -82,19 +82,17 @@ impl CoverageIndex {
         } else {
             let chunk = n.div_ceil(workers);
             let site_chunks: Vec<&[NodeId]> = sites.chunks(chunk).collect();
-            let mut tc_chunks: Vec<&mut [Vec<(TrajId, f64)>]> =
-                tc.chunks_mut(chunk).collect();
-            crossbeam::thread::scope(|scope| {
+            let mut tc_chunks: Vec<&mut [Vec<(TrajId, f64)>]> = tc.chunks_mut(chunk).collect();
+            std::thread::scope(|scope| {
                 for (site_chunk, tc_chunk) in site_chunks.iter().zip(tc_chunks.iter_mut()) {
-                    scope.spawn(move |_| {
+                    scope.spawn(move || {
                         let mut eng = DetourEngine::new(net, model);
                         for (slot, &s) in tc_chunk.iter_mut().zip(site_chunk.iter()) {
                             *slot = eng.site_coverage(trajs, s, tau);
                         }
                     });
                 }
-            })
-            .expect("coverage worker panicked");
+            });
         }
 
         // Invert TC into SC.
@@ -219,7 +217,9 @@ mod tests {
         for i in 0..idx.site_count() {
             for &(tj, d) in idx.covered(i) {
                 assert!(
-                    idx.covering(tj).iter().any(|&(si, d2)| si as usize == i && d2 == d),
+                    idx.covering(tj)
+                        .iter()
+                        .any(|&(si, d2)| si as usize == i && d2 == d),
                     "SC missing inverse of TC[{i}] -> {tj:?}"
                 );
             }
@@ -270,8 +270,7 @@ mod tests {
     fn coverable_trajectories_counts_nonempty_sc() {
         let (net, trajs) = fixture();
         // Only site 0 as candidate; τ = 0 → covers only T0.
-        let idx =
-            CoverageIndex::build(&net, &trajs, &[NodeId(0)], 0.0, DetourModel::RoundTrip, 1);
+        let idx = CoverageIndex::build(&net, &trajs, &[NodeId(0)], 0.0, DetourModel::RoundTrip, 1);
         assert_eq!(idx.coverable_trajectories(), 1);
         assert_eq!(idx.site_count(), 1);
         assert_eq!(idx.site_node(0), NodeId(0));
@@ -281,6 +280,13 @@ mod tests {
     #[should_panic(expected = "invalid τ")]
     fn invalid_tau_panics() {
         let (net, trajs) = fixture();
-        CoverageIndex::build(&net, &trajs, &[NodeId(0)], f64::NAN, DetourModel::RoundTrip, 1);
+        CoverageIndex::build(
+            &net,
+            &trajs,
+            &[NodeId(0)],
+            f64::NAN,
+            DetourModel::RoundTrip,
+            1,
+        );
     }
 }

@@ -117,9 +117,7 @@ impl<'a> DetourEngine<'a> {
             DetourModel::RoundTrip => traj
                 .nodes()
                 .iter()
-                .filter_map(|&v| {
-                    Some(self.bwd.distance(v)? + self.fwd.distance(v)?)
-                })
+                .filter_map(|&v| Some(self.bwd.distance(v)? + self.fwd.distance(v)?))
                 .min_by(|a, b| a.total_cmp(b)),
             DetourModel::PairDetour => {
                 let cum = traj.cumulative_distances(self.net);

@@ -63,8 +63,7 @@ pub fn exact_optimal<P: CoverageProvider>(provider: &P, cfg: &ExactConfig) -> Ex
         })
         .collect();
     let mut order: Vec<usize> = (0..n).collect();
-    let weight =
-        |i: usize| -> f64 { psi[i].iter().map(|&(_, s)| s).sum() };
+    let weight = |i: usize| -> f64 { psi[i].iter().map(|&(_, s)| s).sum() };
     order.sort_by(|&a, &b| weight(b).total_cmp(&weight(a)).then(a.cmp(&b)));
 
     let mut search = Search {
@@ -97,7 +96,10 @@ pub fn exact_optimal<P: CoverageProvider>(provider: &P, cfg: &ExactConfig) -> Ex
     };
     ExactResult {
         solution: Solution {
-            sites: site_indices.iter().map(|&i| provider.site_node(i)).collect(),
+            sites: site_indices
+                .iter()
+                .map(|&i| provider.site_node(i))
+                .collect(),
             site_indices,
             utility,
             gains: Vec::new(),
@@ -340,7 +342,7 @@ mod tests {
         let mut sel = exact.solution.site_indices.clone();
         sel.sort_unstable();
         assert_eq!(sel, vec![0, 2]); // {s1, s3}
-        // Greedy achieves 0.9 — the paper's sub-optimality gap.
+                                     // Greedy achieves 0.9 — the paper's sub-optimality gap.
         let g = inc_greedy(
             &p,
             &GreedyConfig {
@@ -361,7 +363,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(29);
         for trial in 0..30 {
             let m = rng.random_range(1..16);
-            let n = rng.random_range(1..10);
+            let n: usize = rng.random_range(1..10);
             let k = rng.random_range(1..=n.min(4));
             let tc: Vec<Vec<(TrajId, f64)>> = (0..n)
                 .map(|_| {
@@ -395,7 +397,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31);
         for _ in 0..20 {
             let m = rng.random_range(2..20);
-            let n = rng.random_range(2..9);
+            let n: usize = rng.random_range(2..9);
             let k = rng.random_range(1..=n.min(3));
             let tc: Vec<Vec<(TrajId, f64)>> = (0..n)
                 .map(|_| {

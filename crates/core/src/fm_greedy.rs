@@ -211,11 +211,7 @@ mod tests {
         // covers {5..7}: greedy must pick 0 (or 1) then 2, never both dupes.
         let p = Mock::new(
             8,
-            vec![
-                (0..5).collect(),
-                (0..5).collect(),
-                (5..8).collect(),
-            ],
+            vec![(0..5).collect(), (0..5).collect(), (5..8).collect()],
         );
         let sol = fm_greedy(
             &p,

@@ -132,8 +132,7 @@ fn ball_sweep(
 ) -> (Vec<u32>, Option<Vec<FmSketch>>) {
     let n = net.node_count();
     let mut sizes = vec![0u32; n];
-    let mut sketches: Option<Vec<FmSketch>> =
-        family.map(|f| vec![f.empty(); n]);
+    let mut sketches: Option<Vec<FmSketch>> = family.map(|f| vec![f.empty(); n]);
 
     let workers = threads.max(1).min(n.max(1));
     if workers <= 1 {
@@ -155,14 +154,14 @@ fn ball_sweep(
             Some(sk) => sk.chunks_mut(chunk).map(Some).collect(),
             None => (0..size_chunks.len()).map(|_| None).collect(),
         };
-        crossbeam::thread::scope(|scope| {
+        std::thread::scope(|scope| {
             for (ci, (size_chunk, sketch_chunk)) in size_chunks
                 .iter_mut()
                 .zip(sketch_chunks.iter_mut())
                 .enumerate()
             {
                 let base = ci * chunk;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     let mut rt = RoundTripEngine::for_network(net);
                     for (off, slot) in size_chunk.iter_mut().enumerate() {
                         let v = base + off;
@@ -177,8 +176,7 @@ fn ball_sweep(
                     }
                 });
             }
-        })
-        .expect("ball sweep worker panicked");
+        });
     }
     (sizes, sketches)
 }
@@ -195,9 +193,7 @@ fn exact_selection(net: &RoadNetwork, limit: f64, sizes: &[u32]) -> Vec<RawClust
     impl Ord for Entry {
         fn cmp(&self, o: &Self) -> std::cmp::Ordering {
             // Max-heap on gain; ties prefer the smaller node id.
-            self.gain
-                .cmp(&o.gain)
-                .then_with(|| o.node.cmp(&self.node))
+            self.gain.cmp(&o.gain).then_with(|| o.node.cmp(&self.node))
         }
     }
     impl PartialOrd for Entry {
@@ -221,7 +217,9 @@ fn exact_selection(net: &RoadNetwork, limit: f64, sizes: &[u32]) -> Vec<RawClust
     let mut round = 0u32;
 
     while covered_count < n {
-        let top = heap.pop().expect("uncovered vertices remain ⇒ heap nonempty");
+        let top = heap
+            .pop()
+            .expect("uncovered vertices remain ⇒ heap nonempty");
         if covered[top.node as usize] {
             continue; // covered vertices cannot become centers (paper 4.1.2)
         }
@@ -490,9 +488,8 @@ mod tests {
             },
         );
         assert_eq!(seq.cluster_count(), par.cluster_count());
-        let centers = |r: &GdspResult| -> Vec<NodeId> {
-            r.clusters.iter().map(|c| c.center).collect()
-        };
+        let centers =
+            |r: &GdspResult| -> Vec<NodeId> { r.clusters.iter().map(|c| c.center).collect() };
         assert_eq!(centers(&seq), centers(&par));
         assert_eq!(seq.mean_ball_size, par.mean_ball_size);
     }
@@ -539,9 +536,8 @@ mod tests {
         };
         let a = greedy_gdsp(&net, &cfg);
         let b = greedy_gdsp(&net, &cfg);
-        let centers = |r: &GdspResult| -> Vec<NodeId> {
-            r.clusters.iter().map(|c| c.center).collect()
-        };
+        let centers =
+            |r: &GdspResult| -> Vec<NodeId> { r.clusters.iter().map(|c| c.center).collect() };
         assert_eq!(centers(&a), centers(&b));
     }
 

@@ -191,8 +191,7 @@ fn eager_greedy<P: CoverageProvider>(
                 Some(b) => {
                     marginal[i] > marginal[b]
                         || (marginal[i] == marginal[b]
-                            && (weights[i] > weights[b]
-                                || (weights[i] == weights[b] && i > b)))
+                            && (weights[i] > weights[b] || (weights[i] == weights[b] && i > b)))
                 }
             };
             if better {
@@ -621,7 +620,7 @@ mod tests {
         use rand::{RngExt, SeedableRng};
         let mut rng = StdRng::seed_from_u64(13);
         for trial in 0..25 {
-            let m = rng.random_range(1..40);
+            let m: usize = rng.random_range(1..40);
             let n = rng.random_range(1..25);
             let tc: Vec<Vec<(TrajId, f64)>> = (0..n)
                 .map(|_| {

@@ -236,13 +236,7 @@ mod tests {
     fn clusters_partition_sites() {
         let p = Mock::binary(
             8,
-            vec![
-                vec![0, 1],
-                vec![1, 2],
-                vec![5, 6],
-                vec![5, 6, 7],
-                vec![3],
-            ],
+            vec![vec![0, 1], vec![1, 2], vec![5, 6], vec![5, 6, 7], vec![3]],
         );
         let r = jaccard_clustering(&p, &JaccardConfig { alpha: 0.6 });
         let mut seen = [false; 5];

@@ -39,6 +39,26 @@
 //! | Jaccard baseline (App. B.1) | [`jaccard`] |
 //! | Memory accounting (Tables 9, 12) | [`memory`] |
 //!
+//! ## Serving architecture
+//!
+//! This crate is the single-threaded algorithmic core; the companion
+//! `netclus-service` crate turns it into a concurrent in-process query
+//! server. The seam between the two:
+//!
+//! | Serving concept | Where it lives |
+//! |-----------------|----------------|
+//! | Epoch-based snapshots (`Arc`-swapped `NetClusIndex` + corpus; readers never block) | `netclus_service::snapshot` |
+//! | Worker pool, bounded admission, request batching, in-flight dedup | `netclus_service::executor` |
+//! | Sharded LRU result cache keyed `(k, τ, ψ, variant, epoch)` | `netclus_service::cache` |
+//! | Latency/throughput/queue/cache metrics | `netclus_service::metrics` |
+//!
+//! Everything the service shares across threads ([`NetClusIndex`],
+//! [`netclus_trajectory::TrajectorySet`],
+//! [`netclus_roadnet::RoadNetwork`], [`TopsQuery`], solutions) is
+//! `Send + Sync` by construction — plain owned data, no interior
+//! mutability — and a compile-time audit below pins that guarantee so a
+//! future `Rc`/`RefCell` regression fails to build.
+//!
 //! ## Quick start
 //!
 //! ```
@@ -104,7 +124,9 @@ pub mod prelude {
     pub use crate::coverage::{CoverageIndex, CoverageProvider};
     pub use crate::detour::{DetourEngine, DetourModel};
     pub use crate::exact::{exact_optimal, ExactConfig, ExactResult};
-    pub use crate::fm_greedy::{build_site_sketches, fm_greedy, fm_greedy_prebuilt, FmGreedyConfig};
+    pub use crate::fm_greedy::{
+        build_site_sketches, fm_greedy, fm_greedy_prebuilt, FmGreedyConfig,
+    };
     pub use crate::gdsp::{greedy_gdsp, GdspConfig, GdspMode};
     pub use crate::greedy::{inc_greedy, inc_greedy_from, inc_greedy_seeded, GreedyConfig};
     pub use crate::index::{estimate_tau_range, NetClusConfig, NetClusIndex};
@@ -117,3 +139,27 @@ pub mod prelude {
 }
 
 pub use prelude::*;
+
+/// Compile-time `Send + Sync` audit of every type the serving layer moves
+/// or shares across threads (see "Serving architecture" above). Purely a
+/// static check — never called.
+#[allow(dead_code)]
+fn thread_safety_audit() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    // Index build inputs and output.
+    assert_send_sync::<netclus_roadnet::RoadNetwork>();
+    assert_send_sync::<netclus_trajectory::TrajectorySet>();
+    assert_send_sync::<netclus_trajectory::Trajectory>();
+    assert_send_sync::<index::NetClusIndex>();
+    assert_send_sync::<index::NetClusConfig>();
+    // Query-side types.
+    assert_send_sync::<query::TopsQuery>();
+    assert_send_sync::<query::NetClusAnswer>();
+    assert_send_sync::<query::ClusteredProvider>();
+    assert_send_sync::<preference::PreferenceFunction>();
+    assert_send_sync::<solution::Solution>();
+    assert_send_sync::<fm_greedy::FmGreedyConfig>();
+    // Coverage structures shared by parallel builders.
+    assert_send_sync::<coverage::CoverageIndex>();
+    assert_send_sync::<cluster::ClusterInstance>();
+}

@@ -62,6 +62,9 @@ mod tests {
         assert_eq!(format_bytes(512), "512 B");
         assert_eq!(format_bytes(2048), "2.00 KiB");
         assert_eq!(format_bytes(5 * 1024 * 1024), "5.00 MiB");
-        assert_eq!(format_bytes(3 * 1024 * 1024 * 1024 + 250 * 1024 * 1024), "3.24 GiB");
+        assert_eq!(
+            format_bytes(3 * 1024 * 1024 * 1024 + 250 * 1024 * 1024),
+            "3.24 GiB"
+        );
     }
 }

@@ -109,7 +109,9 @@ impl PreferenceFunction {
                 if lambda.is_finite() && lambda > 0.0 {
                     Ok(())
                 } else {
-                    Err(format!("exponential decay rate must be positive, got {lambda}"))
+                    Err(format!(
+                        "exponential decay rate must be positive, got {lambda}"
+                    ))
                 }
             }
             PreferenceFunction::ConvexProbability { alpha } => {
@@ -149,7 +151,9 @@ mod tests {
             PreferenceFunction::LinearDecay,
             PreferenceFunction::ExponentialDecay { lambda: 2.0 },
             PreferenceFunction::ConvexProbability { alpha: 2.0 },
-            PreferenceFunction::MinInconvenience { normalizer_m: 5_000.0 },
+            PreferenceFunction::MinInconvenience {
+                normalizer_m: 5_000.0,
+            },
         ]
     }
 
@@ -211,7 +215,9 @@ mod tests {
 
     #[test]
     fn min_inconvenience_ignores_tau() {
-        let p = PreferenceFunction::MinInconvenience { normalizer_m: 10_000.0 };
+        let p = PreferenceFunction::MinInconvenience {
+            normalizer_m: 10_000.0,
+        };
         // τ plays no role; normalizer is the cutoff.
         assert!(p.score(5_000.0, 1.0) > 0.0);
         assert_eq!(p.effective_tau(1.0), 10_000.0);

@@ -22,8 +22,8 @@
 
 use std::time::{Duration, Instant};
 
-use netclus_trajectory::{TrajId, TrajectorySet};
 use netclus_roadnet::NodeId;
+use netclus_trajectory::{TrajId, TrajectorySet};
 
 use crate::cluster::ClusterInstance;
 use crate::coverage::CoverageProvider;
@@ -323,7 +323,9 @@ mod tests {
         let mut trajs = TrajectorySet::for_network(&net);
         // 6 trajectories around nodes 2..8, 4 around nodes 20..26.
         for s in 0..6u32 {
-            trajs.add(Trajectory::new((2 + s / 2..8 - s / 3).map(NodeId).collect()));
+            trajs.add(Trajectory::new(
+                (2 + s / 2..8 - s / 3).map(NodeId).collect(),
+            ));
         }
         for s in 0..4u32 {
             trajs.add(Trajectory::new((20 + s..26).map(NodeId).collect()));
@@ -466,7 +468,10 @@ mod tests {
         // 2..8, 6 trajectories).
         let plain = idx.query(&trajs, &q);
         let plain_best = plain.solution.sites[0];
-        assert!(plain_best.0 <= 10, "expected first bundle, got {plain_best:?}");
+        assert!(
+            plain_best.0 <= 10,
+            "expected first bundle, got {plain_best:?}"
+        );
         // With a service already at node 5 (serving that bundle), the next
         // site must go to the second bundle (nodes 20..26).
         let answer = idx.query_with_existing(&net, &trajs, &q, &[NodeId(5)]);

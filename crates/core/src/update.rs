@@ -161,8 +161,16 @@ mod tests {
                 assert_eq!(ca.center, cb.center);
                 assert_eq!(ca.representative, cb.representative);
                 assert_eq!(ca.rep_distance, cb.rep_distance);
-                let mut la: Vec<_> = ca.traj_list.iter().map(|&(t, d)| (t, d.to_bits())).collect();
-                let mut lb: Vec<_> = cb.traj_list.iter().map(|&(t, d)| (t, d.to_bits())).collect();
+                let mut la: Vec<_> = ca
+                    .traj_list
+                    .iter()
+                    .map(|&(t, d)| (t, d.to_bits()))
+                    .collect();
+                let mut lb: Vec<_> = cb
+                    .traj_list
+                    .iter()
+                    .map(|&(t, d)| (t, d.to_bits()))
+                    .collect();
                 la.sort_unstable();
                 lb.sort_unstable();
                 assert_eq!(la, lb, "TL mismatch at center {:?}", ca.center);
@@ -203,8 +211,7 @@ mod tests {
         let mut idx = NetClusIndex::build(&net, &trajs, &initial, config());
         assert!(idx.add_site(&trajs, NodeId(8)));
         assert!(!idx.add_site(&trajs, NodeId(8)), "double add must be no-op");
-        let rebuilt =
-            NetClusIndex::build(&net, &trajs, &[NodeId(3), NodeId(8)], config());
+        let rebuilt = NetClusIndex::build(&net, &trajs, &[NodeId(3), NodeId(8)], config());
         assert_equivalent(&idx, &rebuilt);
         assert_eq!(idx.site_count(), 2);
     }

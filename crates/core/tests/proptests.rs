@@ -25,10 +25,8 @@ fn instance_strategy() -> impl Strategy<Value = Instance> {
         .prop_flat_map(|n| {
             let ring = prop::collection::vec(50.0f64..500.0, n);
             let chords = prop::collection::vec((0..n, 0..n, 50.0f64..500.0), 0..n);
-            let walks = prop::collection::vec(
-                (0..n, prop::collection::vec(0usize..8, 1..10)),
-                1..12,
-            );
+            let walks =
+                prop::collection::vec((0..n, prop::collection::vec(0usize..8, 1..10)), 1..12);
             (Just(n), ring, chords, walks)
         })
         .prop_map(|(n, ring_w, chords, walks)| Instance {

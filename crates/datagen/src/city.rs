@@ -80,10 +80,7 @@ impl Default for GridCityConfig {
 pub fn grid_city<R: RngExt>(cfg: &GridCityConfig, rng: &mut R) -> City {
     let net = grid_patch(cfg, Point::new(0.0, 0.0), rng);
     let bb = net.bounding_box();
-    let center = Point::new(
-        (bb.min.x + bb.max.x) / 2.0,
-        (bb.min.y + bb.max.y) / 2.0,
-    );
+    let center = Point::new((bb.min.x + bb.max.x) / 2.0, (bb.min.y + bb.max.y) / 2.0);
     let radius = bb.width().max(bb.height()) / 2.0;
     City {
         name: "grid".to_string(),
@@ -322,10 +319,7 @@ impl Default for RingRadialCityConfig {
 pub fn ring_radial_city<R: RngExt>(cfg: &RingRadialCityConfig, rng: &mut R) -> City {
     let net = grid_patch(&cfg.mesh, Point::new(0.0, 0.0), rng);
     let bb = net.bounding_box();
-    let center = Point::new(
-        (bb.min.x + bb.max.x) / 2.0,
-        (bb.min.y + bb.max.y) / 2.0,
-    );
+    let center = Point::new((bb.min.x + bb.max.x) / 2.0, (bb.min.y + bb.max.y) / 2.0);
     let max_r = bb.width().min(bb.height()) / 2.0;
 
     let mut b = builder_of(net);
@@ -385,7 +379,10 @@ pub fn ring_radial_city<R: RngExt>(cfg: &RingRadialCityConfig, rng: &mut R) -> C
     for i in 0..5 {
         let angle = i as f64 / 5.0 * std::f64::consts::TAU;
         hotspots.push(Hotspot {
-            center: Point::new(center.x + mid_r * angle.cos(), center.y + mid_r * angle.sin()),
+            center: Point::new(
+                center.x + mid_r * angle.cos(),
+                center.y + mid_r * angle.sin(),
+            ),
             radius: max_r * 0.18,
             weight: 1.0,
         });
@@ -414,8 +411,16 @@ fn grid_patch<R: RngExt>(cfg: &GridCityConfig, origin: Point, rng: &mut R) -> Ro
     let j = cfg.spacing_m * cfg.jitter;
     for y in 0..cfg.rows {
         for x in 0..cfg.cols {
-            let jx = if j > 0.0 { rng.random_range(-j..j) } else { 0.0 };
-            let jy = if j > 0.0 { rng.random_range(-j..j) } else { 0.0 };
+            let jx = if j > 0.0 {
+                rng.random_range(-j..j)
+            } else {
+                0.0
+            };
+            let jy = if j > 0.0 {
+                rng.random_range(-j..j)
+            } else {
+                0.0
+            };
             b.add_node(Point::new(
                 origin.x + x as f64 * cfg.spacing_m + jx,
                 origin.y + y as f64 * cfg.spacing_m + jy,
@@ -603,7 +608,11 @@ mod tests {
         assert!(is_strongly_connected(&city.net));
         assert!(city.hotspots.len() >= 2);
         // Ring/radial overlay adds edges on top of the mesh.
-        let mesh_only = grid_patch(&cfg.mesh, Point::new(0.0, 0.0), &mut StdRng::seed_from_u64(4));
+        let mesh_only = grid_patch(
+            &cfg.mesh,
+            Point::new(0.0, 0.0),
+            &mut StdRng::seed_from_u64(4),
+        );
         assert!(city.net.edge_count() > mesh_only.edge_count());
     }
 

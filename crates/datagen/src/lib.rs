@@ -13,7 +13,9 @@
 //! * [`sites`] — candidate-site selection and cost/capacity assignment
 //!   (Sec. 7 extensions);
 //! * [`scenario`] — one preset per paper dataset (Table 6), scaled to run
-//!   on a single machine.
+//!   on a single machine;
+//! * [`queries`] — TOPS query-stream generation (open/closed-loop arrival
+//!   mixes with dashboard-style repetition) for the serving layer.
 //!
 //! All generation is deterministic given the seed.
 
@@ -21,6 +23,7 @@
 #![warn(missing_docs)]
 
 pub mod city;
+pub mod queries;
 pub mod scenario;
 pub mod sites;
 pub mod workload;
@@ -28,6 +31,9 @@ pub mod workload;
 pub use city::{
     grid_city, polycentric_city, ring_radial_city, star_city, City, GridCityConfig, Hotspot,
     PolycentricCityConfig, RingRadialCityConfig, StarCityConfig,
+};
+pub use queries::{
+    generate_query_workload, ArrivalProcess, QueryKind, QueryWorkloadConfig, TimedQuery,
 };
 pub use scenario::{
     atlanta_like, bangalore_like, beijing_like, beijing_small, new_york_like, Scenario,

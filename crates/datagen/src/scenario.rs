@@ -192,7 +192,9 @@ pub fn beijing_like(cfg: &ScenarioConfig) -> Scenario {
 pub fn new_york_like(cfg: &ScenarioConfig) -> Scenario {
     // Star parameters sized so core + spokes ≈ 17k·scale nodes at scale 1.
     let core = mesh_dim(6_000.0 * cfg.scale);
-    let spoke_len = ((11_000.0 * cfg.scale / 7.0) / (1.0 + 2.0 / 3.0)).round().max(6.0) as usize;
+    let spoke_len = ((11_000.0 * cfg.scale / 7.0) / (1.0 + 2.0 / 3.0))
+        .round()
+        .max(6.0) as usize;
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4E59_4B00);
     let city = star_city(
         &StarCityConfig {

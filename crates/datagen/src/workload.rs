@@ -287,10 +287,13 @@ mod tests {
         let grid = GridIndex::build(&city.net, 300.0);
         let mut gen = WorkloadGenerator::new(&city.net, &grid, &city.hotspots);
         let mut rng = StdRng::seed_from_u64(1);
-        let trajs = gen.generate(&WorkloadConfig {
-            count: 50,
-            ..Default::default()
-        }, &mut rng);
+        let trajs = gen.generate(
+            &WorkloadConfig {
+                count: 50,
+                ..Default::default()
+            },
+            &mut rng,
+        );
         assert_eq!(trajs.len(), 50);
         for t in &trajs {
             assert!(t.len() >= 2, "trivial trajectory generated");
@@ -396,7 +399,9 @@ mod tests {
         let expect = traj.route_length(&city.net) / 10.0;
         assert!((trace.duration() - expect).abs() <= 5.0 + 1e-9);
         // First fix near the origin.
-        let d0 = trace.points()[0].pos.distance(&city.net.point(traj.origin()));
+        let d0 = trace.points()[0]
+            .pos
+            .distance(&city.net.point(traj.origin()));
         assert!(d0 < 100.0, "first fix {d0} m from origin");
     }
 

@@ -4,8 +4,8 @@
 //! track its route.
 
 use netclus_datagen::{
-    grid_city, polycentric_city, star_city, synthesize_gps, GridCityConfig,
-    PolycentricCityConfig, StarCityConfig, WorkloadConfig, WorkloadGenerator,
+    grid_city, polycentric_city, star_city, synthesize_gps, GridCityConfig, PolycentricCityConfig,
+    StarCityConfig, WorkloadConfig, WorkloadGenerator,
 };
 use netclus_roadnet::{is_strongly_connected, GridIndex};
 use proptest::prelude::*;

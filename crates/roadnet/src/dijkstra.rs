@@ -237,8 +237,8 @@ impl DijkstraEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::graph::RoadNetworkBuilder;
     use crate::geometry::Point;
+    use crate::graph::RoadNetworkBuilder;
     use crate::RoadNetwork;
 
     /// 0 -> 1 -> 2 -> 3 line with weights 1, 2, 3 and a shortcut 0 -> 2 (w=5).
@@ -345,7 +345,9 @@ mod tests {
     fn early_stop_halts_search() {
         let net = line();
         let mut e = DijkstraEngine::new(net.node_count());
-        e.run_bounded_until(net.forward(), NodeId(0), f64::INFINITY, |v, _| v == NodeId(1));
+        e.run_bounded_until(net.forward(), NodeId(0), f64::INFINITY, |v, _| {
+            v == NodeId(1)
+        });
         assert_eq!(e.distance(NodeId(1)), Some(1.0));
         assert_eq!(e.distance(NodeId(2)), None); // never settled
     }

@@ -53,7 +53,12 @@ impl RoadNetworkBuilder {
     }
 
     /// Adds a directed edge `from -> to` of length `weight` meters.
-    pub fn add_edge(&mut self, from: NodeId, to: NodeId, weight: f64) -> Result<EdgeId, RoadNetError> {
+    pub fn add_edge(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        weight: f64,
+    ) -> Result<EdgeId, RoadNetError> {
         self.validate_edge(from, to, weight)?;
         let id = EdgeId::from_index(self.edges.len());
         self.edges.push((from.0, to.0, weight));

@@ -148,10 +148,10 @@ impl GridIndex {
     }
 
     fn cell_coords(&self, p: &Point) -> (usize, usize) {
-        let cx = ((p.x - self.bbox.min.x) / self.cell_size)
-            .clamp(0.0, (self.nx - 1) as f64) as usize;
-        let cy = ((p.y - self.bbox.min.y) / self.cell_size)
-            .clamp(0.0, (self.ny - 1) as f64) as usize;
+        let cx =
+            ((p.x - self.bbox.min.x) / self.cell_size).clamp(0.0, (self.nx - 1) as f64) as usize;
+        let cy =
+            ((p.y - self.bbox.min.y) / self.cell_size).clamp(0.0, (self.ny - 1) as f64) as usize;
         (cx, cy)
     }
 

@@ -22,10 +22,7 @@ struct RandomNet {
 fn random_net_strategy(max_n: usize, max_chords: usize) -> impl Strategy<Value = RandomNet> {
     (3..=max_n)
         .prop_flat_map(move |n| {
-            let chords = prop::collection::vec(
-                (0..n, 0..n, 0.1f64..10.0),
-                0..=max_chords,
-            );
+            let chords = prop::collection::vec((0..n, 0..n, 0.1f64..10.0), 0..=max_chords);
             let ring = prop::collection::vec(0.1f64..10.0, n);
             (Just(n), chords, ring)
         })

@@ -1,0 +1,338 @@
+//! Sharded LRU result cache keyed on `(k, τ, ψ, variant, epoch)`.
+//!
+//! Production TOPS traffic is heavily repetitive — the same `(k, τ)`
+//! dashboards refresh, the same city tiles re-query — so answered queries
+//! are worth remembering. The key embeds the epoch of the snapshot that
+//! produced the answer: an epoch advance makes older keys unreachable, and
+//! [`ShardedCache::invalidate_before`] reclaims their space eagerly.
+//! Sharding keeps lock contention negligible next to query compute time.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use netclus::{PreferenceFunction, TopsQuery};
+
+use crate::executor::{QueryVariant, ServiceAnswer};
+
+/// The cache key: every field that determines a TOPS answer.
+///
+/// `τ` and the preference parameters are keyed by their IEEE-754 bit
+/// patterns, so keys are `Eq + Hash` without float comparisons; two queries
+/// hit the same entry exactly when their parameters are bitwise identical.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct QueryKey {
+    /// Number of sites requested.
+    pub k: usize,
+    /// Coverage threshold `τ`, as bits.
+    pub tau_bits: u64,
+    /// Preference function discriminant.
+    pub pref_tag: u8,
+    /// Preference function parameter (λ, α or the normalizer), as bits;
+    /// zero for parameterless variants.
+    pub pref_param_bits: u64,
+    /// Algorithm variant (Inc-Greedy or FM, with the FM parameters).
+    pub variant: VariantKey,
+    /// Epoch of the snapshot the answer must come from.
+    pub epoch: u64,
+}
+
+/// The hashable form of [`QueryVariant`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum VariantKey {
+    /// Inc-Greedy over cluster representatives.
+    Greedy,
+    /// FM-sketch greedy with `(copies, seed)`.
+    Fm(usize, u64),
+}
+
+impl QueryKey {
+    /// Builds the key for `query` answered by `variant` against `epoch`.
+    pub fn new(query: &TopsQuery, variant: QueryVariant, epoch: u64) -> Self {
+        let (pref_tag, pref_param_bits) = match query.preference {
+            PreferenceFunction::Binary => (0, 0),
+            PreferenceFunction::LinearDecay => (1, 0),
+            PreferenceFunction::ExponentialDecay { lambda } => (2, lambda.to_bits()),
+            PreferenceFunction::ConvexProbability { alpha } => (3, alpha.to_bits()),
+            PreferenceFunction::MinInconvenience { normalizer_m } => (4, normalizer_m.to_bits()),
+        };
+        QueryKey {
+            k: query.k,
+            tau_bits: query.tau.to_bits(),
+            pref_tag,
+            pref_param_bits,
+            variant: match variant {
+                QueryVariant::Greedy => VariantKey::Greedy,
+                QueryVariant::Fm { copies, seed } => VariantKey::Fm(copies, seed),
+            },
+            epoch,
+        }
+    }
+
+    /// The same key re-targeted at another epoch.
+    pub fn at_epoch(mut self, epoch: u64) -> Self {
+        self.epoch = epoch;
+        self
+    }
+
+    fn shard_of(&self, shards: usize) -> usize {
+        let mut h = DefaultHasher::new();
+        self.hash(&mut h);
+        (h.finish() as usize) % shards
+    }
+}
+
+/// A point-in-time view of the cache counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries evicted by LRU pressure.
+    pub evictions: u64,
+    /// Entries purged by epoch invalidation.
+    pub invalidated: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Shard {
+    map: HashMap<QueryKey, Entry>,
+    tick: u64,
+}
+
+struct Entry {
+    value: Arc<ServiceAnswer>,
+    last_used: u64,
+}
+
+/// The sharded LRU cache.
+pub struct ShardedCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_per_shard: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl ShardedCache {
+    /// Creates a cache holding at most `capacity` answers across `shards`
+    /// shards (both clamped to at least 1).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let capacity_per_shard = capacity.max(1).div_ceil(shards);
+        ShardedCache {
+            shards: (0..shards)
+                .map(|_| {
+                    Mutex::new(Shard {
+                        map: HashMap::new(),
+                        tick: 0,
+                    })
+                })
+                .collect(),
+            capacity_per_shard,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `key` up, bumping its recency on a hit.
+    pub fn get(&self, key: &QueryKey) -> Option<Arc<ServiceAnswer>> {
+        let mut shard = self.lock_shard(key);
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Like [`ShardedCache::get`] but without touching the hit/miss
+    /// counters — for internal re-probes of a request whose submit-time
+    /// lookup was already counted. Still bumps recency.
+    pub fn peek(&self, key: &QueryKey) -> Option<Arc<ServiceAnswer>> {
+        let mut shard = self.lock_shard(key);
+        shard.tick += 1;
+        let tick = shard.tick;
+        shard.map.get_mut(key).map(|entry| {
+            entry.last_used = tick;
+            Arc::clone(&entry.value)
+        })
+    }
+
+    /// Inserts an answer, evicting the least-recently-used entry of the
+    /// shard if it is full.
+    pub fn insert(&self, key: QueryKey, value: Arc<ServiceAnswer>) {
+        let mut shard = self.lock_shard(&key);
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.map.len() >= self.capacity_per_shard && !shard.map.contains_key(&key) {
+            // O(shard capacity) victim scan — fine at the default ~128
+            // entries/shard; revisit (tick-ordered index) before raising
+            // cache_capacity by orders of magnitude.
+            if let Some(victim) = shard
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                shard.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        shard.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Purges every entry whose epoch is older than `epoch`. Called on
+    /// epoch advance; returns the number of entries removed.
+    pub fn invalidate_before(&self, epoch: u64) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut shard = shard.lock().expect("cache shard poisoned");
+            let before = shard.map.len();
+            shard.map.retain(|k, _| k.epoch >= epoch);
+            removed += before - shard.map.len();
+        }
+        self.invalidated
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        removed
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            entries: self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").map.len())
+                .sum(),
+        }
+    }
+
+    fn lock_shard(&self, key: &QueryKey) -> std::sync::MutexGuard<'_, Shard> {
+        self.shards[key.shard_of(self.shards.len())]
+            .lock()
+            .expect("cache shard poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn answer(epoch: u64) -> Arc<ServiceAnswer> {
+        Arc::new(ServiceAnswer {
+            epoch,
+            corpus_len: 0,
+            site_count: 0,
+            sites: Vec::new(),
+            utility: 0.0,
+            covered: 0,
+            instance: 0,
+            representatives: 0,
+            compute_time: std::time::Duration::ZERO,
+        })
+    }
+
+    fn key(k: usize, tau: f64, epoch: u64) -> QueryKey {
+        QueryKey::new(&TopsQuery::binary(k, tau), QueryVariant::Greedy, epoch)
+    }
+
+    #[test]
+    fn hit_miss_and_counters() {
+        let cache = ShardedCache::new(16, 4);
+        assert!(cache.get(&key(1, 800.0, 0)).is_none());
+        cache.insert(key(1, 800.0, 0), answer(0));
+        assert!(cache.get(&key(1, 800.0, 0)).is_some());
+        // Same parameters, different epoch → different entry.
+        assert!(cache.get(&key(1, 800.0, 1)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 2, 1));
+    }
+
+    #[test]
+    fn distinct_parameters_get_distinct_keys() {
+        let base = key(3, 800.0, 0);
+        assert_ne!(base, key(4, 800.0, 0));
+        assert_ne!(base, key(3, 800.5, 0));
+        assert_ne!(base, key(3, 800.0, 1));
+        assert_ne!(
+            base,
+            QueryKey::new(
+                &TopsQuery::binary(3, 800.0),
+                QueryVariant::Fm {
+                    copies: 30,
+                    seed: 1
+                },
+                0
+            )
+        );
+        let graded = TopsQuery {
+            k: 3,
+            tau: 800.0,
+            preference: PreferenceFunction::LinearDecay,
+        };
+        assert_ne!(base, QueryKey::new(&graded, QueryVariant::Greedy, 0));
+    }
+
+    #[test]
+    fn peek_finds_entries_without_counting() {
+        let cache = ShardedCache::new(16, 4);
+        cache.insert(key(1, 800.0, 0), answer(0));
+        assert!(cache.peek(&key(1, 800.0, 0)).is_some());
+        assert!(cache.peek(&key(9, 800.0, 0)).is_none());
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses), (0, 0));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_shard() {
+        // One shard, capacity 2: the least-recently-touched key must go.
+        let cache = ShardedCache::new(2, 1);
+        cache.insert(key(1, 100.0, 0), answer(0));
+        cache.insert(key(2, 100.0, 0), answer(0));
+        cache.get(&key(1, 100.0, 0)); // refresh key 1
+        cache.insert(key(3, 100.0, 0), answer(0)); // evicts key 2
+        assert!(cache.get(&key(1, 100.0, 0)).is_some());
+        assert!(cache.get(&key(2, 100.0, 0)).is_none());
+        assert!(cache.get(&key(3, 100.0, 0)).is_some());
+        assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn epoch_invalidation_purges_stale_entries() {
+        let cache = ShardedCache::new(64, 8);
+        for e in 0..4u64 {
+            cache.insert(key(1, 500.0, e), answer(e));
+            cache.insert(key(2, 500.0, e), answer(e));
+        }
+        let removed = cache.invalidate_before(2);
+        assert_eq!(removed, 4);
+        assert!(cache.get(&key(1, 500.0, 1)).is_none());
+        assert!(cache.get(&key(1, 500.0, 2)).is_some());
+        assert_eq!(cache.stats().invalidated, 4);
+    }
+}

@@ -1,0 +1,734 @@
+//! The worker-pool executor: bounded admission, request batching, in-flight
+//! deduplication.
+//!
+//! Life of a request:
+//!
+//! 1. **Admission** — [`NetClusService::submit`] validates the request,
+//!    probes the result cache at the current epoch (a hit answers
+//!    immediately), then either *joins* an identical in-flight computation
+//!    or enqueues a new job. The queue is bounded; when full the request is
+//!    rejected so overload degrades by shedding instead of by unbounded
+//!    memory growth.
+//! 2. **Dispatch** — each worker drains up to
+//!    [`ServiceConfig::max_batch`] jobs in one critical section and pins
+//!    **one** snapshot for the whole batch, amortizing the snapshot load
+//!    and keeping every answer of the batch on a single epoch.
+//! 3. **Completion** — the answer is inserted into the cache under
+//!    `(query, variant, epoch)` and delivered to every waiter that joined
+//!    while the computation ran. Deduplication is epoch-honest: a waiter
+//!    that observed a newer epoch at submit than the snapshot the answer
+//!    was computed on is re-flown against a fresh snapshot instead of
+//!    being served the stale result.
+//!
+//! Updates ([`NetClusService::apply_updates`]) go through the snapshot
+//! store's copy-on-write path and never block queries; epoch advance
+//! invalidates stale cache entries.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use netclus::{FmGreedyConfig, TopsQuery};
+use netclus_roadnet::NodeId;
+use netclus_trajectory::TrajectorySet;
+
+use crate::cache::{QueryKey, ShardedCache};
+use crate::metrics::{MetricsClock, MetricsReport};
+use crate::snapshot::{SnapshotStore, UpdateBatch, UpdateReceipt};
+
+/// Which solver answers the query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueryVariant {
+    /// Inc-Greedy over cluster representatives (the paper's NETCLUS).
+    Greedy,
+    /// FM-sketch greedy over representatives (FM-NETCLUS; binary ψ only).
+    Fm {
+        /// Sketch copies `f`.
+        copies: usize,
+        /// Sketch family seed.
+        seed: u64,
+    },
+}
+
+/// A TOPS request: the query plus the solver variant.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceRequest {
+    /// The TOPS query `(k, τ, ψ)`.
+    pub query: TopsQuery,
+    /// The solver variant.
+    pub variant: QueryVariant,
+}
+
+impl ServiceRequest {
+    /// An Inc-Greedy request.
+    pub fn greedy(query: TopsQuery) -> Self {
+        ServiceRequest {
+            query,
+            variant: QueryVariant::Greedy,
+        }
+    }
+
+    /// An FM-sketch request (requires a binary preference).
+    pub fn fm(query: TopsQuery, copies: usize, seed: u64) -> Self {
+        ServiceRequest {
+            query,
+            variant: QueryVariant::Fm { copies, seed },
+        }
+    }
+}
+
+/// An answer, always computed against exactly one published snapshot.
+///
+/// `epoch`, `corpus_len` and `site_count` are all read from that single
+/// snapshot, so consistency checks can verify the triple matches what was
+/// published (a torn read across two epochs would produce a mismatch).
+#[derive(Clone, Debug)]
+pub struct ServiceAnswer {
+    /// Epoch of the snapshot that produced this answer.
+    pub epoch: u64,
+    /// Live trajectories in that snapshot's corpus.
+    pub corpus_len: usize,
+    /// Candidate sites flagged in that snapshot's index.
+    pub site_count: usize,
+    /// Selected sites, in selection order.
+    pub sites: Vec<NodeId>,
+    /// Solver-estimated utility (under `d̂r`; see the core crate).
+    pub utility: f64,
+    /// Trajectories with positive utility under the solver's view.
+    pub covered: usize,
+    /// Index instance that served the query.
+    pub instance: usize,
+    /// Cluster representatives processed.
+    pub representatives: usize,
+    /// Pure compute time (excluding queueing).
+    pub compute_time: Duration,
+}
+
+/// Why a submission was not admitted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The bounded queue is full; retry later (load shedding).
+    QueueFull,
+    /// The service is shutting down; no further requests are admitted.
+    ShuttingDown,
+    /// The request can never be served (bad parameters).
+    Invalid(String),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull => f.write_str("service queue is full"),
+            SubmitError::ShuttingDown => f.write_str("service is shutting down"),
+            SubmitError::Invalid(why) => write!(f, "invalid request: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
+
+/// A pending answer; obtained from [`NetClusService::submit`].
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: Receiver<Arc<ServiceAnswer>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the answer arrives. Returns `None` only if the service
+    /// shut down before answering.
+    pub fn wait(self) -> Option<Arc<ServiceAnswer>> {
+        self.rx.recv().ok()
+    }
+
+    /// Waits up to `timeout`.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Arc<ServiceAnswer>> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServiceConfig {
+    /// Worker threads answering queries.
+    pub workers: usize,
+    /// Bounded queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Maximum jobs a worker drains (and answers on one pinned snapshot)
+    /// per dispatch.
+    pub max_batch: usize,
+    /// Result-cache capacity in answers.
+    pub cache_capacity: usize,
+    /// Result-cache shard count.
+    pub cache_shards: usize,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            workers: 4,
+            queue_capacity: 1_024,
+            max_batch: 16,
+            cache_capacity: 1_024,
+            cache_shards: 8,
+        }
+    }
+}
+
+/// One request waiting on a flight: its response channel, its submit time
+/// (for latency), and the epoch it observed at submit — the answer it
+/// receives must be at least that fresh.
+struct Waiter {
+    tx: Sender<Arc<ServiceAnswer>>,
+    submitted: Instant,
+    min_epoch: u64,
+}
+
+/// A deduplicated unit of work: one `(query, variant)` with every waiter
+/// that asked for it while it was queued or computing.
+struct Flight {
+    query: TopsQuery,
+    variant: QueryVariant,
+    waiters: Vec<Waiter>,
+}
+
+/// Epoch-less key identifying identical queries for deduplication.
+type FlightKey = QueryKey;
+
+struct QueueState {
+    jobs: VecDeque<FlightKey>,
+    shutdown: bool,
+}
+
+struct Inner {
+    cfg: ServiceConfig,
+    /// Mirrors `QueueState::shutdown` for lock-free rejection on the
+    /// submit fast path.
+    stopping: AtomicBool,
+    store: SnapshotStore,
+    cache: ShardedCache,
+    clock: MetricsClock,
+    queue: Mutex<QueueState>,
+    queue_cv: Condvar,
+    inflight: Mutex<HashMap<FlightKey, Flight>>,
+}
+
+/// The in-process NetClus query server.
+pub struct NetClusService {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl NetClusService {
+    /// Publishes `(net, trajs, index)` as epoch 0 and starts the worker
+    /// pool.
+    pub fn start(
+        net: netclus_roadnet::RoadNetwork,
+        trajs: TrajectorySet,
+        index: netclus::NetClusIndex,
+        cfg: ServiceConfig,
+    ) -> Self {
+        let inner = Arc::new(Inner {
+            cfg,
+            stopping: AtomicBool::new(false),
+            store: SnapshotStore::new(net, trajs, index),
+            cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
+            clock: MetricsClock::default(),
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            queue_cv: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+        });
+        let workers = (0..cfg.workers.max(1))
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("netclus-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker")
+            })
+            .collect();
+        NetClusService {
+            inner,
+            workers: Mutex::new(workers),
+        }
+    }
+
+    /// Submits a request. On success the returned handle resolves to the
+    /// answer; rejected requests fail fast with [`SubmitError`].
+    pub fn submit(&self, request: ServiceRequest) -> Result<ResponseHandle, SubmitError> {
+        validate(&request)?;
+        let inner = &*self.inner;
+        let metrics = &inner.clock.metrics;
+        // Uniform post-shutdown contract: cached and uncached requests
+        // are rejected alike.
+        if inner.stopping.load(Ordering::Acquire) {
+            metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::ShuttingDown);
+        }
+        let (tx, rx) = channel();
+        let submitted = Instant::now();
+
+        // Fast path: the answer for the current epoch is already cached.
+        let epoch = inner.store.epoch();
+        let key = QueryKey::new(&request.query, request.variant, epoch);
+        if let Some(answer) = inner.cache.get(&key) {
+            metrics.submitted.fetch_add(1, Ordering::Relaxed);
+            metrics.cache_served.fetch_add(1, Ordering::Relaxed);
+            metrics.completed.fetch_add(1, Ordering::Relaxed);
+            metrics.latency.record(submitted.elapsed());
+            let _ = tx.send(answer);
+            return Ok(ResponseHandle { rx });
+        }
+
+        let flight_key = key.at_epoch(0);
+        let waiter = Waiter {
+            tx,
+            submitted,
+            min_epoch: epoch,
+        };
+        {
+            let mut inflight = inner.inflight.lock().expect("inflight lock poisoned");
+            if let Some(flight) = inflight.get_mut(&flight_key) {
+                // Identical query already queued or computing: attach. The
+                // recorded `min_epoch` keeps the join honest — if the
+                // running computation pinned an older snapshot, the worker
+                // re-enqueues this waiter instead of serving it stale.
+                flight.waiters.push(waiter);
+                metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                metrics.dedup_joined.fetch_add(1, Ordering::Relaxed);
+                return Ok(ResponseHandle { rx });
+            }
+            // New flight: reserve queue space before registering it.
+            let mut queue = inner.queue.lock().expect("queue lock poisoned");
+            if queue.shutdown {
+                metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::ShuttingDown);
+            }
+            if queue.jobs.len() >= inner.cfg.queue_capacity {
+                metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::QueueFull);
+            }
+            inflight.insert(
+                flight_key,
+                Flight {
+                    query: request.query,
+                    variant: request.variant,
+                    waiters: vec![waiter],
+                },
+            );
+            queue.jobs.push_back(flight_key);
+            metrics.submitted.fetch_add(1, Ordering::Relaxed);
+            metrics.queue_enter();
+        }
+        inner.queue_cv.notify_one();
+        Ok(ResponseHandle { rx })
+    }
+
+    /// Submits and blocks for the answer. A full queue is treated as
+    /// backpressure: this retries indefinitely (with a short sleep) until
+    /// admitted, so closed-loop callers self-throttle to service capacity.
+    /// Use [`NetClusService::submit`] directly to shed load instead.
+    /// Returns `None` if the request is invalid or the service shuts down.
+    pub fn query_blocking(&self, request: ServiceRequest) -> Option<Arc<ServiceAnswer>> {
+        loop {
+            match self.submit(request) {
+                Ok(handle) => return handle.wait(),
+                Err(SubmitError::QueueFull) => {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(SubmitError::ShuttingDown) | Err(SubmitError::Invalid(_)) => return None,
+            }
+        }
+    }
+
+    /// Applies an update batch copy-on-write and publishes the next epoch;
+    /// stale cache entries are invalidated. Queries keep flowing throughout.
+    pub fn apply_updates(&self, batch: UpdateBatch) -> UpdateReceipt {
+        let receipt = self.inner.store.apply(&batch);
+        self.inner.cache.invalidate_before(receipt.epoch);
+        let metrics = &self.inner.clock.metrics;
+        metrics.epoch_advances.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .updates_applied
+            .fetch_add(receipt.applied as u64, Ordering::Relaxed);
+        receipt
+    }
+
+    /// Pins the currently published snapshot (for out-of-band inspection,
+    /// e.g. exact re-evaluation of answers).
+    pub fn snapshot(&self) -> Arc<crate::snapshot::Snapshot> {
+        self.inner.store.load()
+    }
+
+    /// The currently published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.inner.store.epoch()
+    }
+
+    /// A point-in-time metrics report.
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.inner.clock.metrics.report(
+            self.inner.clock.uptime(),
+            self.inner.store.epoch(),
+            self.inner.cfg.workers.max(1),
+            self.inner.cache.stats(),
+        )
+    }
+
+    /// Drains the queue, stops the workers and joins them. Idempotent;
+    /// also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        self.inner.stopping.store(true, Ordering::Release);
+        {
+            let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
+            queue.shutdown = true;
+        }
+        self.inner.queue_cv.notify_all();
+        let mut workers = self.workers.lock().expect("workers lock poisoned");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for NetClusService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn validate(request: &ServiceRequest) -> Result<(), SubmitError> {
+    let q = &request.query;
+    if q.k == 0 {
+        return Err(SubmitError::Invalid("k must be at least 1".into()));
+    }
+    if !q.tau.is_finite() || q.tau <= 0.0 {
+        return Err(SubmitError::Invalid(format!("invalid τ: {}", q.tau)));
+    }
+    if let Err(why) = q.preference.validate() {
+        return Err(SubmitError::Invalid(why));
+    }
+    if matches!(request.variant, QueryVariant::Fm { .. }) && !q.preference.is_binary() {
+        return Err(SubmitError::Invalid(
+            "FM-NetClus requires the binary preference".into(),
+        ));
+    }
+    if let QueryVariant::Fm { copies, .. } = request.variant {
+        if copies == 0 {
+            return Err(SubmitError::Invalid("FM needs at least one copy".into()));
+        }
+    }
+    Ok(())
+}
+
+/// Worker main loop: drain a batch, pin one snapshot, answer each job.
+fn worker_loop(inner: &Inner) {
+    let metrics = &inner.clock.metrics;
+    loop {
+        let batch: Vec<FlightKey> = {
+            let mut queue = inner.queue.lock().expect("queue lock poisoned");
+            loop {
+                if !queue.jobs.is_empty() {
+                    let n = queue.jobs.len().min(inner.cfg.max_batch.max(1));
+                    break queue.jobs.drain(..n).collect();
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = inner.queue_cv.wait(queue).expect("queue lock poisoned");
+            }
+        };
+        metrics.queue_exit(batch.len() as u64);
+        metrics.batches.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .batched_requests
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+        // One snapshot pin for the whole batch: every answer below is
+        // internally consistent with this single epoch.
+        let snap = inner.store.load();
+        for flight_key in batch {
+            let (query, variant) = {
+                let inflight = inner.inflight.lock().expect("inflight lock poisoned");
+                let flight = inflight
+                    .get(&flight_key)
+                    .expect("queued flight must be registered");
+                (flight.query, flight.variant)
+            };
+            let key = flight_key.at_epoch(snap.epoch());
+            // Non-counting probe: the client-facing hit/miss counters were
+            // already updated by this request's submit-time lookup.
+            let answer = match inner.cache.peek(&key) {
+                Some(hit) => hit,
+                None => {
+                    let t = Instant::now();
+                    let raw = match variant {
+                        QueryVariant::Greedy => snap.index().query(snap.trajs(), &query),
+                        QueryVariant::Fm { copies, seed } => snap.index().query_fm(
+                            snap.trajs(),
+                            &query,
+                            &FmGreedyConfig {
+                                k: query.k,
+                                copies,
+                                seed,
+                            },
+                        ),
+                    };
+                    let answer = Arc::new(ServiceAnswer {
+                        epoch: snap.epoch(),
+                        corpus_len: snap.trajs().len(),
+                        site_count: snap.index().site_count(),
+                        sites: raw.solution.sites,
+                        utility: raw.solution.utility,
+                        covered: raw.solution.covered,
+                        instance: raw.instance,
+                        representatives: raw.representatives,
+                        compute_time: t.elapsed(),
+                    });
+                    inner.cache.insert(key, Arc::clone(&answer));
+                    answer
+                }
+            };
+            // Completion: detach the flight and answer every waiter whose
+            // observed epoch this answer satisfies. Waiters that joined
+            // after a newer epoch was published must not be served the
+            // older snapshot's answer — they are re-flown against a fresh
+            // snapshot (store epochs are monotone, so the next load is at
+            // least as new as anything they observed).
+            let satisfied = {
+                let mut inflight = inner.inflight.lock().expect("inflight lock poisoned");
+                let flight = inflight
+                    .remove(&flight_key)
+                    .expect("flight still registered");
+                let (stale, satisfied): (Vec<Waiter>, Vec<Waiter>) = flight
+                    .waiters
+                    .into_iter()
+                    .partition(|w| w.min_epoch > answer.epoch);
+                if !stale.is_empty() {
+                    inflight.insert(
+                        flight_key,
+                        Flight {
+                            query,
+                            variant,
+                            waiters: stale,
+                        },
+                    );
+                    // Internal retry, bypassing the admission bound (these
+                    // requests were already admitted once).
+                    let mut queue = inner.queue.lock().expect("queue lock poisoned");
+                    queue.jobs.push_back(flight_key);
+                    metrics.queue_enter();
+                    drop(queue);
+                    inner.queue_cv.notify_one();
+                }
+                satisfied
+            };
+            for w in satisfied {
+                metrics.latency.record(w.submitted.elapsed());
+                metrics.completed.fetch_add(1, Ordering::Relaxed);
+                let _ = w.tx.send(Arc::clone(&answer));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclus::prelude::*;
+    use netclus_roadnet::{Point, RoadNetworkBuilder};
+    use netclus_trajectory::Trajectory;
+
+    use crate::UpdateOp;
+
+    fn service(workers: usize) -> NetClusService {
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..30 {
+            b.add_node(Point::new(i as f64 * 100.0, 0.0));
+        }
+        for i in 0..29u32 {
+            b.add_two_way(NodeId(i), NodeId(i + 1), 100.0).unwrap();
+        }
+        let net = b.build().unwrap();
+        let mut trajs = TrajectorySet::for_network(&net);
+        for s in 0..6u32 {
+            trajs.add(Trajectory::new(
+                (2 + s / 2..8 - s / 3).map(NodeId).collect(),
+            ));
+        }
+        for s in 0..4u32 {
+            trajs.add(Trajectory::new((20 + s..26).map(NodeId).collect()));
+        }
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let index = NetClusIndex::build(
+            &net,
+            &trajs,
+            &sites,
+            NetClusConfig {
+                tau_min: 200.0,
+                tau_max: 4_000.0,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        NetClusService::start(
+            net,
+            trajs,
+            index,
+            ServiceConfig {
+                workers,
+                ..Default::default()
+            },
+        )
+    }
+
+    #[test]
+    fn serves_matching_answers_for_both_variants() {
+        let svc = service(2);
+        let q = TopsQuery::binary(2, 800.0);
+        let greedy = svc.query_blocking(ServiceRequest::greedy(q)).unwrap();
+        let fm = svc.query_blocking(ServiceRequest::fm(q, 50, 3)).unwrap();
+        assert_eq!(greedy.sites.len(), 2);
+        assert_eq!(fm.sites.len(), 2);
+        assert_eq!(greedy.epoch, 0);
+        assert_eq!(greedy.corpus_len, 10);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn identical_queries_share_cache_entries() {
+        let svc = service(2);
+        let q = TopsQuery::binary(1, 800.0);
+        let a = svc.query_blocking(ServiceRequest::greedy(q)).unwrap();
+        let b = svc.query_blocking(ServiceRequest::greedy(q)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second answer must come from cache");
+        let report = svc.metrics_report();
+        assert!(report.cache.hits >= 1);
+        assert_eq!(report.completed, 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn updates_advance_epochs_and_refresh_answers() {
+        let svc = service(2);
+        let q = TopsQuery::binary(1, 600.0);
+        let before = svc.query_blocking(ServiceRequest::greedy(q)).unwrap();
+        assert_eq!(before.epoch, 0);
+        // Flood the far end with demand.
+        let batch: UpdateBatch = (0..10)
+            .map(|_| {
+                crate::snapshot::UpdateOp::AddTrajectory(Trajectory::new(vec![
+                    NodeId(28),
+                    NodeId(29),
+                ]))
+            })
+            .collect();
+        let receipt = svc.apply_updates(batch);
+        assert_eq!(receipt.epoch, 1);
+        assert_eq!(receipt.applied, 10);
+        let after = svc.query_blocking(ServiceRequest::greedy(q)).unwrap();
+        assert_eq!(after.epoch, 1);
+        assert_eq!(after.corpus_len, 20);
+        assert!(after.sites[0].0 >= 26, "new demand ignored: {after:?}");
+        svc.shutdown();
+    }
+
+    #[test]
+    fn invalid_requests_fail_fast() {
+        let svc = service(1);
+        assert!(matches!(
+            svc.submit(ServiceRequest::greedy(TopsQuery::binary(0, 800.0))),
+            Err(SubmitError::Invalid(_))
+        ));
+        assert!(matches!(
+            svc.submit(ServiceRequest::greedy(TopsQuery::binary(1, -5.0))),
+            Err(SubmitError::Invalid(_))
+        ));
+        assert!(matches!(
+            svc.submit(ServiceRequest::fm(
+                TopsQuery {
+                    k: 1,
+                    tau: 800.0,
+                    preference: PreferenceFunction::LinearDecay,
+                },
+                30,
+                1
+            )),
+            Err(SubmitError::Invalid(_))
+        ));
+        svc.shutdown();
+    }
+
+    #[test]
+    fn submit_after_shutdown_fails_fast_and_blocking_returns_none() {
+        let svc = service(2);
+        // Warm the cache so the fast path would hit if it were reachable.
+        let q = TopsQuery::binary(1, 800.0);
+        svc.query_blocking(ServiceRequest::greedy(q)).unwrap();
+        svc.shutdown();
+        // Cached and uncached requests are rejected alike after shutdown.
+        assert_eq!(
+            svc.submit(ServiceRequest::greedy(q)).unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        assert_eq!(
+            svc.submit(ServiceRequest::greedy(TopsQuery::binary(2, 900.0)))
+                .unwrap_err(),
+            SubmitError::ShuttingDown
+        );
+        // Must return, not spin: shutdown is terminal, not transient.
+        assert!(svc.query_blocking(ServiceRequest::greedy(q)).is_none());
+    }
+
+    #[test]
+    fn dedup_never_serves_an_answer_older_than_the_submitters_epoch() {
+        // Single worker + a slow first query so a second submit can join
+        // the in-flight flight after an epoch advance; the joiner must get
+        // an epoch-1 answer, not the pinned epoch-0 one.
+        let svc = service(1);
+        let q = TopsQuery::binary(2, 700.0);
+        // Occupy the worker with a different query so the flight for `q`
+        // sits queued while we advance the epoch.
+        let filler = svc
+            .submit(ServiceRequest::greedy(TopsQuery::binary(3, 900.0)))
+            .unwrap();
+        let first = svc.submit(ServiceRequest::greedy(q)).unwrap();
+        svc.apply_updates(vec![UpdateOp::AddTrajectory(Trajectory::new(vec![
+            NodeId(0),
+        ]))]);
+        // This submit observes epoch 1 and joins (or re-creates) the
+        // flight; whatever answer it gets must be from epoch >= 1.
+        let joined = svc.submit(ServiceRequest::greedy(q)).unwrap();
+        let joined_answer = joined.wait().expect("answered");
+        assert!(
+            joined_answer.epoch >= 1,
+            "stale epoch {} served to a post-update submitter",
+            joined_answer.epoch
+        );
+        assert!(filler.wait().is_some());
+        // The pre-update submitter accepts any epoch (0 or 1 both valid).
+        assert!(first.wait().is_some());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_drains() {
+        let svc = service(3);
+        let handles: Vec<_> = (1..=5)
+            .map(|k| {
+                svc.submit(ServiceRequest::greedy(TopsQuery::binary(k, 700.0)))
+                    .unwrap()
+            })
+            .collect();
+        svc.shutdown();
+        svc.shutdown();
+        // Workers drained the queue before exiting.
+        for h in handles {
+            assert!(h.wait().is_some());
+        }
+    }
+}

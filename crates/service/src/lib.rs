@@ -1,0 +1,114 @@
+//! # netclus-service — the concurrent query-serving layer
+//!
+//! The NetClus paper (ICDE 2017) is an *online* framework: the
+//! multi-resolution index exists so TOPS queries `(k, τ, ψ)` answer in
+//! practical latency while the trajectory corpus keeps changing (Sec. 5–6).
+//! This crate turns the `netclus` library into an in-process query server
+//! shaped for that workload:
+//!
+//! * [`snapshot`] — an **epoch-based snapshot store**. The road network,
+//!   [`TrajectorySet`](netclus_trajectory::TrajectorySet) and
+//!   [`NetClusIndex`](netclus::NetClusIndex) live behind an `Arc`-swapped
+//!   immutable [`Snapshot`]. Readers pin a snapshot with one atomic load
+//!   and never block; a writer applies an [`UpdateBatch`] to a private
+//!   copy and publishes it atomically under the next epoch.
+//! * [`executor`] — a **worker-pool executor** with a bounded admission
+//!   queue. Requests are admitted, batched (each worker drains up to a
+//!   configurable number of requests and answers them against a single
+//!   pinned snapshot), and identical in-flight queries are deduplicated:
+//!   late arrivals attach to the running computation instead of repeating
+//!   it.
+//! * [`cache`] — a **sharded LRU result cache** keyed on
+//!   `(k, τ, ψ, variant, epoch)`. Epoch advance invalidates stale entries;
+//!   hit/miss/eviction counters feed the metrics report.
+//! * [`metrics`] — latency histogram, throughput, queue depth and cache
+//!   statistics, exposed as a [`MetricsReport`] serializable to
+//!   single-line JSON.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use netclus::prelude::*;
+//! use netclus_roadnet::{Point, RoadNetworkBuilder};
+//! use netclus_trajectory::{Trajectory, TrajectorySet};
+//! use netclus_service::{NetClusService, ServiceConfig, ServiceRequest, UpdateOp};
+//!
+//! // A corridor with two commuters (see the netclus crate docs).
+//! let mut b = RoadNetworkBuilder::new();
+//! let nodes: Vec<_> = (0..6)
+//!     .map(|i| b.add_node(Point::new(i as f64 * 400.0, 0.0)))
+//!     .collect();
+//! for w in nodes.windows(2) {
+//!     b.add_two_way(w[0], w[1], 400.0).unwrap();
+//! }
+//! let net = b.build().unwrap();
+//! let mut trajs = TrajectorySet::for_network(&net);
+//! trajs.add(Trajectory::new(nodes[0..4].to_vec()));
+//! trajs.add(Trajectory::new(nodes[2..6].to_vec()));
+//! let sites: Vec<_> = net.nodes().collect();
+//! let index = NetClusIndex::build(
+//!     &net,
+//!     &trajs,
+//!     &sites,
+//!     NetClusConfig { tau_min: 800.0, tau_max: 4_000.0, threads: 1, ..Default::default() },
+//! );
+//!
+//! // Serve concurrent queries against atomically swapped snapshots.
+//! let service = NetClusService::start(net, trajs, index, ServiceConfig::default());
+//! let answer = service
+//!     .submit(ServiceRequest::greedy(TopsQuery::binary(1, 800.0)))
+//!     .unwrap()
+//!     .wait()
+//!     .unwrap();
+//! assert_eq!(answer.epoch, 0);
+//! assert_eq!(answer.sites.len(), 1);
+//!
+//! // A live update publishes epoch 1; subsequent answers come from it.
+//! let receipt = service.apply_updates(vec![UpdateOp::AddTrajectory(
+//!     Trajectory::new(nodes[0..2].to_vec()),
+//! )]);
+//! assert_eq!(receipt.epoch, 1);
+//! let fresh = service
+//!     .submit(ServiceRequest::greedy(TopsQuery::binary(1, 800.0)))
+//!     .unwrap()
+//!     .wait()
+//!     .unwrap();
+//! assert_eq!(fresh.epoch, 1);
+//! assert_eq!(fresh.corpus_len, 3);
+//! service.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod executor;
+pub mod metrics;
+pub mod snapshot;
+
+pub use cache::{CacheStats, QueryKey, ShardedCache};
+pub use executor::{
+    NetClusService, QueryVariant, ResponseHandle, ServiceAnswer, ServiceConfig, ServiceRequest,
+    SubmitError,
+};
+pub use metrics::{LatencyHistogram, LatencySummary, MetricsReport, ServiceMetrics};
+pub use snapshot::{Snapshot, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
+
+/// Compile-time audit that everything crossing thread boundaries is
+/// `Send + Sync` (the index, corpus, query and answer types the snapshot
+/// store and executor share between workers).
+#[allow(dead_code)]
+fn send_sync_audit() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<netclus_roadnet::RoadNetwork>();
+    assert_send_sync::<netclus_trajectory::TrajectorySet>();
+    assert_send_sync::<netclus::NetClusIndex>();
+    assert_send_sync::<netclus::TopsQuery>();
+    assert_send_sync::<Snapshot>();
+    assert_send_sync::<SnapshotStore>();
+    assert_send_sync::<UpdateOp>();
+    assert_send_sync::<ShardedCache>();
+    assert_send_sync::<ServiceAnswer>();
+    assert_send_sync::<ServiceMetrics>();
+    assert_send_sync::<NetClusService>();
+}

@@ -1,0 +1,374 @@
+//! Service metrics: latency histogram, throughput, queue depth, cache
+//! statistics — exposed as a serializable [`MetricsReport`].
+//!
+//! Everything is lock-free atomics so the hot path pays a handful of
+//! relaxed increments per request. The report serializes to single-line
+//! JSON (hand-rolled — the workspace is dependency-free) so harness runs
+//! can be grepped and tracked over time (`BENCH_*` lines).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::cache::CacheStats;
+
+/// Number of power-of-two latency buckets (bucket `i` holds samples with
+/// `floor(log2(micros)) == i`; bucket 0 also holds sub-microsecond ones).
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+    max_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+            max_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let micros = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let bucket = if micros == 0 {
+            0
+        } else {
+            (63 - micros.leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_micros.fetch_add(micros, Ordering::Relaxed);
+        self.max_micros.fetch_max(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Summarizes the histogram (mean, p50/p95/p99 upper bucket bounds,
+    /// max).
+    pub fn summary(&self) -> LatencySummary {
+        let count = self.count.load(Ordering::Relaxed);
+        let sum = self.sum_micros.load(Ordering::Relaxed);
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let percentile = |q: f64| -> u64 {
+            if count == 0 {
+                return 0;
+            }
+            let rank = (q * count as f64).ceil().max(1.0) as u64;
+            let mut seen = 0u64;
+            for (i, &c) in counts.iter().enumerate() {
+                seen += c;
+                if seen >= rank {
+                    // Upper bound of bucket i: 2^(i+1) − 1 µs.
+                    return (1u64 << (i + 1)) - 1;
+                }
+            }
+            self.max_micros.load(Ordering::Relaxed)
+        };
+        LatencySummary {
+            count,
+            mean_micros: sum.checked_div(count).unwrap_or(0),
+            p50_micros: percentile(0.50),
+            p95_micros: percentile(0.95),
+            p99_micros: percentile(0.99),
+            max_micros: self.max_micros.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time latency summary, in microseconds.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Mean latency.
+    pub mean_micros: u64,
+    /// Median (upper bucket bound).
+    pub p50_micros: u64,
+    /// 95th percentile (upper bucket bound).
+    pub p95_micros: u64,
+    /// 99th percentile (upper bucket bound).
+    pub p99_micros: u64,
+    /// Largest sample.
+    pub max_micros: u64,
+}
+
+/// Shared counters updated by the executor's hot path.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Requests admitted into the queue or answered from cache at submit.
+    pub submitted: AtomicU64,
+    /// Requests rejected because the queue was full.
+    pub rejected: AtomicU64,
+    /// Requests completed (answer delivered to every waiter).
+    pub completed: AtomicU64,
+    /// Requests answered directly from the result cache at submit time.
+    pub cache_served: AtomicU64,
+    /// Requests that attached to an identical in-flight computation.
+    pub dedup_joined: AtomicU64,
+    /// Worker dispatch batches.
+    pub batches: AtomicU64,
+    /// Requests dispatched inside those batches.
+    pub batched_requests: AtomicU64,
+    /// Current queue depth (gauge).
+    pub queue_depth: AtomicU64,
+    /// High-water queue depth.
+    pub queue_depth_max: AtomicU64,
+    /// Update batches published.
+    pub epoch_advances: AtomicU64,
+    /// Individual update operations applied.
+    pub updates_applied: AtomicU64,
+    /// End-to-end request latency (submit → answer delivered).
+    pub latency: LatencyHistogram,
+}
+
+impl ServiceMetrics {
+    /// Bumps the queue-depth gauge, tracking the high-water mark.
+    pub fn queue_enter(&self) {
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Drops the queue-depth gauge by `n` (a drained batch).
+    pub fn queue_exit(&self, n: u64) {
+        self.queue_depth.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    /// Builds a report from the counters plus the cache's and store's
+    /// current state. `elapsed` is the service uptime used for throughput.
+    pub fn report(
+        &self,
+        elapsed: Duration,
+        epoch: u64,
+        workers: usize,
+        cache: CacheStats,
+    ) -> MetricsReport {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let secs = elapsed.as_secs_f64();
+        MetricsReport {
+            uptime: elapsed,
+            workers,
+            epoch,
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            completed,
+            throughput_qps: if secs > 0.0 {
+                completed as f64 / secs
+            } else {
+                0.0
+            },
+            cache_served: self.cache_served.load(Ordering::Relaxed),
+            dedup_joined: self.dedup_joined.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batched_requests: self.batched_requests.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+            epoch_advances: self.epoch_advances.load(Ordering::Relaxed),
+            updates_applied: self.updates_applied.load(Ordering::Relaxed),
+            latency: self.latency.summary(),
+            cache,
+        }
+    }
+}
+
+/// A point-in-time service report.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricsReport {
+    /// Service uptime.
+    pub uptime: Duration,
+    /// Worker threads.
+    pub workers: usize,
+    /// Currently published epoch.
+    pub epoch: u64,
+    /// Requests admitted.
+    pub submitted: u64,
+    /// Requests rejected at admission.
+    pub rejected: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Completed requests per second of uptime.
+    pub throughput_qps: f64,
+    /// Requests answered from cache at submit.
+    pub cache_served: u64,
+    /// Requests deduplicated onto in-flight work.
+    pub dedup_joined: u64,
+    /// Worker dispatch batches.
+    pub batches: u64,
+    /// Requests dispatched in batches.
+    pub batched_requests: u64,
+    /// Queue depth at report time.
+    pub queue_depth: u64,
+    /// High-water queue depth.
+    pub queue_depth_max: u64,
+    /// Update batches published.
+    pub epoch_advances: u64,
+    /// Update operations applied.
+    pub updates_applied: u64,
+    /// End-to-end latency summary.
+    pub latency: LatencySummary,
+    /// Result-cache counters.
+    pub cache: CacheStats,
+}
+
+impl MetricsReport {
+    /// Mean requests per dispatch batch.
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Serializes the report as one line of JSON.
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        push_f64(&mut s, "uptime_secs", self.uptime.as_secs_f64());
+        push_u64(&mut s, "workers", self.workers as u64);
+        push_u64(&mut s, "epoch", self.epoch);
+        push_u64(&mut s, "submitted", self.submitted);
+        push_u64(&mut s, "rejected", self.rejected);
+        push_u64(&mut s, "completed", self.completed);
+        push_f64(&mut s, "throughput_qps", self.throughput_qps);
+        push_u64(&mut s, "cache_served", self.cache_served);
+        push_u64(&mut s, "dedup_joined", self.dedup_joined);
+        push_u64(&mut s, "batches", self.batches);
+        push_f64(&mut s, "mean_batch_size", self.mean_batch_size());
+        push_u64(&mut s, "queue_depth", self.queue_depth);
+        push_u64(&mut s, "queue_depth_max", self.queue_depth_max);
+        push_u64(&mut s, "epoch_advances", self.epoch_advances);
+        push_u64(&mut s, "updates_applied", self.updates_applied);
+        push_u64(&mut s, "latency_mean_us", self.latency.mean_micros);
+        push_u64(&mut s, "latency_p50_us", self.latency.p50_micros);
+        push_u64(&mut s, "latency_p95_us", self.latency.p95_micros);
+        push_u64(&mut s, "latency_p99_us", self.latency.p99_micros);
+        push_u64(&mut s, "latency_max_us", self.latency.max_micros);
+        push_u64(&mut s, "cache_hits", self.cache.hits);
+        push_u64(&mut s, "cache_misses", self.cache.misses);
+        push_u64(&mut s, "cache_evictions", self.cache.evictions);
+        push_u64(&mut s, "cache_invalidated", self.cache.invalidated);
+        push_u64(&mut s, "cache_entries", self.cache.entries as u64);
+        s.pop(); // trailing comma
+        s.push('}');
+        s
+    }
+}
+
+fn push_u64(s: &mut String, key: &str, v: u64) {
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\":");
+    s.push_str(&v.to_string());
+    s.push(',');
+}
+
+fn push_f64(s: &mut String, key: &str, v: f64) {
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\":");
+    if v.is_finite() {
+        s.push_str(&format!("{v:.3}"));
+    } else {
+        s.push_str("null");
+    }
+    s.push(',');
+}
+
+/// Pairs a metrics struct with its start instant.
+#[derive(Debug)]
+pub struct MetricsClock {
+    /// The shared counters.
+    pub metrics: ServiceMetrics,
+    started: Instant,
+}
+
+impl Default for MetricsClock {
+    fn default() -> Self {
+        MetricsClock {
+            metrics: ServiceMetrics::default(),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl MetricsClock {
+    /// Uptime since construction.
+    pub fn uptime(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let h = LatencyHistogram::default();
+        for micros in [1u64, 2, 3, 100, 100, 100, 100, 5_000] {
+            h.record(Duration::from_micros(micros));
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 8);
+        assert_eq!(s.max_micros, 5_000);
+        // p50 falls in the 64..128 µs bucket (upper bound 127).
+        assert_eq!(s.p50_micros, 127);
+        assert!(s.p99_micros >= 4_096);
+        assert!(s.mean_micros > 0);
+    }
+
+    #[test]
+    fn json_line_is_single_line_and_balanced() {
+        let clock = MetricsClock::default();
+        clock.metrics.submitted.fetch_add(3, Ordering::Relaxed);
+        clock.metrics.completed.fetch_add(3, Ordering::Relaxed);
+        clock.metrics.latency.record(Duration::from_micros(250));
+        let report = clock.metrics.report(
+            Duration::from_secs(2),
+            5,
+            4,
+            CacheStats {
+                hits: 1,
+                misses: 2,
+                evictions: 0,
+                invalidated: 0,
+                entries: 2,
+            },
+        );
+        let json = report.to_json_line();
+        assert!(!json.contains('\n'));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert_eq!(json.matches('{').count(), 1);
+        assert!(json.contains("\"completed\":3"));
+        assert!(json.contains("\"throughput_qps\":1.500"));
+        assert!(json.contains("\"cache_hits\":1"));
+        assert!(json.contains("\"epoch\":5"));
+    }
+
+    #[test]
+    fn queue_gauge_tracks_high_water() {
+        let m = ServiceMetrics::default();
+        m.queue_enter();
+        m.queue_enter();
+        m.queue_enter();
+        m.queue_exit(2);
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 1);
+        assert_eq!(m.queue_depth_max.load(Ordering::Relaxed), 3);
+    }
+}

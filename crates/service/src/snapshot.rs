@@ -1,0 +1,280 @@
+//! Epoch-based snapshot store: readers never block, writers publish
+//! atomically.
+//!
+//! The paper's dynamic-update machinery (Sec. 6) mutates the index in
+//! place, which is fine for a single-threaded harness but unusable under
+//! concurrent queries. Here the index and corpus are immutable behind an
+//! [`Arc`]; a writer clones them (the road network itself is fixed, as in
+//! the paper, so it is shared by `Arc` and never copied), applies a whole
+//! [`UpdateBatch`] to the private copy, and publishes the result as the
+//! next [`Snapshot`] with a single pointer swap. Readers pin a snapshot
+//! with one `Arc` clone and keep answering from it even while newer epochs
+//! are published — every answer is therefore internally consistent with
+//! exactly one epoch, never a torn mix of two.
+
+use std::sync::{Arc, Mutex, RwLock};
+
+use netclus::NetClusIndex;
+use netclus_roadnet::NodeId;
+use netclus_trajectory::{TrajId, Trajectory, TrajectorySet};
+
+/// One immutable published state of the service: the road network, the
+/// trajectory corpus and the NetClus index, all as of one epoch.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    epoch: u64,
+    net: Arc<netclus_roadnet::RoadNetwork>,
+    trajs: Arc<TrajectorySet>,
+    index: Arc<NetClusIndex>,
+}
+
+impl Snapshot {
+    /// The epoch this snapshot was published under (0 = initial state).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The (fixed) road network.
+    pub fn net(&self) -> &netclus_roadnet::RoadNetwork {
+        &self.net
+    }
+
+    /// The trajectory corpus as of this epoch.
+    pub fn trajs(&self) -> &TrajectorySet {
+        &self.trajs
+    }
+
+    /// The NetClus index as of this epoch.
+    pub fn index(&self) -> &NetClusIndex {
+        &self.index
+    }
+}
+
+/// One mutation of the served state.
+#[derive(Clone, Debug)]
+pub enum UpdateOp {
+    /// Adds a trajectory to the corpus and indexes it (paper Sec. 6.1).
+    AddTrajectory(Trajectory),
+    /// Removes a trajectory by id; a no-op if the id is dead or unknown.
+    RemoveTrajectory(TrajId),
+    /// Flags an existing network vertex as a candidate site (Sec. 6.2).
+    AddSite(NodeId),
+    /// Unflags a candidate site; a no-op if it was not one.
+    RemoveSite(NodeId),
+}
+
+/// A batch of updates applied and published as one epoch.
+pub type UpdateBatch = Vec<UpdateOp>;
+
+/// What a published batch did.
+#[derive(Clone, Copy, Debug)]
+pub struct UpdateReceipt {
+    /// The epoch the batch was published under.
+    pub epoch: u64,
+    /// Operations that changed state.
+    pub applied: usize,
+    /// Operations rejected or no-ops (out-of-network site, dead id,
+    /// double add/remove).
+    pub rejected: usize,
+}
+
+/// The `Arc`-swapped store. `load` is wait-free for practical purposes (a
+/// read-lock held only for one `Arc` clone); writers serialize among
+/// themselves and never block readers while rebuilding.
+#[derive(Debug)]
+pub struct SnapshotStore {
+    current: RwLock<Arc<Snapshot>>,
+    /// Serializes writers so batches publish in a total epoch order.
+    writer: Mutex<()>,
+}
+
+impl SnapshotStore {
+    /// Creates a store publishing `(net, trajs, index)` as epoch 0.
+    pub fn new(
+        net: netclus_roadnet::RoadNetwork,
+        trajs: TrajectorySet,
+        index: NetClusIndex,
+    ) -> Self {
+        let snapshot = Snapshot {
+            epoch: 0,
+            net: Arc::new(net),
+            trajs: Arc::new(trajs),
+            index: Arc::new(index),
+        };
+        SnapshotStore {
+            current: RwLock::new(Arc::new(snapshot)),
+            writer: Mutex::new(()),
+        }
+    }
+
+    /// Pins the current snapshot. The returned `Arc` stays valid (and
+    /// internally consistent) however many epochs are published after it.
+    pub fn load(&self) -> Arc<Snapshot> {
+        Arc::clone(&self.current.read().expect("snapshot lock poisoned"))
+    }
+
+    /// The currently published epoch.
+    pub fn epoch(&self) -> u64 {
+        self.current.read().expect("snapshot lock poisoned").epoch
+    }
+
+    /// Applies `batch` to a private copy of the current state and publishes
+    /// it as the next epoch. Readers keep answering from older pinned
+    /// snapshots until they next call [`SnapshotStore::load`].
+    ///
+    /// An empty batch still publishes a new (identical) epoch, which can be
+    /// used to force cache invalidation.
+    pub fn apply(&self, batch: &[UpdateOp]) -> UpdateReceipt {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let base = self.load();
+        // Private copies; the network is fixed and shared.
+        let mut trajs = (*base.trajs).clone();
+        let mut index = (*base.index).clone();
+        let mut applied = 0usize;
+        let mut rejected = 0usize;
+        for op in batch {
+            let ok = match op {
+                UpdateOp::AddTrajectory(t) => {
+                    if t.nodes().iter().any(|v| v.index() >= base.net.node_count()) {
+                        false
+                    } else {
+                        let id = trajs.add(t.clone());
+                        index.add_trajectory(id, t);
+                        true
+                    }
+                }
+                UpdateOp::RemoveTrajectory(id) => match trajs.remove(*id) {
+                    Some(_) => {
+                        index.remove_trajectory(*id);
+                        true
+                    }
+                    None => false,
+                },
+                UpdateOp::AddSite(v) => {
+                    v.index() < base.net.node_count() && index.add_site(&trajs, *v)
+                }
+                UpdateOp::RemoveSite(v) => {
+                    v.index() < base.net.node_count() && index.remove_site(&trajs, *v)
+                }
+            };
+            if ok {
+                applied += 1;
+            } else {
+                rejected += 1;
+            }
+        }
+        let next = Snapshot {
+            epoch: base.epoch + 1,
+            net: Arc::clone(&base.net),
+            trajs: Arc::new(trajs),
+            index: Arc::new(index),
+        };
+        let epoch = next.epoch;
+        *self.current.write().expect("snapshot lock poisoned") = Arc::new(next);
+        UpdateReceipt {
+            epoch,
+            applied,
+            rejected,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclus::prelude::*;
+    use netclus_roadnet::{Point, RoadNetworkBuilder};
+
+    fn fixture() -> SnapshotStore {
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..10 {
+            b.add_node(Point::new(i as f64 * 100.0, 0.0));
+        }
+        for i in 0..9u32 {
+            b.add_two_way(NodeId(i), NodeId(i + 1), 100.0).unwrap();
+        }
+        let net = b.build().unwrap();
+        let mut trajs = TrajectorySet::for_network(&net);
+        trajs.add(Trajectory::new((0..5).map(NodeId).collect()));
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let index = NetClusIndex::build(
+            &net,
+            &trajs,
+            &sites,
+            NetClusConfig {
+                tau_min: 200.0,
+                tau_max: 2_000.0,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        SnapshotStore::new(net, trajs, index)
+    }
+
+    #[test]
+    fn epochs_advance_and_old_snapshots_stay_pinned() {
+        let store = fixture();
+        let pinned = store.load();
+        assert_eq!(pinned.epoch(), 0);
+        assert_eq!(pinned.trajs().len(), 1);
+
+        let r = store.apply(&[UpdateOp::AddTrajectory(Trajectory::new(
+            (5..9).map(NodeId).collect(),
+        ))]);
+        assert_eq!(r.epoch, 1);
+        assert_eq!((r.applied, r.rejected), (1, 0));
+
+        // The pinned snapshot is untouched; a fresh load sees the new epoch.
+        assert_eq!(pinned.epoch(), 0);
+        assert_eq!(pinned.trajs().len(), 1);
+        let fresh = store.load();
+        assert_eq!(fresh.epoch(), 1);
+        assert_eq!(fresh.trajs().len(), 2);
+    }
+
+    #[test]
+    fn rejected_ops_are_counted_not_applied() {
+        let store = fixture();
+        let r = store.apply(&[
+            UpdateOp::AddTrajectory(Trajectory::new(vec![NodeId(99)])), // off-network
+            UpdateOp::RemoveTrajectory(TrajId(7)),                      // never existed
+            UpdateOp::AddSite(NodeId(3)),                               // already a site
+            UpdateOp::RemoveSite(NodeId(2)),                            // fine
+        ]);
+        assert_eq!((r.applied, r.rejected), (1, 3));
+        let snap = store.load();
+        assert!(!snap.index().is_site(NodeId(2)));
+        assert_eq!(snap.trajs().len(), 1);
+    }
+
+    #[test]
+    fn updated_snapshot_answers_match_a_fresh_rebuild() {
+        let store = fixture();
+        store.apply(&[
+            UpdateOp::AddTrajectory(Trajectory::new((5..9).map(NodeId).collect())),
+            UpdateOp::AddTrajectory(Trajectory::new((6..9).map(NodeId).collect())),
+        ]);
+        let snap = store.load();
+        let q = TopsQuery::binary(2, 600.0);
+        let served = snap.index().query(snap.trajs(), &q);
+
+        let rebuilt = NetClusIndex::build(
+            snap.net(),
+            snap.trajs(),
+            &snap.net().nodes().collect::<Vec<_>>(),
+            *snap.index().config(),
+        );
+        let fresh = rebuilt.query(snap.trajs(), &q);
+        assert_eq!(served.solution.sites, fresh.solution.sites);
+        assert!((served.solution.utility - fresh.solution.utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_batch_publishes_identical_epoch() {
+        let store = fixture();
+        let r = store.apply(&[]);
+        assert_eq!(r.epoch, 1);
+        assert_eq!((r.applied, r.rejected), (0, 0));
+        assert_eq!(store.load().trajs().len(), 1);
+    }
+}

@@ -201,8 +201,10 @@ mod tests {
 
     #[test]
     fn more_copies_reduce_error() {
-        assert!(FmSketchFamily::new(100, 0).standard_error()
-            < FmSketchFamily::new(10, 0).standard_error());
+        assert!(
+            FmSketchFamily::new(100, 0).standard_error()
+                < FmSketchFamily::new(10, 0).standard_error()
+        );
         let se30 = FmSketchFamily::new(30, 0).standard_error();
         assert!((se30 - 0.78 / 30f64.sqrt()).abs() < 1e-12);
     }

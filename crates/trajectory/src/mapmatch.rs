@@ -233,7 +233,13 @@ mod tests {
     fn matches_clean_trace_exactly() {
         let (net, grid) = grid_city();
         // Straight east along the bottom row: nodes 0,1,2,3,4.
-        let trace = trace_along(&[(0.0, 0.0), (100.0, 0.0), (200.0, 0.0), (300.0, 0.0), (400.0, 0.0)]);
+        let trace = trace_along(&[
+            (0.0, 0.0),
+            (100.0, 0.0),
+            (200.0, 0.0),
+            (300.0, 0.0),
+            (400.0, 0.0),
+        ]);
         let m = MapMatcher::default();
         let traj = m.match_trace(&net, &grid, &trace).unwrap();
         assert_eq!(

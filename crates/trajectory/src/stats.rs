@@ -177,14 +177,8 @@ mod tests {
         let id20 = set.add(traj(&t20));
         set.add(traj(&t5));
         let classes = LengthClass::paper_classes();
-        assert_eq!(
-            trajectories_in_class(&net, &set, &classes[0]),
-            vec![id15]
-        );
-        assert_eq!(
-            trajectories_in_class(&net, &set, &classes[1]),
-            vec![id20]
-        );
+        assert_eq!(trajectories_in_class(&net, &set, &classes[0]), vec![id15]);
+        assert_eq!(trajectories_in_class(&net, &set, &classes[1]), vec![id20]);
         assert_eq!(length_histogram(&net, &set, &classes), vec![1, 1, 0, 0, 1]);
     }
 

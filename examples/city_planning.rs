@@ -99,5 +99,7 @@ fn format_ms(d: std::time::Duration) -> String {
 }
 
 fn num_threads_default() -> usize {
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
 }

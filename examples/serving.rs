@@ -1,0 +1,216 @@
+//! Serving demo: a worker pool answers a mixed TOPS query stream while a
+//! writer publishes trajectory update batches, live.
+//!
+//! Demonstrates the full `netclus-service` subsystem:
+//!
+//! * ≥ 4 worker threads answering queries concurrently;
+//! * epoch-based snapshot swaps — updates never block queries, and every
+//!   answer is consistent with exactly one published epoch (verified);
+//! * the sharded result cache absorbing the repetitive share of the mix;
+//! * the metrics report, printed human-readably and as single-line JSON.
+//!
+//! Run with: `cargo run --release --example serving`
+
+use std::collections::HashMap;
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use netclus::prelude::*;
+use netclus_datagen::{
+    beijing_small, generate_query_workload, ArrivalProcess, QueryKind, QueryWorkloadConfig,
+    WorkloadConfig, WorkloadGenerator,
+};
+use netclus_service::{NetClusService, ServiceConfig, ServiceRequest, UpdateOp};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+const WORKERS: usize = 4;
+const UPDATE_BATCHES: usize = 8;
+const TRAJS_PER_BATCH: usize = 25;
+
+fn main() {
+    // Offline phase: dataset and index.
+    let scenario = beijing_small(7);
+    println!("[data ] {}", scenario.summary());
+    let t = Instant::now();
+    let index = NetClusIndex::build(
+        &scenario.net,
+        &scenario.trajectories,
+        &scenario.sites,
+        NetClusConfig {
+            tau_min: 400.0,
+            tau_max: 3_200.0,
+            ..Default::default()
+        },
+    );
+    println!(
+        "[index] {} instances in {:?}",
+        index.instances().len(),
+        t.elapsed()
+    );
+
+    // Pre-generate the live inputs (the network moves into the service).
+    let mut rng = StdRng::seed_from_u64(0x5EED);
+    let mut gen = WorkloadGenerator::new(&scenario.net, &scenario.grid, &scenario.hotspots);
+    let update_batches: Vec<Vec<UpdateOp>> = (0..UPDATE_BATCHES)
+        .map(|_| {
+            gen.generate(
+                &WorkloadConfig {
+                    count: TRAJS_PER_BATCH,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+            .into_iter()
+            .map(UpdateOp::AddTrajectory)
+            .collect()
+        })
+        .collect();
+    let queries = generate_query_workload(
+        &QueryWorkloadConfig {
+            count: 600,
+            tau_min: 400.0,
+            tau_max: 2_800.0,
+            repeat_fraction: 0.5,
+            arrival: ArrivalProcess::Open {
+                rate_per_sec: 400.0,
+            },
+            ..Default::default()
+        },
+        &mut rng,
+    );
+
+    // Online phase: start the service and race queries against updates.
+    let service = Arc::new(NetClusService::start(
+        scenario.net,
+        scenario.trajectories,
+        index,
+        ServiceConfig {
+            workers: WORKERS,
+            ..Default::default()
+        },
+    ));
+    println!("[serve] {WORKERS} workers up; epoch {}", service.epoch());
+
+    // epoch → (corpus_len, site_count): the ground truth every answer is
+    // checked against.
+    let history: Arc<Mutex<HashMap<u64, (usize, usize)>>> = Arc::new(Mutex::new(HashMap::new()));
+    {
+        let snap = service.snapshot();
+        history.lock().unwrap().insert(
+            snap.epoch(),
+            (snap.trajs().len(), snap.index().site_count()),
+        );
+    }
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        // Writer: publish an update batch every 150 ms.
+        let writer = {
+            let service = Arc::clone(&service);
+            let history = Arc::clone(&history);
+            scope.spawn(move || {
+                for (i, batch) in update_batches.into_iter().enumerate() {
+                    std::thread::sleep(Duration::from_millis(150));
+                    let n = batch.len();
+                    let receipt = service.apply_updates(batch);
+                    let snap = service.snapshot();
+                    history.lock().unwrap().insert(
+                        snap.epoch(),
+                        (snap.trajs().len(), snap.index().site_count()),
+                    );
+                    println!(
+                        "[write] batch {i}: +{n} trajectories → epoch {} ({} applied)",
+                        receipt.epoch, receipt.applied
+                    );
+                }
+            })
+        };
+
+        // Open-loop dispatcher: fire each request at its arrival offset;
+        // a collector drains the handles concurrently.
+        let (handle_tx, handle_rx) = channel();
+        let dispatcher = {
+            let service = Arc::clone(&service);
+            scope.spawn(move || {
+                let t0 = Instant::now();
+                let mut rejected = 0usize;
+                for tq in &queries {
+                    if let Some(wait) = tq.at.checked_sub(t0.elapsed()) {
+                        std::thread::sleep(wait);
+                    }
+                    let request = match tq.kind {
+                        QueryKind::Greedy => ServiceRequest::greedy(tq.query),
+                        QueryKind::Fm { copies } => ServiceRequest::fm(tq.query, copies, 0xF1),
+                    };
+                    match service.submit(request) {
+                        Ok(handle) => handle_tx.send(handle).unwrap(),
+                        Err(_) => rejected += 1,
+                    }
+                }
+                drop(handle_tx);
+                rejected
+            })
+        };
+        let collector = scope.spawn(move || {
+            let mut answers = Vec::new();
+            while let Ok(handle) = handle_rx.recv() {
+                if let Some(answer) = handle.wait() {
+                    answers.push(answer);
+                }
+            }
+            answers
+        });
+
+        writer.join().expect("writer panicked");
+        let shed = dispatcher.join().expect("dispatcher panicked");
+        let answers = collector.join().expect("collector panicked");
+
+        // Consistency audit: every answer's (corpus_len, site_count) must
+        // match the snapshot actually published under its epoch.
+        let history = history.lock().unwrap();
+        let mut violations = 0usize;
+        let mut epochs = std::collections::BTreeSet::new();
+        for a in &answers {
+            epochs.insert(a.epoch);
+            match history.get(&a.epoch) {
+                Some(&(corpus, sites)) if a.corpus_len == corpus && a.site_count == sites => {}
+                _ => violations += 1,
+            }
+        }
+        println!(
+            "\n[audit] {} answers across epochs {:?}",
+            answers.len(),
+            epochs
+        );
+        println!("[audit] consistency violations: {violations}");
+        println!("[audit] load-shed submissions:  {shed}");
+        assert_eq!(violations, 0, "torn snapshot read detected");
+        assert!(!answers.is_empty());
+    });
+
+    let report = service.metrics_report();
+    println!("\n== service metrics after {:?} ==", start.elapsed());
+    println!("  completed        {:>8}", report.completed);
+    println!("  throughput       {:>8.1} q/s", report.throughput_qps);
+    println!("  cache hits       {:>8}", report.cache.hits);
+    println!("  cache misses     {:>8}", report.cache.misses);
+    println!("  dedup joins      {:>8}", report.dedup_joined);
+    println!("  mean batch size  {:>8.2}", report.mean_batch_size());
+    println!("  queue high-water {:>8}", report.queue_depth_max);
+    println!("  epochs published {:>8}", report.epoch_advances);
+    println!(
+        "  latency µs       p50 {} / p95 {} / p99 {} / max {}",
+        report.latency.p50_micros,
+        report.latency.p95_micros,
+        report.latency.p99_micros,
+        report.latency.max_micros
+    );
+    assert!(
+        report.cache.hits > 0,
+        "repetitive mix must produce cache hits"
+    );
+    println!("\n{}", report.to_json_line());
+    service.shutdown();
+}

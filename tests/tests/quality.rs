@@ -7,7 +7,9 @@
 //!   Th. 7 lower bound; FM variants track their exact counterparts.
 
 use netclus::prelude::*;
-use netclus_datagen::{beijing_small, grid_city, GridCityConfig, WorkloadConfig, WorkloadGenerator};
+use netclus_datagen::{
+    beijing_small, grid_city, GridCityConfig, WorkloadConfig, WorkloadGenerator,
+};
 use netclus_roadnet::GridIndex;
 use netclus_trajectory::TrajectorySet;
 use rand::rngs::StdRng;
@@ -51,8 +53,7 @@ fn greedy_respects_both_approximation_bounds() {
     // Build a sub-provider by re-building coverage over those nodes only.
     let nodes: Vec<_> = sub_sites.iter().map(|&i| coverage.sites()[i]).collect();
     let (net2, trajs2, _) = coverage_fixture(10, 30, 500.0);
-    let sub =
-        CoverageIndex::build(&net2, &trajs2, &nodes, 500.0, DetourModel::RoundTrip, 1);
+    let sub = CoverageIndex::build(&net2, &trajs2, &nodes, 500.0, DetourModel::RoundTrip, 1);
 
     for k in [1, 2, 3, 4] {
         let greedy = inc_greedy(&sub, &GreedyConfig::binary(k, 500.0));

@@ -51,11 +51,7 @@ fn config() -> NetClusConfig {
 
 /// Queries on the updated and rebuilt indexes must return identical
 /// solutions for a spread of (k, τ).
-fn assert_query_equivalent(
-    a: &NetClusIndex,
-    b: &NetClusIndex,
-    trajs: &TrajectorySet,
-) {
+fn assert_query_equivalent(a: &NetClusIndex, b: &NetClusIndex, trajs: &TrajectorySet) {
     for (k, tau) in [(1, 400.0), (3, 800.0), (5, 1600.0)] {
         let qa = a.query(trajs, &TopsQuery::binary(k, tau));
         let qb = b.query(trajs, &TopsQuery::binary(k, tau));

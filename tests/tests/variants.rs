@@ -254,8 +254,14 @@ fn beijing_small_scenario_supports_exact_comparison() {
     // The Fig. 4 setting end-to-end: OPT ≥ greedy ≥ (1 − 1/e)·OPT.
     let s = beijing_small(42);
     let tau = 800.0;
-    let coverage =
-        CoverageIndex::build(&s.net, &s.trajectories, &s.sites, tau, DetourModel::RoundTrip, 2);
+    let coverage = CoverageIndex::build(
+        &s.net,
+        &s.trajectories,
+        &s.sites,
+        tau,
+        DetourModel::RoundTrip,
+        2,
+    );
     let greedy = inc_greedy(&coverage, &GreedyConfig::binary(3, tau));
     let exact = exact_optimal(
         &coverage,
