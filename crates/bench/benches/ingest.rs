@@ -1,0 +1,148 @@
+//! Criterion micro-benchmarks for the ingest write path: WAL append
+//! (buffered vs per-frame fsync), record frame decode, and copy-on-write
+//! batch publication through the snapshot store.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use netclus::prelude::*;
+use netclus_ingest::{encode_batch, StreamRecord, WalConfig, WalWriter};
+use netclus_roadnet::{NodeId, Point, RoadNetworkBuilder};
+use netclus_service::{SnapshotStore, UpdateOp};
+use netclus_trajectory::{GpsPoint, GpsTrace, Trajectory, TrajectorySet};
+use std::hint::black_box;
+
+fn tmp_wal(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("netclus-bench-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A 16-op batch payload resembling what the lifecycle manager emits.
+fn sample_payload() -> Vec<u8> {
+    let ops: Vec<UpdateOp> = (0..16u32)
+        .map(|i| {
+            if i % 4 == 3 {
+                UpdateOp::RemoveTrajectory(netclus_trajectory::TrajId(i))
+            } else {
+                UpdateOp::AddTrajectory(Trajectory::new((i..i + 12).map(NodeId).collect()))
+            }
+        })
+        .collect();
+    encode_batch(1, &ops)
+}
+
+fn bench_wal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ingest_wal");
+    let payload = sample_payload();
+
+    // Buffered append: the cost of framing + checksumming + write().
+    let dir = tmp_wal("append");
+    let mut wal = WalWriter::open(WalConfig {
+        sync_every_frames: u32::MAX,
+        segment_max_bytes: 256 << 20,
+        ..WalConfig::new(&dir)
+    })
+    .unwrap();
+    group.bench_function("append_buffered", |b| {
+        b.iter(|| black_box(wal.append(&payload).unwrap()))
+    });
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Durable append: every frame fsynced before returning — the floor
+    // for per-batch durability.
+    let dir = tmp_wal("sync");
+    let mut wal = WalWriter::open(WalConfig {
+        sync_every_frames: 1,
+        segment_max_bytes: 256 << 20,
+        ..WalConfig::new(&dir)
+    })
+    .unwrap();
+    group.sample_size(20);
+    group.bench_function("append_fsync", |b| {
+        b.iter(|| black_box(wal.append(&payload).unwrap()))
+    });
+    drop(wal);
+    let _ = std::fs::remove_dir_all(&dir);
+    group.finish();
+}
+
+fn bench_record_decode(c: &mut Criterion) {
+    let record = StreamRecord {
+        source: 3,
+        seq: 99,
+        trace: GpsTrace::new(
+            (0..60)
+                .map(|i| GpsPoint::new(Point::new(i as f64 * 50.0, (i % 7) as f64), i as f64 * 5.0))
+                .collect(),
+        ),
+    };
+    let payload = record.encode_payload();
+    c.bench_function("ingest_record/decode60", |b| {
+        b.iter(|| black_box(StreamRecord::decode_payload(&payload).unwrap()))
+    });
+}
+
+fn bench_batch_publish(c: &mut Criterion) {
+    // A 200-node corridor with a modest corpus: measures the
+    // copy-on-write apply + publish path a WAL batch pays.
+    let mut b = RoadNetworkBuilder::new();
+    for i in 0..200 {
+        b.add_node(Point::new(i as f64 * 100.0, 0.0));
+    }
+    for i in 0..199u32 {
+        b.add_two_way(NodeId(i), NodeId(i + 1), 100.0).unwrap();
+    }
+    let net = b.build().unwrap();
+    let mut trajs = TrajectorySet::for_network(&net);
+    for s in 0..50u32 {
+        trajs.add(Trajectory::new((s..s + 20).map(NodeId).collect()));
+    }
+    let sites: Vec<NodeId> = net.nodes().collect();
+    let index = NetClusIndex::build(
+        &net,
+        &trajs,
+        &sites,
+        NetClusConfig {
+            tau_min: 300.0,
+            tau_max: 3_000.0,
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let store = SnapshotStore::new(net, trajs, index);
+
+    // Each iteration inserts 8 trajectories and retires them again, so the
+    // store's state stays bounded while epochs advance.
+    let mut next = 50u32;
+    c.bench_function("ingest_publish/batch16", |bch| {
+        bch.iter(|| {
+            let ids: Vec<u32> = (0..8).map(|k| next + k).collect();
+            next += 8;
+            let mut ops: Vec<UpdateOp> = ids
+                .iter()
+                .map(|&i| {
+                    UpdateOp::AddTrajectory(Trajectory::new(
+                        ((i * 3) % 180..(i * 3) % 180 + 15).map(NodeId).collect(),
+                    ))
+                })
+                .collect();
+            ops.extend(
+                ids.iter()
+                    .map(|&i| UpdateOp::RemoveTrajectory(netclus_trajectory::TrajId(i))),
+            );
+            black_box(store.apply(&ops))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(1000));
+    targets = bench_wal, bench_record_decode, bench_batch_publish
+}
+criterion_main!(benches);

@@ -1,0 +1,148 @@
+//! `ingest`: write-path throughput through the full durable pipeline —
+//! framed GPS records → parallel map matching → TTL lifecycle → WAL →
+//! snapshot publication — followed by a timed crash-recovery replay.
+//!
+//! Prints a summary table, writes `results/ingest.csv`, and emits the raw
+//! ingest metrics as a single-line JSON record prefixed
+//! `BENCH_INGEST_THROUGHPUT` (records/sec, match latency, WAL bytes/sec,
+//! replay time) for the performance trajectory.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use netclus::prelude::*;
+use netclus_datagen::{generate_gps_stream, GpsStreamConfig};
+use netclus_ingest::{recover_store, IngestConfig, Ingestor, StreamRecord, WalConfig};
+use netclus_service::{IngestMetrics, SnapshotStore};
+
+use crate::{fmt_secs, print_table, Ctx};
+
+/// Runs the ingest-throughput experiment.
+pub fn run(ctx: &mut Ctx) {
+    let s = ctx.beijing_small();
+    let trips = ((600.0 * ctx.cfg.scale) as usize).max(120);
+    let workers = ctx.cfg.threads.clamp(2, 8);
+
+    let index = NetClusIndex::build(
+        &s.net,
+        &s.trajectories,
+        &s.sites,
+        NetClusConfig {
+            tau_min: 400.0,
+            tau_max: 3_200.0,
+            threads: ctx.cfg.threads,
+            ..Default::default()
+        },
+    );
+
+    eprintln!("[data] synthesizing {trips} GPS trips ...");
+    let events = generate_gps_stream(
+        &s.net,
+        &s.grid,
+        &s.hotspots,
+        &GpsStreamConfig {
+            trips,
+            rate_per_sec: 2.0,
+            sources: 16,
+            ..Default::default()
+        },
+        ctx.cfg.seed ^ 0x49_4E_47,
+    );
+
+    let wal_dir = std::env::temp_dir().join(format!("netclus-bench-ingest-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&wal_dir);
+    let store = Arc::new(SnapshotStore::new(
+        s.net.clone(),
+        s.trajectories.clone(),
+        index.clone(),
+    ));
+    let metrics = Arc::new(IngestMetrics::default());
+    let ingestor = Ingestor::start(
+        Arc::clone(&store),
+        Arc::new(s.grid.clone()),
+        IngestConfig {
+            match_workers: workers,
+            max_batch_ops: 32,
+            ttl_s: Some(3_600.0),
+            wal: WalConfig {
+                sync_every_frames: 4,
+                ..WalConfig::new(&wal_dir)
+            },
+            ..IngestConfig::new(&wal_dir)
+        },
+        Arc::clone(&metrics),
+    )
+    .expect("open WAL");
+
+    // Closed-loop feed: the blocking intake self-throttles to matcher
+    // capacity, so elapsed time measures pipeline throughput.
+    let t = Instant::now();
+    for e in &events {
+        ingestor.submit(StreamRecord {
+            source: e.source,
+            seq: e.seq,
+            trace: e.trace.clone(),
+        });
+    }
+    ingestor.finish();
+    let elapsed = t.elapsed();
+    let live_epoch = store.epoch();
+
+    // Crash-recovery replay from the base state + WAL alone.
+    let (recovered, recovery) = recover_store(
+        s.net.clone(),
+        s.trajectories.clone(),
+        index,
+        &wal_dir,
+        Some(&metrics),
+    )
+    .expect("WAL replay");
+    assert_eq!(
+        recovered.epoch(),
+        live_epoch,
+        "recovered epoch diverges from the live store"
+    );
+    assert_eq!(recovered.load().trajs().len(), store.load().trajs().len());
+
+    let report = metrics.report(elapsed);
+    let header = [
+        "workers",
+        "records",
+        "matched",
+        "rec/s",
+        "match p50 µs",
+        "match p99 µs",
+        "batches",
+        "WAL KiB",
+        "KiB/s",
+        "replay ms",
+    ];
+    let row = vec![
+        workers.to_string(),
+        report.records_in.to_string(),
+        report.records_matched.to_string(),
+        format!("{:.0}", report.records_per_sec),
+        report.match_latency.p50_micros.to_string(),
+        report.match_latency.p99_micros.to_string(),
+        report.batches_published.to_string(),
+        format!("{:.1}", report.wal_bytes as f64 / 1024.0),
+        format!("{:.1}", report.wal_bytes_per_sec / 1024.0),
+        format!("{:.1}", recovery.replay_time.as_secs_f64() * 1e3),
+    ];
+    print_table(
+        "ingest — durable write-path throughput (beijing-small)",
+        &header,
+        &[row.clone()],
+    );
+    eprintln!(
+        "[wal ] {} epochs in {} ({} ops), replayed {} batches in {} s",
+        live_epoch,
+        fmt_secs(elapsed),
+        report.ops_published,
+        recovery.batches,
+        fmt_secs(recovery.replay_time),
+    );
+    ctx.write_csv("ingest", &header, &[row]);
+    println!("BENCH_INGEST_THROUGHPUT {}", report.to_json_line());
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}

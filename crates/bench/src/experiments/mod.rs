@@ -8,6 +8,7 @@ pub mod fig12;
 pub mod fig4;
 pub mod fig56;
 pub mod fig789;
+pub mod ingest;
 pub mod service;
 pub mod table10;
 pub mod table11;
@@ -109,6 +110,12 @@ pub fn all() -> Vec<Experiment> {
             description:
                 "Serving layer: closed-loop throughput with live updates (BENCH_SERVICE_THROUGHPUT)",
             run: service::run,
+        },
+        Experiment {
+            id: "ingest",
+            description:
+                "Ingest layer: durable write-path throughput + WAL replay (BENCH_INGEST_THROUGHPUT)",
+            run: ingest::run,
         },
     ]
 }

@@ -43,14 +43,20 @@
 //!
 //! This crate is the single-threaded algorithmic core; the companion
 //! `netclus-service` crate turns it into a concurrent in-process query
-//! server. The seam between the two:
+//! server (the read path) and `netclus-ingest` feeds it durably from raw
+//! GPS streams (the write path). The seams:
 //!
 //! | Serving concept | Where it lives |
 //! |-----------------|----------------|
 //! | Epoch-based snapshots (`Arc`-swapped `NetClusIndex` + corpus; readers never block) | `netclus_service::snapshot` |
 //! | Worker pool, bounded admission, request batching, in-flight dedup | `netclus_service::executor` |
 //! | Sharded LRU result cache keyed `(k, τ, ψ, variant, epoch)` | `netclus_service::cache` |
-//! | Latency/throughput/queue/cache metrics | `netclus_service::metrics` |
+//! | Latency/throughput/queue/cache + ingest metrics | `netclus_service::metrics` |
+//! | Framed GPS record wire format (CRC-32, per-source seq) | `netclus_ingest::record` |
+//! | Backpressured intake + parallel map-matching pipeline | `netclus_ingest::pipeline` |
+//! | Trajectory lifecycle: id prediction, stream-time TTL | `netclus_ingest::lifecycle` |
+//! | Write-ahead log (segments, rotation, fsync batching) | `netclus_ingest::wal` |
+//! | Crash recovery: WAL replay to the exact pre-crash epoch | `netclus_ingest::recovery` |
 //!
 //! Everything the service shares across threads ([`NetClusIndex`],
 //! [`netclus_trajectory::TrajectorySet`],

@@ -10,6 +10,8 @@
 //! * [`workload`] — hotspot-based trip generation with waypoint deviations,
 //!   length-class targeting (Fig. 12), and GPS-trace synthesis for the
 //!   map-matching pipeline;
+//! * [`gps_stream`] — Poisson-arrival raw GPS streams with per-source
+//!   sequence numbers, the input of the `netclus-ingest` write path;
 //! * [`sites`] — candidate-site selection and cost/capacity assignment
 //!   (Sec. 7 extensions);
 //! * [`scenario`] — one preset per paper dataset (Table 6), scaled to run
@@ -23,6 +25,7 @@
 #![warn(missing_docs)]
 
 pub mod city;
+pub mod gps_stream;
 pub mod queries;
 pub mod scenario;
 pub mod sites;
@@ -32,6 +35,7 @@ pub use city::{
     grid_city, polycentric_city, ring_radial_city, star_city, City, GridCityConfig, Hotspot,
     PolycentricCityConfig, RingRadialCityConfig, StarCityConfig,
 };
+pub use gps_stream::{generate_gps_stream, GpsStreamConfig, GpsStreamEvent};
 pub use queries::{
     generate_query_workload, ArrivalProcess, QueryKind, QueryWorkloadConfig, TimedQuery,
 };

@@ -1,0 +1,474 @@
+//! The staged ingest pipeline: intake → parallel map matching → lifecycle
+//! batching → WAL → snapshot publication.
+//!
+//! ```text
+//!             submit() / ingest_reader()
+//!                      │  per-source seq dedup
+//!                      ▼
+//!            ┌──────────────────┐   BoundedQueue (block / drop-oldest /
+//!            │      intake      │   reject backpressure)
+//!            └──────────────────┘
+//!               ▼    ▼    ▼
+//!        match workers (Viterbi map matching, parallel)
+//!               │    │    │
+//!               └────┼────┘  mpsc
+//!                    ▼
+//!            publisher thread
+//!              lifecycle (id prediction, stream-time TTL)
+//!              batch by op count or deadline
+//!              WAL append (+ fsync batching)   ←— durable *before* …
+//!              SnapshotStore::apply            ←— … it is visible
+//! ```
+//!
+//! The publisher must be the **only writer** of its [`SnapshotStore`]:
+//! id prediction and the WAL's gapless epoch chain both depend on it (the
+//! publish path asserts this). Readers are unrestricted — that is the
+//! point of the snapshot store.
+
+use std::collections::HashMap;
+use std::io::{self, Read};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use netclus_roadnet::GridIndex;
+use netclus_service::{IngestMetrics, SnapshotStore, UpdateOp};
+use netclus_trajectory::{MapMatcher, Trajectory};
+
+use crate::lifecycle::LifecycleManager;
+use crate::queue::{BackpressurePolicy, BoundedQueue, PushOutcome};
+use crate::record::{RecordReader, StreamRecord};
+use crate::wal::{encode_batch, WalConfig, WalWriter};
+
+/// How often blocked pipeline threads re-check the abort flag.
+const POLL: Duration = Duration::from_millis(20);
+
+/// Pipeline configuration.
+#[derive(Clone, Debug)]
+pub struct IngestConfig {
+    /// The map matcher (shared parameters; each worker runs its own
+    /// Dijkstra state).
+    pub matcher: MapMatcher,
+    /// Parallel map-match workers.
+    pub match_workers: usize,
+    /// Intake queue capacity.
+    pub queue_capacity: usize,
+    /// What a full intake queue does to new records.
+    pub policy: BackpressurePolicy,
+    /// Publish a batch once it holds this many ops…
+    pub max_batch_ops: usize,
+    /// …or once the oldest pending op has waited this long.
+    pub max_batch_delay: Duration,
+    /// Stream-time TTL after which an ingested trajectory is retired
+    /// (`None` = never).
+    pub ttl_s: Option<f64>,
+    /// Write-ahead log settings.
+    pub wal: WalConfig,
+}
+
+impl IngestConfig {
+    /// Defaults for a WAL in `dir`: 2 workers, blocking backpressure,
+    /// 64-op / 50 ms batches, no TTL, per-batch fsync.
+    pub fn new(wal_dir: impl Into<std::path::PathBuf>) -> Self {
+        IngestConfig {
+            matcher: MapMatcher::default(),
+            match_workers: 2,
+            queue_capacity: 1_024,
+            policy: BackpressurePolicy::Block,
+            max_batch_ops: 64,
+            max_batch_delay: Duration::from_millis(50),
+            ttl_s: None,
+            wal: WalConfig::new(wal_dir),
+        }
+    }
+}
+
+/// Intake counters returned by [`Ingestor::ingest_reader`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntakeSummary {
+    /// Records admitted into the match queue.
+    pub accepted: u64,
+    /// Per-source sequence duplicates dropped.
+    pub duplicates: u64,
+    /// Records shed by backpressure (rejected or displaced).
+    pub shed: u64,
+    /// Frames that failed to decode.
+    pub malformed: u64,
+}
+
+/// What [`Ingestor::submit`] did with a record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SubmitOutcome {
+    /// Admitted into the match queue.
+    Accepted,
+    /// Admitted; the oldest queued record was displaced to make room.
+    AcceptedDroppedOldest,
+    /// Dropped as a per-source sequence duplicate.
+    Duplicate,
+    /// Shed by backpressure (queue full under `Reject`, or closed).
+    Shed,
+}
+
+/// A successfully matched record on its way to the publisher.
+struct Matched {
+    traj: Trajectory,
+    end_time_s: f64,
+}
+
+/// The running pipeline. Create with [`Ingestor::start`], feed with
+/// [`Ingestor::submit`] or [`Ingestor::ingest_reader`], and end with
+/// [`Ingestor::finish`] (graceful drain) or [`Ingestor::abort`] (simulated
+/// crash: everything not yet WAL-appended is lost, exactly as a real crash
+/// would lose it).
+pub struct Ingestor {
+    intake: Arc<BoundedQueue<StreamRecord>>,
+    policy: BackpressurePolicy,
+    /// Per-source high-water sequence numbers for duplicate detection.
+    dedup: Mutex<HashMap<u32, u64>>,
+    metrics: Arc<IngestMetrics>,
+    abort: Arc<AtomicBool>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl Ingestor {
+    /// Opens the WAL and starts the match workers and the publisher.
+    ///
+    /// `store` is the live snapshot store the pipeline publishes into —
+    /// the pipeline must be its only writer. `grid` must index the
+    /// store's road network.
+    pub fn start(
+        store: Arc<SnapshotStore>,
+        grid: Arc<GridIndex>,
+        cfg: IngestConfig,
+        metrics: Arc<IngestMetrics>,
+    ) -> io::Result<Ingestor> {
+        let wal = WalWriter::open(cfg.wal.clone())?;
+        let intake = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let abort = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = channel::<Matched>();
+
+        let base = store.load();
+        let net = base.net_shared();
+        let next_id = base.trajs().id_bound() as u32;
+        drop(base);
+
+        let mut handles = Vec::with_capacity(cfg.match_workers + 1);
+        for i in 0..cfg.match_workers.max(1) {
+            let intake = Arc::clone(&intake);
+            let abort = Arc::clone(&abort);
+            let metrics = Arc::clone(&metrics);
+            let net = Arc::clone(&net);
+            let grid = Arc::clone(&grid);
+            let matcher = cfg.matcher.clone();
+            let tx = tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("ingest-match-{i}"))
+                    .spawn(move || {
+                        match_loop(&intake, &abort, &metrics, &net, &grid, &matcher, &tx)
+                    })
+                    .expect("spawn match worker"),
+            );
+        }
+        drop(tx); // publisher ends when every worker is gone
+
+        {
+            let abort = Arc::clone(&abort);
+            let metrics = Arc::clone(&metrics);
+            let intake = Arc::clone(&intake);
+            let lifecycle = LifecycleManager::new(next_id, cfg.ttl_s);
+            let max_batch_ops = cfg.max_batch_ops.max(1);
+            let max_batch_delay = cfg.max_batch_delay;
+            handles.push(
+                std::thread::Builder::new()
+                    .name("ingest-publish".to_string())
+                    .spawn(move || {
+                        publish_loop(
+                            rx,
+                            store,
+                            wal,
+                            lifecycle,
+                            &intake,
+                            &abort,
+                            &metrics,
+                            max_batch_ops,
+                            max_batch_delay,
+                        )
+                    })
+                    .expect("spawn publisher"),
+            );
+        }
+
+        Ok(Ingestor {
+            intake,
+            policy: cfg.policy,
+            dedup: Mutex::new(HashMap::new()),
+            metrics,
+            abort,
+            handles,
+        })
+    }
+
+    /// Offers one record to the pipeline: per-source duplicates are
+    /// dropped, then the backpressure policy decides admission.
+    pub fn submit(&self, record: StreamRecord) -> SubmitOutcome {
+        {
+            let dedup = self.dedup.lock().expect("dedup lock poisoned");
+            if let Some(&last) = dedup.get(&record.source) {
+                if record.seq <= last {
+                    self.metrics
+                        .records_duplicate
+                        .fetch_add(1, Ordering::Relaxed);
+                    return SubmitOutcome::Duplicate;
+                }
+            }
+        }
+        let (source, seq) = (record.source, record.seq);
+        let outcome = match self.intake.push(record, self.policy) {
+            PushOutcome::Accepted => {
+                self.metrics.records_in.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Accepted
+            }
+            PushOutcome::AcceptedDroppedOldest => {
+                self.metrics.records_in.fetch_add(1, Ordering::Relaxed);
+                self.metrics.records_dropped.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::AcceptedDroppedOldest
+            }
+            PushOutcome::Rejected | PushOutcome::Closed => {
+                self.metrics.records_dropped.fetch_add(1, Ordering::Relaxed);
+                SubmitOutcome::Shed
+            }
+        };
+        // The watermark moves only on admission: a shed record was never
+        // taken, so the upstream retry it is owed must not be mistaken
+        // for a duplicate. (A source is one producer, so its submits are
+        // sequential; concurrent *distinct* sources never share an entry.)
+        if matches!(
+            outcome,
+            SubmitOutcome::Accepted | SubmitOutcome::AcceptedDroppedOldest
+        ) {
+            let mut dedup = self.dedup.lock().expect("dedup lock poisoned");
+            let entry = dedup.entry(source).or_insert(seq);
+            *entry = (*entry).max(seq);
+        }
+        outcome
+    }
+
+    /// Decodes framed records from `r` and submits each, returning the
+    /// intake tally. Undecodable frames are counted and skipped (the
+    /// framing resyncs); a truncated or failing stream ends the read.
+    pub fn ingest_reader<R: Read>(&self, r: R) -> IntakeSummary {
+        let mut summary = IntakeSummary::default();
+        for result in RecordReader::new(r) {
+            match result {
+                Ok(record) => match self.submit(record) {
+                    SubmitOutcome::Accepted => summary.accepted += 1,
+                    SubmitOutcome::AcceptedDroppedOldest => {
+                        summary.accepted += 1;
+                        summary.shed += 1;
+                    }
+                    SubmitOutcome::Duplicate => summary.duplicates += 1,
+                    SubmitOutcome::Shed => summary.shed += 1,
+                },
+                Err(_) => {
+                    summary.malformed += 1;
+                    self.metrics
+                        .records_malformed
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        summary
+    }
+
+    /// This pipeline's metrics handle.
+    pub fn metrics(&self) -> Arc<IngestMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// Records waiting in the intake queue.
+    pub fn backlog(&self) -> usize {
+        self.intake.len()
+    }
+
+    /// Graceful shutdown: drains the intake queue, matches everything,
+    /// publishes the final partial batch and fsyncs the WAL tail.
+    pub fn finish(mut self) {
+        self.stop(true);
+    }
+
+    /// Simulated crash: queued and in-flight records are discarded and
+    /// the publisher stops between batches. Everything already appended
+    /// to the WAL (and only that) survives into recovery.
+    pub fn abort(mut self) {
+        self.stop(false);
+    }
+
+    fn stop(&mut self, graceful: bool) {
+        if graceful {
+            self.intake.close();
+        } else {
+            self.abort.store(true, Ordering::Release);
+            let discarded = self.intake.close_and_clear() as u64;
+            self.metrics
+                .records_dropped
+                .fetch_add(discarded, Ordering::Relaxed);
+        }
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Ingestor {
+    fn drop(&mut self) {
+        self.stop(true);
+    }
+}
+
+/// Match-worker body: pop, Viterbi-match, forward.
+fn match_loop(
+    intake: &BoundedQueue<StreamRecord>,
+    abort: &AtomicBool,
+    metrics: &IngestMetrics,
+    net: &netclus_roadnet::RoadNetwork,
+    grid: &GridIndex,
+    matcher: &MapMatcher,
+    tx: &Sender<Matched>,
+) {
+    while !abort.load(Ordering::Acquire) {
+        let Some(record) = intake.pop() else {
+            return;
+        };
+        let end_time_s = record.trace.points().last().map_or(0.0, |p| p.t);
+        let t = Instant::now();
+        match matcher.match_trace(net, grid, &record.trace) {
+            Ok(traj) => {
+                metrics.match_latency.record(t.elapsed());
+                metrics.records_matched.fetch_add(1, Ordering::Relaxed);
+                if tx.send(Matched { traj, end_time_s }).is_err() {
+                    return; // publisher is gone
+                }
+            }
+            Err(_) => {
+                metrics.match_failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Publisher body: batch, WAL, publish. Sole writer of `store`.
+#[allow(clippy::too_many_arguments)]
+fn publish_loop(
+    rx: Receiver<Matched>,
+    store: Arc<SnapshotStore>,
+    mut wal: WalWriter,
+    mut lifecycle: LifecycleManager,
+    intake: &BoundedQueue<StreamRecord>,
+    abort: &AtomicBool,
+    metrics: &IngestMetrics,
+    max_batch_ops: usize,
+    max_batch_delay: Duration,
+) {
+    // An unrecoverable WAL failure must take the whole pipeline down, not
+    // just this thread: raising the abort flag stops the match workers and
+    // closing the intake wakes producers blocked in `submit` (who would
+    // otherwise wait forever on a queue nobody drains).
+    let fail = |metrics: &IngestMetrics| {
+        abort.store(true, Ordering::Release);
+        let discarded = intake.close_and_clear() as u64;
+        metrics
+            .records_dropped
+            .fetch_add(discarded, Ordering::Relaxed);
+    };
+    let mut pending: Vec<UpdateOp> = Vec::new();
+    let mut deadline: Option<Instant> = None;
+    loop {
+        if abort.load(Ordering::Acquire) {
+            // Crash simulation: pending (un-appended) ops are lost.
+            return;
+        }
+        let timeout = deadline
+            .map(|d| d.saturating_duration_since(Instant::now()))
+            .unwrap_or(POLL)
+            .min(POLL);
+        match rx.recv_timeout(timeout) {
+            Ok(matched) => {
+                let before = pending.len();
+                lifecycle.admit(matched.traj, matched.end_time_s, &mut pending);
+                let retired = (pending.len() - before).saturating_sub(1) as u64;
+                metrics.trajs_retired.fetch_add(retired, Ordering::Relaxed);
+                if pending.len() >= max_batch_ops {
+                    if !publish(&store, &mut wal, &mut pending, metrics) {
+                        fail(metrics);
+                        return;
+                    }
+                    deadline = None;
+                } else if deadline.is_none() {
+                    deadline = Some(Instant::now() + max_batch_delay);
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if deadline.is_some_and(|d| Instant::now() >= d) && !pending.is_empty() {
+                    if !publish(&store, &mut wal, &mut pending, metrics) {
+                        fail(metrics);
+                        return;
+                    }
+                    deadline = None;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                // Graceful end: every worker exited. Flush the tail.
+                if !pending.is_empty() && !publish(&store, &mut wal, &mut pending, metrics) {
+                    fail(metrics);
+                    return;
+                }
+                if let Ok(synced) = wal.sync() {
+                    metrics
+                        .wal_syncs
+                        .fetch_add(synced as u64, Ordering::Relaxed);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Makes `pending` durable, then visible, as the next epoch. Returns false
+/// on an unrecoverable WAL failure (the pipeline stops publishing).
+fn publish(
+    store: &SnapshotStore,
+    wal: &mut WalWriter,
+    pending: &mut Vec<UpdateOp>,
+    metrics: &IngestMetrics,
+) -> bool {
+    let epoch = store.epoch() + 1;
+    let payload = encode_batch(epoch, pending);
+    let t = Instant::now();
+    let info = match wal.append(&payload) {
+        Ok(info) => info,
+        Err(e) => {
+            eprintln!("[ingest] WAL append failed, stopping publisher: {e}");
+            return false;
+        }
+    };
+    let receipt = store.apply(pending);
+    metrics.publish_latency.record(t.elapsed());
+    assert_eq!(
+        receipt.epoch, epoch,
+        "ingest pipeline must be the snapshot store's only writer"
+    );
+    metrics.batches_published.fetch_add(1, Ordering::Relaxed);
+    metrics
+        .ops_published
+        .fetch_add(pending.len() as u64, Ordering::Relaxed);
+    metrics.wal_frames.fetch_add(1, Ordering::Relaxed);
+    metrics.wal_bytes.fetch_add(info.bytes, Ordering::Relaxed);
+    metrics
+        .wal_syncs
+        .fetch_add(info.synced as u64, Ordering::Relaxed);
+    pending.clear();
+    true
+}

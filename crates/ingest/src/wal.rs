@@ -1,0 +1,696 @@
+//! The write-ahead log: update batches made durable before publication.
+//!
+//! ## On-disk layout
+//!
+//! The log is a directory of append-only **segments** named
+//! `wal-NNNNNN.seg`. Each segment starts with a 16-byte header:
+//!
+//! ```text
+//! magic "NCWL" (4) | version: u32 | segment index: u64
+//! ```
+//!
+//! followed by frames identical in shape to the stream-record frames:
+//!
+//! ```text
+//! len: u32 | crc: u32 (CRC-32 of payload) | payload (len bytes)
+//! ```
+//!
+//! A frame payload is one encoded [`WalBatch`]:
+//!
+//! ```text
+//! epoch: u64 | op count: u32 | ops…
+//! op = tag: u8 (0 add-traj | 1 remove-traj | 2 add-site | 3 remove-site)
+//!      followed by: nodes: u32 + node ids (tag 0) / id or node: u32
+//! ```
+//!
+//! `epoch` is the snapshot epoch the batch publishes — replay asserts the
+//! chain is gapless, so a recovered store lands on exactly the pre-crash
+//! epoch.
+//!
+//! ## Durability
+//!
+//! [`WalWriter::append`] buffers; an fsync (`File::sync_data`) is issued
+//! every [`WalConfig::sync_every_frames`] frames and on [`WalWriter::sync`],
+//! amortizing the dominant cost of small-batch durability. Writers rotate
+//! to a fresh segment once the current one exceeds
+//! [`WalConfig::segment_max_bytes`], and always start a fresh segment on
+//! open so a torn tail from a previous run is never appended to.
+//!
+//! ## Recovery
+//!
+//! [`read_wal`] replays segments in index order, verifying every checksum.
+//! A frame extending past the **end of the last segment** is the expected
+//! signature of a crash mid-append: replay stops cleanly there and reports
+//! `truncated_tail`. Everything else — a checksum mismatch or implausible
+//! length with the frame's bytes fully present, or truncation before the
+//! final segment — is a hard [`WalError::Corrupt`]: appends are strictly
+//! sequential, so a bad frame with durable data after it can never be a
+//! torn write, and silent loss of acknowledged batches must never be
+//! papered over.
+
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+
+use netclus_roadnet::NodeId;
+use netclus_service::UpdateOp;
+use netclus_trajectory::{TrajId, Trajectory};
+
+use crate::codec::{put_u32, put_u64, Cursor};
+use crate::crc::crc32;
+
+const MAGIC: &[u8; 4] = b"NCWL";
+const VERSION: u32 = 1;
+const SEGMENT_HEADER_BYTES: u64 = 16;
+
+/// Upper bound on one WAL frame's payload (16 MiB).
+pub const MAX_WAL_PAYLOAD: usize = 16 << 20;
+
+/// WAL configuration.
+#[derive(Clone, Debug)]
+pub struct WalConfig {
+    /// Directory holding the segments (created if missing).
+    pub dir: PathBuf,
+    /// Rotate to a new segment once the current one exceeds this size.
+    pub segment_max_bytes: u64,
+    /// Issue an fsync every this many appended frames (1 = every batch is
+    /// durable before it is published; larger values batch fsyncs).
+    pub sync_every_frames: u32,
+}
+
+impl WalConfig {
+    /// A config writing to `dir` with 4 MiB segments and per-frame fsync.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            segment_max_bytes: 4 << 20,
+            sync_every_frames: 1,
+        }
+    }
+}
+
+/// One durable unit: the ops of a published batch plus the epoch it
+/// published.
+#[derive(Clone, Debug)]
+pub struct WalBatch {
+    /// Snapshot epoch this batch publishes (gapless chain from the base).
+    pub epoch: u64,
+    /// The operations, in application order.
+    pub ops: Vec<UpdateOp>,
+}
+
+/// WAL failure modes.
+#[derive(Debug)]
+pub enum WalError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// A segment file has a bad magic/version header.
+    BadSegmentHeader(PathBuf),
+    /// An unreadable frame before the tail of the last segment.
+    Corrupt {
+        /// The segment the bad frame lives in.
+        segment: PathBuf,
+        /// Byte offset of the frame within the segment.
+        offset: u64,
+        /// What failed.
+        reason: String,
+    },
+    /// A frame decoded but its contents are invalid (bad op tag, epoch
+    /// gap, empty trajectory).
+    Malformed(String),
+}
+
+impl fmt::Display for WalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WalError::Io(e) => write!(f, "WAL I/O failure: {e}"),
+            WalError::BadSegmentHeader(p) => {
+                write!(f, "not a WAL segment: {}", p.display())
+            }
+            WalError::Corrupt {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "corrupt WAL frame in {} at offset {offset}: {reason}",
+                segment.display()
+            ),
+            WalError::Malformed(why) => write!(f, "malformed WAL contents: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for WalError {}
+
+impl From<io::Error> for WalError {
+    fn from(e: io::Error) -> Self {
+        WalError::Io(e)
+    }
+}
+
+/// Encodes a batch payload (no frame header).
+pub fn encode_batch(epoch: u64, ops: &[UpdateOp]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(16 + ops.len() * 8);
+    put_u64(&mut buf, epoch);
+    put_u32(&mut buf, ops.len() as u32);
+    for op in ops {
+        match op {
+            UpdateOp::AddTrajectory(t) => {
+                buf.push(0);
+                put_u32(&mut buf, t.nodes().len() as u32);
+                for v in t.nodes() {
+                    put_u32(&mut buf, v.0);
+                }
+            }
+            UpdateOp::RemoveTrajectory(id) => {
+                buf.push(1);
+                put_u32(&mut buf, id.0);
+            }
+            UpdateOp::AddSite(v) => {
+                buf.push(2);
+                put_u32(&mut buf, v.0);
+            }
+            UpdateOp::RemoveSite(v) => {
+                buf.push(3);
+                put_u32(&mut buf, v.0);
+            }
+        }
+    }
+    buf
+}
+
+/// Decodes a batch payload.
+pub fn decode_batch(payload: &[u8]) -> Result<WalBatch, WalError> {
+    let mut c = Cursor::new(payload);
+    let err = |why: &str| WalError::Malformed(why.to_string());
+    let epoch = c.u64().ok_or_else(|| err("missing epoch"))?;
+    let count = c.u32().ok_or_else(|| err("missing op count"))? as usize;
+    let mut ops = Vec::with_capacity(count.min(4_096));
+    for _ in 0..count {
+        let tag = c.u8().ok_or_else(|| err("missing op tag"))?;
+        let op = match tag {
+            0 => {
+                let n = c.u32().ok_or_else(|| err("missing node count"))? as usize;
+                if n == 0 {
+                    return Err(err("empty trajectory"));
+                }
+                let mut nodes = Vec::with_capacity(n.min(65_536));
+                for _ in 0..n {
+                    nodes.push(NodeId(c.u32().ok_or_else(|| err("short trajectory"))?));
+                }
+                UpdateOp::AddTrajectory(Trajectory::new(nodes))
+            }
+            1 => UpdateOp::RemoveTrajectory(TrajId(
+                c.u32().ok_or_else(|| err("missing trajectory id"))?,
+            )),
+            2 => UpdateOp::AddSite(NodeId(c.u32().ok_or_else(|| err("missing site"))?)),
+            3 => UpdateOp::RemoveSite(NodeId(c.u32().ok_or_else(|| err("missing site"))?)),
+            _ => return Err(err("unknown op tag")),
+        };
+        ops.push(op);
+    }
+    if !c.exhausted() {
+        return Err(err("trailing bytes after ops"));
+    }
+    Ok(WalBatch { epoch, ops })
+}
+
+/// What one append did.
+#[derive(Clone, Copy, Debug)]
+pub struct AppendInfo {
+    /// Bytes written for the frame (header + payload), plus a segment
+    /// header when the append rotated.
+    pub bytes: u64,
+    /// True if this append triggered an fsync.
+    pub synced: bool,
+    /// True if this append rotated to a new segment.
+    pub rotated: bool,
+}
+
+/// The appender. One writer per log directory; see the module docs for
+/// the format and durability contract.
+pub struct WalWriter {
+    cfg: WalConfig,
+    out: BufWriter<File>,
+    segment_index: u64,
+    segment_bytes: u64,
+    frames_since_sync: u32,
+    synced_everything: bool,
+}
+
+fn segment_path(dir: &Path, index: u64) -> PathBuf {
+    dir.join(format!("wal-{index:06}.seg"))
+}
+
+/// Segment files in `dir`, as `(index, path)` sorted by index.
+fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out = Vec::new();
+    if !dir.exists() {
+        return Ok(out);
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if let Some(index) = name
+            .strip_prefix("wal-")
+            .and_then(|s| s.strip_suffix(".seg"))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            out.push((index, path));
+        }
+    }
+    out.sort_unstable_by_key(|&(i, _)| i);
+    Ok(out)
+}
+
+impl WalWriter {
+    /// Opens a writer on `cfg.dir`, starting a fresh segment after any
+    /// existing ones (a torn tail from a crashed run is never appended to).
+    pub fn open(cfg: WalConfig) -> io::Result<WalWriter> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let next_index = list_segments(&cfg.dir)?.last().map_or(0, |&(i, _)| i + 1);
+        let mut w = WalWriter {
+            out: BufWriter::new(open_segment(&cfg.dir, next_index)?),
+            cfg,
+            segment_index: next_index,
+            segment_bytes: SEGMENT_HEADER_BYTES,
+            frames_since_sync: 0,
+            synced_everything: true,
+        };
+        // Make the (empty) segment itself durable so recovery sees a
+        // well-formed log even if we crash before the first append.
+        w.out.flush()?;
+        w.out.get_ref().sync_data()?;
+        Ok(w)
+    }
+
+    /// Appends one frame, rotating and fsyncing per the config. The frame
+    /// is on its way to disk when this returns; it is *guaranteed* durable
+    /// only once `synced` is reported (or [`WalWriter::sync`] is called).
+    pub fn append(&mut self, payload: &[u8]) -> io::Result<AppendInfo> {
+        assert!(payload.len() <= MAX_WAL_PAYLOAD, "oversized WAL payload");
+        let frame_bytes = 8 + payload.len() as u64;
+        let mut info = AppendInfo {
+            bytes: frame_bytes,
+            synced: false,
+            rotated: false,
+        };
+        if self.segment_bytes + frame_bytes > self.cfg.segment_max_bytes
+            && self.segment_bytes > SEGMENT_HEADER_BYTES
+        {
+            self.rotate()?;
+            info.rotated = true;
+            info.bytes += SEGMENT_HEADER_BYTES;
+        }
+        self.out.write_all(&(payload.len() as u32).to_le_bytes())?;
+        self.out.write_all(&crc32(payload).to_le_bytes())?;
+        self.out.write_all(payload)?;
+        self.segment_bytes += frame_bytes;
+        self.frames_since_sync += 1;
+        self.synced_everything = false;
+        if self.frames_since_sync >= self.cfg.sync_every_frames.max(1) {
+            self.sync()?;
+            info.synced = true;
+        }
+        Ok(info)
+    }
+
+    /// Flushes and fsyncs outstanding frames. A no-op when everything is
+    /// already durable.
+    pub fn sync(&mut self) -> io::Result<bool> {
+        if self.synced_everything {
+            return Ok(false);
+        }
+        self.out.flush()?;
+        self.out.get_ref().sync_data()?;
+        self.frames_since_sync = 0;
+        self.synced_everything = true;
+        Ok(true)
+    }
+
+    /// The segment currently being appended to.
+    pub fn current_segment(&self) -> PathBuf {
+        segment_path(&self.cfg.dir, self.segment_index)
+    }
+
+    fn rotate(&mut self) -> io::Result<()> {
+        // Seal the old segment fully before the new one exists.
+        self.out.flush()?;
+        self.out.get_ref().sync_data()?;
+        self.segment_index += 1;
+        self.out = BufWriter::new(open_segment(&self.cfg.dir, self.segment_index)?);
+        self.segment_bytes = SEGMENT_HEADER_BYTES;
+        self.frames_since_sync = 0;
+        self.synced_everything = true;
+        Ok(())
+    }
+}
+
+fn open_segment(dir: &Path, index: u64) -> io::Result<File> {
+    let path = segment_path(dir, index);
+    let mut f = OpenOptions::new()
+        .create_new(true)
+        .write(true)
+        .open(&path)?;
+    let mut header = Vec::with_capacity(SEGMENT_HEADER_BYTES as usize);
+    header.extend_from_slice(MAGIC);
+    put_u32(&mut header, VERSION);
+    put_u64(&mut header, index);
+    f.write_all(&header)?;
+    // fsyncing the file persists its blocks but not the directory entry
+    // that names it: without this, a power loss can make a whole
+    // fsync-acknowledged segment vanish from the directory listing.
+    sync_dir(dir)?;
+    Ok(f)
+}
+
+/// fsyncs the directory inode so newly created segment files survive a
+/// power loss. Best-effort where directories cannot be opened as files
+/// (non-POSIX platforms).
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    match File::open(dir) {
+        Ok(d) => d.sync_all(),
+        Err(_) => Ok(()),
+    }
+}
+
+/// Result of scanning a WAL directory.
+#[derive(Debug)]
+pub struct ReplayLog {
+    /// The decoded batches, in append order.
+    pub batches: Vec<WalBatch>,
+    /// Total frame bytes read (excluding segment headers).
+    pub bytes: u64,
+    /// Segments scanned.
+    pub segments: usize,
+    /// True if the last segment ended in a torn/unreadable frame (the
+    /// normal signature of a crash mid-append).
+    pub truncated_tail: bool,
+}
+
+/// Reads every durable batch from the log directory. See the module docs
+/// for the tail-truncation contract. A missing directory is an empty log.
+pub fn read_wal(dir: &Path) -> Result<ReplayLog, WalError> {
+    let segments = list_segments(dir)?;
+    let mut log = ReplayLog {
+        batches: Vec::new(),
+        bytes: 0,
+        segments: segments.len(),
+        truncated_tail: false,
+    };
+    for (pos, (index, path)) in segments.iter().enumerate() {
+        let last_segment = pos + 1 == segments.len();
+        let mut data = Vec::new();
+        File::open(path)?.read_to_end(&mut data)?;
+        if data.len() < SEGMENT_HEADER_BYTES as usize
+            || &data[0..4] != MAGIC
+            || u32::from_le_bytes(data[4..8].try_into().unwrap()) != VERSION
+            || u64::from_le_bytes(data[8..16].try_into().unwrap()) != *index
+        {
+            return Err(WalError::BadSegmentHeader(path.clone()));
+        }
+        let mut offset = SEGMENT_HEADER_BYTES as usize;
+        while offset < data.len() {
+            match read_frame(&data, offset) {
+                Ok((payload, next)) => {
+                    log.batches.push(decode_batch(payload)?);
+                    log.bytes += (next - offset) as u64;
+                    offset = next;
+                }
+                // A frame extending past EOF in the last segment is the
+                // signature of a crash mid-append: the rest of the log is
+                // exactly what was durable.
+                Err(FrameError::Truncated) if last_segment => {
+                    log.truncated_tail = true;
+                    break;
+                }
+                // Anything else — a checksum mismatch or implausible
+                // length with the frame's bytes fully present, or
+                // truncation before the final segment — is corruption of
+                // durable data and must fail loudly: appends are strictly
+                // sequential, so a bad frame with valid data after it can
+                // never be a torn write.
+                Err(FrameError::Truncated) => {
+                    return Err(WalError::Corrupt {
+                        segment: path.clone(),
+                        offset: offset as u64,
+                        reason: "segment truncated before the log tail".to_string(),
+                    });
+                }
+                Err(FrameError::Corrupt(reason)) => {
+                    return Err(WalError::Corrupt {
+                        segment: path.clone(),
+                        offset: offset as u64,
+                        reason,
+                    });
+                }
+            }
+        }
+    }
+    Ok(log)
+}
+
+/// Why a frame failed to read: extends past EOF (a torn append) vs. bytes
+/// present but wrong (corruption). The distinction decides whether replay
+/// may stop cleanly or must fail.
+enum FrameError {
+    Truncated,
+    Corrupt(String),
+}
+
+/// Reads the frame starting at `offset`; returns its payload slice and the
+/// offset past it, or the failure reason.
+fn read_frame(data: &[u8], offset: usize) -> Result<(&[u8], usize), FrameError> {
+    if offset + 8 > data.len() {
+        return Err(FrameError::Truncated);
+    }
+    let len = u32::from_le_bytes(data[offset..offset + 4].try_into().unwrap()) as usize;
+    let stored = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().unwrap());
+    if len > MAX_WAL_PAYLOAD {
+        // The length prefix is written before any payload byte, so a
+        // fully-present-but-absurd value is corruption, not a torn write.
+        return Err(FrameError::Corrupt(format!(
+            "implausible frame length {len}"
+        )));
+    }
+    let start = offset + 8;
+    let end = start + len;
+    if end > data.len() {
+        return Err(FrameError::Truncated);
+    }
+    let payload = &data[start..end];
+    let computed = crc32(payload);
+    if computed != stored {
+        return Err(FrameError::Corrupt(format!(
+            "checksum mismatch (stored {stored:#010x}, computed {computed:#010x})"
+        )));
+    }
+    Ok((payload, end))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("netclus-wal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn add(nodes: &[u32]) -> UpdateOp {
+        UpdateOp::AddTrajectory(Trajectory::new(nodes.iter().map(|&n| NodeId(n)).collect()))
+    }
+
+    fn ops_eq(a: &[UpdateOp], b: &[UpdateOp]) -> bool {
+        a.len() == b.len()
+            && a.iter().zip(b).all(|(x, y)| match (x, y) {
+                (UpdateOp::AddTrajectory(s), UpdateOp::AddTrajectory(t)) => s == t,
+                (UpdateOp::RemoveTrajectory(s), UpdateOp::RemoveTrajectory(t)) => s == t,
+                (UpdateOp::AddSite(s), UpdateOp::AddSite(t)) => s == t,
+                (UpdateOp::RemoveSite(s), UpdateOp::RemoveSite(t)) => s == t,
+                _ => false,
+            })
+    }
+
+    #[test]
+    fn batch_payload_roundtrip() {
+        let ops = vec![
+            add(&[1, 2, 3]),
+            UpdateOp::RemoveTrajectory(TrajId(7)),
+            UpdateOp::AddSite(NodeId(9)),
+            UpdateOp::RemoveSite(NodeId(4)),
+        ];
+        let payload = encode_batch(42, &ops);
+        let decoded = decode_batch(&payload).unwrap();
+        assert_eq!(decoded.epoch, 42);
+        assert!(ops_eq(&decoded.ops, &ops));
+    }
+
+    #[test]
+    fn append_read_roundtrip_with_sync_batching() {
+        let dir = tmp_dir("roundtrip");
+        let mut w = WalWriter::open(WalConfig {
+            sync_every_frames: 3,
+            ..WalConfig::new(&dir)
+        })
+        .unwrap();
+        let mut syncs = 0;
+        for epoch in 1..=7u64 {
+            let info = w
+                .append(&encode_batch(epoch, &[add(&[epoch as u32])]))
+                .unwrap();
+            syncs += info.synced as u32;
+        }
+        assert_eq!(syncs, 2, "7 frames at sync_every=3 → 2 automatic fsyncs");
+        assert!(w.sync().unwrap(), "tail still needed a sync");
+        assert!(!w.sync().unwrap(), "second sync is a no-op");
+        drop(w);
+
+        let log = read_wal(&dir).unwrap();
+        assert_eq!(log.batches.len(), 7);
+        assert!(!log.truncated_tail);
+        for (i, b) in log.batches.iter().enumerate() {
+            assert_eq!(b.epoch, i as u64 + 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segments_rotate_and_replay_in_order() {
+        let dir = tmp_dir("rotate");
+        let mut w = WalWriter::open(WalConfig {
+            segment_max_bytes: 256,
+            ..WalConfig::new(&dir)
+        })
+        .unwrap();
+        let mut rotations = 0;
+        for epoch in 1..=40u64 {
+            let info = w
+                .append(&encode_batch(epoch, &[add(&[1, 2, 3, 4, 5])]))
+                .unwrap();
+            rotations += info.rotated as u32;
+        }
+        drop(w);
+        assert!(rotations >= 2, "expected rotations, got {rotations}");
+        let log = read_wal(&dir).unwrap();
+        assert!(log.segments >= 3);
+        assert_eq!(log.batches.len(), 40);
+        let epochs: Vec<u64> = log.batches.iter().map(|b| b.epoch).collect();
+        assert_eq!(epochs, (1..=40).collect::<Vec<_>>());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_truncates_cleanly() {
+        let dir = tmp_dir("torn");
+        let mut w = WalWriter::open(WalConfig::new(&dir)).unwrap();
+        for epoch in 1..=3u64 {
+            w.append(&encode_batch(epoch, &[add(&[1])])).unwrap();
+        }
+        let segment = w.current_segment();
+        drop(w);
+        // Chop 3 bytes off the last frame: a torn append.
+        let data = std::fs::read(&segment).unwrap();
+        std::fs::write(&segment, &data[..data.len() - 3]).unwrap();
+        let log = read_wal(&dir).unwrap();
+        assert_eq!(log.batches.len(), 2);
+        assert!(log.truncated_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn mid_log_corruption_is_a_hard_error() {
+        let dir = tmp_dir("corrupt");
+        // Two segments; corrupt a frame in the first.
+        let mut w = WalWriter::open(WalConfig {
+            segment_max_bytes: 128,
+            ..WalConfig::new(&dir)
+        })
+        .unwrap();
+        let first_segment = w.current_segment();
+        for epoch in 1..=10u64 {
+            w.append(&encode_batch(epoch, &[add(&[1, 2, 3, 4])]))
+                .unwrap();
+        }
+        assert_ne!(w.current_segment(), first_segment, "need ≥ 2 segments");
+        drop(w);
+        let mut data = std::fs::read(&first_segment).unwrap();
+        let n = data.len();
+        data[n - 2] ^= 0xFF;
+        std::fs::write(&first_segment, &data).unwrap();
+        assert!(matches!(read_wal(&dir), Err(WalError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_in_last_segment_is_a_hard_error() {
+        // A checksum mismatch with the frame's bytes fully present is
+        // corruption of durable data, even in the last segment — only
+        // truncation at EOF may be treated as a torn tail.
+        for victim in [1usize, 2] {
+            let dir = tmp_dir(&format!("last-corrupt-{victim}"));
+            let mut w = WalWriter::open(WalConfig::new(&dir)).unwrap();
+            let mut frame_starts = Vec::new();
+            let mut offset = SEGMENT_HEADER_BYTES;
+            for epoch in 1..=3u64 {
+                frame_starts.push(offset);
+                let info = w.append(&encode_batch(epoch, &[add(&[1, 2])])).unwrap();
+                offset += info.bytes;
+            }
+            let segment = w.current_segment();
+            drop(w);
+            // Flip a payload byte of the victim frame (middle, then final).
+            let mut data = std::fs::read(&segment).unwrap();
+            let idx = frame_starts[victim] as usize + 10;
+            data[idx] ^= 0xFF;
+            std::fs::write(&segment, &data).unwrap();
+            assert!(
+                matches!(read_wal(&dir), Err(WalError::Corrupt { .. })),
+                "victim frame {victim} not detected as corruption"
+            );
+            std::fs::remove_dir_all(&dir).unwrap();
+        }
+    }
+
+    #[test]
+    fn reopen_starts_a_fresh_segment() {
+        let dir = tmp_dir("reopen");
+        let mut w = WalWriter::open(WalConfig::new(&dir)).unwrap();
+        w.append(&encode_batch(1, &[add(&[1])])).unwrap();
+        let first = w.current_segment();
+        drop(w);
+        let w2 = WalWriter::open(WalConfig::new(&dir)).unwrap();
+        assert_ne!(w2.current_segment(), first);
+        drop(w2);
+        let log = read_wal(&dir).unwrap();
+        assert_eq!(log.batches.len(), 1);
+        assert_eq!(log.segments, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_is_empty_log() {
+        let log = read_wal(Path::new("/nonexistent/netclus-wal")).unwrap();
+        assert!(log.batches.is_empty());
+        assert_eq!(log.segments, 0);
+    }
+
+    #[test]
+    fn malformed_batch_contents_rejected() {
+        assert!(matches!(
+            decode_batch(&encode_batch(1, &[])[..8]),
+            Err(WalError::Malformed(_))
+        ));
+        let mut payload = encode_batch(1, &[add(&[5])]);
+        payload.push(0xAB); // trailing junk
+        assert!(matches!(
+            decode_batch(&payload),
+            Err(WalError::Malformed(_))
+        ));
+    }
+}

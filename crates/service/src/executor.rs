@@ -349,9 +349,11 @@ impl NetClusService {
     /// Applies an update batch copy-on-write and publishes the next epoch;
     /// stale cache entries are invalidated. Queries keep flowing throughout.
     pub fn apply_updates(&self, batch: UpdateBatch) -> UpdateReceipt {
+        let t = Instant::now();
         let receipt = self.inner.store.apply(&batch);
         self.inner.cache.invalidate_before(receipt.epoch);
         let metrics = &self.inner.clock.metrics;
+        metrics.update_latency.record(t.elapsed());
         metrics.epoch_advances.fetch_add(1, Ordering::Relaxed);
         metrics
             .updates_applied

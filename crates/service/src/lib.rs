@@ -91,7 +91,9 @@ pub use executor::{
     NetClusService, QueryVariant, ResponseHandle, ServiceAnswer, ServiceConfig, ServiceRequest,
     SubmitError,
 };
-pub use metrics::{LatencyHistogram, LatencySummary, MetricsReport, ServiceMetrics};
+pub use metrics::{
+    IngestMetrics, IngestReport, LatencyHistogram, LatencySummary, MetricsReport, ServiceMetrics,
+};
 pub use snapshot::{Snapshot, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
 
 /// Compile-time audit that everything crossing thread boundaries is

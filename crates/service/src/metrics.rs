@@ -135,6 +135,9 @@ pub struct ServiceMetrics {
     pub updates_applied: AtomicU64,
     /// End-to-end request latency (submit → answer delivered).
     pub latency: LatencyHistogram,
+    /// Update-path latency (copy-on-write apply → epoch published), so
+    /// ingest batches are observable alongside query latency.
+    pub update_latency: LatencyHistogram,
 }
 
 impl ServiceMetrics {
@@ -181,6 +184,7 @@ impl ServiceMetrics {
             epoch_advances: self.epoch_advances.load(Ordering::Relaxed),
             updates_applied: self.updates_applied.load(Ordering::Relaxed),
             latency: self.latency.summary(),
+            update_latency: self.update_latency.summary(),
             cache,
         }
     }
@@ -221,6 +225,8 @@ pub struct MetricsReport {
     pub updates_applied: u64,
     /// End-to-end latency summary.
     pub latency: LatencySummary,
+    /// Update-path (apply → publish) latency summary.
+    pub update_latency: LatencySummary,
     /// Result-cache counters.
     pub cache: CacheStats,
 }
@@ -259,6 +265,10 @@ impl MetricsReport {
         push_u64(&mut s, "latency_p95_us", self.latency.p95_micros);
         push_u64(&mut s, "latency_p99_us", self.latency.p99_micros);
         push_u64(&mut s, "latency_max_us", self.latency.max_micros);
+        push_u64(&mut s, "update_mean_us", self.update_latency.mean_micros);
+        push_u64(&mut s, "update_p50_us", self.update_latency.p50_micros);
+        push_u64(&mut s, "update_p99_us", self.update_latency.p99_micros);
+        push_u64(&mut s, "update_max_us", self.update_latency.max_micros);
         push_u64(&mut s, "cache_hits", self.cache.hits);
         push_u64(&mut s, "cache_misses", self.cache.misses);
         push_u64(&mut s, "cache_evictions", self.cache.evictions);
@@ -288,6 +298,163 @@ fn push_f64(s: &mut String, key: &str, v: f64) {
         s.push_str("null");
     }
     s.push(',');
+}
+
+/// Shared counters for the ingestion subsystem (`netclus-ingest`), kept
+/// here so ingest-side observability lives alongside the query-side
+/// counters and serializes through the same single-line-JSON machinery.
+///
+/// The pipeline stages update these lock-free:
+///
+/// * intake — `records_in`, `records_duplicate`, `records_dropped`,
+///   `records_malformed`;
+/// * map matching — `records_matched`, `match_failed`, `match_latency`;
+/// * lifecycle/publish — `batches_published`, `ops_published`,
+///   `trajs_retired`, `publish_latency`;
+/// * WAL — `wal_frames`, `wal_bytes`, `wal_syncs`;
+/// * recovery — `replay_micros`, `replay_batches`.
+#[derive(Debug, Default)]
+pub struct IngestMetrics {
+    /// Records accepted at intake (after dedup, before matching).
+    pub records_in: AtomicU64,
+    /// Records dropped at intake as per-source sequence duplicates.
+    pub records_duplicate: AtomicU64,
+    /// Records shed by backpressure (drop-oldest evictions + rejections).
+    pub records_dropped: AtomicU64,
+    /// Frames that failed to decode (bad CRC, truncation, invalid trace).
+    pub records_malformed: AtomicU64,
+    /// Records successfully map-matched into trajectories.
+    pub records_matched: AtomicU64,
+    /// Records the matcher could not place on the network.
+    pub match_failed: AtomicU64,
+    /// Per-record map-matching latency.
+    pub match_latency: LatencyHistogram,
+    /// Update batches written to the WAL and published.
+    pub batches_published: AtomicU64,
+    /// Individual update operations published (inserts + retires).
+    pub ops_published: AtomicU64,
+    /// Trajectories retired by TTL expiry.
+    pub trajs_retired: AtomicU64,
+    /// Per-batch publish latency (WAL append + fsync + snapshot apply).
+    pub publish_latency: LatencyHistogram,
+    /// WAL frames appended.
+    pub wal_frames: AtomicU64,
+    /// WAL bytes appended (frame headers + payloads).
+    pub wal_bytes: AtomicU64,
+    /// fsync calls issued (≤ `wal_frames` thanks to sync batching).
+    pub wal_syncs: AtomicU64,
+    /// Time spent replaying the WAL at startup, microseconds.
+    pub replay_micros: AtomicU64,
+    /// Batches replayed from the WAL at startup.
+    pub replay_batches: AtomicU64,
+}
+
+impl IngestMetrics {
+    /// Builds a point-in-time report; `elapsed` is the ingest uptime used
+    /// for the rate figures.
+    pub fn report(&self, elapsed: Duration) -> IngestReport {
+        let secs = elapsed.as_secs_f64();
+        let rate = |count: u64| if secs > 0.0 { count as f64 / secs } else { 0.0 };
+        let matched = self.records_matched.load(Ordering::Relaxed);
+        let wal_bytes = self.wal_bytes.load(Ordering::Relaxed);
+        IngestReport {
+            uptime: elapsed,
+            records_in: self.records_in.load(Ordering::Relaxed),
+            records_duplicate: self.records_duplicate.load(Ordering::Relaxed),
+            records_dropped: self.records_dropped.load(Ordering::Relaxed),
+            records_malformed: self.records_malformed.load(Ordering::Relaxed),
+            records_matched: matched,
+            match_failed: self.match_failed.load(Ordering::Relaxed),
+            records_per_sec: rate(matched),
+            match_latency: self.match_latency.summary(),
+            batches_published: self.batches_published.load(Ordering::Relaxed),
+            ops_published: self.ops_published.load(Ordering::Relaxed),
+            trajs_retired: self.trajs_retired.load(Ordering::Relaxed),
+            publish_latency: self.publish_latency.summary(),
+            wal_frames: self.wal_frames.load(Ordering::Relaxed),
+            wal_bytes,
+            wal_bytes_per_sec: rate(wal_bytes),
+            wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
+            replay_micros: self.replay_micros.load(Ordering::Relaxed),
+            replay_batches: self.replay_batches.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time ingest report (see [`IngestMetrics`]).
+#[derive(Clone, Copy, Debug)]
+pub struct IngestReport {
+    /// Ingest uptime.
+    pub uptime: Duration,
+    /// Records accepted at intake.
+    pub records_in: u64,
+    /// Sequence duplicates dropped at intake.
+    pub records_duplicate: u64,
+    /// Records shed by backpressure.
+    pub records_dropped: u64,
+    /// Undecodable frames.
+    pub records_malformed: u64,
+    /// Records matched onto the network.
+    pub records_matched: u64,
+    /// Records the matcher rejected.
+    pub match_failed: u64,
+    /// Matched records per second of uptime.
+    pub records_per_sec: f64,
+    /// Map-matching latency summary.
+    pub match_latency: LatencySummary,
+    /// Batches written + published.
+    pub batches_published: u64,
+    /// Update operations published.
+    pub ops_published: u64,
+    /// TTL retirements.
+    pub trajs_retired: u64,
+    /// Publish (WAL + apply) latency summary.
+    pub publish_latency: LatencySummary,
+    /// WAL frames appended.
+    pub wal_frames: u64,
+    /// WAL bytes appended.
+    pub wal_bytes: u64,
+    /// WAL bytes per second of uptime.
+    pub wal_bytes_per_sec: f64,
+    /// fsyncs issued.
+    pub wal_syncs: u64,
+    /// Startup WAL replay time, microseconds.
+    pub replay_micros: u64,
+    /// Batches replayed at startup.
+    pub replay_batches: u64,
+}
+
+impl IngestReport {
+    /// Serializes the report as one line of JSON (`BENCH_INGEST_*` style).
+    pub fn to_json_line(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        push_f64(&mut s, "uptime_secs", self.uptime.as_secs_f64());
+        push_u64(&mut s, "records_in", self.records_in);
+        push_u64(&mut s, "records_duplicate", self.records_duplicate);
+        push_u64(&mut s, "records_dropped", self.records_dropped);
+        push_u64(&mut s, "records_malformed", self.records_malformed);
+        push_u64(&mut s, "records_matched", self.records_matched);
+        push_u64(&mut s, "match_failed", self.match_failed);
+        push_f64(&mut s, "records_per_sec", self.records_per_sec);
+        push_u64(&mut s, "match_mean_us", self.match_latency.mean_micros);
+        push_u64(&mut s, "match_p50_us", self.match_latency.p50_micros);
+        push_u64(&mut s, "match_p99_us", self.match_latency.p99_micros);
+        push_u64(&mut s, "batches_published", self.batches_published);
+        push_u64(&mut s, "ops_published", self.ops_published);
+        push_u64(&mut s, "trajs_retired", self.trajs_retired);
+        push_u64(&mut s, "publish_mean_us", self.publish_latency.mean_micros);
+        push_u64(&mut s, "publish_p99_us", self.publish_latency.p99_micros);
+        push_u64(&mut s, "wal_frames", self.wal_frames);
+        push_u64(&mut s, "wal_bytes", self.wal_bytes);
+        push_f64(&mut s, "wal_bytes_per_sec", self.wal_bytes_per_sec);
+        push_u64(&mut s, "wal_syncs", self.wal_syncs);
+        push_u64(&mut s, "replay_micros", self.replay_micros);
+        push_u64(&mut s, "replay_batches", self.replay_batches);
+        s.pop(); // trailing comma
+        s.push('}');
+        s
+    }
 }
 
 /// Pairs a metrics struct with its start instant.
@@ -359,6 +526,41 @@ mod tests {
         assert!(json.contains("\"throughput_qps\":1.500"));
         assert!(json.contains("\"cache_hits\":1"));
         assert!(json.contains("\"epoch\":5"));
+    }
+
+    #[test]
+    fn update_latency_reported_in_json() {
+        let clock = MetricsClock::default();
+        clock
+            .metrics
+            .update_latency
+            .record(Duration::from_micros(80));
+        clock.metrics.epoch_advances.fetch_add(1, Ordering::Relaxed);
+        let report = clock
+            .metrics
+            .report(Duration::from_secs(1), 1, 1, CacheStats::default());
+        assert_eq!(report.update_latency.count, 1);
+        let json = report.to_json_line();
+        assert!(json.contains("\"update_p50_us\":"));
+        assert!(json.contains("\"epoch_advances\":1"));
+    }
+
+    #[test]
+    fn ingest_report_json_line() {
+        let m = IngestMetrics::default();
+        m.records_in.fetch_add(10, Ordering::Relaxed);
+        m.records_matched.fetch_add(8, Ordering::Relaxed);
+        m.wal_bytes.fetch_add(4_096, Ordering::Relaxed);
+        m.match_latency.record(Duration::from_micros(300));
+        let report = m.report(Duration::from_secs(2));
+        assert_eq!(report.records_per_sec, 4.0);
+        assert_eq!(report.wal_bytes_per_sec, 2_048.0);
+        let json = report.to_json_line();
+        assert!(!json.contains('\n'));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"records_matched\":8"));
+        assert!(json.contains("\"wal_bytes\":4096"));
+        assert!(json.contains("\"records_per_sec\":4.000"));
     }
 
     #[test]

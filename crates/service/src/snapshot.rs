@@ -39,6 +39,14 @@ impl Snapshot {
         &self.net
     }
 
+    /// A shared handle to the (fixed) road network. The network never
+    /// changes across epochs, so long-lived holders (e.g. the ingest
+    /// pipeline's map-match workers) can keep this without pinning a whole
+    /// snapshot — and with it an old trajectory corpus — alive.
+    pub fn net_shared(&self) -> Arc<netclus_roadnet::RoadNetwork> {
+        Arc::clone(&self.net)
+    }
+
     /// The trajectory corpus as of this epoch.
     pub fn trajs(&self) -> &TrajectorySet {
         &self.trajs

@@ -12,6 +12,11 @@ pub enum MapMatchError {
         /// Index of the offending fix in the trace.
         point_index: usize,
     },
+    /// Not a single fix of the trace has a vertex within the candidate
+    /// radius: the whole trace lies off the network (wrong city, indoor
+    /// drift, bogus coordinates). Matching it via the nearest-vertex
+    /// fallback would fabricate a trajectory out of noise.
+    OffNetwork,
     /// The Viterbi lattice became disconnected: no candidate of the given
     /// fix is network-reachable from any surviving candidate of the
     /// previous fix.
@@ -27,6 +32,9 @@ impl fmt::Display for MapMatchError {
             MapMatchError::EmptyTrace => write!(f, "cannot match an empty GPS trace"),
             MapMatchError::NoCandidates { point_index } => {
                 write!(f, "no candidate vertices near fix #{point_index}")
+            }
+            MapMatchError::OffNetwork => {
+                f.write_str("every fix lies outside the candidate radius of the network")
             }
             MapMatchError::BrokenPath { point_index } => {
                 write!(f, "matching lattice disconnected at fix #{point_index}")
@@ -50,5 +58,6 @@ mod tests {
         assert!(MapMatchError::BrokenPath { point_index: 9 }
             .to_string()
             .contains("#9"));
+        assert!(MapMatchError::OffNetwork.to_string().contains("outside"));
     }
 }

@@ -80,8 +80,12 @@ impl MapMatcher {
         }
         let fixes = trace.points();
 
-        // Candidate states per fix.
+        // Candidate states per fix. The nearest-vertex fallback bridges
+        // *isolated* gap fixes only: if not a single fix has a genuine
+        // within-radius candidate, the whole trace is off the network and
+        // matching it would fabricate a trajectory out of noise.
         let mut candidates: Vec<Vec<(NodeId, f64)>> = Vec::with_capacity(fixes.len());
+        let mut genuine_fixes = 0usize;
         for (i, fix) in fixes.iter().enumerate() {
             let mut cands = grid.within(net, fix.pos, self.candidate_radius);
             cands.truncate(self.max_candidates);
@@ -92,8 +96,13 @@ impl MapMatcher {
                     Some((v, d)) if d <= 3.0 * self.candidate_radius => cands.push((v, d)),
                     _ => return Err(MapMatchError::NoCandidates { point_index: i }),
                 }
+            } else {
+                genuine_fixes += 1;
             }
             candidates.push(cands);
+        }
+        if genuine_fixes == 0 {
+            return Err(MapMatchError::OffNetwork);
         }
 
         // Viterbi over the lattice, in log space.
@@ -312,6 +321,51 @@ mod tests {
             m.match_trace(&net, &grid, &GpsTrace::new(vec![])),
             Err(MapMatchError::EmptyTrace)
         );
+    }
+
+    #[test]
+    fn single_point_off_network_is_error() {
+        // 350 m from the nearest vertex: inside the 3×radius fallback
+        // band, but with zero genuine candidates the fix must not be
+        // force-matched into a fabricated static trajectory.
+        let (net, grid) = grid_city();
+        let m = MapMatcher::default();
+        let trace = trace_along(&[(-350.0, -350.0)]);
+        assert_eq!(
+            m.match_trace(&net, &grid, &trace),
+            Err(MapMatchError::OffNetwork)
+        );
+    }
+
+    #[test]
+    fn all_points_off_network_is_error() {
+        // The whole trace drifts ~400 m off the grid (wrong-city GPS):
+        // every fix is beyond the candidate radius, so the trace is
+        // rejected instead of being snapped to the nearest road.
+        let (net, grid) = grid_city();
+        let m = MapMatcher::default();
+        let trace = trace_along(&[(-400.0, -250.0), (-380.0, -240.0), (-390.0, -260.0)]);
+        assert_eq!(
+            m.match_trace(&net, &grid, &trace),
+            Err(MapMatchError::OffNetwork)
+        );
+    }
+
+    #[test]
+    fn isolated_gap_fix_still_bridged_by_fallback() {
+        // One mid-trace outage fix beyond the radius must not kill an
+        // otherwise well-anchored trace.
+        let (net, grid) = grid_city();
+        let m = MapMatcher {
+            candidate_radius: 60.0,
+            ..MapMatcher::default()
+        };
+        // (250, 150) is ~70.7 m from its four nearest vertices: beyond
+        // the 60 m radius but inside the 3× fallback band.
+        let trace = trace_along(&[(0.0, 0.0), (250.0, 150.0), (400.0, 0.0)]);
+        let traj = m.match_trace(&net, &grid, &trace).unwrap();
+        assert_eq!(traj.nodes().first(), Some(&NodeId(0)));
+        assert_eq!(traj.nodes().last(), Some(&NodeId(4)));
     }
 
     #[test]
