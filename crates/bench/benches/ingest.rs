@@ -18,18 +18,24 @@ fn tmp_wal(tag: &str) -> std::path::PathBuf {
     dir
 }
 
-/// A 16-op batch payload resembling what the lifecycle manager emits.
+/// A 16-op batch payload resembling what the lifecycle manager emits,
+/// including the per-add end times and per-source marks the publisher
+/// records with every batch.
 fn sample_payload() -> Vec<u8> {
-    let ops: Vec<UpdateOp> = (0..16u32)
-        .map(|i| {
-            if i % 4 == 3 {
-                UpdateOp::RemoveTrajectory(netclus_trajectory::TrajId(i))
-            } else {
-                UpdateOp::AddTrajectory(Trajectory::new((i..i + 12).map(NodeId).collect()))
-            }
-        })
-        .collect();
-    encode_batch(1, &ops)
+    let mut ops: Vec<UpdateOp> = Vec::new();
+    let mut add_times: Vec<f64> = Vec::new();
+    for i in 0..16u32 {
+        if i % 4 == 3 {
+            ops.push(UpdateOp::RemoveTrajectory(netclus_trajectory::TrajId(i)));
+        } else {
+            ops.push(UpdateOp::AddTrajectory(Trajectory::new(
+                (i..i + 12).map(NodeId).collect(),
+            )));
+            add_times.push(i as f64 * 30.0);
+        }
+    }
+    let marks: Vec<(u32, u64)> = (0..4u32).map(|s| (s, 400 + s as u64)).collect();
+    encode_batch(1, &ops, &add_times, &marks)
 }
 
 fn bench_wal(c: &mut Criterion) {

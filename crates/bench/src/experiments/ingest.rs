@@ -132,7 +132,7 @@ pub fn run(ctx: &mut Ctx) {
     print_table(
         "ingest — durable write-path throughput (beijing-small)",
         &header,
-        &[row.clone()],
+        std::slice::from_ref(&row),
     );
     eprintln!(
         "[wal ] {} epochs in {} ({} ops), replayed {} batches in {} s",

@@ -151,7 +151,7 @@ pub fn run(ctx: &mut Ctx) {
     print_table(
         "service — closed-loop serving throughput (beijing-small)",
         &header,
-        &[row.clone()],
+        std::slice::from_ref(&row),
     );
     ctx.write_csv("service", &header, &[row]);
     println!("BENCH_SERVICE_THROUGHPUT {}", report.to_json_line());

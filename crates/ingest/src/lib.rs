@@ -101,7 +101,8 @@ pub use queue::{BackpressurePolicy, BoundedQueue, PushOutcome};
 pub use record::{RecordError, RecordReader, StreamRecord, MAX_RECORD_PAYLOAD};
 pub use recovery::{recover_store, RecoveryReport};
 pub use wal::{
-    decode_batch, encode_batch, read_wal, ReplayLog, WalBatch, WalConfig, WalError, WalWriter,
+    decode_batch, encode_batch, read_wal, repair_tail, ReplayLog, TailRepair, WalBatch, WalConfig,
+    WalError, WalWriter,
 };
 
 /// Compile-time audit that the types crossing the pipeline's thread

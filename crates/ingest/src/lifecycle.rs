@@ -55,6 +55,33 @@ impl LifecycleManager {
         }
     }
 
+    /// Rebuilds a manager from state recovered out of the WAL: ids resume
+    /// at `next_id`, the stream clock at `watermark_s` (pass
+    /// `f64::NEG_INFINITY` when no add was ever published), and every
+    /// live trajectory `(id, stream end time)` re-enters the expiry heap.
+    /// Expiries are re-timed with the *current* `ttl_s` — changing the
+    /// configured TTL across a restart deliberately re-times the
+    /// survivors. Trajectories already overdue at `watermark_s` are
+    /// retired by the first [`LifecycleManager::advance`] (their retire
+    /// ops were lost with the crashed publisher's pending batch, exactly
+    /// like any other un-appended work).
+    pub fn resume(
+        next_id: u32,
+        ttl_s: Option<f64>,
+        watermark_s: f64,
+        live: impl IntoIterator<Item = (u32, f64)>,
+    ) -> Self {
+        let mut lm = Self::new(next_id, ttl_s);
+        lm.watermark_s = watermark_s;
+        if let Some(ttl) = lm.ttl_s {
+            for (id, end_time_s) in live {
+                lm.expiries
+                    .push(Reverse(((end_time_s.max(0.0) + ttl).to_bits(), id)));
+            }
+        }
+        lm
+    }
+
     /// Admits a matched trajectory observed at stream time `end_time_s`:
     /// appends its insert op plus any retire ops that `end_time_s` makes
     /// due. Returns the id the insert will receive.
@@ -157,5 +184,31 @@ mod tests {
     #[should_panic(expected = "TTL must be positive")]
     fn zero_ttl_rejected() {
         LifecycleManager::new(0, Some(0.0));
+    }
+
+    #[test]
+    fn resume_restores_clock_ids_and_expiries() {
+        // Two live trajectories recovered from the WAL: id 3 ended at 0,
+        // id 5 at 40; stream clock last seen at 50.
+        let mut lm = LifecycleManager::resume(7, Some(100.0), 50.0, vec![(3, 0.0), (5, 40.0)]);
+        assert_eq!(lm.next_id(), 7);
+        assert_eq!(lm.live_len(), 2);
+        let mut ops = Vec::new();
+        // The resumed clock must not regress: an out-of-order record
+        // below 50 changes nothing.
+        assert_eq!(lm.advance(10.0, &mut ops), 0);
+        assert_eq!(lm.advance(99.0, &mut ops), 0);
+        // id 3 expires at 100, id 5 at 140.
+        assert_eq!(lm.advance(100.0, &mut ops), 1);
+        assert!(matches!(
+            ops.last(),
+            Some(UpdateOp::RemoveTrajectory(TrajId(3)))
+        ));
+        assert_eq!(lm.admit(t(&[9]), 200.0, &mut ops), TrajId(7));
+        assert!(matches!(
+            ops.last(),
+            Some(UpdateOp::RemoveTrajectory(TrajId(5)))
+        ));
+        assert_eq!(lm.live_len(), 1);
     }
 }

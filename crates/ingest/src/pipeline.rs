@@ -24,8 +24,26 @@
 //! id prediction and the WAL's gapless epoch chain both depend on it (the
 //! publish path asserts this). Readers are unrestricted — that is the
 //! point of the snapshot store.
+//!
+//! **Durable before visible** holds exactly with
+//! [`WalConfig::sync_every_frames`]` = 1` (the default): every batch is
+//! fsynced before `SnapshotStore::apply` makes it visible, and recovery
+//! lands on the exact pre-crash epoch. Larger values trade that for
+//! throughput — an appended-but-not-yet-fsynced batch is already visible
+//! to queries, and a crash loses it (recovery lands on the latest
+//! *durable* epoch). [`Ingestor::abort`] simulates the crash faithfully:
+//! the WAL writer's buffer is discarded, never flushed.
+//!
+//! **Restart.** [`Ingestor::start`] folds the pipeline's durable soft
+//! state back out of the WAL: per-source dedup watermarks resume from the
+//! high-water marks recorded with each batch (an at-least-once producer's
+//! retries of already-published records stay duplicates across a crash),
+//! and the TTL lifecycle resumes from the recorded stream end time of
+//! every still-live trajectory (the sliding window keeps sliding). The
+//! store must match the log — recover it from the same WAL directory
+//! first (see [`crate::recovery`]) — or `start` refuses to run.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io::{self, Read};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -40,7 +58,7 @@ use netclus_trajectory::{MapMatcher, Trajectory};
 use crate::lifecycle::LifecycleManager;
 use crate::queue::{BackpressurePolicy, BoundedQueue, PushOutcome};
 use crate::record::{RecordReader, StreamRecord};
-use crate::wal::{encode_batch, WalConfig, WalWriter};
+use crate::wal::{encode_batch, read_wal, repair_tail, ReplayLog, WalConfig, WalError, WalWriter};
 
 /// How often blocked pipeline threads re-check the abort flag.
 const POLL: Duration = Duration::from_millis(20);
@@ -111,10 +129,164 @@ pub enum SubmitOutcome {
     Shed,
 }
 
-/// A successfully matched record on its way to the publisher.
+/// A successfully matched record on its way to the publisher. Carries its
+/// provenance so the publisher can record the per-source high-water mark
+/// in the WAL batch it lands in.
 struct Matched {
     traj: Trajectory,
     end_time_s: f64,
+    source: u32,
+    seq: u64,
+}
+
+/// Per-source bookkeeping shared by intake, match workers and the
+/// publisher: the admission watermark (duplicate detection) and the
+/// ordered set of admitted-but-unaccounted sequence numbers.
+///
+/// The in-flight set is what makes the WAL's per-source *high-water*
+/// marks sound. Parallel match workers can finish one source's records
+/// out of order; if the publisher persisted mark 5 while seq 4 of the
+/// same source was still being matched, a crash would classify 4's
+/// at-least-once retry as a duplicate — silent record loss. The
+/// publisher therefore only publishes a source's **lowest** in-flight
+/// seq ([`SourceTracker::is_next`]), parking later arrivals until the
+/// gap resolves (published, match-failed, or displaced), so every
+/// persisted mark covers only accounted records.
+#[derive(Debug, Default)]
+struct SourceTracker {
+    map: Mutex<HashMap<u32, SourceState>>,
+}
+
+#[derive(Debug, Default)]
+struct SourceState {
+    /// Highest seq ever admitted — the intake dedup watermark.
+    admitted: Option<u64>,
+    /// Admitted seqs not yet published, match-failed, or displaced.
+    inflight: BTreeSet<u64>,
+}
+
+impl SourceTracker {
+    /// A tracker whose admission watermarks resume from recovered WAL
+    /// marks (nothing is in flight in a fresh process).
+    fn seeded(marks: HashMap<u32, u64>) -> Self {
+        SourceTracker {
+            map: Mutex::new(
+                marks
+                    .into_iter()
+                    .map(|(source, seq)| {
+                        (
+                            source,
+                            SourceState {
+                                admitted: Some(seq),
+                                inflight: BTreeSet::new(),
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
+        }
+    }
+
+    /// Intake step 1: returns false if `seq` is a duplicate, else
+    /// provisionally registers it in flight — *before* the record becomes
+    /// poppable, so no downstream stage can ever see a seq the tracker
+    /// doesn't know. The caller then either [`SourceTracker::confirm`]s
+    /// the admission or rolls it back with [`SourceTracker::settle`] when
+    /// the queue sheds the record.
+    fn begin_admit(&self, source: u32, seq: u64) -> bool {
+        let mut map = self.map.lock().expect("tracker lock poisoned");
+        let state = map.entry(source).or_default();
+        if state.admitted.is_some_and(|last| seq <= last) {
+            return false;
+        }
+        state.inflight.insert(seq);
+        true
+    }
+
+    /// Intake step 2: the queue admitted the record — advance the
+    /// duplicate-detection watermark. (A source is one producer, so its
+    /// submits are sequential; concurrent *distinct* sources never share
+    /// an entry.)
+    fn confirm(&self, source: u32, seq: u64) {
+        let mut map = self.map.lock().expect("tracker lock poisoned");
+        let state = map.entry(source).or_default();
+        state.admitted = Some(state.admitted.map_or(seq, |last| last.max(seq)));
+    }
+
+    /// Accounts for `seq`: published, match-failed, displaced by
+    /// drop-oldest, or rolled back after a shed — in every case it stops
+    /// blocking the source's publish order.
+    fn settle(&self, source: u32, seq: u64) {
+        let mut map = self.map.lock().expect("tracker lock poisoned");
+        if let Some(state) = map.get_mut(&source) {
+            state.inflight.remove(&seq);
+        }
+    }
+
+    /// True when `seq` is the lowest in-flight seq of `source` — the only
+    /// position the publisher may publish.
+    fn is_next(&self, source: u32, seq: u64) -> bool {
+        let map = self.map.lock().expect("tracker lock poisoned");
+        map.get(&source)
+            .is_some_and(|state| state.inflight.first() == Some(&seq))
+    }
+}
+
+/// Pipeline soft state folded back out of the WAL on start: what a
+/// restarted ingestor needs so dedup and TTL expiry survive a crash.
+struct DurableState {
+    /// Per-source high-water sequence numbers of published records.
+    marks: HashMap<u32, u64>,
+    /// Live (added, never removed) trajectories with their stream end
+    /// times.
+    live: Vec<(u32, f64)>,
+    /// The stream clock at the last published batch.
+    watermark_s: f64,
+}
+
+/// Folds the replayed log into the pipeline's resumable soft state.
+/// `id_bound` is the recovered store's trajectory id bound: since ids are
+/// dense and predicted, the k-th add in the log received id
+/// `id_bound - total adds + k`.
+fn fold_durable_state(log: &ReplayLog, id_bound: u32) -> io::Result<DurableState> {
+    let total_adds: usize = log.batches.iter().map(|b| b.add_times.len()).sum();
+    let mut next = (id_bound as usize).checked_sub(total_adds).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "store/WAL mismatch: the log holds more trajectory inserts than the \
+                 store's id bound — this WAL does not belong to this store's base state",
+        )
+    })? as u32;
+    let mut live: HashMap<u32, f64> = HashMap::new();
+    let mut marks: HashMap<u32, u64> = HashMap::new();
+    let mut watermark_s = f64::NEG_INFINITY;
+    for batch in &log.batches {
+        let mut times = batch.add_times.iter();
+        for op in &batch.ops {
+            match op {
+                UpdateOp::AddTrajectory(_) => {
+                    // Alignment is guaranteed by `decode_batch`.
+                    let end_time_s = times.next().copied().unwrap_or(0.0);
+                    live.insert(next, end_time_s);
+                    watermark_s = watermark_s.max(end_time_s);
+                    next += 1;
+                }
+                UpdateOp::RemoveTrajectory(id) => {
+                    live.remove(&id.0);
+                }
+                UpdateOp::AddSite(_) | UpdateOp::RemoveSite(_) => {}
+            }
+        }
+        for &(source, seq) in &batch.marks {
+            let entry = marks.entry(source).or_insert(seq);
+            *entry = (*entry).max(seq);
+        }
+    }
+    Ok(DurableState {
+        marks,
+        live: live.into_iter().collect(),
+        watermark_s,
+    })
 }
 
 /// The running pipeline. Create with [`Ingestor::start`], feed with
@@ -125,8 +297,9 @@ struct Matched {
 pub struct Ingestor {
     intake: Arc<BoundedQueue<StreamRecord>>,
     policy: BackpressurePolicy,
-    /// Per-source high-water sequence numbers for duplicate detection.
-    dedup: Mutex<HashMap<u32, u64>>,
+    /// Per-source admission watermarks and in-flight seqs, shared with
+    /// the match workers and the publisher.
+    tracker: Arc<SourceTracker>,
     metrics: Arc<IngestMetrics>,
     abort: Arc<AtomicBool>,
     handles: Vec<JoinHandle<()>>,
@@ -138,21 +311,60 @@ impl Ingestor {
     /// `store` is the live snapshot store the pipeline publishes into —
     /// the pipeline must be its only writer. `grid` must index the
     /// store's road network.
+    ///
+    /// On a non-empty WAL directory this is a **restart**: the per-source
+    /// dedup watermarks and the TTL state of live trajectories are folded
+    /// back out of the log, and the store must already sit at the log's
+    /// last epoch (recover it with [`crate::recovery::recover_store`]
+    /// first) — a mismatched store is rejected with `InvalidInput` rather
+    /// than silently forking the epoch chain.
+    ///
+    /// `start` scans the log itself rather than taking recovery output,
+    /// so it cannot be handed stale or mismatched state; the recover-
+    /// then-start sequence therefore reads the log twice. The cost is
+    /// one startup pass, linear in log size.
     pub fn start(
         store: Arc<SnapshotStore>,
         grid: Arc<GridIndex>,
         cfg: IngestConfig,
         metrics: Arc<IngestMetrics>,
     ) -> io::Result<Ingestor> {
-        let wal = WalWriter::open(cfg.wal.clone())?;
-        let intake = Arc::new(BoundedQueue::new(cfg.queue_capacity));
-        let abort = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = channel::<Matched>();
+        // Repair, read and validate the existing log BEFORE the writer
+        // runs: a rejected start must not leave a fresh (empty) segment
+        // behind on every retry. The repair is idempotent maintenance the
+        // writer would do anyway.
+        let to_io = |e: WalError| io::Error::new(io::ErrorKind::InvalidData, e.to_string());
+        std::fs::create_dir_all(&cfg.wal.dir)?;
+        repair_tail(&cfg.wal.dir).map_err(to_io)?;
+        let log = read_wal(&cfg.wal.dir).map_err(to_io)?;
 
         let base = store.load();
         let net = base.net_shared();
         let next_id = base.trajs().id_bound() as u32;
+        let epoch = base.epoch();
         drop(base);
+
+        let logged_epoch = log.batches.last().map_or(0, |b| b.epoch);
+        if logged_epoch != epoch {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "store/WAL mismatch: the log ends at epoch {logged_epoch} but the store \
+                     is at {epoch}. The pipeline requires the store to sit exactly at the \
+                     log's last epoch (recovery replays from the epoch-0 base): recover the \
+                     store from this WAL directory, or start from the store's epoch-0 base \
+                     state with an empty directory"
+                ),
+            ));
+        }
+        let durable = fold_durable_state(&log, next_id)?;
+        drop(log);
+
+        let wal = WalWriter::open(cfg.wal.clone())?;
+        let intake = Arc::new(BoundedQueue::new(cfg.queue_capacity));
+        let abort = Arc::new(AtomicBool::new(false));
+        let tracker = Arc::new(SourceTracker::seeded(durable.marks));
+        let (tx, rx) = channel::<Matched>();
 
         let mut handles = Vec::with_capacity(cfg.match_workers + 1);
         for i in 0..cfg.match_workers.max(1) {
@@ -161,13 +373,16 @@ impl Ingestor {
             let metrics = Arc::clone(&metrics);
             let net = Arc::clone(&net);
             let grid = Arc::clone(&grid);
+            let tracker = Arc::clone(&tracker);
             let matcher = cfg.matcher.clone();
             let tx = tx.clone();
             handles.push(
                 std::thread::Builder::new()
                     .name(format!("ingest-match-{i}"))
                     .spawn(move || {
-                        match_loop(&intake, &abort, &metrics, &net, &grid, &matcher, &tx)
+                        match_loop(
+                            &intake, &abort, &metrics, &net, &grid, &matcher, &tracker, &tx,
+                        )
                     })
                     .expect("spawn match worker"),
             );
@@ -178,7 +393,9 @@ impl Ingestor {
             let abort = Arc::clone(&abort);
             let metrics = Arc::clone(&metrics);
             let intake = Arc::clone(&intake);
-            let lifecycle = LifecycleManager::new(next_id, cfg.ttl_s);
+            let tracker = Arc::clone(&tracker);
+            let lifecycle =
+                LifecycleManager::resume(next_id, cfg.ttl_s, durable.watermark_s, durable.live);
             let max_batch_ops = cfg.max_batch_ops.max(1);
             let max_batch_delay = cfg.max_batch_delay;
             handles.push(
@@ -190,6 +407,7 @@ impl Ingestor {
                             store,
                             wal,
                             lifecycle,
+                            &tracker,
                             &intake,
                             &abort,
                             &metrics,
@@ -204,7 +422,7 @@ impl Ingestor {
         Ok(Ingestor {
             intake,
             policy: cfg.policy,
-            dedup: Mutex::new(HashMap::new()),
+            tracker,
             metrics,
             abort,
             handles,
@@ -214,46 +432,44 @@ impl Ingestor {
     /// Offers one record to the pipeline: per-source duplicates are
     /// dropped, then the backpressure policy decides admission.
     pub fn submit(&self, record: StreamRecord) -> SubmitOutcome {
-        {
-            let dedup = self.dedup.lock().expect("dedup lock poisoned");
-            if let Some(&last) = dedup.get(&record.source) {
-                if record.seq <= last {
-                    self.metrics
-                        .records_duplicate
-                        .fetch_add(1, Ordering::Relaxed);
-                    return SubmitOutcome::Duplicate;
-                }
-            }
-        }
         let (source, seq) = (record.source, record.seq);
-        let outcome = match self.intake.push(record, self.policy) {
+        // Register in flight *before* the record becomes poppable, so a
+        // worker can never process a seq the tracker doesn't know about.
+        if !self.tracker.begin_admit(source, seq) {
+            self.metrics
+                .records_duplicate
+                .fetch_add(1, Ordering::Relaxed);
+            return SubmitOutcome::Duplicate;
+        }
+        let (push, displaced) = self.intake.push_reporting(record, self.policy);
+        if let Some(d) = displaced {
+            // A drop-oldest eviction is intentional loss (freshest-data
+            // wins): account the displaced record so it never blocks its
+            // source's publish order.
+            self.tracker.settle(d.source, d.seq);
+        }
+        match push {
             PushOutcome::Accepted => {
+                self.tracker.confirm(source, seq);
                 self.metrics.records_in.fetch_add(1, Ordering::Relaxed);
                 SubmitOutcome::Accepted
             }
             PushOutcome::AcceptedDroppedOldest => {
+                self.tracker.confirm(source, seq);
                 self.metrics.records_in.fetch_add(1, Ordering::Relaxed);
                 self.metrics.records_dropped.fetch_add(1, Ordering::Relaxed);
                 SubmitOutcome::AcceptedDroppedOldest
             }
             PushOutcome::Rejected | PushOutcome::Closed => {
+                // The watermark moves only on admission: a shed record
+                // was never taken, so the upstream retry it is owed must
+                // not be mistaken for a duplicate. Roll the provisional
+                // in-flight entry back.
+                self.tracker.settle(source, seq);
                 self.metrics.records_dropped.fetch_add(1, Ordering::Relaxed);
                 SubmitOutcome::Shed
             }
-        };
-        // The watermark moves only on admission: a shed record was never
-        // taken, so the upstream retry it is owed must not be mistaken
-        // for a duplicate. (A source is one producer, so its submits are
-        // sequential; concurrent *distinct* sources never share an entry.)
-        if matches!(
-            outcome,
-            SubmitOutcome::Accepted | SubmitOutcome::AcceptedDroppedOldest
-        ) {
-            let mut dedup = self.dedup.lock().expect("dedup lock poisoned");
-            let entry = dedup.entry(source).or_insert(seq);
-            *entry = (*entry).max(seq);
         }
-        outcome
     }
 
     /// Decodes framed records from `r` and submits each, returning the
@@ -299,9 +515,13 @@ impl Ingestor {
         self.stop(true);
     }
 
-    /// Simulated crash: queued and in-flight records are discarded and
-    /// the publisher stops between batches. Everything already appended
-    /// to the WAL (and only that) survives into recovery.
+    /// Simulated crash: queued and in-flight records are discarded, the
+    /// publisher stops between batches, and the WAL writer's in-memory
+    /// buffer is thrown away rather than flushed. Exactly what was
+    /// already flushed to the OS survives into recovery — with
+    /// `sync_every_frames = 1` that is every published batch; with
+    /// larger values the un-synced tail is lost, as a real crash would
+    /// lose it.
     pub fn abort(mut self) {
         self.stop(false);
     }
@@ -329,6 +549,7 @@ impl Drop for Ingestor {
 }
 
 /// Match-worker body: pop, Viterbi-match, forward.
+#[allow(clippy::too_many_arguments)]
 fn match_loop(
     intake: &BoundedQueue<StreamRecord>,
     abort: &AtomicBool,
@@ -336,6 +557,7 @@ fn match_loop(
     net: &netclus_roadnet::RoadNetwork,
     grid: &GridIndex,
     matcher: &MapMatcher,
+    tracker: &SourceTracker,
     tx: &Sender<Matched>,
 ) {
     while !abort.load(Ordering::Acquire) {
@@ -348,24 +570,135 @@ fn match_loop(
             Ok(traj) => {
                 metrics.match_latency.record(t.elapsed());
                 metrics.records_matched.fetch_add(1, Ordering::Relaxed);
-                if tx.send(Matched { traj, end_time_s }).is_err() {
+                let matched = Matched {
+                    traj,
+                    end_time_s,
+                    source: record.source,
+                    seq: record.seq,
+                };
+                if tx.send(matched).is_err() {
                     return; // publisher is gone
                 }
             }
             Err(_) => {
+                // A failed match never reaches the WAL, so its seq is not
+                // in the durable marks either: a post-crash retry is
+                // re-admitted, fails the same way, and changes nothing.
+                // Settling it unblocks any later seq of the same source
+                // the publisher is holding back.
+                tracker.settle(record.source, record.seq);
                 metrics.match_failed.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
 }
 
-/// Publisher body: batch, WAL, publish. Sole writer of `store`.
+/// The batch under assembly plus the soft state riding along with it
+/// into its WAL frame: the stream end time of each pending add (op
+/// order) and the per-source high-water marks the batch advances.
+#[derive(Default)]
+struct PendingBatch {
+    ops: Vec<UpdateOp>,
+    add_times: Vec<f64>,
+    marks: HashMap<u32, u64>,
+}
+
+/// Matched records parked by the publisher because a lower admitted seq
+/// of their source is still in flight, keyed source → seq → record.
+type Waiting = HashMap<u32, BTreeMap<u64, Matched>>;
+
+/// Routes an arriving record: admit it to the batch if it is its
+/// source's lowest in-flight seq (then drain anything it unblocked),
+/// park it otherwise.
+fn accept_in_order(
+    matched: Matched,
+    waiting: &mut Waiting,
+    tracker: &SourceTracker,
+    lifecycle: &mut LifecycleManager,
+    batch: &mut PendingBatch,
+    metrics: &IngestMetrics,
+) {
+    let source = matched.source;
+    if tracker.is_next(source, matched.seq) {
+        admit_to_batch(matched, tracker, lifecycle, batch, metrics);
+        drain_source(source, waiting, tracker, lifecycle, batch, metrics);
+    } else {
+        waiting
+            .entry(source)
+            .or_default()
+            .insert(matched.seq, matched);
+    }
+}
+
+/// Admits every parked record of `source` that has become its lowest
+/// in-flight seq.
+fn drain_source(
+    source: u32,
+    waiting: &mut Waiting,
+    tracker: &SourceTracker,
+    lifecycle: &mut LifecycleManager,
+    batch: &mut PendingBatch,
+    metrics: &IngestMetrics,
+) {
+    let Some(queue) = waiting.get_mut(&source) else {
+        return;
+    };
+    while let Some(entry) = queue.first_entry() {
+        if !tracker.is_next(source, *entry.key()) {
+            break;
+        }
+        let matched = entry.remove();
+        admit_to_batch(matched, tracker, lifecycle, batch, metrics);
+    }
+    if queue.is_empty() {
+        waiting.remove(&source);
+    }
+}
+
+/// Sweeps every parked source — match failures settle seqs without a
+/// message to the publisher, so parked records are re-checked on each
+/// poll tick.
+fn drain_waiting(
+    waiting: &mut Waiting,
+    tracker: &SourceTracker,
+    lifecycle: &mut LifecycleManager,
+    batch: &mut PendingBatch,
+    metrics: &IngestMetrics,
+) {
+    let sources: Vec<u32> = waiting.keys().copied().collect();
+    for source in sources {
+        drain_source(source, waiting, tracker, lifecycle, batch, metrics);
+    }
+}
+
+/// Appends one matched record to the batch: lifecycle ops, soft state,
+/// in-flight settlement, metrics.
+fn admit_to_batch(
+    matched: Matched,
+    tracker: &SourceTracker,
+    lifecycle: &mut LifecycleManager,
+    batch: &mut PendingBatch,
+    metrics: &IngestMetrics,
+) {
+    tracker.settle(matched.source, matched.seq);
+    batch.add_times.push(matched.end_time_s);
+    let mark = batch.marks.entry(matched.source).or_insert(matched.seq);
+    *mark = (*mark).max(matched.seq);
+    let before = batch.ops.len();
+    lifecycle.admit(matched.traj, matched.end_time_s, &mut batch.ops);
+    let retired = (batch.ops.len() - before).saturating_sub(1) as u64;
+    metrics.trajs_retired.fetch_add(retired, Ordering::Relaxed);
+}
+
+/// Publisher body: order per source, batch, WAL, publish. Sole writer of
+/// `store`.
 #[allow(clippy::too_many_arguments)]
 fn publish_loop(
     rx: Receiver<Matched>,
     store: Arc<SnapshotStore>,
     mut wal: WalWriter,
     mut lifecycle: LifecycleManager,
+    tracker: &SourceTracker,
     intake: &BoundedQueue<StreamRecord>,
     abort: &AtomicBool,
     metrics: &IngestMetrics,
@@ -383,11 +716,14 @@ fn publish_loop(
             .records_dropped
             .fetch_add(discarded, Ordering::Relaxed);
     };
-    let mut pending: Vec<UpdateOp> = Vec::new();
+    let mut batch = PendingBatch::default();
+    let mut waiting: Waiting = HashMap::new();
     let mut deadline: Option<Instant> = None;
     loop {
         if abort.load(Ordering::Acquire) {
-            // Crash simulation: pending (un-appended) ops are lost.
+            // Crash simulation: pending (un-appended) ops are lost, and
+            // so is the writer's buffer — a drop would flush it.
+            wal.simulate_crash();
             return;
         }
         let timeout = deadline
@@ -396,32 +732,29 @@ fn publish_loop(
             .min(POLL);
         match rx.recv_timeout(timeout) {
             Ok(matched) => {
-                let before = pending.len();
-                lifecycle.admit(matched.traj, matched.end_time_s, &mut pending);
-                let retired = (pending.len() - before).saturating_sub(1) as u64;
-                metrics.trajs_retired.fetch_add(retired, Ordering::Relaxed);
-                if pending.len() >= max_batch_ops {
-                    if !publish(&store, &mut wal, &mut pending, metrics) {
-                        fail(metrics);
-                        return;
-                    }
-                    deadline = None;
-                } else if deadline.is_none() {
-                    deadline = Some(Instant::now() + max_batch_delay);
-                }
+                accept_in_order(
+                    matched,
+                    &mut waiting,
+                    tracker,
+                    &mut lifecycle,
+                    &mut batch,
+                    metrics,
+                );
             }
-            Err(RecvTimeoutError::Timeout) => {
-                if deadline.is_some_and(|d| Instant::now() >= d) && !pending.is_empty() {
-                    if !publish(&store, &mut wal, &mut pending, metrics) {
-                        fail(metrics);
-                        return;
-                    }
-                    deadline = None;
-                }
-            }
+            Err(RecvTimeoutError::Timeout) => {}
             Err(RecvTimeoutError::Disconnected) => {
-                // Graceful end: every worker exited. Flush the tail.
-                if !pending.is_empty() && !publish(&store, &mut wal, &mut pending, metrics) {
+                // Every worker exited. On an abort that can race the
+                // top-of-loop check — crash semantics must still win.
+                if abort.load(Ordering::Acquire) {
+                    wal.simulate_crash();
+                    return;
+                }
+                // Graceful end: every in-flight seq is now settled or in
+                // the channel (drained above), so parked records resolve
+                // completely; then flush the tail.
+                drain_waiting(&mut waiting, tracker, &mut lifecycle, &mut batch, metrics);
+                debug_assert!(waiting.is_empty(), "records parked past shutdown");
+                if !batch.ops.is_empty() && !publish(&store, &mut wal, &mut batch, metrics) {
                     fail(metrics);
                     return;
                 }
@@ -433,19 +766,48 @@ fn publish_loop(
                 return;
             }
         }
+        // Out-of-band settles (match failures, drop-oldest displacements)
+        // never message the publisher, so parked sources are swept every
+        // iteration — not just on idle ticks, which sustained traffic
+        // would starve into unbounded parking.
+        if !waiting.is_empty() {
+            drain_waiting(&mut waiting, tracker, &mut lifecycle, &mut batch, metrics);
+        }
+        // Batch-boundary decisions are shared by the arrival and poll
+        // paths: publish on size, or arm/fire the delay deadline.
+        if batch.ops.len() >= max_batch_ops {
+            if !publish(&store, &mut wal, &mut batch, metrics) {
+                fail(metrics);
+                return;
+            }
+            deadline = None;
+        } else if batch.ops.is_empty() {
+            deadline = None;
+        } else if deadline.is_some_and(|d| Instant::now() >= d) {
+            if !publish(&store, &mut wal, &mut batch, metrics) {
+                fail(metrics);
+                return;
+            }
+            deadline = None;
+        } else if deadline.is_none() {
+            deadline = Some(Instant::now() + max_batch_delay);
+        }
     }
 }
 
-/// Makes `pending` durable, then visible, as the next epoch. Returns false
-/// on an unrecoverable WAL failure (the pipeline stops publishing).
+/// Makes the pending batch durable, then visible, as the next epoch,
+/// recording its add end times and per-source marks alongside it. Returns
+/// false on an unrecoverable WAL failure (the pipeline stops publishing).
 fn publish(
     store: &SnapshotStore,
     wal: &mut WalWriter,
-    pending: &mut Vec<UpdateOp>,
+    batch: &mut PendingBatch,
     metrics: &IngestMetrics,
 ) -> bool {
     let epoch = store.epoch() + 1;
-    let payload = encode_batch(epoch, pending);
+    let mut marks: Vec<(u32, u64)> = batch.marks.iter().map(|(&s, &q)| (s, q)).collect();
+    marks.sort_unstable();
+    let payload = encode_batch(epoch, &batch.ops, &batch.add_times, &marks);
     let t = Instant::now();
     let info = match wal.append(&payload) {
         Ok(info) => info,
@@ -454,7 +816,7 @@ fn publish(
             return false;
         }
     };
-    let receipt = store.apply(pending);
+    let receipt = store.apply(&batch.ops);
     metrics.publish_latency.record(t.elapsed());
     assert_eq!(
         receipt.epoch, epoch,
@@ -463,12 +825,135 @@ fn publish(
     metrics.batches_published.fetch_add(1, Ordering::Relaxed);
     metrics
         .ops_published
-        .fetch_add(pending.len() as u64, Ordering::Relaxed);
+        .fetch_add(batch.ops.len() as u64, Ordering::Relaxed);
     metrics.wal_frames.fetch_add(1, Ordering::Relaxed);
     metrics.wal_bytes.fetch_add(info.bytes, Ordering::Relaxed);
     metrics
         .wal_syncs
         .fetch_add(info.synced as u64, Ordering::Relaxed);
-    pending.clear();
+    batch.ops.clear();
+    batch.add_times.clear();
+    batch.marks.clear();
     true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclus_roadnet::NodeId;
+
+    fn matched(source: u32, seq: u64, end_time_s: f64) -> Matched {
+        Matched {
+            traj: Trajectory::new(vec![NodeId(seq as u32), NodeId(seq as u32 + 1)]),
+            end_time_s,
+            source,
+            seq,
+        }
+    }
+
+    /// Regression test for the durable-mark soundness hole: with parallel
+    /// workers a later seq can finish matching first. The publisher must
+    /// park it — publishing it would persist a high-water mark covering
+    /// the still-in-flight lower seq, and a crash would then drop that
+    /// record's at-least-once retry as a duplicate.
+    #[test]
+    fn out_of_order_matches_are_parked_until_the_gap_resolves() {
+        let tracker = SourceTracker::default();
+        assert!(tracker.begin_admit(1, 0));
+        assert!(tracker.begin_admit(1, 1));
+        let mut waiting: Waiting = HashMap::new();
+        let mut lifecycle = LifecycleManager::new(0, None);
+        let mut batch = PendingBatch::default();
+        let metrics = IngestMetrics::default();
+
+        // seq 1 finishes matching first: parked, nothing published, no
+        // mark recorded.
+        accept_in_order(
+            matched(1, 1, 20.0),
+            &mut waiting,
+            &tracker,
+            &mut lifecycle,
+            &mut batch,
+            &metrics,
+        );
+        assert!(batch.ops.is_empty());
+        assert!(batch.marks.is_empty());
+        assert_eq!(waiting[&1].len(), 1);
+
+        // seq 0 lands: both publish, in admission order, mark exact.
+        accept_in_order(
+            matched(1, 0, 10.0),
+            &mut waiting,
+            &tracker,
+            &mut lifecycle,
+            &mut batch,
+            &metrics,
+        );
+        assert_eq!(batch.ops.len(), 2);
+        assert_eq!(batch.add_times, vec![10.0, 20.0], "admission order");
+        assert_eq!(batch.marks[&1], 1);
+        assert!(waiting.is_empty());
+    }
+
+    /// A match failure settles its seq without a publisher message; the
+    /// poll-tick sweep must then release the parked later seq.
+    #[test]
+    fn match_failure_unblocks_parked_records() {
+        let tracker = SourceTracker::default();
+        assert!(tracker.begin_admit(7, 3));
+        assert!(tracker.begin_admit(7, 4));
+        let mut waiting: Waiting = HashMap::new();
+        let mut lifecycle = LifecycleManager::new(0, None);
+        let mut batch = PendingBatch::default();
+        let metrics = IngestMetrics::default();
+
+        accept_in_order(
+            matched(7, 4, 5.0),
+            &mut waiting,
+            &tracker,
+            &mut lifecycle,
+            &mut batch,
+            &metrics,
+        );
+        assert!(batch.ops.is_empty(), "seq 3 still in flight");
+
+        tracker.settle(7, 3); // the worker reports seq 3's match failure
+        drain_waiting(&mut waiting, &tracker, &mut lifecycle, &mut batch, &metrics);
+        assert_eq!(batch.ops.len(), 1);
+        assert_eq!(batch.marks[&7], 4);
+        assert!(waiting.is_empty());
+    }
+
+    /// Intake bookkeeping: duplicates are detected against the confirmed
+    /// watermark, shed records roll back cleanly, and a drop-oldest
+    /// eviction settles the displaced seq.
+    #[test]
+    fn tracker_admission_lifecycle() {
+        let tracker = SourceTracker::default();
+        assert!(tracker.begin_admit(2, 5));
+        tracker.confirm(2, 5);
+        assert!(!tracker.begin_admit(2, 5), "re-send is a duplicate");
+        assert!(!tracker.begin_admit(2, 4), "older seq is a duplicate");
+
+        // A shed record rolls back: the same seq is retryable.
+        assert!(tracker.begin_admit(2, 6));
+        tracker.settle(2, 6); // queue rejected it
+        assert!(tracker.begin_admit(2, 6), "shed record must stay retryable");
+        tracker.confirm(2, 6);
+        assert!(tracker.is_next(2, 5), "seq 5 is still the lowest in flight");
+        assert!(!tracker.is_next(2, 6));
+        tracker.settle(2, 5); // seq 5 publishes
+        assert!(tracker.is_next(2, 6));
+        tracker.settle(2, 6);
+        assert!(!tracker.is_next(2, 6));
+    }
+
+    /// Marks seeded from the WAL classify redelivered seqs as duplicates.
+    #[test]
+    fn seeded_tracker_resumes_dedup() {
+        let tracker = SourceTracker::seeded(HashMap::from([(9, 41u64)]));
+        assert!(!tracker.begin_admit(9, 41));
+        assert!(!tracker.begin_admit(9, 0));
+        assert!(tracker.begin_admit(9, 42));
+    }
 }

@@ -73,11 +73,20 @@ impl<T> BoundedQueue<T> {
     /// Pushes an item under `policy`. Never blocks except under
     /// [`BackpressurePolicy::Block`] on a full queue.
     pub fn push(&self, item: T, policy: BackpressurePolicy) -> PushOutcome {
+        self.push_reporting(item, policy).0
+    }
+
+    /// Like [`BoundedQueue::push`], but also returns the item a
+    /// [`BackpressurePolicy::DropOldest`] eviction displaced — callers
+    /// that account for every queued item must be told exactly which one
+    /// was dropped.
+    pub fn push_reporting(&self, item: T, policy: BackpressurePolicy) -> (PushOutcome, Option<T>) {
         let mut inner = self.inner.lock().expect("queue lock poisoned");
         if inner.closed {
-            return PushOutcome::Closed;
+            return (PushOutcome::Closed, None);
         }
         let mut outcome = PushOutcome::Accepted;
+        let mut displaced = None;
         if inner.items.len() >= self.capacity {
             match policy {
                 BackpressurePolicy::Block => {
@@ -85,20 +94,20 @@ impl<T> BoundedQueue<T> {
                         inner = self.not_full.wait(inner).expect("queue lock poisoned");
                     }
                     if inner.closed {
-                        return PushOutcome::Closed;
+                        return (PushOutcome::Closed, None);
                     }
                 }
                 BackpressurePolicy::DropOldest => {
-                    inner.items.pop_front();
+                    displaced = inner.items.pop_front();
                     outcome = PushOutcome::AcceptedDroppedOldest;
                 }
-                BackpressurePolicy::Reject => return PushOutcome::Rejected,
+                BackpressurePolicy::Reject => return (PushOutcome::Rejected, None),
             }
         }
         inner.items.push_back(item);
         drop(inner);
         self.not_empty.notify_one();
-        outcome
+        (outcome, displaced)
     }
 
     /// Pops the oldest item, blocking while the queue is open and empty.
@@ -172,8 +181,8 @@ mod tests {
         q.push(1, BackpressurePolicy::DropOldest);
         q.push(2, BackpressurePolicy::DropOldest);
         assert_eq!(
-            q.push(3, BackpressurePolicy::DropOldest),
-            PushOutcome::AcceptedDroppedOldest
+            q.push_reporting(3, BackpressurePolicy::DropOldest),
+            (PushOutcome::AcceptedDroppedOldest, Some(1))
         );
         assert_eq!(q.pop(), Some(2));
         assert_eq!(q.pop(), Some(3));

@@ -22,7 +22,7 @@ use netclus_roadnet::RoadNetwork;
 use netclus_service::{IngestMetrics, SnapshotStore};
 use netclus_trajectory::TrajectorySet;
 
-use crate::wal::{read_wal, WalError};
+use crate::wal::{read_wal, repair_tail, TailRepair, WalError};
 
 /// What a recovery run did.
 #[derive(Clone, Copy, Debug)]
@@ -36,9 +36,12 @@ pub struct RecoveryReport {
     pub rejected_ops: u64,
     /// WAL frame bytes read.
     pub bytes: u64,
-    /// True if the last segment ended in a torn frame (dropped, exactly
-    /// as the crashed process never published it).
+    /// True if the log ended in a torn frame (dropped, exactly as the
+    /// crashed process never published it) — whether found during the
+    /// scan or already truncated away by the pre-replay tail repair.
     pub truncated_tail: bool,
+    /// What the pre-replay [`repair_tail`] pass did to the directory.
+    pub tail_repair: TailRepair,
     /// Wall-clock replay time.
     pub replay_time: Duration,
     /// The recovered epoch (= batches, from an epoch-0 base).
@@ -48,6 +51,10 @@ pub struct RecoveryReport {
 /// Replays the WAL in `wal_dir` over the base state, returning the
 /// recovered store. `metrics`, when given, records replay time and batch
 /// count for the ingest report.
+///
+/// Before replaying, the log tail is repaired in place ([`repair_tail`]):
+/// a torn frame left by a mid-append crash is truncated away so it can
+/// never end up mid-log — tolerated once, then fatal — on a later run.
 pub fn recover_store(
     net: RoadNetwork,
     trajs: TrajectorySet,
@@ -56,6 +63,7 @@ pub fn recover_store(
     metrics: Option<&IngestMetrics>,
 ) -> Result<(SnapshotStore, RecoveryReport), WalError> {
     let t = Instant::now();
+    let tail_repair = repair_tail(wal_dir)?;
     let log = read_wal(wal_dir)?;
     let store = SnapshotStore::new(net, trajs, index);
     let mut report = RecoveryReport {
@@ -63,7 +71,8 @@ pub fn recover_store(
         ops: 0,
         rejected_ops: 0,
         bytes: log.bytes,
-        truncated_tail: log.truncated_tail,
+        truncated_tail: log.truncated_tail || tail_repair.repaired(),
+        tail_repair,
         replay_time: Duration::ZERO,
         epoch: 0,
     };

@@ -18,14 +18,19 @@
 //! A frame payload is one encoded [`WalBatch`]:
 //!
 //! ```text
-//! epoch: u64 | op count: u32 | ops…
-//! op = tag: u8 (0 add-traj | 1 remove-traj | 2 add-site | 3 remove-site)
-//!      followed by: nodes: u32 + node ids (tag 0) / id or node: u32
+//! epoch: u64 | op count: u32 | ops… | mark count: u32 | marks…
+//! op   = tag: u8 (0 add-traj | 1 remove-traj | 2 add-site | 3 remove-site)
+//!        tag 0: end time: f64 (stream seconds) | nodes: u32 | node ids
+//!        tags 1–3: id or node: u32
+//! mark = source: u32 | high-water seq: u64
 //! ```
 //!
 //! `epoch` is the snapshot epoch the batch publishes — replay asserts the
 //! chain is gapless, so a recovered store lands on exactly the pre-crash
-//! epoch.
+//! epoch. The per-add **end time** and the per-source high-water **marks**
+//! make the rest of the pipeline's soft state durable too: a restarted
+//! ingestor folds them back out of the log to resume TTL expiry and
+//! at-least-once duplicate detection (see [`crate::pipeline`]).
 //!
 //! ## Durability
 //!
@@ -33,20 +38,26 @@
 //! every [`WalConfig::sync_every_frames`] frames and on [`WalWriter::sync`],
 //! amortizing the dominant cost of small-batch durability. Writers rotate
 //! to a fresh segment once the current one exceeds
-//! [`WalConfig::segment_max_bytes`], and always start a fresh segment on
-//! open so a torn tail from a previous run is never appended to.
+//! [`WalConfig::segment_max_bytes`]; every new segment's header is fsynced
+//! before any frame lands in it, so a durable directory entry never names
+//! a headerless file. Writers always start a fresh segment on open, after
+//! [`repair_tail`] has truncated any torn tail a crashed run left behind —
+//! a torn frame must never end up buried mid-log, where replay would have
+//! to treat it as corruption.
 //!
 //! ## Recovery
 //!
 //! [`read_wal`] replays segments in index order, verifying every checksum.
 //! A frame extending past the **end of the last segment** is the expected
 //! signature of a crash mid-append: replay stops cleanly there and reports
-//! `truncated_tail`. Everything else — a checksum mismatch or implausible
-//! length with the frame's bytes fully present, or truncation before the
-//! final segment — is a hard [`WalError::Corrupt`]: appends are strictly
-//! sequential, so a bad frame with durable data after it can never be a
-//! torn write, and silent loss of acknowledged batches must never be
-//! papered over.
+//! `truncated_tail` (a final segment too short to even hold its header —
+//! a crash between rotation and the header fsync — is the empty form of
+//! the same signature). Everything else — a checksum mismatch or
+//! implausible length with the frame's bytes fully present, or truncation
+//! before the final segment — is a hard [`WalError::Corrupt`]: appends are
+//! strictly sequential, so a bad frame with durable data after it can
+//! never be a torn write, and silent loss of acknowledged batches must
+//! never be papered over.
 
 use std::fmt;
 use std::fs::{File, OpenOptions};
@@ -57,11 +68,11 @@ use netclus_roadnet::NodeId;
 use netclus_service::UpdateOp;
 use netclus_trajectory::{TrajId, Trajectory};
 
-use crate::codec::{put_u32, put_u64, Cursor};
+use crate::codec::{put_f64, put_u32, put_u64, Cursor};
 use crate::crc::crc32;
 
 const MAGIC: &[u8; 4] = b"NCWL";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const SEGMENT_HEADER_BYTES: u64 = 16;
 
 /// Upper bound on one WAL frame's payload (16 MiB).
@@ -74,8 +85,12 @@ pub struct WalConfig {
     pub dir: PathBuf,
     /// Rotate to a new segment once the current one exceeds this size.
     pub segment_max_bytes: u64,
-    /// Issue an fsync every this many appended frames (1 = every batch is
-    /// durable before it is published; larger values batch fsyncs).
+    /// Issue an fsync every this many appended frames. `1` (the default)
+    /// means every batch is durable *before* it is published. Larger
+    /// values batch fsyncs for throughput at a durability cost: up to
+    /// this many recent batches may be visible to queries but not yet
+    /// durable, and a crash loses them — recovery then lands on the
+    /// latest durable epoch, not the latest published one.
     pub sync_every_frames: u32,
 }
 
@@ -90,14 +105,21 @@ impl WalConfig {
     }
 }
 
-/// One durable unit: the ops of a published batch plus the epoch it
-/// published.
+/// One durable unit: the ops of a published batch, the epoch it
+/// published, and the pipeline soft state the batch advanced.
 #[derive(Clone, Debug)]
 pub struct WalBatch {
     /// Snapshot epoch this batch publishes (gapless chain from the base).
     pub epoch: u64,
     /// The operations, in application order.
     pub ops: Vec<UpdateOp>,
+    /// Stream end time of each `AddTrajectory` op, in op order — what a
+    /// restarted lifecycle manager needs to resume TTL expiry.
+    pub add_times: Vec<f64>,
+    /// Per-source high-water sequence numbers advanced by this batch,
+    /// sorted by source — what a restarted pipeline needs to resume
+    /// duplicate detection.
+    pub marks: Vec<(u32, u64)>,
 }
 
 /// WAL failure modes.
@@ -150,15 +172,26 @@ impl From<io::Error> for WalError {
     }
 }
 
-/// Encodes a batch payload (no frame header).
-pub fn encode_batch(epoch: u64, ops: &[UpdateOp]) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(16 + ops.len() * 8);
+/// Encodes a batch payload (no frame header). `add_times` holds the
+/// stream end time of each `AddTrajectory` in `ops`, in op order (exactly
+/// one per add op); `marks` the per-source high-water sequence numbers
+/// this batch advances, sorted by source.
+pub fn encode_batch(
+    epoch: u64,
+    ops: &[UpdateOp],
+    add_times: &[f64],
+    marks: &[(u32, u64)],
+) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(24 + ops.len() * 16 + marks.len() * 12);
     put_u64(&mut buf, epoch);
     put_u32(&mut buf, ops.len() as u32);
+    let mut times = add_times.iter();
     for op in ops {
         match op {
             UpdateOp::AddTrajectory(t) => {
                 buf.push(0);
+                let end = times.next().expect("one end time per AddTrajectory op");
+                put_f64(&mut buf, *end);
                 put_u32(&mut buf, t.nodes().len() as u32);
                 for v in t.nodes() {
                     put_u32(&mut buf, v.0);
@@ -178,6 +211,15 @@ pub fn encode_batch(epoch: u64, ops: &[UpdateOp]) -> Vec<u8> {
             }
         }
     }
+    assert!(
+        times.next().is_none(),
+        "more end times than AddTrajectory ops"
+    );
+    put_u32(&mut buf, marks.len() as u32);
+    for &(source, seq) in marks {
+        put_u32(&mut buf, source);
+        put_u64(&mut buf, seq);
+    }
     buf
 }
 
@@ -188,10 +230,15 @@ pub fn decode_batch(payload: &[u8]) -> Result<WalBatch, WalError> {
     let epoch = c.u64().ok_or_else(|| err("missing epoch"))?;
     let count = c.u32().ok_or_else(|| err("missing op count"))? as usize;
     let mut ops = Vec::with_capacity(count.min(4_096));
+    let mut add_times = Vec::new();
     for _ in 0..count {
         let tag = c.u8().ok_or_else(|| err("missing op tag"))?;
         let op = match tag {
             0 => {
+                let end_time = c.f64().ok_or_else(|| err("missing add end time"))?;
+                if !end_time.is_finite() {
+                    return Err(err("non-finite add end time"));
+                }
                 let n = c.u32().ok_or_else(|| err("missing node count"))? as usize;
                 if n == 0 {
                     return Err(err("empty trajectory"));
@@ -200,6 +247,7 @@ pub fn decode_batch(payload: &[u8]) -> Result<WalBatch, WalError> {
                 for _ in 0..n {
                     nodes.push(NodeId(c.u32().ok_or_else(|| err("short trajectory"))?));
                 }
+                add_times.push(end_time);
                 UpdateOp::AddTrajectory(Trajectory::new(nodes))
             }
             1 => UpdateOp::RemoveTrajectory(TrajId(
@@ -211,10 +259,22 @@ pub fn decode_batch(payload: &[u8]) -> Result<WalBatch, WalError> {
         };
         ops.push(op);
     }
-    if !c.exhausted() {
-        return Err(err("trailing bytes after ops"));
+    let mark_count = c.u32().ok_or_else(|| err("missing mark count"))? as usize;
+    let mut marks = Vec::with_capacity(mark_count.min(4_096));
+    for _ in 0..mark_count {
+        let source = c.u32().ok_or_else(|| err("short mark"))?;
+        let seq = c.u64().ok_or_else(|| err("short mark"))?;
+        marks.push((source, seq));
     }
-    Ok(WalBatch { epoch, ops })
+    if !c.exhausted() {
+        return Err(err("trailing bytes after marks"));
+    }
+    Ok(WalBatch {
+        epoch,
+        ops,
+        add_times,
+        marks,
+    })
 }
 
 /// What one append did.
@@ -270,22 +330,28 @@ fn list_segments(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
 impl WalWriter {
     /// Opens a writer on `cfg.dir`, starting a fresh segment after any
     /// existing ones (a torn tail from a crashed run is never appended to).
+    ///
+    /// Any torn tail is first truncated via [`repair_tail`] — once the
+    /// fresh segment exists, the previous one is no longer last, where a
+    /// torn frame would make every future [`read_wal`] fail as mid-log
+    /// corruption.
     pub fn open(cfg: WalConfig) -> io::Result<WalWriter> {
         std::fs::create_dir_all(&cfg.dir)?;
+        repair_tail(&cfg.dir).map_err(|e| match e {
+            WalError::Io(io) => io,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        })?;
         let next_index = list_segments(&cfg.dir)?.last().map_or(0, |&(i, _)| i + 1);
-        let mut w = WalWriter {
+        Ok(WalWriter {
+            // `open_segment` fsyncs the header, so recovery sees a
+            // well-formed log even if we crash before the first append.
             out: BufWriter::new(open_segment(&cfg.dir, next_index)?),
             cfg,
             segment_index: next_index,
             segment_bytes: SEGMENT_HEADER_BYTES,
             frames_since_sync: 0,
             synced_everything: true,
-        };
-        // Make the (empty) segment itself durable so recovery sees a
-        // well-formed log even if we crash before the first append.
-        w.out.flush()?;
-        w.out.get_ref().sync_data()?;
-        Ok(w)
+        })
     }
 
     /// Appends one frame, rotating and fsyncing per the config. The frame
@@ -337,6 +403,16 @@ impl WalWriter {
         segment_path(&self.cfg.dir, self.segment_index)
     }
 
+    /// Consumes the writer *without* flushing its buffer: frames appended
+    /// since the last flush are discarded, exactly as a process crash
+    /// would discard them. This is the crash-simulation path
+    /// ([`crate::pipeline::Ingestor::abort`] uses it) — a normal drop
+    /// flushes the buffer and would make "lost" frames durable after all.
+    pub fn simulate_crash(self) {
+        let (file, _discarded_buffer) = self.out.into_parts();
+        drop(file);
+    }
+
     fn rotate(&mut self) -> io::Result<()> {
         // Seal the old segment fully before the new one exists.
         self.out.flush()?;
@@ -361,11 +437,85 @@ fn open_segment(dir: &Path, index: u64) -> io::Result<File> {
     put_u32(&mut header, VERSION);
     put_u64(&mut header, index);
     f.write_all(&header)?;
+    // The header must be durable before any frame fsync can make the
+    // directory entry durable: otherwise a power loss right after
+    // rotation can leave a durable entry naming a headerless file.
+    f.sync_data()?;
     // fsyncing the file persists its blocks but not the directory entry
     // that names it: without this, a power loss can make a whole
     // fsync-acknowledged segment vanish from the directory listing.
     sync_dir(dir)?;
     Ok(f)
+}
+
+/// What [`repair_tail`] did to a log directory.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TailRepair {
+    /// Trailing segments removed because they were too short to hold a
+    /// header (a crash between segment creation and the header fsync —
+    /// such a file cannot hold any acknowledged frame).
+    pub removed_segments: usize,
+    /// Bytes truncated off the final segment's torn tail.
+    pub truncated_bytes: u64,
+}
+
+impl TailRepair {
+    /// True if the repair changed the directory at all.
+    pub fn repaired(&self) -> bool {
+        self.removed_segments > 0 || self.truncated_bytes > 0
+    }
+}
+
+/// Repairs the log tail in place so the remains of a crash can never end
+/// up mid-log on a later run: removes trailing segments too short to hold
+/// their header and truncates the final segment to the end of its last
+/// valid frame. Corruption — a frame whose bytes are fully present but
+/// wrong — is never repaired; [`read_wal`] must keep failing loudly on it.
+/// Called by [`WalWriter::open`] before a fresh segment is created and by
+/// [`crate::recovery::recover_store`] before replay.
+pub fn repair_tail(dir: &Path) -> Result<TailRepair, WalError> {
+    let mut repair = TailRepair::default();
+    loop {
+        let segments = list_segments(dir)?;
+        let Some((index, path)) = segments.last() else {
+            return Ok(repair);
+        };
+        let mut data = Vec::new();
+        File::open(path)?.read_to_end(&mut data)?;
+        if data.len() < SEGMENT_HEADER_BYTES as usize {
+            std::fs::remove_file(path)?;
+            sync_dir(dir)?;
+            repair.removed_segments += 1;
+            // The now-last segment was sealed by the rotation that
+            // created the removed one, but re-scan it anyway: open()
+            // itself can crash between repair and the header fsync.
+            continue;
+        }
+        if &data[0..4] != MAGIC
+            || u32::from_le_bytes(data[4..8].try_into().unwrap()) != VERSION
+            || u64::from_le_bytes(data[8..16].try_into().unwrap()) != *index
+        {
+            // A full but wrong header is corruption, not a torn write.
+            return Ok(repair);
+        }
+        let mut offset = SEGMENT_HEADER_BYTES as usize;
+        while offset < data.len() {
+            match read_frame(&data, offset) {
+                Ok((_, next)) => offset = next,
+                Err(FrameError::Truncated) => {
+                    let file = OpenOptions::new().write(true).open(path)?;
+                    file.set_len(offset as u64)?;
+                    // Truncation is a metadata change: sync_all, not
+                    // sync_data, makes the new length durable.
+                    file.sync_all()?;
+                    repair.truncated_bytes += (data.len() - offset) as u64;
+                    break;
+                }
+                Err(FrameError::Corrupt(_)) => break,
+            }
+        }
+        return Ok(repair);
+    }
 }
 
 /// fsyncs the directory inode so newly created segment files survive a
@@ -406,8 +556,17 @@ pub fn read_wal(dir: &Path) -> Result<ReplayLog, WalError> {
         let last_segment = pos + 1 == segments.len();
         let mut data = Vec::new();
         File::open(path)?.read_to_end(&mut data)?;
-        if data.len() < SEGMENT_HEADER_BYTES as usize
-            || &data[0..4] != MAGIC
+        if data.len() < SEGMENT_HEADER_BYTES as usize {
+            if last_segment {
+                // A crash between rotation creating this file and its
+                // header fsync: the empty form of a torn tail — no frame
+                // in it can ever have been acknowledged.
+                log.truncated_tail = true;
+                continue;
+            }
+            return Err(WalError::BadSegmentHeader(path.clone()));
+        }
+        if &data[0..4] != MAGIC
             || u32::from_le_bytes(data[4..8].try_into().unwrap()) != VERSION
             || u64::from_le_bytes(data[8..16].try_into().unwrap()) != *index
         {
@@ -457,6 +616,7 @@ pub fn read_wal(dir: &Path) -> Result<ReplayLog, WalError> {
 /// Why a frame failed to read: extends past EOF (a torn append) vs. bytes
 /// present but wrong (corruption). The distinction decides whether replay
 /// may stop cleanly or must fail.
+#[derive(Debug)]
 enum FrameError {
     Truncated,
     Corrupt(String),
@@ -506,6 +666,16 @@ mod tests {
         UpdateOp::AddTrajectory(Trajectory::new(nodes.iter().map(|&n| NodeId(n)).collect()))
     }
 
+    /// Encodes `ops` with a zero end time per add and no marks.
+    fn batch(epoch: u64, ops: &[UpdateOp]) -> Vec<u8> {
+        let times: Vec<f64> = ops
+            .iter()
+            .filter(|op| matches!(op, UpdateOp::AddTrajectory(_)))
+            .map(|_| 0.0)
+            .collect();
+        encode_batch(epoch, ops, &times, &[])
+    }
+
     fn ops_eq(a: &[UpdateOp], b: &[UpdateOp]) -> bool {
         a.len() == b.len()
             && a.iter().zip(b).all(|(x, y)| match (x, y) {
@@ -522,13 +692,18 @@ mod tests {
         let ops = vec![
             add(&[1, 2, 3]),
             UpdateOp::RemoveTrajectory(TrajId(7)),
+            add(&[4, 5]),
             UpdateOp::AddSite(NodeId(9)),
             UpdateOp::RemoveSite(NodeId(4)),
         ];
-        let payload = encode_batch(42, &ops);
+        let times = [120.5, 260.0];
+        let marks = [(1u32, 17u64), (6, 3)];
+        let payload = encode_batch(42, &ops, &times, &marks);
         let decoded = decode_batch(&payload).unwrap();
         assert_eq!(decoded.epoch, 42);
         assert!(ops_eq(&decoded.ops, &ops));
+        assert_eq!(decoded.add_times, times);
+        assert_eq!(decoded.marks, marks);
     }
 
     #[test]
@@ -541,9 +716,7 @@ mod tests {
         .unwrap();
         let mut syncs = 0;
         for epoch in 1..=7u64 {
-            let info = w
-                .append(&encode_batch(epoch, &[add(&[epoch as u32])]))
-                .unwrap();
+            let info = w.append(&batch(epoch, &[add(&[epoch as u32])])).unwrap();
             syncs += info.synced as u32;
         }
         assert_eq!(syncs, 2, "7 frames at sync_every=3 → 2 automatic fsyncs");
@@ -570,9 +743,7 @@ mod tests {
         .unwrap();
         let mut rotations = 0;
         for epoch in 1..=40u64 {
-            let info = w
-                .append(&encode_batch(epoch, &[add(&[1, 2, 3, 4, 5])]))
-                .unwrap();
+            let info = w.append(&batch(epoch, &[add(&[1, 2, 3, 4, 5])])).unwrap();
             rotations += info.rotated as u32;
         }
         drop(w);
@@ -590,7 +761,7 @@ mod tests {
         let dir = tmp_dir("torn");
         let mut w = WalWriter::open(WalConfig::new(&dir)).unwrap();
         for epoch in 1..=3u64 {
-            w.append(&encode_batch(epoch, &[add(&[1])])).unwrap();
+            w.append(&batch(epoch, &[add(&[1])])).unwrap();
         }
         let segment = w.current_segment();
         drop(w);
@@ -614,8 +785,7 @@ mod tests {
         .unwrap();
         let first_segment = w.current_segment();
         for epoch in 1..=10u64 {
-            w.append(&encode_batch(epoch, &[add(&[1, 2, 3, 4])]))
-                .unwrap();
+            w.append(&batch(epoch, &[add(&[1, 2, 3, 4])])).unwrap();
         }
         assert_ne!(w.current_segment(), first_segment, "need ≥ 2 segments");
         drop(w);
@@ -639,7 +809,7 @@ mod tests {
             let mut offset = SEGMENT_HEADER_BYTES;
             for epoch in 1..=3u64 {
                 frame_starts.push(offset);
-                let info = w.append(&encode_batch(epoch, &[add(&[1, 2])])).unwrap();
+                let info = w.append(&batch(epoch, &[add(&[1, 2])])).unwrap();
                 offset += info.bytes;
             }
             let segment = w.current_segment();
@@ -661,7 +831,7 @@ mod tests {
     fn reopen_starts_a_fresh_segment() {
         let dir = tmp_dir("reopen");
         let mut w = WalWriter::open(WalConfig::new(&dir)).unwrap();
-        w.append(&encode_batch(1, &[add(&[1])])).unwrap();
+        w.append(&batch(1, &[add(&[1])])).unwrap();
         let first = w.current_segment();
         drop(w);
         let w2 = WalWriter::open(WalConfig::new(&dir)).unwrap();
@@ -670,6 +840,137 @@ mod tests {
         let log = read_wal(&dir).unwrap();
         assert_eq!(log.batches.len(), 1);
         assert_eq!(log.segments, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Regression test for the torn-tail-then-restart sequence: a crash
+    /// mid-append leaves a torn tail in segment N; the restarted writer
+    /// creates segment N+1 — without the open-time repair, segment N is
+    /// no longer last and every later read would hard-fail as mid-log
+    /// corruption, permanently.
+    #[test]
+    fn torn_tail_is_repaired_on_reopen() {
+        let dir = tmp_dir("torn-reopen");
+        let mut w = WalWriter::open(WalConfig::new(&dir)).unwrap();
+        for epoch in 1..=3u64 {
+            w.append(&batch(epoch, &[add(&[1])])).unwrap();
+        }
+        let segment = w.current_segment();
+        drop(w);
+        // Chop 3 bytes off the last frame: epoch 3 was torn mid-append.
+        let data = std::fs::read(&segment).unwrap();
+        std::fs::write(&segment, &data[..data.len() - 3]).unwrap();
+
+        // Restart: open repairs the tail, then the log keeps working —
+        // across this and any number of future restarts.
+        let mut w = WalWriter::open(WalConfig::new(&dir)).unwrap();
+        w.append(&batch(3, &[add(&[7])])).unwrap();
+        drop(w);
+        let w = WalWriter::open(WalConfig::new(&dir)).unwrap();
+        drop(w);
+
+        let log = read_wal(&dir).unwrap();
+        assert!(!log.truncated_tail);
+        let epochs: Vec<u64> = log.batches.iter().map(|b| b.epoch).collect();
+        assert_eq!(epochs, vec![1, 2, 3]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repair_truncates_torn_tail_and_is_idempotent() {
+        let dir = tmp_dir("repair");
+        let mut w = WalWriter::open(WalConfig::new(&dir)).unwrap();
+        for epoch in 1..=2u64 {
+            w.append(&batch(epoch, &[add(&[1, 2])])).unwrap();
+        }
+        let segment = w.current_segment();
+        drop(w);
+        let data = std::fs::read(&segment).unwrap();
+        std::fs::write(&segment, &data[..data.len() - 5]).unwrap();
+
+        let repair = repair_tail(&dir).unwrap();
+        assert_eq!(
+            repair.truncated_bytes as usize,
+            data.len() - 5 - {
+                // everything after frame 1's end is gone
+                let (_, end) = read_frame(&data[..], SEGMENT_HEADER_BYTES as usize).unwrap();
+                end
+            }
+        );
+        assert!(repair.repaired());
+        assert_eq!(repair_tail(&dir).unwrap(), TailRepair::default());
+        let log = read_wal(&dir).unwrap();
+        assert_eq!(log.batches.len(), 1);
+        assert!(!log.truncated_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A final segment shorter than its header (crash between rotation
+    /// and the header fsync) is an empty torn tail for the reader, and
+    /// repair removes it so a later writer starts cleanly.
+    #[test]
+    fn headerless_final_segment_is_tolerated_and_repaired() {
+        let dir = tmp_dir("headerless");
+        let mut w = WalWriter::open(WalConfig::new(&dir)).unwrap();
+        w.append(&batch(1, &[add(&[4])])).unwrap();
+        drop(w);
+        std::fs::write(segment_path(&dir, 1), b"NCWL\x02\x00").unwrap();
+
+        let log = read_wal(&dir).unwrap();
+        assert_eq!(log.batches.len(), 1);
+        assert!(log.truncated_tail);
+
+        let repair = repair_tail(&dir).unwrap();
+        assert_eq!(repair.removed_segments, 1);
+        assert_eq!(repair.truncated_bytes, 0);
+        let mut w = WalWriter::open(WalConfig::new(&dir)).unwrap();
+        w.append(&batch(2, &[add(&[5])])).unwrap();
+        drop(w);
+        let log = read_wal(&dir).unwrap();
+        assert_eq!(log.batches.len(), 2);
+        assert!(!log.truncated_tail);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Corruption (bytes present but wrong) must never be "repaired"
+    /// away — replay keeps failing loudly on it.
+    #[test]
+    fn repair_leaves_corruption_alone() {
+        let dir = tmp_dir("repair-corrupt");
+        let mut w = WalWriter::open(WalConfig::new(&dir)).unwrap();
+        for epoch in 1..=2u64 {
+            w.append(&batch(epoch, &[add(&[1, 2, 3])])).unwrap();
+        }
+        let segment = w.current_segment();
+        drop(w);
+        let mut data = std::fs::read(&segment).unwrap();
+        let n = data.len();
+        data[n - 2] ^= 0xFF;
+        std::fs::write(&segment, &data).unwrap();
+
+        assert_eq!(repair_tail(&dir).unwrap(), TailRepair::default());
+        assert_eq!(std::fs::read(&segment).unwrap(), data, "file untouched");
+        assert!(matches!(read_wal(&dir), Err(WalError::Corrupt { .. })));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// `simulate_crash` must lose the buffered (un-synced) tail exactly
+    /// as a real crash would — a plain drop would flush it to disk.
+    #[test]
+    fn simulate_crash_discards_buffered_frames() {
+        let dir = tmp_dir("simulate-crash");
+        let mut w = WalWriter::open(WalConfig {
+            sync_every_frames: u32::MAX,
+            ..WalConfig::new(&dir)
+        })
+        .unwrap();
+        w.append(&batch(1, &[add(&[1])])).unwrap();
+        w.sync().unwrap(); // epoch 1 durable
+        w.append(&batch(2, &[add(&[2])])).unwrap(); // epoch 2 buffered only
+        w.simulate_crash();
+        let log = read_wal(&dir).unwrap();
+        assert_eq!(log.batches.len(), 1, "buffered frame must be lost");
+        assert_eq!(log.batches[0].epoch, 1);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -683,10 +984,10 @@ mod tests {
     #[test]
     fn malformed_batch_contents_rejected() {
         assert!(matches!(
-            decode_batch(&encode_batch(1, &[])[..8]),
+            decode_batch(&batch(1, &[])[..8]),
             Err(WalError::Malformed(_))
         ));
-        let mut payload = encode_batch(1, &[add(&[5])]);
+        let mut payload = batch(1, &[add(&[5])]);
         payload.push(0xAB); // trailing junk
         assert!(matches!(
             decode_batch(&payload),

@@ -423,6 +423,379 @@ fn restart_continues_the_epoch_chain() {
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
+/// The highest-index segment file in a WAL directory (zero-padded names
+/// sort lexicographically).
+fn last_segment(dir: &std::path::Path) -> PathBuf {
+    let mut segs: Vec<PathBuf> = std::fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "seg"))
+        .collect();
+    segs.sort();
+    segs.pop().expect("no WAL segments")
+}
+
+/// Dedup watermarks are durable: after a restart from the WAL, an
+/// at-least-once transport redelivering everything it ever sent must not
+/// duplicate the corpus.
+#[test]
+fn dedup_watermarks_survive_restart() {
+    let f = fixture(19, 10);
+    let dir = wal_dir("dedup-restart");
+    let store = base_store(&f);
+    let metrics1 = Arc::new(IngestMetrics::default());
+    let ingestor = Ingestor::start(
+        Arc::clone(&store),
+        Arc::clone(&f.grid),
+        IngestConfig {
+            match_workers: 1,
+            ..IngestConfig::new(&dir)
+        },
+        Arc::clone(&metrics1),
+    )
+    .unwrap();
+    for r in &f.records {
+        assert_eq!(ingestor.submit(r.clone()), SubmitOutcome::Accepted);
+    }
+    ingestor.finish();
+    let failed1 = metrics1.match_failed.load(Ordering::Relaxed);
+    let pre_epoch = store.epoch();
+    let pre_corpus = corpus_of(&store);
+    assert!(pre_epoch >= 1);
+
+    // Restart from the base state + WAL alone, then redeliver everything.
+    let (recovered, _) = recover_store(
+        f.net.clone(),
+        TrajectorySet::for_network(&f.net),
+        f.index.clone(),
+        &dir,
+        None,
+    )
+    .unwrap();
+    let recovered = Arc::new(recovered);
+    let metrics2 = Arc::new(IngestMetrics::default());
+    let ingestor = Ingestor::start(
+        Arc::clone(&recovered),
+        Arc::clone(&f.grid),
+        IngestConfig {
+            match_workers: 1,
+            ..IngestConfig::new(&dir)
+        },
+        Arc::clone(&metrics2),
+    )
+    .unwrap();
+    for r in &f.records {
+        assert_ne!(ingestor.submit(r.clone()), SubmitOutcome::Shed);
+    }
+    ingestor.finish();
+
+    // Every durably published record is recognized as a duplicate. Only
+    // records that never reached the WAL (match failures) may be
+    // re-admitted — and they fail identically, changing nothing.
+    let readmitted = metrics2.records_in.load(Ordering::Relaxed);
+    let duplicates = metrics2.records_duplicate.load(Ordering::Relaxed);
+    assert_eq!(duplicates + readmitted, 10);
+    assert!(
+        readmitted <= failed1,
+        "a published record was re-admitted after the restart"
+    );
+    assert_eq!(metrics2.match_failed.load(Ordering::Relaxed), readmitted);
+    assert_eq!(metrics2.batches_published.load(Ordering::Relaxed), 0);
+    assert_eq!(recovered.epoch(), pre_epoch, "redelivery forked the chain");
+    assert_eq!(corpus_of(&recovered), pre_corpus, "corpus was duplicated");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// TTL lifecycle state is durable: trajectories ingested before a restart
+/// still expire afterwards — the sliding window keeps sliding.
+#[test]
+fn ttl_window_keeps_sliding_across_restart() {
+    let f = fixture(20, 12);
+    let dir = wal_dir("ttl-restart");
+    let store = base_store(&f);
+    let cfg = || IngestConfig {
+        match_workers: 1,
+        max_batch_ops: 2,
+        ttl_s: Some(3_000.0),
+        ..IngestConfig::new(&dir)
+    };
+    let metrics1 = Arc::new(IngestMetrics::default());
+    let ingestor = Ingestor::start(
+        Arc::clone(&store),
+        Arc::clone(&f.grid),
+        cfg(),
+        Arc::clone(&metrics1),
+    )
+    .unwrap();
+    for r in &f.records[..6] {
+        ingestor.submit(r.clone());
+    }
+    ingestor.finish();
+    let matched1 = metrics1.records_matched.load(Ordering::Relaxed);
+    assert!(matched1 > 0, "run 1 matched nothing");
+    assert_eq!(
+        metrics1.trajs_retired.load(Ordering::Relaxed),
+        0,
+        "the 3000 s TTL must not lapse within run 1's ~600 s of stream time"
+    );
+
+    let (recovered, _) = recover_store(
+        f.net.clone(),
+        TrajectorySet::for_network(&f.net),
+        f.index.clone(),
+        &dir,
+        None,
+    )
+    .unwrap();
+    let recovered = Arc::new(recovered);
+    let metrics2 = Arc::new(IngestMetrics::default());
+    let ingestor = Ingestor::start(
+        Arc::clone(&recovered),
+        Arc::clone(&f.grid),
+        cfg(),
+        Arc::clone(&metrics2),
+    )
+    .unwrap();
+    // The same trips far in the stream future, from a fresh source:
+    // every pre-restart trajectory's TTL lapses as they arrive.
+    for (i, r) in f.records[..6].iter().enumerate() {
+        ingestor.submit(StreamRecord {
+            source: 40,
+            seq: i as u64,
+            trace: offset_trace(&r.trace, 100_000.0),
+        });
+    }
+    ingestor.finish();
+    let matched2 = metrics2.records_matched.load(Ordering::Relaxed);
+    assert_eq!(matched2, matched1, "same traces must match identically");
+    // Without the recovered expiry heap these retirements never happen
+    // and the pre-restart trajectories live forever.
+    assert_eq!(metrics2.trajs_retired.load(Ordering::Relaxed), matched1);
+    assert_eq!(recovered.load().trajs().len() as u64, matched2);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A torn WAL tail (crash mid-append) must stay survivable forever: the
+/// restart truncates it, later runs append cleanly, and cold replays keep
+/// working — it must never turn into mid-log corruption.
+#[test]
+fn torn_wal_tail_survives_restart_and_recovery() {
+    let f = fixture(21, 12);
+    let dir = wal_dir("torn-e2e");
+    let store = base_store(&f);
+    let ingestor = Ingestor::start(
+        Arc::clone(&store),
+        Arc::clone(&f.grid),
+        IngestConfig {
+            match_workers: 1,
+            max_batch_ops: 2,
+            ..IngestConfig::new(&dir)
+        },
+        Arc::new(IngestMetrics::default()),
+    )
+    .unwrap();
+    for r in &f.records {
+        ingestor.submit(r.clone());
+    }
+    ingestor.finish();
+    let epoch1 = store.epoch();
+    assert!(epoch1 >= 2);
+
+    // Tear the last durable frame, as a crash mid-append would.
+    let seg = last_segment(&dir);
+    let data = std::fs::read(&seg).unwrap();
+    std::fs::write(&seg, &data[..data.len() - 3]).unwrap();
+
+    // Recovery repairs the tail and lands one epoch short — the torn
+    // batch was never durable.
+    let (recovered, report) = recover_store(
+        f.net.clone(),
+        TrajectorySet::for_network(&f.net),
+        f.index.clone(),
+        &dir,
+        None,
+    )
+    .unwrap();
+    assert!(report.truncated_tail);
+    assert!(report.tail_repair.truncated_bytes > 0);
+    assert_eq!(report.epoch, epoch1 - 1);
+
+    // The restarted pipeline keeps publishing on the repaired log…
+    let recovered = Arc::new(recovered);
+    let ingestor = Ingestor::start(
+        Arc::clone(&recovered),
+        Arc::clone(&f.grid),
+        IngestConfig {
+            match_workers: 1,
+            ..IngestConfig::new(&dir)
+        },
+        Arc::new(IngestMetrics::default()),
+    )
+    .unwrap();
+    for (i, r) in f.records[..4].iter().enumerate() {
+        ingestor.submit(StreamRecord {
+            source: 50,
+            seq: i as u64,
+            trace: r.trace.clone(),
+        });
+    }
+    ingestor.finish();
+    let final_epoch = recovered.epoch();
+    assert!(final_epoch > epoch1 - 1);
+
+    // …and a cold replay of the whole log reproduces the final state.
+    let (replayed, report2) = recover_store(
+        f.net.clone(),
+        TrajectorySet::for_network(&f.net),
+        f.index.clone(),
+        &dir,
+        None,
+    )
+    .unwrap();
+    assert!(!report2.truncated_tail);
+    assert_eq!(report2.epoch, final_epoch);
+    assert_eq!(corpus_of(&replayed), corpus_of(&recovered));
+    assert_eq!(query_panel(&replayed), query_panel(&recovered));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// With parallel match workers, one source's records can finish matching
+/// out of order. The publisher must still publish them in admission
+/// order — otherwise a WAL mark could cover a still-in-flight lower seq
+/// and a crash would drop that record's retry as a duplicate. Observable
+/// invariant: the marks a single source leaves across WAL batches are
+/// strictly increasing.
+#[test]
+fn parallel_workers_preserve_per_source_admission_order() {
+    use netclus_ingest::read_wal;
+    let f = fixture(24, 30);
+    let dir = wal_dir("order");
+    let store = base_store(&f);
+    let ingestor = Ingestor::start(
+        Arc::clone(&store),
+        Arc::clone(&f.grid),
+        IngestConfig {
+            match_workers: 4,
+            max_batch_ops: 4,
+            ..IngestConfig::new(&dir)
+        },
+        Arc::new(IngestMetrics::default()),
+    )
+    .unwrap();
+    // One source, dense seqs — maximum opportunity for worker races.
+    for (i, r) in f.records.iter().enumerate() {
+        ingestor.submit(StreamRecord {
+            source: 0,
+            seq: i as u64,
+            trace: r.trace.clone(),
+        });
+    }
+    ingestor.finish();
+
+    let log = read_wal(&dir).unwrap();
+    let marks: Vec<u64> = log
+        .batches
+        .iter()
+        .flat_map(|b| b.marks.iter().filter(|&&(s, _)| s == 0).map(|&(_, q)| q))
+        .collect();
+    assert!(!marks.is_empty());
+    assert!(
+        marks.windows(2).all(|w| w[0] < w[1]),
+        "marks must be strictly increasing across batches, got {marks:?}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Starting a pipeline with a store that does not sit at the WAL's last
+/// epoch would fork the epoch chain — it must be refused, not papered
+/// over.
+#[test]
+fn start_rejects_store_that_does_not_match_the_wal() {
+    let f = fixture(22, 6);
+    let dir = wal_dir("mismatch");
+    let store = base_store(&f);
+    let ingestor = Ingestor::start(
+        Arc::clone(&store),
+        Arc::clone(&f.grid),
+        IngestConfig {
+            match_workers: 1,
+            ..IngestConfig::new(&dir)
+        },
+        Arc::new(IngestMetrics::default()),
+    )
+    .unwrap();
+    for r in &f.records {
+        ingestor.submit(r.clone());
+    }
+    ingestor.finish();
+    assert!(store.epoch() >= 1);
+
+    let result = Ingestor::start(
+        base_store(&f), // fresh, unrecovered store on a non-empty WAL
+        Arc::clone(&f.grid),
+        IngestConfig::new(&dir),
+        Arc::new(IngestMetrics::default()),
+    );
+    match result {
+        Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::InvalidInput),
+        Ok(_) => panic!("a mismatched store must be rejected"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// With fsync batching (`sync_every_frames > 1`) a batch can be visible
+/// before it is durable; a crash then loses it. `abort` simulates that
+/// faithfully — the writer's buffer is discarded, so recovery genuinely
+/// observes the lost-visible-batch window.
+#[test]
+fn unsynced_batches_are_lost_on_crash_as_documented() {
+    let f = fixture(23, 10);
+    let dir = wal_dir("unsynced");
+    let store = base_store(&f);
+    let metrics = Arc::new(IngestMetrics::default());
+    let ingestor = Ingestor::start(
+        Arc::clone(&store),
+        Arc::clone(&f.grid),
+        IngestConfig {
+            match_workers: 1,
+            max_batch_ops: 2,
+            wal: WalConfig {
+                sync_every_frames: u32::MAX, // nothing is ever fsynced
+                ..WalConfig::new(&dir)
+            },
+            ..IngestConfig::new(&dir)
+        },
+        Arc::clone(&metrics),
+    )
+    .unwrap();
+    for r in &f.records {
+        ingestor.submit(r.clone());
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while metrics.batches_published.load(Ordering::Relaxed) < 2 {
+        assert!(std::time::Instant::now() < deadline, "no batches published");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    ingestor.abort();
+    let visible = store.epoch();
+    assert!(visible >= 2);
+
+    let (recovered, _) = recover_store(
+        f.net.clone(),
+        TrajectorySet::for_network(&f.net),
+        f.index.clone(),
+        &dir,
+        None,
+    )
+    .unwrap();
+    assert!(
+        recovered.epoch() < visible,
+        "buffered batches must be lost by the crash (visible {visible}, recovered {})",
+        recovered.epoch()
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
 /// Seed plumbing end to end: the same seed produces a byte-identical
 /// encoded stream (the property ingest benches rely on).
 #[test]
