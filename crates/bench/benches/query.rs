@@ -1,6 +1,9 @@
 //! Criterion micro-benchmarks for the online phase: NetClus queries (plain
 //! and FM) against the Inc-Greedy full pipeline, across τ — the headline
-//! comparison behind the paper's Fig. 6.
+//! comparison behind the paper's Fig. 6 — plus the hot-path layout
+//! benches: ClusteredProvider build (sequential vs parallel, with scratch
+//! reuse) and Inc-Greedy over the flat CSR arena vs the reference
+//! `Vec<Vec<_>>` provider.
 
 use std::time::Duration;
 
@@ -71,12 +74,87 @@ fn bench_query(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_provider_build(c: &mut Criterion) {
+    let s = beijing_small(7);
+    let index = NetClusIndex::build(
+        &s.net,
+        &s.trajectories,
+        &s.sites,
+        NetClusConfig {
+            tau_min: 400.0,
+            tau_max: 3_200.0,
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    let mut group = c.benchmark_group("provider_build");
+    for tau in [800.0f64, 1_600.0, 3_000.0] {
+        let p = index.instance_for(tau);
+        let bound = s.trajectories.id_bound();
+        let mut scratch = ProviderScratch::default();
+        group.bench_with_input(BenchmarkId::new("seq", tau as u64), &tau, |b, &tau| {
+            b.iter(|| {
+                black_box(ClusteredProvider::build_with(
+                    index.instance(p),
+                    tau,
+                    bound,
+                    1,
+                    &mut scratch,
+                ))
+            })
+        });
+        let mut scratch_par = ProviderScratch::default();
+        group.bench_with_input(BenchmarkId::new("par4", tau as u64), &tau, |b, &tau| {
+            b.iter(|| {
+                black_box(ClusteredProvider::build_with(
+                    index.instance(p),
+                    tau,
+                    bound,
+                    4,
+                    &mut scratch_par,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_arena_vs_reference(c: &mut Criterion) {
+    // Same coverage data, two layouts: one flat CSR arena vs one pair of
+    // heap vectors per list (the pre-arena shape) — measures the layout
+    // effect (per-list allocations, pointer chasing) on the Inc-Greedy
+    // inner loops.
+    let s = beijing_small(7);
+    let tau = 1_600.0;
+    let cov = CoverageIndex::build(
+        &s.net,
+        &s.trajectories,
+        &s.sites,
+        tau,
+        DetourModel::RoundTrip,
+        1,
+    );
+    let rows: Vec<Vec<(u32, f64)>> = (0..cov.site_count())
+        .map(|i| cov.covered(i).to_pairs())
+        .collect();
+    let reference = ReferenceProvider::with_nodes(s.trajectories.id_bound(), rows, s.sites.clone());
+    let cfg = GreedyConfig::binary(5, tau);
+    let mut group = c.benchmark_group("arena_vs_reference");
+    group.bench_function("greedy_arena", |b| {
+        b.iter(|| black_box(inc_greedy(&cov, &cfg)))
+    });
+    group.bench_function("greedy_reference", |b| {
+        b.iter(|| black_box(inc_greedy(&reference, &cfg)))
+    });
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default()
         .sample_size(20)
         .warm_up_time(Duration::from_millis(400))
         .measurement_time(Duration::from_millis(1600));
-    targets = bench_query
+    targets = bench_query, bench_provider_build, bench_arena_vs_reference
 }
 criterion_main!(benches);

@@ -7,7 +7,7 @@
 //!
 //!   <id>       one of: fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //!              table7 table8 table9 table10 table11 table12
-//!              service ingest | all | list
+//!              service ingest query | all | list
 //!   --scale    dataset scale multiplier        (default 0.25)
 //!   --full     shorthand for --scale 6 --memory-budget-mb 30000
 //!              (approximately the paper's Beijing corpus and RAM ceiling;

@@ -9,6 +9,7 @@ pub mod fig4;
 pub mod fig56;
 pub mod fig789;
 pub mod ingest;
+pub mod query;
 pub mod service;
 pub mod table10;
 pub mod table11;
@@ -116,6 +117,12 @@ pub fn all() -> Vec<Experiment> {
             description:
                 "Ingest layer: durable write-path throughput + WAL replay (BENCH_INGEST_THROUGHPUT)",
             run: ingest::run,
+        },
+        Experiment {
+            id: "query",
+            description:
+                "Query hot path: provider build scaling + cached-provider latency (BENCH_QUERY_LATENCY)",
+            run: query::run,
         },
     ]
 }

@@ -1,0 +1,213 @@
+//! `query`: the query hot path, beyond the paper — TOPS-Cluster provider
+//! build scaling (sequential vs sharded parallel over the flat CSR
+//! arenas) and end-to-end serving latency with the τ-keyed provider
+//! cache.
+//!
+//! Prints two tables, writes `results/query.csv`, and emits a
+//! `BENCH_QUERY_LATENCY` single-line JSON record (p50/p99 query latency,
+//! provider build times and speedup, provider-cache hit rate) consumed by
+//! the CI bench-smoke job so the perf trajectory has committed baselines.
+
+use std::time::{Duration, Instant};
+
+use netclus::prelude::*;
+use netclus_service::{NetClusService, ServiceConfig, ServiceRequest};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::{print_table, Ctx};
+
+const TAUS: [f64; 3] = [800.0, 1_600.0, 3_000.0];
+
+/// Runs the query hot-path experiment.
+pub fn run(ctx: &mut Ctx) {
+    let s = ctx.beijing_small();
+    let par_threads = ctx.cfg.threads.clamp(4, 8);
+    let index = NetClusIndex::build(
+        &s.net,
+        &s.trajectories,
+        &s.sites,
+        NetClusConfig {
+            tau_min: 400.0,
+            tau_max: 3_200.0,
+            threads: ctx.cfg.threads,
+            ..Default::default()
+        },
+    );
+
+    // ---- Part 1: provider build, sequential vs parallel ----------------
+    let iters = ((8.0 * ctx.cfg.scale) as usize).clamp(3, 24);
+    let mut rows = Vec::new();
+    let mut seq_total = Duration::ZERO;
+    let mut par_total = Duration::ZERO;
+    let mut scratch_seq = ProviderScratch::default();
+    let mut scratch_par = ProviderScratch::default();
+    for &tau in &TAUS {
+        let p = index.instance_for(tau);
+        let inst = index.instance(p);
+        let bound = s.trajectories.id_bound();
+        // Warm both paths (page in the instance, size the scratch).
+        let seq = ClusteredProvider::build_with(inst, tau, bound, 1, &mut scratch_seq);
+        let par = ClusteredProvider::build_with(inst, tau, bound, par_threads, &mut scratch_par);
+        assert_provider_eq(&seq, &par, tau);
+        // Identical top-k from both builds (the equivalence proptests in
+        // crates/core cover random corpora; this pins the bench workload).
+        let q = TopsQuery::binary(5, tau);
+        assert_eq!(
+            index.query_on(&seq, p, &q).solution.sites,
+            index.query_on(&par, p, &q).solution.sites,
+            "parallel provider changed the τ={tau} answer"
+        );
+
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(ClusteredProvider::build_with(
+                inst,
+                tau,
+                bound,
+                1,
+                &mut scratch_seq,
+            ));
+        }
+        let seq_time = t.elapsed() / iters as u32;
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(ClusteredProvider::build_with(
+                inst,
+                tau,
+                bound,
+                par_threads,
+                &mut scratch_par,
+            ));
+        }
+        let par_time = t.elapsed() / iters as u32;
+        seq_total += seq_time;
+        par_total += par_time;
+        rows.push(vec![
+            format!("{tau:.0}"),
+            p.to_string(),
+            seq.site_count().to_string(),
+            seq.pair_count().to_string(),
+            format!("{:.3}", seq_time.as_secs_f64() * 1e3),
+            format!("{:.3}", par_time.as_secs_f64() * 1e3),
+            format!("{:.2}", ratio(seq_time, par_time)),
+        ]);
+    }
+    let speedup = ratio(seq_total, par_total);
+    let header = [
+        "tau", "inst", "reps", "pairs", "seq ms", "par ms", "speedup",
+    ];
+    print_table(
+        &format!("query — ClusteredProvider build, 1 vs {par_threads} threads (beijing-small)"),
+        &header,
+        &rows,
+    );
+    ctx.write_csv("query", &header, &rows);
+
+    // ---- Part 2: served latency with the τ-keyed provider cache --------
+    let workers = ctx.cfg.threads.clamp(2, 8);
+    let count = ((2_000.0 * ctx.cfg.scale) as usize).max(200);
+    let service = NetClusService::start(
+        s.net.clone(),
+        s.trajectories.clone(),
+        index,
+        ServiceConfig {
+            workers,
+            ..Default::default()
+        },
+    );
+    let mut rng = StdRng::seed_from_u64(ctx.cfg.seed ^ 0x51_55_45_52);
+    let mut latencies: Vec<u64> = Vec::with_capacity(count);
+    for _ in 0..count {
+        // Dashboard-shaped traffic: few thresholds, many k values — the
+        // provider cache's target workload. k varies so the *result* cache
+        // misses while the provider cache hits.
+        let tau = TAUS[rng.random_range(0..TAUS.len())];
+        let k = rng.random_range(1..12);
+        let t = Instant::now();
+        service
+            .query_blocking(ServiceRequest::greedy(TopsQuery::binary(k, tau)))
+            .expect("query failed");
+        latencies.push(t.elapsed().as_micros() as u64);
+    }
+    latencies.sort_unstable();
+    let pct =
+        |q: f64| latencies[((q * (latencies.len() - 1) as f64) as usize).min(latencies.len() - 1)];
+    let mean = latencies.iter().sum::<u64>() / latencies.len() as u64;
+    let report = service.metrics_report();
+    service.shutdown();
+
+    let srows = vec![vec![
+        workers.to_string(),
+        count.to_string(),
+        mean.to_string(),
+        pct(0.50).to_string(),
+        pct(0.99).to_string(),
+        format!("{:.1}", 100.0 * report.provider_hit_rate()),
+        report.provider_build.p50_micros.to_string(),
+        format!("{:.0}", report.throughput_qps),
+    ]];
+    let sheader = [
+        "workers",
+        "queries",
+        "mean µs",
+        "p50 µs",
+        "p99 µs",
+        "prov hit%",
+        "build p50 µs",
+        "q/s",
+    ];
+    print_table(
+        "query — served latency under the provider cache (beijing-small)",
+        &sheader,
+        &srows,
+    );
+    ctx.write_csv("query_latency", &sheader, &srows);
+
+    println!(
+        "BENCH_QUERY_LATENCY {{\"queries\":{},\"latency_mean_us\":{},\"latency_p50_us\":{},\
+         \"latency_p99_us\":{},\"provider_build_seq_ms\":{:.3},\"provider_build_par_ms\":{:.3},\
+         \"provider_build_speedup\":{:.3},\"par_threads\":{},\"provider_hits\":{},\
+         \"provider_misses\":{},\"provider_hit_rate\":{:.3},\"provider_build_p50_us\":{},\
+         \"provider_build_p99_us\":{},\"throughput_qps\":{:.3}}}",
+        count,
+        mean,
+        pct(0.50),
+        pct(0.99),
+        seq_total.as_secs_f64() * 1e3,
+        par_total.as_secs_f64() * 1e3,
+        speedup,
+        par_threads,
+        report.providers.hits,
+        report.providers.misses,
+        report.provider_hit_rate(),
+        report.provider_build.p50_micros,
+        report.provider_build.p99_micros,
+        report.throughput_qps,
+    );
+}
+
+fn ratio(a: Duration, b: Duration) -> f64 {
+    if b.is_zero() {
+        0.0
+    } else {
+        a.as_secs_f64() / b.as_secs_f64()
+    }
+}
+
+/// Element-for-element equality of two providers (ids and bitwise
+/// distances, both directions).
+fn assert_provider_eq(a: &ClusteredProvider, b: &ClusteredProvider, tau: f64) {
+    assert_eq!(a.site_count(), b.site_count(), "τ={tau}: rep count");
+    for i in 0..a.site_count() {
+        let (ra, rb) = (a.covered(i), b.covered(i));
+        assert_eq!(ra.ids, rb.ids, "τ={tau}: TC ids of rep {i}");
+        assert!(
+            ra.dists
+                .iter()
+                .zip(rb.dists)
+                .all(|(x, y)| x.to_bits() == y.to_bits()),
+            "τ={tau}: TC dists of rep {i}"
+        );
+    }
+}

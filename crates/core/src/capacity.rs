@@ -86,10 +86,10 @@ pub fn tops_capacity<P: CoverageProvider>(
         let mut entries: Vec<(usize, f64, f64)> = provider
             .covered(s)
             .iter()
-            .filter_map(|&(tj, d)| {
+            .filter_map(|(tj, d)| {
                 let score = cfg.preference.score(d, cfg.tau);
-                let delta = score - utilities[tj.index()];
-                (delta > 0.0).then_some((tj.index(), score, delta))
+                let delta = score - utilities[tj as usize];
+                (delta > 0.0).then_some((tj as usize, score, delta))
             })
             .collect();
         entries.sort_by(|a, b| b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)));
@@ -120,8 +120,8 @@ fn capped_gain<P: CoverageProvider>(
     deltas: &mut Vec<f64>,
 ) -> f64 {
     deltas.clear();
-    for &(tj, d) in provider.covered(i) {
-        let delta = cfg.preference.score(d, cfg.tau) - utilities[tj.index()];
+    for (tj, d) in provider.covered(i).iter() {
+        let delta = cfg.preference.score(d, cfg.tau) - utilities[tj as usize];
         if delta > 0.0 {
             deltas.push(delta);
         }
@@ -138,47 +138,8 @@ fn capped_gain<P: CoverageProvider>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coverage::ReferenceProvider;
     use crate::greedy::{inc_greedy, GreedyConfig};
-    use netclus_roadnet::NodeId;
-    use netclus_trajectory::TrajId;
-
-    struct Mock {
-        tc: Vec<Vec<(TrajId, f64)>>,
-        sc: Vec<Vec<(u32, f64)>>,
-        m: usize,
-    }
-    impl Mock {
-        fn binary(m: usize, sets: Vec<Vec<u32>>) -> Self {
-            let tc: Vec<Vec<(TrajId, f64)>> = sets
-                .into_iter()
-                .map(|s| s.into_iter().map(|t| (TrajId(t), 0.0)).collect())
-                .collect();
-            let mut sc = vec![Vec::new(); m];
-            for (i, list) in tc.iter().enumerate() {
-                for &(tj, d) in list {
-                    sc[tj.index()].push((i as u32, d));
-                }
-            }
-            Mock { tc, sc, m }
-        }
-    }
-    impl CoverageProvider for Mock {
-        fn site_count(&self) -> usize {
-            self.tc.len()
-        }
-        fn traj_id_bound(&self) -> usize {
-            self.m
-        }
-        fn site_node(&self, idx: usize) -> NodeId {
-            NodeId(idx as u32)
-        }
-        fn covered(&self, idx: usize) -> &[(TrajId, f64)] {
-            &self.tc[idx]
-        }
-        fn covering(&self, tj: TrajId) -> &[(u32, f64)] {
-            &self.sc[tj.index()]
-        }
-    }
 
     fn cfg(k: usize) -> CapacityConfig {
         CapacityConfig {
@@ -191,7 +152,7 @@ mod tests {
     #[test]
     fn capacity_caps_marginal_utility() {
         // Site 0 covers 5 trajectories but can serve only 2.
-        let p = Mock::binary(5, vec![vec![0, 1, 2, 3, 4]]);
+        let p = ReferenceProvider::binary(5, vec![vec![0, 1, 2, 3, 4]]);
         let sol = tops_capacity(&p, &cfg(1), &[2]);
         assert_eq!(sol.utility, 2.0);
         assert_eq!(sol.covered, 2);
@@ -201,7 +162,7 @@ mod tests {
     fn capped_site_loses_to_uncapped_rival() {
         // Site 0 covers 4 (cap 1); site 1 covers 2 (cap 10): site 1's
         // capped gain (2) beats site 0's (1).
-        let p = Mock::binary(6, vec![vec![0, 1, 2, 3], vec![4, 5]]);
+        let p = ReferenceProvider::binary(6, vec![vec![0, 1, 2, 3], vec![4, 5]]);
         let sol = tops_capacity(&p, &cfg(1), &[1, 10]);
         assert_eq!(sol.site_indices, vec![1]);
         assert_eq!(sol.utility, 2.0);
@@ -210,7 +171,7 @@ mod tests {
     #[test]
     fn infinite_capacity_reduces_to_tops() {
         // Paper Sec. 7.2: capacity ≥ m reduces to plain TOPS.
-        let p = Mock::binary(
+        let p = ReferenceProvider::binary(
             8,
             vec![vec![0, 1, 2], vec![2, 3], vec![4, 5], vec![6, 7, 0]],
         );
@@ -226,7 +187,7 @@ mod tests {
         // Site 0 (cap 2) serves T0, T1 of {T0, T1}; site 1 covers {T0, T1}
         // too — after site 0 is placed, site 1 adds nothing; site 2 with a
         // fresh trajectory wins round two.
-        let p = Mock::binary(3, vec![vec![0, 1], vec![0, 1], vec![2]]);
+        let p = ReferenceProvider::binary(3, vec![vec![0, 1], vec![0, 1], vec![2]]);
         let sol = tops_capacity(&p, &cfg(2), &[2, 2, 2]);
         assert_eq!(sol.utility, 3.0);
         let mut sel = sol.site_indices.clone();
@@ -236,7 +197,7 @@ mod tests {
 
     #[test]
     fn zero_capacity_site_is_useless() {
-        let p = Mock::binary(3, vec![vec![0, 1, 2], vec![0]]);
+        let p = ReferenceProvider::binary(3, vec![vec![0, 1, 2], vec![0]]);
         let sol = tops_capacity(&p, &cfg(1), &[0, 1]);
         assert_eq!(sol.site_indices, vec![1]);
         assert_eq!(sol.utility, 1.0);
@@ -246,11 +207,7 @@ mod tests {
     fn graded_preference_assigns_best_gains_first() {
         // Site 0 covers T0 at score 1.0 and T1 at score 0.5, cap 1: it must
         // serve T0.
-        let p = Mock {
-            tc: vec![vec![(TrajId(0), 0.0), (TrajId(1), 50.0)]],
-            sc: vec![vec![(0, 0.0)], vec![(0, 50.0)]],
-            m: 2,
-        };
+        let p = ReferenceProvider::new(2, vec![vec![(0, 0.0), (1, 50.0)]]);
         let sol = tops_capacity(
             &p,
             &CapacityConfig {
@@ -271,7 +228,7 @@ mod tests {
         // assert the sound properties instead: utility never exceeds the
         // total capacity, is zero at cap 0, and equals plain TOPS once the
         // capacity stops binding.
-        let p = Mock::binary(10, vec![(0..10).collect(), (0..5).collect()]);
+        let p = ReferenceProvider::binary(10, vec![(0..10).collect(), (0..5).collect()]);
         for cap in [0u64, 1, 3, 5, 8, 20] {
             let sol = tops_capacity(&p, &cfg(2), &[cap, cap]);
             assert!(

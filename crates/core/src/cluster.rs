@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 use netclus_roadnet::{NodeId, RoadNetwork, RoundTripEngine};
 use netclus_trajectory::{TrajId, Trajectory, TrajectorySet};
 
+use crate::arena::RowArena;
 use crate::gdsp::GdspResult;
 
 /// How to pick the cluster representative among the cluster's candidate
@@ -94,8 +95,10 @@ pub struct ClusterInstance {
     /// `node_cluster`; needed to map newly added trajectories, Sec. 6).
     pub node_center_dist: Vec<f64>,
     /// `CC(T_j)`: for each trajectory id, the clusters it passes through
-    /// with `dr(T_j, c)` (one entry per distinct cluster).
-    pub traj_clusters: Vec<Vec<(u32, f64)>>,
+    /// with `dr(T_j, c)` (one entry per distinct cluster). Stored as a
+    /// flat row arena (row = trajectory id); the dynamic-update path
+    /// rewrites/clears one row at a time.
+    pub traj_clusters: RowArena,
     /// Build statistics.
     pub stats: InstanceStats,
 }
@@ -157,15 +160,16 @@ impl ClusterInstance {
         }
 
         // Trajectory lists and inverse map.
-        let mut traj_clusters: Vec<Vec<(u32, f64)>> = vec![Vec::new(); trajs.id_bound()];
+        let mut cc_rows: Vec<Vec<(u32, f64)>> = vec![Vec::new(); trajs.id_bound()];
         for (tj, traj) in trajs.iter() {
-            traj_clusters[tj.index()] = map_trajectory(traj, &node_cluster, &node_center_dist);
+            cc_rows[tj.index()] = map_trajectory(traj, &node_cluster, &node_center_dist);
         }
-        for (j, ccs) in traj_clusters.iter().enumerate() {
+        for (j, ccs) in cc_rows.iter().enumerate() {
             for &(ci, d) in ccs {
                 clusters[ci as usize].traj_list.push((TrajId(j as u32), d));
             }
         }
+        let traj_clusters = RowArena::from_rows(&cc_rows);
 
         // Neighbor lists: centers within round-trip `neighbor_limit`.
         let centers: Vec<NodeId> = clusters.iter().map(|c| c.center).collect();
@@ -219,10 +223,7 @@ impl ClusterInstance {
             total += c.traj_list.capacity() * pair8;
             total += c.neighbors.capacity() * pair8;
         }
-        for cc in &self.traj_clusters {
-            total += std::mem::size_of::<Vec<(u32, f64)>>() + cc.capacity() * pair8;
-        }
-        total
+        total + self.traj_clusters.heap_size_bytes()
     }
 }
 
@@ -415,7 +416,7 @@ mod tests {
         // Each trajectory appears in TL(g) for exactly the clusters in its
         // CC list, with matching distances.
         for (tj, _) in trajs.iter() {
-            for &(ci, d) in &inst.traj_clusters[tj.index()] {
+            for (ci, d) in inst.traj_clusters.row(tj.index()).iter() {
                 assert!(
                     inst.clusters[ci as usize]
                         .traj_list
@@ -426,8 +427,7 @@ mod tests {
             }
         }
         let total_tl: usize = inst.clusters.iter().map(|c| c.traj_list.len()).sum();
-        let total_cc: usize = inst.traj_clusters.iter().map(Vec::len).sum();
-        assert_eq!(total_tl, total_cc);
+        assert_eq!(total_tl, inst.traj_clusters.live_pairs());
     }
 
     #[test]
@@ -435,7 +435,7 @@ mod tests {
         let (net, trajs) = fixture();
         let inst = build_instance(&net, &trajs, 200.0, RepresentativeStrategy::default());
         for (tj, traj) in trajs.iter() {
-            for &(ci, d) in &inst.traj_clusters[tj.index()] {
+            for (ci, d) in inst.traj_clusters.row(tj.index()).iter() {
                 let c = &inst.clusters[ci as usize];
                 let want = traj
                     .nodes()

@@ -67,7 +67,7 @@ pub fn tops_cost<P: CoverageProvider>(provider: &P, cfg: &CostConfig, costs: &[f
             let gain: f64 = provider
                 .covered(i)
                 .iter()
-                .map(|&(tj, d)| (cfg.preference.score(d, cfg.tau) - utilities[tj.index()]).max(0.0))
+                .map(|(tj, d)| (cfg.preference.score(d, cfg.tau) - utilities[tj as usize]).max(0.0))
                 .sum();
             let ratio = gain / costs[i];
             let better = match best {
@@ -84,10 +84,10 @@ pub fn tops_cost<P: CoverageProvider>(provider: &P, cfg: &CostConfig, costs: &[f
         selected.push(s);
         gains.push(gain);
         spent += costs[s];
-        for &(tj, d) in provider.covered(s) {
+        for (tj, d) in provider.covered(s).iter() {
             let score = cfg.preference.score(d, cfg.tau);
-            if score > utilities[tj.index()] {
-                utilities[tj.index()] = score;
+            if score > utilities[tj as usize] {
+                utilities[tj as usize] = score;
             }
         }
     }
@@ -101,8 +101,9 @@ pub fn tops_cost<P: CoverageProvider>(provider: &P, cfg: &CostConfig, costs: &[f
         }
         let w: f64 = provider
             .covered(i)
+            .dists
             .iter()
-            .map(|&(_, d)| cfg.preference.score(d, cfg.tau))
+            .map(|&d| cfg.preference.score(d, cfg.tau))
             .sum();
         if best_single.is_none_or(|(_, bw)| w > bw) {
             best_single = Some((i, w));
@@ -117,10 +118,10 @@ pub fn tops_cost<P: CoverageProvider>(provider: &P, cfg: &CostConfig, costs: &[f
     let covered = {
         let mut u = vec![0.0f64; m];
         for &i in &site_indices {
-            for &(tj, d) in provider.covered(i) {
+            for (tj, d) in provider.covered(i).iter() {
                 let s = cfg.preference.score(d, cfg.tau);
-                if s > u[tj.index()] {
-                    u[tj.index()] = s;
+                if s > u[tj as usize] {
+                    u[tj as usize] = s;
                 }
             }
         }
@@ -148,46 +149,7 @@ pub fn solution_cost(solution: &Solution, costs: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netclus_roadnet::NodeId;
-    use netclus_trajectory::TrajId;
-
-    struct Mock {
-        tc: Vec<Vec<(TrajId, f64)>>,
-        sc: Vec<Vec<(u32, f64)>>,
-        m: usize,
-    }
-    impl Mock {
-        fn binary(m: usize, sets: Vec<Vec<u32>>) -> Self {
-            let tc: Vec<Vec<(TrajId, f64)>> = sets
-                .into_iter()
-                .map(|s| s.into_iter().map(|t| (TrajId(t), 0.0)).collect())
-                .collect();
-            let mut sc = vec![Vec::new(); m];
-            for (i, list) in tc.iter().enumerate() {
-                for &(tj, d) in list {
-                    sc[tj.index()].push((i as u32, d));
-                }
-            }
-            Mock { tc, sc, m }
-        }
-    }
-    impl CoverageProvider for Mock {
-        fn site_count(&self) -> usize {
-            self.tc.len()
-        }
-        fn traj_id_bound(&self) -> usize {
-            self.m
-        }
-        fn site_node(&self, idx: usize) -> NodeId {
-            NodeId(idx as u32)
-        }
-        fn covered(&self, idx: usize) -> &[(TrajId, f64)] {
-            &self.tc[idx]
-        }
-        fn covering(&self, tj: TrajId) -> &[(u32, f64)] {
-            &self.sc[tj.index()]
-        }
-    }
+    use crate::coverage::ReferenceProvider;
 
     fn cfg(budget: f64) -> CostConfig {
         CostConfig {
@@ -199,7 +161,7 @@ mod tests {
 
     #[test]
     fn budget_is_respected() {
-        let p = Mock::binary(6, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![0, 5]]);
+        let p = ReferenceProvider::binary(6, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![0, 5]]);
         let costs = vec![1.0, 1.0, 1.0, 1.0];
         let sol = tops_cost(&p, &cfg(2.0), &costs);
         assert!(solution_cost(&sol, &costs) <= 2.0);
@@ -212,7 +174,7 @@ mod tests {
         // Site 0: 3 trajectories at cost 3 (ratio 1); sites 1+2: 2 each at
         // cost 1 (ratio 2) — with budget 2, picking the two cheap sites
         // covers 4 > 3.
-        let p = Mock::binary(7, vec![vec![0, 1, 2], vec![3, 4], vec![5, 6]]);
+        let p = ReferenceProvider::binary(7, vec![vec![0, 1, 2], vec![3, 4], vec![5, 6]]);
         let costs = vec![3.0, 1.0, 1.0];
         let sol = tops_cost(&p, &cfg(2.0), &costs);
         let mut sel = sol.site_indices.clone();
@@ -232,7 +194,7 @@ mod tests {
         // inverse: make site 0's ratio dominate.
         let mut sets = vec![vec![0u32]];
         sets.push((1..=50).collect());
-        let p = Mock::binary(51, sets);
+        let p = ReferenceProvider::binary(51, sets);
         let costs = vec![0.01, 2.0]; // ratios: 100 vs 25
         let sol = tops_cost(&p, &cfg(2.0), &costs);
         // Ratio-greedy picks site 0 (ratio 100), then cannot afford site 1
@@ -243,7 +205,7 @@ mod tests {
 
     #[test]
     fn zero_budget_yields_empty() {
-        let p = Mock::binary(2, vec![vec![0], vec![1]]);
+        let p = ReferenceProvider::binary(2, vec![vec![0], vec![1]]);
         let sol = tops_cost(&p, &cfg(0.5), &[1.0, 1.0]);
         assert!(sol.site_indices.is_empty());
         assert_eq!(sol.utility, 0.0);
@@ -251,7 +213,7 @@ mod tests {
 
     #[test]
     fn unbounded_budget_takes_all_useful_sites() {
-        let p = Mock::binary(4, vec![vec![0], vec![1], vec![2, 3]]);
+        let p = ReferenceProvider::binary(4, vec![vec![0], vec![1], vec![2, 3]]);
         let sol = tops_cost(&p, &cfg(100.0), &[1.0, 1.0, 1.0]);
         assert_eq!(sol.utility, 4.0);
         assert_eq!(sol.site_indices.len(), 3);
@@ -261,7 +223,7 @@ mod tests {
     fn unit_costs_and_budget_k_reduce_to_tops() {
         // Paper Sec. 7.1: TOPS reduces to TOPS-COST with unit costs, B = k.
         use crate::greedy::{inc_greedy, GreedyConfig};
-        let p = Mock::binary(
+        let p = ReferenceProvider::binary(
             8,
             vec![vec![0, 1, 2], vec![2, 3], vec![4, 5], vec![6], vec![7, 0]],
         );
@@ -274,7 +236,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "positive")]
     fn nonpositive_costs_rejected() {
-        let p = Mock::binary(1, vec![vec![0]]);
+        let p = ReferenceProvider::binary(1, vec![vec![0]]);
         tops_cost(&p, &cfg(1.0), &[0.0]);
     }
 }

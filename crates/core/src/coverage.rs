@@ -5,10 +5,16 @@
 //! distances (`TC(s_i)`, ascending), and for every trajectory the sites
 //! covering it (`SC(T_j)`). [`CoverageIndex::build`] computes both with one
 //! pair of `τ`-bounded Dijkstra runs per site, parallelized across sites.
+//! Both directions live in flat [`PairArena`]s (see [`crate::arena`]): `TC`
+//! is assembled shard-by-shard and concatenated deterministically; `SC` is
+//! derived by a two-pass counting-sort inversion instead of per-trajectory
+//! `Vec` pushes.
 //!
 //! The memory footprint of these sets is the reason Inc-Greedy fails at
 //! city scale (paper Sec. 3.4, Table 9) — [`CoverageIndex::heap_size_bytes`]
-//! exposes it so the benchmark harness can reproduce that behaviour.
+//! exposes it so the benchmark harness can reproduce that behaviour. The
+//! arena layout also *shrinks* that footprint (12 bytes/pair instead of 16,
+//! no per-list headers), which Table 9/12 reproductions now report.
 //!
 //! [`CoverageProvider`] abstracts "sites with covered-trajectory lists" so
 //! the same greedy implementations run on exact coverage (this module) and
@@ -20,13 +26,18 @@ use std::time::{Duration, Instant};
 use netclus_roadnet::{NodeId, RoadNetwork};
 use netclus_trajectory::{TrajId, TrajectorySet};
 
+use crate::arena::{PairArena, PairArenaBuilder, PairSlice};
 use crate::detour::{DetourEngine, DetourModel};
 
 /// Abstraction over a set of candidate sites with covered-trajectory lists.
 ///
-/// Implementors: [`CoverageIndex`] (exact, site-level) and the clustered
-/// view in [`crate::query`] (cluster representatives with estimated
-/// distances).
+/// Implementors: [`CoverageIndex`] (exact, site-level), the clustered view
+/// in [`crate::query`] (cluster representatives with estimated distances),
+/// and the differential-testing [`ReferenceProvider`].
+///
+/// Rows are exposed as [`PairSlice`] — parallel id/distance slices out of a
+/// flat arena — so the greedy inner loops scan contiguous memory and can
+/// touch only the array they need (e.g. distances alone when summing ψ).
 pub trait CoverageProvider {
     /// Number of candidate sites (`n`, or `η_p` for the clustered view).
     fn site_count(&self) -> usize;
@@ -34,10 +45,12 @@ pub trait CoverageProvider {
     fn traj_id_bound(&self) -> usize;
     /// Network node of the site at `idx`.
     fn site_node(&self, idx: usize) -> NodeId;
-    /// `TC(s_idx)`: covered trajectories with detour distances, ascending.
-    fn covered(&self, idx: usize) -> &[(TrajId, f64)];
-    /// `SC(T_j)`: sites covering `tj` as `(site_idx, detour)` pairs.
-    fn covering(&self, tj: TrajId) -> &[(u32, f64)];
+    /// `TC(s_idx)`: covered trajectories (ids) with detour distances,
+    /// ascending by distance.
+    fn covered(&self, idx: usize) -> PairSlice<'_>;
+    /// `SC(T_j)`: sites covering `tj` as `(site_idx, detour)` pairs,
+    /// ascending by site index.
+    fn covering(&self, tj: TrajId) -> PairSlice<'_>;
 }
 
 /// Exact site-level coverage sets for one `(τ, detour-model)` pair.
@@ -46,10 +59,10 @@ pub struct CoverageIndex {
     sites: Vec<NodeId>,
     tau: f64,
     model: DetourModel,
-    /// `tc[i]`: trajectories covered by site `i`, ascending by detour.
-    tc: Vec<Vec<(TrajId, f64)>>,
-    /// `sc[j]`: sites covering trajectory `j` (site index, detour).
-    sc: Vec<Vec<(u32, f64)>>,
+    /// `tc` row `i`: trajectories covered by site `i`, ascending by detour.
+    tc: PairArena,
+    /// `sc` row `j`: sites covering trajectory `j` (site index, detour).
+    sc: PairArena,
     traj_id_bound: usize,
     build_time: Duration,
 }
@@ -58,8 +71,10 @@ impl CoverageIndex {
     /// Builds the coverage sets for `sites` under threshold `tau`.
     ///
     /// `threads` bounds the worker count (0 or 1 = sequential). Each worker
-    /// owns a [`DetourEngine`], so peak scratch memory scales with the
-    /// thread count while the result is identical to a sequential build.
+    /// owns a [`DetourEngine`] and fills its own arena shard, so peak
+    /// scratch memory scales with the thread count while the result is
+    /// bit-identical to a sequential build (shards are concatenated in
+    /// site order).
     pub fn build(
         net: &RoadNetwork,
         trajs: &TrajectorySet,
@@ -71,38 +86,30 @@ impl CoverageIndex {
         assert!(tau.is_finite() && tau >= 0.0, "invalid τ: {tau}");
         let start = Instant::now();
         let n = sites.len();
-        let mut tc: Vec<Vec<(TrajId, f64)>> = vec![Vec::new(); n];
 
         let workers = threads.max(1).min(n.max(1));
-        if workers <= 1 {
-            let mut eng = DetourEngine::new(net, model);
-            for (i, &s) in sites.iter().enumerate() {
-                tc[i] = eng.site_coverage(trajs, s, tau);
-            }
+        let tc = if workers <= 1 {
+            build_tc_shard(net, trajs, sites, tau, model)
         } else {
             let chunk = n.div_ceil(workers);
-            let site_chunks: Vec<&[NodeId]> = sites.chunks(chunk).collect();
-            let mut tc_chunks: Vec<&mut [Vec<(TrajId, f64)>]> = tc.chunks_mut(chunk).collect();
-            std::thread::scope(|scope| {
-                for (site_chunk, tc_chunk) in site_chunks.iter().zip(tc_chunks.iter_mut()) {
-                    scope.spawn(move || {
-                        let mut eng = DetourEngine::new(net, model);
-                        for (slot, &s) in tc_chunk.iter_mut().zip(site_chunk.iter()) {
-                            *slot = eng.site_coverage(trajs, s, tau);
-                        }
-                    });
-                }
+            let parts: Vec<PairArena> = std::thread::scope(|scope| {
+                let handles: Vec<_> = sites
+                    .chunks(chunk)
+                    .map(|site_chunk| {
+                        scope.spawn(move || build_tc_shard(net, trajs, site_chunk, tau, model))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("coverage worker panicked"))
+                    .collect()
             });
-        }
+            PairArena::concat(parts)
+        };
 
-        // Invert TC into SC.
+        // Invert TC into SC: counting-sort two-pass, ascending site order.
         let traj_id_bound = trajs.id_bound();
-        let mut sc: Vec<Vec<(u32, f64)>> = vec![Vec::new(); traj_id_bound];
-        for (i, list) in tc.iter().enumerate() {
-            for &(tj, d) in list {
-                sc[tj.index()].push((i as u32, d));
-            }
-        }
+        let sc = tc.invert_threaded(traj_id_bound, workers);
 
         CoverageIndex {
             sites: sites.to_vec(),
@@ -137,31 +144,41 @@ impl CoverageIndex {
 
     /// Number of trajectories covered by at least one site.
     pub fn coverable_trajectories(&self) -> usize {
-        self.sc.iter().filter(|l| !l.is_empty()).count()
+        self.sc.nonempty_rows()
     }
 
     /// Total `(site, trajectory)` coverage pairs — the `O(mn)` quantity that
     /// dominates Inc-Greedy's footprint.
     pub fn pair_count(&self) -> usize {
-        self.tc.iter().map(Vec::len).sum()
+        self.tc.pair_count()
     }
 
     /// Approximate heap footprint in bytes: both directions of the coverage
-    /// lists plus the site table.
+    /// lists (flat arenas: offsets + ids + distances) plus the site table.
     pub fn heap_size_bytes(&self) -> usize {
-        let pair = std::mem::size_of::<(TrajId, f64)>();
-        let tc: usize = self
-            .tc
-            .iter()
-            .map(|l| std::mem::size_of::<Vec<(TrajId, f64)>>() + l.capacity() * pair)
-            .sum();
-        let sc: usize = self
-            .sc
-            .iter()
-            .map(|l| std::mem::size_of::<Vec<(u32, f64)>>() + l.capacity() * pair)
-            .sum();
-        tc + sc + self.sites.capacity() * std::mem::size_of::<NodeId>()
+        self.tc.heap_size_bytes()
+            + self.sc.heap_size_bytes()
+            + self.sites.capacity() * std::mem::size_of::<NodeId>()
     }
+}
+
+/// Sequentially builds the TC arena shard for `sites` (helper shared by the
+/// sequential path and each parallel worker).
+fn build_tc_shard(
+    net: &RoadNetwork,
+    trajs: &TrajectorySet,
+    sites: &[NodeId],
+    tau: f64,
+    model: DetourModel,
+) -> PairArena {
+    let mut eng = DetourEngine::new(net, model);
+    let mut row: Vec<(TrajId, f64)> = Vec::new();
+    let mut b = PairArenaBuilder::with_capacity(sites.len(), 0);
+    for &s in sites {
+        eng.site_coverage_into(trajs, s, tau, &mut row);
+        b.push_row(row.iter().map(|&(tj, d)| (tj.0, d)));
+    }
+    b.finish()
 }
 
 impl CoverageProvider for CoverageIndex {
@@ -177,12 +194,116 @@ impl CoverageProvider for CoverageIndex {
         self.sites[idx]
     }
 
-    fn covered(&self, idx: usize) -> &[(TrajId, f64)] {
-        &self.tc[idx]
+    fn covered(&self, idx: usize) -> PairSlice<'_> {
+        self.tc.row(idx)
     }
 
-    fn covering(&self, tj: TrajId) -> &[(u32, f64)] {
-        &self.sc[tj.index()]
+    fn covering(&self, tj: TrajId) -> PairSlice<'_> {
+        self.sc.row(tj.index())
+    }
+}
+
+/// The pre-arena per-list coverage layout, kept as (a) the
+/// differential-testing oracle the CSR providers are proptested against,
+/// (b) the mock provider for solver unit tests, and (c) the performance
+/// and memory baseline quantifying what the arena layout saves
+/// ([`ReferenceProvider::vec_layout_bytes`], the `arena_vs_reference`
+/// bench).
+///
+/// Every row is its own pair of heap-allocated vectors, so walking rows
+/// chases one pointer pair per list exactly like the legacy
+/// `Vec<Vec<(TrajId, f64)>>` — no backing arena anywhere. (The rows are
+/// per-row SoA rather than interleaved pairs, which is what lets the
+/// trait hand out [`PairSlice`]s; the modeled footprint of the original
+/// interleaved layout is what [`ReferenceProvider::vec_layout_bytes`]
+/// reports.)
+#[derive(Clone, Debug)]
+pub struct ReferenceProvider {
+    tc: Vec<(Vec<u32>, Vec<f64>)>,
+    sc: Vec<(Vec<u32>, Vec<f64>)>,
+    nodes: Vec<NodeId>,
+    traj_id_bound: usize,
+}
+
+impl ReferenceProvider {
+    /// Builds from per-site `(trajectory id, detour)` rows over
+    /// `traj_id_bound` trajectories; `SC` is derived by per-trajectory
+    /// pushes (the legacy construction). Site `i` reports node `NodeId(i)`.
+    pub fn new(traj_id_bound: usize, tc: Vec<Vec<(u32, f64)>>) -> Self {
+        let nodes = (0..tc.len() as u32).map(NodeId).collect();
+        Self::with_nodes(traj_id_bound, tc, nodes)
+    }
+
+    /// Binary provider over `traj_id_bound` trajectories from per-site
+    /// covered-id sets (all detours 0) — the shape most solver unit tests
+    /// want.
+    pub fn binary(traj_id_bound: usize, sets: Vec<Vec<u32>>) -> Self {
+        Self::new(
+            traj_id_bound,
+            sets.into_iter()
+                .map(|s| s.into_iter().map(|t| (t, 0.0)).collect())
+                .collect(),
+        )
+    }
+
+    /// [`ReferenceProvider::new`] with explicit site nodes.
+    pub fn with_nodes(traj_id_bound: usize, tc: Vec<Vec<(u32, f64)>>, nodes: Vec<NodeId>) -> Self {
+        assert_eq!(tc.len(), nodes.len(), "one node per site required");
+        let mut sc: Vec<(Vec<u32>, Vec<f64>)> = vec![(Vec::new(), Vec::new()); traj_id_bound];
+        for (i, list) in tc.iter().enumerate() {
+            for &(tj, d) in list {
+                sc[tj as usize].0.push(i as u32);
+                sc[tj as usize].1.push(d);
+            }
+        }
+        let tc = tc.into_iter().map(|row| row.into_iter().unzip()).collect();
+        ReferenceProvider {
+            tc,
+            sc,
+            nodes,
+            traj_id_bound,
+        }
+    }
+
+    /// Heap bytes of the modeled `Vec<Vec<(TrajId, f64)>>` layout: one
+    /// 24-byte `Vec` header per list plus 16 bytes per (padded) pair, both
+    /// directions — the quantity the flat arenas are measured against.
+    pub fn vec_layout_bytes(&self) -> usize {
+        let header = std::mem::size_of::<Vec<(TrajId, f64)>>();
+        let pair = std::mem::size_of::<(TrajId, f64)>();
+        self.tc
+            .iter()
+            .map(|(ids, _)| header + ids.len() * pair)
+            .sum::<usize>()
+            + self
+                .sc
+                .iter()
+                .map(|(ids, _)| header + ids.len() * pair)
+                .sum::<usize>()
+    }
+}
+
+impl CoverageProvider for ReferenceProvider {
+    fn site_count(&self) -> usize {
+        self.tc.len()
+    }
+
+    fn traj_id_bound(&self) -> usize {
+        self.traj_id_bound
+    }
+
+    fn site_node(&self, idx: usize) -> NodeId {
+        self.nodes[idx]
+    }
+
+    fn covered(&self, idx: usize) -> PairSlice<'_> {
+        let (ids, dists) = &self.tc[idx];
+        PairSlice { ids, dists }
+    }
+
+    fn covering(&self, tj: TrajId) -> PairSlice<'_> {
+        let (ids, dists) = &self.sc[tj.index()];
+        PairSlice { ids, dists }
     }
 }
 
@@ -215,11 +336,11 @@ mod tests {
         let sites: Vec<NodeId> = net.nodes().collect();
         let idx = CoverageIndex::build(&net, &trajs, &sites, 200.0, DetourModel::RoundTrip, 1);
         for i in 0..idx.site_count() {
-            for &(tj, d) in idx.covered(i) {
+            for (tj, d) in idx.covered(i).iter() {
                 assert!(
-                    idx.covering(tj)
+                    idx.covering(TrajId(tj))
                         .iter()
-                        .any(|&(si, d2)| si as usize == i && d2 == d),
+                        .any(|(si, d2)| si as usize == i && d2 == d),
                     "SC missing inverse of TC[{i}] -> {tj:?}"
                 );
             }
@@ -236,12 +357,12 @@ mod tests {
         let sites: Vec<NodeId> = net.nodes().collect();
         // τ = 0: a site covers exactly the trajectories passing through it.
         let idx = CoverageIndex::build(&net, &trajs, &sites, 0.0, DetourModel::RoundTrip, 1);
-        assert_eq!(idx.covered(1), &[(TrajId(0), 0.0), (TrajId(1), 0.0)]);
-        assert_eq!(idx.covered(3), &[(TrajId(1), 0.0), (TrajId(2), 0.0)]);
-        assert_eq!(idx.covered(0), &[(TrajId(0), 0.0)]);
+        assert_eq!(idx.covered(1).to_pairs(), vec![(0, 0.0), (1, 0.0)]);
+        assert_eq!(idx.covered(3).to_pairs(), vec![(1, 0.0), (2, 0.0)]);
+        assert_eq!(idx.covered(0).to_pairs(), vec![(0, 0.0)]);
         // τ = 200 m: site 0 also covers T1 (node 1 at round-trip 200).
         let idx = CoverageIndex::build(&net, &trajs, &sites, 200.0, DetourModel::RoundTrip, 1);
-        assert_eq!(idx.covered(0), &[(TrajId(0), 0.0), (TrajId(1), 200.0)]);
+        assert_eq!(idx.covered(0).to_pairs(), vec![(0, 0.0), (1, 200.0)]);
     }
 
     #[test]
@@ -264,6 +385,46 @@ mod tests {
         let large = CoverageIndex::build(&net, &trajs, &sites, 800.0, DetourModel::RoundTrip, 1);
         assert!(large.pair_count() > small.pair_count());
         assert!(large.heap_size_bytes() >= small.heap_size_bytes());
+    }
+
+    #[test]
+    fn arena_footprint_beats_vec_of_vec_layout() {
+        // The accounting satellite: the flat arenas must report (and cost)
+        // strictly less than the legacy per-list layout on the same data.
+        let (net, trajs) = fixture();
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let idx = CoverageIndex::build(&net, &trajs, &sites, 800.0, DetourModel::RoundTrip, 1);
+        let rows: Vec<Vec<(u32, f64)>> = (0..idx.site_count())
+            .map(|i| idx.covered(i).to_pairs())
+            .collect();
+        let reference = ReferenceProvider::new(trajs.id_bound(), rows);
+        let arena_bytes = idx.heap_size_bytes() - idx.sites().len() * 4;
+        assert!(
+            arena_bytes < reference.vec_layout_bytes(),
+            "arena {} B not smaller than Vec<Vec<_>> layout {} B",
+            arena_bytes,
+            reference.vec_layout_bytes()
+        );
+    }
+
+    #[test]
+    fn reference_provider_matches_coverage_index() {
+        let (net, trajs) = fixture();
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let idx = CoverageIndex::build(&net, &trajs, &sites, 300.0, DetourModel::RoundTrip, 1);
+        let rows: Vec<Vec<(u32, f64)>> = (0..idx.site_count())
+            .map(|i| idx.covered(i).to_pairs())
+            .collect();
+        let reference = ReferenceProvider::with_nodes(trajs.id_bound(), rows, sites.clone());
+        assert_eq!(reference.site_count(), idx.site_count());
+        for i in 0..idx.site_count() {
+            assert_eq!(reference.covered(i), idx.covered(i), "TC row {i}");
+            assert_eq!(reference.site_node(i), idx.site_node(i));
+        }
+        for j in 0..trajs.id_bound() {
+            let tj = TrajId(j as u32);
+            assert_eq!(reference.covering(tj), idx.covering(tj), "SC row {j}");
+        }
     }
 
     #[test]

@@ -85,6 +85,22 @@ impl<'a> DetourEngine<'a> {
         site: NodeId,
         tau: f64,
     ) -> Vec<(TrajId, f64)> {
+        let mut out = Vec::new();
+        self.site_coverage_into(trajs, site, tau, &mut out);
+        out
+    }
+
+    /// [`DetourEngine::site_coverage`] writing into a caller-owned buffer
+    /// (cleared first), so bulk builders like
+    /// [`crate::coverage::CoverageIndex::build`] reuse one allocation
+    /// across their hundreds of thousands of site queries.
+    pub fn site_coverage_into(
+        &mut self,
+        trajs: &TrajectorySet,
+        site: NodeId,
+        tau: f64,
+        out: &mut Vec<(TrajId, f64)>,
+    ) {
         self.ensure_scratch(trajs.id_bound());
         self.begin();
         // d(site, v) for the return leg; d(v, site) for the outbound leg.
@@ -96,14 +112,14 @@ impl<'a> DetourEngine<'a> {
             DetourModel::PairDetour => self.collect_pair_detour(trajs, tau),
         }
 
-        let mut out: Vec<(TrajId, f64)> = self
-            .touched
-            .iter()
-            .map(|&id| (id, self.traj_best[id.index()]))
-            .filter(|&(_, d)| d <= tau)
-            .collect();
+        out.clear();
+        out.extend(
+            self.touched
+                .iter()
+                .map(|&id| (id, self.traj_best[id.index()]))
+                .filter(|&(_, d)| d <= tau),
+        );
         out.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-        out
     }
 
     /// Exact detour distance from one trajectory to `site` with **no**

@@ -57,7 +57,7 @@ pub fn exact_optimal<P: CoverageProvider>(provider: &P, cfg: &ExactConfig) -> Ex
             provider
                 .covered(i)
                 .iter()
-                .map(|&(tj, d)| (tj.0, cfg.preference.score(d, cfg.tau)))
+                .map(|(tj, d)| (tj, cfg.preference.score(d, cfg.tau)))
                 .filter(|&(_, s)| s > 0.0)
                 .collect()
         })
@@ -215,10 +215,10 @@ pub fn exhaustive_optimal<P: CoverageProvider>(provider: &P, cfg: &ExactConfig) 
         // Evaluate.
         let mut u = vec![0.0f64; m];
         for &i in &combo {
-            for &(tj, d) in provider.covered(i) {
+            for (tj, d) in provider.covered(i).iter() {
                 let s = cfg.preference.score(d, cfg.tau);
-                if s > u[tj.index()] {
-                    u[tj.index()] = s;
+                if s > u[tj as usize] {
+                    u[tj as usize] = s;
                 }
             }
         }
@@ -272,54 +272,19 @@ pub fn exhaustive_optimal<P: CoverageProvider>(provider: &P, cfg: &ExactConfig) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coverage::ReferenceProvider;
     use crate::greedy::{inc_greedy, GreedyConfig};
-    use netclus_roadnet::NodeId;
-    use netclus_trajectory::TrajId;
-
-    struct Mock {
-        tc: Vec<Vec<(TrajId, f64)>>,
-        sc: Vec<Vec<(u32, f64)>>,
-        m: usize,
-    }
-    impl Mock {
-        fn new(m: usize, tc: Vec<Vec<(TrajId, f64)>>) -> Self {
-            let mut sc = vec![Vec::new(); m];
-            for (i, list) in tc.iter().enumerate() {
-                for &(tj, d) in list {
-                    sc[tj.index()].push((i as u32, d));
-                }
-            }
-            Mock { tc, sc, m }
-        }
-    }
-    impl CoverageProvider for Mock {
-        fn site_count(&self) -> usize {
-            self.tc.len()
-        }
-        fn traj_id_bound(&self) -> usize {
-            self.m
-        }
-        fn site_node(&self, idx: usize) -> NodeId {
-            NodeId(idx as u32)
-        }
-        fn covered(&self, idx: usize) -> &[(TrajId, f64)] {
-            &self.tc[idx]
-        }
-        fn covering(&self, tj: TrajId) -> &[(u32, f64)] {
-            &self.sc[tj.index()]
-        }
-    }
 
     /// Paper Example 1: optimal is {s1, s3} with utility 1.0 while greedy
     /// returns 0.9 (Table 3).
-    fn example1() -> Mock {
+    fn example1() -> ReferenceProvider {
         let d = |psi: f64| (1.0 - psi) * 1000.0;
-        Mock::new(
+        ReferenceProvider::new(
             2,
             vec![
-                vec![(TrajId(0), d(0.4))],
-                vec![(TrajId(0), d(0.11)), (TrajId(1), d(0.5))],
-                vec![(TrajId(1), d(0.6))],
+                vec![(0, d(0.4))],
+                vec![(0, d(0.11)), (1, d(0.5))],
+                vec![(1, d(0.6))],
             ],
         )
     }
@@ -365,18 +330,18 @@ mod tests {
             let m = rng.random_range(1..16);
             let n: usize = rng.random_range(1..10);
             let k = rng.random_range(1..=n.min(4));
-            let tc: Vec<Vec<(TrajId, f64)>> = (0..n)
+            let tc: Vec<Vec<(u32, f64)>> = (0..n)
                 .map(|_| {
                     let mut list = Vec::new();
                     for t in 0..m {
                         if rng.random::<f64>() < 0.35 {
-                            list.push((TrajId(t as u32), rng.random_range(0.0..1000.0)));
+                            list.push((t as u32, rng.random_range(0.0..1000.0)));
                         }
                     }
                     list
                 })
                 .collect();
-            let p = Mock::new(m, tc);
+            let p = ReferenceProvider::new(m, tc);
             let c = cfg(k);
             let bb = exact_optimal(&p, &c);
             let brute = exhaustive_optimal(&p, &c);
@@ -399,15 +364,15 @@ mod tests {
             let m = rng.random_range(2..20);
             let n: usize = rng.random_range(2..9);
             let k = rng.random_range(1..=n.min(3));
-            let tc: Vec<Vec<(TrajId, f64)>> = (0..n)
+            let tc: Vec<Vec<(u32, f64)>> = (0..n)
                 .map(|_| {
                     (0..m)
                         .filter(|_| rng.random::<f64>() < 0.4)
-                        .map(|t| (TrajId(t as u32), 0.0))
+                        .map(|t| (t as u32, 0.0))
                         .collect()
                 })
                 .collect();
-            let p = Mock::new(m, tc);
+            let p = ReferenceProvider::new(m, tc);
             let exact = exact_optimal(
                 &p,
                 &ExactConfig {

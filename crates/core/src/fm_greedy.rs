@@ -54,7 +54,7 @@ pub fn build_site_sketches<P: CoverageProvider>(
     family: &FmSketchFamily,
 ) -> Vec<FmSketch> {
     (0..provider.site_count())
-        .map(|i| family.sketch_of(provider.covered(i).iter().map(|&(tj, _)| tj.0 as u64)))
+        .map(|i| family.sketch_of(provider.covered(i).ids.iter().map(|&t| u64::from(t))))
         .collect()
 }
 
@@ -144,8 +144,8 @@ pub fn fm_greedy_prebuilt<P: CoverageProvider>(
     // Exact recount of the selected sites' distinct coverage.
     let mut covered_flags = vec![false; provider.traj_id_bound()];
     for &i in &selected {
-        for &(tj, _) in provider.covered(i) {
-            covered_flags[tj.index()] = true;
+        for &t in provider.covered(i).ids {
+            covered_flags[t as usize] = true;
         }
     }
     let covered = covered_flags.iter().filter(|&&c| c).count();
@@ -163,53 +163,14 @@ pub fn fm_greedy_prebuilt<P: CoverageProvider>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::coverage::ReferenceProvider;
     use crate::greedy::{inc_greedy, GreedyConfig};
-    use netclus_roadnet::NodeId;
-    use netclus_trajectory::TrajId;
-
-    struct Mock {
-        tc: Vec<Vec<(TrajId, f64)>>,
-        sc: Vec<Vec<(u32, f64)>>,
-        m: usize,
-    }
-    impl Mock {
-        fn new(m: usize, sets: Vec<Vec<u32>>) -> Self {
-            let tc: Vec<Vec<(TrajId, f64)>> = sets
-                .into_iter()
-                .map(|s| s.into_iter().map(|t| (TrajId(t), 0.0)).collect())
-                .collect();
-            let mut sc = vec![Vec::new(); m];
-            for (i, list) in tc.iter().enumerate() {
-                for &(tj, d) in list {
-                    sc[tj.index()].push((i as u32, d));
-                }
-            }
-            Mock { tc, sc, m }
-        }
-    }
-    impl CoverageProvider for Mock {
-        fn site_count(&self) -> usize {
-            self.tc.len()
-        }
-        fn traj_id_bound(&self) -> usize {
-            self.m
-        }
-        fn site_node(&self, idx: usize) -> NodeId {
-            NodeId(idx as u32)
-        }
-        fn covered(&self, idx: usize) -> &[(TrajId, f64)] {
-            &self.tc[idx]
-        }
-        fn covering(&self, tj: TrajId) -> &[(u32, f64)] {
-            &self.sc[tj.index()]
-        }
-    }
 
     #[test]
     fn selects_distinct_coverage() {
         // Site 0 covers {0..4}, site 1 covers {0..4} (duplicate), site 2
         // covers {5..7}: greedy must pick 0 (or 1) then 2, never both dupes.
-        let p = Mock::new(
+        let p = ReferenceProvider::binary(
             8,
             vec![(0..5).collect(), (0..5).collect(), (5..8).collect()],
         );
@@ -242,7 +203,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let p = Mock::new(m, sets);
+        let p = ReferenceProvider::binary(m, sets);
         let exact = inc_greedy(&p, &GreedyConfig::binary(5, 100.0));
         let fm = fm_greedy(
             &p,
@@ -273,7 +234,7 @@ mod tests {
 
     #[test]
     fn deterministic_given_seed() {
-        let p = Mock::new(6, vec![vec![0, 1, 2], vec![2, 3], vec![4, 5]]);
+        let p = ReferenceProvider::binary(6, vec![vec![0, 1, 2], vec![2, 3], vec![4, 5]]);
         let cfg = FmGreedyConfig {
             k: 2,
             copies: 10,
@@ -287,7 +248,7 @@ mod tests {
 
     #[test]
     fn k_exceeding_sites_selects_all() {
-        let p = Mock::new(4, vec![vec![0], vec![1, 2], vec![3]]);
+        let p = ReferenceProvider::binary(4, vec![vec![0], vec![1, 2], vec![3]]);
         let sol = fm_greedy(
             &p,
             &FmGreedyConfig {
@@ -303,7 +264,7 @@ mod tests {
 
     #[test]
     fn empty_sites_are_harmless() {
-        let p = Mock::new(3, vec![vec![], vec![0, 1, 2], vec![]]);
+        let p = ReferenceProvider::binary(3, vec![vec![], vec![0, 1, 2], vec![]]);
         let sol = fm_greedy(
             &p,
             &FmGreedyConfig {

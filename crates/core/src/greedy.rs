@@ -25,6 +25,8 @@
 use std::collections::BinaryHeap;
 use std::time::Instant;
 
+use netclus_trajectory::TrajId;
+
 use crate::coverage::CoverageProvider;
 use crate::preference::PreferenceFunction;
 use crate::solution::Solution;
@@ -141,13 +143,15 @@ fn eager_greedy<P: CoverageProvider>(
         None => vec![0.0f64; provider.traj_id_bound()],
     };
     // Site weights w_i = Σ ψ(T_j, s_i): the tie-breaking key (and, absent
-    // seed utilities, the initial marginals).
+    // seed utilities, the initial marginals). Only the distance array of
+    // each arena row is touched here.
     let weights: Vec<f64> = (0..n)
         .map(|i| {
             provider
                 .covered(i)
+                .dists
                 .iter()
-                .map(|&(_, d)| cfg.preference.score(d, cfg.tau))
+                .map(|&d| cfg.preference.score(d, cfg.tau))
                 .sum()
         })
         .collect();
@@ -158,8 +162,8 @@ fn eager_greedy<P: CoverageProvider>(
                 provider
                     .covered(i)
                     .iter()
-                    .map(|&(tj, d)| {
-                        (cfg.preference.score(d, cfg.tau) - utilities[tj.index()]).max(0.0)
+                    .map(|(tj, d)| {
+                        (cfg.preference.score(d, cfg.tau) - utilities[tj as usize]).max(0.0)
                     })
                     .sum()
             })
@@ -225,13 +229,13 @@ fn apply_selection<P: CoverageProvider>(
     marginal: &mut [f64],
     chosen: &[bool],
 ) {
-    for &(tj, d) in provider.covered(s) {
+    for (tj, d) in provider.covered(s).iter() {
         let score = cfg.preference.score(d, cfg.tau);
-        let old_u = utilities[tj.index()];
+        let old_u = utilities[tj as usize];
         if score <= old_u {
             continue;
         }
-        for &(si, d2) in provider.covering(tj) {
+        for (si, d2) in provider.covering(TrajId(tj)).iter() {
             let si = si as usize;
             if chosen[si] {
                 continue;
@@ -242,7 +246,7 @@ fn apply_selection<P: CoverageProvider>(
                 marginal[si] -= delta;
             }
         }
-        utilities[tj.index()] = score;
+        utilities[tj as usize] = score;
     }
 }
 
@@ -287,7 +291,7 @@ fn lazy_greedy<P: CoverageProvider>(
         provider
             .covered(i)
             .iter()
-            .map(|&(tj, d)| (cfg.preference.score(d, cfg.tau) - utilities[tj.index()]).max(0.0))
+            .map(|(tj, d)| (cfg.preference.score(d, cfg.tau) - utilities[tj as usize]).max(0.0))
             .sum()
     };
 
@@ -295,10 +299,10 @@ fn lazy_greedy<P: CoverageProvider>(
         assert!(e < n, "existing site index {e} out of range");
         if !chosen[e] {
             chosen[e] = true;
-            for &(tj, d) in provider.covered(e) {
+            for (tj, d) in provider.covered(e).iter() {
                 let score = cfg.preference.score(d, cfg.tau);
-                if score > utilities[tj.index()] {
-                    utilities[tj.index()] = score;
+                if score > utilities[tj as usize] {
+                    utilities[tj as usize] = score;
                 }
             }
         }
@@ -330,10 +334,10 @@ fn lazy_greedy<P: CoverageProvider>(
             chosen[top.idx] = true;
             selected.push(top.idx);
             gains.push(top.gain.max(0.0));
-            for &(tj, d) in provider.covered(top.idx) {
+            for (tj, d) in provider.covered(top.idx).iter() {
                 let score = cfg.preference.score(d, cfg.tau);
-                if score > utilities[tj.index()] {
-                    utilities[tj.index()] = score;
+                if score > utilities[tj as usize] {
+                    utilities[tj as usize] = score;
                 }
             }
             round += 1;
@@ -359,59 +363,20 @@ fn lazy_greedy<P: CoverageProvider>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netclus_roadnet::NodeId;
-    use netclus_trajectory::TrajId;
-
-    /// A mock provider built directly from ψ-relevant detour tables.
-    pub(crate) struct MockProvider {
-        pub tc: Vec<Vec<(TrajId, f64)>>,
-        pub sc: Vec<Vec<(u32, f64)>>,
-        pub m: usize,
-    }
-
-    impl MockProvider {
-        /// Builds from per-site `(traj, detour)` lists over `m` trajectories.
-        pub fn new(m: usize, tc: Vec<Vec<(TrajId, f64)>>) -> Self {
-            let mut sc = vec![Vec::new(); m];
-            for (i, list) in tc.iter().enumerate() {
-                for &(tj, d) in list {
-                    sc[tj.index()].push((i as u32, d));
-                }
-            }
-            MockProvider { tc, sc, m }
-        }
-    }
-
-    impl CoverageProvider for MockProvider {
-        fn site_count(&self) -> usize {
-            self.tc.len()
-        }
-        fn traj_id_bound(&self) -> usize {
-            self.m
-        }
-        fn site_node(&self, idx: usize) -> NodeId {
-            NodeId(idx as u32)
-        }
-        fn covered(&self, idx: usize) -> &[(TrajId, f64)] {
-            &self.tc[idx]
-        }
-        fn covering(&self, tj: TrajId) -> &[(u32, f64)] {
-            &self.sc[tj.index()]
-        }
-    }
+    use crate::coverage::ReferenceProvider;
 
     /// The paper's Example 1 (Tables 2 & 3): ψ values realized through
     /// linear decay with τ = 1000:
     ///   ψ(T1,s1)=0.4, ψ(T1,s2)=0.11, ψ(T1,s3)=0
     ///   ψ(T2,s1)=0,   ψ(T2,s2)=0.5,  ψ(T2,s3)=0.6
-    fn example1() -> MockProvider {
+    fn example1() -> ReferenceProvider {
         let d = |psi: f64| (1.0 - psi) * 1000.0; // invert linear decay
-        MockProvider::new(
+        ReferenceProvider::new(
             2,
             vec![
-                vec![(TrajId(0), d(0.4))],
-                vec![(TrajId(0), d(0.11)), (TrajId(1), d(0.5))],
-                vec![(TrajId(1), d(0.6))],
+                vec![(0, d(0.4))],
+                vec![(0, d(0.11)), (1, d(0.5))],
+                vec![(1, d(0.6))],
             ],
         )
     }
@@ -467,12 +432,12 @@ mod tests {
     #[test]
     fn binary_greedy_counts_distinct_coverage() {
         // Site 0 covers {T0, T1}; site 1 covers {T1, T2}; site 2 covers {T2}.
-        let p = MockProvider::new(
+        let p = ReferenceProvider::new(
             3,
             vec![
-                vec![(TrajId(0), 0.0), (TrajId(1), 0.0)],
-                vec![(TrajId(1), 0.0), (TrajId(2), 0.0)],
-                vec![(TrajId(2), 0.0)],
+                vec![(0, 0.0), (1, 0.0)],
+                vec![(1, 0.0), (2, 0.0)],
+                vec![(2, 0.0)],
             ],
         );
         let sol = inc_greedy(&p, &GreedyConfig::binary(2, 100.0));
@@ -488,12 +453,12 @@ mod tests {
         // the paper picks the highest index → site 2. In round two, sites 0
         // and 1 tie on marginal gain (1) but site 0 has the larger raw
         // weight → site 0.
-        let p = MockProvider::new(
+        let p = ReferenceProvider::new(
             4,
             vec![
-                vec![(TrajId(0), 0.0), (TrajId(1), 0.0)],
-                vec![(TrajId(2), 0.0)],
-                vec![(TrajId(1), 0.0), (TrajId(3), 0.0)],
+                vec![(0, 0.0), (1, 0.0)],
+                vec![(2, 0.0)],
+                vec![(1, 0.0), (3, 0.0)],
             ],
         );
         let sol = inc_greedy(&p, &GreedyConfig::binary(2, 100.0));
@@ -503,12 +468,12 @@ mod tests {
     #[test]
     fn existing_services_shift_marginals() {
         // ES = {site 1}. T1, T2 already covered; best addition covers T0.
-        let p = MockProvider::new(
+        let p = ReferenceProvider::new(
             3,
             vec![
-                vec![(TrajId(0), 0.0), (TrajId(1), 0.0)],
-                vec![(TrajId(1), 0.0), (TrajId(2), 0.0)],
-                vec![(TrajId(1), 0.0), (TrajId(2), 0.0)],
+                vec![(0, 0.0), (1, 0.0)],
+                vec![(1, 0.0), (2, 0.0)],
+                vec![(1, 0.0), (2, 0.0)],
             ],
         );
         let cfg = GreedyConfig::binary(1, 100.0);
@@ -523,13 +488,13 @@ mod tests {
     #[test]
     fn greedy_respects_submodular_gain_ordering() {
         // Gains must be non-increasing (Theorem 2 consequence).
-        let p = MockProvider::new(
+        let p = ReferenceProvider::new(
             6,
             vec![
-                vec![(TrajId(0), 0.0), (TrajId(1), 0.0), (TrajId(2), 0.0)],
-                vec![(TrajId(2), 0.0), (TrajId(3), 0.0)],
-                vec![(TrajId(4), 0.0)],
-                vec![(TrajId(5), 0.0), (TrajId(0), 0.0)],
+                vec![(0, 0.0), (1, 0.0), (2, 0.0)],
+                vec![(2, 0.0), (3, 0.0)],
+                vec![(4, 0.0)],
+                vec![(5, 0.0), (0, 0.0)],
             ],
         );
         let sol = inc_greedy(&p, &GreedyConfig::binary(4, 100.0));
@@ -543,12 +508,12 @@ mod tests {
         // Seeding with exactly site 1's coverage must reproduce
         // inc_greedy_from with existing = [1] (site 1 stays selectable but
         // adds no gain, so it is never picked while better options exist).
-        let p = MockProvider::new(
+        let p = ReferenceProvider::new(
             3,
             vec![
-                vec![(TrajId(0), 0.0), (TrajId(1), 0.0)],
-                vec![(TrajId(1), 0.0), (TrajId(2), 0.0)],
-                vec![(TrajId(2), 0.0)],
+                vec![(0, 0.0), (1, 0.0)],
+                vec![(1, 0.0), (2, 0.0)],
+                vec![(2, 0.0)],
             ],
         );
         let cfg = GreedyConfig::binary(1, 100.0);
@@ -560,7 +525,7 @@ mod tests {
 
     #[test]
     fn seeded_greedy_counts_only_extra_utility() {
-        let p = MockProvider::new(2, vec![vec![(TrajId(0), 0.0), (TrajId(1), 0.0)]]);
+        let p = ReferenceProvider::new(2, vec![vec![(0, 0.0), (1, 0.0)]]);
         // T0 already enjoys utility 1.0 → only T1 contributes gain.
         let sol = inc_greedy_seeded(&p, &GreedyConfig::binary(1, 100.0), &[1.0, 0.0]);
         assert_eq!(sol.utility, 1.0);
@@ -578,12 +543,12 @@ mod tests {
 
     #[test]
     fn seeded_lazy_matches_seeded_eager() {
-        let p = MockProvider::new(
+        let p = ReferenceProvider::new(
             4,
             vec![
-                vec![(TrajId(0), 0.0), (TrajId(1), 100.0)],
-                vec![(TrajId(2), 0.0), (TrajId(3), 200.0)],
-                vec![(TrajId(1), 0.0)],
+                vec![(0, 0.0), (1, 100.0)],
+                vec![(2, 0.0), (3, 200.0)],
+                vec![(1, 0.0)],
             ],
         );
         let seed = vec![0.2, 0.9, 0.0, 0.4];
@@ -602,7 +567,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "one seed utility per trajectory")]
     fn seeded_greedy_rejects_wrong_length() {
-        let p = MockProvider::new(3, vec![vec![(TrajId(0), 0.0)]]);
+        let p = ReferenceProvider::new(3, vec![vec![(0, 0.0)]]);
         inc_greedy_seeded(&p, &GreedyConfig::binary(1, 100.0), &[0.0]);
     }
 
@@ -622,7 +587,7 @@ mod tests {
         for trial in 0..25 {
             let m: usize = rng.random_range(1..40);
             let n = rng.random_range(1..25);
-            let tc: Vec<Vec<(TrajId, f64)>> = (0..n)
+            let tc: Vec<Vec<(u32, f64)>> = (0..n)
                 .map(|_| {
                     let cnt = rng.random_range(0..m.min(12));
                     let mut tjs: Vec<u32> = (0..m as u32).collect();
@@ -631,15 +596,15 @@ mod tests {
                         let j = rng.random_range(i..m);
                         tjs.swap(i, j);
                     }
-                    let mut list: Vec<(TrajId, f64)> = tjs[..cnt]
+                    let mut list: Vec<(u32, f64)> = tjs[..cnt]
                         .iter()
-                        .map(|&t| (TrajId(t), rng.random_range(0.0..1000.0)))
+                        .map(|&t| (t, rng.random_range(0.0..1000.0)))
                         .collect();
                     list.sort_by(|a, b| a.1.total_cmp(&b.1));
                     list
                 })
                 .collect();
-            let p = MockProvider::new(m, tc);
+            let p = ReferenceProvider::new(m, tc);
             let cfg = GreedyConfig {
                 k: rng.random_range(1..6),
                 tau: 1000.0,

@@ -66,7 +66,7 @@ pub fn jaccard_clustering<P: CoverageProvider>(
     // Sorted trajectory-id set per site (for linear-merge intersection).
     let id_sets: Vec<Vec<u32>> = (0..n)
         .map(|i| {
-            let mut ids: Vec<u32> = provider.covered(i).iter().map(|&(tj, _)| tj.0).collect();
+            let mut ids: Vec<u32> = provider.covered(i).ids.to_vec();
             ids.sort_unstable();
             ids.dedup();
             ids
@@ -141,46 +141,7 @@ pub fn jaccard_distance(a: &[u32], b: &[u32]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netclus_roadnet::NodeId;
-    use netclus_trajectory::TrajId;
-
-    struct Mock {
-        tc: Vec<Vec<(TrajId, f64)>>,
-        sc: Vec<Vec<(u32, f64)>>,
-        m: usize,
-    }
-    impl Mock {
-        fn binary(m: usize, sets: Vec<Vec<u32>>) -> Self {
-            let tc: Vec<Vec<(TrajId, f64)>> = sets
-                .into_iter()
-                .map(|s| s.into_iter().map(|t| (TrajId(t), 0.0)).collect())
-                .collect();
-            let mut sc = vec![Vec::new(); m];
-            for (i, list) in tc.iter().enumerate() {
-                for &(tj, d) in list {
-                    sc[tj.index()].push((i as u32, d));
-                }
-            }
-            Mock { tc, sc, m }
-        }
-    }
-    impl CoverageProvider for Mock {
-        fn site_count(&self) -> usize {
-            self.tc.len()
-        }
-        fn traj_id_bound(&self) -> usize {
-            self.m
-        }
-        fn site_node(&self, idx: usize) -> NodeId {
-            NodeId(idx as u32)
-        }
-        fn covered(&self, idx: usize) -> &[(TrajId, f64)] {
-            &self.tc[idx]
-        }
-        fn covering(&self, tj: TrajId) -> &[(u32, f64)] {
-            &self.sc[tj.index()]
-        }
-    }
+    use crate::coverage::ReferenceProvider;
 
     #[test]
     fn jaccard_distance_cases() {
@@ -193,7 +154,7 @@ mod tests {
 
     #[test]
     fn identical_covers_cluster_together() {
-        let p = Mock::binary(
+        let p = ReferenceProvider::binary(
             6,
             vec![
                 vec![0, 1, 2],
@@ -211,7 +172,7 @@ mod tests {
 
     #[test]
     fn alpha_one_collapses_everything() {
-        let p = Mock::binary(4, vec![vec![0], vec![1], vec![2], vec![3]]);
+        let p = ReferenceProvider::binary(4, vec![vec![0], vec![1], vec![2], vec![3]]);
         let r = jaccard_clustering(&p, &JaccardConfig { alpha: 1.0 });
         assert_eq!(r.cluster_count(), 1);
         assert_eq!(r.clusters[0].members.len(), 4);
@@ -219,7 +180,7 @@ mod tests {
 
     #[test]
     fn alpha_zero_merges_only_identical() {
-        let p = Mock::binary(4, vec![vec![0, 1], vec![0, 1], vec![0], vec![2, 3]]);
+        let p = ReferenceProvider::binary(4, vec![vec![0, 1], vec![0, 1], vec![0], vec![2, 3]]);
         let r = jaccard_clustering(&p, &JaccardConfig { alpha: 0.0 });
         assert_eq!(r.cluster_count(), 3);
     }
@@ -227,14 +188,14 @@ mod tests {
     #[test]
     fn centers_picked_by_weight() {
         // Site 1 has the largest cover; it must be the first center.
-        let p = Mock::binary(5, vec![vec![0], vec![0, 1, 2, 3], vec![4]]);
+        let p = ReferenceProvider::binary(5, vec![vec![0], vec![0, 1, 2, 3], vec![4]]);
         let r = jaccard_clustering(&p, &JaccardConfig { alpha: 0.5 });
         assert_eq!(r.clusters[0].center, 1);
     }
 
     #[test]
     fn clusters_partition_sites() {
-        let p = Mock::binary(
+        let p = ReferenceProvider::binary(
             8,
             vec![vec![0, 1], vec![1, 2], vec![5, 6], vec![5, 6, 7], vec![3]],
         );

@@ -38,6 +38,7 @@
 //! | TOPS4 market share (Sec. 7.4) | [`market`] |
 //! | Jaccard baseline (App. B.1) | [`jaccard`] |
 //! | Memory accounting (Tables 9, 12) | [`memory`] |
+//! | Flat CSR coverage arenas (query hot path layout) | [`arena`] |
 //!
 //! ## Serving architecture
 //!
@@ -51,6 +52,7 @@
 //! | Epoch-based snapshots (`Arc`-swapped `NetClusIndex` + corpus; readers never block) | `netclus_service::snapshot` |
 //! | Worker pool, bounded admission, request batching, in-flight dedup | `netclus_service::executor` |
 //! | Sharded LRU result cache keyed `(k, τ, ψ, variant, epoch)` | `netclus_service::cache` |
+//! | Clustered-provider cache keyed `(epoch, instance, quantized τ)` | `netclus_service::provider_cache` |
 //! | Latency/throughput/queue/cache + ingest metrics | `netclus_service::metrics` |
 //! | Framed GPS record wire format (CRC-32, per-source seq) | `netclus_ingest::record` |
 //! | Backpressured intake + parallel map-matching pipeline | `netclus_ingest::pipeline` |
@@ -104,6 +106,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod capacity;
 pub mod cluster;
 pub mod cost;
@@ -124,10 +127,11 @@ pub mod update;
 
 /// The most commonly used items in one import.
 pub mod prelude {
+    pub use crate::arena::{PairArena, PairSlice, RowArena};
     pub use crate::capacity::{tops_capacity, CapacityConfig};
     pub use crate::cluster::RepresentativeStrategy;
     pub use crate::cost::{tops_cost, CostConfig};
-    pub use crate::coverage::{CoverageIndex, CoverageProvider};
+    pub use crate::coverage::{CoverageIndex, CoverageProvider, ReferenceProvider};
     pub use crate::detour::{DetourEngine, DetourModel};
     pub use crate::exact::{exact_optimal, ExactConfig, ExactResult};
     pub use crate::fm_greedy::{
@@ -140,7 +144,7 @@ pub mod prelude {
     pub use crate::market::{tops_market_share, MarketShareConfig};
     pub use crate::memory::{format_bytes, HeapSize};
     pub use crate::preference::PreferenceFunction;
-    pub use crate::query::{ClusteredProvider, NetClusAnswer, TopsQuery};
+    pub use crate::query::{ClusteredProvider, NetClusAnswer, ProviderScratch, TopsQuery};
     pub use crate::solution::{evaluate_sites, EvalResult, Solution};
 }
 
@@ -168,4 +172,8 @@ fn thread_safety_audit() {
     // Coverage structures shared by parallel builders.
     assert_send_sync::<coverage::CoverageIndex>();
     assert_send_sync::<cluster::ClusterInstance>();
+    // Arena layout: providers are shared across worker threads (e.g. the
+    // service-layer provider cache hands out `Arc<ClusteredProvider>`).
+    assert_send_sync::<arena::PairArena>();
+    assert_send_sync::<arena::RowArena>();
 }

@@ -52,8 +52,8 @@ pub fn tops_market_share<P: CoverageProvider>(
     // Live trajectory universe: ids appearing in any covered list.
     let mut coverable = vec![false; m];
     for i in 0..n {
-        for &(tj, _) in provider.covered(i) {
-            coverable[tj.index()] = true;
+        for &t in provider.covered(i).ids {
+            coverable[t as usize] = true;
         }
     }
     let coverable_count = coverable.iter().filter(|&&c| c).count();
@@ -74,8 +74,9 @@ pub fn tops_market_share<P: CoverageProvider>(
             }
             let gain = provider
                 .covered(i)
+                .ids
                 .iter()
-                .filter(|&&(tj, _)| !covered[tj.index()])
+                .filter(|&&t| !covered[t as usize])
                 .count();
             let better = match best {
                 None => true,
@@ -91,9 +92,9 @@ pub fn tops_market_share<P: CoverageProvider>(
                 chosen[s] = true;
                 selected.push(s);
                 gains.push(gain as f64);
-                for &(tj, _) in provider.covered(s) {
-                    if !covered[tj.index()] {
-                        covered[tj.index()] = true;
+                for &t in provider.covered(s).ids {
+                    if !covered[t as usize] {
+                        covered[t as usize] = true;
                         covered_count += 1;
                     }
                 }
@@ -118,51 +119,12 @@ pub fn tops_market_share<P: CoverageProvider>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netclus_roadnet::NodeId;
-    use netclus_trajectory::TrajId;
-
-    struct Mock {
-        tc: Vec<Vec<(TrajId, f64)>>,
-        sc: Vec<Vec<(u32, f64)>>,
-        m: usize,
-    }
-    impl Mock {
-        fn binary(m: usize, sets: Vec<Vec<u32>>) -> Self {
-            let tc: Vec<Vec<(TrajId, f64)>> = sets
-                .into_iter()
-                .map(|s| s.into_iter().map(|t| (TrajId(t), 0.0)).collect())
-                .collect();
-            let mut sc = vec![Vec::new(); m];
-            for (i, list) in tc.iter().enumerate() {
-                for &(tj, d) in list {
-                    sc[tj.index()].push((i as u32, d));
-                }
-            }
-            Mock { tc, sc, m }
-        }
-    }
-    impl CoverageProvider for Mock {
-        fn site_count(&self) -> usize {
-            self.tc.len()
-        }
-        fn traj_id_bound(&self) -> usize {
-            self.m
-        }
-        fn site_node(&self, idx: usize) -> NodeId {
-            NodeId(idx as u32)
-        }
-        fn covered(&self, idx: usize) -> &[(TrajId, f64)] {
-            &self.tc[idx]
-        }
-        fn covering(&self, tj: TrajId) -> &[(u32, f64)] {
-            &self.sc[tj.index()]
-        }
-    }
+    use crate::coverage::ReferenceProvider;
 
     #[test]
     fn covers_requested_fraction_with_min_sites() {
         // Three disjoint sites of sizes 5, 3, 2 over 10 trajectories.
-        let p = Mock::binary(
+        let p = ReferenceProvider::binary(
             10,
             vec![(0..5).collect(), (5..8).collect(), (8..10).collect()],
         );
@@ -189,7 +151,8 @@ mod tests {
 
     #[test]
     fn full_share_selects_until_complete() {
-        let p = Mock::binary(6, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![0, 2, 4]]);
+        let p =
+            ReferenceProvider::binary(6, vec![vec![0, 1], vec![2, 3], vec![4, 5], vec![0, 2, 4]]);
         let r = tops_market_share(
             &p,
             &MarketShareConfig {
@@ -204,7 +167,7 @@ mod tests {
     #[test]
     fn infeasible_target_reports_unmet() {
         // Trajectory 3 is uncoverable.
-        let p = Mock::binary(4, vec![vec![0, 1], vec![2]]);
+        let p = ReferenceProvider::binary(4, vec![vec![0, 1], vec![2]]);
         let r = tops_market_share(
             &p,
             &MarketShareConfig {
@@ -230,7 +193,7 @@ mod tests {
     fn greedy_is_set_cover_greedy() {
         // Greedy picks the largest set first even when a smaller exact
         // cover exists — the classic ln(n) behaviour.
-        let p = Mock::binary(
+        let p = ReferenceProvider::binary(
             6,
             vec![
                 vec![0, 1, 2, 3], // greedy takes this
@@ -252,7 +215,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "β must be")]
     fn invalid_beta_panics() {
-        let p = Mock::binary(1, vec![vec![0]]);
+        let p = ReferenceProvider::binary(1, vec![vec![0]]);
         tops_market_share(
             &p,
             &MarketShareConfig {

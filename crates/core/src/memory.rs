@@ -7,7 +7,15 @@
 //! structures themselves, independent of allocator or runtime overhead
 //! (the paper's JVM numbers include such overhead; relative ordering is
 //! what must reproduce).
+//!
+//! Coverage lists now live in flat CSR arenas ([`crate::arena`]): 12
+//! bytes per `(id, distance)` pair plus one 4-byte offset per row,
+//! replacing the 16-bytes-per-pair + 24-bytes-per-list `Vec<Vec<_>>`
+//! layout. The accounting here reports the arena layout's real (smaller)
+//! footprint; [`crate::coverage::ReferenceProvider::vec_layout_bytes`]
+//! models the legacy layout for before/after comparisons.
 
+use crate::arena::{PairArena, RowArena};
 use crate::coverage::CoverageIndex;
 use crate::index::NetClusIndex;
 use crate::query::ClusteredProvider;
@@ -33,6 +41,18 @@ impl HeapSize for NetClusIndex {
 impl HeapSize for ClusteredProvider {
     fn heap_size_bytes(&self) -> usize {
         ClusteredProvider::heap_size_bytes(self)
+    }
+}
+
+impl HeapSize for PairArena {
+    fn heap_size_bytes(&self) -> usize {
+        PairArena::heap_size_bytes(self)
+    }
+}
+
+impl HeapSize for RowArena {
+    fn heap_size_bytes(&self) -> usize {
+        RowArena::heap_size_bytes(self)
     }
 }
 

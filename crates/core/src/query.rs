@@ -19,13 +19,24 @@
 //! The resulting [`ClusteredProvider`] implements
 //! [`CoverageProvider`], so the *same* Inc-Greedy / FM-greedy code that
 //! solves exact TOPS solves TOPS-Cluster, exactly as in the paper.
+//!
+//! ## Hot-path layout and parallelism
+//!
+//! The provider's `T̂C`/`ŜC` lists live in flat [`PairArena`]s (see
+//! [`crate::arena`]); per-representative rows are computed in parallel
+//! shards (each worker with its own stamped scratch, merged in cluster
+//! order — bit-identical to the sequential build) and `ŜC` is filled by a
+//! counting-sort inversion. Callers answering many queries should reuse a
+//! [`ProviderScratch`] across builds ([`ClusteredProvider::build_with`])
+//! so the stamped arrays are allocated once per worker, not per query.
 
 use std::time::{Duration, Instant};
 
 use netclus_roadnet::NodeId;
 use netclus_trajectory::{TrajId, TrajectorySet};
 
-use crate::cluster::ClusterInstance;
+use crate::arena::{PairArena, PairArenaBuilder, PairSlice};
+use crate::cluster::{Cluster, ClusterInstance};
 use crate::coverage::CoverageProvider;
 use crate::fm_greedy::{fm_greedy, FmGreedyConfig};
 use crate::greedy::{inc_greedy_from, GreedyConfig};
@@ -55,6 +66,54 @@ impl TopsQuery {
     }
 }
 
+/// Reusable per-worker scratch for [`ClusteredProvider`] builds: the
+/// stamped minimal-`d̂r` arrays plus the row staging buffer. One entry per
+/// build worker; entries are created (and their arrays sized to the
+/// trajectory id bound) on first use and then reused across queries.
+#[derive(Debug, Default)]
+pub struct ProviderScratch {
+    workers: Vec<RepScratch>,
+}
+
+impl ProviderScratch {
+    fn ensure_workers(&mut self, n: usize) -> &mut [RepScratch] {
+        if self.workers.len() < n {
+            self.workers.resize_with(n, RepScratch::default);
+        }
+        &mut self.workers[..n]
+    }
+}
+
+/// One worker's stamped scratch: minimal `d̂r` per trajectory for the
+/// representative currently being processed.
+#[derive(Debug, Default)]
+struct RepScratch {
+    best: Vec<f64>,
+    stamp: Vec<u32>,
+    version: u32,
+    touched: Vec<u32>,
+    row: Vec<(u32, f64)>,
+}
+
+impl RepScratch {
+    fn ensure(&mut self, traj_id_bound: usize) {
+        if self.best.len() < traj_id_bound {
+            self.best.resize(traj_id_bound, f64::INFINITY);
+            self.stamp.resize(traj_id_bound, 0);
+        }
+    }
+
+    fn begin(&mut self) -> u32 {
+        if self.version == u32::MAX {
+            self.stamp.fill(0);
+            self.version = 0;
+        }
+        self.version += 1;
+        self.touched.clear();
+        self.version
+    }
+}
+
 /// The clustered coverage view: cluster representatives with estimated
 /// detour distances.
 #[derive(Clone, Debug)]
@@ -63,73 +122,89 @@ pub struct ClusteredProvider {
     reps: Vec<NodeId>,
     /// Cluster index behind each provider index.
     rep_cluster: Vec<u32>,
-    /// `T̂C` lists, ascending by estimated detour.
-    tc: Vec<Vec<(TrajId, f64)>>,
-    /// Inverted `ŜC` lists.
-    sc: Vec<Vec<(u32, f64)>>,
+    /// `T̂C` rows, ascending by estimated detour.
+    tc: PairArena,
+    /// Inverted `ŜC` rows, ascending by provider index.
+    sc: PairArena,
     traj_id_bound: usize,
     build_time: Duration,
 }
 
 impl ClusteredProvider {
-    /// Builds the clustered view of `instance` for threshold `tau`.
+    /// Builds the clustered view of `instance` for threshold `tau`,
+    /// sequentially with fresh scratch. Prefer
+    /// [`ClusteredProvider::build_with`] on the serving path.
     ///
     /// Clusters without a representative (no candidate site among their
     /// members) contribute trajectories only through their neighbors.
     pub fn build(instance: &ClusterInstance, tau: f64, traj_id_bound: usize) -> Self {
+        Self::build_with(
+            instance,
+            tau,
+            traj_id_bound,
+            1,
+            &mut ProviderScratch::default(),
+        )
+    }
+
+    /// Builds the clustered view with up to `threads` workers, reusing
+    /// `scratch` across calls. The output is bit-identical for every
+    /// thread count: representatives are sharded contiguously, each worker
+    /// computes its rows independently, and the shards are concatenated in
+    /// cluster order before the counting-sort `ŜC` inversion.
+    pub fn build_with(
+        instance: &ClusterInstance,
+        tau: f64,
+        traj_id_bound: usize,
+        threads: usize,
+        scratch: &mut ProviderScratch,
+    ) -> Self {
         let start = Instant::now();
+
+        // Representatives in cluster order (cheap sequential pass).
         let mut reps = Vec::new();
-        let mut rep_cluster = Vec::new();
-        let mut tc: Vec<Vec<(TrajId, f64)>> = Vec::new();
-
-        // Stamped scratch: minimal d̂r per trajectory for the current rep.
-        let mut best = vec![f64::INFINITY; traj_id_bound];
-        let mut stamp = vec![0u32; traj_id_bound];
-        let mut touched: Vec<TrajId> = Vec::new();
-        let mut version = 0u32;
-
+        let mut rep_cluster: Vec<u32> = Vec::new();
         for (ci, cluster) in instance.clusters.iter().enumerate() {
-            let Some(rep) = cluster.representative else {
-                continue;
-            };
-            version += 1;
-            touched.clear();
-            for &(cj, d_centers) in &cluster.neighbors {
-                let base = d_centers + cluster.rep_distance;
-                if base > tau {
-                    // Neighbors are sorted by distance; all further ones
-                    // yield only larger estimates.
-                    break;
-                }
-                for &(tj, d_traj) in &instance.clusters[cj as usize].traj_list {
-                    let est = d_traj + base;
-                    if est > tau {
-                        continue;
-                    }
-                    let j = tj.index();
-                    if stamp[j] != version {
-                        stamp[j] = version;
-                        best[j] = est;
-                        touched.push(tj);
-                    } else if est < best[j] {
-                        best[j] = est;
-                    }
-                }
+            if let Some(rep) = cluster.representative {
+                reps.push(rep);
+                rep_cluster.push(ci as u32);
             }
-            let mut list: Vec<(TrajId, f64)> =
-                touched.iter().map(|&tj| (tj, best[tj.index()])).collect();
-            list.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
-            reps.push(rep);
-            rep_cluster.push(ci as u32);
-            tc.push(list);
         }
 
-        let mut sc: Vec<Vec<(u32, f64)>> = vec![Vec::new(); traj_id_bound];
-        for (i, list) in tc.iter().enumerate() {
-            for &(tj, d) in list {
-                sc[tj.index()].push((i as u32, d));
-            }
-        }
+        // At least MIN_REPS_PER_WORKER representatives per shard — below
+        // that, thread spawn costs more than the work it moves off-core.
+        const MIN_REPS_PER_WORKER: usize = 16;
+        let workers = threads
+            .max(1)
+            .min(rep_cluster.len().div_ceil(MIN_REPS_PER_WORKER).max(1));
+        let worker_scratch = scratch.ensure_workers(workers);
+        let tc = if workers <= 1 {
+            build_tc_shard(
+                instance,
+                tau,
+                traj_id_bound,
+                &rep_cluster,
+                &mut worker_scratch[0],
+            )
+        } else {
+            let chunk = rep_cluster.len().div_ceil(workers);
+            let parts: Vec<PairArena> = std::thread::scope(|scope| {
+                let handles: Vec<_> = rep_cluster
+                    .chunks(chunk)
+                    .zip(worker_scratch.iter_mut())
+                    .map(|(shard, ws)| {
+                        scope.spawn(move || build_tc_shard(instance, tau, traj_id_bound, shard, ws))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("provider worker panicked"))
+                    .collect()
+            });
+            PairArena::concat(parts)
+        };
+
+        let sc = tc.invert_threaded(traj_id_bound, workers);
 
         ClusteredProvider {
             reps,
@@ -151,22 +226,69 @@ impl ClusteredProvider {
         self.build_time
     }
 
-    /// Approximate heap footprint in bytes (the query-time working set of
-    /// NetClus beyond the index itself).
-    pub fn heap_size_bytes(&self) -> usize {
-        let pair = std::mem::size_of::<(TrajId, f64)>();
-        let tc: usize = self
-            .tc
-            .iter()
-            .map(|l| std::mem::size_of::<Vec<(TrajId, f64)>>() + l.capacity() * pair)
-            .sum();
-        let sc: usize = self
-            .sc
-            .iter()
-            .map(|l| std::mem::size_of::<Vec<(u32, f64)>>() + l.capacity() * pair)
-            .sum();
-        tc + sc + self.reps.capacity() * 4 + self.rep_cluster.capacity() * 4
+    /// Total `(representative, trajectory)` pairs in the clustered view.
+    pub fn pair_count(&self) -> usize {
+        self.tc.pair_count()
     }
+
+    /// Approximate heap footprint in bytes (the query-time working set of
+    /// NetClus beyond the index itself) — flat arenas, see
+    /// [`crate::arena`].
+    pub fn heap_size_bytes(&self) -> usize {
+        self.tc.heap_size_bytes()
+            + self.sc.heap_size_bytes()
+            + self.reps.capacity() * 4
+            + self.rep_cluster.capacity() * 4
+    }
+}
+
+/// Builds the `T̂C` rows of the representatives whose cluster indices are
+/// in `shard` (helper shared by the sequential path and each worker).
+fn build_tc_shard(
+    instance: &ClusterInstance,
+    tau: f64,
+    traj_id_bound: usize,
+    shard: &[u32],
+    scratch: &mut RepScratch,
+) -> PairArena {
+    scratch.ensure(traj_id_bound);
+    let mut b = PairArenaBuilder::with_capacity(shard.len(), 0);
+    for &ci in shard {
+        let cluster: &Cluster = &instance.clusters[ci as usize];
+        let version = scratch.begin();
+        for &(cj, d_centers) in &cluster.neighbors {
+            let base = d_centers + cluster.rep_distance;
+            if base > tau {
+                // Neighbors are sorted by distance; all further ones
+                // yield only larger estimates.
+                break;
+            }
+            for &(tj, d_traj) in &instance.clusters[cj as usize].traj_list {
+                let est = d_traj + base;
+                if est > tau {
+                    continue;
+                }
+                let j = tj.index();
+                if scratch.stamp[j] != version {
+                    scratch.stamp[j] = version;
+                    scratch.best[j] = est;
+                    scratch.touched.push(tj.0);
+                } else if est < scratch.best[j] {
+                    scratch.best[j] = est;
+                }
+            }
+        }
+        scratch.row.clear();
+        for k in 0..scratch.touched.len() {
+            let t = scratch.touched[k];
+            scratch.row.push((t, scratch.best[t as usize]));
+        }
+        scratch
+            .row
+            .sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
+        b.push_row(scratch.row.iter().copied());
+    }
+    b.finish()
 }
 
 impl CoverageProvider for ClusteredProvider {
@@ -182,12 +304,12 @@ impl CoverageProvider for ClusteredProvider {
         self.reps[idx]
     }
 
-    fn covered(&self, idx: usize) -> &[(TrajId, f64)] {
-        &self.tc[idx]
+    fn covered(&self, idx: usize) -> PairSlice<'_> {
+        self.tc.row(idx)
     }
 
-    fn covering(&self, tj: TrajId) -> &[(u32, f64)] {
-        &self.sc[tj.index()]
+    fn covering(&self, tj: TrajId) -> PairSlice<'_> {
+        self.sc.row(tj.index())
     }
 }
 
@@ -202,30 +324,102 @@ pub struct NetClusAnswer {
     pub instance: usize,
     /// Number of cluster representatives processed (`η_p` bound).
     pub representatives: usize,
-    /// Time to build the clustered view (included in the total query time).
+    /// Wall-clock time the provider build took **when it was built**.
+    /// The one-shot [`NetClusIndex::query`] wrappers fold it into the
+    /// total query time; callers answering from a cached provider get the
+    /// original build's duration repeated here (use `solution.elapsed`
+    /// from [`NetClusIndex::query_on`] for the solver-only cost).
     pub provider_build: Duration,
 }
 
 impl NetClusIndex {
-    /// Answers a TOPS query with Inc-Greedy over cluster representatives
-    /// (the paper's NETCLUS algorithm).
-    pub fn query(&self, trajs: &TrajectorySet, q: &TopsQuery) -> NetClusAnswer {
-        let p = self.instance_for(q.tau);
-        let provider = ClusteredProvider::build(self.instance(p), q.tau, trajs.id_bound());
+    /// Builds the [`ClusteredProvider`] serving `tau` (using the index's
+    /// configured thread count) and returns it with its instance index.
+    /// Split out of [`NetClusIndex::query`] so serving layers can cache
+    /// the provider per `(epoch, instance, τ)` and reuse it across
+    /// queries with different `k`/ψ.
+    pub fn build_provider(&self, tau: f64, traj_id_bound: usize) -> (usize, ClusteredProvider) {
+        self.build_provider_with(
+            tau,
+            traj_id_bound,
+            self.config().threads,
+            &mut ProviderScratch::default(),
+        )
+    }
+
+    /// [`NetClusIndex::build_provider`] with explicit thread count and
+    /// reusable scratch (the zero-allocation serving path).
+    pub fn build_provider_with(
+        &self,
+        tau: f64,
+        traj_id_bound: usize,
+        threads: usize,
+        scratch: &mut ProviderScratch,
+    ) -> (usize, ClusteredProvider) {
+        let p = self.instance_for(tau);
+        let provider =
+            ClusteredProvider::build_with(self.instance(p), tau, traj_id_bound, threads, scratch);
+        (p, provider)
+    }
+
+    /// Answers a TOPS query over an already-built provider (Inc-Greedy
+    /// over cluster representatives). `instance` names the index instance
+    /// the provider was built from; `Solution::elapsed` covers the solver
+    /// only — the caller decides whether the (possibly cached) provider
+    /// build counts toward the query.
+    pub fn query_on(
+        &self,
+        provider: &ClusteredProvider,
+        instance: usize,
+        q: &TopsQuery,
+    ) -> NetClusAnswer {
         let cfg = GreedyConfig {
             k: q.k,
             tau: q.tau,
             preference: q.preference,
             lazy: false,
         };
-        let mut solution = inc_greedy_from(&provider, &cfg, &[]);
-        solution.elapsed += provider.build_time();
+        let solution = inc_greedy_from(provider, &cfg, &[]);
         NetClusAnswer {
             representatives: provider.site_count(),
-            instance: p,
+            instance,
             provider_build: provider.build_time(),
             solution,
         }
+    }
+
+    /// Answers a binary TOPS query over an already-built provider with the
+    /// FM-sketch greedy (see [`NetClusIndex::query_on`] for the timing
+    /// contract).
+    pub fn query_fm_on(
+        &self,
+        provider: &ClusteredProvider,
+        instance: usize,
+        q: &TopsQuery,
+        fm: &FmGreedyConfig,
+    ) -> NetClusAnswer {
+        assert!(
+            q.preference.is_binary(),
+            "FM-NetClus requires the binary preference (paper Sec. 5.1)"
+        );
+        let mut cfg = fm.clone();
+        cfg.k = q.k;
+        let solution = fm_greedy(provider, &cfg);
+        NetClusAnswer {
+            representatives: provider.site_count(),
+            instance,
+            provider_build: provider.build_time(),
+            solution,
+        }
+    }
+
+    /// Answers a TOPS query with Inc-Greedy over cluster representatives
+    /// (the paper's NETCLUS algorithm).
+    pub fn query(&self, trajs: &TrajectorySet, q: &TopsQuery) -> NetClusAnswer {
+        let (p, provider) = self.build_provider(q.tau, trajs.id_bound());
+        let mut answer = self.query_on(&provider, p, q);
+        answer.solution.elapsed += provider.build_time();
+        answer
     }
 
     /// Answers a TOPS query in the presence of already-deployed services at
@@ -243,8 +437,7 @@ impl NetClusIndex {
         existing: &[NodeId],
     ) -> NetClusAnswer {
         use crate::detour::{DetourEngine, DetourModel};
-        let p = self.instance_for(q.tau);
-        let provider = ClusteredProvider::build(self.instance(p), q.tau, trajs.id_bound());
+        let (p, provider) = self.build_provider(q.tau, trajs.id_bound());
         // Exact coverage of the deployed services (|ES| bounded searches).
         let mut seed = vec![0.0f64; trajs.id_bound()];
         let mut eng = DetourEngine::new(net, DetourModel::RoundTrip);
@@ -285,18 +478,10 @@ impl NetClusIndex {
             q.preference.is_binary(),
             "FM-NetClus requires the binary preference (paper Sec. 5.1)"
         );
-        let p = self.instance_for(q.tau);
-        let provider = ClusteredProvider::build(self.instance(p), q.tau, trajs.id_bound());
-        let mut cfg = fm.clone();
-        cfg.k = q.k;
-        let mut solution = fm_greedy(&provider, &cfg);
-        solution.elapsed += provider.build_time();
-        NetClusAnswer {
-            representatives: provider.site_count(),
-            instance: p,
-            provider_build: provider.build_time(),
-            solution,
-        }
+        let (p, provider) = self.build_provider(q.tau, trajs.id_bound());
+        let mut answer = self.query_fm_on(&provider, p, q, fm);
+        answer.solution.elapsed += provider.build_time();
+        answer
     }
 }
 
@@ -363,8 +548,8 @@ mod tests {
             let rep = provider.site_node(i);
             let exact: std::collections::BTreeMap<TrajId, f64> =
                 eng.site_coverage(&trajs, rep, tau).into_iter().collect();
-            for &(tj, est) in provider.covered(i) {
-                let true_d = exact.get(&tj).copied();
+            for (tj, est) in provider.covered(i).iter() {
+                let true_d = exact.get(&TrajId(tj)).copied();
                 assert!(
                     true_d.is_some(),
                     "rep {rep:?} claims {tj:?} at d̂r={est} but exact > τ"
@@ -376,6 +561,73 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn parallel_provider_build_is_bit_identical() {
+        let (net, trajs, sites) = fixture();
+        let idx = index(&net, &trajs, &sites);
+        for tau in [300.0, 800.0, 2_500.0] {
+            let p = idx.instance_for(tau);
+            let seq = ClusteredProvider::build(idx.instance(p), tau, trajs.id_bound());
+            let mut scratch = ProviderScratch::default();
+            for threads in [2usize, 4, 8] {
+                let par = ClusteredProvider::build_with(
+                    idx.instance(p),
+                    tau,
+                    trajs.id_bound(),
+                    threads,
+                    &mut scratch,
+                );
+                assert_eq!(seq.site_count(), par.site_count());
+                for i in 0..seq.site_count() {
+                    assert_eq!(seq.site_node(i), par.site_node(i));
+                    assert_eq!(seq.cluster_of(i), par.cluster_of(i));
+                    assert_eq!(seq.covered(i), par.covered(i), "τ={tau} row {i}");
+                }
+                for j in 0..trajs.id_bound() {
+                    let tj = TrajId(j as u32);
+                    assert_eq!(seq.covering(tj), par.covering(tj), "τ={tau} SC {j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_across_different_taus_is_clean() {
+        // A stale stamp from a previous τ must never leak coverage into a
+        // later build (the scratch is versioned, not cleared).
+        let (net, trajs, sites) = fixture();
+        let idx = index(&net, &trajs, &sites);
+        let mut scratch = ProviderScratch::default();
+        let taus = [3_000.0, 250.0, 1_200.0, 250.0];
+        for &tau in &taus {
+            let p = idx.instance_for(tau);
+            let fresh = ClusteredProvider::build(idx.instance(p), tau, trajs.id_bound());
+            let reused = ClusteredProvider::build_with(
+                idx.instance(p),
+                tau,
+                trajs.id_bound(),
+                1,
+                &mut scratch,
+            );
+            for i in 0..fresh.site_count() {
+                assert_eq!(fresh.covered(i), reused.covered(i), "τ={tau} row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn query_on_matches_query() {
+        let (net, trajs, sites) = fixture();
+        let idx = index(&net, &trajs, &sites);
+        let q = TopsQuery::binary(2, 800.0);
+        let one_shot = idx.query(&trajs, &q);
+        let (p, provider) = idx.build_provider(q.tau, trajs.id_bound());
+        let split = idx.query_on(&provider, p, &q);
+        assert_eq!(one_shot.solution.sites, split.solution.sites);
+        assert_eq!(one_shot.instance, split.instance);
+        assert!((one_shot.solution.utility - split.solution.utility).abs() < 1e-12);
     }
 
     #[test]
@@ -501,11 +753,11 @@ mod tests {
         let idx = index(&net, &trajs, &sites);
         let provider = ClusteredProvider::build(idx.instance(1), 600.0, trajs.id_bound());
         for i in 0..provider.site_count() {
-            for &(tj, d) in provider.covered(i) {
+            for (tj, d) in provider.covered(i).iter() {
                 assert!(provider
-                    .covering(tj)
+                    .covering(TrajId(tj))
                     .iter()
-                    .any(|&(si, d2)| si as usize == i && d2 == d));
+                    .any(|(si, d2)| si as usize == i && d2 == d));
             }
         }
         assert!(provider.heap_size_bytes() > 0);

@@ -74,10 +74,8 @@ impl NetClusIndex {
             for &(ci, d) in &cc {
                 inst.clusters[ci as usize].traj_list.push((id, d));
             }
-            if inst.traj_clusters.len() <= id.index() {
-                inst.traj_clusters.resize(id.index() + 1, Vec::new());
-            }
-            inst.traj_clusters[id.index()] = cc;
+            inst.traj_clusters.ensure_rows(id.index() + 1);
+            inst.traj_clusters.set_row(id.index(), &cc);
         }
     }
 
@@ -85,16 +83,19 @@ impl NetClusIndex {
     /// never indexed (no-op).
     pub fn remove_trajectory(&mut self, id: TrajId) {
         for inst in &mut self.instances {
-            let Some(cc) = inst.traj_clusters.get_mut(id.index()) else {
+            if id.index() >= inst.traj_clusters.row_count() {
                 continue;
-            };
-            let cc = std::mem::take(cc);
-            for &(ci, _) in &cc {
+            }
+            // Disjoint field borrows: the CC row is read while the cluster
+            // trajectory lists are edited.
+            let row = inst.traj_clusters.row(id.index());
+            for &ci in row.ids {
                 let list = &mut inst.clusters[ci as usize].traj_list;
                 if let Some(pos) = list.iter().position(|&(t, _)| t == id) {
                     list.swap_remove(pos);
                 }
             }
+            inst.traj_clusters.clear_row(id.index());
         }
     }
 
@@ -110,10 +111,8 @@ impl NetClusIndex {
                 for &(ci, d) in &cc {
                     inst.clusters[ci as usize].traj_list.push((id, d));
                 }
-                if inst.traj_clusters.len() <= id.index() {
-                    inst.traj_clusters.resize(id.index() + 1, Vec::new());
-                }
-                inst.traj_clusters[id.index()] = cc;
+                inst.traj_clusters.ensure_rows(id.index() + 1);
+                inst.traj_clusters.set_row(id.index(), &cc);
             }
         }
     }

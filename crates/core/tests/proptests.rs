@@ -7,7 +7,7 @@
 
 use netclus::prelude::*;
 use netclus_roadnet::{NodeId, Point, RoadNetwork, RoadNetworkBuilder};
-use netclus_trajectory::{Trajectory, TrajectorySet};
+use netclus_trajectory::{TrajId, Trajectory, TrajectorySet};
 use proptest::prelude::*;
 
 /// A random strongly-connected network: ring + chords, with edge weights in
@@ -93,10 +93,10 @@ proptest! {
         let cov = CoverageIndex::build(&net, &trajs, &sites, tau, DetourModel::RoundTrip, 1);
         for i in 0..cov.site_count() {
             let list = cov.covered(i);
-            prop_assert!(list.windows(2).all(|w| w[0].1 <= w[1].1), "TC not sorted");
-            for &(tj, d) in list {
+            prop_assert!(list.dists.windows(2).all(|w| w[0] <= w[1]), "TC not sorted");
+            for (tj, d) in list.iter() {
                 prop_assert!(d <= tau);
-                prop_assert!(cov.covering(tj).iter().any(|&(si, d2)| si as usize == i && d2 == d));
+                prop_assert!(cov.covering(TrajId(tj)).iter().any(|(si, d2)| si as usize == i && d2 == d));
             }
         }
     }
@@ -110,8 +110,8 @@ proptest! {
         let cov = CoverageIndex::build(&net, &trajs, &sites, tau, DetourModel::RoundTrip, 1);
         let mut eng = DetourEngine::new(&net, DetourModel::RoundTrip);
         for (i, &s) in sites.iter().enumerate() {
-            for &(tj, d) in cov.covered(i) {
-                let exact = eng.detour_exact(trajs.get(tj).unwrap(), s)
+            for (tj, d) in cov.covered(i).iter() {
+                let exact = eng.detour_exact(trajs.get(TrajId(tj)).unwrap(), s)
                     .expect("covered ⇒ reachable");
                 prop_assert!((d - exact).abs() < 1e-9,
                     "site {s:?} traj {tj:?}: coverage {d} vs exact {exact}");
@@ -248,5 +248,79 @@ proptest! {
         let greedy_sol = inc_greedy(&cov, &GreedyConfig::binary(k, tau));
         prop_assert!((cost_sol.utility - greedy_sol.utility).abs() < 1e-9);
         prop_assert!(cost_sol.site_indices.len() <= k);
+    }
+
+    /// The CSR-arena coverage provider is element-for-element equal to a
+    /// reference `Vec<Vec<_>>` build on random corpora — both directions,
+    /// bitwise distances — and parallel `CoverageIndex::build` matches.
+    #[test]
+    fn arena_providers_equal_reference_layout(inst in instance_strategy(), tau in 100.0f64..2500.0) {
+        let (net, trajs) = build(&inst);
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let cov = CoverageIndex::build(&net, &trajs, &sites, tau, DetourModel::RoundTrip, 1);
+        // Reference layout built independently from per-site exact queries.
+        let mut eng = DetourEngine::new(&net, DetourModel::RoundTrip);
+        let rows: Vec<Vec<(u32, f64)>> = sites.iter()
+            .map(|&s| eng.site_coverage(&trajs, s, tau)
+                .into_iter().map(|(tj, d)| (tj.0, d)).collect())
+            .collect();
+        let reference = ReferenceProvider::with_nodes(trajs.id_bound(), rows, sites.clone());
+        prop_assert_eq!(cov.site_count(), reference.site_count());
+        for i in 0..cov.site_count() {
+            let (a, b) = (cov.covered(i), reference.covered(i));
+            prop_assert_eq!(a.ids, b.ids, "TC ids row {}", i);
+            let bits = |d: &[f64]| d.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+            prop_assert_eq!(bits(a.dists), bits(b.dists), "TC dists row {}", i);
+        }
+        for j in 0..trajs.id_bound() {
+            let tj = TrajId(j as u32);
+            prop_assert_eq!(cov.covering(tj), reference.covering(tj), "SC row {}", j);
+        }
+        // Parallel exact-coverage build is bit-identical too.
+        for threads in [2usize, 4, 8] {
+            let par = CoverageIndex::build(&net, &trajs, &sites, tau, DetourModel::RoundTrip, threads);
+            for i in 0..cov.site_count() {
+                prop_assert_eq!(cov.covered(i), par.covered(i), "threads {} TC {}", threads, i);
+            }
+        }
+    }
+
+    /// Parallel `ClusteredProvider::build` (threads ∈ {1, 2, 4, 8}) is
+    /// bit-identical to the sequential build, including under scratch
+    /// reuse, and the resulting top-k solutions are identical.
+    #[test]
+    fn parallel_clustered_provider_is_bit_identical(
+        inst in instance_strategy(),
+        tau in 400.0f64..4000.0,
+        k in 1usize..5,
+    ) {
+        let (net, trajs) = build(&inst);
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let index = NetClusIndex::build(&net, &trajs, &sites, NetClusConfig {
+            tau_min: 400.0, tau_max: 4_000.0, threads: 1, ..Default::default()
+        });
+        let p = index.instance_for(tau);
+        let seq = ClusteredProvider::build(index.instance(p), tau, trajs.id_bound());
+        let mut scratch = ProviderScratch::default();
+        for threads in [1usize, 2, 4, 8] {
+            let par = ClusteredProvider::build_with(
+                index.instance(p), tau, trajs.id_bound(), threads, &mut scratch);
+            prop_assert_eq!(seq.site_count(), par.site_count(), "threads {}", threads);
+            for i in 0..seq.site_count() {
+                prop_assert_eq!(seq.site_node(i), par.site_node(i));
+                let (a, b) = (seq.covered(i), par.covered(i));
+                prop_assert_eq!(a.ids, b.ids, "threads {} TC ids {}", threads, i);
+                let bits = |d: &[f64]| d.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                prop_assert_eq!(bits(a.dists), bits(b.dists), "threads {} TC dists {}", threads, i);
+            }
+            for j in 0..trajs.id_bound() {
+                let tj = TrajId(j as u32);
+                prop_assert_eq!(seq.covering(tj), par.covering(tj), "threads {} SC {}", threads, j);
+            }
+            let q = TopsQuery::binary(k, tau);
+            let a = index.query_on(&seq, p, &q);
+            let b = index.query_on(&par, p, &q);
+            prop_assert_eq!(a.solution.sites, b.solution.sites, "threads {}", threads);
+        }
     }
 }

@@ -48,6 +48,14 @@ const NO_PARENT: u32 = u32::MAX;
 
 /// Reusable single-source Dijkstra solver.
 ///
+/// Per-node state is one distance plus one `u64` stamp encoding both the
+/// run version and the tentative/settled phase (`2·version` = tentative,
+/// `2·version + 1` = settled) — a single array walk per relaxation instead
+/// of the two separate stamp arrays a naive layout needs. Heap and
+/// reached-list capacity is carried over from the previous run's ball
+/// size, so steady-state bounded runs (hundreds of thousands per index
+/// build) allocate nothing.
+///
 /// # Example
 /// ```
 /// use netclus_roadnet::{DijkstraEngine, RoadNetworkBuilder, Point, NodeId};
@@ -70,12 +78,16 @@ const NO_PARENT: u32 = u32::MAX;
 #[derive(Clone, Debug)]
 pub struct DijkstraEngine {
     dist: Vec<f64>,
-    settled_stamp: Vec<u32>,
-    tentative_stamp: Vec<u32>,
+    /// `2·version` = tentative this run, `2·version + 1` = settled this
+    /// run, anything smaller = stale. A `u64` cannot overflow in practice
+    /// (2⁶³ runs).
+    stamp: Vec<u64>,
     parent: Vec<u32>,
-    version: u32,
+    version: u64,
     heap: BinaryHeap<HeapEntry>,
     reached: Vec<NodeId>,
+    /// Ball size of the previous run — the capacity hint for this one.
+    prev_ball: usize,
     track_parents: bool,
 }
 
@@ -84,12 +96,12 @@ impl DijkstraEngine {
     pub fn new(n: usize) -> Self {
         DijkstraEngine {
             dist: vec![f64::INFINITY; n],
-            settled_stamp: vec![0; n],
-            tentative_stamp: vec![0; n],
+            stamp: vec![0; n],
             parent: vec![NO_PARENT; n],
             version: 0,
             heap: BinaryHeap::new(),
             reached: Vec::new(),
+            prev_ball: 0,
             track_parents: false,
         }
     }
@@ -127,14 +139,23 @@ impl DijkstraEngine {
             self.dist.len(),
             csr.node_count()
         );
-        self.begin_run();
-        let v = self.version;
+        self.version += 1;
+        let tentative = self.version << 1;
+        let settled = tentative | 1;
         self.heap.clear();
         self.reached.clear();
+        // Capacity hint from the previous run: bounded balls from nearby
+        // sources have similar sizes, so steady state allocates nothing.
+        if self.heap.capacity() < self.prev_ball {
+            self.heap.reserve(self.prev_ball);
+        }
+        if self.reached.capacity() < self.prev_ball {
+            self.reached.reserve(self.prev_ball);
+        }
 
         let s = source.index();
         self.dist[s] = 0.0;
-        self.tentative_stamp[s] = v;
+        self.stamp[s] = tentative;
         if self.track_parents {
             self.parent[s] = NO_PARENT;
         }
@@ -145,29 +166,31 @@ impl DijkstraEngine {
 
         while let Some(HeapEntry { dist, node }) = self.heap.pop() {
             let u = node as usize;
-            if self.settled_stamp[u] == v {
+            if self.stamp[u] == settled {
                 continue; // stale entry
             }
             if dist > bound {
                 break; // min-heap ⇒ everything left exceeds the bound
             }
-            self.settled_stamp[u] = v;
+            self.stamp[u] = settled;
             self.reached.push(NodeId(node));
             if stop(NodeId(node), dist) {
                 break;
             }
             for (nbr, w) in csr.neighbors(NodeId(node)) {
                 let t = nbr.index();
-                if self.settled_stamp[t] == v {
+                if self.stamp[t] == settled {
                     continue;
                 }
                 let nd = dist + w;
                 if nd > bound {
                     continue; // keep the heap small
                 }
-                if self.tentative_stamp[t] != v || nd < self.dist[t] {
+                // Pre-push check: a node whose tentative distance is
+                // already at least as good never enters the heap again.
+                if self.stamp[t] < tentative || nd < self.dist[t] {
                     self.dist[t] = nd;
-                    self.tentative_stamp[t] = v;
+                    self.stamp[t] = tentative;
                     if self.track_parents {
                         self.parent[t] = node;
                     }
@@ -178,12 +201,13 @@ impl DijkstraEngine {
                 }
             }
         }
+        self.prev_ball = self.reached.len();
     }
 
     /// Distance to `v` from the last run's source, if `v` was settled.
     #[inline]
     pub fn distance(&self, v: NodeId) -> Option<f64> {
-        if self.settled_stamp[v.index()] == self.version {
+        if self.stamp[v.index()] == (self.version << 1 | 1) {
             Some(self.dist[v.index()])
         } else {
             None
@@ -215,22 +239,9 @@ impl DijkstraEngine {
         Some(path)
     }
 
-    fn begin_run(&mut self) {
-        if self.version == u32::MAX {
-            // Stamp wrap-around: reset all stamps once every 2^32 runs.
-            self.settled_stamp.fill(0);
-            self.tentative_stamp.fill(0);
-            self.version = 0;
-        }
-        self.version += 1;
-    }
-
     /// Approximate heap footprint in bytes of the engine's buffers.
     pub fn heap_size_bytes(&self) -> usize {
-        self.dist.capacity() * 8
-            + self.settled_stamp.capacity() * 4
-            + self.tentative_stamp.capacity() * 4
-            + self.parent.capacity() * 4
+        self.dist.capacity() * 8 + self.stamp.capacity() * 8 + self.parent.capacity() * 4
     }
 }
 

@@ -31,12 +31,13 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use netclus::{FmGreedyConfig, TopsQuery};
+use netclus::{FmGreedyConfig, ProviderScratch, TopsQuery};
 use netclus_roadnet::NodeId;
 use netclus_trajectory::TrajectorySet;
 
 use crate::cache::{QueryKey, ShardedCache};
 use crate::metrics::{MetricsClock, MetricsReport};
+use crate::provider_cache::{quantize_tau, ProviderCache, ProviderKey};
 use crate::snapshot::{SnapshotStore, UpdateBatch, UpdateReceipt};
 
 /// Which solver answers the query.
@@ -163,6 +164,14 @@ pub struct ServiceConfig {
     pub cache_capacity: usize,
     /// Result-cache shard count.
     pub cache_shards: usize,
+    /// Provider-cache capacity (built `ClusteredProvider`s kept across
+    /// queries with the same `(epoch, instance, quantized τ)`).
+    pub provider_cache_capacity: usize,
+    /// Threads used to build one clustered provider on a cache miss.
+    /// Workers already parallelize across queries, so the default of 1
+    /// avoids oversubscription; raise it for low-concurrency deployments
+    /// where single-query latency dominates.
+    pub provider_build_threads: usize,
 }
 
 impl Default for ServiceConfig {
@@ -173,6 +182,8 @@ impl Default for ServiceConfig {
             max_batch: 16,
             cache_capacity: 1_024,
             cache_shards: 8,
+            provider_cache_capacity: 32,
+            provider_build_threads: 1,
         }
     }
 }
@@ -209,6 +220,7 @@ struct Inner {
     stopping: AtomicBool,
     store: SnapshotStore,
     cache: ShardedCache,
+    providers: ProviderCache,
     clock: MetricsClock,
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
@@ -235,6 +247,7 @@ impl NetClusService {
             stopping: AtomicBool::new(false),
             store: SnapshotStore::new(net, trajs, index),
             cache: ShardedCache::new(cfg.cache_capacity, cfg.cache_shards),
+            providers: ProviderCache::new(cfg.provider_cache_capacity),
             clock: MetricsClock::default(),
             queue: Mutex::new(QueueState {
                 jobs: VecDeque::new(),
@@ -260,7 +273,15 @@ impl NetClusService {
 
     /// Submits a request. On success the returned handle resolves to the
     /// answer; rejected requests fail fast with [`SubmitError`].
-    pub fn submit(&self, request: ServiceRequest) -> Result<ResponseHandle, SubmitError> {
+    ///
+    /// τ is normalized to millimeters at admission
+    /// ([`crate::provider_cache::quantize_tau`]), so the result cache, the
+    /// provider cache and the computation all agree on the effective
+    /// threshold.
+    pub fn submit(&self, mut request: ServiceRequest) -> Result<ResponseHandle, SubmitError> {
+        // Quantize before validating so a τ that rounds to zero is
+        // rejected rather than served with a silently different meaning.
+        request.query.tau = quantize_tau(request.query.tau);
         validate(&request)?;
         let inner = &*self.inner;
         let metrics = &inner.clock.metrics;
@@ -352,6 +373,7 @@ impl NetClusService {
         let t = Instant::now();
         let receipt = self.inner.store.apply(&batch);
         self.inner.cache.invalidate_before(receipt.epoch);
+        self.inner.providers.invalidate_before(receipt.epoch);
         let metrics = &self.inner.clock.metrics;
         metrics.update_latency.record(t.elapsed());
         metrics.epoch_advances.fetch_add(1, Ordering::Relaxed);
@@ -379,6 +401,7 @@ impl NetClusService {
             self.inner.store.epoch(),
             self.inner.cfg.workers.max(1),
             self.inner.cache.stats(),
+            self.inner.providers.stats(),
         )
     }
 
@@ -429,8 +452,12 @@ fn validate(request: &ServiceRequest) -> Result<(), SubmitError> {
 }
 
 /// Worker main loop: drain a batch, pin one snapshot, answer each job.
+/// Each worker owns one [`ProviderScratch`], reused across every provider
+/// build it ever performs — the per-query allocations of the old path are
+/// gone.
 fn worker_loop(inner: &Inner) {
     let metrics = &inner.clock.metrics;
+    let mut scratch = ProviderScratch::default();
     loop {
         let batch: Vec<FlightKey> = {
             let mut queue = inner.queue.lock().expect("queue lock poisoned");
@@ -468,10 +495,31 @@ fn worker_loop(inner: &Inner) {
                 Some(hit) => hit,
                 None => {
                     let t = Instant::now();
+                    // Provider first: cached per (epoch, instance, τ), so
+                    // any k/ψ/variant at a warm threshold skips the build.
+                    let p = snap.index().instance_for(query.tau);
+                    let provider_key = ProviderKey::new(snap.epoch(), p, query.tau);
+                    let provider = match inner.providers.get(&provider_key) {
+                        Some(hit) => hit,
+                        None => {
+                            let build_start = Instant::now();
+                            let built = Arc::new(netclus::ClusteredProvider::build_with(
+                                snap.index().instance(p),
+                                query.tau,
+                                snap.trajs().id_bound(),
+                                inner.cfg.provider_build_threads.max(1),
+                                &mut scratch,
+                            ));
+                            metrics.provider_build.record(build_start.elapsed());
+                            inner.providers.insert(provider_key, Arc::clone(&built));
+                            built
+                        }
+                    };
                     let raw = match variant {
-                        QueryVariant::Greedy => snap.index().query(snap.trajs(), &query),
-                        QueryVariant::Fm { copies, seed } => snap.index().query_fm(
-                            snap.trajs(),
+                        QueryVariant::Greedy => snap.index().query_on(&provider, p, &query),
+                        QueryVariant::Fm { copies, seed } => snap.index().query_fm_on(
+                            &provider,
+                            p,
                             &query,
                             &FmGreedyConfig {
                                 k: query.k,
@@ -640,6 +688,58 @@ mod tests {
     }
 
     #[test]
+    fn provider_cache_shared_across_k_and_variants() {
+        let svc = service(1);
+        for k in 1..=4 {
+            svc.query_blocking(ServiceRequest::greedy(TopsQuery::binary(k, 800.0)))
+                .unwrap();
+        }
+        // FM at the same τ reuses the same provider.
+        svc.query_blocking(ServiceRequest::fm(TopsQuery::binary(2, 800.0), 30, 1))
+            .unwrap();
+        let report = svc.metrics_report();
+        assert_eq!(
+            report.providers.misses, 1,
+            "τ=800 must build exactly once: {:?}",
+            report.providers
+        );
+        assert!(report.providers.hits >= 4);
+        assert!(report.provider_hit_rate() > 0.5);
+        assert_eq!(report.provider_build.count, 1);
+        // Admission-time quantization: a bitwise-noisy τ still hits.
+        svc.query_blocking(ServiceRequest::greedy(TopsQuery::binary(5, 800.000_000_1)))
+            .unwrap();
+        assert_eq!(svc.metrics_report().providers.misses, 1);
+        // A different (quantized) τ is a genuine miss.
+        svc.query_blocking(ServiceRequest::greedy(TopsQuery::binary(1, 900.0)))
+            .unwrap();
+        assert_eq!(svc.metrics_report().providers.misses, 2);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn epoch_advance_invalidates_provider_cache() {
+        let svc = service(1);
+        svc.query_blocking(ServiceRequest::greedy(TopsQuery::binary(1, 800.0)))
+            .unwrap();
+        assert_eq!(svc.metrics_report().providers.entries, 1);
+        svc.apply_updates(vec![UpdateOp::AddTrajectory(Trajectory::new(vec![
+            NodeId(0),
+            NodeId(1),
+        ]))]);
+        let report = svc.metrics_report();
+        assert_eq!(report.providers.entries, 0, "stale provider survived");
+        assert_eq!(report.providers.invalidated, 1);
+        // The next query at the same τ rebuilds against the new epoch.
+        let after = svc
+            .query_blocking(ServiceRequest::greedy(TopsQuery::binary(2, 800.0)))
+            .unwrap();
+        assert_eq!(after.epoch, 1);
+        assert_eq!(svc.metrics_report().providers.misses, 2);
+        svc.shutdown();
+    }
+
+    #[test]
     fn invalid_requests_fail_fast() {
         let svc = service(1);
         assert!(matches!(
@@ -648,6 +748,12 @@ mod tests {
         ));
         assert!(matches!(
             svc.submit(ServiceRequest::greedy(TopsQuery::binary(1, -5.0))),
+            Err(SubmitError::Invalid(_))
+        ));
+        // τ below the millimeter quantum rounds to 0 and must be rejected,
+        // not served with a silently different threshold.
+        assert!(matches!(
+            svc.submit(ServiceRequest::greedy(TopsQuery::binary(1, 1e-4))),
             Err(SubmitError::Invalid(_))
         ));
         assert!(matches!(

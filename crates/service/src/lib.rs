@@ -21,9 +21,15 @@
 //! * [`cache`] — a **sharded LRU result cache** keyed on
 //!   `(k, τ, ψ, variant, epoch)`. Epoch advance invalidates stale entries;
 //!   hit/miss/eviction counters feed the metrics report.
-//! * [`metrics`] — latency histogram, throughput, queue depth and cache
-//!   statistics, exposed as a [`MetricsReport`] serializable to
-//!   single-line JSON.
+//! * [`provider_cache`] — an LRU cache of built
+//!   [`ClusteredProvider`](netclus::ClusteredProvider)s keyed
+//!   `(epoch, instance, quantized τ)`. The provider is the expensive part
+//!   of a NetClus query and depends on neither `k` nor ψ, so repeated
+//!   thresholds skip the rebuild entirely; τ is quantized to millimeters
+//!   at admission so the key and the computation agree.
+//! * [`metrics`] — latency histogram, throughput, queue depth, cache and
+//!   provider-cache statistics plus provider-build latency, exposed as a
+//!   [`MetricsReport`] serializable to single-line JSON.
 //!
 //! ## Quick start
 //!
@@ -84,6 +90,7 @@
 pub mod cache;
 pub mod executor;
 pub mod metrics;
+pub mod provider_cache;
 pub mod snapshot;
 
 pub use cache::{CacheStats, QueryKey, ShardedCache};
@@ -94,6 +101,7 @@ pub use executor::{
 pub use metrics::{
     IngestMetrics, IngestReport, LatencyHistogram, LatencySummary, MetricsReport, ServiceMetrics,
 };
+pub use provider_cache::{quantize_tau, ProviderCache, ProviderCacheStats, ProviderKey};
 pub use snapshot::{Snapshot, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
 
 /// Compile-time audit that everything crossing thread boundaries is
@@ -110,6 +118,7 @@ fn send_sync_audit() {
     assert_send_sync::<SnapshotStore>();
     assert_send_sync::<UpdateOp>();
     assert_send_sync::<ShardedCache>();
+    assert_send_sync::<ProviderCache>();
     assert_send_sync::<ServiceAnswer>();
     assert_send_sync::<ServiceMetrics>();
     assert_send_sync::<NetClusService>();

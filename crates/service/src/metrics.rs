@@ -10,6 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::cache::CacheStats;
+use crate::provider_cache::ProviderCacheStats;
 
 /// Number of power-of-two latency buckets (bucket `i` holds samples with
 /// `floor(log2(micros)) == i`; bucket 0 also holds sub-microsecond ones).
@@ -138,6 +139,9 @@ pub struct ServiceMetrics {
     /// Update-path latency (copy-on-write apply → epoch published), so
     /// ingest batches are observable alongside query latency.
     pub update_latency: LatencyHistogram,
+    /// Clustered-provider build latency (one sample per provider-cache
+    /// miss; hits skip the build entirely).
+    pub provider_build: LatencyHistogram,
 }
 
 impl ServiceMetrics {
@@ -160,6 +164,7 @@ impl ServiceMetrics {
         epoch: u64,
         workers: usize,
         cache: CacheStats,
+        providers: ProviderCacheStats,
     ) -> MetricsReport {
         let completed = self.completed.load(Ordering::Relaxed);
         let secs = elapsed.as_secs_f64();
@@ -185,7 +190,9 @@ impl ServiceMetrics {
             updates_applied: self.updates_applied.load(Ordering::Relaxed),
             latency: self.latency.summary(),
             update_latency: self.update_latency.summary(),
+            provider_build: self.provider_build.summary(),
             cache,
+            providers,
         }
     }
 }
@@ -227,8 +234,12 @@ pub struct MetricsReport {
     pub latency: LatencySummary,
     /// Update-path (apply → publish) latency summary.
     pub update_latency: LatencySummary,
+    /// Clustered-provider build latency summary (cache misses only).
+    pub provider_build: LatencySummary,
     /// Result-cache counters.
     pub cache: CacheStats,
+    /// Provider-cache counters.
+    pub providers: ProviderCacheStats,
 }
 
 impl MetricsReport {
@@ -238,6 +249,16 @@ impl MetricsReport {
             0.0
         } else {
             self.batched_requests as f64 / self.batches as f64
+        }
+    }
+
+    /// Provider-cache hit rate in [0, 1] (0 when no lookups happened).
+    pub fn provider_hit_rate(&self) -> f64 {
+        let total = self.providers.hits + self.providers.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.providers.hits as f64 / total as f64
         }
     }
 
@@ -269,6 +290,27 @@ impl MetricsReport {
         push_u64(&mut s, "update_p50_us", self.update_latency.p50_micros);
         push_u64(&mut s, "update_p99_us", self.update_latency.p99_micros);
         push_u64(&mut s, "update_max_us", self.update_latency.max_micros);
+        push_u64(
+            &mut s,
+            "provider_build_mean_us",
+            self.provider_build.mean_micros,
+        );
+        push_u64(
+            &mut s,
+            "provider_build_p50_us",
+            self.provider_build.p50_micros,
+        );
+        push_u64(
+            &mut s,
+            "provider_build_p99_us",
+            self.provider_build.p99_micros,
+        );
+        push_u64(&mut s, "provider_hits", self.providers.hits);
+        push_u64(&mut s, "provider_misses", self.providers.misses);
+        push_u64(&mut s, "provider_evictions", self.providers.evictions);
+        push_u64(&mut s, "provider_invalidated", self.providers.invalidated);
+        push_u64(&mut s, "provider_entries", self.providers.entries as u64);
+        push_f64(&mut s, "provider_hit_rate", self.provider_hit_rate());
         push_u64(&mut s, "cache_hits", self.cache.hits);
         push_u64(&mut s, "cache_misses", self.cache.misses);
         push_u64(&mut s, "cache_evictions", self.cache.evictions);
@@ -517,6 +559,11 @@ mod tests {
                 invalidated: 0,
                 entries: 2,
             },
+            ProviderCacheStats {
+                hits: 3,
+                misses: 1,
+                ..Default::default()
+            },
         );
         let json = report.to_json_line();
         assert!(!json.contains('\n'));
@@ -526,6 +573,8 @@ mod tests {
         assert!(json.contains("\"throughput_qps\":1.500"));
         assert!(json.contains("\"cache_hits\":1"));
         assert!(json.contains("\"epoch\":5"));
+        assert!(json.contains("\"provider_hits\":3"));
+        assert!(json.contains("\"provider_hit_rate\":0.750"));
     }
 
     #[test]
@@ -536,9 +585,13 @@ mod tests {
             .update_latency
             .record(Duration::from_micros(80));
         clock.metrics.epoch_advances.fetch_add(1, Ordering::Relaxed);
-        let report = clock
-            .metrics
-            .report(Duration::from_secs(1), 1, 1, CacheStats::default());
+        let report = clock.metrics.report(
+            Duration::from_secs(1),
+            1,
+            1,
+            CacheStats::default(),
+            ProviderCacheStats::default(),
+        );
         assert_eq!(report.update_latency.count, 1);
         let json = report.to_json_line();
         assert!(json.contains("\"update_p50_us\":"));

@@ -1,0 +1,272 @@
+//! LRU cache of built [`ClusteredProvider`]s keyed `(epoch, instance,
+//! quantized τ)`.
+//!
+//! Building the clustered view is the dominant cost of a NetClus query —
+//! the greedy itself runs over `η_p` representatives in microseconds. The
+//! provider depends only on the index instance (fixed per epoch) and the
+//! threshold `τ`, **not** on `k` or ψ, so one built provider serves every
+//! query shape at that threshold: dashboards that sweep `k` at a fixed τ,
+//! or A/B the preference function, skip the rebuild entirely.
+//!
+//! τ is quantized to millimeters ([`quantize_tau`]) before it reaches the
+//! solver *and* the key, so bitwise-noisy but semantically identical
+//! thresholds (`800.0` vs `800.0000001`) share an entry without ever
+//! serving a provider built for a different effective τ — the quantized
+//! value is the one the query is answered with.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use netclus::ClusteredProvider;
+
+/// Quantizes a query threshold to millimeters. The serving layer applies
+/// this once at admission, so the cache key and the computation always
+/// agree on the effective τ. Thresholds are meters at city scale —
+/// sub-millimeter differences carry no signal, only cache misses.
+pub fn quantize_tau(tau: f64) -> f64 {
+    (tau * 1_000.0).round() / 1_000.0
+}
+
+/// The cache key: epoch + index instance + quantized-τ bit pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ProviderKey {
+    /// Epoch of the snapshot the provider was built from.
+    pub epoch: u64,
+    /// Index instance `p` serving the threshold.
+    pub instance: u32,
+    /// The quantized τ, as IEEE-754 bits.
+    pub tau_bits: u64,
+}
+
+impl ProviderKey {
+    /// Builds the key for `tau` (already quantized) against `epoch` and
+    /// instance `p`.
+    pub fn new(epoch: u64, instance: usize, tau: f64) -> Self {
+        ProviderKey {
+            epoch,
+            instance: instance as u32,
+            tau_bits: tau.to_bits(),
+        }
+    }
+}
+
+/// Point-in-time provider-cache counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProviderCacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that missed (each miss is one provider build).
+    pub misses: u64,
+    /// Entries evicted by LRU pressure.
+    pub evictions: u64,
+    /// Entries purged by epoch invalidation.
+    pub invalidated: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Entry {
+    value: Arc<ClusteredProvider>,
+    last_used: u64,
+}
+
+struct Inner {
+    map: HashMap<ProviderKey, Entry>,
+    tick: u64,
+}
+
+/// The provider cache. A single mutex guards the map — lookups are two
+/// orders of magnitude cheaper than the provider builds they elide, and
+/// the entry count is small (instances × distinct thresholds per epoch).
+///
+/// `get`/`insert` are split (rather than a `get_or_build` holding the
+/// lock) so a slow build never blocks other workers' lookups; two workers
+/// racing on the same cold key may both build, and the later insert wins —
+/// both providers are identical, so either answer is correct.
+pub struct ProviderCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    invalidated: AtomicU64,
+}
+
+impl ProviderCache {
+    /// A cache holding at most `capacity` providers (clamped to ≥ 1).
+    pub fn new(capacity: usize) -> Self {
+        ProviderCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            invalidated: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks `key` up, bumping its recency on a hit and the hit/miss
+    /// counters either way.
+    pub fn get(&self, key: &ProviderKey) -> Option<Arc<ClusteredProvider>> {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.last_used = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.value))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts a built provider, evicting the least-recently-used entry if
+    /// the cache is full.
+    pub fn insert(&self, key: ProviderKey, value: Arc<ClusteredProvider>) {
+        let mut inner = self.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+    }
+
+    /// Purges every provider built from an epoch older than `epoch`.
+    /// Returns the number of entries removed.
+    pub fn invalidate_before(&self, epoch: u64) -> usize {
+        let mut inner = self.lock();
+        let before = inner.map.len();
+        inner.map.retain(|k, _| k.epoch >= epoch);
+        let removed = before - inner.map.len();
+        self.invalidated
+            .fetch_add(removed as u64, Ordering::Relaxed);
+        removed
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> ProviderCacheStats {
+        ProviderCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            invalidated: self.invalidated.load(Ordering::Relaxed),
+            entries: self.lock().map.len(),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("provider cache poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclus::prelude::*;
+    use netclus_roadnet::{NodeId, Point, RoadNetworkBuilder};
+    use netclus_trajectory::{Trajectory, TrajectorySet};
+
+    fn provider() -> Arc<ClusteredProvider> {
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..6 {
+            b.add_node(Point::new(i as f64 * 100.0, 0.0));
+        }
+        for i in 0..5u32 {
+            b.add_two_way(NodeId(i), NodeId(i + 1), 100.0).unwrap();
+        }
+        let net = b.build().unwrap();
+        let mut trajs = TrajectorySet::for_network(&net);
+        trajs.add(Trajectory::new((0..4).map(NodeId).collect()));
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let index = NetClusIndex::build(
+            &net,
+            &trajs,
+            &sites,
+            NetClusConfig {
+                tau_min: 200.0,
+                tau_max: 1_000.0,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let (_, p) = index.build_provider(400.0, trajs.id_bound());
+        Arc::new(p)
+    }
+
+    #[test]
+    fn quantization_is_millimetric_and_idempotent() {
+        assert_eq!(quantize_tau(800.0), 800.0);
+        assert_eq!(quantize_tau(800.000_000_1), 800.0);
+        assert_eq!(quantize_tau(800.0004), 800.0);
+        assert_eq!(quantize_tau(800.0006), 800.001);
+        assert_ne!(quantize_tau(800.001), quantize_tau(800.002));
+        for tau in [0.001, 123.456, 99_999.999] {
+            assert_eq!(quantize_tau(quantize_tau(tau)), quantize_tau(tau));
+        }
+    }
+
+    #[test]
+    fn keys_separate_epoch_instance_and_tau() {
+        let base = ProviderKey::new(1, 2, 800.0);
+        assert_eq!(base, ProviderKey::new(1, 2, 800.0));
+        assert_ne!(base, ProviderKey::new(2, 2, 800.0));
+        assert_ne!(base, ProviderKey::new(1, 3, 800.0));
+        assert_ne!(base, ProviderKey::new(1, 2, 800.001));
+        // Quantized-equal taus collapse to the same key.
+        assert_eq!(
+            ProviderKey::new(1, 2, quantize_tau(800.000_000_1)),
+            ProviderKey::new(1, 2, quantize_tau(800.0))
+        );
+    }
+
+    #[test]
+    fn hit_miss_lru_and_invalidation() {
+        let cache = ProviderCache::new(2);
+        let p = provider();
+        let (k1, k2, k3) = (
+            ProviderKey::new(0, 0, 400.0),
+            ProviderKey::new(0, 0, 600.0),
+            ProviderKey::new(0, 1, 800.0),
+        );
+        assert!(cache.get(&k1).is_none());
+        cache.insert(k1, Arc::clone(&p));
+        cache.insert(k2, Arc::clone(&p));
+        assert!(cache.get(&k1).is_some());
+        // k2 is now the LRU victim.
+        cache.insert(k3, Arc::clone(&p));
+        assert!(cache.get(&k2).is_none());
+        assert!(cache.get(&k3).is_some());
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.entries, 2);
+        // Epoch invalidation clears everything below the cutoff (k1 was
+        // already LRU-evicted to make room, leaving one stale entry).
+        cache.insert(ProviderKey::new(3, 0, 400.0), Arc::clone(&p));
+        assert_eq!(cache.invalidate_before(3), 1);
+        assert!(cache.get(&ProviderKey::new(3, 0, 400.0)).is_some());
+        assert_eq!(cache.stats().invalidated, 1);
+    }
+}

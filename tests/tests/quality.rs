@@ -90,8 +90,8 @@ fn utility_is_monotone_submodular_on_real_coverage() {
     let utility_of = |set: &[usize]| -> f64 {
         let mut best = vec![0.0f64; coverage.traj_id_bound()];
         for &i in set {
-            for &(tj, _) in coverage.covered(i) {
-                best[tj.index()] = 1.0;
+            for &tj in coverage.covered(i).ids {
+                best[tj as usize] = 1.0;
             }
         }
         best.iter().sum()

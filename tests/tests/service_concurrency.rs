@@ -69,6 +69,7 @@ fn build_service() -> NetClusService {
             max_batch: 8,
             cache_capacity: 512,
             cache_shards: 8,
+            ..Default::default()
         },
     )
 }
