@@ -1,0 +1,309 @@
+//! Perf-regression gating against committed `BENCH_*` baselines.
+//!
+//! The experiment harness emits single-line JSON records
+//! (`BENCH_QUERY_LATENCY {...}`, `BENCH_INGEST_THROUGHPUT {...}`,
+//! `BENCH_SHARD_SCALING {...}`). CI commits one blessed line per record
+//! under `results/baselines/` and the `check_bench` binary re-runs the
+//! experiment, extracts the fresh line and fails the build when a **gated
+//! metric** regresses by more than the tolerance (default 25%,
+//! overridable with `--tolerance` or `NETCLUS_BENCH_TOLERANCE`).
+//!
+//! Two knobs keep the gate honest on noisy CI runners:
+//!
+//! * only a curated subset of metrics is gated per record (latencies,
+//!   throughputs, quality ratios — not raw counts or configuration
+//!   echoes);
+//! * every gated metric carries an **absolute floor**: a regression below
+//!   the floor is ignored, so a 0 µs → 300 µs flutter on a sub-millisecond
+//!   median cannot fail the build while a real 2× latency regression
+//!   still does.
+
+/// Which way a gated metric is allowed to move.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Direction {
+    /// Larger current values are regressions (latency, memory, ...).
+    LowerIsBetter,
+    /// Smaller current values are regressions (throughput, quality, ...).
+    HigherIsBetter,
+}
+
+/// One metric the gate watches.
+#[derive(Clone, Debug)]
+pub struct GatedMetric {
+    /// JSON key inside the record.
+    pub key: &'static str,
+    /// Regression direction.
+    pub direction: Direction,
+    /// Absolute slack added on top of the relative tolerance.
+    pub floor: f64,
+}
+
+const fn lower(key: &'static str, floor: f64) -> GatedMetric {
+    GatedMetric {
+        key,
+        direction: Direction::LowerIsBetter,
+        floor,
+    }
+}
+
+const fn higher(key: &'static str, floor: f64) -> GatedMetric {
+    GatedMetric {
+        key,
+        direction: Direction::HigherIsBetter,
+        floor,
+    }
+}
+
+/// The gated metrics of a `BENCH_*` record prefix; empty for unknown
+/// prefixes (callers should treat that as a configuration error).
+pub fn gated_metrics(prefix: &str) -> Vec<GatedMetric> {
+    match prefix {
+        "BENCH_QUERY_LATENCY" => vec![
+            lower("latency_mean_us", 500.0),
+            lower("latency_p99_us", 2_000.0),
+            higher("throughput_qps", 100.0),
+            higher("provider_hit_rate", 0.05),
+        ],
+        "BENCH_INGEST_THROUGHPUT" => vec![
+            higher("records_per_sec", 200.0),
+            higher("wal_bytes_per_sec", 20_000.0),
+            lower("match_p99_us", 1_000.0),
+        ],
+        "BENCH_SHARD_SCALING" => vec![
+            higher("speedup_potential_s4", 0.4),
+            higher("min_utility_ratio", 0.02),
+            lower("replication_factor_s4", 0.25),
+            lower("router_p99_us", 3_000.0),
+            higher("router_qps", 50.0),
+        ],
+        _ => Vec::new(),
+    }
+}
+
+/// Extracts the JSON payload of the first line starting with
+/// `prefix + " {"` from `text`.
+pub fn extract_record<'a>(text: &'a str, prefix: &str) -> Option<&'a str> {
+    text.lines().find_map(|line| {
+        let rest = line.strip_prefix(prefix)?.trim_start();
+        rest.starts_with('{').then_some(rest)
+    })
+}
+
+/// Parses the numeric fields of a flat single-line JSON object (the only
+/// shape the harness emits). String values and `null`s are skipped.
+pub fn parse_flat_json(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let inner = json.trim().trim_start_matches('{').trim_end_matches('}');
+    let mut rest = inner;
+    while let Some(open) = rest.find('"') {
+        let Some(close) = rest[open + 1..].find('"') else {
+            break;
+        };
+        let key = &rest[open + 1..open + 1 + close];
+        rest = &rest[open + 2 + close..];
+        let Some(colon) = rest.find(':') else { break };
+        rest = &rest[colon + 1..];
+        let end = rest.find(',').unwrap_or(rest.len());
+        let value = rest[..end].trim();
+        if let Ok(v) = value.parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+        rest = rest.get(end + 1..).unwrap_or("");
+    }
+    out
+}
+
+/// One gated metric's verdict.
+#[derive(Clone, Debug)]
+pub struct Verdict {
+    /// The metric key.
+    pub key: &'static str,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Current value.
+    pub current: f64,
+    /// The worst acceptable current value.
+    pub limit: f64,
+    /// Whether the current value is acceptable.
+    pub pass: bool,
+}
+
+/// Compares the current record against the baseline for `prefix`,
+/// returning one verdict per gated metric.
+///
+/// * a gated key missing from the **current** record is a failure (the
+///   metric disappeared);
+/// * a gated key missing from the **baseline** passes vacuously (a newly
+///   added metric gates only once its baseline is refreshed).
+pub fn compare(
+    prefix: &str,
+    baseline_json: &str,
+    current_json: &str,
+    tolerance: f64,
+) -> Vec<Verdict> {
+    let base: Vec<(String, f64)> = parse_flat_json(baseline_json);
+    let cur: Vec<(String, f64)> = parse_flat_json(current_json);
+    let get = |fields: &[(String, f64)], key: &str| -> Option<f64> {
+        fields.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    };
+    gated_metrics(prefix)
+        .into_iter()
+        .map(|m| {
+            let baseline = get(&base, m.key);
+            let current = get(&cur, m.key);
+            match (baseline, current) {
+                (None, c) => Verdict {
+                    key: m.key,
+                    baseline: f64::NAN,
+                    current: c.unwrap_or(f64::NAN),
+                    limit: f64::NAN,
+                    pass: true,
+                },
+                (Some(b), None) => Verdict {
+                    key: m.key,
+                    baseline: b,
+                    current: f64::NAN,
+                    limit: f64::NAN,
+                    pass: false,
+                },
+                (Some(b), Some(c)) => {
+                    let limit = match m.direction {
+                        Direction::LowerIsBetter => b * (1.0 + tolerance) + m.floor,
+                        Direction::HigherIsBetter => b * (1.0 - tolerance) - m.floor,
+                    };
+                    let pass = match m.direction {
+                        Direction::LowerIsBetter => c <= limit,
+                        Direction::HigherIsBetter => c >= limit,
+                    };
+                    Verdict {
+                        key: m.key,
+                        baseline: b,
+                        current: c,
+                        limit,
+                        pass,
+                    }
+                }
+            }
+        })
+        .collect()
+}
+
+/// The effective tolerance: explicit value, else
+/// `NETCLUS_BENCH_TOLERANCE`, else 0.25.
+pub fn effective_tolerance(explicit: Option<f64>) -> f64 {
+    explicit
+        .or_else(|| {
+            std::env::var("NETCLUS_BENCH_TOLERANCE")
+                .ok()
+                .and_then(|v| v.parse().ok())
+        })
+        .unwrap_or(0.25)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_numeric_fields_and_skips_nulls() {
+        let fields = parse_flat_json("{\"a\":1,\"b\":2.500,\"c\":null,\"d\":-3,\"rate\":0.750}");
+        assert_eq!(
+            fields,
+            vec![
+                ("a".to_string(), 1.0),
+                ("b".to_string(), 2.5),
+                ("d".to_string(), -3.0),
+                ("rate".to_string(), 0.75),
+            ]
+        );
+    }
+
+    #[test]
+    fn extracts_the_prefixed_record() {
+        let text = "noise\nBENCH_QUERY_LATENCY {\"latency_mean_us\":120}\nmore";
+        let rec = extract_record(text, "BENCH_QUERY_LATENCY").unwrap();
+        assert!(rec.starts_with('{'));
+        assert!(extract_record(text, "BENCH_SHARD_SCALING").is_none());
+        // A prefix that is a substring of another line must not match.
+        assert!(extract_record("XBENCH_QUERY_LATENCY {\"a\":1}", "BENCH_QUERY_LATENCY").is_none());
+    }
+
+    #[test]
+    fn lower_is_better_gates_with_tolerance_and_floor() {
+        let base = "{\"latency_mean_us\":1000,\"latency_p99_us\":4000,\"throughput_qps\":500,\"provider_hit_rate\":0.9}";
+        // 20% slower mean: within 25% tolerance.
+        let ok = "{\"latency_mean_us\":1200,\"latency_p99_us\":4000,\"throughput_qps\":500,\"provider_hit_rate\":0.9}";
+        assert!(compare("BENCH_QUERY_LATENCY", base, ok, 0.25)
+            .iter()
+            .all(|v| v.pass));
+        // 3x slower mean: regression.
+        let bad = "{\"latency_mean_us\":3000,\"latency_p99_us\":4000,\"throughput_qps\":500,\"provider_hit_rate\":0.9}";
+        let verdicts = compare("BENCH_QUERY_LATENCY", base, bad, 0.25);
+        let mean = verdicts
+            .iter()
+            .find(|v| v.key == "latency_mean_us")
+            .unwrap();
+        assert!(!mean.pass);
+        assert!(verdicts.iter().filter(|v| !v.pass).count() == 1);
+    }
+
+    #[test]
+    fn floors_absorb_tiny_absolute_flutter() {
+        // A 0 µs baseline (sub-bucket latency) cannot fail on a 300 µs
+        // current value: the 500 µs floor absorbs it.
+        let base = "{\"latency_mean_us\":0,\"latency_p99_us\":63,\"throughput_qps\":9000,\"provider_hit_rate\":0.9}";
+        let cur = "{\"latency_mean_us\":300,\"latency_p99_us\":500,\"throughput_qps\":8000,\"provider_hit_rate\":0.88}";
+        assert!(compare("BENCH_QUERY_LATENCY", base, cur, 0.25)
+            .iter()
+            .all(|v| v.pass));
+    }
+
+    #[test]
+    fn higher_is_better_gates_drops() {
+        let base = "{\"records_per_sec\":10000,\"wal_bytes_per_sec\":1000000,\"match_p99_us\":200}";
+        let bad = "{\"records_per_sec\":5000,\"wal_bytes_per_sec\":1000000,\"match_p99_us\":200}";
+        let verdicts = compare("BENCH_INGEST_THROUGHPUT", base, bad, 0.25);
+        assert!(
+            !verdicts
+                .iter()
+                .find(|v| v.key == "records_per_sec")
+                .unwrap()
+                .pass
+        );
+        let ok = "{\"records_per_sec\":8000,\"wal_bytes_per_sec\":900000,\"match_p99_us\":240}";
+        assert!(compare("BENCH_INGEST_THROUGHPUT", base, ok, 0.25)
+            .iter()
+            .all(|v| v.pass));
+    }
+
+    #[test]
+    fn missing_current_metric_fails_missing_baseline_passes() {
+        let base = "{\"speedup_potential_s4\":3.8,\"min_utility_ratio\":0.99}";
+        let cur = "{\"min_utility_ratio\":0.99,\"replication_factor_s4\":2.2,\"router_p99_us\":100,\"router_qps\":400}";
+        let verdicts = compare("BENCH_SHARD_SCALING", base, cur, 0.25);
+        let speedup = verdicts
+            .iter()
+            .find(|v| v.key == "speedup_potential_s4")
+            .unwrap();
+        assert!(!speedup.pass, "metric vanished from current run");
+        // replication_factor_s4 has no baseline: vacuous pass.
+        let repl = verdicts
+            .iter()
+            .find(|v| v.key == "replication_factor_s4")
+            .unwrap();
+        assert!(repl.pass);
+    }
+
+    #[test]
+    fn tolerance_env_fallback() {
+        assert_eq!(effective_tolerance(Some(0.5)), 0.5);
+        // No env set in tests: default.
+        std::env::remove_var("NETCLUS_BENCH_TOLERANCE");
+        assert_eq!(effective_tolerance(None), 0.25);
+    }
+
+    #[test]
+    fn unknown_prefix_gates_nothing() {
+        assert!(gated_metrics("BENCH_UNKNOWN").is_empty());
+    }
+}

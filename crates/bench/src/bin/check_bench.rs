@@ -1,0 +1,125 @@
+//! CI perf-regression gate: compare a fresh `BENCH_*` record against the
+//! committed baseline and fail on regression.
+//!
+//! ```text
+//! check_bench --prefix BENCH_QUERY_LATENCY \
+//!             --baseline results/baselines/query_latency.json \
+//!             --current /tmp/query.out [--tolerance 0.25]
+//! ```
+//!
+//! Both files may contain arbitrary harness output; the first line
+//! starting with the prefix is used. The tolerance defaults to 0.25
+//! (`NETCLUS_BENCH_TOLERANCE` overrides it; the flag wins over the env).
+//! Exit code 0 = all gated metrics within tolerance; 1 = regression or
+//! missing record; 2 = usage error.
+
+use std::process::ExitCode;
+
+use netclus_bench::baseline::{compare, effective_tolerance, extract_record, gated_metrics};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut prefix = None;
+    let mut baseline_path = None;
+    let mut current_path = None;
+    let mut tolerance = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--prefix" => prefix = next(&args, &mut i),
+            "--baseline" => baseline_path = next(&args, &mut i),
+            "--current" => current_path = next(&args, &mut i),
+            "--tolerance" => {
+                tolerance = next(&args, &mut i).and_then(|v| v.parse::<f64>().ok());
+                if tolerance.is_none() {
+                    eprintln!("bad --tolerance value");
+                    return ExitCode::from(2);
+                }
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                return usage();
+            }
+        }
+        i += 1;
+    }
+    let (Some(prefix), Some(baseline_path), Some(current_path)) =
+        (prefix, baseline_path, current_path)
+    else {
+        return usage();
+    };
+    if gated_metrics(&prefix).is_empty() {
+        eprintln!("no gated metrics configured for prefix {prefix:?}");
+        return ExitCode::from(2);
+    }
+
+    let read = |path: &str| -> Option<String> {
+        match std::fs::read_to_string(path) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                None
+            }
+        }
+    };
+    let (Some(baseline_text), Some(current_text)) = (read(&baseline_path), read(&current_path))
+    else {
+        return ExitCode::from(2);
+    };
+    let Some(baseline_json) = extract_record(&baseline_text, &prefix) else {
+        eprintln!("no {prefix} record in baseline {baseline_path}");
+        return ExitCode::from(2);
+    };
+    let Some(current_json) = extract_record(&current_text, &prefix) else {
+        eprintln!(
+            "no {prefix} record in current output {current_path} — the experiment did not emit it"
+        );
+        return ExitCode::FAILURE;
+    };
+
+    let tolerance = effective_tolerance(tolerance);
+    let verdicts = compare(&prefix, baseline_json, current_json, tolerance);
+    println!(
+        "{prefix} vs {baseline_path} (tolerance {:.0}%)",
+        tolerance * 100.0
+    );
+    println!(
+        "{:<24} {:>14} {:>14} {:>14}  verdict",
+        "metric", "baseline", "current", "limit"
+    );
+    let mut failed = 0usize;
+    for v in &verdicts {
+        println!(
+            "{:<24} {:>14.3} {:>14.3} {:>14.3}  {}",
+            v.key,
+            v.baseline,
+            v.current,
+            v.limit,
+            if v.pass { "ok" } else { "REGRESSION" }
+        );
+        if !v.pass {
+            failed += 1;
+        }
+    }
+    if failed > 0 {
+        eprintln!(
+            "{failed} gated metric(s) regressed beyond {:.0}% + floor",
+            tolerance * 100.0
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("all {} gated metrics within tolerance", verdicts.len());
+    ExitCode::SUCCESS
+}
+
+fn next(args: &[String], i: &mut usize) -> Option<String> {
+    *i += 1;
+    args.get(*i).cloned()
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: check_bench --prefix BENCH_X --baseline <file> --current <file> [--tolerance F]"
+    );
+    ExitCode::from(2)
+}

@@ -11,6 +11,7 @@ pub mod fig789;
 pub mod ingest;
 pub mod query;
 pub mod service;
+pub mod shard;
 pub mod table10;
 pub mod table11;
 pub mod table12;
@@ -123,6 +124,12 @@ pub fn all() -> Vec<Experiment> {
             description:
                 "Query hot path: provider build scaling + cached-provider latency (BENCH_QUERY_LATENCY)",
             run: query::run,
+        },
+        Experiment {
+            id: "shard",
+            description:
+                "Sharded serving: per-shard build scaling + scatter-gather latency (BENCH_SHARD_SCALING)",
+            run: shard::run,
         },
     ]
 }

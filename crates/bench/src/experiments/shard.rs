@@ -1,0 +1,237 @@
+//! `shard`: sharded scatter-gather serving, beyond the paper — per-shard
+//! index build scaling over the region partitioner, two-round distributed
+//! greedy quality versus the monolithic answer, and served latency
+//! through the `ShardRouter`.
+//!
+//! Prints three tables, writes `results/shard.csv`, and emits a
+//! `BENCH_SHARD_SCALING` single-line JSON record (per-shard-count build
+//! work and speedup potential, replication factor, sharded-vs-monolithic
+//! utility ratio, router latency) consumed by the CI perf-regression gate.
+
+use std::time::Instant;
+
+use netclus::prelude::*;
+use netclus_roadnet::RegionPartition;
+use netclus_service::{ShardRouter, ShardRouterConfig};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::sync::Arc;
+
+use crate::{print_table, Ctx};
+
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+const QUERIES: [(usize, f64); 3] = [(5, 800.0), (8, 1_600.0), (12, 2_400.0)];
+
+/// Runs the shard-scaling experiment.
+pub fn run(ctx: &mut Ctx) {
+    let s = ctx.multi_region();
+    let cfg = NetClusConfig {
+        tau_min: 400.0,
+        tau_max: 3_200.0,
+        threads: ctx.cfg.threads,
+        ..Default::default()
+    };
+
+    let t = Instant::now();
+    let mono = NetClusIndex::build(&s.net, &s.trajectories, &s.sites, cfg);
+    let mono_build = t.elapsed();
+
+    // ---- Part 1: per-shard build work and replication ------------------
+    let mut rows = Vec::new();
+    let mut json_parts: Vec<String> = Vec::new();
+    let mut last_sharded = None;
+    for &shards in &SHARD_COUNTS {
+        let partition = RegionPartition::build(&s.net, shards);
+        let t = Instant::now();
+        let sharded =
+            ShardedNetClusIndex::build(&s.net, &s.trajectories, &s.sites, &partition, cfg);
+        let wall = t.elapsed();
+        let work: f64 = sharded
+            .shards()
+            .iter()
+            .map(|sh| sh.build_time.as_secs_f64())
+            .sum();
+        let max_shard = sharded
+            .shards()
+            .iter()
+            .map(|sh| sh.build_time.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        // The scale lever: enrichment work splits across shards, so with
+        // one core per shard the critical path is the largest shard.
+        let speedup_potential = if max_shard > 0.0 {
+            work / max_shard
+        } else {
+            0.0
+        };
+        let r = sharded.replication();
+        let boundary_frac = r.boundary as f64 / r.trajectories.max(1) as f64;
+        rows.push(vec![
+            shards.to_string(),
+            format!("{:.1}", sharded.clustering_time().as_secs_f64() * 1e3),
+            format!("{:.1}", work * 1e3),
+            format!("{:.1}", max_shard * 1e3),
+            format!("{speedup_potential:.2}"),
+            format!("{:.1}", wall.as_secs_f64() * 1e3),
+            format!("{:.3}", r.replication_factor()),
+            format!("{boundary_frac:.3}"),
+        ]);
+        json_parts.push(format!(
+            "\"work_ms_s{shards}\":{:.3},\"max_shard_ms_s{shards}\":{:.3},\
+             \"speedup_potential_s{shards}\":{:.3},\"replication_factor_s{shards}\":{:.3}",
+            work * 1e3,
+            max_shard * 1e3,
+            speedup_potential,
+            r.replication_factor(),
+        ));
+        // Deterministic scatter: thread count must not change the answer.
+        let q = TopsQuery::binary(6, 1_200.0);
+        let a = sharded.query_with(&q, 1);
+        let b = sharded.query_with(&q, shards.max(2));
+        assert_eq!(a.solution.sites, b.solution.sites, "scatter nondeterminism");
+        last_sharded = Some(sharded);
+    }
+    let header = [
+        "shards",
+        "cluster ms",
+        "work ms",
+        "max shard ms",
+        "potential",
+        "wall ms",
+        "repl factor",
+        "boundary",
+    ];
+    print_table(
+        &format!(
+            "shard — per-shard build work vs shard count (multi-region, mono build {:.1} ms)",
+            mono_build.as_secs_f64() * 1e3
+        ),
+        &header,
+        &rows,
+    );
+    ctx.write_csv("shard", &header, &rows);
+
+    // ---- Part 2: two-round greedy quality vs monolithic ---------------
+    let sharded = last_sharded.expect("4-shard index built");
+    let mut qrows = Vec::new();
+    let mut min_ratio = f64::INFINITY;
+    for &(k, tau) in &QUERIES {
+        let q = TopsQuery::binary(k, tau);
+        let t = Instant::now();
+        let mono_ans = mono.query(&s.trajectories, &q);
+        let mono_t = t.elapsed();
+        let t = Instant::now();
+        let shard_ans = sharded.query(&q);
+        let shard_t = t.elapsed();
+        // Exact utilities of both site sets, so the ratio measures real
+        // placement quality, not estimator drift.
+        let mono_eval = evaluate_sites(
+            &s.net,
+            &s.trajectories,
+            &mono_ans.solution.sites,
+            tau,
+            q.preference,
+            DetourModel::RoundTrip,
+        );
+        let shard_eval = evaluate_sites(
+            &s.net,
+            &s.trajectories,
+            &shard_ans.solution.sites,
+            tau,
+            q.preference,
+            DetourModel::RoundTrip,
+        );
+        let ratio = if mono_eval.utility > 0.0 {
+            shard_eval.utility / mono_eval.utility
+        } else {
+            1.0
+        };
+        min_ratio = min_ratio.min(ratio);
+        qrows.push(vec![
+            k.to_string(),
+            format!("{tau:.0}"),
+            format!("{:.1}", mono_eval.utility),
+            format!("{:.1}", shard_eval.utility),
+            format!("{ratio:.3}"),
+            shard_ans.candidates.to_string(),
+            format!("{:.2}", mono_t.as_secs_f64() * 1e3),
+            format!("{:.2}", shard_t.as_secs_f64() * 1e3),
+        ]);
+    }
+    let qheader = [
+        "k", "tau", "mono U", "shard U", "ratio", "cands", "mono ms", "shard ms",
+    ];
+    print_table(
+        "shard — two-round greedy vs monolithic (4 shards, exact utilities)",
+        &qheader,
+        &qrows,
+    );
+    ctx.write_csv("shard_quality", &qheader, &qrows);
+
+    // ---- Part 3: served latency through the ShardRouter ----------------
+    let router = ShardRouter::start(
+        Arc::new(s.net.clone()),
+        sharded,
+        ShardRouterConfig::default(),
+    );
+    let count = ((600.0 * ctx.cfg.scale) as usize).max(120);
+    let mut rng = StdRng::seed_from_u64(ctx.cfg.seed ^ 0x53_48_41_52);
+    let mut latencies: Vec<u64> = Vec::with_capacity(count);
+    let taus = [800.0, 1_600.0, 2_400.0];
+    for _ in 0..count {
+        let tau = taus[rng.random_range(0..taus.len())];
+        let k = rng.random_range(1..12);
+        let t = Instant::now();
+        router
+            .query_blocking(TopsQuery::binary(k, tau))
+            .expect("router query failed");
+        latencies.push(t.elapsed().as_micros() as u64);
+    }
+    latencies.sort_unstable();
+    let pct =
+        |q: f64| latencies[((q * (latencies.len() - 1) as f64) as usize).min(latencies.len() - 1)];
+    let report = router.metrics_report();
+    let shard_section = report.shards.clone().expect("router shard section");
+    println!("SHARD_ROUTER_METRICS {}", report.to_json_line());
+    router.shutdown();
+
+    let srows = vec![vec![
+        shard_section.lanes.len().to_string(),
+        count.to_string(),
+        pct(0.50).to_string(),
+        pct(0.99).to_string(),
+        shard_section.merge.p99_micros.to_string(),
+        format!("{:.3}", shard_section.replication_factor()),
+        format!("{:.0}", report.throughput_qps),
+    ]];
+    let sheader = [
+        "shards",
+        "queries",
+        "p50 µs",
+        "p99 µs",
+        "merge p99 µs",
+        "repl factor",
+        "q/s",
+    ];
+    print_table(
+        "shard — ShardRouter served latency (4 shards)",
+        &sheader,
+        &srows,
+    );
+    ctx.write_csv("shard_router", &sheader, &srows);
+
+    println!(
+        "BENCH_SHARD_SCALING {{{},\"mono_build_ms\":{:.3},\"min_utility_ratio\":{:.3},\
+         \"router_queries\":{},\"router_p50_us\":{},\"router_p99_us\":{},\"merge_p99_us\":{},\
+         \"router_qps\":{:.3},\"boundary_trajs\":{},\"trajectories\":{}}}",
+        json_parts.join(","),
+        mono_build.as_secs_f64() * 1e3,
+        min_ratio,
+        count,
+        pct(0.50),
+        pct(0.99),
+        shard_section.merge.p99_micros,
+        report.throughput_qps,
+        shard_section.boundary_trajs,
+        shard_section.trajectories,
+    );
+}

@@ -13,6 +13,7 @@
 //! stand-in for the paper's 32 GB testbed ceiling) are configurable; see
 //! EXPERIMENTS.md for the recorded paper-vs-measured comparison.
 
+pub mod baseline;
 pub mod experiments;
 pub mod runners;
 
@@ -91,6 +92,15 @@ impl Ctx {
         let seed = self.cfg.seed;
         self.cached("beijing-small", move || {
             netclus_datagen::beijing_small(seed)
+        })
+    }
+
+    /// The multi-region sharding scenario: 4 city cores + corridors
+    /// (cached).
+    pub fn multi_region(&mut self) -> Rc<Scenario> {
+        let cfg = self.scenario_cfg();
+        self.cached("multi-region", move || {
+            netclus_datagen::multi_region(&cfg, 4)
         })
     }
 

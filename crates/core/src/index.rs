@@ -17,7 +17,7 @@ use netclus_roadnet::{DijkstraEngine, NodeId, RoadNetwork};
 use netclus_trajectory::TrajectorySet;
 
 use crate::cluster::{ClusterInstance, RepresentativeStrategy};
-use crate::gdsp::{greedy_gdsp, GdspConfig, GdspMode};
+use crate::gdsp::{greedy_gdsp, GdspConfig, GdspMode, GdspResult};
 
 /// Configuration of a NetClus index build.
 #[derive(Clone, Copy, Debug)]
@@ -75,6 +75,75 @@ impl NetClusConfig {
     }
 }
 
+/// The corpus-independent half of a NetClus index build: the Greedy-GDSP
+/// clustering of the road network at every resolution of the ladder.
+///
+/// Clustering depends only on the network and the `(γ, τ_min, τ_max,
+/// mode)` parameters — not on trajectories or candidate sites — so a
+/// sharded deployment computes it **once** and shares it across every
+/// per-shard [`NetClusIndex::build_clustered`] call. Shard indexes built
+/// from the same clustering agree on cluster identities (cluster `i` of
+/// instance `p` is the same ball of vertices everywhere), which is what
+/// makes cross-shard candidate merging well-defined.
+#[derive(Clone, Debug)]
+pub struct NetworkClustering {
+    gamma: f64,
+    tau_min: f64,
+    tau_max: f64,
+    gdsp: Vec<GdspResult>,
+    build_time: Duration,
+}
+
+impl NetworkClustering {
+    /// Runs Greedy-GDSP at every radius of `config`'s instance ladder.
+    pub fn build(net: &RoadNetwork, config: &NetClusConfig) -> NetworkClustering {
+        let start = Instant::now();
+        let gdsp = (0..config.instance_count())
+            .map(|p| {
+                greedy_gdsp(
+                    net,
+                    &GdspConfig {
+                        radius: config.radius(p),
+                        mode: config.mode,
+                        threads: config.threads,
+                    },
+                )
+            })
+            .collect();
+        NetworkClustering {
+            gamma: config.gamma,
+            tau_min: config.tau_min,
+            tau_max: config.tau_max,
+            gdsp,
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// Number of clustering instances (the ladder height `t`).
+    pub fn instance_count(&self) -> usize {
+        self.gdsp.len()
+    }
+
+    /// The raw clustering of instance `p`.
+    pub fn gdsp(&self, p: usize) -> &GdspResult {
+        &self.gdsp[p]
+    }
+
+    /// Wall-clock time of the clustering sweep.
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Whether `config` would reproduce this ladder (same γ/τ-range, so
+    /// same radii and instance count).
+    pub fn matches(&self, config: &NetClusConfig) -> bool {
+        self.gamma == config.gamma
+            && self.tau_min == config.tau_min
+            && self.tau_max == config.tau_max
+            && self.gdsp.len() == config.instance_count()
+    }
+}
+
 /// The NetClus index: all instances plus the candidate-site flags
 /// (mutable via the dynamic-update API in [`crate::update`]).
 #[derive(Clone, Debug)]
@@ -94,6 +163,27 @@ impl NetClusIndex {
         sites: &[NodeId],
         config: NetClusConfig,
     ) -> NetClusIndex {
+        let clustering = NetworkClustering::build(net, &config);
+        Self::build_clustered(net, trajs, sites, config, &clustering)
+    }
+
+    /// Builds the index from a precomputed [`NetworkClustering`]. The
+    /// clustering is corpus- and site-independent, so sharded deployments
+    /// run the expensive GDSP sweep once and enrich it per shard.
+    ///
+    /// # Panics
+    /// Panics if `clustering` was built for different ladder parameters.
+    pub fn build_clustered(
+        net: &RoadNetwork,
+        trajs: &TrajectorySet,
+        sites: &[NodeId],
+        config: NetClusConfig,
+        clustering: &NetworkClustering,
+    ) -> NetClusIndex {
+        assert!(
+            clustering.matches(&config),
+            "clustering ladder does not match the index configuration"
+        );
         let start = Instant::now();
         let t = config.instance_count();
         let mut is_site = vec![false; net.node_count()];
@@ -102,21 +192,12 @@ impl NetClusIndex {
         }
         let instances: Vec<ClusterInstance> = (0..t)
             .map(|p| {
-                let radius = config.radius(p);
-                let gdsp = greedy_gdsp(
-                    net,
-                    &GdspConfig {
-                        radius,
-                        mode: config.mode,
-                        threads: config.threads,
-                    },
-                );
                 ClusterInstance::build(
                     net,
                     trajs,
                     &is_site,
-                    &gdsp,
-                    radius,
+                    clustering.gdsp(p),
+                    config.radius(p),
                     config.gamma,
                     config.representative,
                     config.threads,
@@ -127,7 +208,7 @@ impl NetClusIndex {
             config,
             instances,
             is_site,
-            build_time: start.elapsed(),
+            build_time: start.elapsed() + clustering.build_time(),
         }
     }
 
@@ -345,6 +426,39 @@ mod tests {
         assert_eq!(tmin, 200.0);
         // Farthest pair is ≤ 19 edges → ≤ 3800 m round trip.
         assert!((2_000.0..=3_800.0).contains(&tmax), "τ_max {tmax}");
+    }
+
+    #[test]
+    fn build_clustered_matches_direct_build() {
+        let (net, trajs, sites) = fixture();
+        let cfg = config();
+        let direct = NetClusIndex::build(&net, &trajs, &sites, cfg);
+        let clustering = NetworkClustering::build(&net, &cfg);
+        assert!(clustering.matches(&cfg));
+        assert_eq!(clustering.instance_count(), cfg.instance_count());
+        let shared = NetClusIndex::build_clustered(&net, &trajs, &sites, cfg, &clustering);
+        assert_eq!(direct.instances().len(), shared.instances().len());
+        for (a, b) in direct.instances().iter().zip(shared.instances()) {
+            assert_eq!(a.cluster_count(), b.cluster_count());
+            for (ca, cb) in a.clusters.iter().zip(&b.clusters) {
+                assert_eq!(ca.center, cb.center);
+                assert_eq!(ca.representative, cb.representative);
+                assert_eq!(ca.traj_list, cb.traj_list);
+                assert_eq!(ca.neighbors, cb.neighbors);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn build_clustered_rejects_mismatched_ladder() {
+        let (net, trajs, sites) = fixture();
+        let clustering = NetworkClustering::build(&net, &config());
+        let other = NetClusConfig {
+            tau_max: 6_000.0,
+            ..config()
+        };
+        NetClusIndex::build_clustered(&net, &trajs, &sites, other, &clustering);
     }
 
     #[test]

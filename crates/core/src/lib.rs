@@ -25,7 +25,7 @@
 //! | Detour distance `dr(T_j, s_i)` (Sec. 2) | [`detour`] |
 //! | Coverage sets `TC`/`SC` (Sec. 3.2) | [`coverage`] |
 //! | Inc-Greedy (Sec. 3.3, Alg. 1) | [`greedy`] |
-//! | FM-sketch greedy (Sec. 3.5) | [`fm_greedy`] |
+//! | FM-sketch greedy (Sec. 3.5) | [`mod@fm_greedy`] |
 //! | Optimal solver (Sec. 3.1) | [`exact`] |
 //! | Greedy-GDSP clustering (Sec. 4.1) | [`gdsp`] |
 //! | Index instances & representatives (Sec. 4.2–4.3) | [`cluster`] |
@@ -39,6 +39,7 @@
 //! | Jaccard baseline (App. B.1) | [`jaccard`] |
 //! | Memory accounting (Tables 9, 12) | [`memory`] |
 //! | Flat CSR coverage arenas (query hot path layout) | [`arena`] |
+//! | Sharded indexes + two-round distributed greedy | [`shard`] |
 //!
 //! ## Serving architecture
 //!
@@ -122,6 +123,7 @@ pub mod market;
 pub mod memory;
 pub mod preference;
 pub mod query;
+pub mod shard;
 pub mod solution;
 pub mod update;
 
@@ -139,12 +141,15 @@ pub mod prelude {
     };
     pub use crate::gdsp::{greedy_gdsp, GdspConfig, GdspMode};
     pub use crate::greedy::{inc_greedy, inc_greedy_from, inc_greedy_seeded, GreedyConfig};
-    pub use crate::index::{estimate_tau_range, NetClusConfig, NetClusIndex};
+    pub use crate::index::{estimate_tau_range, NetClusConfig, NetClusIndex, NetworkClustering};
     pub use crate::jaccard::{jaccard_clustering, JaccardConfig};
     pub use crate::market::{tops_market_share, MarketShareConfig};
     pub use crate::memory::{format_bytes, HeapSize};
     pub use crate::preference::PreferenceFunction;
     pub use crate::query::{ClusteredProvider, NetClusAnswer, ProviderScratch, TopsQuery};
+    pub use crate::shard::{
+        shards_of_trajectory, NetClusShard, ReplicationStats, ShardedAnswer, ShardedNetClusIndex,
+    };
     pub use crate::solution::{evaluate_sites, EvalResult, Solution};
 }
 

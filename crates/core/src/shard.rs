@@ -1,0 +1,722 @@
+//! Sharded NetClus: per-shard indexes and the two-round distributed
+//! greedy (scatter-gather TOPS).
+//!
+//! The monolithic [`NetClusIndex`] assumes one process holds the whole
+//! corpus. At country scale the corpus (and its index ladder) is sharded
+//! by road-network region instead (see
+//! [`netclus_roadnet::RegionPartition`]):
+//!
+//! * **Sites** are partitioned disjointly — site `s` belongs to the shard
+//!   of its vertex.
+//! * **Trajectories** are replicated — a trajectory is assigned to every
+//!   shard its nodes touch, so a shard's sites always see the full demand
+//!   that passes through their region. Trajectories whose nodes span ≥ 2
+//!   shards are *boundary* trajectories; [`ReplicationStats`] reports how
+//!   many and at what replication cost.
+//! * **Ids are global** — per-shard corpus views are id-preserving subsets
+//!   ([`TrajectorySet::subset_where`]), so coverage rows computed on
+//!   different shards are keyed by the same trajectory ids and can be
+//!   merged without translation.
+//!
+//! Queries run the GreeDi-style two-round protocol of distributed
+//! submodular maximization (Mirzasoleiman et al., NIPS '13):
+//!
+//! 1. **Scatter** — each shard answers the query locally with the existing
+//!    arena-backed Inc-Greedy over its cluster representatives, producing
+//!    at most `k` local candidates together with their coverage rows.
+//! 2. **Gather** — exact Inc-Greedy re-runs over the union of the at most
+//!    `shards × k` candidates on the merged coverage view.
+//!
+//! Both rounds are `(1 − 1/e)`-greedy, so the composition carries the
+//! GreeDi `(1 − 1/e)²/ min(√k, #shards)`-flavored worst-case bound; in the
+//! benign (and common) case where the corpus *respects the partition* —
+//! every trajectory is covered only by sites of the single shard it
+//! touches — the sharded answer is **bit-identical** to the monolithic
+//! one. The argument: with disjoint per-shard coverage supports, the
+//! monolithic greedy's selections inside one shard form a prefix of that
+//! shard's local greedy order (gains of a shard's sites never depend on
+//! selections elsewhere, and both runs break ties by the paper's
+//! max-gain → max-weight → highest-index rule over the same
+//! cluster-ordered candidates), so every monolithic pick reaches the
+//! round-2 union, where the same tie-breaking reproduces the monolithic
+//! sequence. `crates/core/tests/shard_proptests.rs` checks this for shard
+//! counts 1, 2 and 4 on random partition-respecting corpora, along with
+//! the replication invariants.
+//!
+//! All shards share one [`NetworkClustering`] (the GDSP ladder is corpus-
+//! independent), so cluster ids are globally consistent — the round-2
+//! candidate ordering sorts by `(instance cluster id, node id)`, exactly
+//! the order the monolithic provider enumerates representatives in.
+
+use std::time::{Duration, Instant};
+
+use netclus_roadnet::{NodeId, RegionPartition, RoadNetwork};
+use netclus_trajectory::{TrajId, Trajectory, TrajectorySet};
+
+use crate::arena::{PairArena, PairArenaBuilder, PairSlice};
+use crate::coverage::CoverageProvider;
+use crate::greedy::{inc_greedy_from, GreedyConfig};
+use crate::index::{NetClusConfig, NetClusIndex, NetworkClustering};
+use crate::query::{ProviderScratch, TopsQuery};
+use crate::solution::Solution;
+
+/// Trajectory replication bookkeeping of a sharded build.
+#[derive(Clone, Debug, Default)]
+pub struct ReplicationStats {
+    /// Live trajectories in the global corpus.
+    pub trajectories: usize,
+    /// Trajectories touching ≥ 2 shards (replicated).
+    pub boundary: usize,
+    /// Total shard-local copies (`Σ` shards touched per trajectory).
+    pub replicas: usize,
+    /// Shard-local copies per shard.
+    pub per_shard: Vec<usize>,
+}
+
+impl ReplicationStats {
+    /// Mean copies per trajectory (1.0 = no replication).
+    pub fn replication_factor(&self) -> f64 {
+        if self.trajectories == 0 {
+            1.0
+        } else {
+            self.replicas as f64 / self.trajectories as f64
+        }
+    }
+}
+
+/// The shards a trajectory touches, ascending and deduplicated.
+pub fn shards_of_trajectory(partition: &RegionPartition, traj: &Trajectory) -> Vec<u32> {
+    let mut shards: Vec<u32> = traj
+        .nodes()
+        .iter()
+        .map(|&v| partition.shard_of(v))
+        .collect();
+    shards.sort_unstable();
+    shards.dedup();
+    shards
+}
+
+/// One shard of a [`ShardedNetClusIndex`]: the region's sites, its
+/// (replicated-in) corpus view, and the NetClus index over them.
+#[derive(Clone, Debug)]
+pub struct NetClusShard {
+    /// Shard id (= region id of the partition).
+    pub id: u32,
+    /// Candidate sites owned by this shard, ascending by node id.
+    pub sites: Vec<NodeId>,
+    /// Id-preserving corpus view: every trajectory touching this shard.
+    pub trajs: TrajectorySet,
+    /// The shard's NetClus index (built over the full network, this
+    /// shard's sites and corpus view).
+    pub index: NetClusIndex,
+    /// Wall-clock time of this shard's enrichment build (excluding the
+    /// shared clustering sweep).
+    pub build_time: Duration,
+}
+
+/// A sharded NetClus index: one [`NetClusShard`] per partition region plus
+/// the shared clustering and replication stats.
+#[derive(Clone, Debug)]
+pub struct ShardedNetClusIndex {
+    partition: RegionPartition,
+    shards: Vec<NetClusShard>,
+    replication: ReplicationStats,
+    traj_id_bound: usize,
+    clustering_time: Duration,
+    build_time: Duration,
+}
+
+impl ShardedNetClusIndex {
+    /// Builds per-shard indexes for every region of `partition`.
+    ///
+    /// The GDSP clustering ladder is computed **once** and shared; shard
+    /// enrichment (trajectory lists, representatives, neighbor lists) runs
+    /// in parallel across shards on `config.threads` workers. The result
+    /// is deterministic for every thread count.
+    pub fn build(
+        net: &RoadNetwork,
+        trajs: &TrajectorySet,
+        sites: &[NodeId],
+        partition: &RegionPartition,
+        config: NetClusConfig,
+    ) -> ShardedNetClusIndex {
+        let start = Instant::now();
+        let shards = partition.shard_count();
+        let clustering = NetworkClustering::build(net, &config);
+
+        // Disjoint site partition + replicated corpus views.
+        let mut shard_sites: Vec<Vec<NodeId>> = vec![Vec::new(); shards];
+        for &s in sites {
+            shard_sites[partition.shard_of(s) as usize].push(s);
+        }
+        let mut replication = ReplicationStats {
+            trajectories: trajs.len(),
+            per_shard: vec![0; shards],
+            ..Default::default()
+        };
+        // touched[shard][id]: does trajectory `id` touch `shard`?
+        let mut touched: Vec<Vec<bool>> = vec![vec![false; trajs.id_bound()]; shards];
+        for (id, traj) in trajs.iter() {
+            let owners = shards_of_trajectory(partition, traj);
+            if owners.len() >= 2 {
+                replication.boundary += 1;
+            }
+            replication.replicas += owners.len();
+            for s in owners {
+                replication.per_shard[s as usize] += 1;
+                touched[s as usize][id.index()] = true;
+            }
+        }
+
+        // Per-shard enrichment, parallel across shards. Per-shard builds
+        // run single-threaded internally to avoid oversubscription; the
+        // output is independent of thread placement.
+        let shard_config = NetClusConfig {
+            threads: 1,
+            ..config
+        };
+        let workers = config.threads.max(1).min(shards);
+        let mut built: Vec<Option<NetClusShard>> = (0..shards).map(|_| None).collect();
+        let build_one = |s: usize, touched_s: &[bool]| -> NetClusShard {
+            let t = Instant::now();
+            let view = trajs.subset_where(|id, _| touched_s[id.index()]);
+            let index = NetClusIndex::build_clustered(
+                net,
+                &view,
+                &shard_sites[s],
+                shard_config,
+                &clustering,
+            );
+            NetClusShard {
+                id: s as u32,
+                sites: shard_sites[s].clone(),
+                trajs: view,
+                index,
+                build_time: t.elapsed(),
+            }
+        };
+        if workers <= 1 {
+            for (s, slot) in built.iter_mut().enumerate() {
+                *slot = Some(build_one(s, &touched[s]));
+            }
+        } else {
+            let chunk = shards.div_ceil(workers);
+            let touched = &touched;
+            let build_one = &build_one;
+            std::thread::scope(|scope| {
+                for (w, slots) in built.chunks_mut(chunk).enumerate() {
+                    scope.spawn(move || {
+                        for (off, slot) in slots.iter_mut().enumerate() {
+                            let s = w * chunk + off;
+                            *slot = Some(build_one(s, &touched[s]));
+                        }
+                    });
+                }
+            });
+        }
+
+        ShardedNetClusIndex {
+            partition: partition.clone(),
+            shards: built.into_iter().map(|s| s.expect("shard built")).collect(),
+            replication,
+            traj_id_bound: trajs.id_bound(),
+            clustering_time: clustering.build_time(),
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Decomposes the sharded index into its parts (partition, shards,
+    /// replication stats) — the handoff into a serving layer that wants to
+    /// own each shard behind its own snapshot store.
+    pub fn into_parts(self) -> (RegionPartition, Vec<NetClusShard>, ReplicationStats) {
+        (self.partition, self.shards, self.replication)
+    }
+
+    /// The shards, in shard-id order.
+    pub fn shards(&self) -> &[NetClusShard] {
+        &self.shards
+    }
+
+    /// The node partition the shards were built from.
+    pub fn partition(&self) -> &RegionPartition {
+        &self.partition
+    }
+
+    /// Trajectory replication statistics.
+    pub fn replication(&self) -> &ReplicationStats {
+        &self.replication
+    }
+
+    /// Global trajectory-id bound shared by every shard view.
+    pub fn traj_id_bound(&self) -> usize {
+        self.traj_id_bound
+    }
+
+    /// Time of the shared GDSP clustering sweep.
+    pub fn clustering_time(&self) -> Duration {
+        self.clustering_time
+    }
+
+    /// Total wall-clock build time (clustering + all shard enrichments).
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Answers a TOPS query with the two-round distributed greedy,
+    /// scattering round 1 across shards on up to `threads` workers.
+    pub fn query(&self, q: &TopsQuery) -> ShardedAnswer {
+        self.query_with(q, self.shards.len())
+    }
+
+    /// [`ShardedNetClusIndex::query`] with an explicit round-1 thread
+    /// count (the answer is identical for every value).
+    pub fn query_with(&self, q: &TopsQuery, threads: usize) -> ShardedAnswer {
+        let start = Instant::now();
+        let bound = self.traj_id_bound;
+        let workers = threads.max(1).min(self.shards.len().max(1));
+        let mut rounds: Vec<Option<ShardRoundOne>> = (0..self.shards.len()).map(|_| None).collect();
+        if workers <= 1 {
+            let mut scratch = ProviderScratch::default();
+            for (shard, slot) in self.shards.iter().zip(rounds.iter_mut()) {
+                *slot = Some(local_candidates(&shard.index, q, bound, &mut scratch));
+            }
+        } else {
+            let chunk = self.shards.len().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (shards, slots) in self.shards.chunks(chunk).zip(rounds.chunks_mut(chunk)) {
+                    scope.spawn(move || {
+                        let mut scratch = ProviderScratch::default();
+                        for (shard, slot) in shards.iter().zip(slots.iter_mut()) {
+                            *slot = Some(local_candidates(&shard.index, q, bound, &mut scratch));
+                        }
+                    });
+                }
+            });
+        }
+        let rounds: Vec<ShardRoundOne> = rounds
+            .into_iter()
+            .zip(&self.shards)
+            .map(|(r, shard)| {
+                let mut r = r.expect("round-1 shard answered");
+                r.shard_hint = shard.id;
+                r
+            })
+            .collect();
+
+        let merge_start = Instant::now();
+        let instance = rounds.first().map_or(0, |r| r.instance);
+        // Take the stats, then move the candidate rows out — coverage rows
+        // can be large, and the merge consumes them anyway.
+        let stats: Vec<ShardRoundStats> = rounds
+            .iter()
+            .map(|r| ShardRoundStats {
+                shard: r.shard_hint,
+                candidates: r.candidates.len(),
+                representatives: r.representatives,
+                local_utility: r.local_utility,
+                elapsed: r.elapsed,
+            })
+            .collect();
+        let candidates: Vec<Candidate> = rounds.into_iter().flat_map(|r| r.candidates).collect();
+        let (solution, candidate_count) = merge_candidates(candidates, q, bound);
+        let merge_time = merge_start.elapsed();
+
+        ShardedAnswer {
+            solution,
+            instance,
+            candidates: candidate_count,
+            rounds: stats,
+            merge_time,
+            total_time: start.elapsed(),
+        }
+    }
+}
+
+/// One round-1 candidate: a locally selected site with its coverage row
+/// (global trajectory ids, estimated detours ascending).
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// The candidate site.
+    pub node: NodeId,
+    /// Global cluster id of the representative's cluster (instances are
+    /// built from a shared clustering, so ids agree across shards).
+    pub cluster: u32,
+    /// `T̂C` row of the candidate, copied out of the shard provider.
+    pub row: Vec<(u32, f64)>,
+}
+
+/// Result of one shard's round-1 local greedy.
+#[derive(Clone, Debug)]
+pub struct ShardRoundOne {
+    /// The shard's `k` (or fewer) local candidates, in selection order.
+    pub candidates: Vec<Candidate>,
+    /// Index instance that served the query.
+    pub instance: usize,
+    /// Representatives the shard processed.
+    pub representatives: usize,
+    /// The shard's local greedy utility (under `d̂r`).
+    pub local_utility: f64,
+    /// Round-1 wall-clock time on this shard.
+    pub elapsed: Duration,
+    /// Shard id for reporting (set by the caller's context; defaults to
+    /// the order of computation).
+    pub shard_hint: u32,
+}
+
+/// Per-shard reporting row of a [`ShardedAnswer`].
+#[derive(Clone, Copy, Debug)]
+pub struct ShardRoundStats {
+    /// Shard id.
+    pub shard: u32,
+    /// Candidates the shard contributed.
+    pub candidates: usize,
+    /// Representatives processed in round 1.
+    pub representatives: usize,
+    /// Local greedy utility (under `d̂r`).
+    pub local_utility: f64,
+    /// Round-1 wall-clock time.
+    pub elapsed: Duration,
+}
+
+/// A two-round distributed greedy answer.
+#[derive(Clone, Debug)]
+pub struct ShardedAnswer {
+    /// The round-2 solution over the candidate union (sites are global
+    /// [`NodeId`]s; `utility` is under `d̂r`, as in the monolithic path).
+    pub solution: Solution,
+    /// Index instance that served the query.
+    pub instance: usize,
+    /// Size of the round-2 candidate union (≤ shards × k).
+    pub candidates: usize,
+    /// Per-shard round-1 statistics, in shard order.
+    pub rounds: Vec<ShardRoundStats>,
+    /// Round-2 merge + solve time.
+    pub merge_time: Duration,
+    /// End-to-end scatter-gather time.
+    pub total_time: Duration,
+}
+
+/// Round 1 on one shard: build the provider serving `q.tau`, run the
+/// local Inc-Greedy, and copy out the selected candidates' coverage rows.
+pub fn local_candidates(
+    index: &NetClusIndex,
+    q: &TopsQuery,
+    traj_id_bound: usize,
+    scratch: &mut ProviderScratch,
+) -> ShardRoundOne {
+    let start = Instant::now();
+    let (p, provider) = index.build_provider_with(q.tau, traj_id_bound, 1, scratch);
+    let local = index.query_on(&provider, p, q);
+    let candidates = local
+        .solution
+        .site_indices
+        .iter()
+        .map(|&idx| Candidate {
+            node: provider.site_node(idx),
+            cluster: provider.cluster_of(idx),
+            row: provider.covered(idx).to_pairs(),
+        })
+        .collect();
+    ShardRoundOne {
+        candidates,
+        instance: p,
+        representatives: provider.site_count(),
+        local_utility: local.solution.utility,
+        elapsed: start.elapsed(),
+        shard_hint: 0,
+    }
+}
+
+/// The merged round-2 coverage view over the candidate union.
+///
+/// Candidates are ordered by `(cluster id, node id)` — the same relative
+/// order the monolithic provider enumerates representatives in — so the
+/// greedy's highest-index tie-breaking agrees with the monolithic run on
+/// partition-respecting corpora.
+#[derive(Debug)]
+pub struct MergedCandidateProvider {
+    nodes: Vec<NodeId>,
+    tc: PairArena,
+    sc: PairArena,
+    traj_id_bound: usize,
+}
+
+impl MergedCandidateProvider {
+    /// Builds the merged view. Duplicate nodes (the same site selected by
+    /// two shards, possible only for multiply-represented clusters) are
+    /// collapsed, keeping the first row.
+    pub fn new(mut candidates: Vec<Candidate>, traj_id_bound: usize) -> MergedCandidateProvider {
+        candidates.sort_by(|a, b| a.cluster.cmp(&b.cluster).then(a.node.cmp(&b.node)));
+        candidates.dedup_by(|a, b| a.node == b.node);
+        let mut b = PairArenaBuilder::with_capacity(
+            candidates.len(),
+            candidates.iter().map(|c| c.row.len()).sum(),
+        );
+        let mut nodes = Vec::with_capacity(candidates.len());
+        for c in &candidates {
+            nodes.push(c.node);
+            b.push_row(c.row.iter().copied());
+        }
+        let tc = b.finish();
+        let sc = tc.invert(traj_id_bound);
+        MergedCandidateProvider {
+            nodes,
+            tc,
+            sc,
+            traj_id_bound,
+        }
+    }
+}
+
+impl CoverageProvider for MergedCandidateProvider {
+    fn site_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn traj_id_bound(&self) -> usize {
+        self.traj_id_bound
+    }
+
+    fn site_node(&self, idx: usize) -> NodeId {
+        self.nodes[idx]
+    }
+
+    fn covered(&self, idx: usize) -> PairSlice<'_> {
+        self.tc.row(idx)
+    }
+
+    fn covering(&self, tj: TrajId) -> PairSlice<'_> {
+        self.sc.row(tj.index())
+    }
+}
+
+/// Round 2: exact Inc-Greedy over the candidate union on the merged
+/// coverage view. Returns the solution and the union size.
+pub fn merge_candidates(
+    candidates: Vec<Candidate>,
+    q: &TopsQuery,
+    traj_id_bound: usize,
+) -> (Solution, usize) {
+    let provider = MergedCandidateProvider::new(candidates, traj_id_bound);
+    let cfg = GreedyConfig {
+        k: q.k,
+        tau: q.tau,
+        preference: q.preference,
+        lazy: false,
+    };
+    let n = provider.site_count();
+    (inc_greedy_from(&provider, &cfg, &[]), n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclus_roadnet::{Point, RoadNetworkBuilder};
+
+    /// Two far-separated two-way lines (regions), trajectories confined to
+    /// their region. Partition-respecting by construction.
+    fn fixture() -> (RoadNetwork, TrajectorySet, Vec<NodeId>, RegionPartition) {
+        let mut b = RoadNetworkBuilder::new();
+        for region in 0..2 {
+            let x0 = region as f64 * 1_000_000.0;
+            let base = b.node_count() as u32;
+            for i in 0..12 {
+                b.add_node(Point::new(x0 + i as f64 * 100.0, 0.0));
+            }
+            for i in 0..11u32 {
+                b.add_two_way(NodeId(base + i), NodeId(base + i + 1), 100.0)
+                    .unwrap();
+            }
+        }
+        let net = b.build().unwrap();
+        let mut trajs = TrajectorySet::for_network(&net);
+        for s in 0..5u32 {
+            trajs.add(Trajectory::new((s..s + 6).map(NodeId).collect()));
+        }
+        for s in 0..3u32 {
+            trajs.add(Trajectory::new((12 + s..12 + s + 5).map(NodeId).collect()));
+        }
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let partition = RegionPartition::build(&net, 2);
+        (net, trajs, sites, partition)
+    }
+
+    fn config() -> NetClusConfig {
+        NetClusConfig {
+            tau_min: 200.0,
+            tau_max: 3_000.0,
+            threads: 1,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn build_partitions_sites_and_replicates_trajectories() {
+        let (net, trajs, sites, partition) = fixture();
+        let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, config());
+        assert_eq!(sharded.shard_count(), 2);
+        let r = sharded.replication();
+        assert_eq!(r.trajectories, 8);
+        assert_eq!(r.boundary, 0, "disconnected regions cannot share trips");
+        assert_eq!(r.replicas, 8);
+        assert_eq!(r.per_shard, vec![5, 3]);
+        assert!((r.replication_factor() - 1.0).abs() < 1e-12);
+        // Site partition is disjoint and complete.
+        let total: usize = sharded.shards().iter().map(|s| s.sites.len()).sum();
+        assert_eq!(total, sites.len());
+        // Shard corpus views preserve global ids.
+        for shard in sharded.shards() {
+            assert_eq!(shard.trajs.id_bound(), trajs.id_bound());
+        }
+        assert_eq!(sharded.shards()[0].trajs.len(), 5);
+        assert_eq!(sharded.shards()[1].trajs.len(), 3);
+    }
+
+    #[test]
+    fn sharded_query_matches_monolithic_on_respecting_corpus() {
+        let (net, trajs, sites, partition) = fixture();
+        let cfg = config();
+        let mono = NetClusIndex::build(&net, &trajs, &sites, cfg);
+        let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, cfg);
+        for (k, tau) in [(1, 400.0), (2, 800.0), (3, 600.0), (4, 1_500.0)] {
+            let q = TopsQuery::binary(k, tau);
+            let want = mono.query(&trajs, &q);
+            let got = sharded.query(&q);
+            assert_eq!(
+                got.solution.sites, want.solution.sites,
+                "k={k} τ={tau}: sharded {:?} vs monolithic {:?}",
+                got.solution.sites, want.solution.sites
+            );
+            assert!(
+                (got.solution.utility - want.solution.utility).abs() < 1e-12,
+                "k={k} τ={tau}: utility drift"
+            );
+            assert_eq!(got.instance, want.instance);
+            assert!(got.candidates <= 2 * k);
+        }
+    }
+
+    #[test]
+    fn query_thread_count_does_not_change_the_answer() {
+        let (net, trajs, sites, partition) = fixture();
+        let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, config());
+        let q = TopsQuery::binary(3, 700.0);
+        let one = sharded.query_with(&q, 1);
+        for threads in [2, 4, 8] {
+            let multi = sharded.query_with(&q, threads);
+            assert_eq!(one.solution.sites, multi.solution.sites);
+            assert_eq!(one.candidates, multi.candidates);
+        }
+    }
+
+    #[test]
+    fn build_thread_count_does_not_change_the_shards() {
+        let (net, trajs, sites, partition) = fixture();
+        let seq = ShardedNetClusIndex::build(
+            &net,
+            &trajs,
+            &sites,
+            &partition,
+            NetClusConfig {
+                threads: 1,
+                ..config()
+            },
+        );
+        let par = ShardedNetClusIndex::build(
+            &net,
+            &trajs,
+            &sites,
+            &partition,
+            NetClusConfig {
+                threads: 4,
+                ..config()
+            },
+        );
+        for (a, b) in seq.shards().iter().zip(par.shards()) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.sites, b.sites);
+            assert_eq!(a.trajs.len(), b.trajs.len());
+            let q = TopsQuery::binary(2, 800.0);
+            let sa = a.index.query(&a.trajs, &q);
+            let sb = b.index.query(&b.trajs, &q);
+            assert_eq!(sa.solution.sites, sb.solution.sites);
+        }
+    }
+
+    #[test]
+    fn boundary_trajectories_are_replicated_to_all_touched_shards() {
+        // A connected line split in two: a middle trajectory spans both.
+        let mut b = RoadNetworkBuilder::new();
+        for i in 0..20 {
+            b.add_node(Point::new(i as f64 * 100.0, 0.0));
+        }
+        for i in 0..19u32 {
+            b.add_two_way(NodeId(i), NodeId(i + 1), 100.0).unwrap();
+        }
+        let net = b.build().unwrap();
+        let mut trajs = TrajectorySet::for_network(&net);
+        let left = trajs.add(Trajectory::new((0..5).map(NodeId).collect()));
+        let cross = trajs.add(Trajectory::new((8..13).map(NodeId).collect()));
+        let right = trajs.add(Trajectory::new((15..19).map(NodeId).collect()));
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let partition = RegionPartition::build(&net, 2);
+        let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, config());
+        let r = sharded.replication();
+        assert_eq!(r.boundary, 1);
+        assert_eq!(r.replicas, 4);
+        assert!(r.replication_factor() > 1.0);
+        let s0 = &sharded.shards()[0].trajs;
+        let s1 = &sharded.shards()[1].trajs;
+        assert!(s0.get(left).is_some() && s0.get(cross).is_some());
+        assert!(s0.get(right).is_none());
+        assert!(s1.get(cross).is_some() && s1.get(right).is_some());
+        assert!(s1.get(left).is_none());
+    }
+
+    #[test]
+    fn merged_provider_dedups_and_inverts() {
+        let c = |node: u32, cluster: u32, row: Vec<(u32, f64)>| Candidate {
+            node: NodeId(node),
+            cluster,
+            row,
+        };
+        let provider = MergedCandidateProvider::new(
+            vec![
+                c(7, 2, vec![(0, 5.0), (1, 6.0)]),
+                c(3, 1, vec![(1, 2.0)]),
+                c(7, 2, vec![(0, 9.0)]), // duplicate node, dropped
+            ],
+            3,
+        );
+        assert_eq!(provider.site_count(), 2);
+        assert_eq!(provider.site_node(0), NodeId(3));
+        assert_eq!(provider.site_node(1), NodeId(7));
+        assert_eq!(provider.covered(1).to_pairs(), vec![(0, 5.0), (1, 6.0)]);
+        assert_eq!(
+            provider.covering(TrajId(1)).to_pairs(),
+            vec![(0, 2.0), (1, 6.0)]
+        );
+        assert!(provider.covering(TrajId(2)).is_empty());
+        assert_eq!(provider.traj_id_bound(), 3);
+    }
+
+    #[test]
+    fn single_shard_query_equals_monolithic() {
+        let (net, trajs, sites, _) = fixture();
+        let partition = RegionPartition::build(&net, 1);
+        let cfg = config();
+        let mono = NetClusIndex::build(&net, &trajs, &sites, cfg);
+        let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, cfg);
+        let q = TopsQuery::binary(2, 900.0);
+        let want = mono.query(&trajs, &q);
+        let got = sharded.query(&q);
+        assert_eq!(got.solution.sites, want.solution.sites);
+        assert_eq!(got.rounds.len(), 1);
+        assert!(got.candidates <= 2);
+    }
+}

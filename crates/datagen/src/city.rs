@@ -285,6 +285,105 @@ pub fn polycentric_city<R: RngExt>(cfg: &PolycentricCityConfig, rng: &mut R) -> 
     }
 }
 
+/// Configuration for [`multi_region_city`].
+#[derive(Clone, Copy, Debug)]
+pub struct MultiRegionCityConfig {
+    /// Number of city cores (≥ 2), laid out left to right.
+    pub regions: usize,
+    /// Rows/cols of each core's mesh.
+    pub region_size: usize,
+    /// Block spacing inside cores, meters.
+    pub spacing_m: f64,
+    /// Gap between adjacent core bounding boxes, meters (bridged by a
+    /// corridor road).
+    pub gap_m: f64,
+    /// Spacing between corridor nodes, meters.
+    pub corridor_spacing_m: f64,
+}
+
+impl Default for MultiRegionCityConfig {
+    fn default() -> Self {
+        MultiRegionCityConfig {
+            regions: 4,
+            region_size: 12,
+            spacing_m: 150.0,
+            gap_m: 6_000.0,
+            corridor_spacing_m: 400.0,
+        }
+    }
+}
+
+/// Generates a multi-region city: `regions` mesh cores in a row, adjacent
+/// cores joined by a single two-way corridor road (a chain of nodes across
+/// the gap). The shape is built for **sharded serving**: a spatial
+/// partitioner splits cleanly between cores, intra-core trips stay inside
+/// one shard, and corridor trips (core `i` → core `j`) become the
+/// boundary trajectories that exercise cross-shard replication.
+///
+/// Hotspots: one per core (equal weight), so a hotspot-pair workload
+/// produces a natural mix of intra- and inter-core traffic.
+pub fn multi_region_city<R: RngExt>(cfg: &MultiRegionCityConfig, rng: &mut R) -> City {
+    assert!(cfg.regions >= 2, "multi-region city needs ≥ 2 regions");
+    let patch_cfg = GridCityConfig {
+        rows: cfg.region_size,
+        cols: cfg.region_size,
+        spacing_m: cfg.spacing_m,
+        jitter: 0.25,
+        removal_fraction: 0.06,
+    };
+    let extent = (cfg.region_size - 1) as f64 * cfg.spacing_m;
+    let pitch = extent + cfg.gap_m;
+
+    let mut b = RoadNetworkBuilder::new();
+    let mut region_nodes: Vec<Vec<NodeId>> = Vec::new();
+    let mut hotspots = Vec::new();
+    for r in 0..cfg.regions {
+        let origin = Point::new(r as f64 * pitch, 0.0);
+        let patch = grid_patch(&patch_cfg, origin, rng);
+        let offset = b.node_count() as u32;
+        let mut ids = Vec::with_capacity(patch.node_count());
+        for v in patch.nodes() {
+            ids.push(b.add_node(patch.point(v)));
+        }
+        for v in patch.nodes() {
+            for (u, w) in patch.out_edges(v) {
+                b.add_edge(NodeId(v.0 + offset), NodeId(u.0 + offset), w)
+                    .expect("patch edge");
+            }
+        }
+        region_nodes.push(ids);
+        hotspots.push(Hotspot {
+            center: Point::new(r as f64 * pitch + extent / 2.0, extent / 2.0),
+            radius: extent / 2.0,
+            weight: 1.0,
+        });
+    }
+
+    // Corridors: chain the closest node pair of each adjacent core pair.
+    for r in 0..cfg.regions - 1 {
+        let (a, c) = closest_pair(&b, &region_nodes[r], &region_nodes[r + 1]);
+        let (pa, pc) = (builder_point(&b, a), builder_point(&b, c));
+        let gap = pa.distance(&pc);
+        let hops = (gap / cfg.corridor_spacing_m).ceil().max(1.0) as usize;
+        let mut prev = a;
+        for h in 1..hops {
+            let p = pa.lerp(&pc, h as f64 / hops as f64);
+            let v = b.add_node(p);
+            b.add_two_way(prev, v, dist(&b, prev, v))
+                .expect("corridor edge");
+            prev = v;
+        }
+        b.add_two_way(prev, c, dist(&b, prev, c))
+            .expect("corridor closure");
+    }
+
+    City {
+        name: "multi-region".to_string(),
+        net: b.build().expect("nonempty multi-region city"),
+        hotspots,
+    }
+}
+
 /// Configuration for [`ring_radial_city`].
 #[derive(Clone, Copy, Debug)]
 pub struct RingRadialCityConfig {
@@ -590,6 +689,26 @@ mod tests {
         let city = polycentric_city(&cfg, &mut rng);
         assert!(is_strongly_connected(&city.net));
         assert_eq!(city.hotspots.len(), 4);
+    }
+
+    #[test]
+    fn multi_region_city_shape() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let cfg = MultiRegionCityConfig {
+            regions: 3,
+            region_size: 6,
+            ..Default::default()
+        };
+        let city = multi_region_city(&cfg, &mut rng);
+        assert!(is_strongly_connected(&city.net));
+        assert_eq!(city.hotspots.len(), 3);
+        // Cores sit far apart: the bounding box spans ≥ 2 gaps.
+        let bb = city.net.bounding_box();
+        assert!(bb.width() > 2.0 * cfg.gap_m);
+        // Deterministic given the seed.
+        let again = multi_region_city(&cfg, &mut StdRng::seed_from_u64(9));
+        assert_eq!(city.net.node_count(), again.net.node_count());
+        assert_eq!(city.net.edge_count(), again.net.edge_count());
     }
 
     #[test]

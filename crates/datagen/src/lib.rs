@@ -32,16 +32,17 @@ pub mod sites;
 pub mod workload;
 
 pub use city::{
-    grid_city, polycentric_city, ring_radial_city, star_city, City, GridCityConfig, Hotspot,
-    PolycentricCityConfig, RingRadialCityConfig, StarCityConfig,
+    grid_city, multi_region_city, polycentric_city, ring_radial_city, star_city, City,
+    GridCityConfig, Hotspot, MultiRegionCityConfig, PolycentricCityConfig, RingRadialCityConfig,
+    StarCityConfig,
 };
 pub use gps_stream::{generate_gps_stream, GpsStreamConfig, GpsStreamEvent};
 pub use queries::{
     generate_query_workload, ArrivalProcess, QueryKind, QueryWorkloadConfig, TimedQuery,
 };
 pub use scenario::{
-    atlanta_like, bangalore_like, beijing_like, beijing_small, new_york_like, Scenario,
-    ScenarioConfig,
+    atlanta_like, bangalore_like, beijing_like, beijing_small, multi_region, new_york_like,
+    Scenario, ScenarioConfig,
 };
 pub use sites::{assign_capacities_normal, assign_costs_normal, select_sites, SiteSelection};
 pub use workload::{gaussian, synthesize_gps, WorkloadConfig, WorkloadGenerator};

@@ -20,8 +20,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::city::{
-    grid_city, polycentric_city, ring_radial_city, star_city, City, GridCityConfig, Hotspot,
-    PolycentricCityConfig, RingRadialCityConfig, StarCityConfig,
+    grid_city, multi_region_city, polycentric_city, ring_radial_city, star_city, City,
+    GridCityConfig, Hotspot, MultiRegionCityConfig, PolycentricCityConfig, RingRadialCityConfig,
+    StarCityConfig,
 };
 use crate::sites::{select_sites, SiteSelection};
 use crate::workload::{WorkloadConfig, WorkloadGenerator};
@@ -280,6 +281,41 @@ pub fn bangalore_like(cfg: &ScenarioConfig) -> Scenario {
     )
 }
 
+/// Multi-region scenario for sharded serving: `regions` distinct city
+/// cores (≈ `1500·scale` nodes each) joined by inter-city corridors, with
+/// one hotspot per core. Endpoint pairs are drawn independently across
+/// hotspots, so roughly `(regions−1)/regions` of the trips cross a
+/// corridor — the boundary trajectories a region partitioner must
+/// replicate.
+pub fn multi_region(cfg: &ScenarioConfig, regions: usize) -> Scenario {
+    let region_size = mesh_dim(1_500.0 * cfg.scale).max(6);
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x4D52_4547);
+    let city = multi_region_city(
+        &MultiRegionCityConfig {
+            regions,
+            region_size,
+            spacing_m: 150.0,
+            gap_m: 5_000.0,
+            corridor_spacing_m: 400.0,
+        },
+        &mut rng,
+    );
+    let traj_count = (4_000.0 * cfg.scale).round().max(32.0) as usize;
+    materialize(
+        &format!("multi-region-{regions}"),
+        city,
+        traj_count,
+        SiteSelection::AllNodes,
+        300.0,
+        WorkloadConfig {
+            uniform_fraction: 0.05,
+            waypoint_probability: 0.2,
+            ..Default::default()
+        },
+        cfg.seed ^ 0x4D52_4547,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -323,6 +359,33 @@ mod tests {
         // Bangalore is by far the smallest network (paper Table 6).
         assert!(bng.net.node_count() < atl.net.node_count());
         assert!(bng.net.node_count() < ny.net.node_count());
+    }
+
+    #[test]
+    fn multi_region_has_cross_region_traffic() {
+        use netclus_roadnet::RegionPartition;
+        let s = multi_region(&tiny(), 4);
+        assert!(is_strongly_connected(&s.net));
+        assert_eq!(s.hotspots.len(), 4);
+        // A 4-way spatial partition must see a healthy share of
+        // shard-crossing (boundary) trajectories.
+        let partition = RegionPartition::build(&s.net, 4);
+        let mut boundary = 0usize;
+        for (_, t) in s.trajectories.iter() {
+            let mut shards: Vec<u32> = t.nodes().iter().map(|&v| partition.shard_of(v)).collect();
+            shards.sort_unstable();
+            shards.dedup();
+            if shards.len() >= 2 {
+                boundary += 1;
+            }
+        }
+        let frac = boundary as f64 / s.trajectory_count() as f64;
+        assert!(
+            frac > 0.2,
+            "expected plenty of corridor trips, got {boundary}/{}",
+            s.trajectory_count()
+        );
+        assert!(frac < 0.95, "intra-core trips vanished ({frac:.2})");
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //!   matching and site placement.
 //! * [`strongly_connected_components`] — connectivity checks for generated
 //!   networks.
+//! * [`RegionPartition`] — region-based vertex partitioning (recursive
+//!   median bisection) for sharded index builds and scatter-gather
+//!   serving.
 //!
 //! All coordinates are planar meters (see [`geometry`]); all edge weights
 //! are meters of road length.
@@ -41,6 +44,7 @@ pub mod error;
 pub mod geometry;
 pub mod graph;
 pub mod ids;
+pub mod partition;
 pub mod roundtrip;
 pub mod scc;
 pub mod spatial;
@@ -51,6 +55,7 @@ pub use error::RoadNetError;
 pub use geometry::{project_wgs84, BoundingBox, Point, EARTH_RADIUS_M, KM};
 pub use graph::{RoadNetwork, RoadNetworkBuilder};
 pub use ids::{EdgeId, NodeId};
+pub use partition::{PartitionStats, RegionPartition};
 pub use roundtrip::RoundTripEngine;
 pub use scc::{is_strongly_connected, strongly_connected_components, SccDecomposition};
 pub use spatial::GridIndex;

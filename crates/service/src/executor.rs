@@ -427,8 +427,9 @@ impl Drop for NetClusService {
     }
 }
 
-fn validate(request: &ServiceRequest) -> Result<(), SubmitError> {
-    let q = &request.query;
+/// Validates the solver-independent part of a TOPS query; shared between
+/// the executor and the shard router so both admission paths agree.
+pub(crate) fn validate_query(q: &TopsQuery) -> Result<(), SubmitError> {
     if q.k == 0 {
         return Err(SubmitError::Invalid("k must be at least 1".into()));
     }
@@ -438,6 +439,12 @@ fn validate(request: &ServiceRequest) -> Result<(), SubmitError> {
     if let Err(why) = q.preference.validate() {
         return Err(SubmitError::Invalid(why));
     }
+    Ok(())
+}
+
+fn validate(request: &ServiceRequest) -> Result<(), SubmitError> {
+    let q = &request.query;
+    validate_query(q)?;
     if matches!(request.variant, QueryVariant::Fm { .. }) && !q.preference.is_binary() {
         return Err(SubmitError::Invalid(
             "FM-NetClus requires the binary preference".into(),

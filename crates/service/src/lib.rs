@@ -30,6 +30,10 @@
 //! * [`metrics`] — latency histogram, throughput, queue depth, cache and
 //!   provider-cache statistics plus provider-build latency, exposed as a
 //!   [`MetricsReport`] serializable to single-line JSON.
+//! * [`shard_router`] — scatter-gather serving over a region-sharded
+//!   index: per-shard snapshot stores in epoch lockstep, a fan-out worker
+//!   pool running the two-round distributed greedy, and per-shard
+//!   latency/replication lanes in the metrics report.
 //!
 //! ## Quick start
 //!
@@ -91,6 +95,7 @@ pub mod cache;
 pub mod executor;
 pub mod metrics;
 pub mod provider_cache;
+pub mod shard_router;
 pub mod snapshot;
 
 pub use cache::{CacheStats, QueryKey, ShardedCache};
@@ -100,9 +105,11 @@ pub use executor::{
 };
 pub use metrics::{
     IngestMetrics, IngestReport, LatencyHistogram, LatencySummary, MetricsReport, ServiceMetrics,
+    ShardLaneReport, ShardReport,
 };
 pub use provider_cache::{quantize_tau, ProviderCache, ProviderCacheStats, ProviderKey};
-pub use snapshot::{Snapshot, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
+pub use shard_router::{ShardRouter, ShardRouterConfig, ShardedServiceAnswer};
+pub use snapshot::{RoutedOp, Snapshot, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
 
 /// Compile-time audit that everything crossing thread boundaries is
 /// `Send + Sync` (the index, corpus, query and answer types the snapshot
@@ -122,4 +129,7 @@ fn send_sync_audit() {
     assert_send_sync::<ServiceAnswer>();
     assert_send_sync::<ServiceMetrics>();
     assert_send_sync::<NetClusService>();
+    assert_send_sync::<netclus::ShardedNetClusIndex>();
+    assert_send_sync::<ShardRouter>();
+    assert_send_sync::<ShardedServiceAnswer>();
 }

@@ -193,12 +193,55 @@ impl ServiceMetrics {
             provider_build: self.provider_build.summary(),
             cache,
             providers,
+            shards: None,
+        }
+    }
+}
+
+/// Per-shard serving statistics of one scatter-gather lane.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardLaneReport {
+    /// Shard id.
+    pub shard: u32,
+    /// Round-1 tasks executed on this shard.
+    pub queries: u64,
+    /// Round-1 latency summary of this shard.
+    pub latency: LatencySummary,
+    /// Trajectories replicated into this shard's corpus view.
+    pub replicated_trajs: u64,
+}
+
+/// Scatter-gather section of a [`MetricsReport`] (present when the report
+/// comes from a `ShardRouter`).
+#[derive(Clone, Debug)]
+pub struct ShardReport {
+    /// Per-shard lanes, in shard order.
+    pub lanes: Vec<ShardLaneReport>,
+    /// Round-2 (merge + solve) latency summary.
+    pub merge: LatencySummary,
+    /// Queries fanned out (each producing one round-1 task per shard).
+    pub fanout_queries: u64,
+    /// Live trajectories in the global corpus.
+    pub trajectories: u64,
+    /// Trajectories touching ≥ 2 shards.
+    pub boundary_trajs: u64,
+    /// Total shard-local trajectory copies.
+    pub replicas: u64,
+}
+
+impl ShardReport {
+    /// Mean shard-local copies per trajectory (1.0 = no replication).
+    pub fn replication_factor(&self) -> f64 {
+        if self.trajectories == 0 {
+            1.0
+        } else {
+            self.replicas as f64 / self.trajectories as f64
         }
     }
 }
 
 /// A point-in-time service report.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct MetricsReport {
     /// Service uptime.
     pub uptime: Duration,
@@ -240,6 +283,8 @@ pub struct MetricsReport {
     pub cache: CacheStats,
     /// Provider-cache counters.
     pub providers: ProviderCacheStats,
+    /// Scatter-gather shard lanes (`None` for unsharded services).
+    pub shards: Option<ShardReport>,
 }
 
 impl MetricsReport {
@@ -316,6 +361,38 @@ impl MetricsReport {
         push_u64(&mut s, "cache_evictions", self.cache.evictions);
         push_u64(&mut s, "cache_invalidated", self.cache.invalidated);
         push_u64(&mut s, "cache_entries", self.cache.entries as u64);
+        if let Some(shards) = &self.shards {
+            push_u64(&mut s, "shards", shards.lanes.len() as u64);
+            push_u64(&mut s, "fanout_queries", shards.fanout_queries);
+            push_u64(&mut s, "merge_mean_us", shards.merge.mean_micros);
+            push_u64(&mut s, "merge_p99_us", shards.merge.p99_micros);
+            push_u64(&mut s, "shard_trajectories", shards.trajectories);
+            push_u64(&mut s, "boundary_trajs", shards.boundary_trajs);
+            push_u64(&mut s, "shard_replicas", shards.replicas);
+            push_f64(&mut s, "replication_factor", shards.replication_factor());
+            for lane in &shards.lanes {
+                push_u64(
+                    &mut s,
+                    &format!("shard{}_queries", lane.shard),
+                    lane.queries,
+                );
+                push_u64(
+                    &mut s,
+                    &format!("shard{}_p50_us", lane.shard),
+                    lane.latency.p50_micros,
+                );
+                push_u64(
+                    &mut s,
+                    &format!("shard{}_p99_us", lane.shard),
+                    lane.latency.p99_micros,
+                );
+                push_u64(
+                    &mut s,
+                    &format!("shard{}_replicated_trajs", lane.shard),
+                    lane.replicated_trajs,
+                );
+            }
+        }
         s.pop(); // trailing comma
         s.push('}');
         s
@@ -614,6 +691,42 @@ mod tests {
         assert!(json.contains("\"records_matched\":8"));
         assert!(json.contains("\"wal_bytes\":4096"));
         assert!(json.contains("\"records_per_sec\":4.000"));
+    }
+
+    #[test]
+    fn shard_section_serializes_when_present() {
+        let clock = MetricsClock::default();
+        let mut report = clock.metrics.report(
+            Duration::from_secs(1),
+            0,
+            2,
+            CacheStats::default(),
+            ProviderCacheStats::default(),
+        );
+        assert!(report.shards.is_none());
+        assert!(!report.to_json_line().contains("\"shards\""));
+        let lane = |shard: u32, queries: u64| ShardLaneReport {
+            shard,
+            queries,
+            latency: LatencySummary::default(),
+            replicated_trajs: 10 + u64::from(shard),
+        };
+        report.shards = Some(ShardReport {
+            lanes: vec![lane(0, 4), lane(1, 4)],
+            merge: LatencySummary::default(),
+            fanout_queries: 4,
+            trajectories: 18,
+            boundary_trajs: 3,
+            replicas: 21,
+        });
+        let json = report.to_json_line();
+        assert!(json.contains("\"shards\":2"));
+        assert!(json.contains("\"shard0_queries\":4"));
+        assert!(json.contains("\"shard1_replicated_trajs\":11"));
+        assert!(json.contains("\"boundary_trajs\":3"));
+        assert!(json.contains("\"replication_factor\":1.167"));
+        assert!(!json.contains('\n'));
+        assert!(json.ends_with('}'));
     }
 
     #[test]

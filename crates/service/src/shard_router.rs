@@ -1,0 +1,734 @@
+//! The scatter-gather shard router: per-shard snapshot stores, a fan-out
+//! worker pool, and the two-round distributed greedy over them.
+//!
+//! [`ShardRouter`] is the sharded sibling of
+//! [`NetClusService`](crate::executor::NetClusService). It owns one
+//! [`SnapshotStore`] per shard of a
+//! [`netclus::ShardedNetClusIndex`] (all
+//! sharing the same `Arc`-held road network) and answers each query by
+//!
+//! 1. **scattering** one round-1 task per shard onto its worker pool —
+//!    each worker pins that shard's snapshot, builds the τ-provider with
+//!    its reusable scratch and runs the local arena-backed Inc-Greedy for
+//!    `k` local candidates;
+//! 2. **gathering** the candidate union and running the exact round-2
+//!    greedy on the merged coverage view (see `netclus::shard` for the
+//!    approximation contract).
+//!
+//! ## Epoch lockstep
+//!
+//! Updates are routed: a trajectory add is assigned a **global** id by the
+//! router and shipped only to the shards it touches
+//! ([`RoutedOp::AddTrajectoryAt`]), while every other shard publishes an
+//! empty batch — so all shard stores advance epochs in lockstep and a
+//! gather never mixes epochs. Queries hold a shared read guard against the
+//! router's update lock for the duration of one fan-out; updates take the
+//! write side, so a scatter observes either all-old or all-new shards,
+//! never a torn mix (asserted at gather time).
+//!
+//! ## Metrics
+//!
+//! [`ShardRouter::metrics_report`] returns the standard
+//! [`MetricsReport`] with the scatter-gather section filled: per-shard
+//! round-1 latency lanes, round-2 merge latency, fan-out counts and the
+//! trajectory replication gauges.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Sender};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use netclus::shard::{local_candidates, merge_candidates, ShardRoundOne};
+use netclus::{NetClusShard, ProviderScratch, ReplicationStats, ShardedNetClusIndex, TopsQuery};
+use netclus_roadnet::{NodeId, RegionPartition, RoadNetwork};
+use netclus_trajectory::TrajId;
+
+use crate::executor::{validate_query, SubmitError};
+use crate::metrics::{LatencyHistogram, MetricsClock, MetricsReport, ShardLaneReport, ShardReport};
+use crate::provider_cache::quantize_tau;
+use crate::snapshot::{RoutedOp, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
+
+/// Router configuration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardRouterConfig {
+    /// Worker threads executing round-1 shard tasks; 0 (the default)
+    /// means one lane per shard.
+    pub workers: usize,
+}
+
+/// A scatter-gather answer: the merged round-2 solution plus per-shard
+/// round-1 timings, all computed against one epoch across every shard.
+#[derive(Clone, Debug)]
+pub struct ShardedServiceAnswer {
+    /// The (lockstep) epoch every shard snapshot was pinned at.
+    pub epoch: u64,
+    /// Selected sites, in round-2 selection order.
+    pub sites: Vec<NodeId>,
+    /// Round-2 utility under the estimated detours `d̂r`.
+    pub utility: f64,
+    /// Trajectories with positive utility in the merged view.
+    pub covered: usize,
+    /// Index instance that served the query.
+    pub instance: usize,
+    /// Size of the round-2 candidate union (≤ shards × k).
+    pub candidates: usize,
+    /// Round-1 wall-clock per shard, microseconds, in shard order.
+    pub shard_micros: Vec<u64>,
+    /// Round-2 (merge + solve) wall-clock, microseconds.
+    pub merge_micros: u64,
+    /// End-to-end scatter-gather wall-clock, microseconds.
+    pub total_micros: u64,
+}
+
+/// One round-1 unit of work handed to the pool.
+struct ShardTask {
+    shard: u32,
+    query: TopsQuery,
+    /// `(shard, epoch, traj_id_bound, round)` — the bound rides along
+    /// because shard bounds can differ (a shard that never received a
+    /// trajectory keeps the shorter id space), and the merge must size
+    /// its inversion to the largest.
+    reply: Sender<(u32, u64, usize, ShardRoundOne)>,
+}
+
+struct RouterQueue {
+    tasks: VecDeque<ShardTask>,
+    shutdown: bool,
+}
+
+/// Mutable update-side state, serialized by the update lock's write side.
+struct UpdateState {
+    /// Next global trajectory id to assign.
+    next_id: u64,
+    /// Live replication bookkeeping (kept in sync with routed updates).
+    replication: ReplicationStats,
+}
+
+struct RouterInner {
+    net: Arc<RoadNetwork>,
+    partition: RegionPartition,
+    stores: Vec<SnapshotStore>,
+    /// Queries take `read`, updates take `write`: a fan-out observes every
+    /// shard at one lockstep epoch.
+    update_lock: RwLock<UpdateState>,
+    queue: Mutex<RouterQueue>,
+    queue_cv: Condvar,
+    stopping: AtomicBool,
+    clock: MetricsClock,
+    /// Round-1 latency per shard lane.
+    shard_latency: Vec<LatencyHistogram>,
+    /// Round-1 tasks executed per shard lane.
+    shard_tasks: Vec<AtomicU64>,
+    /// Round-2 merge latency.
+    merge_latency: LatencyHistogram,
+    /// Fan-out queries completed.
+    fanout_queries: AtomicU64,
+}
+
+/// The sharded in-process query server. See the module docs.
+pub struct ShardRouter {
+    inner: Arc<RouterInner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl ShardRouter {
+    /// Consumes a built [`ShardedNetClusIndex`], publishes each shard as
+    /// epoch 0 of its own snapshot store and starts the worker pool.
+    pub fn start(
+        net: Arc<RoadNetwork>,
+        sharded: ShardedNetClusIndex,
+        cfg: ShardRouterConfig,
+    ) -> Self {
+        let next_id = sharded.traj_id_bound() as u64;
+        let (partition, shards, replication) = sharded.into_parts();
+        let stores: Vec<SnapshotStore> = shards
+            .into_iter()
+            .map(|NetClusShard { trajs, index, .. }| {
+                SnapshotStore::with_shared_net(Arc::clone(&net), trajs, index)
+            })
+            .collect();
+        let lanes = stores.len();
+        let workers = if cfg.workers == 0 { lanes } else { cfg.workers }.max(1);
+        let inner = Arc::new(RouterInner {
+            net,
+            partition,
+            stores,
+            update_lock: RwLock::new(UpdateState {
+                next_id,
+                replication,
+            }),
+            queue: Mutex::new(RouterQueue {
+                tasks: VecDeque::new(),
+                shutdown: false,
+            }),
+            queue_cv: Condvar::new(),
+            stopping: AtomicBool::new(false),
+            clock: MetricsClock::default(),
+            shard_latency: (0..lanes).map(|_| LatencyHistogram::default()).collect(),
+            shard_tasks: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
+            merge_latency: LatencyHistogram::default(),
+            fanout_queries: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("netclus-shard-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn shard worker")
+            })
+            .collect();
+        ShardRouter {
+            inner,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Number of shards served.
+    pub fn shard_count(&self) -> usize {
+        self.inner.stores.len()
+    }
+
+    /// The (lockstep) epoch currently published by every shard store.
+    pub fn epoch(&self) -> u64 {
+        self.inner.stores[0].epoch()
+    }
+
+    /// The node partition queries are routed by.
+    pub fn partition(&self) -> &RegionPartition {
+        &self.inner.partition
+    }
+
+    /// Answers one TOPS query with the two-round scatter-gather protocol,
+    /// blocking until the merged answer is ready.
+    pub fn query_blocking(
+        &self,
+        mut query: TopsQuery,
+    ) -> Result<Arc<ShardedServiceAnswer>, SubmitError> {
+        query.tau = quantize_tau(query.tau);
+        validate_query(&query)?;
+        let inner = &*self.inner;
+        if inner.stopping.load(Ordering::Acquire) {
+            inner.clock.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+            return Err(SubmitError::ShuttingDown);
+        }
+        inner
+            .clock
+            .metrics
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+        let start = Instant::now();
+
+        // Shared read guard: updates (write side) cannot interleave with
+        // the fan-out, so every shard is pinned at one lockstep epoch.
+        let _fanout = inner.update_lock.read().expect("update lock poisoned");
+        let lanes = inner.stores.len();
+        let (tx, rx) = channel();
+        {
+            let mut queue = inner.queue.lock().expect("router queue poisoned");
+            if queue.shutdown {
+                inner.clock.metrics.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(SubmitError::ShuttingDown);
+            }
+            for shard in 0..lanes as u32 {
+                queue.tasks.push_back(ShardTask {
+                    shard,
+                    query,
+                    reply: tx.clone(),
+                });
+                inner.clock.metrics.queue_enter();
+            }
+        }
+        inner.queue_cv.notify_all();
+        drop(tx);
+
+        let mut rounds: Vec<Option<(u64, usize, ShardRoundOne)>> =
+            (0..lanes).map(|_| None).collect();
+        for _ in 0..lanes {
+            let Ok((shard, epoch, bound, round)) = rx.recv() else {
+                return Err(SubmitError::ShuttingDown);
+            };
+            rounds[shard as usize] = Some((epoch, bound, round));
+        }
+        let merge_start = Instant::now();
+        let mut epoch = 0u64;
+        let mut bound = 0usize;
+        let mut shard_micros = Vec::with_capacity(lanes);
+        let mut candidates = Vec::new();
+        let mut instance = 0usize;
+        for (shard, slot) in rounds.into_iter().enumerate() {
+            let (e, b, round) = slot.expect("every shard replied");
+            if shard == 0 {
+                epoch = e;
+                instance = round.instance;
+            } else {
+                assert_eq!(e, epoch, "scatter mixed epochs {e} vs {epoch}");
+            }
+            bound = bound.max(b);
+            shard_micros.push(round.elapsed.as_micros() as u64);
+            candidates.extend(round.candidates);
+        }
+        let (solution, candidate_count) = merge_candidates(candidates, &query, bound);
+        inner.merge_latency.record(merge_start.elapsed());
+        inner.fanout_queries.fetch_add(1, Ordering::Relaxed);
+        inner
+            .clock
+            .metrics
+            .completed
+            .fetch_add(1, Ordering::Relaxed);
+        inner.clock.metrics.latency.record(start.elapsed());
+
+        Ok(Arc::new(ShardedServiceAnswer {
+            epoch,
+            covered: solution.covered,
+            utility: solution.utility,
+            sites: solution.sites,
+            instance,
+            candidates: candidate_count,
+            shard_micros,
+            merge_micros: merge_start.elapsed().as_micros() as u64,
+            total_micros: start.elapsed().as_micros() as u64,
+        }))
+    }
+
+    /// Applies an update batch: trajectory adds receive router-assigned
+    /// global ids and are shipped to exactly the shards they touch; every
+    /// shard store publishes the next epoch (possibly from an empty batch)
+    /// so epochs stay in lockstep. Returns the aggregate receipt under the
+    /// new epoch.
+    pub fn apply_updates(&self, batch: UpdateBatch) -> UpdateReceipt {
+        let inner = &*self.inner;
+        let t = Instant::now();
+        let mut state = inner.update_lock.write().expect("update lock poisoned");
+        let lanes = inner.stores.len();
+        let snaps: Vec<_> = inner.stores.iter().map(SnapshotStore::load).collect();
+        let mut routed: Vec<Vec<RoutedOp>> = (0..lanes).map(|_| Vec::new()).collect();
+        let mut applied = 0usize;
+        let mut rejected = 0usize;
+        // Within-batch overlay so sequenced ops (remove site, re-add it)
+        // validate against the state earlier ops in this batch produced,
+        // matching the monolithic store's sequential semantics.
+        let mut site_overlay: std::collections::HashMap<u32, bool> =
+            std::collections::HashMap::new();
+        let mut removed_trajs: std::collections::HashSet<u32> = std::collections::HashSet::new();
+        let mut added_owners: std::collections::HashMap<u32, Vec<u32>> =
+            std::collections::HashMap::new();
+        for op in batch {
+            match op {
+                UpdateOp::AddTrajectory(traj) => {
+                    if traj
+                        .nodes()
+                        .iter()
+                        .any(|v| v.index() >= inner.net.node_count())
+                    {
+                        rejected += 1;
+                        continue;
+                    }
+                    let owners = netclus::shards_of_trajectory(&inner.partition, &traj);
+                    let id = TrajId(state.next_id as u32);
+                    state.next_id += 1;
+                    state.replication.trajectories += 1;
+                    state.replication.replicas += owners.len();
+                    if owners.len() >= 2 {
+                        state.replication.boundary += 1;
+                    }
+                    for &s in &owners {
+                        state.replication.per_shard[s as usize] += 1;
+                        routed[s as usize].push(RoutedOp::AddTrajectoryAt(id, traj.clone()));
+                    }
+                    added_owners.insert(id.0, owners);
+                    applied += 1;
+                }
+                UpdateOp::RemoveTrajectory(id) => {
+                    // A trajectory added earlier in this same batch is
+                    // removable — per-shard ops stay sequenced, matching
+                    // the monolithic store's semantics.
+                    let owners: Vec<u32> = match added_owners.get(&id.0) {
+                        Some(owners) => owners.clone(),
+                        None => (0..lanes as u32)
+                            .filter(|&s| snaps[s as usize].trajs().get(id).is_some())
+                            .collect(),
+                    };
+                    if owners.is_empty() || !removed_trajs.insert(id.0) {
+                        rejected += 1;
+                        continue;
+                    }
+                    state.replication.trajectories -= 1;
+                    state.replication.replicas -= owners.len();
+                    if owners.len() >= 2 {
+                        state.replication.boundary -= 1;
+                    }
+                    for &s in &owners {
+                        state.replication.per_shard[s as usize] -= 1;
+                        routed[s as usize].push(RoutedOp::RemoveTrajectory(id));
+                    }
+                    applied += 1;
+                }
+                UpdateOp::AddSite(v) => {
+                    if v.index() >= inner.net.node_count() {
+                        rejected += 1;
+                        continue;
+                    }
+                    let s = inner.partition.shard_of(v) as usize;
+                    let is_site = site_overlay
+                        .get(&v.0)
+                        .copied()
+                        .unwrap_or_else(|| snaps[s].index().is_site(v));
+                    if is_site {
+                        rejected += 1;
+                    } else {
+                        site_overlay.insert(v.0, true);
+                        routed[s].push(RoutedOp::AddSite(v));
+                        applied += 1;
+                    }
+                }
+                UpdateOp::RemoveSite(v) => {
+                    if v.index() >= inner.net.node_count() {
+                        rejected += 1;
+                        continue;
+                    }
+                    let s = inner.partition.shard_of(v) as usize;
+                    let is_site = site_overlay
+                        .get(&v.0)
+                        .copied()
+                        .unwrap_or_else(|| snaps[s].index().is_site(v));
+                    if is_site {
+                        site_overlay.insert(v.0, false);
+                        routed[s].push(RoutedOp::RemoveSite(v));
+                        applied += 1;
+                    } else {
+                        rejected += 1;
+                    }
+                }
+            }
+        }
+        let mut epoch = 0;
+        for (store, ops) in inner.stores.iter().zip(&routed) {
+            epoch = store.apply_routed(ops).epoch;
+        }
+        let metrics = &inner.clock.metrics;
+        metrics.update_latency.record(t.elapsed());
+        metrics.epoch_advances.fetch_add(1, Ordering::Relaxed);
+        metrics
+            .updates_applied
+            .fetch_add(applied as u64, Ordering::Relaxed);
+        UpdateReceipt {
+            epoch,
+            applied,
+            rejected,
+        }
+    }
+
+    /// Pins shard `s`'s current snapshot (out-of-band inspection).
+    pub fn shard_snapshot(&self, s: usize) -> Arc<crate::snapshot::Snapshot> {
+        self.inner.stores[s].load()
+    }
+
+    /// A point-in-time report with the scatter-gather section filled.
+    pub fn metrics_report(&self) -> MetricsReport {
+        let inner = &*self.inner;
+        let state = inner.update_lock.read().expect("update lock poisoned");
+        let replication = state.replication.clone();
+        drop(state);
+        let mut report = inner.clock.metrics.report(
+            inner.clock.uptime(),
+            self.epoch(),
+            self.workers.lock().map(|w| w.len()).unwrap_or(0).max(1),
+            Default::default(),
+            Default::default(),
+        );
+        report.shards = Some(ShardReport {
+            lanes: inner
+                .shard_latency
+                .iter()
+                .zip(&inner.shard_tasks)
+                .enumerate()
+                .map(|(s, (hist, tasks))| ShardLaneReport {
+                    shard: s as u32,
+                    queries: tasks.load(Ordering::Relaxed),
+                    latency: hist.summary(),
+                    replicated_trajs: replication.per_shard.get(s).copied().unwrap_or(0) as u64,
+                })
+                .collect(),
+            merge: inner.merge_latency.summary(),
+            fanout_queries: inner.fanout_queries.load(Ordering::Relaxed),
+            trajectories: replication.trajectories as u64,
+            boundary_trajs: replication.boundary as u64,
+            replicas: replication.replicas as u64,
+        });
+        report
+    }
+
+    /// Stops the workers and joins them. Idempotent; also run by `Drop`.
+    pub fn shutdown(&self) {
+        self.inner.stopping.store(true, Ordering::Release);
+        {
+            let mut queue = self.inner.queue.lock().expect("router queue poisoned");
+            queue.shutdown = true;
+        }
+        self.inner.queue_cv.notify_all();
+        let mut workers = self.workers.lock().expect("workers lock poisoned");
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ShardRouter {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Worker loop: pop a shard task, pin that shard's snapshot, run round 1.
+/// Each worker owns one [`ProviderScratch`] reused across tasks.
+fn worker_loop(inner: &RouterInner) {
+    let mut scratch = ProviderScratch::default();
+    loop {
+        let task = {
+            let mut queue = inner.queue.lock().expect("router queue poisoned");
+            loop {
+                if let Some(task) = queue.tasks.pop_front() {
+                    break task;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = inner.queue_cv.wait(queue).expect("router queue poisoned");
+            }
+        };
+        inner.clock.metrics.queue_exit(1);
+        let snap = inner.stores[task.shard as usize].load();
+        let t = Instant::now();
+        let round = local_candidates(
+            snap.index(),
+            &task.query,
+            snap.trajs().id_bound(),
+            &mut scratch,
+        );
+        inner.shard_latency[task.shard as usize].record(t.elapsed());
+        inner.shard_tasks[task.shard as usize].fetch_add(1, Ordering::Relaxed);
+        // A gather that vanished (client gone) is fine to ignore.
+        let _ = task
+            .reply
+            .send((task.shard, snap.epoch(), snap.trajs().id_bound(), round));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclus::prelude::*;
+    use netclus_roadnet::{Point, RoadNetworkBuilder};
+    use netclus_trajectory::{Trajectory, TrajectorySet};
+
+    /// Two far-separated 12-node lines; trajectories confined per region.
+    fn fixture() -> (
+        Arc<RoadNetwork>,
+        TrajectorySet,
+        Vec<NodeId>,
+        RegionPartition,
+    ) {
+        let mut b = RoadNetworkBuilder::new();
+        for region in 0..2 {
+            let x0 = region as f64 * 1_000_000.0;
+            let base = b.node_count() as u32;
+            for i in 0..12 {
+                b.add_node(Point::new(x0 + i as f64 * 100.0, 0.0));
+            }
+            for i in 0..11u32 {
+                b.add_two_way(NodeId(base + i), NodeId(base + i + 1), 100.0)
+                    .unwrap();
+            }
+        }
+        let net = Arc::new(b.build().unwrap());
+        let mut trajs = TrajectorySet::for_network(&net);
+        for s in 0..5u32 {
+            trajs.add(Trajectory::new((s..s + 6).map(NodeId).collect()));
+        }
+        for s in 0..3u32 {
+            trajs.add(Trajectory::new((12 + s..12 + s + 5).map(NodeId).collect()));
+        }
+        let sites: Vec<NodeId> = net.nodes().collect();
+        let partition = RegionPartition::build(&net, 2);
+        (net, trajs, sites, partition)
+    }
+
+    fn router(workers: usize) -> (ShardRouter, Arc<RoadNetwork>, TrajectorySet, Vec<NodeId>) {
+        let (net, trajs, sites, partition) = fixture();
+        let cfg = NetClusConfig {
+            tau_min: 200.0,
+            tau_max: 3_000.0,
+            threads: 1,
+            ..Default::default()
+        };
+        let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, cfg);
+        let router = ShardRouter::start(Arc::clone(&net), sharded, ShardRouterConfig { workers });
+        (router, net, trajs, sites)
+    }
+
+    #[test]
+    fn scatter_gather_matches_direct_sharded_query() {
+        let (router, net, trajs, sites) = router(2);
+        let cfg = NetClusConfig {
+            tau_min: 200.0,
+            tau_max: 3_000.0,
+            threads: 1,
+            ..Default::default()
+        };
+        let partition = RegionPartition::build(&net, 2);
+        let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, cfg);
+        for (k, tau) in [(1, 400.0), (2, 800.0), (3, 1_200.0)] {
+            let q = TopsQuery::binary(k, tau);
+            let served = router.query_blocking(q).unwrap();
+            let direct = sharded.query(&q);
+            assert_eq!(served.sites, direct.solution.sites, "k={k} τ={tau}");
+            assert_eq!(served.epoch, 0);
+            assert_eq!(served.shard_micros.len(), 2);
+        }
+        let report = router.metrics_report();
+        assert_eq!(report.completed, 3);
+        let shards = report.shards.expect("router report carries shards");
+        assert_eq!(shards.fanout_queries, 3);
+        assert_eq!(shards.lanes.len(), 2);
+        assert_eq!(shards.lanes[0].queries, 3);
+        assert_eq!(shards.lanes[1].queries, 3);
+        assert_eq!(shards.trajectories, 8);
+        router.shutdown();
+    }
+
+    #[test]
+    fn routed_updates_keep_epochs_lockstep_and_ids_global() {
+        let (router, ..) = router(2);
+        assert_eq!(router.epoch(), 0);
+        // A trajectory in region 1 only: shard 1 gets the op, shard 0 an
+        // empty batch; both advance.
+        let receipt = router.apply_updates(vec![UpdateOp::AddTrajectory(Trajectory::new(
+            (14..19).map(NodeId).collect(),
+        ))]);
+        assert_eq!(receipt.epoch, 1);
+        assert_eq!((receipt.applied, receipt.rejected), (1, 0));
+        assert_eq!(router.shard_snapshot(0).epoch(), 1);
+        assert_eq!(router.shard_snapshot(1).epoch(), 1);
+        // Global id 8 was assigned; shard 0 must have a tombstone-aligned
+        // bound even though it never saw the trajectory.
+        assert_eq!(router.shard_snapshot(1).trajs().id_bound(), 9);
+        assert!(router.shard_snapshot(1).trajs().get(TrajId(8)).is_some());
+        assert!(router.shard_snapshot(0).trajs().get(TrajId(8)).is_none());
+        // The next add lands on id 9 in *both* shards' id space.
+        let receipt = router.apply_updates(vec![UpdateOp::AddTrajectory(Trajectory::new(
+            (2..6).map(NodeId).collect(),
+        ))]);
+        assert_eq!(receipt.epoch, 2);
+        assert_eq!(
+            router.shard_snapshot(0).trajs().get(TrajId(9)).is_some(),
+            true
+        );
+        assert_eq!(router.shard_snapshot(0).trajs().id_bound(), 10);
+        // Queries see the new demand.
+        let q = TopsQuery::binary(1, 600.0);
+        let answer = router.query_blocking(q).unwrap();
+        assert_eq!(answer.epoch, 2);
+        router.shutdown();
+    }
+
+    #[test]
+    fn update_replication_counters_track_adds_and_removes() {
+        let (router, ..) = router(1);
+        let before = router.metrics_report().shards.unwrap();
+        assert_eq!(before.trajectories, 8);
+        assert_eq!(before.boundary_trajs, 0);
+        router.apply_updates(vec![UpdateOp::AddTrajectory(Trajectory::new(
+            (0..4).map(NodeId).collect(),
+        ))]);
+        let after = router.metrics_report().shards.unwrap();
+        assert_eq!(after.trajectories, 9);
+        assert_eq!(after.replicas, 9);
+        router.apply_updates(vec![UpdateOp::RemoveTrajectory(TrajId(8))]);
+        let removed = router.metrics_report().shards.unwrap();
+        assert_eq!(removed.trajectories, 8);
+        // Site ops route to the owning shard; a duplicate add is rejected.
+        let r = router.apply_updates(vec![
+            UpdateOp::RemoveSite(NodeId(3)),
+            UpdateOp::AddSite(NodeId(3)),
+            UpdateOp::AddSite(NodeId(4)),
+        ]);
+        assert_eq!((r.applied, r.rejected), (2, 1));
+        router.shutdown();
+    }
+
+    #[test]
+    fn in_batch_add_then_remove_matches_sequential_semantics() {
+        let (router, ..) = router(1);
+        // Initial corpus bound is 8, so the add receives global id 8; the
+        // remove later in the same batch must see it, like the monolithic
+        // store's sequential apply would.
+        let r = router.apply_updates(vec![
+            UpdateOp::AddTrajectory(Trajectory::new((0..4).map(NodeId).collect())),
+            UpdateOp::RemoveTrajectory(TrajId(8)),
+            UpdateOp::RemoveTrajectory(TrajId(8)), // double remove: no-op
+        ]);
+        assert_eq!((r.applied, r.rejected), (2, 1));
+        assert!(router.shard_snapshot(0).trajs().get(TrajId(8)).is_none());
+        let rep = router.metrics_report().shards.unwrap();
+        assert_eq!(rep.trajectories, 8, "replication gauge must unwind");
+        assert_eq!(rep.replicas, 8);
+        router.shutdown();
+    }
+
+    #[test]
+    fn invalid_queries_fail_fast_and_shutdown_is_terminal() {
+        let (router, ..) = router(1);
+        assert!(matches!(
+            router.query_blocking(TopsQuery::binary(0, 500.0)),
+            Err(SubmitError::Invalid(_))
+        ));
+        assert!(matches!(
+            router.query_blocking(TopsQuery::binary(1, -4.0)),
+            Err(SubmitError::Invalid(_))
+        ));
+        router.shutdown();
+        router.shutdown();
+        assert!(matches!(
+            router.query_blocking(TopsQuery::binary(1, 500.0)),
+            Err(SubmitError::ShuttingDown)
+        ));
+    }
+
+    #[test]
+    fn concurrent_queries_and_updates_never_tear() {
+        let (router, ..) = router(3);
+        let router = Arc::new(router);
+        let stop = Arc::new(AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            let r = Arc::clone(&router);
+            let s = Arc::clone(&stop);
+            scope.spawn(move || {
+                for i in 0..20 {
+                    r.apply_updates(vec![UpdateOp::AddTrajectory(Trajectory::new(
+                        ((i % 6)..(i % 6) + 4).map(NodeId).collect(),
+                    ))]);
+                }
+                s.store(true, Ordering::Release);
+            });
+            for _ in 0..2 {
+                let r = Arc::clone(&router);
+                let s = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut n = 0u32;
+                    while !s.load(Ordering::Acquire) || n == 0 {
+                        let a = r.query_blocking(TopsQuery::binary(2, 700.0)).unwrap();
+                        // The gather asserts lockstep internally; the
+                        // answer must also be self-consistent.
+                        assert!(a.epoch <= 20);
+                        n += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(router.epoch(), 20);
+        router.shutdown();
+    }
+}

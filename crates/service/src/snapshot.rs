@@ -74,6 +74,25 @@ pub enum UpdateOp {
 /// A batch of updates applied and published as one epoch.
 pub type UpdateBatch = Vec<UpdateOp>;
 
+/// A shard-routed update operation: like [`UpdateOp`], but trajectory
+/// additions carry an explicit, router-assigned **global** id. A shard
+/// only receives the trajectories that touch it, so its local id sequence
+/// has gaps — the explicit id (applied via
+/// [`TrajectorySet::insert_at`]) keeps every shard's id space aligned
+/// with the global one, which is what lets round-2 merges mix coverage
+/// rows from different shards.
+#[derive(Clone, Debug)]
+pub enum RoutedOp {
+    /// Adds a trajectory under a pre-assigned global id.
+    AddTrajectoryAt(TrajId, Trajectory),
+    /// Removes a trajectory by id; a no-op if dead or unknown.
+    RemoveTrajectory(TrajId),
+    /// Flags an existing network vertex as a candidate site.
+    AddSite(NodeId),
+    /// Unflags a candidate site.
+    RemoveSite(NodeId),
+}
+
 /// What a published batch did.
 #[derive(Clone, Copy, Debug)]
 pub struct UpdateReceipt {
@@ -103,9 +122,20 @@ impl SnapshotStore {
         trajs: TrajectorySet,
         index: NetClusIndex,
     ) -> Self {
+        Self::with_shared_net(Arc::new(net), trajs, index)
+    }
+
+    /// [`SnapshotStore::new`] over an already-shared road network — the
+    /// sharded-serving constructor, where every per-shard store serves the
+    /// same full network without duplicating it.
+    pub fn with_shared_net(
+        net: Arc<netclus_roadnet::RoadNetwork>,
+        trajs: TrajectorySet,
+        index: NetClusIndex,
+    ) -> Self {
         let snapshot = Snapshot {
             epoch: 0,
-            net: Arc::new(net),
+            net,
             trajs: Arc::new(trajs),
             index: Arc::new(index),
         };
@@ -133,6 +163,35 @@ impl SnapshotStore {
     /// An empty batch still publishes a new (identical) epoch, which can be
     /// used to force cache invalidation.
     pub fn apply(&self, batch: &[UpdateOp]) -> UpdateReceipt {
+        self.apply_with(batch.iter().map(|op| match op {
+            UpdateOp::AddTrajectory(t) => GenericOp::AddTrajectory(None, t),
+            UpdateOp::RemoveTrajectory(id) => GenericOp::RemoveTrajectory(*id),
+            UpdateOp::AddSite(v) => GenericOp::AddSite(*v),
+            UpdateOp::RemoveSite(v) => GenericOp::RemoveSite(*v),
+        }))
+    }
+
+    /// The shard-routed variant of [`SnapshotStore::apply`]: trajectory
+    /// additions land under their pre-assigned global ids. An empty batch
+    /// still publishes a new epoch — the shard router leans on this to
+    /// keep every shard store's epoch in lockstep even when a batch
+    /// touches only some shards.
+    pub fn apply_routed(&self, ops: &[RoutedOp]) -> UpdateReceipt {
+        self.apply_with(ops.iter().map(|op| match op {
+            RoutedOp::AddTrajectoryAt(id, t) => GenericOp::AddTrajectory(Some(*id), t),
+            RoutedOp::RemoveTrajectory(id) => GenericOp::RemoveTrajectory(*id),
+            RoutedOp::AddSite(v) => GenericOp::AddSite(*v),
+            RoutedOp::RemoveSite(v) => GenericOp::RemoveSite(*v),
+        }))
+    }
+
+    /// The single writer path behind [`SnapshotStore::apply`] and
+    /// [`SnapshotStore::apply_routed`]: copy-on-write clone, sequential op
+    /// application, atomic publish of the next epoch.
+    fn apply_with<'a, I>(&self, ops: I) -> UpdateReceipt
+    where
+        I: Iterator<Item = GenericOp<'a>>,
+    {
         let _writer = self.writer.lock().expect("writer lock poisoned");
         let base = self.load();
         // Private copies; the network is fixed and shared.
@@ -140,29 +199,43 @@ impl SnapshotStore {
         let mut index = (*base.index).clone();
         let mut applied = 0usize;
         let mut rejected = 0usize;
-        for op in batch {
+        for op in ops {
             let ok = match op {
-                UpdateOp::AddTrajectory(t) => {
+                GenericOp::AddTrajectory(id, t) => {
                     if t.nodes().iter().any(|v| v.index() >= base.net.node_count()) {
                         false
                     } else {
-                        let id = trajs.add(t.clone());
-                        index.add_trajectory(id, t);
-                        true
+                        match id {
+                            // Router-assigned global id: refuse occupied
+                            // slots instead of silently relabeling.
+                            Some(id) => {
+                                if trajs.insert_at(id, t.clone()) {
+                                    index.add_trajectory(id, t);
+                                    true
+                                } else {
+                                    false
+                                }
+                            }
+                            None => {
+                                let id = trajs.add(t.clone());
+                                index.add_trajectory(id, t);
+                                true
+                            }
+                        }
                     }
                 }
-                UpdateOp::RemoveTrajectory(id) => match trajs.remove(*id) {
+                GenericOp::RemoveTrajectory(id) => match trajs.remove(id) {
                     Some(_) => {
-                        index.remove_trajectory(*id);
+                        index.remove_trajectory(id);
                         true
                     }
                     None => false,
                 },
-                UpdateOp::AddSite(v) => {
-                    v.index() < base.net.node_count() && index.add_site(&trajs, *v)
+                GenericOp::AddSite(v) => {
+                    v.index() < base.net.node_count() && index.add_site(&trajs, v)
                 }
-                UpdateOp::RemoveSite(v) => {
-                    v.index() < base.net.node_count() && index.remove_site(&trajs, *v)
+                GenericOp::RemoveSite(v) => {
+                    v.index() < base.net.node_count() && index.remove_site(&trajs, v)
                 }
             };
             if ok {
@@ -185,6 +258,16 @@ impl SnapshotStore {
             rejected,
         }
     }
+}
+
+/// The union of [`UpdateOp`] and [`RoutedOp`] the single writer path works
+/// on: a trajectory add either predicts the next dense id (`None`) or
+/// carries a router-assigned one (`Some`).
+enum GenericOp<'a> {
+    AddTrajectory(Option<TrajId>, &'a Trajectory),
+    RemoveTrajectory(TrajId),
+    AddSite(NodeId),
+    RemoveSite(NodeId),
 }
 
 #[cfg(test)]
@@ -275,6 +358,32 @@ mod tests {
         let fresh = rebuilt.query(snap.trajs(), &q);
         assert_eq!(served.solution.sites, fresh.solution.sites);
         assert!((served.solution.utility - fresh.solution.utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn apply_routed_preserves_explicit_ids() {
+        let store = fixture();
+        // Pretend trajectory ids 1 and 2 were assigned elsewhere; this
+        // shard only receives id 2 — the id space must stay aligned.
+        let r = store.apply_routed(&[RoutedOp::AddTrajectoryAt(
+            TrajId(2),
+            Trajectory::new((5..9).map(NodeId).collect()),
+        )]);
+        assert_eq!((r.applied, r.rejected), (1, 0));
+        let snap = store.load();
+        assert_eq!(snap.trajs().id_bound(), 3);
+        assert!(snap.trajs().get(TrajId(1)).is_none());
+        assert!(snap.trajs().get(TrajId(2)).is_some());
+        // Occupied slot and off-network nodes are rejected.
+        let r = store.apply_routed(&[
+            RoutedOp::AddTrajectoryAt(TrajId(2), Trajectory::new(vec![NodeId(0)])),
+            RoutedOp::AddTrajectoryAt(TrajId(5), Trajectory::new(vec![NodeId(99)])),
+            RoutedOp::RemoveTrajectory(TrajId(2)),
+        ]);
+        assert_eq!((r.applied, r.rejected), (1, 2));
+        // An empty routed batch still advances the epoch (lockstep).
+        let r = store.apply_routed(&[]);
+        assert_eq!(r.epoch, 3);
     }
 
     #[test]

@@ -58,6 +58,53 @@ impl TrajectorySet {
         id
     }
 
+    /// Inserts a trajectory under an explicit id, padding the id space with
+    /// tombstones if `id` lies beyond the current bound. Returns `false`
+    /// (and changes nothing) if the slot is already occupied by a live
+    /// trajectory.
+    ///
+    /// This is the sharded-serving write path: a router assigns one global
+    /// id per trajectory and replays it into every owning shard's set, so
+    /// coverage rows from different shards stay keyed by the same ids.
+    pub fn insert_at(&mut self, id: TrajId, traj: Trajectory) -> bool {
+        if id.index() < self.trajs.len() {
+            if self.trajs[id.index()].is_some() {
+                return false;
+            }
+        } else {
+            self.trajs.resize_with(id.index() + 1, || None);
+        }
+        self.index_nodes(id, &traj);
+        self.trajs[id.index()] = Some(traj);
+        self.live += 1;
+        true
+    }
+
+    /// The id-preserving subset containing exactly the live trajectories
+    /// `keep` accepts: kept trajectories retain their ids (dropped ones
+    /// become tombstones), so `id_bound` — and with it every id-indexed
+    /// array — matches the parent set. This is how per-shard corpus views
+    /// are carved out of a global corpus.
+    pub fn subset_where<F>(&self, mut keep: F) -> TrajectorySet
+    where
+        F: FnMut(TrajId, &Trajectory) -> bool,
+    {
+        let mut out = TrajectorySet::new(self.node_index.len());
+        out.trajs.reserve(self.trajs.len());
+        for (i, slot) in self.trajs.iter().enumerate() {
+            let id = TrajId::from_index(i);
+            match slot {
+                Some(t) if keep(id, t) => {
+                    out.index_nodes(id, t);
+                    out.trajs.push(Some(t.clone()));
+                    out.live += 1;
+                }
+                _ => out.trajs.push(None),
+            }
+        }
+        out
+    }
+
     /// Removes a trajectory. Returns the removed trajectory, or `None` if it
     /// was already removed or never existed.
     pub fn remove(&mut self, id: TrajId) -> Option<Trajectory> {
@@ -251,5 +298,43 @@ mod tests {
     fn out_of_range_node_panics() {
         let mut set = TrajectorySet::new(2);
         set.add(t(&[5]));
+    }
+
+    #[test]
+    fn insert_at_pads_and_preserves_ids() {
+        let mut set = TrajectorySet::new(6);
+        assert!(set.insert_at(TrajId(3), t(&[0, 1])));
+        assert_eq!(set.id_bound(), 4);
+        assert_eq!(set.len(), 1);
+        assert!(set.get(TrajId(0)).is_none());
+        assert_eq!(set.trajectories_through(NodeId(1)), &[TrajId(3)]);
+        // Occupied slot refuses.
+        assert!(!set.insert_at(TrajId(3), t(&[2])));
+        assert_eq!(set.len(), 1);
+        // A tombstoned gap slot accepts later.
+        assert!(set.insert_at(TrajId(1), t(&[4])));
+        assert_eq!(set.trajectories_through(NodeId(4)), &[TrajId(1)]);
+        // `add` continues after the padded bound.
+        assert_eq!(set.add(t(&[5])), TrajId(4));
+    }
+
+    #[test]
+    fn subset_preserves_ids_and_bound() {
+        let mut set = TrajectorySet::new(5);
+        let a = set.add(t(&[0, 1]));
+        let b = set.add(t(&[1, 2]));
+        let c = set.add(t(&[3, 4]));
+        set.remove(b);
+        let sub = set.subset_where(|id, _| id != a);
+        assert_eq!(sub.id_bound(), set.id_bound());
+        assert_eq!(sub.len(), 1);
+        assert!(sub.get(a).is_none());
+        assert!(sub.get(b).is_none());
+        assert_eq!(sub.get(c).unwrap().nodes(), set.get(c).unwrap().nodes());
+        assert_eq!(sub.trajectories_through(NodeId(1)), &[] as &[TrajId]);
+        assert_eq!(sub.trajectories_through(NodeId(3)), &[c]);
+        // Ids allocated after the subset stay aligned with the parent.
+        let mut sub = sub;
+        assert_eq!(sub.add(t(&[0])), TrajId(3));
     }
 }
