@@ -17,6 +17,17 @@
 //!   the floor is ignored, so a 0 µs → 300 µs flutter on a sub-millisecond
 //!   median cannot fail the build while a real 2× latency regression
 //!   still does.
+//!
+//! **Informational-only metrics.** Parallel-speedup figures —
+//! `provider_build_speedup` in `BENCH_QUERY_LATENCY` and the
+//! `speedup_potential_s*` family in `BENCH_SHARD_SCALING` — are emitted
+//! for the record but deliberately **not** gated: CI runs on a single
+//! vCPU, where parallel provider builds legitimately lose to sequential
+//! (≈0.75× observed) and shard-parallel potential is a property of the
+//! partition, not of the code under test. Gating them would make the gate
+//! fail on runner shape instead of regressions. The serving-path metrics
+//! that embody the same work (`router_hot_p50_us`, `router_qps`,
+//! `latency_*`, `throughput_qps`) are gated instead.
 
 /// Which way a gated metric is allowed to move.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -70,11 +81,15 @@ pub fn gated_metrics(prefix: &str) -> Vec<GatedMetric> {
             lower("match_p99_us", 1_000.0),
         ],
         "BENCH_SHARD_SCALING" => vec![
-            higher("speedup_potential_s4", 0.4),
             higher("min_utility_ratio", 0.02),
             lower("replication_factor_s4", 0.25),
             lower("router_p99_us", 3_000.0),
+            // The warm serving path: hot (all-cache) fan-out median and
+            // overall served throughput. `speedup_potential_s4` is
+            // informational-only (see the module docs).
+            lower("router_hot_p50_us", 300.0),
             higher("router_qps", 50.0),
+            higher("router_provider_hit_rate", 0.05),
         ],
         _ => Vec::new(),
     }
@@ -278,20 +293,43 @@ mod tests {
 
     #[test]
     fn missing_current_metric_fails_missing_baseline_passes() {
-        let base = "{\"speedup_potential_s4\":3.8,\"min_utility_ratio\":0.99}";
+        let base = "{\"router_hot_p50_us\":200,\"min_utility_ratio\":0.99}";
         let cur = "{\"min_utility_ratio\":0.99,\"replication_factor_s4\":2.2,\"router_p99_us\":100,\"router_qps\":400}";
         let verdicts = compare("BENCH_SHARD_SCALING", base, cur, 0.25);
-        let speedup = verdicts
+        let hot = verdicts
             .iter()
-            .find(|v| v.key == "speedup_potential_s4")
+            .find(|v| v.key == "router_hot_p50_us")
             .unwrap();
-        assert!(!speedup.pass, "metric vanished from current run");
+        assert!(!hot.pass, "metric vanished from current run");
         // replication_factor_s4 has no baseline: vacuous pass.
         let repl = verdicts
             .iter()
             .find(|v| v.key == "replication_factor_s4")
             .unwrap();
         assert!(repl.pass);
+    }
+
+    #[test]
+    fn parallel_speedup_figures_are_not_gated() {
+        // 1-vCPU CI: parallel builds losing to sequential must never fail
+        // the gate — only the serving-path metrics are watched.
+        for prefix in ["BENCH_QUERY_LATENCY", "BENCH_SHARD_SCALING"] {
+            let gated = gated_metrics(prefix);
+            assert!(
+                gated.iter().all(|m| m.key != "provider_build_speedup"
+                    && !m.key.starts_with("speedup_potential_s")),
+                "{prefix} gates an informational-only speedup figure"
+            );
+        }
+        // The hot-lane median and hit rate replaced them as gated signal.
+        let shard = gated_metrics("BENCH_SHARD_SCALING");
+        assert!(shard
+            .iter()
+            .any(|m| m.key == "router_hot_p50_us" && m.direction == Direction::LowerIsBetter));
+        assert!(shard
+            .iter()
+            .any(|m| m.key == "router_qps" && m.direction == Direction::HigherIsBetter));
+        assert!(shard.iter().any(|m| m.key == "router_provider_hit_rate"));
     }
 
     #[test]

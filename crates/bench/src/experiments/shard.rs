@@ -1,18 +1,24 @@
 //! `shard`: sharded scatter-gather serving, beyond the paper — per-shard
 //! index build scaling over the region partitioner, two-round distributed
 //! greedy quality versus the monolithic answer, and served latency
-//! through the `ShardRouter`.
+//! through the `ShardRouter` in **hot and cold lanes**: cold fan-outs
+//! rebuild every shard's provider (fresh epoch, first touch of a τ), hot
+//! fan-outs ride the per-shard provider cache and the round-1 candidate
+//! memo on a dashboard-style stream of recurring `(k, τ)` shapes.
 //!
-//! Prints three tables, writes `results/shard.csv`, and emits a
+//! Prints four tables, writes `results/shard{,_quality,_router}.csv`
+//! (the router CSV carries one row per lane), and emits a
 //! `BENCH_SHARD_SCALING` single-line JSON record (per-shard-count build
-//! work and speedup potential, replication factor, sharded-vs-monolithic
-//! utility ratio, router latency) consumed by the CI perf-regression gate.
+//! work, replication factor, sharded-vs-monolithic utility ratio, hot and
+//! cold router latency lanes, round-1 cache hit rate) consumed by the CI
+//! perf-regression gate. The `speedup_potential_s*` figures are
+//! informational-only — see `crate::baseline`.
 
 use std::time::Instant;
 
 use netclus::prelude::*;
-use netclus_roadnet::RegionPartition;
-use netclus_service::{ShardRouter, ShardRouterConfig};
+use netclus_roadnet::{NodeId, RegionPartition};
+use netclus_service::{ShardRouter, ShardRouterConfig, UpdateOp};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
@@ -21,6 +27,14 @@ use crate::{print_table, Ctx};
 
 const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
 const QUERIES: [(usize, f64); 3] = [(5, 800.0), (8, 1_600.0), (12, 2_400.0)];
+/// Dashboard thresholds of the router phase.
+const TAUS: [f64; 3] = [800.0, 1_600.0, 2_400.0];
+/// `k` of the cold-lane first-touch queries (the hot stream sweeps past
+/// it, exercising memo upgrades through the provider cache).
+const K_COLD: usize = 6;
+/// Cold-lane rounds: each advances the lockstep epoch (invalidating both
+/// round-1 caches) and first-touches every τ.
+const COLD_ROUNDS: usize = 4;
 
 /// Runs the shard-scaling experiment.
 pub fn run(ctx: &mut Ctx) {
@@ -167,69 +181,169 @@ pub fn run(ctx: &mut Ctx) {
     );
     ctx.write_csv("shard_quality", &qheader, &qrows);
 
-    // ---- Part 3: served latency through the ShardRouter ----------------
+    // ---- Part 3: served latency through the ShardRouter, hot vs cold ---
+    //
+    // Cold lane: each round advances the lockstep epoch (purging both
+    // round-1 caches) and then first-touches every dashboard τ — all
+    // shards rebuild their providers. Hot lane: a dashboard-style stream
+    // of recurring (k, τ) shapes against the warmed final epoch — every
+    // fan-out is served from the candidate memo (k' ≤ memoized k, prefix
+    // slice) or the provider cache (k' above it: re-greedy on the cached
+    // provider, memo upgraded), never a rebuild.
     let router = ShardRouter::start(
         Arc::new(s.net.clone()),
         sharded,
         ShardRouterConfig::default(),
     );
-    let count = ((600.0 * ctx.cfg.scale) as usize).max(120);
     let mut rng = StdRng::seed_from_u64(ctx.cfg.seed ^ 0x53_48_41_52);
-    let mut latencies: Vec<u64> = Vec::with_capacity(count);
-    let taus = [800.0, 1_600.0, 2_400.0];
+    let mut cold_lat: Vec<u64> = Vec::new();
+    for round in 0..COLD_ROUNDS {
+        if round > 0 {
+            // A real update: the epoch advance is what makes the next
+            // first-touch genuinely cold.
+            let v = rng.random_range(0..s.net.node_count() as u32 - 1);
+            router.apply_updates(vec![UpdateOp::AddTrajectory(
+                netclus_trajectory::Trajectory::new(vec![NodeId(v), NodeId(v + 1)]),
+            )]);
+        }
+        for &tau in &TAUS {
+            let t = Instant::now();
+            router
+                .query_blocking(TopsQuery::binary(K_COLD, tau))
+                .expect("cold router query failed");
+            cold_lat.push(t.elapsed().as_micros() as u64);
+        }
+    }
+
+    let count = ((600.0 * ctx.cfg.scale) as usize).max(120);
+    let mut hot_lat: Vec<u64> = Vec::with_capacity(count);
     for _ in 0..count {
-        let tau = taus[rng.random_range(0..taus.len())];
-        let k = rng.random_range(1..12);
+        let tau = TAUS[rng.random_range(0..TAUS.len())];
+        let k = rng.random_range(1..=12);
         let t = Instant::now();
         router
             .query_blocking(TopsQuery::binary(k, tau))
-            .expect("router query failed");
-        latencies.push(t.elapsed().as_micros() as u64);
+            .expect("hot router query failed");
+        hot_lat.push(t.elapsed().as_micros() as u64);
     }
-    latencies.sort_unstable();
-    let pct =
-        |q: f64| latencies[((q * (latencies.len() - 1) as f64) as usize).min(latencies.len() - 1)];
+    cold_lat.sort_unstable();
+    hot_lat.sort_unstable();
+    let pct = |lane: &[u64], q: f64| -> u64 {
+        lane[((q * (lane.len() - 1) as f64) as usize).min(lane.len() - 1)]
+    };
+    let (cold_p50, cold_p99) = (pct(&cold_lat, 0.50), pct(&cold_lat, 0.99));
+    let (hot_p50, hot_p99) = (pct(&hot_lat, 0.50), pct(&hot_lat, 0.99));
+
     let report = router.metrics_report();
     let shard_section = report.shards.clone().expect("router shard section");
     println!("SHARD_ROUTER_METRICS {}", report.to_json_line());
     router.shutdown();
 
-    let srows = vec![vec![
-        shard_section.lanes.len().to_string(),
-        count.to_string(),
-        pct(0.50).to_string(),
-        pct(0.99).to_string(),
-        shard_section.merge.p99_micros.to_string(),
-        format!("{:.3}", shard_section.replication_factor()),
-        format!("{:.0}", report.throughput_qps),
-    ]];
-    let sheader = [
-        "shards",
-        "queries",
-        "p50 µs",
-        "p99 µs",
-        "merge p99 µs",
-        "repl factor",
-        "q/s",
+    // Round-1 cache-stack hit rate: the fraction of round-1 tasks served
+    // without a provider build — a memo hit is a provider-cache hit taken
+    // one step further (the provider's *output* was cached too), and a
+    // coalesced wait rode another worker's single build.
+    let p = &shard_section.providers;
+    let r = &shard_section.rounds;
+    let round1_tasks = r.hits + p.hits + p.coalesced + p.misses;
+    let hit_rate = if round1_tasks == 0 {
+        0.0
+    } else {
+        (r.hits + p.hits + p.coalesced) as f64 / round1_tasks as f64
+    };
+    assert!(
+        hit_rate > 0.8,
+        "dashboard stream must ride the round-1 caches: hit rate {hit_rate:.3} \
+         (memo {r:?}, providers {p:?})"
+    );
+    // Hot/cold separation. At the default scale and above (what CI runs)
+    // the ≥ 10× contract is asserted hard; at exploratory small scales
+    // the cold provider build shrinks toward fan-out overhead and the
+    // ratio is reported but not enforced — the CI gate on the absolute
+    // `router_hot_p50_us` (tolerance + floor) is the durable check.
+    let hot_speedup = cold_p50 as f64 / hot_p50.max(1) as f64;
+    if ctx.cfg.scale >= 0.25 {
+        assert!(
+            hot_speedup >= 10.0,
+            "hot lane must be ≥ 10× below cold: hot p50 {hot_p50} µs vs cold p50 {cold_p50} µs"
+        );
+    } else {
+        println!("[note] small scale: hot/cold ratio {hot_speedup:.1}× reported, not asserted");
+    }
+    assert_eq!(
+        shard_section.cold.count,
+        cold_lat.len() as u64,
+        "every cold-lane query must have built a provider"
+    );
+    assert_eq!(
+        shard_section.hot.count,
+        hot_lat.len() as u64,
+        "every dashboard query must have been served from the caches"
+    );
+
+    let lane_row = |lane: &str, lat: &[u64], rate: String, qps: f64| {
+        vec![
+            lane.to_string(),
+            lat.len().to_string(),
+            pct(lat, 0.50).to_string(),
+            pct(lat, 0.99).to_string(),
+            rate,
+            format!("{qps:.0}"),
+        ]
+    };
+    let hot_secs: f64 = hot_lat.iter().map(|&us| us as f64 * 1e-6).sum();
+    let cold_secs: f64 = cold_lat.iter().map(|&us| us as f64 * 1e-6).sum();
+    let srows = vec![
+        lane_row(
+            "cold",
+            &cold_lat,
+            "-".into(),
+            cold_lat.len() as f64 / cold_secs.max(f64::MIN_POSITIVE),
+        ),
+        lane_row(
+            "hot",
+            &hot_lat,
+            format!("{hit_rate:.3}"),
+            hot_lat.len() as f64 / hot_secs.max(f64::MIN_POSITIVE),
+        ),
     ];
+    let sheader = ["lane", "queries", "p50 µs", "p99 µs", "hit rate", "q/s"];
     print_table(
-        "shard — ShardRouter served latency (4 shards)",
+        "shard — ShardRouter served latency by lane (4 shards, closed loop)",
         &sheader,
         &srows,
     );
     ctx.write_csv("shard_router", &sheader, &srows);
 
+    let all_queries = cold_lat.len() + hot_lat.len();
+    let mut all_lat = cold_lat;
+    all_lat.extend_from_slice(&hot_lat);
+    all_lat.sort_unstable();
     println!(
         "BENCH_SHARD_SCALING {{{},\"mono_build_ms\":{:.3},\"min_utility_ratio\":{:.3},\
          \"router_queries\":{},\"router_p50_us\":{},\"router_p99_us\":{},\"merge_p99_us\":{},\
+         \"router_hot_queries\":{},\"router_hot_p50_us\":{},\"router_hot_p99_us\":{},\
+         \"router_cold_queries\":{},\"router_cold_p50_us\":{},\"router_cold_p99_us\":{},\
+         \"router_hot_speedup\":{:.1},\"router_provider_hit_rate\":{:.3},\
+         \"round_memo_hits\":{},\"provider_coalesced\":{},\
          \"router_qps\":{:.3},\"boundary_trajs\":{},\"trajectories\":{}}}",
         json_parts.join(","),
         mono_build.as_secs_f64() * 1e3,
         min_ratio,
-        count,
-        pct(0.50),
-        pct(0.99),
+        all_queries,
+        pct(&all_lat, 0.50),
+        pct(&all_lat, 0.99),
         shard_section.merge.p99_micros,
+        hot_lat.len(),
+        hot_p50,
+        hot_p99,
+        COLD_ROUNDS * TAUS.len(),
+        cold_p50,
+        cold_p99,
+        hot_speedup,
+        hit_rate,
+        r.hits,
+        p.coalesced,
         report.throughput_qps,
         shard_section.boundary_trajs,
         shard_section.trajectories,

@@ -10,11 +10,17 @@
 //! the fly instead of being materialized (they are determined by those two
 //! numbers), saving the extra `O(mn)` array without changing any iterate.
 //!
-//! A CELF-style **lazy** evaluation mode (`GreedyConfig::lazy`) is provided
-//! as an ablation: submodularity makes stale heap priorities valid upper
-//! bounds, so most marginal recomputations can be skipped. Both modes select
-//! identical sites (up to equal-gain ties, where both apply the paper's
-//! rule).
+//! A CELF-style **lazy** evaluation mode (`GreedyConfig::lazy`) skips most
+//! marginal recomputations: submodularity makes stale heap priorities valid
+//! upper bounds, so only the current top of the heap is re-evaluated until
+//! it stays on top. Lazy mode applies the **same** tie-breaking rule as the
+//! eager path — equal gains fall back to the static site weight `w_i`, then
+//! to the highest provider index — so both modes select the *same site
+//! sequence*, not merely an equal-utility one
+//! (`crates/core/tests/lazy_greedy_proptests.rs` asserts site-for-site
+//! equality, including the seeded and existing-services entry points).
+//! Since PR 5 the sharded round-1 local greedy and the round-2 candidate
+//! merge run in lazy mode.
 //!
 //! Because it is written against [`CoverageProvider`], this single
 //! implementation serves both exact TOPS (over [`CoverageIndex`]) and
@@ -252,6 +258,15 @@ fn apply_selection<P: CoverageProvider>(
 
 /// CELF lazy greedy: stale heap priorities are upper bounds by
 /// submodularity; re-evaluate only the top until it stays on top.
+///
+/// Tie-breaking mirrors the eager path exactly: the heap orders by
+/// `(gain, static weight w_i, index)`, where `w_i = Σ ψ(T_j, s_i)` is the
+/// same weight the eager loop compares on — **not** the initial marginal,
+/// which differs from `w_i` under seed utilities or existing services. A
+/// stale entry that ties the fresh top on gain is popped first when its
+/// weight (or index) wins, refreshed, and — its refreshed gain being
+/// unchanged on a genuine tie — selected before it, exactly as the eager
+/// argmax would.
 fn lazy_greedy<P: CoverageProvider>(
     provider: &P,
     cfg: &GreedyConfig,
@@ -287,6 +302,20 @@ fn lazy_greedy<P: CoverageProvider>(
     };
     let mut chosen = vec![false; n];
 
+    // Static tie-breaking weights, computed exactly as the eager path does
+    // (over the distance array alone, in row order) so a gain tie resolves
+    // to the same site in both modes.
+    let weights: Vec<f64> = (0..n)
+        .map(|i| {
+            provider
+                .covered(i)
+                .dists
+                .iter()
+                .map(|&d| cfg.preference.score(d, cfg.tau))
+                .sum()
+        })
+        .collect();
+
     let gain_of = |i: usize, utilities: &[f64]| -> f64 {
         provider
             .covered(i)
@@ -308,23 +337,31 @@ fn lazy_greedy<P: CoverageProvider>(
         }
     }
 
+    // With no seed and no existing services every utility is zero, so the
+    // initial gain is exactly the weight ((ψ − 0).max(0) ≡ ψ, summed in
+    // the same row order) — skip the second full pass over the rows.
+    let warm_start = seed_utilities.is_none() && existing.is_empty();
     let mut heap: BinaryHeap<Entry> = (0..n)
         .filter(|&i| !chosen[i])
-        .map(|i| {
-            let w = gain_of(i, &utilities);
-            Entry {
-                gain: w,
-                weight: w,
-                idx: i,
-                round: 0,
-            }
+        .map(|i| Entry {
+            gain: if warm_start {
+                weights[i]
+            } else {
+                gain_of(i, &utilities)
+            },
+            weight: weights[i],
+            idx: i,
+            round: 0,
         })
         .collect();
 
-    let mut selected = Vec::with_capacity(cfg.k);
-    let mut gains = Vec::with_capacity(cfg.k);
+    // Same selection budget as the eager loop (which subtracts the raw
+    // `existing` length), so both modes stop after identical iterations.
+    let budget = cfg.k.min(n.saturating_sub(existing.len()));
+    let mut selected = Vec::with_capacity(budget);
+    let mut gains = Vec::with_capacity(budget);
     let mut round = 0usize;
-    while selected.len() < cfg.k {
+    while selected.len() < budget {
         let Some(top) = heap.pop() else { break };
         if chosen[top.idx] {
             continue;
@@ -334,10 +371,12 @@ fn lazy_greedy<P: CoverageProvider>(
             chosen[top.idx] = true;
             selected.push(top.idx);
             gains.push(top.gain.max(0.0));
-            for (tj, d) in provider.covered(top.idx).iter() {
-                let score = cfg.preference.score(d, cfg.tau);
-                if score > utilities[tj as usize] {
-                    utilities[tj as usize] = score;
+            if top.gain > 0.0 {
+                for (tj, d) in provider.covered(top.idx).iter() {
+                    let score = cfg.preference.score(d, cfg.tau);
+                    if score > utilities[tj as usize] {
+                        utilities[tj as usize] = score;
+                    }
                 }
             }
             round += 1;

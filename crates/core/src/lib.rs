@@ -53,7 +53,7 @@
 //! | Epoch-based snapshots (`Arc`-swapped `NetClusIndex` + corpus; readers never block) | `netclus_service::snapshot` |
 //! | Worker pool, bounded admission, request batching, in-flight dedup | `netclus_service::executor` |
 //! | Sharded LRU result cache keyed `(k, τ, ψ, variant, epoch)` | `netclus_service::cache` |
-//! | Clustered-provider cache keyed `(epoch, instance, quantized τ)` | `netclus_service::provider_cache` |
+//! | Round-1 caches: single-flight provider cache (per `(epoch[, shard], instance, quantized τ)`) + candidate memo (prefix-sliced by `k`) | `netclus_service::provider_cache` |
 //! | Latency/throughput/queue/cache + ingest metrics | `netclus_service::metrics` |
 //! | Framed GPS record wire format (CRC-32, per-source seq) | `netclus_ingest::record` |
 //! | Backpressured intake + parallel map-matching pipeline | `netclus_ingest::pipeline` |
@@ -146,7 +146,9 @@ pub mod prelude {
     pub use crate::market::{tops_market_share, MarketShareConfig};
     pub use crate::memory::{format_bytes, HeapSize};
     pub use crate::preference::PreferenceFunction;
-    pub use crate::query::{ClusteredProvider, NetClusAnswer, ProviderScratch, TopsQuery};
+    pub use crate::query::{
+        quantize_tau, ClusteredProvider, NetClusAnswer, ProviderScratch, TopsQuery,
+    };
     pub use crate::shard::{
         shards_of_trajectory, NetClusShard, ReplicationStats, ShardedAnswer, ShardedNetClusIndex,
     };

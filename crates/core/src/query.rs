@@ -66,6 +66,21 @@ impl TopsQuery {
     }
 }
 
+/// Quantizes a query threshold to millimeters — the **one** definition
+/// shared by every cache key in the stack (the executor's provider cache,
+/// the router's per-shard provider cache and the round-1 candidate memo).
+///
+/// Serving layers apply this once at admission, so the cache keys and the
+/// computation always agree on the effective τ: bitwise-noisy but
+/// semantically identical thresholds (`800.0` vs `800.0000001`) share an
+/// entry without ever serving a provider built for a different effective
+/// τ. Thresholds are meters at city scale — sub-millimeter differences
+/// carry no signal, only cache misses. The function is idempotent, so
+/// admission-time and lookup-time quantization cannot disagree.
+pub fn quantize_tau(tau: f64) -> f64 {
+    (tau * 1_000.0).round() / 1_000.0
+}
+
 /// Reusable per-worker scratch for [`ClusteredProvider`] builds: the
 /// stamped minimal-`d̂r` arrays plus the row staging buffer. One entry per
 /// build worker; entries are created (and their arrays sized to the
@@ -745,6 +760,27 @@ mod tests {
         let with = idx.query_with_existing(&net, &trajs, &q, &[]);
         assert_eq!(plain.solution.sites, with.solution.sites);
         assert!((plain.solution.utility - with.solution.utility).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantize_tau_is_millimetric_idempotent_and_total() {
+        assert_eq!(quantize_tau(800.0), 800.0);
+        assert_eq!(quantize_tau(800.000_000_1), 800.0);
+        assert_eq!(quantize_tau(800.0004), 800.0);
+        assert_eq!(quantize_tau(800.0006), 800.001);
+        assert_ne!(quantize_tau(800.001), quantize_tau(800.002));
+        // τ = 0 and sub-millimeter thresholds quantize to exactly 0.0, so
+        // an admission check that rejects non-positive τ after quantizing
+        // can never admit a value whose lookup key would round differently.
+        assert_eq!(quantize_tau(0.0), 0.0);
+        assert_eq!(quantize_tau(1e-4), 0.0);
+        assert_eq!(quantize_tau(4.9e-4), 0.0);
+        assert_eq!(quantize_tau(5.1e-4), 0.001);
+        // Admission-time and lookup-time quantization agree: the function
+        // is idempotent for every representative magnitude.
+        for tau in [0.0, 1e-4, 0.001, 0.37, 123.456, 99_999.999, 1.0e7] {
+            assert_eq!(quantize_tau(quantize_tau(tau)), quantize_tau(tau));
+        }
     }
 
     #[test]

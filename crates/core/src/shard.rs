@@ -57,7 +57,7 @@ use crate::arena::{PairArena, PairArenaBuilder, PairSlice};
 use crate::coverage::CoverageProvider;
 use crate::greedy::{inc_greedy_from, GreedyConfig};
 use crate::index::{NetClusConfig, NetClusIndex, NetworkClustering};
-use crate::query::{ProviderScratch, TopsQuery};
+use crate::query::{ClusteredProvider, ProviderScratch, TopsQuery};
 use crate::solution::Solution;
 
 /// Trajectory replication bookkeeping of a sharded build.
@@ -346,6 +346,11 @@ pub struct Candidate {
     /// Global cluster id of the representative's cluster (instances are
     /// built from a shared clustering, so ids agree across shards).
     pub cluster: u32,
+    /// The local greedy's marginal gain when this candidate was selected.
+    /// Gains are non-increasing along the selection order, so a `k'`-prefix
+    /// of the candidate list carries its own local utility (`Σ` of the
+    /// first `k'` gains) — what makes [`ShardRoundOne::prefix`] exact.
+    pub gain: f64,
     /// `T̂C` row of the candidate, copied out of the shard provider.
     pub row: Vec<(u32, f64)>,
 }
@@ -355,6 +360,9 @@ pub struct Candidate {
 pub struct ShardRoundOne {
     /// The shard's `k` (or fewer) local candidates, in selection order.
     pub candidates: Vec<Candidate>,
+    /// The `k` the round was computed for (`candidates.len() ≤ k`; fewer
+    /// only when the shard ran out of representatives).
+    pub k: usize,
     /// Index instance that served the query.
     pub instance: usize,
     /// Representatives the shard processed.
@@ -366,6 +374,40 @@ pub struct ShardRoundOne {
     /// Shard id for reporting (set by the caller's context; defaults to
     /// the order of computation).
     pub shard_hint: u32,
+}
+
+impl ShardRoundOne {
+    /// The round-1 answer for a smaller request `k' ≤ self.k`, by slicing.
+    ///
+    /// Greedy selection is **prefix-stable**: the site chosen at step `i`
+    /// depends only on the first `i − 1` selections, never on `k`, so the
+    /// `k'`-run's selection sequence is literally the first `k'` entries of
+    /// the `k`-run (proptested in
+    /// `crates/core/tests/lazy_greedy_proptests.rs`). That makes one
+    /// memoized round answer every smaller-`k` query at the same
+    /// `(epoch, shard, τ, ψ)` — the basis of the serving layer's round-1
+    /// candidate memo.
+    ///
+    /// `elapsed` is zeroed: a sliced answer costs no solve time, and
+    /// reporting the original run's duration would make warm per-shard
+    /// stats look as slow as the cold solve they skipped.
+    ///
+    /// # Panics
+    /// Panics if `k > self.k` (a larger request needs a real re-run).
+    pub fn prefix(&self, k: usize) -> ShardRoundOne {
+        assert!(k <= self.k, "prefix k={k} exceeds computed k={}", self.k);
+        let keep = k.min(self.candidates.len());
+        let candidates: Vec<Candidate> = self.candidates[..keep].to_vec();
+        ShardRoundOne {
+            local_utility: candidates.iter().map(|c| c.gain).sum(),
+            candidates,
+            k,
+            instance: self.instance,
+            representatives: self.representatives,
+            elapsed: Duration::ZERO,
+            shard_hint: self.shard_hint,
+        }
+    }
 }
 
 /// Per-shard reporting row of a [`ShardedAnswer`].
@@ -402,31 +444,62 @@ pub struct ShardedAnswer {
 }
 
 /// Round 1 on one shard: build the provider serving `q.tau`, run the
-/// local Inc-Greedy, and copy out the selected candidates' coverage rows.
+/// local greedy, and copy out the selected candidates' coverage rows.
+///
+/// This is the cold path — provider acquisition and the local greedy in
+/// one call. Serving layers that cache providers per `(epoch, shard, τ)`
+/// should acquire the provider themselves and call
+/// [`local_candidates_on`].
 pub fn local_candidates(
     index: &NetClusIndex,
     q: &TopsQuery,
     traj_id_bound: usize,
     scratch: &mut ProviderScratch,
 ) -> ShardRoundOne {
-    let start = Instant::now();
     let (p, provider) = index.build_provider_with(q.tau, traj_id_bound, 1, scratch);
-    let local = index.query_on(&provider, p, q);
-    let candidates = local
-        .solution
+    local_candidates_on(&provider, p, q)
+}
+
+/// Round 1 on an already-built shard provider (the hot path): run the
+/// local greedy over `provider` and copy out the selected candidates'
+/// coverage rows. `instance` names the index instance the provider was
+/// built from; `elapsed` covers the solver + row copies only — the caller
+/// decides whether a (possibly cached) provider build counts.
+///
+/// The local greedy runs in CELF lazy mode — site-for-site identical to
+/// the eager Inc-Greedy under the paper's tie-breaking (see
+/// [`crate::greedy`]) but skipping most marginal recomputations, which is
+/// where warm round-1 latency goes once providers are cached.
+pub fn local_candidates_on(
+    provider: &ClusteredProvider,
+    instance: usize,
+    q: &TopsQuery,
+) -> ShardRoundOne {
+    let start = Instant::now();
+    let cfg = GreedyConfig {
+        k: q.k,
+        tau: q.tau,
+        preference: q.preference,
+        lazy: true,
+    };
+    let solution = inc_greedy_from(provider, &cfg, &[]);
+    let candidates = solution
         .site_indices
         .iter()
-        .map(|&idx| Candidate {
+        .zip(&solution.gains)
+        .map(|(&idx, &gain)| Candidate {
             node: provider.site_node(idx),
             cluster: provider.cluster_of(idx),
+            gain,
             row: provider.covered(idx).to_pairs(),
         })
         .collect();
     ShardRoundOne {
         candidates,
-        instance: p,
+        k: q.k,
+        instance,
         representatives: provider.site_count(),
-        local_utility: local.solution.utility,
+        local_utility: solution.utility,
         elapsed: start.elapsed(),
         shard_hint: 0,
     }
@@ -495,8 +568,9 @@ impl CoverageProvider for MergedCandidateProvider {
     }
 }
 
-/// Round 2: exact Inc-Greedy over the candidate union on the merged
-/// coverage view. Returns the solution and the union size.
+/// Round 2: exact greedy over the candidate union on the merged coverage
+/// view. Returns the solution and the union size. Runs in CELF lazy mode —
+/// site-for-site identical to the eager path (see [`crate::greedy`]).
 pub fn merge_candidates(
     candidates: Vec<Candidate>,
     q: &TopsQuery,
@@ -507,7 +581,7 @@ pub fn merge_candidates(
         k: q.k,
         tau: q.tau,
         preference: q.preference,
-        lazy: false,
+        lazy: true,
     };
     let n = provider.site_count();
     (inc_greedy_from(&provider, &cfg, &[]), n)
@@ -683,6 +757,7 @@ mod tests {
         let c = |node: u32, cluster: u32, row: Vec<(u32, f64)>| Candidate {
             node: NodeId(node),
             cluster,
+            gain: 0.0,
             row,
         };
         let provider = MergedCandidateProvider::new(

@@ -48,16 +48,23 @@ pub enum VariantKey {
     Fm(usize, u64),
 }
 
+/// The hashable `(tag, parameter bits)` form of a [`PreferenceFunction`] —
+/// shared by the result-cache key and the round-1 candidate-memo key so
+/// every cache in the stack agrees on ψ identity.
+pub fn preference_key(preference: &PreferenceFunction) -> (u8, u64) {
+    match *preference {
+        PreferenceFunction::Binary => (0, 0),
+        PreferenceFunction::LinearDecay => (1, 0),
+        PreferenceFunction::ExponentialDecay { lambda } => (2, lambda.to_bits()),
+        PreferenceFunction::ConvexProbability { alpha } => (3, alpha.to_bits()),
+        PreferenceFunction::MinInconvenience { normalizer_m } => (4, normalizer_m.to_bits()),
+    }
+}
+
 impl QueryKey {
     /// Builds the key for `query` answered by `variant` against `epoch`.
     pub fn new(query: &TopsQuery, variant: QueryVariant, epoch: u64) -> Self {
-        let (pref_tag, pref_param_bits) = match query.preference {
-            PreferenceFunction::Binary => (0, 0),
-            PreferenceFunction::LinearDecay => (1, 0),
-            PreferenceFunction::ExponentialDecay { lambda } => (2, lambda.to_bits()),
-            PreferenceFunction::ConvexProbability { alpha } => (3, alpha.to_bits()),
-            PreferenceFunction::MinInconvenience { normalizer_m } => (4, normalizer_m.to_bits()),
-        };
+        let (pref_tag, pref_param_bits) = preference_key(&query.preference);
         QueryKey {
             k: query.k,
             tau_bits: query.tau.to_bits(),

@@ -504,24 +504,22 @@ fn worker_loop(inner: &Inner) {
                     let t = Instant::now();
                     // Provider first: cached per (epoch, instance, τ), so
                     // any k/ψ/variant at a warm threshold skips the build.
+                    // Single flight: workers racing the same cold key wait
+                    // for one build instead of each burning their own.
                     let p = snap.index().instance_for(query.tau);
                     let provider_key = ProviderKey::new(snap.epoch(), p, query.tau);
-                    let provider = match inner.providers.get(&provider_key) {
-                        Some(hit) => hit,
-                        None => {
-                            let build_start = Instant::now();
-                            let built = Arc::new(netclus::ClusteredProvider::build_with(
-                                snap.index().instance(p),
-                                query.tau,
-                                snap.trajs().id_bound(),
-                                inner.cfg.provider_build_threads.max(1),
-                                &mut scratch,
-                            ));
-                            metrics.provider_build.record(build_start.elapsed());
-                            inner.providers.insert(provider_key, Arc::clone(&built));
-                            built
-                        }
-                    };
+                    let (provider, _) = inner.providers.get_or_build(provider_key, || {
+                        let build_start = Instant::now();
+                        let built = netclus::ClusteredProvider::build_with(
+                            snap.index().instance(p),
+                            query.tau,
+                            snap.trajs().id_bound(),
+                            inner.cfg.provider_build_threads.max(1),
+                            &mut scratch,
+                        );
+                        metrics.provider_build.record(build_start.elapsed());
+                        built
+                    });
                     let raw = match variant {
                         QueryVariant::Greedy => snap.index().query_on(&provider, p, &query),
                         QueryVariant::Fm { copies, seed } => snap.index().query_fm_on(

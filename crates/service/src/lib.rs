@@ -21,12 +21,18 @@
 //! * [`cache`] — a **sharded LRU result cache** keyed on
 //!   `(k, τ, ψ, variant, epoch)`. Epoch advance invalidates stale entries;
 //!   hit/miss/eviction counters feed the metrics report.
-//! * [`provider_cache`] — an LRU cache of built
-//!   [`ClusteredProvider`](netclus::ClusteredProvider)s keyed
-//!   `(epoch, instance, quantized τ)`. The provider is the expensive part
-//!   of a NetClus query and depends on neither `k` nor ψ, so repeated
-//!   thresholds skip the rebuild entirely; τ is quantized to millimeters
-//!   at admission so the key and the computation agree.
+//! * [`provider_cache`] — the round-1 caches: a generic **single-flight**
+//!   epoch-invalidated LRU of built
+//!   [`ClusteredProvider`](netclus::ClusteredProvider)s (keyed
+//!   `(epoch, instance, quantized τ)` in the executor,
+//!   `(epoch, shard, instance, quantized τ)` in the shard router —
+//!   concurrent misses coalesce onto one build) plus the round-1
+//!   **candidate memo** keyed `(epoch, shard, quantized τ, ψ)`, which
+//!   answers any smaller-`k` repeat by prefix slicing. The provider is the
+//!   expensive part of a NetClus query and depends on neither `k` nor ψ;
+//!   τ is quantized to millimeters at admission
+//!   ([`netclus::quantize_tau`], one shared definition for every cache
+//!   key) so keys and computation agree.
 //! * [`metrics`] — latency histogram, throughput, queue depth, cache and
 //!   provider-cache statistics plus provider-build latency, exposed as a
 //!   [`MetricsReport`] serializable to single-line JSON.
@@ -98,7 +104,7 @@ pub mod provider_cache;
 pub mod shard_router;
 pub mod snapshot;
 
-pub use cache::{CacheStats, QueryKey, ShardedCache};
+pub use cache::{preference_key, CacheStats, QueryKey, ShardedCache};
 pub use executor::{
     NetClusService, QueryVariant, ResponseHandle, ServiceAnswer, ServiceConfig, ServiceRequest,
     SubmitError,
@@ -107,7 +113,10 @@ pub use metrics::{
     IngestMetrics, IngestReport, LatencyHistogram, LatencySummary, MetricsReport, ServiceMetrics,
     ShardLaneReport, ShardReport,
 };
-pub use provider_cache::{quantize_tau, ProviderCache, ProviderCacheStats, ProviderKey};
+pub use provider_cache::{
+    quantize_tau, CacheOutcome, EpochKeyed, FlightCache, ProviderCache, ProviderCacheStats,
+    ProviderKey, RoundCacheStats, RoundKey, RoundOneCache, ShardProviderCache, ShardProviderKey,
+};
 pub use shard_router::{ShardRouter, ShardRouterConfig, ShardedServiceAnswer};
 pub use snapshot::{RoutedOp, Snapshot, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
 

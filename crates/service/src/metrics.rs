@@ -10,7 +10,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use crate::cache::CacheStats;
-use crate::provider_cache::ProviderCacheStats;
+use crate::provider_cache::{ProviderCacheStats, RoundCacheStats};
 
 /// Number of power-of-two latency buckets (bucket `i` holds samples with
 /// `floor(log2(micros)) == i`; bucket 0 also holds sub-microsecond ones).
@@ -221,6 +221,20 @@ pub struct ShardReport {
     pub merge: LatencySummary,
     /// Queries fanned out (each producing one round-1 task per shard).
     pub fanout_queries: u64,
+    /// Per-shard provider-cache counters (hits/misses/coalesced waits/
+    /// evictions/invalidations), shared by all router workers. The same
+    /// numbers feed the report's top-level `providers` field so
+    /// [`MetricsReport::provider_hit_rate`] works for router reports too.
+    pub providers: ProviderCacheStats,
+    /// Round-1 candidate-memo counters (prefix hits, misses, evictions,
+    /// invalidations).
+    pub rounds: RoundCacheStats,
+    /// End-to-end latency of **hot** fan-outs: every shard answered from
+    /// the candidate memo or the provider cache — no provider build.
+    pub hot: LatencySummary,
+    /// End-to-end latency of **cold** fan-outs: at least one shard built
+    /// (or waited on) a provider.
+    pub cold: LatencySummary,
     /// Live trajectories in the global corpus.
     pub trajectories: u64,
     /// Trajectories touching ≥ 2 shards.
@@ -236,6 +250,16 @@ impl ShardReport {
             1.0
         } else {
             self.replicas as f64 / self.trajectories as f64
+        }
+    }
+
+    /// Candidate-memo hit rate in [0, 1] (0 when no lookups happened).
+    pub fn round_hit_rate(&self) -> f64 {
+        let total = self.rounds.hits + self.rounds.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.rounds.hits as f64 / total as f64
         }
     }
 }
@@ -352,6 +376,7 @@ impl MetricsReport {
         );
         push_u64(&mut s, "provider_hits", self.providers.hits);
         push_u64(&mut s, "provider_misses", self.providers.misses);
+        push_u64(&mut s, "provider_coalesced", self.providers.coalesced);
         push_u64(&mut s, "provider_evictions", self.providers.evictions);
         push_u64(&mut s, "provider_invalidated", self.providers.invalidated);
         push_u64(&mut s, "provider_entries", self.providers.entries as u64);
@@ -366,6 +391,18 @@ impl MetricsReport {
             push_u64(&mut s, "fanout_queries", shards.fanout_queries);
             push_u64(&mut s, "merge_mean_us", shards.merge.mean_micros);
             push_u64(&mut s, "merge_p99_us", shards.merge.p99_micros);
+            push_u64(&mut s, "round_hits", shards.rounds.hits);
+            push_u64(&mut s, "round_misses", shards.rounds.misses);
+            push_u64(&mut s, "round_evictions", shards.rounds.evictions);
+            push_u64(&mut s, "round_invalidated", shards.rounds.invalidated);
+            push_u64(&mut s, "round_entries", shards.rounds.entries as u64);
+            push_f64(&mut s, "round_hit_rate", shards.round_hit_rate());
+            push_u64(&mut s, "router_hot_queries", shards.hot.count);
+            push_u64(&mut s, "router_hot_p50_us", shards.hot.p50_micros);
+            push_u64(&mut s, "router_hot_p99_us", shards.hot.p99_micros);
+            push_u64(&mut s, "router_cold_queries", shards.cold.count);
+            push_u64(&mut s, "router_cold_p50_us", shards.cold.p50_micros);
+            push_u64(&mut s, "router_cold_p99_us", shards.cold.p99_micros);
             push_u64(&mut s, "shard_trajectories", shards.trajectories);
             push_u64(&mut s, "boundary_trajs", shards.boundary_trajs);
             push_u64(&mut s, "shard_replicas", shards.replicas);
@@ -715,6 +752,27 @@ mod tests {
             lanes: vec![lane(0, 4), lane(1, 4)],
             merge: LatencySummary::default(),
             fanout_queries: 4,
+            providers: ProviderCacheStats {
+                hits: 6,
+                misses: 2,
+                coalesced: 1,
+                ..Default::default()
+            },
+            rounds: RoundCacheStats {
+                hits: 3,
+                misses: 1,
+                ..Default::default()
+            },
+            hot: LatencySummary {
+                count: 3,
+                p50_micros: 127,
+                ..Default::default()
+            },
+            cold: LatencySummary {
+                count: 1,
+                p50_micros: 2_047,
+                ..Default::default()
+            },
             trajectories: 18,
             boundary_trajs: 3,
             replicas: 21,
@@ -725,6 +783,11 @@ mod tests {
         assert!(json.contains("\"shard1_replicated_trajs\":11"));
         assert!(json.contains("\"boundary_trajs\":3"));
         assert!(json.contains("\"replication_factor\":1.167"));
+        assert!(json.contains("\"round_hits\":3"));
+        assert!(json.contains("\"round_hit_rate\":0.750"));
+        assert!(json.contains("\"router_hot_queries\":3"));
+        assert!(json.contains("\"router_hot_p50_us\":127"));
+        assert!(json.contains("\"router_cold_p50_us\":2047"));
         assert!(!json.contains('\n'));
         assert!(json.ends_with('}'));
     }

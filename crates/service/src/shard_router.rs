@@ -26,12 +26,38 @@
 //! write side, so a scatter observes either all-old or all-new shards,
 //! never a torn mix (asserted at gather time).
 //!
+//! ## Round-1 caches (the warm path)
+//!
+//! Dashboard traffic repeats `(k, τ)` shapes, and rebuilding each shard's
+//! [`ClusteredProvider`] per query is what
+//! kept the router ~350× slower than the monolithic executor. Two caches,
+//! both epoch-invalidated and shared by every router worker, close that
+//! gap:
+//!
+//! * a per-shard **provider cache** keyed `(epoch, shard, instance,
+//!   quantized τ)` with **single-flight** builds — concurrent misses on
+//!   one key coalesce onto one builder ([`crate::provider_cache`]);
+//! * a round-1 **candidate memo** keyed `(epoch, shard, quantized τ, ψ)`
+//!   holding the largest-`k` [`ShardRoundOne`] seen: by the greedy prefix
+//!   property any `k' ≤ k` repeat is answered by slicing — candidates
+//!   *with their coverage rows*, so a memo hit skips the provider lookup
+//!   entirely and round 2 needs no shard re-contact.
+//!
+//! Both caches key on the lockstep epoch and are purged on every epoch
+//! advance, so a cached answer can never cross an update: the hot path is
+//! bit-identical to the cold path (proptested in
+//! `crates/service/tests/router_equivalence.rs`). Setting a capacity to 0
+//! disables that cache (the cold reference configuration).
+//!
 //! ## Metrics
 //!
 //! [`ShardRouter::metrics_report`] returns the standard
 //! [`MetricsReport`] with the scatter-gather section filled: per-shard
-//! round-1 latency lanes, round-2 merge latency, fan-out counts and the
-//! trajectory replication gauges.
+//! round-1 latency lanes, round-2 merge latency, fan-out counts, the
+//! trajectory replication gauges, provider-cache and candidate-memo
+//! counters (hits, misses, coalesced waits, evictions, invalidations)
+//! and **hot/cold latency lanes** — a fan-out is *hot* when every shard
+//! answered from a cache, *cold* when any shard built a provider.
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -40,22 +66,62 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use netclus::shard::{local_candidates, merge_candidates, ShardRoundOne};
-use netclus::{NetClusShard, ProviderScratch, ReplicationStats, ShardedNetClusIndex, TopsQuery};
+use netclus::shard::{local_candidates, local_candidates_on, merge_candidates, ShardRoundOne};
+use netclus::{
+    ClusteredProvider, NetClusShard, ProviderScratch, ReplicationStats, ShardedNetClusIndex,
+    TopsQuery,
+};
 use netclus_roadnet::{NodeId, RegionPartition, RoadNetwork};
 use netclus_trajectory::TrajId;
 
 use crate::executor::{validate_query, SubmitError};
 use crate::metrics::{LatencyHistogram, MetricsClock, MetricsReport, ShardLaneReport, ShardReport};
-use crate::provider_cache::quantize_tau;
+use crate::provider_cache::{
+    quantize_tau, CacheOutcome, RoundKey, RoundOneCache, ShardProviderCache, ShardProviderKey,
+};
 use crate::snapshot::{RoutedOp, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
 
 /// Router configuration.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug)]
 pub struct ShardRouterConfig {
     /// Worker threads executing round-1 shard tasks; 0 (the default)
     /// means one lane per shard.
     pub workers: usize,
+    /// Per-shard provider-cache capacity in built providers (shared by
+    /// all workers, keyed per shard); **0 disables** the cache — every
+    /// round-1 task rebuilds its provider, the cold reference path.
+    pub provider_cache_capacity: usize,
+    /// Round-1 candidate-memo capacity in memoized rounds; **0 disables**
+    /// the memo.
+    pub round_memo_capacity: usize,
+    /// Threads used to build one shard provider on a cache miss. Router
+    /// workers already parallelize across shards, so the default of 1
+    /// avoids oversubscription.
+    pub provider_build_threads: usize,
+}
+
+impl Default for ShardRouterConfig {
+    fn default() -> Self {
+        ShardRouterConfig {
+            workers: 0,
+            provider_cache_capacity: 32,
+            round_memo_capacity: 128,
+            provider_build_threads: 1,
+        }
+    }
+}
+
+impl ShardRouterConfig {
+    /// The cold reference configuration: both round-1 caches disabled, so
+    /// every query takes the full rebuild path (what the equivalence
+    /// proptests compare the cached router against).
+    pub fn uncached() -> Self {
+        ShardRouterConfig {
+            provider_cache_capacity: 0,
+            round_memo_capacity: 0,
+            ..Default::default()
+        }
+    }
 }
 
 /// A scatter-gather answer: the merged round-2 solution plus per-shard
@@ -86,11 +152,12 @@ pub struct ShardedServiceAnswer {
 struct ShardTask {
     shard: u32,
     query: TopsQuery,
-    /// `(shard, epoch, traj_id_bound, round)` — the bound rides along
-    /// because shard bounds can differ (a shard that never received a
-    /// trajectory keeps the shorter id space), and the merge must size
-    /// its inversion to the largest.
-    reply: Sender<(u32, u64, usize, ShardRoundOne)>,
+    /// `(shard, epoch, traj_id_bound, hot, round)` — the bound rides
+    /// along because shard bounds can differ (a shard that never received
+    /// a trajectory keeps the shorter id space) and the merge must size
+    /// its inversion to the largest; `hot` reports whether the task was
+    /// served without building a provider (memo or provider-cache hit).
+    reply: Sender<(u32, u64, usize, bool, ShardRoundOne)>,
 }
 
 struct RouterQueue {
@@ -117,12 +184,25 @@ struct RouterInner {
     queue_cv: Condvar,
     stopping: AtomicBool,
     clock: MetricsClock,
+    /// Shared per-shard provider cache with single-flight builds; `None`
+    /// when disabled (capacity 0).
+    providers: Option<ShardProviderCache>,
+    /// Round-1 candidate memo; `None` when disabled (capacity 0).
+    rounds: Option<RoundOneCache>,
+    /// Threads per provider build on a cache miss.
+    build_threads: usize,
     /// Round-1 latency per shard lane.
     shard_latency: Vec<LatencyHistogram>,
     /// Round-1 tasks executed per shard lane.
     shard_tasks: Vec<AtomicU64>,
     /// Round-2 merge latency.
     merge_latency: LatencyHistogram,
+    /// End-to-end latency of fan-outs where every shard answered from a
+    /// cache (no provider build anywhere).
+    hot_latency: LatencyHistogram,
+    /// End-to-end latency of fan-outs where at least one shard built (or
+    /// waited on) a provider.
+    cold_latency: LatencyHistogram,
     /// Fan-out queries completed.
     fanout_queries: AtomicU64,
 }
@@ -166,9 +246,16 @@ impl ShardRouter {
             queue_cv: Condvar::new(),
             stopping: AtomicBool::new(false),
             clock: MetricsClock::default(),
+            providers: (cfg.provider_cache_capacity > 0)
+                .then(|| ShardProviderCache::new(cfg.provider_cache_capacity)),
+            rounds: (cfg.round_memo_capacity > 0)
+                .then(|| RoundOneCache::new(cfg.round_memo_capacity)),
+            build_threads: cfg.provider_build_threads.max(1),
             shard_latency: (0..lanes).map(|_| LatencyHistogram::default()).collect(),
             shard_tasks: (0..lanes).map(|_| AtomicU64::new(0)).collect(),
             merge_latency: LatencyHistogram::default(),
+            hot_latency: LatencyHistogram::default(),
+            cold_latency: LatencyHistogram::default(),
             fanout_queries: AtomicU64::new(0),
         });
         let handles = (0..workers)
@@ -244,22 +331,23 @@ impl ShardRouter {
         inner.queue_cv.notify_all();
         drop(tx);
 
-        let mut rounds: Vec<Option<(u64, usize, ShardRoundOne)>> =
+        let mut rounds: Vec<Option<(u64, usize, bool, ShardRoundOne)>> =
             (0..lanes).map(|_| None).collect();
         for _ in 0..lanes {
-            let Ok((shard, epoch, bound, round)) = rx.recv() else {
+            let Ok((shard, epoch, bound, hot, round)) = rx.recv() else {
                 return Err(SubmitError::ShuttingDown);
             };
-            rounds[shard as usize] = Some((epoch, bound, round));
+            rounds[shard as usize] = Some((epoch, bound, hot, round));
         }
         let merge_start = Instant::now();
         let mut epoch = 0u64;
         let mut bound = 0usize;
+        let mut all_hot = true;
         let mut shard_micros = Vec::with_capacity(lanes);
         let mut candidates = Vec::new();
         let mut instance = 0usize;
         for (shard, slot) in rounds.into_iter().enumerate() {
-            let (e, b, round) = slot.expect("every shard replied");
+            let (e, b, hot, round) = slot.expect("every shard replied");
             if shard == 0 {
                 epoch = e;
                 instance = round.instance;
@@ -267,6 +355,7 @@ impl ShardRouter {
                 assert_eq!(e, epoch, "scatter mixed epochs {e} vs {epoch}");
             }
             bound = bound.max(b);
+            all_hot &= hot;
             shard_micros.push(round.elapsed.as_micros() as u64);
             candidates.extend(round.candidates);
         }
@@ -278,7 +367,15 @@ impl ShardRouter {
             .metrics
             .completed
             .fetch_add(1, Ordering::Relaxed);
-        inner.clock.metrics.latency.record(start.elapsed());
+        let total = start.elapsed();
+        inner.clock.metrics.latency.record(total);
+        // Hot/cold lanes: a fan-out that never built a provider is warm
+        // traffic; one build anywhere makes the whole gather cold.
+        if all_hot {
+            inner.hot_latency.record(total);
+        } else {
+            inner.cold_latency.record(total);
+        }
 
         Ok(Arc::new(ShardedServiceAnswer {
             epoch,
@@ -408,6 +505,14 @@ impl ShardRouter {
         for (store, ops) in inner.stores.iter().zip(&routed) {
             epoch = store.apply_routed(ops).epoch;
         }
+        // The new lockstep epoch makes every older cache key unreachable;
+        // purge eagerly so stale providers/rounds release their memory.
+        if let Some(providers) = &inner.providers {
+            providers.invalidate_before(epoch);
+        }
+        if let Some(rounds) = &inner.rounds {
+            rounds.invalidate_before(epoch);
+        }
         let metrics = &inner.clock.metrics;
         metrics.update_latency.record(t.elapsed());
         metrics.epoch_advances.fetch_add(1, Ordering::Relaxed);
@@ -432,12 +537,21 @@ impl ShardRouter {
         let state = inner.update_lock.read().expect("update lock poisoned");
         let replication = state.replication.clone();
         drop(state);
+        let provider_stats = inner
+            .providers
+            .as_ref()
+            .map(|p| p.stats())
+            .unwrap_or_default();
+        let round_stats = inner.rounds.as_ref().map(|r| r.stats()).unwrap_or_default();
         let mut report = inner.clock.metrics.report(
             inner.clock.uptime(),
             self.epoch(),
             self.workers.lock().map(|w| w.len()).unwrap_or(0).max(1),
             Default::default(),
-            Default::default(),
+            // The router's shared provider cache reports through the
+            // standard provider slot so `provider_hit_rate()` and the
+            // provider_* JSON fields work for router reports too.
+            provider_stats,
         );
         report.shards = Some(ShardReport {
             lanes: inner
@@ -454,6 +568,10 @@ impl ShardRouter {
                 .collect(),
             merge: inner.merge_latency.summary(),
             fanout_queries: inner.fanout_queries.load(Ordering::Relaxed),
+            providers: provider_stats,
+            rounds: round_stats,
+            hot: inner.hot_latency.summary(),
+            cold: inner.cold_latency.summary(),
             trajectories: replication.trajectories as u64,
             boundary_trajs: replication.boundary as u64,
             replicas: replication.replicas as u64,
@@ -484,6 +602,18 @@ impl Drop for ShardRouter {
 
 /// Worker loop: pop a shard task, pin that shard's snapshot, run round 1.
 /// Each worker owns one [`ProviderScratch`] reused across tasks.
+///
+/// Round-1 resolution order, cheapest first:
+///
+/// 1. **candidate memo** — `(epoch, shard, τ, ψ)` with a memoized `k ≥`
+///    the request: answer by prefix slicing, no provider touched;
+/// 2. **provider cache** — single-flight `get_or_build` per
+///    `(epoch, shard, instance, τ)`, then the lazy local greedy on it;
+/// 3. **cold build** — caches disabled: the original rebuild-per-query
+///    path.
+///
+/// A task is *hot* when it performed no provider build (paths 1, and 2 on
+/// a hit; a coalesced wait rides a build, so it counts cold).
 fn worker_loop(inner: &RouterInner) {
     let mut scratch = ProviderScratch::default();
     loop {
@@ -501,19 +631,61 @@ fn worker_loop(inner: &RouterInner) {
         };
         inner.clock.metrics.queue_exit(1);
         let snap = inner.stores[task.shard as usize].load();
+        let epoch = snap.epoch();
+        let bound = snap.trajs().id_bound();
+        let query = &task.query;
         let t = Instant::now();
-        let round = local_candidates(
-            snap.index(),
-            &task.query,
-            snap.trajs().id_bound(),
-            &mut scratch,
-        );
+        let memo_key = inner
+            .rounds
+            .as_ref()
+            .map(|_| RoundKey::new(epoch, task.shard, query.tau, &query.preference));
+        let memoized = match (&inner.rounds, &memo_key) {
+            (Some(rounds), Some(key)) => rounds.lookup(key, query.k),
+            _ => None,
+        };
+        let (round, hot) = match memoized {
+            Some(round) => (round, true),
+            None => {
+                let (round, hot) = match &inner.providers {
+                    Some(providers) => {
+                        let p = snap.index().instance_for(query.tau);
+                        let key = ShardProviderKey::new(epoch, task.shard, p, query.tau);
+                        let (provider, outcome) = providers.get_or_build(key, || {
+                            let build_start = Instant::now();
+                            let built = ClusteredProvider::build_with(
+                                snap.index().instance(p),
+                                query.tau,
+                                bound,
+                                inner.build_threads,
+                                &mut scratch,
+                            );
+                            inner
+                                .clock
+                                .metrics
+                                .provider_build
+                                .record(build_start.elapsed());
+                            built
+                        });
+                        (
+                            local_candidates_on(&provider, p, query),
+                            outcome == CacheOutcome::Hit,
+                        )
+                    }
+                    None => (
+                        local_candidates(snap.index(), query, bound, &mut scratch),
+                        false,
+                    ),
+                };
+                if let (Some(rounds), Some(key)) = (&inner.rounds, memo_key) {
+                    rounds.insert(key, round.clone());
+                }
+                (round, hot)
+            }
+        };
         inner.shard_latency[task.shard as usize].record(t.elapsed());
         inner.shard_tasks[task.shard as usize].fetch_add(1, Ordering::Relaxed);
         // A gather that vanished (client gone) is fine to ignore.
-        let _ = task
-            .reply
-            .send((task.shard, snap.epoch(), snap.trajs().id_bound(), round));
+        let _ = task.reply.send((task.shard, epoch, bound, hot, round));
     }
 }
 
@@ -565,7 +737,14 @@ mod tests {
             ..Default::default()
         };
         let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, cfg);
-        let router = ShardRouter::start(Arc::clone(&net), sharded, ShardRouterConfig { workers });
+        let router = ShardRouter::start(
+            Arc::clone(&net),
+            sharded,
+            ShardRouterConfig {
+                workers,
+                ..Default::default()
+            },
+        );
         (router, net, trajs, sites)
     }
 
@@ -622,10 +801,7 @@ mod tests {
             (2..6).map(NodeId).collect(),
         ))]);
         assert_eq!(receipt.epoch, 2);
-        assert_eq!(
-            router.shard_snapshot(0).trajs().get(TrajId(9)).is_some(),
-            true
-        );
+        assert!(router.shard_snapshot(0).trajs().get(TrajId(9)).is_some());
         assert_eq!(router.shard_snapshot(0).trajs().id_bound(), 10);
         // Queries see the new demand.
         let q = TopsQuery::binary(1, 600.0);
@@ -675,6 +851,77 @@ mod tests {
         let rep = router.metrics_report().shards.unwrap();
         assert_eq!(rep.trajectories, 8, "replication gauge must unwind");
         assert_eq!(rep.replicas, 8);
+        router.shutdown();
+    }
+
+    #[test]
+    fn warm_queries_hit_caches_and_fill_the_hot_lane() {
+        let (router, net, trajs, sites) = router(2);
+        let cold = {
+            let cfg = NetClusConfig {
+                tau_min: 200.0,
+                tau_max: 3_000.0,
+                threads: 1,
+                ..Default::default()
+            };
+            let partition = RegionPartition::build(&net, 2);
+            let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, cfg);
+            ShardRouter::start(Arc::clone(&net), sharded, ShardRouterConfig::uncached())
+        };
+        // Query 1 (k=3): cold — both shards build providers.
+        // Query 2 (k=3, same τ): memo hit on both shards.
+        // Query 3 (k=2, same τ): prefix hit (k' < memoized k).
+        // Query 4 (k=5, same τ): memo miss, provider-cache hit, upgrade.
+        for k in [3usize, 3, 2, 5] {
+            let q = TopsQuery::binary(k, 800.0);
+            let warm = router.query_blocking(q).unwrap();
+            let reference = cold.query_blocking(q).unwrap();
+            assert_eq!(warm.sites, reference.sites, "k={k}");
+            assert_eq!(warm.utility.to_bits(), reference.utility.to_bits());
+        }
+        let report = router.metrics_report();
+        let shards = report.shards.clone().expect("shard section");
+        assert_eq!(shards.providers.misses, 2, "one build per shard, once");
+        assert_eq!(shards.providers.hits, 2, "k=5 re-ran on cached providers");
+        assert_eq!(shards.rounds.misses, 4, "{:?}", shards.rounds);
+        assert_eq!(shards.rounds.hits, 4, "{:?}", shards.rounds);
+        assert_eq!(shards.hot.count, 3, "three warm fan-outs");
+        assert_eq!(shards.cold.count, 1, "one cold fan-out");
+        assert!(report.provider_hit_rate() > 0.0);
+        // The cold reference router never touched a cache.
+        let creport = cold.metrics_report();
+        let cshards = creport.shards.expect("shard section");
+        assert_eq!(cshards.providers.hits + cshards.providers.misses, 0);
+        assert_eq!(cshards.hot.count, 0);
+        assert_eq!(cshards.cold.count, 4);
+        router.shutdown();
+        cold.shutdown();
+    }
+
+    #[test]
+    fn epoch_advance_invalidates_router_caches() {
+        let (router, ..) = router(1);
+        let q = TopsQuery::binary(2, 700.0);
+        router.query_blocking(q).unwrap();
+        router.query_blocking(q).unwrap();
+        let warm = router.metrics_report().shards.unwrap();
+        assert!(warm.providers.entries > 0);
+        assert!(warm.rounds.entries > 0);
+        assert_eq!(warm.rounds.hits, 2, "one memo hit per shard");
+        // An update advances the lockstep epoch and purges both caches.
+        router.apply_updates(vec![UpdateOp::AddTrajectory(Trajectory::new(
+            (0..4).map(NodeId).collect(),
+        ))]);
+        let purged = router.metrics_report().shards.unwrap();
+        assert_eq!(purged.providers.entries, 0, "stale provider survived");
+        assert_eq!(purged.rounds.entries, 0, "stale round survived");
+        assert!(purged.providers.invalidated > 0);
+        assert!(purged.rounds.invalidated > 0);
+        // The next query rebuilds against the new epoch (a cold fan-out).
+        let fresh = router.query_blocking(q).unwrap();
+        assert_eq!(fresh.epoch, 1);
+        let after = router.metrics_report().shards.unwrap();
+        assert_eq!(after.cold.count, 2);
         router.shutdown();
     }
 

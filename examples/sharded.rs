@@ -11,8 +11,11 @@
 //! * the two-round distributed greedy matching the monolithic answer
 //!   within a few percent of exact utility (asserted);
 //! * the `ShardRouter` answering concurrent queries against lockstep
-//!   per-shard snapshots while trajectory updates land (asserted);
-//! * the metrics report with per-shard lanes, as single-line JSON.
+//!   per-shard snapshots while trajectory updates land (asserted), riding
+//!   its per-shard provider cache and round-1 candidate memo between
+//!   epoch advances (non-zero hit rate asserted);
+//! * the metrics report with per-shard lanes, cache counters and the
+//!   hot/cold latency lanes, as single-line JSON.
 //!
 //! Run with: `cargo run --release --example sharded`
 
@@ -203,6 +206,36 @@ fn main() {
         );
     }
     assert!(shards.lanes.iter().all(|l| l.queries == QUERIES as u64));
+    println!(
+        "[cache] providers: {} hits / {} misses / {} coalesced, memo: {} hits / {} misses, \
+         hot p50 {} µs ({} fan-outs) vs cold p50 {} µs ({} fan-outs)",
+        shards.providers.hits,
+        shards.providers.misses,
+        shards.providers.coalesced,
+        shards.rounds.hits,
+        shards.rounds.misses,
+        shards.hot.p50_micros,
+        shards.hot.count,
+        shards.cold.p50_micros,
+        shards.cold.count,
+    );
+    // The concurrent phase repeats (k, τ) shapes between epoch advances:
+    // the round-1 caches must have carried real traffic, epoch advances
+    // must have purged them, and some fan-outs must have been fully warm.
+    assert!(
+        shards.providers.hits + shards.rounds.hits > 0,
+        "concurrent serving never hit the round-1 caches"
+    );
+    assert!(
+        report.provider_hit_rate() > 0.0,
+        "provider-cache hit rate must be non-zero: {:?}",
+        shards.providers
+    );
+    assert!(
+        shards.providers.invalidated + shards.rounds.invalidated > 0,
+        "epoch advances must purge the round-1 caches"
+    );
+    assert!(shards.hot.count > 0, "no fan-out rode the warm path");
     println!("[json ] {}", report.to_json_line());
     router.shutdown();
     println!("[done ] sharded scatter-gather serving verified");
