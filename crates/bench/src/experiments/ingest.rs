@@ -143,6 +143,8 @@ pub fn run(ctx: &mut Ctx) {
         fmt_secs(recovery.replay_time),
     );
     ctx.write_csv("ingest", &header, &[row]);
-    println!("BENCH_INGEST_THROUGHPUT {}", report.to_json_line());
+    let line = report.to_json_line();
+    crate::schema::check_record("BENCH_INGEST_THROUGHPUT", &line);
+    println!("BENCH_INGEST_THROUGHPUT {line}");
     let _ = std::fs::remove_dir_all(&wal_dir);
 }

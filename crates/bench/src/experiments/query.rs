@@ -164,8 +164,8 @@ pub fn run(ctx: &mut Ctx) {
     );
     ctx.write_csv("query_latency", &sheader, &srows);
 
-    println!(
-        "BENCH_QUERY_LATENCY {{\"queries\":{},\"latency_mean_us\":{},\"latency_p50_us\":{},\
+    let record = format!(
+        "{{\"queries\":{},\"latency_mean_us\":{},\"latency_p50_us\":{},\
          \"latency_p99_us\":{},\"provider_build_seq_ms\":{:.3},\"provider_build_par_ms\":{:.3},\
          \"provider_build_speedup\":{:.3},\"par_threads\":{},\"provider_hits\":{},\
          \"provider_misses\":{},\"provider_hit_rate\":{:.3},\"provider_build_p50_us\":{},\
@@ -185,6 +185,8 @@ pub fn run(ctx: &mut Ctx) {
         report.provider_build.p99_micros,
         report.throughput_qps,
     );
+    crate::schema::check_record("BENCH_QUERY_LATENCY", &record);
+    println!("BENCH_QUERY_LATENCY {record}");
 }
 
 fn ratio(a: Duration, b: Duration) -> f64 {

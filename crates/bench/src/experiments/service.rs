@@ -154,6 +154,8 @@ pub fn run(ctx: &mut Ctx) {
         std::slice::from_ref(&row),
     );
     ctx.write_csv("service", &header, &[row]);
-    println!("BENCH_SERVICE_THROUGHPUT {}", report.to_json_line());
+    let line = report.to_json_line();
+    crate::schema::check_record("BENCH_SERVICE_THROUGHPUT", &line);
+    println!("BENCH_SERVICE_THROUGHPUT {line}");
     service.shutdown();
 }

@@ -236,8 +236,49 @@ pub fn run(ctx: &mut Ctx) {
 
     let report = router.metrics_report();
     let shard_section = report.shards.clone().expect("router shard section");
-    println!("SHARD_ROUTER_METRICS {}", report.to_json_line());
+    let router_metrics_line = report.to_json_line();
+    crate::schema::check_record("SHARD_ROUTER_METRICS", &router_metrics_line);
+    println!("SHARD_ROUTER_METRICS {router_metrics_line}");
+
+    // Query-path tracing: every query above fed the stage histograms;
+    // cold fan-outs crossed the slow threshold (or the 1-in-N sampler)
+    // and left full span trees in the slow-query log.
+    let tracer = router.tracer();
+    let stage = |st: netclus_service::Stage| tracer.stages().summary(st);
+    let (slow_retained, sampled_retained, _evicted) = tracer.retention();
+    let slow_queries = tracer.slow_queries();
+    let stage_breakdown = tracer.stats_json_line();
+    let slow_log = tracer.slow_log_jsonl();
     router.shutdown();
+
+    // Attribution contract: the span tree of a traced cold query must
+    // account for ≥ 95% of its wall time — top-level stages are recorded
+    // contiguously, so anything missing would be untraced dead time. The
+    // longest cold trace is the robust witness (µs truncation across four
+    // spans can dominate a sub-100 µs trace, never a cold fan-out).
+    let witness = slow_queries
+        .iter()
+        .filter(|r| !r.meta.hot)
+        .max_by_key(|r| r.total_us)
+        .expect("at least one cold query trace retained (seq 0 is always sampled)");
+    let attributed = witness.attributed_fraction();
+    assert!(
+        attributed >= 0.95,
+        "slow-query log attributes only {:.1}% of a {} µs cold query to named stages",
+        attributed * 100.0,
+        witness.total_us
+    );
+
+    for (name, content) in [
+        ("shard_stage_breakdown.json", format!("{stage_breakdown}\n")),
+        ("shard_slow_queries.jsonl", slow_log),
+    ] {
+        let path = ctx.cfg.out_dir.join(name);
+        match std::fs::write(&path, content) {
+            Ok(()) => eprintln!("[json] {}", path.display()),
+            Err(e) => eprintln!("[warn] cannot write {}: {e}", path.display()),
+        }
+    }
 
     // Round-1 cache-stack hit rate: the fraction of round-1 tasks served
     // without a provider build — a memo hit is a provider-cache hit taken
@@ -319,14 +360,35 @@ pub fn run(ctx: &mut Ctx) {
     let mut all_lat = cold_lat;
     all_lat.extend_from_slice(&hot_lat);
     all_lat.sort_unstable();
-    println!(
-        "BENCH_SHARD_SCALING {{{},\"mono_build_ms\":{:.3},\"min_utility_ratio\":{:.3},\
+    let stage_fields = {
+        use netclus_service::Stage;
+        [
+            ("admission", stage(Stage::Admission)),
+            ("round1", stage(Stage::Round1)),
+            ("solve", stage(Stage::Solve)),
+            ("merge", stage(Stage::Merge)),
+            ("reply", stage(Stage::Reply)),
+        ]
+        .iter()
+        .map(|(name, s)| {
+            format!(
+                "\"stage_{name}_p50_us\":{},\"stage_{name}_p99_us\":{}",
+                s.p50_micros, s.p99_micros
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",")
+    };
+    let record = format!(
+        "{{{},\"mono_build_ms\":{:.3},\"min_utility_ratio\":{:.3},\
          \"router_queries\":{},\"router_p50_us\":{},\"router_p99_us\":{},\"merge_p99_us\":{},\
          \"router_hot_queries\":{},\"router_hot_p50_us\":{},\"router_hot_p99_us\":{},\
          \"router_cold_queries\":{},\"router_cold_p50_us\":{},\"router_cold_p99_us\":{},\
          \"router_hot_speedup\":{:.1},\"router_provider_hit_rate\":{:.3},\
          \"round_memo_hits\":{},\"provider_coalesced\":{},\
-         \"router_qps\":{:.3},\"boundary_trajs\":{},\"trajectories\":{}}}",
+         \"router_qps\":{:.3},\"boundary_trajs\":{},\"trajectories\":{},{stage_fields},\
+         \"slow_queries_captured\":{slow_retained},\"sampled_queries_captured\":{sampled_retained},\
+         \"trace_attributed_fraction\":{attributed:.3}}}",
         json_parts.join(","),
         mono_build.as_secs_f64() * 1e3,
         min_ratio,
@@ -348,4 +410,6 @@ pub fn run(ctx: &mut Ctx) {
         shard_section.boundary_trajs,
         shard_section.trajectories,
     );
+    crate::schema::check_record("BENCH_SHARD_SCALING", &record);
+    println!("BENCH_SHARD_SCALING {record}");
 }

@@ -16,6 +16,7 @@
 pub mod baseline;
 pub mod experiments;
 pub mod runners;
+pub mod schema;
 
 use std::collections::HashMap;
 use std::io::Write;

@@ -1,0 +1,385 @@
+//! Schema snapshots for the harness's single-line JSON records.
+//!
+//! The perf gate (`crate::baseline`) deliberately lets a gated key that is
+//! missing from the *baseline* pass vacuously, so a newly added metric
+//! only starts gating once its baseline is refreshed. The flip side is an
+//! orphaning hazard: rename an emitted key and the gate silently compares
+//! nothing forever. This module pins the **exact key set** of every
+//! record the harness emits — each emitter calls [`check_record`] on the
+//! line it is about to print, so a rename (or a dropped field) fails the
+//! experiment run loudly instead of defanging CI.
+//!
+//! Keys with embedded indices are normalized before comparison
+//! (`shard3_p50_us` → `shardN_p50_us`, `work_ms_s4` → `work_ms_sN`), so
+//! the snapshot is independent of shard counts and scale.
+
+use std::collections::BTreeSet;
+
+/// The pinned key set of `BENCH_QUERY_LATENCY`.
+pub const QUERY_LATENCY_KEYS: &[&str] = &[
+    "queries",
+    "latency_mean_us",
+    "latency_p50_us",
+    "latency_p99_us",
+    "provider_build_seq_ms",
+    "provider_build_par_ms",
+    "provider_build_speedup",
+    "par_threads",
+    "provider_hits",
+    "provider_misses",
+    "provider_hit_rate",
+    "provider_build_p50_us",
+    "provider_build_p99_us",
+    "throughput_qps",
+];
+
+/// The pinned key set of `BENCH_INGEST_THROUGHPUT`
+/// ([`netclus_service::IngestReport::to_json_line`]).
+pub const INGEST_THROUGHPUT_KEYS: &[&str] = &[
+    "uptime_secs",
+    "records_in",
+    "records_duplicate",
+    "records_dropped",
+    "records_malformed",
+    "records_matched",
+    "match_failed",
+    "records_per_sec",
+    "match_mean_us",
+    "match_p50_us",
+    "match_p99_us",
+    "batches_published",
+    "ops_published",
+    "trajs_retired",
+    "publish_mean_us",
+    "publish_p99_us",
+    "wal_frames",
+    "wal_bytes",
+    "wal_bytes_per_sec",
+    "wal_syncs",
+    "replay_micros",
+    "replay_batches",
+    "decode_p50_us",
+    "decode_p99_us",
+    "wal_append_p50_us",
+    "wal_append_p99_us",
+];
+
+/// The pinned key set of `BENCH_SERVICE_THROUGHPUT`
+/// ([`netclus_service::MetricsReport::to_json_line`] without a shard
+/// section).
+pub const SERVICE_THROUGHPUT_KEYS: &[&str] = &[
+    "uptime_secs",
+    "workers",
+    "epoch",
+    "submitted",
+    "rejected",
+    "completed",
+    "throughput_qps",
+    "cache_served",
+    "dedup_joined",
+    "batches",
+    "mean_batch_size",
+    "queue_depth",
+    "queue_depth_max",
+    "epoch_advances",
+    "updates_applied",
+    "latency_mean_us",
+    "latency_p50_us",
+    "latency_p95_us",
+    "latency_p99_us",
+    "latency_max_us",
+    "update_mean_us",
+    "update_p50_us",
+    "update_p99_us",
+    "update_max_us",
+    "provider_build_mean_us",
+    "provider_build_p50_us",
+    "provider_build_p99_us",
+    "provider_hits",
+    "provider_misses",
+    "provider_coalesced",
+    "provider_evictions",
+    "provider_invalidated",
+    "provider_entries",
+    "provider_hit_rate",
+    "cache_hits",
+    "cache_misses",
+    "cache_evictions",
+    "cache_invalidated",
+    "cache_entries",
+    "rss_bytes",
+    "arena_resident_bytes",
+];
+
+/// The per-shard keys appended when the report carries a shard section
+/// (`SHARD_ROUTER_METRICS` = the service keys plus these).
+pub const SHARD_SECTION_KEYS: &[&str] = &[
+    "shards",
+    "fanout_queries",
+    "merge_mean_us",
+    "merge_p99_us",
+    "round_hits",
+    "round_misses",
+    "round_evictions",
+    "round_invalidated",
+    "round_entries",
+    "round_hit_rate",
+    "router_hot_queries",
+    "router_hot_p50_us",
+    "router_hot_p99_us",
+    "router_cold_queries",
+    "router_cold_p50_us",
+    "router_cold_p99_us",
+    "shard_trajectories",
+    "boundary_trajs",
+    "shard_replicas",
+    "replication_factor",
+    "shardN_queries",
+    "shardN_p50_us",
+    "shardN_p99_us",
+    "shardN_replicated_trajs",
+    "shardN_qps_ewma",
+    "shardN_cache_heat",
+    "shardN_cold_fraction",
+];
+
+/// The pinned key set of `BENCH_SHARD_SCALING` (index-normalized).
+pub const SHARD_SCALING_KEYS: &[&str] = &[
+    "work_ms_sN",
+    "max_shard_ms_sN",
+    "speedup_potential_sN",
+    "replication_factor_sN",
+    "mono_build_ms",
+    "min_utility_ratio",
+    "router_queries",
+    "router_p50_us",
+    "router_p99_us",
+    "merge_p99_us",
+    "router_hot_queries",
+    "router_hot_p50_us",
+    "router_hot_p99_us",
+    "router_cold_queries",
+    "router_cold_p50_us",
+    "router_cold_p99_us",
+    "router_hot_speedup",
+    "router_provider_hit_rate",
+    "round_memo_hits",
+    "provider_coalesced",
+    "router_qps",
+    "boundary_trajs",
+    "trajectories",
+    "stage_admission_p50_us",
+    "stage_admission_p99_us",
+    "stage_round1_p50_us",
+    "stage_round1_p99_us",
+    "stage_solve_p50_us",
+    "stage_solve_p99_us",
+    "stage_merge_p50_us",
+    "stage_merge_p99_us",
+    "stage_reply_p50_us",
+    "stage_reply_p99_us",
+    "slow_queries_captured",
+    "sampled_queries_captured",
+    "trace_attributed_fraction",
+];
+
+/// The expected (normalized) key set of a record prefix; `None` for
+/// prefixes this module does not pin.
+pub fn expected_keys(prefix: &str) -> Option<BTreeSet<String>> {
+    let keys: Vec<&str> = match prefix {
+        "BENCH_QUERY_LATENCY" => QUERY_LATENCY_KEYS.to_vec(),
+        "BENCH_INGEST_THROUGHPUT" => INGEST_THROUGHPUT_KEYS.to_vec(),
+        "BENCH_SERVICE_THROUGHPUT" => SERVICE_THROUGHPUT_KEYS.to_vec(),
+        "BENCH_SHARD_SCALING" => SHARD_SCALING_KEYS.to_vec(),
+        "SHARD_ROUTER_METRICS" => SERVICE_THROUGHPUT_KEYS
+            .iter()
+            .chain(SHARD_SECTION_KEYS)
+            .copied()
+            .collect(),
+        _ => return None,
+    };
+    Some(keys.iter().map(|k| k.to_string()).collect())
+}
+
+/// Extracts every key of a flat single-line JSON object, in order.
+pub fn record_keys(json: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut rest = json.trim().trim_start_matches('{');
+    while let Some(open) = rest.find('"') {
+        let Some(close) = rest[open + 1..].find('"') else {
+            break;
+        };
+        out.push(rest[open + 1..open + 1 + close].to_string());
+        rest = &rest[open + 2 + close..];
+        // Skip the value: up to the next top-level comma (the records are
+        // flat — numbers, nulls, no strings or nesting).
+        match rest.find(',') {
+            Some(comma) => rest = &rest[comma + 1..],
+            None => break,
+        }
+    }
+    out
+}
+
+/// Normalizes embedded indices: a `shard<digits>_` prefix becomes
+/// `shardN_` and a trailing `_s<digits>` becomes `_sN`.
+pub fn normalize_key(key: &str) -> String {
+    let mut k = key.to_string();
+    if let Some(rest) = k.strip_prefix("shard") {
+        let digits = rest.chars().take_while(|c| c.is_ascii_digit()).count();
+        if digits > 0 && rest[digits..].starts_with('_') {
+            k = format!("shardN{}", &rest[digits..]);
+        }
+    }
+    if let Some(pos) = k.rfind("_s") {
+        let tail = &k[pos + 2..];
+        if !tail.is_empty() && tail.chars().all(|c| c.is_ascii_digit()) {
+            k = format!("{}_sN", &k[..pos]);
+        }
+    }
+    k
+}
+
+/// Asserts that `json`'s normalized key set exactly matches the pinned
+/// schema of `prefix`. Panics with the missing/unexpected keys — every
+/// emitter calls this right before printing, so a silent rename cannot
+/// orphan a CI gate.
+pub fn check_record(prefix: &str, json: &str) {
+    let Some(expected) = expected_keys(prefix) else {
+        panic!("{prefix}: no pinned schema — add it to bench::schema");
+    };
+    let actual: BTreeSet<String> = record_keys(json).iter().map(|k| normalize_key(k)).collect();
+    let missing: Vec<&String> = expected.difference(&actual).collect();
+    let unexpected: Vec<&String> = actual.difference(&expected).collect();
+    assert!(
+        missing.is_empty() && unexpected.is_empty(),
+        "{prefix} schema drift — missing keys: {missing:?}, unexpected keys: {unexpected:?}. \
+         Renamed or dropped fields orphan the perf gate; update bench::schema AND the \
+         committed baseline under results/baselines/ together."
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::{extract_record, gated_metrics, parse_flat_json};
+
+    #[test]
+    fn normalization_handles_both_index_shapes() {
+        assert_eq!(normalize_key("shard12_p50_us"), "shardN_p50_us");
+        assert_eq!(normalize_key("shard0_qps_ewma"), "shardN_qps_ewma");
+        assert_eq!(normalize_key("work_ms_s4"), "work_ms_sN");
+        assert_eq!(
+            normalize_key("replication_factor_s2"),
+            "replication_factor_sN"
+        );
+        // Non-indexed keys pass through untouched.
+        assert_eq!(normalize_key("router_hot_p50_us"), "router_hot_p50_us");
+        assert_eq!(normalize_key("shards"), "shards");
+        assert_eq!(normalize_key("uptime_secs"), "uptime_secs");
+    }
+
+    #[test]
+    fn record_keys_extracts_in_order_including_nulls() {
+        let keys = record_keys("{\"a\":1,\"rss_bytes\":null,\"b\":2.500}");
+        assert_eq!(keys, vec!["a", "rss_bytes", "b"]);
+    }
+
+    #[test]
+    fn every_gated_metric_is_in_the_pinned_schema() {
+        for prefix in [
+            "BENCH_QUERY_LATENCY",
+            "BENCH_INGEST_THROUGHPUT",
+            "BENCH_SHARD_SCALING",
+        ] {
+            let expected = expected_keys(prefix).unwrap();
+            for m in gated_metrics(prefix) {
+                assert!(
+                    expected.contains(&normalize_key(m.key)),
+                    "{prefix}: gated key {} missing from pinned schema",
+                    m.key
+                );
+            }
+        }
+    }
+
+    /// The anti-orphaning check proper: every gated key must parse out of
+    /// the **committed** baseline file with a numeric value, otherwise the
+    /// gate compares nothing (`compare` passes vacuously on a missing
+    /// baseline key) and a regression ships.
+    #[test]
+    fn every_gated_metric_has_a_committed_baseline_value() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/baselines");
+        for (file, prefix) in [
+            ("query_latency.json", "BENCH_QUERY_LATENCY"),
+            ("ingest_throughput.json", "BENCH_INGEST_THROUGHPUT"),
+            ("shard_scaling.json", "BENCH_SHARD_SCALING"),
+        ] {
+            let text = std::fs::read_to_string(dir.join(file))
+                .unwrap_or_else(|e| panic!("baseline {file} unreadable: {e}"));
+            let record = extract_record(&text, prefix)
+                .unwrap_or_else(|| panic!("{file} has no {prefix} record"));
+            let fields = parse_flat_json(record);
+            for m in gated_metrics(prefix) {
+                assert!(
+                    fields.iter().any(|(k, _)| k == m.key),
+                    "{prefix}: gated key {} has no committed baseline value in {file} — \
+                     the gate would pass vacuously forever",
+                    m.key
+                );
+            }
+        }
+    }
+
+    /// Committed baselines must be a subset of the pinned schema (they may
+    /// lag behind newly added keys until refreshed, but must never carry a
+    /// key the emitters no longer produce under its pinned name).
+    #[test]
+    fn committed_baselines_are_subsets_of_the_schema() {
+        let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/baselines");
+        for (file, prefix) in [
+            ("query_latency.json", "BENCH_QUERY_LATENCY"),
+            ("ingest_throughput.json", "BENCH_INGEST_THROUGHPUT"),
+            ("shard_scaling.json", "BENCH_SHARD_SCALING"),
+        ] {
+            let text = std::fs::read_to_string(dir.join(file)).unwrap();
+            let record = extract_record(&text, prefix).unwrap();
+            let expected = expected_keys(prefix).unwrap();
+            for key in record_keys(record) {
+                assert!(
+                    expected.contains(&normalize_key(&key)),
+                    "{file}: baseline key {key} is not in the pinned {prefix} schema"
+                );
+            }
+        }
+    }
+
+    /// Pins the live report serializers: a default `MetricsReport` (no
+    /// shard section) must produce exactly the service key set, and a
+    /// default `IngestMetrics` report exactly the ingest key set.
+    #[test]
+    fn live_report_serializers_match_the_pins() {
+        let service_line = netclus_service::ServiceMetrics::default()
+            .report(
+                std::time::Duration::from_secs(1),
+                0,
+                1,
+                netclus_service::CacheStats::default(),
+                netclus_service::ProviderCacheStats::default(),
+            )
+            .to_json_line();
+        check_record("BENCH_SERVICE_THROUGHPUT", &service_line);
+
+        let ingest_line = netclus_service::IngestMetrics::default()
+            .report(std::time::Duration::from_secs(1))
+            .to_json_line();
+        check_record("BENCH_INGEST_THROUGHPUT", &ingest_line);
+    }
+
+    #[test]
+    fn check_record_panics_on_drift() {
+        let renamed = "{\"queries\":1,\"latency_mean_was_renamed\":2}";
+        let err = std::panic::catch_unwind(|| check_record("BENCH_QUERY_LATENCY", renamed));
+        assert!(err.is_err(), "schema drift must panic");
+    }
+}

@@ -371,6 +371,11 @@ pub struct ShardRoundOne {
     pub local_utility: f64,
     /// Round-1 wall-clock time on this shard.
     pub elapsed: Duration,
+    /// Portion of `elapsed` spent in the greedy solver itself,
+    /// microseconds; the remainder is candidate extraction (coverage-row
+    /// copies). Threaded through so serving layers can attribute round-1
+    /// time to stages without re-timing inside the solver.
+    pub solve_us: u64,
     /// Shard id for reporting (set by the caller's context; defaults to
     /// the order of computation).
     pub shard_hint: u32,
@@ -388,9 +393,10 @@ impl ShardRoundOne {
     /// `(epoch, shard, τ, ψ)` — the basis of the serving layer's round-1
     /// candidate memo.
     ///
-    /// `elapsed` is zeroed: a sliced answer costs no solve time, and
-    /// reporting the original run's duration would make warm per-shard
-    /// stats look as slow as the cold solve they skipped.
+    /// `elapsed` (and `solve_us` with it) is zeroed: a sliced answer
+    /// costs no solve time, and reporting the original run's duration
+    /// would make warm per-shard stats look as slow as the cold solve
+    /// they skipped.
     ///
     /// # Panics
     /// Panics if `k > self.k` (a larger request needs a real re-run).
@@ -405,6 +411,7 @@ impl ShardRoundOne {
             instance: self.instance,
             representatives: self.representatives,
             elapsed: Duration::ZERO,
+            solve_us: 0,
             shard_hint: self.shard_hint,
         }
     }
@@ -483,6 +490,7 @@ pub fn local_candidates_on(
         lazy: true,
     };
     let solution = inc_greedy_from(provider, &cfg, &[]);
+    let solve_us = start.elapsed().as_micros() as u64;
     let candidates = solution
         .site_indices
         .iter()
@@ -501,6 +509,7 @@ pub fn local_candidates_on(
         representatives: provider.site_count(),
         local_utility: solution.utility,
         elapsed: start.elapsed(),
+        solve_us,
         shard_hint: 0,
     }
 }
@@ -576,7 +585,30 @@ pub fn merge_candidates(
     q: &TopsQuery,
     traj_id_bound: usize,
 ) -> (Solution, usize) {
+    let (solution, n, _) = merge_candidates_timed(candidates, q, traj_id_bound);
+    (solution, n)
+}
+
+/// Wall-clock split of one round-2 merge (see [`merge_candidates_timed`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MergeTiming {
+    /// Building the merged coverage view (dedup + arena + inversion).
+    pub build_us: u64,
+    /// The exact greedy over the merged view.
+    pub solve_us: u64,
+}
+
+/// [`merge_candidates`] with the merge-view build and the round-2 greedy
+/// timed separately, so serving layers can attribute round-2 time to
+/// stages. Identical answer — the timing rides along.
+pub fn merge_candidates_timed(
+    candidates: Vec<Candidate>,
+    q: &TopsQuery,
+    traj_id_bound: usize,
+) -> (Solution, usize, MergeTiming) {
+    let t = Instant::now();
     let provider = MergedCandidateProvider::new(candidates, traj_id_bound);
+    let build_us = t.elapsed().as_micros() as u64;
     let cfg = GreedyConfig {
         k: q.k,
         tau: q.tau,
@@ -584,7 +616,10 @@ pub fn merge_candidates(
         lazy: true,
     };
     let n = provider.site_count();
-    (inc_greedy_from(&provider, &cfg, &[]), n)
+    let t = Instant::now();
+    let solution = inc_greedy_from(&provider, &cfg, &[]);
+    let solve_us = t.elapsed().as_micros() as u64;
+    (solution, n, MergeTiming { build_us, solve_us })
 }
 
 #[cfg(test)]

@@ -1,41 +1,13 @@
 //! CRC-32 (IEEE 802.3, polynomial `0xEDB88320`) over byte slices.
 //!
-//! Hand-rolled because the workspace is dependency-free; the table is
-//! computed at compile time. This is the checksum guarding both the
-//! stream-record frames ([`crate::record`]) and the WAL frames
-//! ([`crate::wal`]), so a corrupted or torn frame is detected before its
-//! payload is ever interpreted.
+//! The implementation now lives in [`netclus_service::framing`] — one
+//! shared definition guards the stream-record frames ([`crate::record`]),
+//! the WAL frames ([`crate::wal`]) *and* the service's telemetry endpoint,
+//! so every framed byte in the workspace is checked the same way. This
+//! module re-exports it under the historical path and keeps the known
+//! test vectors pinned against the shared table.
 
-const fn build_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut c = i as u32;
-        let mut k = 0;
-        while k < 8 {
-            c = if c & 1 != 0 {
-                0xEDB8_8320 ^ (c >> 1)
-            } else {
-                c >> 1
-            };
-            k += 1;
-        }
-        table[i] = c;
-        i += 1;
-    }
-    table
-}
-
-static TABLE: [u32; 256] = build_table();
-
-/// CRC-32 of `data` (IEEE reflected form, initial/final XOR `!0`).
-pub fn crc32(data: &[u8]) -> u32 {
-    let mut c = !0u32;
-    for &b in data {
-        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
-    }
-    !c
-}
+pub use netclus_service::framing::crc32;
 
 #[cfg(test)]
 mod tests {

@@ -52,7 +52,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use netclus_roadnet::GridIndex;
-use netclus_service::{IngestMetrics, SnapshotStore, UpdateOp};
+use netclus_service::{IngestMetrics, SnapshotStore, Stage, UpdateOp};
 use netclus_trajectory::{MapMatcher, Trajectory};
 
 use crate::lifecycle::LifecycleManager;
@@ -477,7 +477,13 @@ impl Ingestor {
     /// framing resyncs); a truncated or failing stream ends the read.
     pub fn ingest_reader<R: Read>(&self, r: R) -> IntakeSummary {
         let mut summary = IntakeSummary::default();
-        for result in RecordReader::new(r) {
+        let mut reader = RecordReader::new(r);
+        loop {
+            // Per-frame decode timing (includes the blocking read of the
+            // frame's bytes — what an ingest probe actually waits on).
+            let t = Instant::now();
+            let Some(result) = reader.next() else { break };
+            self.metrics.stages.record(Stage::Decode, t.elapsed());
             match result {
                 Ok(record) => match self.submit(record) {
                     SubmitOutcome::Accepted => summary.accepted += 1,
@@ -569,6 +575,7 @@ fn match_loop(
         match matcher.match_trace(net, grid, &record.trace) {
             Ok(traj) => {
                 metrics.match_latency.record(t.elapsed());
+                metrics.stages.record(Stage::Match, t.elapsed());
                 metrics.records_matched.fetch_add(1, Ordering::Relaxed);
                 let matched = Matched {
                     traj,
@@ -816,8 +823,10 @@ fn publish(
             return false;
         }
     };
+    metrics.stages.record(Stage::WalAppend, t.elapsed());
     let receipt = store.apply(&batch.ops);
     metrics.publish_latency.record(t.elapsed());
+    metrics.stages.record(Stage::Publish, t.elapsed());
     assert_eq!(
         receipt.epoch, epoch,
         "ingest pipeline must be the snapshot store's only writer"

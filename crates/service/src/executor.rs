@@ -37,8 +37,9 @@ use netclus_trajectory::TrajectorySet;
 
 use crate::cache::{QueryKey, ShardedCache};
 use crate::metrics::{MetricsClock, MetricsReport};
-use crate::provider_cache::{quantize_tau, ProviderCache, ProviderKey};
+use crate::provider_cache::{quantize_tau, CacheOutcome, ProviderCache, ProviderKey};
 use crate::snapshot::{SnapshotStore, UpdateBatch, UpdateReceipt};
+use crate::trace::{Stage, TraceConfig, TraceMeta, Tracer};
 
 /// Which solver answers the query.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -172,6 +173,9 @@ pub struct ServiceConfig {
     /// avoids oversubscription; raise it for low-concurrency deployments
     /// where single-query latency dominates.
     pub provider_build_threads: usize,
+    /// Query-path tracing + tail-sampling configuration (on by default;
+    /// see [`TraceConfig`]).
+    pub trace: TraceConfig,
 }
 
 impl Default for ServiceConfig {
@@ -184,6 +188,7 @@ impl Default for ServiceConfig {
             cache_shards: 8,
             provider_cache_capacity: 32,
             provider_build_threads: 1,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -225,6 +230,8 @@ struct Inner {
     queue: Mutex<QueueState>,
     queue_cv: Condvar,
     inflight: Mutex<HashMap<FlightKey, Flight>>,
+    /// Query-path tracer: per-stage histograms + tail-sampled slow log.
+    tracer: Tracer,
 }
 
 /// The in-process NetClus query server.
@@ -255,6 +262,7 @@ impl NetClusService {
             }),
             queue_cv: Condvar::new(),
             inflight: Mutex::new(HashMap::new()),
+            tracer: Tracer::new(cfg.trace),
         });
         let workers = (0..cfg.workers.max(1))
             .map(|i| {
@@ -302,6 +310,10 @@ impl NetClusService {
             metrics.cache_served.fetch_add(1, Ordering::Relaxed);
             metrics.completed.fetch_add(1, Ordering::Relaxed);
             metrics.latency.record(submitted.elapsed());
+            inner
+                .tracer
+                .stages()
+                .record(Stage::Admission, submitted.elapsed());
             let _ = tx.send(answer);
             return Ok(ResponseHandle { rx });
         }
@@ -322,6 +334,10 @@ impl NetClusService {
                 flight.waiters.push(waiter);
                 metrics.submitted.fetch_add(1, Ordering::Relaxed);
                 metrics.dedup_joined.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .tracer
+                    .stages()
+                    .record(Stage::Admission, submitted.elapsed());
                 return Ok(ResponseHandle { rx });
             }
             // New flight: reserve queue space before registering it.
@@ -347,6 +363,10 @@ impl NetClusService {
             metrics.queue_enter();
         }
         inner.queue_cv.notify_one();
+        self.inner
+            .tracer
+            .stages()
+            .record(Stage::Admission, submitted.elapsed());
         Ok(ResponseHandle { rx })
     }
 
@@ -396,13 +416,21 @@ impl NetClusService {
 
     /// A point-in-time metrics report.
     pub fn metrics_report(&self) -> MetricsReport {
-        self.inner.clock.metrics.report(
+        let mut report = self.inner.clock.metrics.report(
             self.inner.clock.uptime(),
             self.inner.store.epoch(),
             self.inner.cfg.workers.max(1),
             self.inner.cache.stats(),
             self.inner.providers.stats(),
-        )
+        );
+        report.process.arena_resident_bytes =
+            self.inner.store.load().index().heap_size_bytes() as u64;
+        report
+    }
+
+    /// The query-path tracer (per-stage histograms + slow-query log).
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
     }
 
     /// Drains the queue, stops the workers and joins them. Idempotent;
@@ -496,9 +524,16 @@ fn worker_loop(inner: &Inner) {
                 (flight.query, flight.variant)
             };
             let key = flight_key.at_epoch(snap.epoch());
+            // Span recorder for this flight: worker-side stage
+            // attribution (probe → provider → solve → reply).
+            let mut spans = inner.tracer.begin();
+            let mut cursor = spans.started();
+            let mut hot = true;
             // Non-counting probe: the client-facing hit/miss counters were
             // already updated by this request's submit-time lookup.
-            let answer = match inner.cache.peek(&key) {
+            let peeked = inner.cache.peek(&key);
+            cursor = spans.stage(Stage::CacheProbe, cursor);
+            let answer = match peeked {
                 Some(hit) => hit,
                 None => {
                     let t = Instant::now();
@@ -508,7 +543,7 @@ fn worker_loop(inner: &Inner) {
                     // for one build instead of each burning their own.
                     let p = snap.index().instance_for(query.tau);
                     let provider_key = ProviderKey::new(snap.epoch(), p, query.tau);
-                    let (provider, _) = inner.providers.get_or_build(provider_key, || {
+                    let (provider, outcome) = inner.providers.get_or_build(provider_key, || {
                         let build_start = Instant::now();
                         let built = netclus::ClusteredProvider::build_with(
                             snap.index().instance(p),
@@ -520,6 +555,13 @@ fn worker_loop(inner: &Inner) {
                         metrics.provider_build.record(build_start.elapsed());
                         built
                     });
+                    cursor = spans.stage(Stage::ProviderGet, cursor);
+                    spans.detail(match outcome {
+                        CacheOutcome::Hit => "hit",
+                        CacheOutcome::Coalesced => "coalesced",
+                        CacheOutcome::Miss => "built",
+                    });
+                    hot = outcome == CacheOutcome::Hit;
                     let raw = match variant {
                         QueryVariant::Greedy => snap.index().query_on(&provider, p, &query),
                         QueryVariant::Fm { copies, seed } => snap.index().query_fm_on(
@@ -533,6 +575,7 @@ fn worker_loop(inner: &Inner) {
                             },
                         ),
                     };
+                    cursor = spans.stage(Stage::Solve, cursor);
                     let answer = Arc::new(ServiceAnswer {
                         epoch: snap.epoch(),
                         corpus_len: snap.trajs().len(),
@@ -587,6 +630,16 @@ fn worker_loop(inner: &Inner) {
                 metrics.completed.fetch_add(1, Ordering::Relaxed);
                 let _ = w.tx.send(Arc::clone(&answer));
             }
+            spans.stage(Stage::Reply, cursor);
+            inner.tracer.finish(
+                &spans,
+                TraceMeta {
+                    epoch: answer.epoch,
+                    k: query.k,
+                    tau: query.tau,
+                    hot,
+                },
+            );
         }
     }
 }

@@ -34,12 +34,22 @@
 //!   ([`netclus::quantize_tau`], one shared definition for every cache
 //!   key) so keys and computation agree.
 //! * [`metrics`] — latency histogram, throughput, queue depth, cache and
-//!   provider-cache statistics plus provider-build latency, exposed as a
-//!   [`MetricsReport`] serializable to single-line JSON.
+//!   provider-cache statistics plus provider-build latency and process
+//!   gauges (uptime, RSS, arena bytes), exposed as a [`MetricsReport`]
+//!   serializable to single-line JSON.
 //! * [`shard_router`] — scatter-gather serving over a region-sharded
 //!   index: per-shard snapshot stores in epoch lockstep, a fan-out worker
 //!   pool running the two-round distributed greedy, and per-shard
 //!   latency/replication lanes in the metrics report.
+//! * [`trace`] — structured query-path tracing: per-stage latency
+//!   histograms over all traffic, allocation-free span recorders, and
+//!   **tail-based sampling** into a bounded slow-query log with full
+//!   stage attribution, plus per-shard load/heat gauges.
+//! * [`framing`] — the length-prefix/CRC-32 byte framing shared by the
+//!   ingest stream, the WAL, and the telemetry endpoint.
+//! * [`telemetry`] — a std-only TCP endpoint serving the metrics
+//!   snapshot, per-stage breakdown and slow-query log over the framed
+//!   protocol.
 //!
 //! ## Quick start
 //!
@@ -99,10 +109,13 @@
 
 pub mod cache;
 pub mod executor;
+pub mod framing;
 pub mod metrics;
 pub mod provider_cache;
 pub mod shard_router;
 pub mod snapshot;
+pub mod telemetry;
+pub mod trace;
 
 pub use cache::{preference_key, CacheStats, QueryKey, ShardedCache};
 pub use executor::{
@@ -110,8 +123,8 @@ pub use executor::{
     SubmitError,
 };
 pub use metrics::{
-    IngestMetrics, IngestReport, LatencyHistogram, LatencySummary, MetricsReport, ServiceMetrics,
-    ShardLaneReport, ShardReport,
+    IngestMetrics, IngestReport, LatencyHistogram, LatencySummary, MetricsReport, ProcessGauges,
+    ServiceMetrics, ShardLaneReport, ShardReport,
 };
 pub use provider_cache::{
     quantize_tau, CacheOutcome, EpochKeyed, FlightCache, ProviderCache, ProviderCacheStats,
@@ -119,6 +132,11 @@ pub use provider_cache::{
 };
 pub use shard_router::{ShardRouter, ShardRouterConfig, ShardedServiceAnswer};
 pub use snapshot::{RoutedOp, Snapshot, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
+pub use telemetry::{TelemetryServer, TelemetrySource};
+pub use trace::{
+    LoadGauge, LoadGaugeSnapshot, Round1Source, SlowQueryRecord, SpanRecord, Stage, StageStats,
+    TraceConfig, TraceMeta, TraceSpans, Tracer,
+};
 
 /// Compile-time audit that everything crossing thread boundaries is
 /// `Send + Sync` (the index, corpus, query and answer types the snapshot
@@ -141,4 +159,9 @@ fn send_sync_audit() {
     assert_send_sync::<netclus::ShardedNetClusIndex>();
     assert_send_sync::<ShardRouter>();
     assert_send_sync::<ShardedServiceAnswer>();
+    assert_send_sync::<Tracer>();
+    assert_send_sync::<StageStats>();
+    assert_send_sync::<LoadGauge>();
+    assert_send_sync::<TelemetryServer>();
+    assert_send_sync::<TelemetrySource>();
 }

@@ -56,11 +56,19 @@ impl LatencyHistogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// Summarizes the histogram (mean, p50/p95/p99 upper bucket bounds,
-    /// max).
+    /// Summarizes the histogram (mean, interpolated p50/p95/p99, max).
+    ///
+    /// Percentiles interpolate linearly within the winning log₂ bucket:
+    /// reporting the raw upper bucket bound would inflate a percentile by
+    /// up to 2× (a sample of 65 µs lives in the 64–127 µs bucket), so the
+    /// rank's fractional position inside the bucket picks a point between
+    /// the bucket's bounds instead, clamped to the observed maximum.
+    /// Interpolated values stay monotone across buckets (a bucket's upper
+    /// bound never exceeds the next bucket's lower bound).
     pub fn summary(&self) -> LatencySummary {
         let count = self.count.load(Ordering::Relaxed);
         let sum = self.sum_micros.load(Ordering::Relaxed);
+        let max = self.max_micros.load(Ordering::Relaxed);
         let counts: Vec<u64> = self
             .buckets
             .iter()
@@ -73,13 +81,21 @@ impl LatencyHistogram {
             let rank = (q * count as f64).ceil().max(1.0) as u64;
             let mut seen = 0u64;
             for (i, &c) in counts.iter().enumerate() {
-                seen += c;
-                if seen >= rank {
-                    // Upper bound of bucket i: 2^(i+1) − 1 µs.
-                    return (1u64 << (i + 1)) - 1;
+                if c == 0 {
+                    continue;
                 }
+                if seen + c >= rank {
+                    // Bucket i spans [2^i, 2^(i+1) − 1] µs (bucket 0
+                    // starts at 0); walk `into` of the way through it.
+                    let lower = if i == 0 { 0 } else { 1u64 << i };
+                    let upper = ((1u64 << (i + 1)) - 1).min(max);
+                    let into = (rank - seen) as f64 / c as f64;
+                    let v = lower as f64 + into * upper.saturating_sub(lower) as f64;
+                    return (v.round() as u64).min(max);
+                }
+                seen += c;
             }
-            self.max_micros.load(Ordering::Relaxed)
+            max
         };
         LatencySummary {
             count,
@@ -99,11 +115,11 @@ pub struct LatencySummary {
     pub count: u64,
     /// Mean latency.
     pub mean_micros: u64,
-    /// Median (upper bucket bound).
+    /// Median (interpolated within the winning bucket).
     pub p50_micros: u64,
-    /// 95th percentile (upper bucket bound).
+    /// 95th percentile (interpolated within the winning bucket).
     pub p95_micros: u64,
-    /// 99th percentile (upper bucket bound).
+    /// 99th percentile (interpolated within the winning bucket).
     pub p99_micros: u64,
     /// Largest sample.
     pub max_micros: u64,
@@ -193,9 +209,38 @@ impl ServiceMetrics {
             provider_build: self.provider_build.summary(),
             cache,
             providers,
+            process: ProcessGauges {
+                rss_bytes: rss_bytes(),
+                arena_resident_bytes: 0,
+            },
             shards: None,
         }
     }
+}
+
+/// Process-level gauges attached to every [`MetricsReport`] (uptime and
+/// epoch are already first-class report fields; these add the memory
+/// side).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ProcessGauges {
+    /// Resident set size of the whole process, bytes (`None` where
+    /// `/proc/self/statm` is unavailable, i.e. off Linux).
+    pub rss_bytes: Option<u64>,
+    /// Bytes resident in the published snapshot's index arenas, from the
+    /// existing footprint accounting ([`netclus::memory::HeapSize`]);
+    /// filled in by the service/router on top of [`ServiceMetrics::report`].
+    pub arena_resident_bytes: u64,
+}
+
+/// Resident set size in bytes via `/proc/self/statm` (field 2, pages).
+/// Returns `None` when the proc filesystem is missing or unreadable.
+pub fn rss_bytes() -> Option<u64> {
+    // Linux page size; statm reports pages. 4 KiB holds for every target
+    // this workspace builds on — good enough for a gauge.
+    const PAGE_BYTES: u64 = 4_096;
+    let statm = std::fs::read_to_string("/proc/self/statm").ok()?;
+    let resident: u64 = statm.split_whitespace().nth(1)?.parse().ok()?;
+    Some(resident * PAGE_BYTES)
 }
 
 /// Per-shard serving statistics of one scatter-gather lane.
@@ -209,6 +254,13 @@ pub struct ShardLaneReport {
     pub latency: LatencySummary,
     /// Trajectories replicated into this shard's corpus view.
     pub replicated_trajs: u64,
+    /// Smoothed round-1 tasks per second (EWMA over inter-arrival gaps).
+    pub qps_ewma: f64,
+    /// Smoothed fraction of round-1 tasks served from a cache, in [0, 1].
+    pub cache_heat: f64,
+    /// Smoothed fraction of round-1 tasks that built a provider, in
+    /// [0, 1] — the signal a shard rebalancer would split on.
+    pub cold_fraction: f64,
 }
 
 /// Scatter-gather section of a [`MetricsReport`] (present when the report
@@ -307,6 +359,8 @@ pub struct MetricsReport {
     pub cache: CacheStats,
     /// Provider-cache counters.
     pub providers: ProviderCacheStats,
+    /// Process-level memory gauges.
+    pub process: ProcessGauges,
     /// Scatter-gather shard lanes (`None` for unsharded services).
     pub shards: Option<ShardReport>,
 }
@@ -386,6 +440,15 @@ impl MetricsReport {
         push_u64(&mut s, "cache_evictions", self.cache.evictions);
         push_u64(&mut s, "cache_invalidated", self.cache.invalidated);
         push_u64(&mut s, "cache_entries", self.cache.entries as u64);
+        match self.process.rss_bytes {
+            Some(rss) => push_u64(&mut s, "rss_bytes", rss),
+            None => s.push_str("\"rss_bytes\":null,"),
+        }
+        push_u64(
+            &mut s,
+            "arena_resident_bytes",
+            self.process.arena_resident_bytes,
+        );
         if let Some(shards) = &self.shards {
             push_u64(&mut s, "shards", shards.lanes.len() as u64);
             push_u64(&mut s, "fanout_queries", shards.fanout_queries);
@@ -427,6 +490,21 @@ impl MetricsReport {
                     &mut s,
                     &format!("shard{}_replicated_trajs", lane.shard),
                     lane.replicated_trajs,
+                );
+                push_f64(
+                    &mut s,
+                    &format!("shard{}_qps_ewma", lane.shard),
+                    lane.qps_ewma,
+                );
+                push_f64(
+                    &mut s,
+                    &format!("shard{}_cache_heat", lane.shard),
+                    lane.cache_heat,
+                );
+                push_f64(
+                    &mut s,
+                    &format!("shard{}_cold_fraction", lane.shard),
+                    lane.cold_fraction,
                 );
             }
         }
@@ -503,6 +581,9 @@ pub struct IngestMetrics {
     pub replay_micros: AtomicU64,
     /// Batches replayed from the WAL at startup.
     pub replay_batches: AtomicU64,
+    /// Per-stage latency histograms over the ingest pipeline
+    /// (decode → match → WAL append → publish).
+    pub stages: crate::trace::StageStats,
 }
 
 impl IngestMetrics {
@@ -533,6 +614,8 @@ impl IngestMetrics {
             wal_syncs: self.wal_syncs.load(Ordering::Relaxed),
             replay_micros: self.replay_micros.load(Ordering::Relaxed),
             replay_batches: self.replay_batches.load(Ordering::Relaxed),
+            decode_latency: self.stages.summary(crate::trace::Stage::Decode),
+            wal_append_latency: self.stages.summary(crate::trace::Stage::WalAppend),
         }
     }
 }
@@ -578,6 +661,10 @@ pub struct IngestReport {
     pub replay_micros: u64,
     /// Batches replayed at startup.
     pub replay_batches: u64,
+    /// Frame-decode latency summary (from the stage histograms).
+    pub decode_latency: LatencySummary,
+    /// WAL-append latency summary (append only, excluding snapshot apply).
+    pub wal_append_latency: LatencySummary,
 }
 
 impl IngestReport {
@@ -607,6 +694,18 @@ impl IngestReport {
         push_u64(&mut s, "wal_syncs", self.wal_syncs);
         push_u64(&mut s, "replay_micros", self.replay_micros);
         push_u64(&mut s, "replay_batches", self.replay_batches);
+        push_u64(&mut s, "decode_p50_us", self.decode_latency.p50_micros);
+        push_u64(&mut s, "decode_p99_us", self.decode_latency.p99_micros);
+        push_u64(
+            &mut s,
+            "wal_append_p50_us",
+            self.wal_append_latency.p50_micros,
+        );
+        push_u64(
+            &mut s,
+            "wal_append_p99_us",
+            self.wal_append_latency.p99_micros,
+        );
         s.pop(); // trailing comma
         s.push('}');
         s
@@ -650,10 +749,52 @@ mod tests {
         let s = h.summary();
         assert_eq!(s.count, 8);
         assert_eq!(s.max_micros, 5_000);
-        // p50 falls in the 64..128 µs bucket (upper bound 127).
-        assert_eq!(s.p50_micros, 127);
-        assert!(s.p99_micros >= 4_096);
+        // p50 (rank 4) falls in the 64..127 µs bucket as its first of four
+        // samples: 64 + 0.25 · 63 ≈ 80, not the old upper bound of 127.
+        assert_eq!(s.p50_micros, 80);
+        // p95/p99 (rank 8) land on the lone 5 ms sample; the 4096..8191
+        // bucket is clamped to the observed max instead of reporting 8191.
+        assert_eq!(s.p95_micros, 5_000);
+        assert_eq!(s.p99_micros, 5_000);
         assert!(s.mean_micros > 0);
+    }
+
+    #[test]
+    fn percentiles_interpolate_close_to_exact() {
+        // Uniform 1..=1000 µs: exact p50 = 500, p95 = 950, p99 = 990. The
+        // old upper-bound report gave p50 = 1023 (2× off); interpolation
+        // must land within one bucket's relative resolution.
+        let h = LatencyHistogram::default();
+        for micros in 1..=1000u64 {
+            h.record(Duration::from_micros(micros));
+        }
+        let s = h.summary();
+        let close = |got: u64, exact: u64| {
+            let err = (got as f64 - exact as f64).abs() / exact as f64;
+            assert!(err < 0.30, "got {got}, exact {exact} (err {err:.2})");
+        };
+        close(s.p50_micros, 500);
+        close(s.p95_micros, 950);
+        close(s.p99_micros, 990);
+        assert!(s.p50_micros <= s.p95_micros && s.p95_micros <= s.p99_micros);
+        assert!(s.p99_micros <= s.max_micros);
+    }
+
+    #[test]
+    fn percentile_of_single_sample_is_that_sample() {
+        let h = LatencyHistogram::default();
+        h.record(Duration::from_micros(300));
+        let s = h.summary();
+        // 300 µs sits in the 256..511 bucket; clamping to max pins every
+        // percentile at the only observed value's ceiling.
+        assert!(
+            s.p50_micros <= 300,
+            "p50 {} must not exceed max",
+            s.p50_micros
+        );
+        assert_eq!(s.max_micros, 300);
+        assert!(s.p99_micros <= 300);
+        assert!(s.p50_micros >= 256, "p50 {} left its bucket", s.p50_micros);
     }
 
     #[test]
@@ -747,6 +888,9 @@ mod tests {
             queries,
             latency: LatencySummary::default(),
             replicated_trajs: 10 + u64::from(shard),
+            qps_ewma: 12.5,
+            cache_heat: 0.75,
+            cold_fraction: 0.25,
         };
         report.shards = Some(ShardReport {
             lanes: vec![lane(0, 4), lane(1, 4)],
@@ -788,8 +932,34 @@ mod tests {
         assert!(json.contains("\"router_hot_queries\":3"));
         assert!(json.contains("\"router_hot_p50_us\":127"));
         assert!(json.contains("\"router_cold_p50_us\":2047"));
+        assert!(json.contains("\"shard0_qps_ewma\":12.500"));
+        assert!(json.contains("\"shard1_cache_heat\":0.750"));
+        assert!(json.contains("\"shard1_cold_fraction\":0.250"));
         assert!(!json.contains('\n'));
         assert!(json.ends_with('}'));
+    }
+
+    #[test]
+    fn process_gauges_serialize() {
+        let clock = MetricsClock::default();
+        let mut report = clock.metrics.report(
+            Duration::from_secs(1),
+            0,
+            1,
+            CacheStats::default(),
+            ProviderCacheStats::default(),
+        );
+        report.process.arena_resident_bytes = 1_234;
+        let json = report.to_json_line();
+        assert!(json.contains("\"arena_resident_bytes\":1234"));
+        // On Linux /proc is present and RSS must be a real number; the
+        // key must exist either way (null off-Linux).
+        assert!(json.contains("\"rss_bytes\":"));
+        if cfg!(target_os = "linux") {
+            let rss = rss_bytes().expect("statm readable on Linux");
+            assert!(rss > 0);
+            assert!(!json.contains("\"rss_bytes\":null"));
+        }
     }
 
     #[test]

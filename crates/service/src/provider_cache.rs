@@ -643,6 +643,7 @@ mod tests {
             representatives: gains.len(),
             local_utility: gains.iter().sum(),
             elapsed: std::time::Duration::ZERO,
+            solve_us: 0,
             shard_hint: 0,
         }
     }

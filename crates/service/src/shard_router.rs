@@ -66,7 +66,9 @@ use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
-use netclus::shard::{local_candidates, local_candidates_on, merge_candidates, ShardRoundOne};
+use netclus::shard::{
+    local_candidates, local_candidates_on, merge_candidates_timed, ShardRoundOne,
+};
 use netclus::{
     ClusteredProvider, NetClusShard, ProviderScratch, ReplicationStats, ShardedNetClusIndex,
     TopsQuery,
@@ -80,6 +82,7 @@ use crate::provider_cache::{
     quantize_tau, CacheOutcome, RoundKey, RoundOneCache, ShardProviderCache, ShardProviderKey,
 };
 use crate::snapshot::{RoutedOp, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
+use crate::trace::{LoadGauge, Round1Source, Stage, TraceConfig, TraceMeta, Tracer};
 
 /// Router configuration.
 #[derive(Clone, Copy, Debug)]
@@ -98,6 +101,9 @@ pub struct ShardRouterConfig {
     /// workers already parallelize across shards, so the default of 1
     /// avoids oversubscription.
     pub provider_build_threads: usize,
+    /// Query-path tracing + tail-sampling configuration (on by default;
+    /// see [`TraceConfig`]).
+    pub trace: TraceConfig,
 }
 
 impl Default for ShardRouterConfig {
@@ -107,6 +113,7 @@ impl Default for ShardRouterConfig {
             provider_cache_capacity: 32,
             round_memo_capacity: 128,
             provider_build_threads: 1,
+            trace: TraceConfig::default(),
         }
     }
 }
@@ -152,12 +159,13 @@ pub struct ShardedServiceAnswer {
 struct ShardTask {
     shard: u32,
     query: TopsQuery,
-    /// `(shard, epoch, traj_id_bound, hot, round)` — the bound rides
+    /// `(shard, epoch, traj_id_bound, source, round)` — the bound rides
     /// along because shard bounds can differ (a shard that never received
     /// a trajectory keeps the shorter id space) and the merge must size
-    /// its inversion to the largest; `hot` reports whether the task was
-    /// served without building a provider (memo or provider-cache hit).
-    reply: Sender<(u32, u64, usize, bool, ShardRoundOne)>,
+    /// its inversion to the largest; `source` reports where the round-1
+    /// answer came from (memo, provider hit, coalesced wait, or build),
+    /// which drives the hot/cold lane split and the trace span detail.
+    reply: Sender<(u32, u64, usize, Round1Source, ShardRoundOne)>,
 }
 
 struct RouterQueue {
@@ -205,6 +213,10 @@ struct RouterInner {
     cold_latency: LatencyHistogram,
     /// Fan-out queries completed.
     fanout_queries: AtomicU64,
+    /// Query-path tracer: per-stage histograms + tail-sampled slow log.
+    tracer: Tracer,
+    /// Per-shard load/heat gauges (qps EWMA, cache heat, cold fraction).
+    gauges: Vec<LoadGauge>,
 }
 
 /// The sharded in-process query server. See the module docs.
@@ -257,6 +269,8 @@ impl ShardRouter {
             hot_latency: LatencyHistogram::default(),
             cold_latency: LatencyHistogram::default(),
             fanout_queries: AtomicU64::new(0),
+            tracer: Tracer::new(cfg.trace),
+            gauges: (0..lanes).map(|_| LoadGauge::default()).collect(),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -307,6 +321,9 @@ impl ShardRouter {
             .submitted
             .fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
+        // Span recorder: stack-held, zero-allocation; `finish` discards it
+        // unless the query lands in the sampled tail.
+        let mut spans = inner.tracer.begin();
 
         // Shared read guard: updates (write side) cannot interleave with
         // the fan-out, so every shard is pinned at one lockstep epoch.
@@ -330,15 +347,20 @@ impl ShardRouter {
         }
         inner.queue_cv.notify_all();
         drop(tx);
+        let mut cursor = spans.stage(Stage::Admission, spans.started());
+        let round1_off = cursor
+            .saturating_duration_since(spans.started())
+            .as_micros() as u64;
 
-        let mut rounds: Vec<Option<(u64, usize, bool, ShardRoundOne)>> =
+        let mut rounds: Vec<Option<(u64, usize, Round1Source, ShardRoundOne)>> =
             (0..lanes).map(|_| None).collect();
         for _ in 0..lanes {
-            let Ok((shard, epoch, bound, hot, round)) = rx.recv() else {
+            let Ok((shard, epoch, bound, source, round)) = rx.recv() else {
                 return Err(SubmitError::ShuttingDown);
             };
-            rounds[shard as usize] = Some((epoch, bound, hot, round));
+            rounds[shard as usize] = Some((epoch, bound, source, round));
         }
+        cursor = spans.stage(Stage::Round1, cursor);
         let merge_start = Instant::now();
         let mut epoch = 0u64;
         let mut bound = 0usize;
@@ -347,7 +369,7 @@ impl ShardRouter {
         let mut candidates = Vec::new();
         let mut instance = 0usize;
         for (shard, slot) in rounds.into_iter().enumerate() {
-            let (e, b, hot, round) = slot.expect("every shard replied");
+            let (e, b, source, round) = slot.expect("every shard replied");
             if shard == 0 {
                 epoch = e;
                 instance = round.instance;
@@ -355,11 +377,34 @@ impl ShardRouter {
                 assert_eq!(e, epoch, "scatter mixed epochs {e} vs {epoch}");
             }
             bound = bound.max(b);
-            all_hot &= hot;
+            all_hot &= source.is_hot();
             shard_micros.push(round.elapsed.as_micros() as u64);
+            // Child span: this shard's round-1 greedy solve (zero for memo
+            // prefix hits — no solve ran), tagged with the answer source.
+            spans.child(
+                Stage::Solve,
+                shard as i32,
+                source.name(),
+                round1_off,
+                round.solve_us,
+            );
             candidates.extend(round.candidates);
         }
-        let (solution, candidate_count) = merge_candidates(candidates, &query, bound);
+        let (solution, candidate_count, merge_timing) =
+            merge_candidates_timed(candidates, &query, bound);
+        let merge_off = cursor
+            .saturating_duration_since(spans.started())
+            .as_micros() as u64;
+        cursor = spans.stage(Stage::Merge, cursor);
+        // Child span: the exact round-2 greedy inside the merge (the rest
+        // of the merge span is candidate union + coverage-view build).
+        spans.child(
+            Stage::Solve,
+            -1,
+            "merge",
+            merge_off + merge_timing.build_us,
+            merge_timing.solve_us,
+        );
         inner.merge_latency.record(merge_start.elapsed());
         inner.fanout_queries.fetch_add(1, Ordering::Relaxed);
         inner
@@ -376,6 +421,16 @@ impl ShardRouter {
         } else {
             inner.cold_latency.record(total);
         }
+        spans.stage(Stage::Reply, cursor);
+        inner.tracer.finish(
+            &spans,
+            TraceMeta {
+                epoch,
+                k: query.k,
+                tau: query.tau,
+                hot: all_hot,
+            },
+        );
 
         Ok(Arc::new(ShardedServiceAnswer {
             epoch,
@@ -559,11 +614,17 @@ impl ShardRouter {
                 .iter()
                 .zip(&inner.shard_tasks)
                 .enumerate()
-                .map(|(s, (hist, tasks))| ShardLaneReport {
-                    shard: s as u32,
-                    queries: tasks.load(Ordering::Relaxed),
-                    latency: hist.summary(),
-                    replicated_trajs: replication.per_shard.get(s).copied().unwrap_or(0) as u64,
+                .map(|(s, (hist, tasks))| {
+                    let gauge = inner.gauges[s].snapshot();
+                    ShardLaneReport {
+                        shard: s as u32,
+                        queries: tasks.load(Ordering::Relaxed),
+                        latency: hist.summary(),
+                        replicated_trajs: replication.per_shard.get(s).copied().unwrap_or(0) as u64,
+                        qps_ewma: gauge.qps_ewma,
+                        cache_heat: gauge.cache_heat,
+                        cold_fraction: gauge.cold_fraction,
+                    }
                 })
                 .collect(),
             merge: inner.merge_latency.summary(),
@@ -576,7 +637,17 @@ impl ShardRouter {
             boundary_trajs: replication.boundary as u64,
             replicas: replication.replicas as u64,
         });
+        report.process.arena_resident_bytes = inner
+            .stores
+            .iter()
+            .map(|s| s.load().index().heap_size_bytes() as u64)
+            .sum();
         report
+    }
+
+    /// The query-path tracer (per-stage histograms + slow-query log).
+    pub fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
     }
 
     /// Stops the workers and joins them. Idempotent; also run by `Drop`.
@@ -643,10 +714,10 @@ fn worker_loop(inner: &RouterInner) {
             (Some(rounds), Some(key)) => rounds.lookup(key, query.k),
             _ => None,
         };
-        let (round, hot) = match memoized {
-            Some(round) => (round, true),
+        let (round, source) = match memoized {
+            Some(round) => (round, Round1Source::Memo),
             None => {
-                let (round, hot) = match &inner.providers {
+                let (round, source) = match &inner.providers {
                     Some(providers) => {
                         let p = snap.index().instance_for(query.tau);
                         let key = ShardProviderKey::new(epoch, task.shard, p, query.tau);
@@ -666,26 +737,29 @@ fn worker_loop(inner: &RouterInner) {
                                 .record(build_start.elapsed());
                             built
                         });
-                        (
-                            local_candidates_on(&provider, p, query),
-                            outcome == CacheOutcome::Hit,
-                        )
+                        let source = match outcome {
+                            CacheOutcome::Hit => Round1Source::ProviderHit,
+                            CacheOutcome::Coalesced => Round1Source::Coalesced,
+                            CacheOutcome::Miss => Round1Source::Built,
+                        };
+                        (local_candidates_on(&provider, p, query), source)
                     }
                     None => (
                         local_candidates(snap.index(), query, bound, &mut scratch),
-                        false,
+                        Round1Source::Cold,
                     ),
                 };
                 if let (Some(rounds), Some(key)) = (&inner.rounds, memo_key) {
                     rounds.insert(key, round.clone());
                 }
-                (round, hot)
+                (round, source)
             }
         };
         inner.shard_latency[task.shard as usize].record(t.elapsed());
         inner.shard_tasks[task.shard as usize].fetch_add(1, Ordering::Relaxed);
+        inner.gauges[task.shard as usize].observe(source);
         // A gather that vanished (client gone) is fine to ignore.
-        let _ = task.reply.send((task.shard, epoch, bound, hot, round));
+        let _ = task.reply.send((task.shard, epoch, bound, source, round));
     }
 }
 

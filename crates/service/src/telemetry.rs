@@ -1,0 +1,223 @@
+//! Live telemetry endpoint: a tiny std-only TCP server publishing the
+//! metrics snapshot, the slow-query log, and the per-stage latency
+//! breakdown on demand.
+//!
+//! The wire protocol reuses the workspace's length-prefix/CRC framing
+//! ([`crate::framing`]) — no HTTP stack, no dependencies. A client sends
+//! one framed UTF-8 command and reads one framed UTF-8 response per
+//! request; commands are:
+//!
+//! | command   | response                                              |
+//! |-----------|-------------------------------------------------------|
+//! | `metrics` | the `MetricsReport`/`IngestReport` JSON line          |
+//! | `stages`  | per-stage latency breakdown + trace retention counters |
+//! | `slow`    | the slow-query log, JSON Lines (may be empty)          |
+//!
+//! Unknown commands get `{"error":"unknown command"}` rather than a
+//! dropped connection, so probes stay debuggable. Responses are rendered
+//! at request time — every fetch is a fresh snapshot.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use crate::framing::{read_frame, write_frame};
+
+/// Upper bound on a telemetry frame (command or response).
+pub const MAX_TELEMETRY_FRAME: usize = 4 << 20;
+
+type Render = Box<dyn Fn() -> String + Send + Sync>;
+
+/// The data a [`TelemetryServer`] publishes: three render closures, each
+/// producing a fresh snapshot per request.
+pub struct TelemetrySource {
+    metrics: Render,
+    stages: Render,
+    slow: Render,
+}
+
+impl std::fmt::Debug for TelemetrySource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TelemetrySource").finish_non_exhaustive()
+    }
+}
+
+impl TelemetrySource {
+    /// Builds a source from three render closures (`metrics`, `stages`,
+    /// `slow` in that order).
+    pub fn new(
+        metrics: impl Fn() -> String + Send + Sync + 'static,
+        stages: impl Fn() -> String + Send + Sync + 'static,
+        slow: impl Fn() -> String + Send + Sync + 'static,
+    ) -> Self {
+        TelemetrySource {
+            metrics: Box::new(metrics),
+            stages: Box::new(stages),
+            slow: Box::new(slow),
+        }
+    }
+
+    fn render(&self, command: &str) -> String {
+        match command {
+            "metrics" => (self.metrics)(),
+            "stages" => (self.stages)(),
+            "slow" => (self.slow)(),
+            _ => "{\"error\":\"unknown command\"}".to_string(),
+        }
+    }
+}
+
+/// A running telemetry endpoint. Accepts connections on a background
+/// thread and serves them inline — telemetry traffic is a handful of
+/// probes, not a query path, so one connection at a time keeps the server
+/// at a single thread and zero queueing state.
+#[derive(Debug)]
+pub struct TelemetryServer {
+    addr: SocketAddr,
+    stopping: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TelemetryServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port) and starts
+    /// serving `source`.
+    pub fn start(addr: &str, source: TelemetrySource) -> io::Result<TelemetryServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let stopping = Arc::clone(&stopping);
+            std::thread::Builder::new()
+                .name("netclus-telemetry".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if stopping.load(Ordering::Acquire) {
+                            break;
+                        }
+                        if let Ok(stream) = stream {
+                            // A misbehaving client must not wedge the
+                            // endpoint: errors just drop the connection.
+                            let _ = serve_connection(stream, &source);
+                        }
+                    }
+                })?
+        };
+        Ok(TelemetryServer {
+            addr,
+            stopping,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.stopping.swap(true, Ordering::AcqRel) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TelemetryServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(stream: TcpStream, source: &TelemetrySource) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    while let Some(payload) = read_frame(&mut reader, MAX_TELEMETRY_FRAME)? {
+        let command = std::str::from_utf8(&payload)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 command"))?;
+        let response = source.render(command.trim());
+        write_frame(&mut writer, response.as_bytes())?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// One-shot client: connects to `addr`, sends `command` as a frame, and
+/// returns the framed response as a string.
+pub fn fetch(addr: SocketAddr, command: &str) -> io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    write_frame(&mut writer, command.as_bytes())?;
+    writer.flush()?;
+    let mut reader = BufReader::new(stream);
+    let payload = read_frame(&mut reader, MAX_TELEMETRY_FRAME)?
+        .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed early"))?;
+    String::from_utf8(payload)
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 response"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_source() -> TelemetrySource {
+        TelemetrySource::new(
+            || "{\"completed\":7}".to_string(),
+            || "{\"stage_round1_p50_us\":42}".to_string(),
+            || "{\"seq\":0}\n{\"seq\":1}\n".to_string(),
+        )
+    }
+
+    #[test]
+    fn serves_all_commands_over_framed_protocol() {
+        let mut server = TelemetryServer::start("127.0.0.1:0", test_source()).unwrap();
+        let addr = server.addr();
+        assert_eq!(fetch(addr, "metrics").unwrap(), "{\"completed\":7}");
+        assert_eq!(
+            fetch(addr, "stages").unwrap(),
+            "{\"stage_round1_p50_us\":42}"
+        );
+        let slow = fetch(addr, "slow").unwrap();
+        assert_eq!(slow.lines().count(), 2);
+        assert_eq!(
+            fetch(addr, "bogus").unwrap(),
+            "{\"error\":\"unknown command\"}"
+        );
+        server.shutdown();
+        server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn one_connection_can_issue_many_requests() {
+        let server = TelemetryServer::start("127.0.0.1:0", test_source()).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        let mut reader = BufReader::new(stream);
+        for _ in 0..3 {
+            write_frame(&mut writer, b"metrics").unwrap();
+            writer.flush().unwrap();
+            let payload = read_frame(&mut reader, MAX_TELEMETRY_FRAME)
+                .unwrap()
+                .unwrap();
+            assert_eq!(payload, b"{\"completed\":7}");
+        }
+    }
+
+    #[test]
+    fn shutdown_joins_even_with_no_traffic() {
+        let mut server = TelemetryServer::start("127.0.0.1:0", test_source()).unwrap();
+        server.shutdown();
+        assert!(fetch(server.addr(), "metrics").is_err());
+    }
+}

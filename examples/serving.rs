@@ -7,7 +7,9 @@
 //! * epoch-based snapshot swaps — updates never block queries, and every
 //!   answer is consistent with exactly one published epoch (verified);
 //! * the sharded result cache absorbing the repetitive share of the mix;
-//! * the metrics report, printed human-readably and as single-line JSON.
+//! * the metrics report, printed human-readably and as single-line JSON;
+//! * the framed telemetry endpoint serving live metrics, per-stage
+//!   latency breakdowns and the tail-sampled slow-query log over TCP.
 //!
 //! Run with: `cargo run --release --example serving`
 
@@ -21,7 +23,10 @@ use netclus_datagen::{
     beijing_small, generate_query_workload, ArrivalProcess, QueryKind, QueryWorkloadConfig,
     WorkloadConfig, WorkloadGenerator,
 };
-use netclus_service::{NetClusService, ServiceConfig, ServiceRequest, UpdateOp};
+use netclus_service::{
+    telemetry, NetClusService, ServiceConfig, ServiceRequest, TelemetryServer, TelemetrySource,
+    UpdateOp,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -92,6 +97,30 @@ fn main() {
         },
     ));
     println!("[serve] {WORKERS} workers up; epoch {}", service.epoch());
+
+    // Live telemetry: a std-only framed TCP endpoint over the same
+    // length-prefix/CRC framing as the ingest stream. Probe it while the
+    // run is live with the `metrics` / `stages` / `slow` commands.
+    let mut telemetry_server = TelemetryServer::start(
+        "127.0.0.1:0",
+        TelemetrySource::new(
+            {
+                let service = Arc::clone(&service);
+                move || service.metrics_report().to_json_line()
+            },
+            {
+                let service = Arc::clone(&service);
+                move || service.tracer().stats_json_line()
+            },
+            {
+                let service = Arc::clone(&service);
+                move || service.tracer().slow_log_jsonl()
+            },
+        ),
+    )
+    .expect("bind telemetry endpoint");
+    let telemetry_addr = telemetry_server.addr();
+    println!("[serve] telemetry endpoint on {telemetry_addr}");
 
     // epoch → (corpus_len, site_count): the ground truth every answer is
     // checked against.
@@ -212,5 +241,19 @@ fn main() {
         "repetitive mix must produce cache hits"
     );
     println!("\n{}", report.to_json_line());
+
+    // Probe the live endpoint the way an operator's dashboard would: a
+    // framed command, a framed JSON document back.
+    let live = telemetry::fetch(telemetry_addr, "metrics").expect("telemetry fetch");
+    assert!(live.contains("\"completed\":"), "metrics over the wire");
+    let stages = telemetry::fetch(telemetry_addr, "stages").expect("telemetry stages");
+    assert!(stages.contains("\"stage_cache_probe_count\":"));
+    println!("[probe] telemetry stages: {stages}");
+    let slow = telemetry::fetch(telemetry_addr, "slow").expect("telemetry slow log");
+    println!(
+        "[probe] slow-query log: {} retained traces",
+        slow.lines().count()
+    );
+    telemetry_server.shutdown();
     service.shutdown();
 }

@@ -14,8 +14,11 @@
 //!   per-shard snapshots while trajectory updates land (asserted), riding
 //!   its per-shard provider cache and round-1 candidate memo between
 //!   epoch advances (non-zero hit rate asserted);
-//! * the metrics report with per-shard lanes, cache counters and the
-//!   hot/cold latency lanes, as single-line JSON.
+//! * the metrics report with per-shard lanes, cache counters, load/heat
+//!   gauges and the hot/cold latency lanes, as single-line JSON;
+//! * query-path tracing with tail-sampled slow-query capture and the
+//!   framed telemetry endpoint, probed live with a worked slow-query
+//!   record printed.
 //!
 //! Run with: `cargo run --release --example sharded`
 
@@ -25,7 +28,9 @@ use std::time::Instant;
 use netclus::prelude::*;
 use netclus_datagen::{multi_region, ScenarioConfig, WorkloadConfig, WorkloadGenerator};
 use netclus_roadnet::RegionPartition;
-use netclus_service::{ShardRouter, ShardRouterConfig, UpdateOp};
+use netclus_service::{
+    telemetry, ShardRouter, ShardRouterConfig, TelemetryServer, TelemetrySource, UpdateOp,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -141,6 +146,28 @@ fn main() {
         sharded,
         ShardRouterConfig::default(),
     ));
+    // Telemetry endpoint, live for the whole serving phase.
+    let mut telemetry_server = TelemetryServer::start(
+        "127.0.0.1:0",
+        TelemetrySource::new(
+            {
+                let r = Arc::clone(&router);
+                move || r.metrics_report().to_json_line()
+            },
+            {
+                let r = Arc::clone(&router);
+                move || r.tracer().stats_json_line()
+            },
+            {
+                let r = Arc::clone(&router);
+                move || r.tracer().slow_log_jsonl()
+            },
+        ),
+    )
+    .expect("bind telemetry endpoint");
+    let telemetry_addr = telemetry_server.addr();
+    println!("[serve] telemetry endpoint on {telemetry_addr}");
+
     let mut gen = WorkloadGenerator::new(&scenario.net, &scenario.grid, &scenario.hotspots);
     let mut rng = StdRng::seed_from_u64(0x5EED);
     let update_batches: Vec<Vec<UpdateOp>> = (0..UPDATE_BATCHES)
@@ -236,7 +263,53 @@ fn main() {
         "epoch advances must purge the round-1 caches"
     );
     assert!(shards.hot.count > 0, "no fan-out rode the warm path");
+    // Load/heat gauges: the serving phase drove every shard, so the qps
+    // EWMA moved and the heat fractions are live.
+    for lane in &shards.lanes {
+        assert!(lane.qps_ewma > 0.0, "shard {} qps gauge flat", lane.shard);
+        println!(
+            "[gauge] shard {}: {:.1} q/s EWMA, cache heat {:.2}, cold fraction {:.2}",
+            lane.shard, lane.qps_ewma, lane.cache_heat, lane.cold_fraction
+        );
+    }
     println!("[json ] {}", report.to_json_line());
+
+    // Probe the endpoint like an operator: metrics, stage breakdown, and
+    // the tail-sampled slow-query log with a worked record.
+    let stages = telemetry::fetch(telemetry_addr, "stages").expect("telemetry stages");
+    assert!(
+        stages.contains("\"stage_round1_p50_us\":"),
+        "stage doc: {stages}"
+    );
+    println!("[probe] {stages}");
+    let slow = telemetry::fetch(telemetry_addr, "slow").expect("telemetry slow log");
+    let retained = slow.lines().count();
+    assert!(
+        retained > 0,
+        "epoch advances made cold fan-outs: some must be retained"
+    );
+    println!("[probe] slow-query log: {retained} retained traces; worked example:");
+    println!("[trace] {}", slow.lines().next().unwrap());
+    let worked = router
+        .tracer()
+        .slow_queries()
+        .into_iter()
+        .max_by_key(|r| r.total_us)
+        .expect("retained trace");
+    for span in worked.spans.iter().filter(|s| !s.child) {
+        println!(
+            "[trace]   {:>10} +{:>6} µs  {:>6} µs",
+            span.stage.name(),
+            span.start_us,
+            span.dur_us
+        );
+    }
+    assert!(
+        worked.attributed_fraction() >= 0.95,
+        "stage attribution of the slowest trace: {:.3}",
+        worked.attributed_fraction()
+    );
+    telemetry_server.shutdown();
     router.shutdown();
     println!("[done ] sharded scatter-gather serving verified");
 }
