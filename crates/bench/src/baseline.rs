@@ -79,6 +79,10 @@ pub fn gated_metrics(prefix: &str) -> Vec<GatedMetric> {
             higher("records_per_sec", 200.0),
             higher("wal_bytes_per_sec", 20_000.0),
             lower("match_p99_us", 1_000.0),
+            // End-to-end ingest→visible lag: the metric the epoch-churn
+            // work is judged by. Generous floor — the experiment batches
+            // aggressively, so freshness is dominated by batch delay.
+            lower("freshness_p99_us", 250_000.0),
         ],
         "BENCH_SHARD_SCALING" => vec![
             higher("min_utility_ratio", 0.02),
@@ -90,6 +94,10 @@ pub fn gated_metrics(prefix: &str) -> Vec<GatedMetric> {
             lower("router_hot_p50_us", 300.0),
             higher("router_qps", 50.0),
             higher("router_provider_hit_rate", 0.05),
+            // SLO evaluation over the recorded run: 1 = every health rule
+            // clear at the end of the hot stream. With tolerance 0.25 the
+            // limit is 0.75, so any firing rule (0) fails the gate.
+            higher("slo_health_ok", 0.0),
         ],
         _ => Vec::new(),
     }

@@ -105,6 +105,14 @@ pub fn run(ctx: &mut Ctx) {
     assert_eq!(recovered.load().trajs().len(), store.load().trajs().len());
 
     let report = metrics.report(elapsed);
+    assert!(
+        report.freshness.count > 0,
+        "drained pipeline must have measured ingest→visible freshness"
+    );
+    assert_eq!(
+        report.visibility_lag_us, 0,
+        "graceful drain must leave no admitted-but-invisible records"
+    );
     let header = [
         "workers",
         "records",
@@ -112,6 +120,8 @@ pub fn run(ctx: &mut Ctx) {
         "rec/s",
         "match p50 µs",
         "match p99 µs",
+        "fresh p50 ms",
+        "fresh p99 ms",
         "batches",
         "WAL KiB",
         "KiB/s",
@@ -124,6 +134,8 @@ pub fn run(ctx: &mut Ctx) {
         format!("{:.0}", report.records_per_sec),
         report.match_latency.p50_micros.to_string(),
         report.match_latency.p99_micros.to_string(),
+        format!("{:.1}", report.freshness.p50_micros as f64 / 1e3),
+        format!("{:.1}", report.freshness.p99_micros as f64 / 1e3),
         report.batches_published.to_string(),
         format!("{:.1}", report.wal_bytes as f64 / 1024.0),
         format!("{:.1}", report.wal_bytes_per_sec / 1024.0),

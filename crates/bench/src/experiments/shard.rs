@@ -18,7 +18,10 @@ use std::time::Instant;
 
 use netclus::prelude::*;
 use netclus_roadnet::{NodeId, RegionPartition};
-use netclus_service::{ShardRouter, ShardRouterConfig, UpdateOp};
+use netclus_service::{
+    FlightConfig, FlightRecorder, HealthEvaluator, Severity, ShardRouter, ShardRouterConfig,
+    SloRule, UpdateOp,
+};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 use std::sync::Arc;
@@ -195,6 +198,10 @@ pub fn run(ctx: &mut Ctx) {
         sharded,
         ShardRouterConfig::default(),
     );
+    // Flight recorder over the served phase: ticked manually at batch
+    // boundaries (a sampler thread would only add nondeterminism to a
+    // timed experiment), then SLO-evaluated into the gated record.
+    let recorder = FlightRecorder::new(FlightConfig::default());
     let mut rng = StdRng::seed_from_u64(ctx.cfg.seed ^ 0x53_48_41_52);
     let mut cold_lat: Vec<u64> = Vec::new();
     for round in 0..COLD_ROUNDS {
@@ -213,11 +220,12 @@ pub fn run(ctx: &mut Ctx) {
                 .expect("cold router query failed");
             cold_lat.push(t.elapsed().as_micros() as u64);
         }
+        recorder.record_now(&router.flight_sample());
     }
 
     let count = ((600.0 * ctx.cfg.scale) as usize).max(120);
     let mut hot_lat: Vec<u64> = Vec::with_capacity(count);
-    for _ in 0..count {
+    for i in 0..count {
         let tau = TAUS[rng.random_range(0..TAUS.len())];
         let k = rng.random_range(1..=12);
         let t = Instant::now();
@@ -225,7 +233,11 @@ pub fn run(ctx: &mut Ctx) {
             .query_blocking(TopsQuery::binary(k, tau))
             .expect("hot router query failed");
         hot_lat.push(t.elapsed().as_micros() as u64);
+        if i % 32 == 31 {
+            recorder.record_now(&router.flight_sample());
+        }
     }
+    recorder.record_now(&router.flight_sample());
     cold_lat.sort_unstable();
     hot_lat.sort_unstable();
     let pct = |lane: &[u64], q: f64| -> u64 {
@@ -269,9 +281,42 @@ pub fn run(ctx: &mut Ctx) {
         witness.total_us
     );
 
+    // SLO evaluation over the recorded run. The ceilings are generous
+    // CI-safe bounds (an order of magnitude above healthy figures) — the
+    // tight perf regression checks stay with the baseline gate; this
+    // gate proves the health machinery itself reaches a clean verdict on
+    // a healthy run.
+    let health = HealthEvaluator::new()
+        .with_rule(SloRule::ceiling(
+            "hot_p99",
+            "router_hot_p99_us",
+            50_000.0,
+            Severity::Degrading,
+        ))
+        .with_rule(SloRule::burn_rate(
+            "shed",
+            "rejected",
+            "submitted",
+            0.01,
+            5.0,
+            30.0,
+            2.0,
+            Severity::Critical,
+        ));
+    let health_report = health.evaluate(&recorder);
+    let slo_health_ok = u8::from(health_report.verdict == netclus_service::Verdict::Healthy);
+    let slo_rules_firing = health_report.firing().len();
+    eprintln!(
+        "[slo ] verdict={} firing={:?} over {} recorded ticks",
+        health_report.verdict.as_str(),
+        health_report.firing(),
+        recorder.ticks(),
+    );
+
     for (name, content) in [
         ("shard_stage_breakdown.json", format!("{stage_breakdown}\n")),
         ("shard_slow_queries.jsonl", slow_log),
+        ("flight_recorder.jsonl", recorder.dump_jsonl()),
     ] {
         let path = ctx.cfg.out_dir.join(name);
         match std::fs::write(&path, content) {
@@ -388,7 +433,8 @@ pub fn run(ctx: &mut Ctx) {
          \"round_memo_hits\":{},\"provider_coalesced\":{},\
          \"router_qps\":{:.3},\"boundary_trajs\":{},\"trajectories\":{},{stage_fields},\
          \"slow_queries_captured\":{slow_retained},\"sampled_queries_captured\":{sampled_retained},\
-         \"trace_attributed_fraction\":{attributed:.3}}}",
+         \"trace_attributed_fraction\":{attributed:.3},\
+         \"slo_health_ok\":{slo_health_ok},\"slo_rules_firing\":{slo_rules_firing}}}",
         json_parts.join(","),
         mono_build.as_secs_f64() * 1e3,
         min_ratio,

@@ -62,6 +62,11 @@ pub const INGEST_THROUGHPUT_KEYS: &[&str] = &[
     "decode_p99_us",
     "wal_append_p50_us",
     "wal_append_p99_us",
+    "freshness_mean_us",
+    "freshness_p50_us",
+    "freshness_p99_us",
+    "freshness_max_us",
+    "visibility_lag_us",
 ];
 
 /// The pinned key set of `BENCH_SERVICE_THROUGHPUT`
@@ -110,6 +115,13 @@ pub const SERVICE_THROUGHPUT_KEYS: &[&str] = &[
     "rss_bytes",
     "arena_resident_bytes",
 ];
+
+/// Keys a record may legitimately omit: `Option`-shaped process gauges
+/// serialize nothing when the measurement is unavailable (no `/proc` off
+/// Linux; the arena gauge is filled by the service/router, not the bare
+/// metrics report). Omission is still pinned — an *unexpected* key always
+/// fails — but a missing optional key does not.
+pub const OPTIONAL_KEYS: &[&str] = &["rss_bytes", "arena_resident_bytes"];
 
 /// The per-shard keys appended when the report carries a shard section
 /// (`SHARD_ROUTER_METRICS` = the service keys plus these).
@@ -181,6 +193,8 @@ pub const SHARD_SCALING_KEYS: &[&str] = &[
     "slow_queries_captured",
     "sampled_queries_captured",
     "trace_attributed_fraction",
+    "slo_health_ok",
+    "slo_rules_firing",
 ];
 
 /// The expected (normalized) key set of a record prefix; `None` for
@@ -249,7 +263,10 @@ pub fn check_record(prefix: &str, json: &str) {
         panic!("{prefix}: no pinned schema — add it to bench::schema");
     };
     let actual: BTreeSet<String> = record_keys(json).iter().map(|k| normalize_key(k)).collect();
-    let missing: Vec<&String> = expected.difference(&actual).collect();
+    let missing: Vec<&String> = expected
+        .difference(&actual)
+        .filter(|k| !OPTIONAL_KEYS.contains(&k.as_str()))
+        .collect();
     let unexpected: Vec<&String> = actual.difference(&expected).collect();
     assert!(
         missing.is_empty() && unexpected.is_empty(),
@@ -374,6 +391,38 @@ mod tests {
             .report(std::time::Duration::from_secs(1))
             .to_json_line();
         check_record("BENCH_INGEST_THROUGHPUT", &ingest_line);
+    }
+
+    /// Optional gauges may be absent (unknown ≠ zero), but an unpinned
+    /// key still fails, and no *gated* key may ever be optional — an
+    /// omitted gated key would defang its gate.
+    #[test]
+    fn optional_keys_may_be_omitted_but_never_gated() {
+        let line = netclus_service::ServiceMetrics::default()
+            .report(
+                std::time::Duration::from_secs(1),
+                0,
+                1,
+                netclus_service::CacheStats::default(),
+                netclus_service::ProviderCacheStats::default(),
+            )
+            .to_json_line();
+        // The bare report omits the arena gauge (service/router fill it).
+        assert!(!line.contains("arena_resident_bytes"));
+        check_record("BENCH_SERVICE_THROUGHPUT", &line);
+        for prefix in [
+            "BENCH_QUERY_LATENCY",
+            "BENCH_INGEST_THROUGHPUT",
+            "BENCH_SHARD_SCALING",
+        ] {
+            for m in gated_metrics(prefix) {
+                assert!(
+                    !OPTIONAL_KEYS.contains(&normalize_key(m.key).as_str()),
+                    "{prefix}: gated key {} is optional — its gate could pass vacuously",
+                    m.key
+                );
+            }
+        }
     }
 
     #[test]

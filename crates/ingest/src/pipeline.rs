@@ -129,14 +129,24 @@ pub enum SubmitOutcome {
     Shed,
 }
 
+/// A record stamped at admission. The stamp rides through matching and
+/// batching into [`publish`], where the admission→visibility gap becomes
+/// the end-to-end freshness measurement.
+struct AdmittedRecord {
+    record: StreamRecord,
+    admitted_at: Instant,
+}
+
 /// A successfully matched record on its way to the publisher. Carries its
 /// provenance so the publisher can record the per-source high-water mark
-/// in the WAL batch it lands in.
+/// in the WAL batch it lands in, and its admission stamp for the
+/// freshness histogram.
 struct Matched {
     traj: Trajectory,
     end_time_s: f64,
     source: u32,
     seq: u64,
+    admitted_at: Instant,
 }
 
 /// Per-source bookkeeping shared by intake, match workers and the
@@ -295,13 +305,17 @@ fn fold_durable_state(log: &ReplayLog, id_bound: u32) -> io::Result<DurableState
 /// crash: everything not yet WAL-appended is lost, exactly as a real crash
 /// would lose it).
 pub struct Ingestor {
-    intake: Arc<BoundedQueue<StreamRecord>>,
+    intake: Arc<BoundedQueue<AdmittedRecord>>,
     policy: BackpressurePolicy,
     /// Per-source admission watermarks and in-flight seqs, shared with
     /// the match workers and the publisher.
     tracker: Arc<SourceTracker>,
     metrics: Arc<IngestMetrics>,
     abort: Arc<AtomicBool>,
+    /// Fault-injection hook: while set, the publisher keeps batching but
+    /// stops publishing, so admitted records age without becoming
+    /// visible (see [`Ingestor::set_publish_stall`]).
+    stall: Arc<AtomicBool>,
     handles: Vec<JoinHandle<()>>,
 }
 
@@ -363,6 +377,7 @@ impl Ingestor {
         let wal = WalWriter::open(cfg.wal.clone())?;
         let intake = Arc::new(BoundedQueue::new(cfg.queue_capacity));
         let abort = Arc::new(AtomicBool::new(false));
+        let stall = Arc::new(AtomicBool::new(false));
         let tracker = Arc::new(SourceTracker::seeded(durable.marks));
         let (tx, rx) = channel::<Matched>();
 
@@ -391,6 +406,7 @@ impl Ingestor {
 
         {
             let abort = Arc::clone(&abort);
+            let stall = Arc::clone(&stall);
             let metrics = Arc::clone(&metrics);
             let intake = Arc::clone(&intake);
             let tracker = Arc::clone(&tracker);
@@ -410,6 +426,7 @@ impl Ingestor {
                             &tracker,
                             &intake,
                             &abort,
+                            &stall,
                             &metrics,
                             max_batch_ops,
                             max_batch_delay,
@@ -425,8 +442,19 @@ impl Ingestor {
             tracker,
             metrics,
             abort,
+            stall,
             handles,
         })
+    }
+
+    /// Fault injection: while `on`, the publisher keeps draining the
+    /// match workers and batching, but stops making batches durable and
+    /// visible — admitted records age, the `visibility_lag_us` gauge
+    /// rises, and the freshness SLO eventually fires. Clearing the stall
+    /// publishes the backlog on the next publisher tick. A graceful
+    /// [`Ingestor::finish`] ignores the stall so shutdown always drains.
+    pub fn set_publish_stall(&self, on: bool) {
+        self.stall.store(on, Ordering::Release);
     }
 
     /// Offers one record to the pipeline: per-source duplicates are
@@ -441,12 +469,19 @@ impl Ingestor {
                 .fetch_add(1, Ordering::Relaxed);
             return SubmitOutcome::Duplicate;
         }
-        let (push, displaced) = self.intake.push_reporting(record, self.policy);
+        let admitted = AdmittedRecord {
+            record,
+            // The freshness clock starts here: everything downstream
+            // (queueing, matching, batching, WAL append, publish) counts
+            // against ingest-to-visibility lag.
+            admitted_at: Instant::now(),
+        };
+        let (push, displaced) = self.intake.push_reporting(admitted, self.policy);
         if let Some(d) = displaced {
             // A drop-oldest eviction is intentional loss (freshest-data
             // wins): account the displaced record so it never blocks its
             // source's publish order.
-            self.tracker.settle(d.source, d.seq);
+            self.tracker.settle(d.record.source, d.record.seq);
         }
         match push {
             PushOutcome::Accepted => {
@@ -557,7 +592,7 @@ impl Drop for Ingestor {
 /// Match-worker body: pop, Viterbi-match, forward.
 #[allow(clippy::too_many_arguments)]
 fn match_loop(
-    intake: &BoundedQueue<StreamRecord>,
+    intake: &BoundedQueue<AdmittedRecord>,
     abort: &AtomicBool,
     metrics: &IngestMetrics,
     net: &netclus_roadnet::RoadNetwork,
@@ -567,9 +602,10 @@ fn match_loop(
     tx: &Sender<Matched>,
 ) {
     while !abort.load(Ordering::Acquire) {
-        let Some(record) = intake.pop() else {
+        let Some(admitted) = intake.pop() else {
             return;
         };
+        let (record, admitted_at) = (admitted.record, admitted.admitted_at);
         let end_time_s = record.trace.points().last().map_or(0.0, |p| p.t);
         let t = Instant::now();
         match matcher.match_trace(net, grid, &record.trace) {
@@ -582,6 +618,7 @@ fn match_loop(
                     end_time_s,
                     source: record.source,
                     seq: record.seq,
+                    admitted_at,
                 };
                 if tx.send(matched).is_err() {
                     return; // publisher is gone
@@ -608,6 +645,16 @@ struct PendingBatch {
     ops: Vec<UpdateOp>,
     add_times: Vec<f64>,
     marks: HashMap<u32, u64>,
+    /// Admission stamp of every record in the batch — measured against
+    /// publish time for the freshness histogram.
+    admitted: Vec<Instant>,
+}
+
+impl PendingBatch {
+    /// Admission stamp of the batch's oldest record.
+    fn oldest_admitted(&self) -> Option<Instant> {
+        self.admitted.iter().min().copied()
+    }
 }
 
 /// Matched records parked by the publisher because a lower admitted seq
@@ -689,6 +736,7 @@ fn admit_to_batch(
 ) {
     tracker.settle(matched.source, matched.seq);
     batch.add_times.push(matched.end_time_s);
+    batch.admitted.push(matched.admitted_at);
     let mark = batch.marks.entry(matched.source).or_insert(matched.seq);
     *mark = (*mark).max(matched.seq);
     let before = batch.ops.len();
@@ -706,8 +754,9 @@ fn publish_loop(
     mut wal: WalWriter,
     mut lifecycle: LifecycleManager,
     tracker: &SourceTracker,
-    intake: &BoundedQueue<StreamRecord>,
+    intake: &BoundedQueue<AdmittedRecord>,
     abort: &AtomicBool,
+    stall: &AtomicBool,
     metrics: &IngestMetrics,
     max_batch_ops: usize,
     max_batch_delay: Duration,
@@ -770,6 +819,8 @@ fn publish_loop(
                         .wal_syncs
                         .fetch_add(synced as u64, Ordering::Relaxed);
                 }
+                // Everything admitted is now visible.
+                metrics.visibility_lag_us.store(0, Ordering::Relaxed);
                 return;
             }
         }
@@ -780,8 +831,28 @@ fn publish_loop(
         if !waiting.is_empty() {
             drain_waiting(&mut waiting, tracker, &mut lifecycle, &mut batch, metrics);
         }
+        // Refresh the visibility-lag gauge: the age of the oldest
+        // admitted-but-unpublished record this thread knows about (the
+        // pending batch plus parked out-of-order records), 0 when caught
+        // up. This is the recoverable freshness signal health gates on.
+        let oldest = batch
+            .oldest_admitted()
+            .into_iter()
+            .chain(
+                waiting
+                    .values()
+                    .flat_map(|q| q.values().map(|m| m.admitted_at)),
+            )
+            .min();
+        let lag_us = oldest.map_or(0, |t| t.elapsed().as_micros() as u64);
+        metrics.visibility_lag_us.store(lag_us, Ordering::Relaxed);
         // Batch-boundary decisions are shared by the arrival and poll
-        // paths: publish on size, or arm/fire the delay deadline.
+        // paths: publish on size, or arm/fire the delay deadline. An
+        // injected stall skips all of them — batching continues, nothing
+        // becomes visible, and the gauge above keeps climbing.
+        if stall.load(Ordering::Acquire) {
+            continue;
+        }
         if batch.ops.len() >= max_batch_ops {
             if !publish(&store, &mut wal, &mut batch, metrics) {
                 fail(metrics);
@@ -840,6 +911,14 @@ fn publish(
     metrics
         .wal_syncs
         .fetch_add(info.synced as u64, Ordering::Relaxed);
+    // The batch is durable and visible: close each record's freshness
+    // measurement (admission stamp → now, i.e. queryable visibility).
+    let now = Instant::now();
+    for admitted_at in batch.admitted.drain(..) {
+        metrics
+            .freshness
+            .record(now.saturating_duration_since(admitted_at));
+    }
     batch.ops.clear();
     batch.add_times.clear();
     batch.marks.clear();
@@ -857,6 +936,7 @@ mod tests {
             end_time_s,
             source,
             seq,
+            admitted_at: Instant::now(),
         }
     }
 

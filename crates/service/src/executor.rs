@@ -424,8 +424,19 @@ impl NetClusService {
             self.inner.providers.stats(),
         );
         report.process.arena_resident_bytes =
-            self.inner.store.load().index().heap_size_bytes() as u64;
+            Some(self.inner.store.load().index().heap_size_bytes() as u64);
         report
+    }
+
+    /// The full metrics surface flattened into flight-recorder samples
+    /// (metrics report + stage/trace counters) — plug this into
+    /// [`crate::flight::FlightSampler::start`].
+    pub fn flight_sample(&self) -> Vec<(String, f64)> {
+        let mut sample = crate::flight::flatten_json(&self.metrics_report().to_json_line());
+        sample.extend(crate::flight::flatten_json(
+            &self.inner.tracer.stats_json_line(),
+        ));
+        sample
     }
 
     /// The query-path tracer (per-stage histograms + slow-query log).

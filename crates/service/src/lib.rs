@@ -48,8 +48,15 @@
 //! * [`framing`] — the length-prefix/CRC-32 byte framing shared by the
 //!   ingest stream, the WAL, and the telemetry endpoint.
 //! * [`telemetry`] — a std-only TCP endpoint serving the metrics
-//!   snapshot, per-stage breakdown and slow-query log over the framed
-//!   protocol.
+//!   snapshot, per-stage breakdown, slow-query log, and flight-recorder
+//!   history/rates/health over the framed protocol.
+//! * [`flight`] — the **flight recorder**: a fixed-capacity ring-buffer
+//!   time-series store fed by a sampler thread every tick, retaining the
+//!   full metrics surface at full resolution plus a decimated long
+//!   horizon, with read-time rates clamped against counter resets.
+//! * [`health`] — declarative SLO rules (latency/freshness ceilings,
+//!   SRE-style multi-window burn rates) evaluated over flight-recorder
+//!   history into a `healthy`/`degraded`/`unhealthy` verdict.
 //!
 //! ## Quick start
 //!
@@ -109,7 +116,9 @@
 
 pub mod cache;
 pub mod executor;
+pub mod flight;
 pub mod framing;
+pub mod health;
 pub mod metrics;
 pub mod provider_cache;
 pub mod shard_router;
@@ -122,6 +131,8 @@ pub use executor::{
     NetClusService, QueryVariant, ResponseHandle, ServiceAnswer, ServiceConfig, ServiceRequest,
     SubmitError,
 };
+pub use flight::{flatten_json, FlightConfig, FlightRecorder, FlightSampler};
+pub use health::{HealthEvaluator, HealthReport, RuleOutcome, Severity, SloRule, Verdict};
 pub use metrics::{
     IngestMetrics, IngestReport, LatencyHistogram, LatencySummary, MetricsReport, ProcessGauges,
     ServiceMetrics, ShardLaneReport, ShardReport,
@@ -164,4 +175,8 @@ fn send_sync_audit() {
     assert_send_sync::<LoadGauge>();
     assert_send_sync::<TelemetryServer>();
     assert_send_sync::<TelemetrySource>();
+    assert_send_sync::<FlightRecorder>();
+    assert_send_sync::<FlightSampler>();
+    assert_send_sync::<HealthEvaluator>();
+    assert_send_sync::<HealthReport>();
 }

@@ -211,7 +211,7 @@ impl ServiceMetrics {
             providers,
             process: ProcessGauges {
                 rss_bytes: rss_bytes(),
-                arena_resident_bytes: 0,
+                arena_resident_bytes: None,
             },
             shards: None,
         }
@@ -220,7 +220,10 @@ impl ServiceMetrics {
 
 /// Process-level gauges attached to every [`MetricsReport`] (uptime and
 /// epoch are already first-class report fields; these add the memory
-/// side).
+/// side). Both gauges are `Option`-shaped end to end: an unavailable
+/// measurement is **omitted** from the JSON line entirely, never
+/// serialized as 0 or `null`, so dashboards and gates cannot mistake
+/// "unknown" for "no memory".
 #[derive(Clone, Copy, Debug, Default)]
 pub struct ProcessGauges {
     /// Resident set size of the whole process, bytes (`None` where
@@ -228,8 +231,9 @@ pub struct ProcessGauges {
     pub rss_bytes: Option<u64>,
     /// Bytes resident in the published snapshot's index arenas, from the
     /// existing footprint accounting ([`netclus::memory::HeapSize`]);
-    /// filled in by the service/router on top of [`ServiceMetrics::report`].
-    pub arena_resident_bytes: u64,
+    /// filled in by the service/router on top of [`ServiceMetrics::report`]
+    /// (`None` until something fills it).
+    pub arena_resident_bytes: Option<u64>,
 }
 
 /// Resident set size in bytes via `/proc/self/statm` (field 2, pages).
@@ -440,15 +444,12 @@ impl MetricsReport {
         push_u64(&mut s, "cache_evictions", self.cache.evictions);
         push_u64(&mut s, "cache_invalidated", self.cache.invalidated);
         push_u64(&mut s, "cache_entries", self.cache.entries as u64);
-        match self.process.rss_bytes {
-            Some(rss) => push_u64(&mut s, "rss_bytes", rss),
-            None => s.push_str("\"rss_bytes\":null,"),
+        if let Some(rss) = self.process.rss_bytes {
+            push_u64(&mut s, "rss_bytes", rss);
         }
-        push_u64(
-            &mut s,
-            "arena_resident_bytes",
-            self.process.arena_resident_bytes,
-        );
+        if let Some(arena) = self.process.arena_resident_bytes {
+            push_u64(&mut s, "arena_resident_bytes", arena);
+        }
         if let Some(shards) = &self.shards {
             push_u64(&mut s, "shards", shards.lanes.len() as u64);
             push_u64(&mut s, "fanout_queries", shards.fanout_queries);
@@ -584,6 +585,14 @@ pub struct IngestMetrics {
     /// Per-stage latency histograms over the ingest pipeline
     /// (decode → match → WAL append → publish).
     pub stages: crate::trace::StageStats,
+    /// End-to-end freshness: ingest-to-queryable-visibility lag per
+    /// record, admission stamp → snapshot publish (cumulative histogram).
+    pub freshness: LatencyHistogram,
+    /// Instantaneous visibility lag gauge: age in microseconds of the
+    /// oldest admitted-but-not-yet-visible record, 0 when ingest is
+    /// caught up. Unlike the cumulative histogram this recovers after a
+    /// stall, so health rules gate on it.
+    pub visibility_lag_us: AtomicU64,
 }
 
 impl IngestMetrics {
@@ -616,6 +625,8 @@ impl IngestMetrics {
             replay_batches: self.replay_batches.load(Ordering::Relaxed),
             decode_latency: self.stages.summary(crate::trace::Stage::Decode),
             wal_append_latency: self.stages.summary(crate::trace::Stage::WalAppend),
+            freshness: self.freshness.summary(),
+            visibility_lag_us: self.visibility_lag_us.load(Ordering::Relaxed),
         }
     }
 }
@@ -665,6 +676,11 @@ pub struct IngestReport {
     pub decode_latency: LatencySummary,
     /// WAL-append latency summary (append only, excluding snapshot apply).
     pub wal_append_latency: LatencySummary,
+    /// Ingest-to-visibility freshness summary (admission → publish).
+    pub freshness: LatencySummary,
+    /// Age of the oldest admitted-but-unpublished record, microseconds
+    /// (0 when caught up).
+    pub visibility_lag_us: u64,
 }
 
 impl IngestReport {
@@ -706,6 +722,11 @@ impl IngestReport {
             "wal_append_p99_us",
             self.wal_append_latency.p99_micros,
         );
+        push_u64(&mut s, "freshness_mean_us", self.freshness.mean_micros);
+        push_u64(&mut s, "freshness_p50_us", self.freshness.p50_micros);
+        push_u64(&mut s, "freshness_p99_us", self.freshness.p99_micros);
+        push_u64(&mut s, "freshness_max_us", self.freshness.max_micros);
+        push_u64(&mut s, "visibility_lag_us", self.visibility_lag_us);
         s.pop(); // trailing comma
         s.push('}');
         s
@@ -949,17 +970,22 @@ mod tests {
             CacheStats::default(),
             ProviderCacheStats::default(),
         );
-        report.process.arena_resident_bytes = 1_234;
+        report.process.arena_resident_bytes = Some(1_234);
         let json = report.to_json_line();
         assert!(json.contains("\"arena_resident_bytes\":1234"));
-        // On Linux /proc is present and RSS must be a real number; the
-        // key must exist either way (null off-Linux).
-        assert!(json.contains("\"rss_bytes\":"));
+        // Unknown gauges are omitted, never 0 or null.
+        assert!(!json.contains("null"));
         if cfg!(target_os = "linux") {
             let rss = rss_bytes().expect("statm readable on Linux");
             assert!(rss > 0);
-            assert!(!json.contains("\"rss_bytes\":null"));
+            assert!(json.contains("\"rss_bytes\":"));
         }
+        // An unfilled arena gauge disappears from the line entirely.
+        report.process.arena_resident_bytes = None;
+        report.process.rss_bytes = None;
+        let json = report.to_json_line();
+        assert!(!json.contains("arena_resident_bytes"));
+        assert!(!json.contains("rss_bytes"));
     }
 
     #[test]

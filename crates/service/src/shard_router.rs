@@ -637,12 +637,25 @@ impl ShardRouter {
             boundary_trajs: replication.boundary as u64,
             replicas: replication.replicas as u64,
         });
-        report.process.arena_resident_bytes = inner
-            .stores
-            .iter()
-            .map(|s| s.load().index().heap_size_bytes() as u64)
-            .sum();
+        report.process.arena_resident_bytes = Some(
+            inner
+                .stores
+                .iter()
+                .map(|s| s.load().index().heap_size_bytes() as u64)
+                .sum(),
+        );
         report
+    }
+
+    /// The full metrics surface flattened into flight-recorder samples
+    /// (metrics report incl. per-shard lanes + stage/trace counters) —
+    /// plug this into [`crate::flight::FlightSampler::start`].
+    pub fn flight_sample(&self) -> Vec<(String, f64)> {
+        let mut sample = crate::flight::flatten_json(&self.metrics_report().to_json_line());
+        sample.extend(crate::flight::flatten_json(
+            &self.inner.tracer.stats_json_line(),
+        ));
+        sample
     }
 
     /// The query-path tracer (per-stage histograms + slow-query log).

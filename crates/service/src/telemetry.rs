@@ -1,42 +1,68 @@
 //! Live telemetry endpoint: a tiny std-only TCP server publishing the
-//! metrics snapshot, the slow-query log, and the per-stage latency
-//! breakdown on demand.
+//! metrics snapshot, the slow-query log, the per-stage latency
+//! breakdown, and — when a flight recorder is attached — retained
+//! time-series history, rates, and SLO health on demand.
 //!
 //! The wire protocol reuses the workspace's length-prefix/CRC framing
 //! ([`crate::framing`]) — no HTTP stack, no dependencies. A client sends
 //! one framed UTF-8 command and reads one framed UTF-8 response per
 //! request; commands are:
 //!
-//! | command   | response                                              |
-//! |-----------|-------------------------------------------------------|
-//! | `metrics` | the `MetricsReport`/`IngestReport` JSON line          |
-//! | `stages`  | per-stage latency breakdown + trace retention counters |
-//! | `slow`    | the slow-query log, JSON Lines (may be empty)          |
+//! | command                     | response                                               |
+//! |-----------------------------|--------------------------------------------------------|
+//! | `metrics`                   | the `MetricsReport`/`IngestReport` JSON line           |
+//! | `stages`                    | per-stage latency breakdown + trace retention counters |
+//! | `slow`                      | the slow-query log, JSON Lines (may be empty)          |
+//! | `history <series> [window]` | retained `[t, v]` points of one recorder series        |
+//! | `rates`                     | per-second rate of every series over the last tick     |
+//! | `health`                    | SLO evaluation: verdict + per-rule detail              |
+//!
+//! `history`/`rates`/`health` answer `{"error":"no flight recorder"}`
+//! unless the source was built [`TelemetrySource::with_flight`].
 //!
 //! Unknown commands get `{"error":"unknown command"}` rather than a
 //! dropped connection, so probes stay debuggable. Responses are rendered
 //! at request time — every fetch is a fresh snapshot.
+//!
+//! The listener is hardened against slow or hostile clients: each
+//! connection is served on its own thread with a read/write deadline,
+//! request frames are bounded at [`MAX_TELEMETRY_COMMAND`] bytes, and at
+//! most [`MAX_TELEMETRY_CONNECTIONS`] connections are served at once
+//! (excess connections get a framed error and are dropped). A stalled
+//! client therefore occupies one slot for at most the read deadline and
+//! never wedges the accept loop.
 
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::flight::FlightRecorder;
 use crate::framing::{read_frame, write_frame};
+use crate::health::HealthEvaluator;
 
-/// Upper bound on a telemetry frame (command or response).
+/// Upper bound on a telemetry response frame.
 pub const MAX_TELEMETRY_FRAME: usize = 4 << 20;
+
+/// Upper bound on a request (command) frame — commands are a few words,
+/// so anything larger is a hostile or confused client.
+pub const MAX_TELEMETRY_COMMAND: usize = 1_024;
+
+/// Connections served concurrently before the listener starts shedding.
+pub const MAX_TELEMETRY_CONNECTIONS: usize = 8;
 
 type Render = Box<dyn Fn() -> String + Send + Sync>;
 
-/// The data a [`TelemetryServer`] publishes: three render closures, each
-/// producing a fresh snapshot per request.
+/// The data a [`TelemetryServer`] publishes: render closures for the
+/// snapshot commands, plus an optional flight recorder + health
+/// evaluator backing `history`/`rates`/`health`.
 pub struct TelemetrySource {
     metrics: Render,
     stages: Render,
     slow: Render,
+    flight: Option<(Arc<FlightRecorder>, HealthEvaluator)>,
 }
 
 impl std::fmt::Debug for TelemetrySource {
@@ -47,7 +73,7 @@ impl std::fmt::Debug for TelemetrySource {
 
 impl TelemetrySource {
     /// Builds a source from three render closures (`metrics`, `stages`,
-    /// `slow` in that order).
+    /// `slow` in that order), with no flight recorder attached.
     pub fn new(
         metrics: impl Fn() -> String + Send + Sync + 'static,
         stages: impl Fn() -> String + Send + Sync + 'static,
@@ -57,28 +83,60 @@ impl TelemetrySource {
             metrics: Box::new(metrics),
             stages: Box::new(stages),
             slow: Box::new(slow),
+            flight: None,
         }
     }
 
+    /// Attaches a flight recorder and SLO evaluator, enabling the
+    /// `history`, `rates`, and `health` commands.
+    #[must_use]
+    pub fn with_flight(mut self, recorder: Arc<FlightRecorder>, health: HealthEvaluator) -> Self {
+        self.flight = Some((recorder, health));
+        self
+    }
+
     fn render(&self, command: &str) -> String {
-        match command {
-            "metrics" => (self.metrics)(),
-            "stages" => (self.stages)(),
-            "slow" => (self.slow)(),
+        let mut words = command.split_whitespace();
+        match words.next() {
+            Some("metrics") => (self.metrics)(),
+            Some("stages") => (self.stages)(),
+            Some("slow") => (self.slow)(),
+            Some("history") => match (&self.flight, words.next()) {
+                (None, _) => no_recorder(),
+                (Some(_), None) => {
+                    "{\"error\":\"usage: history <series> [window_secs]\"}".to_string()
+                }
+                (Some((recorder, _)), Some(series)) => {
+                    let window = words.next().and_then(|w| w.parse::<f64>().ok());
+                    recorder.history_json(series, window)
+                }
+            },
+            Some("rates") => match &self.flight {
+                None => no_recorder(),
+                Some((recorder, _)) => recorder.rates_json(),
+            },
+            Some("health") => match &self.flight {
+                None => no_recorder(),
+                Some((recorder, health)) => health.evaluate(recorder).to_json_line(),
+            },
             _ => "{\"error\":\"unknown command\"}".to_string(),
         }
     }
 }
 
-/// A running telemetry endpoint. Accepts connections on a background
-/// thread and serves them inline — telemetry traffic is a handful of
-/// probes, not a query path, so one connection at a time keeps the server
-/// at a single thread and zero queueing state.
+fn no_recorder() -> String {
+    "{\"error\":\"no flight recorder\"}".to_string()
+}
+
+/// A running telemetry endpoint: an accept thread handing each
+/// connection to a short-lived worker thread, bounded by
+/// [`MAX_TELEMETRY_CONNECTIONS`].
 #[derive(Debug)]
 pub struct TelemetryServer {
     addr: SocketAddr,
     stopping: Arc<AtomicBool>,
     accept_thread: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
 }
 
 impl TelemetryServer {
@@ -88,8 +146,12 @@ impl TelemetryServer {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let stopping = Arc::new(AtomicBool::new(false));
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let source = Arc::new(source);
+        let active = Arc::new(AtomicUsize::new(0));
         let accept_thread = {
             let stopping = Arc::clone(&stopping);
+            let workers = Arc::clone(&workers);
             std::thread::Builder::new()
                 .name("netclus-telemetry".into())
                 .spawn(move || {
@@ -97,10 +159,33 @@ impl TelemetryServer {
                         if stopping.load(Ordering::Acquire) {
                             break;
                         }
-                        if let Ok(stream) = stream {
-                            // A misbehaving client must not wedge the
-                            // endpoint: errors just drop the connection.
-                            let _ = serve_connection(stream, &source);
+                        let Ok(stream) = stream else { continue };
+                        // Reap finished workers so the handle list stays
+                        // proportional to live connections.
+                        let mut guard = workers.lock().expect("telemetry workers poisoned");
+                        guard.retain(|h| !h.is_finished());
+                        if active.load(Ordering::Acquire) >= MAX_TELEMETRY_CONNECTIONS {
+                            // Shed: tell the client why, then drop. Errors
+                            // here are the client's problem, not ours.
+                            let _ = shed_connection(stream);
+                            continue;
+                        }
+                        active.fetch_add(1, Ordering::AcqRel);
+                        let source = Arc::clone(&source);
+                        let conn_active = Arc::clone(&active);
+                        let spawned = std::thread::Builder::new()
+                            .name("netclus-telemetry-conn".into())
+                            .spawn(move || {
+                                // A misbehaving client must not wedge the
+                                // endpoint: errors just drop the connection.
+                                let _ = serve_connection(stream, &source);
+                                conn_active.fetch_sub(1, Ordering::AcqRel);
+                            });
+                        match spawned {
+                            Ok(handle) => guard.push(handle),
+                            Err(_) => {
+                                active.fetch_sub(1, Ordering::AcqRel);
+                            }
                         }
                     }
                 })?
@@ -109,6 +194,7 @@ impl TelemetryServer {
             addr,
             stopping,
             accept_thread: Some(accept_thread),
+            workers,
         })
     }
 
@@ -117,7 +203,9 @@ impl TelemetryServer {
         self.addr
     }
 
-    /// Stops the accept loop and joins the server thread. Idempotent.
+    /// Stops the accept loop and joins the server and all connection
+    /// threads. Idempotent. In-flight connections finish within their
+    /// read deadline.
     pub fn shutdown(&mut self) {
         if self.stopping.swap(true, Ordering::AcqRel) {
             return;
@@ -125,6 +213,11 @@ impl TelemetryServer {
         // Wake the blocking accept with a throwaway connection.
         let _ = TcpStream::connect(self.addr);
         if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let workers =
+            std::mem::take(&mut *self.workers.lock().expect("telemetry workers poisoned"));
+        for handle in workers {
             let _ = handle.join();
         }
     }
@@ -136,12 +229,19 @@ impl Drop for TelemetryServer {
     }
 }
 
+fn shed_connection(stream: TcpStream) -> io::Result<()> {
+    stream.set_write_timeout(Some(Duration::from_secs(1)))?;
+    let mut writer = BufWriter::new(stream);
+    write_frame(&mut writer, b"{\"error\":\"too many connections\"}")?;
+    writer.flush()
+}
+
 fn serve_connection(stream: TcpStream, source: &TelemetrySource) -> io::Result<()> {
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
-    while let Some(payload) = read_frame(&mut reader, MAX_TELEMETRY_FRAME)? {
+    while let Some(payload) = read_frame(&mut reader, MAX_TELEMETRY_COMMAND)? {
         let command = std::str::from_utf8(&payload)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 command"))?;
         let response = source.render(command.trim());
@@ -170,6 +270,8 @@ pub fn fetch(addr: SocketAddr, command: &str) -> io::Result<String> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flight::FlightConfig;
+    use crate::health::{Severity, SloRule};
 
     fn test_source() -> TelemetrySource {
         TelemetrySource::new(
@@ -177,6 +279,18 @@ mod tests {
             || "{\"stage_round1_p50_us\":42}".to_string(),
             || "{\"seq\":0}\n{\"seq\":1}\n".to_string(),
         )
+    }
+
+    fn flight_source() -> (TelemetrySource, Arc<FlightRecorder>) {
+        let recorder = Arc::new(FlightRecorder::new(FlightConfig::default()));
+        let health = HealthEvaluator::new().with_rule(SloRule::ceiling(
+            "freshness",
+            "visibility_lag_us",
+            1_000.0,
+            Severity::Degrading,
+        ));
+        let source = test_source().with_flight(Arc::clone(&recorder), health);
+        (source, recorder)
     }
 
     #[test]
@@ -194,8 +308,48 @@ mod tests {
             fetch(addr, "bogus").unwrap(),
             "{\"error\":\"unknown command\"}"
         );
+        // Recorder commands without a recorder attached.
+        assert_eq!(
+            fetch(addr, "health").unwrap(),
+            "{\"error\":\"no flight recorder\"}"
+        );
+        assert_eq!(
+            fetch(addr, "rates").unwrap(),
+            "{\"error\":\"no flight recorder\"}"
+        );
+        assert_eq!(
+            fetch(addr, "history qps").unwrap(),
+            "{\"error\":\"no flight recorder\"}"
+        );
         server.shutdown();
         server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn serves_recorder_commands_when_attached() {
+        let (source, recorder) = flight_source();
+        let server = TelemetryServer::start("127.0.0.1:0", source).unwrap();
+        let addr = server.addr();
+        recorder.record_at(0.0, &[("visibility_lag_us".to_string(), 100.0)]);
+        recorder.record_at(1.0, &[("visibility_lag_us".to_string(), 300.0)]);
+        let history = fetch(addr, "history visibility_lag_us").unwrap();
+        assert!(history.starts_with("{\"series\":\"visibility_lag_us\""));
+        assert!(history.contains("[1.000,300.000]"));
+        // Windows anchor at the newest retained tick: a zero window keeps
+        // exactly the newest point.
+        let windowed = fetch(addr, "history visibility_lag_us 0").unwrap();
+        assert!(windowed.contains("\"points\":[[1.000,300.000]]"));
+        let rates = fetch(addr, "rates").unwrap();
+        assert!(rates.contains("\"visibility_lag_us\":200.000"));
+        let health = fetch(addr, "health").unwrap();
+        assert!(health.contains("\"verdict\":\"healthy\""));
+        assert_eq!(
+            fetch(addr, "history").unwrap(),
+            "{\"error\":\"usage: history <series> [window_secs]\"}"
+        );
+        assert!(fetch(addr, "history nope")
+            .unwrap()
+            .contains("unknown series"));
     }
 
     #[test]
@@ -212,6 +366,89 @@ mod tests {
                 .unwrap();
             assert_eq!(payload, b"{\"completed\":7}");
         }
+    }
+
+    #[test]
+    fn stalled_client_does_not_wedge_other_clients() {
+        let mut server = TelemetryServer::start("127.0.0.1:0", test_source()).unwrap();
+        let addr = server.addr();
+        // A client that connects and sends nothing holds one slot until
+        // its read deadline — other clients must be served immediately.
+        let staller = TcpStream::connect(addr).unwrap();
+        let started = std::time::Instant::now();
+        assert_eq!(fetch(addr, "metrics").unwrap(), "{\"completed\":7}");
+        assert!(
+            started.elapsed() < Duration::from_secs(2),
+            "fetch had to wait behind the stalled connection"
+        );
+        drop(staller);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_command_drops_the_connection_only() {
+        let server = TelemetryServer::start("127.0.0.1:0", test_source()).unwrap();
+        let addr = server.addr();
+        let stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        let huge = vec![b'a'; MAX_TELEMETRY_COMMAND + 1];
+        write_frame(&mut writer, &huge).unwrap();
+        writer.flush().unwrap();
+        // The server rejects the oversized frame and closes this
+        // connection; the endpoint itself keeps serving.
+        let mut reader = BufReader::new(stream);
+        assert!(matches!(
+            read_frame(&mut reader, MAX_TELEMETRY_FRAME),
+            Ok(None) | Err(_)
+        ));
+        assert_eq!(fetch(addr, "metrics").unwrap(), "{\"completed\":7}");
+    }
+
+    #[test]
+    fn connection_cap_sheds_with_an_error_frame() {
+        let mut server = TelemetryServer::start("127.0.0.1:0", test_source()).unwrap();
+        let addr = server.addr();
+        // Fill every slot with idle connections...
+        let mut held = Vec::new();
+        for _ in 0..MAX_TELEMETRY_CONNECTIONS {
+            held.push(TcpStream::connect(addr).unwrap());
+        }
+        // ...then poke the accept loop until it has registered them all
+        // and starts shedding (accept ordering is not synchronized with
+        // the worker-count increment, so retry briefly).
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let shed = loop {
+            match fetch(addr, "metrics") {
+                Ok(resp) if resp == "{\"error\":\"too many connections\"}" => break resp,
+                Ok(_) | Err(_) => {
+                    assert!(
+                        std::time::Instant::now() < deadline,
+                        "cap never engaged with {MAX_TELEMETRY_CONNECTIONS} idle connections held"
+                    );
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+            }
+        };
+        assert_eq!(shed, "{\"error\":\"too many connections\"}");
+        // Freeing a slot restores service.
+        drop(held);
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            if let Ok(resp) = fetch(addr, "metrics") {
+                if resp == "{\"completed\":7}" {
+                    break;
+                }
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "service never recovered after slots freed"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        server.shutdown();
     }
 
     #[test]

@@ -174,7 +174,10 @@ fn every_incremented_shard_counter_serializes() {
     }
 
     // Process gauges ride along on router reports too.
-    assert!(report.process.arena_resident_bytes > 0, "arena gauge");
+    assert!(
+        report.process.arena_resident_bytes.unwrap_or(0) > 0,
+        "arena gauge"
+    );
     assert!(json.contains("\"arena_resident_bytes\":"));
     assert!(json.contains("\"rss_bytes\":"));
 }
@@ -271,7 +274,7 @@ fn executor_tracer_covers_the_query_lifecycle() {
     assert!(tracer.stages().summary(Stage::Solve).count > 0);
     assert!(!tracer.slow_queries().is_empty());
     let report = service.metrics_report();
-    assert!(report.process.arena_resident_bytes > 0);
+    assert!(report.process.arena_resident_bytes.unwrap_or(0) > 0);
     service.shutdown();
 }
 
