@@ -34,6 +34,7 @@ fn start_service(workers: usize) -> NetClusService {
             ..Default::default()
         },
     )
+    .expect("start service")
 }
 
 fn bench_service(c: &mut Criterion) {

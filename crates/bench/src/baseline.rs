@@ -98,6 +98,11 @@ pub fn gated_metrics(prefix: &str) -> Vec<GatedMetric> {
             // clear at the end of the hot stream. With tolerance 0.25 the
             // limit is 0.75, so any firing rule (0) fails the gate.
             higher("slo_health_ok", 0.0),
+            // Fault lane: 1 = every query across the scripted
+            // 1-of-4-shards outage (and the recovery tail) was answered —
+            // degraded counts as answered, an error does not. Same 0/1
+            // shape as `slo_health_ok`: any dropped query fails the gate.
+            higher("availability_ok", 0.0),
         ],
         _ => Vec::new(),
     }

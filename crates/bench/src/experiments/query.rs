@@ -115,7 +115,8 @@ pub fn run(ctx: &mut Ctx) {
             workers,
             ..Default::default()
         },
-    );
+    )
+    .expect("start service");
     let mut rng = StdRng::seed_from_u64(ctx.cfg.seed ^ 0x51_55_45_52);
     let mut latencies: Vec<u64> = Vec::with_capacity(count);
     for _ in 0..count {

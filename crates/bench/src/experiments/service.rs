@@ -80,15 +80,18 @@ pub fn run(ctx: &mut Ctx) {
         &mut rng,
     );
 
-    let service = Arc::new(NetClusService::start(
-        s.net.clone(),
-        s.trajectories.clone(),
-        index,
-        ServiceConfig {
-            workers,
-            ..Default::default()
-        },
-    ));
+    let service = Arc::new(
+        NetClusService::start(
+            s.net.clone(),
+            s.trajectories.clone(),
+            index,
+            ServiceConfig {
+                workers,
+                ..Default::default()
+            },
+        )
+        .expect("start service"),
+    );
 
     std::thread::scope(|scope| {
         // Writer: spread the update batches across the run.

@@ -14,13 +14,13 @@
 //! perf-regression gate. The `speedup_potential_s*` figures are
 //! informational-only — see `crate::baseline`.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use netclus::prelude::*;
 use netclus_roadnet::{NodeId, RegionPartition};
 use netclus_service::{
-    FlightConfig, FlightRecorder, HealthEvaluator, Severity, ShardRouter, ShardRouterConfig,
-    SloRule, UpdateOp,
+    BreakerConfig, FaultAction, FaultPlan, FaultRule, FlightConfig, FlightRecorder,
+    HealthEvaluator, Severity, ShardRouter, ShardRouterConfig, SloRule, UpdateOp,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -197,7 +197,8 @@ pub fn run(ctx: &mut Ctx) {
         Arc::new(s.net.clone()),
         sharded,
         ShardRouterConfig::default(),
-    );
+    )
+    .expect("start router");
     // Flight recorder over the served phase: ticked manually at batch
     // boundaries (a sampler thread would only add nondeterminism to a
     // timed experiment), then SLO-evaluated into the gated record.
@@ -401,6 +402,96 @@ pub fn run(ctx: &mut Ctx) {
     );
     ctx.write_csv("shard_router", &sheader, &srows);
 
+    // ---- Part 4: fault lane — scripted 1-of-4-shards outage ------------
+    //
+    // Robustness under partial failure, quantified: with one shard hard-
+    // failing the router must keep answering (degraded partial merges
+    // with a conservative utility bound, never an error), the breaker
+    // must open and skip the dead shard, and once the outage clears a
+    // half-open probe must bring full answers back. `availability` is
+    // answered/attempted across the whole arc; `availability_ok` gates
+    // CI at 100% — a single dropped query fails the build.
+    let partition = RegionPartition::build(&s.net, 4);
+    let fault_sharded =
+        ShardedNetClusIndex::build(&s.net, &s.trajectories, &s.sites, &partition, cfg);
+    let fault_router = ShardRouter::start(
+        Arc::new(s.net.clone()),
+        fault_sharded,
+        ShardRouterConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(30),
+            },
+            ..Default::default()
+        },
+    )
+    .expect("start fault router");
+    let mut attempted = 0u64;
+    let mut answered = 0u64;
+    fault_router.set_fault_plan(Some(
+        FaultPlan::new(ctx.cfg.seed).with_rule(FaultRule::always(3, FaultAction::Error)),
+    ));
+    for _ in 0..4 {
+        for &tau in &TAUS {
+            attempted += 1;
+            match fault_router.query_blocking(TopsQuery::binary(K_COLD, tau)) {
+                Ok(a) => {
+                    answered += 1;
+                    assert!(a.degraded, "outage queries must be served degraded");
+                    assert!(
+                        a.utility_bound > 0.0 && a.utility_bound <= 1.0,
+                        "degraded bound out of range: {}",
+                        a.utility_bound
+                    );
+                }
+                Err(e) => eprintln!("[warn] fault-lane outage query failed: {e}"),
+            }
+        }
+    }
+    fault_router.set_fault_plan(None);
+    std::thread::sleep(Duration::from_millis(40));
+    for &tau in &TAUS {
+        attempted += 1;
+        match fault_router.query_blocking(TopsQuery::binary(K_COLD, tau)) {
+            Ok(a) => {
+                answered += 1;
+                assert!(!a.degraded, "recovered queries must be full again");
+            }
+            Err(e) => eprintln!("[warn] fault-lane recovery query failed: {e}"),
+        }
+    }
+    let fault = fault_router.fault_report();
+    fault_router.shutdown();
+    assert!(fault.breaker_opens >= 1, "the outage must open the breaker");
+    assert!(
+        fault.breaker_closes >= 1,
+        "recovery must close the breaker through a probe"
+    );
+    let availability = answered as f64 / attempted as f64;
+    let availability_ok = u8::from(answered == attempted);
+    let frows = vec![vec![
+        attempted.to_string(),
+        answered.to_string(),
+        fault.degraded_answers.to_string(),
+        fault.breaker_opens.to_string(),
+        fault.breaker_skips.to_string(),
+        format!("{availability:.3}"),
+    ]];
+    let fheader = [
+        "attempted",
+        "answered",
+        "degraded",
+        "brk opens",
+        "brk skips",
+        "availability",
+    ];
+    print_table(
+        "shard — fault lane: scripted 1-of-4-shards outage (degraded partial merges)",
+        &fheader,
+        &frows,
+    );
+    ctx.write_csv("shard_faults", &fheader, &frows);
+
     let all_queries = cold_lat.len() + hot_lat.len();
     let mut all_lat = cold_lat;
     all_lat.extend_from_slice(&hot_lat);
@@ -434,7 +525,9 @@ pub fn run(ctx: &mut Ctx) {
          \"router_qps\":{:.3},\"boundary_trajs\":{},\"trajectories\":{},{stage_fields},\
          \"slow_queries_captured\":{slow_retained},\"sampled_queries_captured\":{sampled_retained},\
          \"trace_attributed_fraction\":{attributed:.3},\
-         \"slo_health_ok\":{slo_health_ok},\"slo_rules_firing\":{slo_rules_firing}}}",
+         \"slo_health_ok\":{slo_health_ok},\"slo_rules_firing\":{slo_rules_firing},\
+         \"degraded_answers\":{},\"breaker_opens\":{},\
+         \"availability\":{availability:.3},\"availability_ok\":{availability_ok}}}",
         json_parts.join(","),
         mono_build.as_secs_f64() * 1e3,
         min_ratio,
@@ -455,6 +548,8 @@ pub fn run(ctx: &mut Ctx) {
         report.throughput_qps,
         shard_section.boundary_trajs,
         shard_section.trajectories,
+        fault.degraded_answers,
+        fault.breaker_opens,
     );
     crate::schema::check_record("BENCH_SHARD_SCALING", &record);
     println!("BENCH_SHARD_SCALING {record}");

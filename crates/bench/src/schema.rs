@@ -146,6 +146,20 @@ pub const SHARD_SECTION_KEYS: &[&str] = &[
     "boundary_trajs",
     "shard_replicas",
     "replication_factor",
+    "degraded_answers",
+    "stale_answers",
+    "shard_failures",
+    "shard_timeouts",
+    "deadline_exceeded",
+    "breaker_opens",
+    "breaker_probes",
+    "breaker_closes",
+    "breaker_skips",
+    "breaker_open_shards",
+    "worker_panics",
+    "worker_respawns",
+    "abandoned_gathers",
+    "unavailable_answers",
     "shardN_queries",
     "shardN_p50_us",
     "shardN_p99_us",
@@ -195,6 +209,10 @@ pub const SHARD_SCALING_KEYS: &[&str] = &[
     "trace_attributed_fraction",
     "slo_health_ok",
     "slo_rules_firing",
+    "degraded_answers",
+    "breaker_opens",
+    "availability",
+    "availability_ok",
 ];
 
 /// The expected (normalized) key set of a record prefix; `None` for

@@ -622,6 +622,83 @@ pub fn merge_candidates_timed(
     (solution, n, MergeTiming { build_us, solve_us })
 }
 
+/// Outcome of a degraded round-2 merge over a shard *subset* (see
+/// [`merge_candidates_subset`]).
+#[derive(Clone, Debug)]
+pub struct SubsetMerge {
+    /// The round-2 solution over the surviving candidate union.
+    pub solution: Solution,
+    /// Size of the surviving candidate union.
+    pub candidates: usize,
+    /// Merge-view build / round-2 solve wall-clock split.
+    pub timing: MergeTiming,
+    /// Conservative lower bound on `solution.utility / U_full`, where
+    /// `U_full` is the utility the full fan-out would have achieved. See
+    /// [`degraded_utility_bound`] for the guarantee.
+    pub utility_bound: f64,
+}
+
+/// Conservative lower bound on the degraded-answer quality ratio.
+///
+/// Let `A` be the surviving shards and `U_full` the round-2 utility over
+/// the *full* candidate union. The coverage utility `f` is monotone
+/// submodular with `f(∅) = 0`, hence subadditive, so
+///
+/// ```text
+/// U_full ≤ f(∪ᵢ Cᵢ) ≤ Σ_{i∈A} f(Cᵢ) + Σ_{j∉A} f(Cⱼ)
+///        ≤ survivor_utility + missing_mass
+/// ```
+///
+/// where `f(Cᵢ) = local_utility` of shard `i` (greedy gains telescope to
+/// the value of the selected set, and candidate rows are copied verbatim,
+/// so the local value equals the merged-view value), and `f(Cⱼ)` for a
+/// missing shard is at most its trajectory mass: every preference score
+/// `ψ` is normalized to `[0, 1]` (see [`crate::preference`]), so each of
+/// the shard's trajectories contributes at most `1.0`.
+///
+/// The reported ratio `achieved / (max(achieved, survivor_utility) +
+/// missing_mass)` therefore never exceeds the true ratio
+/// `achieved / U_full`; it is clamped to `[0, 1]`, and an all-empty
+/// degenerate instance (`achieved = denominator = 0`) reports `1.0`
+/// (the full answer would have been empty too).
+pub fn degraded_utility_bound(achieved: f64, survivor_utility: f64, missing_mass: f64) -> f64 {
+    let denom = survivor_utility.max(achieved) + missing_mass.max(0.0);
+    if denom <= 0.0 {
+        1.0
+    } else {
+        (achieved / denom).clamp(0.0, 1.0)
+    }
+}
+
+/// Round 2 over a shard **subset**: the degraded sibling of
+/// [`merge_candidates_timed`], used when some shards failed or were
+/// skipped. The greedy over the surviving candidates is still a valid
+/// greedy (round 2 never assumes the union is complete); what is lost is
+/// coverage mass from the missing shards, which
+/// [`degraded_utility_bound`] bounds conservatively.
+///
+/// * `survivor_utility` — `Σ local_utility` over the surviving shards'
+///   round-1 answers (the candidates passed in).
+/// * `missing_mass` — an upper bound on the missing shards' achievable
+///   utility; with `ψ ∈ [0, 1]` the sum of their live trajectory counts
+///   (replicas included) is always safe.
+pub fn merge_candidates_subset(
+    candidates: Vec<Candidate>,
+    q: &TopsQuery,
+    traj_id_bound: usize,
+    survivor_utility: f64,
+    missing_mass: f64,
+) -> SubsetMerge {
+    let (solution, n, timing) = merge_candidates_timed(candidates, q, traj_id_bound);
+    let utility_bound = degraded_utility_bound(solution.utility, survivor_utility, missing_mass);
+    SubsetMerge {
+        solution,
+        candidates: n,
+        timing,
+        utility_bound,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -813,6 +890,97 @@ mod tests {
         );
         assert!(provider.covering(TrajId(2)).is_empty());
         assert_eq!(provider.traj_id_bound(), 3);
+    }
+
+    #[test]
+    fn subset_merge_bound_is_conservative() {
+        let (net, trajs, sites, partition) = fixture();
+        let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, config());
+        let bound = sharded.traj_id_bound();
+        for (k, tau) in [(1, 400.0), (2, 800.0), (3, 600.0), (4, 1_500.0)] {
+            let q = TopsQuery::binary(k, tau);
+            let u_full = sharded.query(&q).solution.utility;
+            let mut scratch = ProviderScratch::default();
+            let rounds: Vec<ShardRoundOne> = sharded
+                .shards()
+                .iter()
+                .map(|s| local_candidates(&s.index, &q, bound, &mut scratch))
+                .collect();
+            let per_shard = &sharded.replication().per_shard;
+            for (missing, &missing_mass) in per_shard.iter().enumerate() {
+                let survivor_utility: f64 = rounds
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != missing)
+                    .map(|(_, r)| r.local_utility)
+                    .sum();
+                let candidates: Vec<Candidate> = rounds
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| *i != missing)
+                    .flat_map(|(_, r)| r.candidates.clone())
+                    .collect();
+                let m = merge_candidates_subset(
+                    candidates,
+                    &q,
+                    bound,
+                    survivor_utility,
+                    missing_mass as f64,
+                );
+                let true_ratio = if u_full > 0.0 {
+                    m.solution.utility / u_full
+                } else {
+                    1.0
+                };
+                assert!(
+                    (0.0..=1.0).contains(&m.utility_bound),
+                    "k={k} τ={tau} missing={missing}: bound {} outside [0,1]",
+                    m.utility_bound
+                );
+                assert!(
+                    m.utility_bound <= true_ratio + 1e-9,
+                    "k={k} τ={tau} missing={missing}: reported {} > true ratio {true_ratio}",
+                    m.utility_bound
+                );
+                assert!(
+                    true_ratio <= 1.0 + 1e-9,
+                    "k={k} τ={tau} missing={missing}: subset beat the full merge"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn subset_merge_with_all_survivors_matches_full_merge() {
+        let (net, trajs, sites, partition) = fixture();
+        let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, config());
+        let bound = sharded.traj_id_bound();
+        let q = TopsQuery::binary(3, 800.0);
+        let full = sharded.query(&q);
+        let mut scratch = ProviderScratch::default();
+        let rounds: Vec<ShardRoundOne> = sharded
+            .shards()
+            .iter()
+            .map(|s| local_candidates(&s.index, &q, bound, &mut scratch))
+            .collect();
+        let survivor_utility: f64 = rounds.iter().map(|r| r.local_utility).sum();
+        let candidates: Vec<Candidate> = rounds.into_iter().flat_map(|r| r.candidates).collect();
+        let m = merge_candidates_subset(candidates, &q, bound, survivor_utility, 0.0);
+        assert_eq!(m.solution.sites, full.solution.sites);
+        assert!((m.solution.utility - full.solution.utility).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&m.utility_bound));
+    }
+
+    #[test]
+    fn degraded_bound_handles_degenerate_inputs() {
+        // All-empty instance: the full answer would be empty too.
+        assert_eq!(degraded_utility_bound(0.0, 0.0, 0.0), 1.0);
+        // Achieved above the survivor sum (float noise): still ≤ 1.
+        assert!(degraded_utility_bound(5.0, 3.0, 0.0) <= 1.0);
+        // Negative mass is treated as zero, not a bonus.
+        assert_eq!(degraded_utility_bound(1.0, 1.0, -5.0), 1.0);
+        // Huge missing mass drives the bound toward zero.
+        assert!(degraded_utility_bound(1.0, 1.0, 1e12) < 1e-6);
     }
 
     #[test]

@@ -26,8 +26,8 @@
 
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -36,6 +36,7 @@ use netclus_roadnet::NodeId;
 use netclus_trajectory::TrajectorySet;
 
 use crate::cache::{QueryKey, ShardedCache};
+use crate::fault::QueryError;
 use crate::metrics::{MetricsClock, MetricsReport};
 use crate::provider_cache::{quantize_tau, CacheOutcome, ProviderCache, ProviderKey};
 use crate::snapshot::{SnapshotStore, UpdateBatch, UpdateReceipt};
@@ -62,6 +63,11 @@ pub struct ServiceRequest {
     pub query: TopsQuery,
     /// The solver variant.
     pub variant: QueryVariant,
+    /// Optional end-to-end deadline, measured from admission. A request
+    /// whose every waiter has already expired is shed by the worker
+    /// instead of computed; [`ResponseHandle::wait_checked`] turns the
+    /// blown budget into a typed [`QueryError::DeadlineExceeded`].
+    pub deadline: Option<Duration>,
 }
 
 impl ServiceRequest {
@@ -70,6 +76,7 @@ impl ServiceRequest {
         ServiceRequest {
             query,
             variant: QueryVariant::Greedy,
+            deadline: None,
         }
     }
 
@@ -78,7 +85,14 @@ impl ServiceRequest {
         ServiceRequest {
             query,
             variant: QueryVariant::Fm { copies, seed },
+            deadline: None,
         }
+    }
+
+    /// Attaches an end-to-end deadline budget.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -136,11 +150,15 @@ impl std::error::Error for SubmitError {}
 #[derive(Debug)]
 pub struct ResponseHandle {
     rx: Receiver<Arc<ServiceAnswer>>,
+    /// The request's total deadline budget (for the typed error).
+    deadline_total: Option<Duration>,
+    /// Admission time plus the budget: the wall-clock expiry instant.
+    deadline_at: Option<Instant>,
 }
 
 impl ResponseHandle {
     /// Blocks until the answer arrives. Returns `None` only if the service
-    /// shut down before answering.
+    /// shut down (or shed the expired request) before answering.
     pub fn wait(self) -> Option<Arc<ServiceAnswer>> {
         self.rx.recv().ok()
     }
@@ -148,6 +166,35 @@ impl ResponseHandle {
     /// Waits up to `timeout`.
     pub fn wait_timeout(&self, timeout: Duration) -> Option<Arc<ServiceAnswer>> {
         self.rx.recv_timeout(timeout).ok()
+    }
+
+    /// Blocks until the answer arrives or the request's deadline passes,
+    /// whichever is first, with a typed verdict: a blown budget is
+    /// [`QueryError::DeadlineExceeded`] — never an unbounded wait — and a
+    /// shutdown before answering is [`SubmitError::ShuttingDown`].
+    pub fn wait_checked(self) -> Result<Arc<ServiceAnswer>, QueryError> {
+        let Some(at) = self.deadline_at else {
+            return self
+                .rx
+                .recv()
+                .map_err(|_| QueryError::Submit(SubmitError::ShuttingDown));
+        };
+        let deadline = self.deadline_total.unwrap_or_default();
+        match self
+            .rx
+            .recv_timeout(at.saturating_duration_since(Instant::now()))
+        {
+            Ok(answer) => Ok(answer),
+            Err(RecvTimeoutError::Timeout) => Err(QueryError::DeadlineExceeded { deadline }),
+            // Disconnected early means shutdown; disconnected at/after the
+            // expiry instant means the worker shed the expired request.
+            Err(RecvTimeoutError::Disconnected) if Instant::now() >= at => {
+                Err(QueryError::DeadlineExceeded { deadline })
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(QueryError::Submit(SubmitError::ShuttingDown))
+            }
+        }
     }
 }
 
@@ -200,6 +247,8 @@ struct Waiter {
     tx: Sender<Arc<ServiceAnswer>>,
     submitted: Instant,
     min_epoch: u64,
+    /// Wall-clock expiry; a flight whose every waiter has expired is shed.
+    deadline: Option<Instant>,
 }
 
 /// A deduplicated unit of work: one `(query, variant)` with every waiter
@@ -240,15 +289,25 @@ pub struct NetClusService {
     workers: Mutex<Vec<JoinHandle<()>>>,
 }
 
+/// Recovers a mutex guard even when a previous holder panicked: the
+/// protected state (queue, flight table, worker handles) stays valid
+/// across an unwind, so a poisoned lock must not cascade into every
+/// subsequent caller panicking too.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl NetClusService {
     /// Publishes `(net, trajs, index)` as epoch 0 and starts the worker
-    /// pool.
+    /// pool. Fails with the OS error if a worker thread cannot be spawned
+    /// (resource exhaustion); any workers already started are stopped and
+    /// joined before returning, so a failed construction leaks nothing.
     pub fn start(
         net: netclus_roadnet::RoadNetwork,
         trajs: TrajectorySet,
         index: netclus::NetClusIndex,
         cfg: ServiceConfig,
-    ) -> Self {
+    ) -> std::io::Result<Self> {
         let inner = Arc::new(Inner {
             cfg,
             stopping: AtomicBool::new(false),
@@ -264,19 +323,29 @@ impl NetClusService {
             inflight: Mutex::new(HashMap::new()),
             tracer: Tracer::new(cfg.trace),
         });
-        let workers = (0..cfg.workers.max(1))
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("netclus-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn worker")
-            })
-            .collect();
-        NetClusService {
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for i in 0..cfg.workers.max(1) {
+            let w = Arc::clone(&inner);
+            match std::thread::Builder::new()
+                .name(format!("netclus-worker-{i}"))
+                .spawn(move || worker_loop(&w))
+            {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    inner.stopping.store(true, Ordering::Release);
+                    lock_recover(&inner.queue).shutdown = true;
+                    inner.queue_cv.notify_all();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(NetClusService {
             inner,
             workers: Mutex::new(workers),
-        }
+        })
     }
 
     /// Submits a request. On success the returned handle resolves to the
@@ -301,6 +370,12 @@ impl NetClusService {
         }
         let (tx, rx) = channel();
         let submitted = Instant::now();
+        let deadline_at = request.deadline.map(|d| submitted + d);
+        let handle = |rx| ResponseHandle {
+            rx,
+            deadline_total: request.deadline,
+            deadline_at,
+        };
 
         // Fast path: the answer for the current epoch is already cached.
         let epoch = inner.store.epoch();
@@ -315,7 +390,7 @@ impl NetClusService {
                 .stages()
                 .record(Stage::Admission, submitted.elapsed());
             let _ = tx.send(answer);
-            return Ok(ResponseHandle { rx });
+            return Ok(handle(rx));
         }
 
         let flight_key = key.at_epoch(0);
@@ -323,9 +398,10 @@ impl NetClusService {
             tx,
             submitted,
             min_epoch: epoch,
+            deadline: deadline_at,
         };
         {
-            let mut inflight = inner.inflight.lock().expect("inflight lock poisoned");
+            let mut inflight = lock_recover(&inner.inflight);
             if let Some(flight) = inflight.get_mut(&flight_key) {
                 // Identical query already queued or computing: attach. The
                 // recorded `min_epoch` keeps the join honest — if the
@@ -338,10 +414,10 @@ impl NetClusService {
                     .tracer
                     .stages()
                     .record(Stage::Admission, submitted.elapsed());
-                return Ok(ResponseHandle { rx });
+                return Ok(handle(rx));
             }
             // New flight: reserve queue space before registering it.
-            let mut queue = inner.queue.lock().expect("queue lock poisoned");
+            let mut queue = lock_recover(&inner.queue);
             if queue.shutdown {
                 metrics.rejected.fetch_add(1, Ordering::Relaxed);
                 return Err(SubmitError::ShuttingDown);
@@ -367,7 +443,7 @@ impl NetClusService {
             .tracer
             .stages()
             .record(Stage::Admission, submitted.elapsed());
-        Ok(ResponseHandle { rx })
+        Ok(handle(rx))
     }
 
     /// Submits and blocks for the answer. A full queue is treated as
@@ -448,12 +524,9 @@ impl NetClusService {
     /// also invoked by `Drop`.
     pub fn shutdown(&self) {
         self.inner.stopping.store(true, Ordering::Release);
-        {
-            let mut queue = self.inner.queue.lock().expect("queue lock poisoned");
-            queue.shutdown = true;
-        }
+        lock_recover(&self.inner.queue).shutdown = true;
         self.inner.queue_cv.notify_all();
-        let mut workers = self.workers.lock().expect("workers lock poisoned");
+        let mut workers = lock_recover(&self.workers);
         for handle in workers.drain(..) {
             let _ = handle.join();
         }
@@ -506,7 +579,7 @@ fn worker_loop(inner: &Inner) {
     let mut scratch = ProviderScratch::default();
     loop {
         let batch: Vec<FlightKey> = {
-            let mut queue = inner.queue.lock().expect("queue lock poisoned");
+            let mut queue = lock_recover(&inner.queue);
             loop {
                 if !queue.jobs.is_empty() {
                     let n = queue.jobs.len().min(inner.cfg.max_batch.max(1));
@@ -515,7 +588,10 @@ fn worker_loop(inner: &Inner) {
                 if queue.shutdown {
                     return;
                 }
-                queue = inner.queue_cv.wait(queue).expect("queue lock poisoned");
+                queue = inner
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         metrics.queue_exit(batch.len() as u64);
@@ -528,10 +604,24 @@ fn worker_loop(inner: &Inner) {
         let snap = inner.store.load();
         for flight_key in batch {
             let (query, variant) = {
-                let inflight = inner.inflight.lock().expect("inflight lock poisoned");
+                let mut inflight = lock_recover(&inner.inflight);
                 let flight = inflight
                     .get(&flight_key)
                     .expect("queued flight must be registered");
+                // Deadline shed: if every waiter's budget already expired,
+                // an answer helps nobody — drop the flight before paying
+                // for the compute. The disconnected channels surface as
+                // `DeadlineExceeded` in `wait_checked`.
+                let now = Instant::now();
+                if !flight.waiters.is_empty()
+                    && flight
+                        .waiters
+                        .iter()
+                        .all(|w| w.deadline.is_some_and(|d| d <= now))
+                {
+                    inflight.remove(&flight_key);
+                    continue;
+                }
                 (flight.query, flight.variant)
             };
             let key = flight_key.at_epoch(snap.epoch());
@@ -609,7 +699,7 @@ fn worker_loop(inner: &Inner) {
             // snapshot (store epochs are monotone, so the next load is at
             // least as new as anything they observed).
             let satisfied = {
-                let mut inflight = inner.inflight.lock().expect("inflight lock poisoned");
+                let mut inflight = lock_recover(&inner.inflight);
                 let flight = inflight
                     .remove(&flight_key)
                     .expect("flight still registered");
@@ -628,7 +718,7 @@ fn worker_loop(inner: &Inner) {
                     );
                     // Internal retry, bypassing the admission bound (these
                     // requests were already admitted once).
-                    let mut queue = inner.queue.lock().expect("queue lock poisoned");
+                    let mut queue = lock_recover(&inner.queue);
                     queue.jobs.push_back(flight_key);
                     metrics.queue_enter();
                     drop(queue);
@@ -703,6 +793,7 @@ mod tests {
                 ..Default::default()
             },
         )
+        .expect("start service")
     }
 
     #[test]
@@ -889,6 +980,34 @@ mod tests {
         assert!(filler.wait().is_some());
         // The pre-update submitter accepts any epoch (0 or 1 both valid).
         assert!(first.wait().is_some());
+        svc.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_is_shed_and_typed() {
+        let svc = service(1);
+        let q = TopsQuery::binary(2, 800.0);
+        // A zero budget is expired at admission: the worker must shed the
+        // flight (never compute it) and the waiter must get the typed
+        // error, not an unbounded wait.
+        let handle = svc
+            .submit(ServiceRequest::greedy(q).with_deadline(Duration::ZERO))
+            .unwrap();
+        match handle.wait_checked() {
+            Err(QueryError::DeadlineExceeded { deadline }) => {
+                assert_eq!(deadline, Duration::ZERO);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        // The service stays healthy: a generous budget answers normally.
+        let relaxed = svc
+            .submit(ServiceRequest::greedy(q).with_deadline(Duration::from_secs(30)))
+            .unwrap();
+        let answer = relaxed.wait_checked().expect("within budget");
+        assert_eq!(answer.sites.len(), 2);
+        // Without any deadline, wait_checked degenerates to wait.
+        let plain = svc.submit(ServiceRequest::greedy(q)).unwrap();
+        assert!(plain.wait_checked().is_ok());
         svc.shutdown();
     }
 

@@ -394,11 +394,11 @@ mod tests {
         let mut shed = 0.0;
         let mut requests = 0.0;
         let mut t = 0.0;
-        let mut step = |rec: &FlightRecorder,
-                        t: &mut f64,
-                        shed: &mut f64,
-                        req: &mut f64,
-                        err_per_tick: f64| {
+        let step = |rec: &FlightRecorder,
+                    t: &mut f64,
+                    shed: &mut f64,
+                    req: &mut f64,
+                    err_per_tick: f64| {
             *req += 10.0;
             *shed += err_per_tick;
             record(rec, *t, &[("shed", *shed), ("requests", *req)]);

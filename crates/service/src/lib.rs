@@ -87,7 +87,8 @@
 //! );
 //!
 //! // Serve concurrent queries against atomically swapped snapshots.
-//! let service = NetClusService::start(net, trajs, index, ServiceConfig::default());
+//! let service = NetClusService::start(net, trajs, index, ServiceConfig::default())
+//!     .expect("start service");
 //! let answer = service
 //!     .submit(ServiceRequest::greedy(TopsQuery::binary(1, 800.0)))
 //!     .unwrap()
@@ -116,6 +117,7 @@
 
 pub mod cache;
 pub mod executor;
+pub mod fault;
 pub mod flight;
 pub mod framing;
 pub mod health;
@@ -131,17 +133,23 @@ pub use executor::{
     NetClusService, QueryVariant, ResponseHandle, ServiceAnswer, ServiceConfig, ServiceRequest,
     SubmitError,
 };
+pub use fault::{
+    BreakerConfig, BreakerSnapshot, BreakerState, CircuitBreaker, FaultAction, FaultPlan,
+    FaultRule, QueryError, ShardFailure,
+};
 pub use flight::{flatten_json, FlightConfig, FlightRecorder, FlightSampler};
 pub use health::{HealthEvaluator, HealthReport, RuleOutcome, Severity, SloRule, Verdict};
 pub use metrics::{
-    IngestMetrics, IngestReport, LatencyHistogram, LatencySummary, MetricsReport, ProcessGauges,
-    ServiceMetrics, ShardLaneReport, ShardReport,
+    FaultReport, IngestMetrics, IngestReport, LatencyHistogram, LatencySummary, MetricsReport,
+    ProcessGauges, ServiceMetrics, ShardLaneReport, ShardReport,
 };
 pub use provider_cache::{
     quantize_tau, CacheOutcome, EpochKeyed, FlightCache, ProviderCache, ProviderCacheStats,
     ProviderKey, RoundCacheStats, RoundKey, RoundOneCache, ShardProviderCache, ShardProviderKey,
 };
-pub use shard_router::{ShardRouter, ShardRouterConfig, ShardedServiceAnswer};
+pub use shard_router::{
+    QueryOptions, ShardRouter, ShardRouterConfig, ShardedServiceAnswer, ROUND1_BUDGET_FRACTION,
+};
 pub use snapshot::{RoutedOp, Snapshot, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
 pub use telemetry::{TelemetryServer, TelemetrySource};
 pub use trace::{
@@ -179,4 +187,8 @@ fn send_sync_audit() {
     assert_send_sync::<FlightSampler>();
     assert_send_sync::<HealthEvaluator>();
     assert_send_sync::<HealthReport>();
+    assert_send_sync::<FaultPlan>();
+    assert_send_sync::<CircuitBreaker>();
+    assert_send_sync::<QueryError>();
+    assert_send_sync::<FaultReport>();
 }

@@ -297,6 +297,45 @@ pub struct ShardReport {
     pub boundary_trajs: u64,
     /// Total shard-local trajectory copies.
     pub replicas: u64,
+    /// Fault-tolerance counters (degraded/stale answers, shard failures,
+    /// breaker transitions, worker supervision).
+    pub fault: FaultReport,
+}
+
+/// Fault-tolerance section of a [`ShardReport`]: every counter is
+/// cumulative since router start, so flight-recorder rate series and SLO
+/// burn-rate rules (e.g. `degraded_answers` over `fanout_queries`) work
+/// directly on them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Answers served from a shard subset (some shards missing).
+    pub degraded_answers: u64,
+    /// Stale-epoch fallback answers served after a fully-failed fan-out.
+    pub stale_answers: u64,
+    /// Round-1 tasks that failed (injected errors, panics, lost replies).
+    pub shard_failures: u64,
+    /// Round-1 tasks that missed their deadline budget.
+    pub shard_timeouts: u64,
+    /// Queries that failed with a typed deadline error.
+    pub deadline_exceeded: u64,
+    /// Circuit-breaker transitions to open (re-opens included).
+    pub breaker_opens: u64,
+    /// Half-open probes admitted.
+    pub breaker_probes: u64,
+    /// Probes that succeeded and closed a breaker.
+    pub breaker_closes: u64,
+    /// Round-1 tasks skipped at scatter time because a breaker was open.
+    pub breaker_skips: u64,
+    /// Breakers currently open (a gauge, not a counter).
+    pub breaker_open_shards: u64,
+    /// Worker panics caught by the supervisor.
+    pub worker_panics: u64,
+    /// Workers respawned after a panic.
+    pub worker_respawns: u64,
+    /// Replies that found the gather gone (client stopped listening).
+    pub abandoned_gathers: u64,
+    /// Queries that failed with every shard down and no stale fallback.
+    pub unavailable_answers: u64,
 }
 
 impl ShardReport {
@@ -471,6 +510,21 @@ impl MetricsReport {
             push_u64(&mut s, "boundary_trajs", shards.boundary_trajs);
             push_u64(&mut s, "shard_replicas", shards.replicas);
             push_f64(&mut s, "replication_factor", shards.replication_factor());
+            let fault = &shards.fault;
+            push_u64(&mut s, "degraded_answers", fault.degraded_answers);
+            push_u64(&mut s, "stale_answers", fault.stale_answers);
+            push_u64(&mut s, "shard_failures", fault.shard_failures);
+            push_u64(&mut s, "shard_timeouts", fault.shard_timeouts);
+            push_u64(&mut s, "deadline_exceeded", fault.deadline_exceeded);
+            push_u64(&mut s, "breaker_opens", fault.breaker_opens);
+            push_u64(&mut s, "breaker_probes", fault.breaker_probes);
+            push_u64(&mut s, "breaker_closes", fault.breaker_closes);
+            push_u64(&mut s, "breaker_skips", fault.breaker_skips);
+            push_u64(&mut s, "breaker_open_shards", fault.breaker_open_shards);
+            push_u64(&mut s, "worker_panics", fault.worker_panics);
+            push_u64(&mut s, "worker_respawns", fault.worker_respawns);
+            push_u64(&mut s, "abandoned_gathers", fault.abandoned_gathers);
+            push_u64(&mut s, "unavailable_answers", fault.unavailable_answers);
             for lane in &shards.lanes {
                 push_u64(
                     &mut s,
@@ -941,9 +995,31 @@ mod tests {
             trajectories: 18,
             boundary_trajs: 3,
             replicas: 21,
+            fault: FaultReport {
+                degraded_answers: 2,
+                stale_answers: 1,
+                shard_failures: 5,
+                breaker_opens: 1,
+                breaker_probes: 2,
+                breaker_closes: 1,
+                worker_panics: 1,
+                worker_respawns: 1,
+                abandoned_gathers: 3,
+                ..Default::default()
+            },
         });
         let json = report.to_json_line();
         assert!(json.contains("\"shards\":2"));
+        assert!(json.contains("\"degraded_answers\":2"));
+        assert!(json.contains("\"stale_answers\":1"));
+        assert!(json.contains("\"shard_failures\":5"));
+        assert!(json.contains("\"shard_timeouts\":0"));
+        assert!(json.contains("\"deadline_exceeded\":0"));
+        assert!(json.contains("\"breaker_opens\":1"));
+        assert!(json.contains("\"breaker_open_shards\":0"));
+        assert!(json.contains("\"worker_panics\":1"));
+        assert!(json.contains("\"abandoned_gathers\":3"));
+        assert!(json.contains("\"unavailable_answers\":0"));
         assert!(json.contains("\"shard0_queries\":4"));
         assert!(json.contains("\"shard1_replicated_trajs\":11"));
         assert!(json.contains("\"boundary_trajs\":3"));

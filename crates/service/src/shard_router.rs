@@ -58,16 +58,49 @@
 //! counters (hits, misses, coalesced waits, evictions, invalidations)
 //! and **hot/cold latency lanes** — a fan-out is *hot* when every shard
 //! answered from a cache, *cold* when any shard built a provider.
+//!
+//! ## Fault tolerance
+//!
+//! The fan-out survives a slow, failing, or crashed shard
+//! (see [`crate::fault`] for the primitives):
+//!
+//! * **Deadlines** — [`QueryOptions::deadline`] budgets the fan-out:
+//!   round 1 gets [`ROUND1_BUDGET_FRACTION`] of it, round 2 the
+//!   remainder; a blown budget is a typed
+//!   [`QueryError::DeadlineExceeded`], never an unbounded wait.
+//! * **Circuit breakers** — one [`CircuitBreaker`] per shard: repeated
+//!   failures open it, open shards are skipped at scatter time, and a
+//!   half-open probe closes it once the shard recovers.
+//! * **Degraded answers** — when some-but-not-all shards fail, round 2
+//!   merges the surviving candidate sets; the answer is marked
+//!   [`degraded`](ShardedServiceAnswer::degraded), lists
+//!   [`shards_missing`](ShardedServiceAnswer::shards_missing) and
+//!   carries a conservative
+//!   [`utility_bound`](ShardedServiceAnswer::utility_bound) (see
+//!   [`netclus::shard::degraded_utility_bound`]). A fully-failed fan-out
+//!   falls back to the last full answer for the same `(k, τ, ψ)` served
+//!   with a [`stale`](ShardedServiceAnswer::stale) marker, before
+//!   erroring with [`QueryError::Unavailable`].
+//! * **Supervision** — a panicked worker converts its in-flight task
+//!   into a typed [`ShardFailure::Panicked`] reply (no hung gather) and
+//!   the pool respawns the worker; panic/respawn counts land in the
+//!   [`FaultReport`] section of the metrics, alongside every other
+//!   fault counter, so flight-recorder SLO rules can fire on them.
+//! * **Chaos hook** — [`ShardRouter::set_fault_plan`] installs a seeded
+//!   deterministic [`FaultPlan`] consulted per round-1 task (one relaxed
+//!   atomic load when disabled), the query-path sibling of the ingest
+//!   publisher stall.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Sender};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use netclus::shard::{
-    local_candidates, local_candidates_on, merge_candidates_timed, ShardRoundOne,
+    local_candidates, local_candidates_on, merge_candidates_subset, merge_candidates_timed,
+    ShardRoundOne,
 };
 use netclus::{
     ClusteredProvider, NetClusShard, ProviderScratch, ReplicationStats, ShardedNetClusIndex,
@@ -77,7 +110,13 @@ use netclus_roadnet::{NodeId, RegionPartition, RoadNetwork};
 use netclus_trajectory::TrajId;
 
 use crate::executor::{validate_query, SubmitError};
-use crate::metrics::{LatencyHistogram, MetricsClock, MetricsReport, ShardLaneReport, ShardReport};
+use crate::fault::{
+    BreakerAdmit, BreakerConfig, BreakerSnapshot, CircuitBreaker, FaultPlan, QueryError,
+    ShardFailure,
+};
+use crate::metrics::{
+    FaultReport, LatencyHistogram, MetricsClock, MetricsReport, ShardLaneReport, ShardReport,
+};
 use crate::provider_cache::{
     quantize_tau, CacheOutcome, RoundKey, RoundOneCache, ShardProviderCache, ShardProviderKey,
 };
@@ -104,6 +143,12 @@ pub struct ShardRouterConfig {
     /// Query-path tracing + tail-sampling configuration (on by default;
     /// see [`TraceConfig`]).
     pub trace: TraceConfig,
+    /// Per-shard circuit-breaker tuning (failure threshold, cooldown).
+    pub breaker: BreakerConfig,
+    /// Capacity of the stale-answer fallback cache (last full answer per
+    /// `(k, τ, ψ)`, served with a `stale` marker when every shard fails);
+    /// **0 disables** the fallback.
+    pub stale_cache_capacity: usize,
 }
 
 impl Default for ShardRouterConfig {
@@ -114,19 +159,49 @@ impl Default for ShardRouterConfig {
             round_memo_capacity: 128,
             provider_build_threads: 1,
             trace: TraceConfig::default(),
+            breaker: BreakerConfig::default(),
+            stale_cache_capacity: 256,
         }
     }
 }
 
 impl ShardRouterConfig {
-    /// The cold reference configuration: both round-1 caches disabled, so
-    /// every query takes the full rebuild path (what the equivalence
-    /// proptests compare the cached router against).
+    /// The cold reference configuration: every cache disabled (round-1
+    /// caches *and* the stale-answer fallback), so every query takes the
+    /// full rebuild path (what the equivalence proptests compare the
+    /// cached router against).
     pub fn uncached() -> Self {
         ShardRouterConfig {
             provider_cache_capacity: 0,
             round_memo_capacity: 0,
+            stale_cache_capacity: 0,
             ..Default::default()
+        }
+    }
+}
+
+/// Fraction of a query's deadline budgeted to the round-1 scatter-gather;
+/// the remainder is reserved for the round-2 merge, so a slow shard
+/// cannot starve the merge of the surviving candidates.
+pub const ROUND1_BUDGET_FRACTION: f64 = 0.75;
+
+/// Per-query execution options for [`ShardRouter::query`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct QueryOptions {
+    /// Optional end-to-end deadline. Round 1 gets
+    /// [`ROUND1_BUDGET_FRACTION`] of it (shards that miss the budget are
+    /// treated as failed and the answer degrades), round 2 the remainder;
+    /// if nothing survives in budget the query fails with a typed
+    /// [`QueryError::DeadlineExceeded`]. `None` (the default) waits
+    /// indefinitely.
+    pub deadline: Option<Duration>,
+}
+
+impl QueryOptions {
+    /// Options carrying an end-to-end deadline.
+    pub fn with_deadline(deadline: Duration) -> QueryOptions {
+        QueryOptions {
+            deadline: Some(deadline),
         }
     }
 }
@@ -153,19 +228,119 @@ pub struct ShardedServiceAnswer {
     pub merge_micros: u64,
     /// End-to-end scatter-gather wall-clock, microseconds.
     pub total_micros: u64,
+    /// True when at least one shard's round-1 answer is missing from the
+    /// merge (failed, timed out, or skipped by an open breaker).
+    pub degraded: bool,
+    /// The shards missing from the merge, ascending (empty when not
+    /// degraded).
+    pub shards_missing: Vec<u32>,
+    /// Conservative lower bound on `utility / U_full` where `U_full` is
+    /// what the full fan-out would have achieved — `1.0` for complete
+    /// answers, computed by [`netclus::shard::degraded_utility_bound`]
+    /// from the surviving shards' coverage mass otherwise. For a
+    /// [`stale`](Self::stale) answer the bound refers to the stale epoch
+    /// it was computed at.
+    pub utility_bound: f64,
+    /// True when this is a stale-epoch fallback served because every
+    /// shard failed; [`epoch`](Self::epoch) is the epoch the answer was
+    /// originally computed at.
+    pub stale: bool,
 }
+
+/// A successful round-1 shard reply. The trajectory-id bound rides along
+/// because shard bounds can differ (a shard that never received a
+/// trajectory keeps the shorter id space) and the merge must size its
+/// inversion to the largest; `source` reports where the round-1 answer
+/// came from (memo, provider hit, coalesced wait, or build), which
+/// drives the hot/cold lane split and the trace span detail.
+struct ShardOk {
+    epoch: u64,
+    bound: usize,
+    source: Round1Source,
+    round: ShardRoundOne,
+}
+
+type ShardReplyMsg = (u32, Result<ShardOk, ShardFailure>);
 
 /// One round-1 unit of work handed to the pool.
 struct ShardTask {
     shard: u32,
     query: TopsQuery,
-    /// `(shard, epoch, traj_id_bound, source, round)` — the bound rides
-    /// along because shard bounds can differ (a shard that never received
-    /// a trajectory keeps the shorter id space) and the merge must size
-    /// its inversion to the largest; `source` reports where the round-1
-    /// answer came from (memo, provider hit, coalesced wait, or build),
-    /// which drives the hot/cold lane split and the trace span detail.
-    reply: Sender<(u32, u64, usize, Round1Source, ShardRoundOne)>,
+    /// Round-1 budget: a worker popping the task after this instant sheds
+    /// it with [`ShardFailure::TimedOut`] instead of computing an answer
+    /// the gather has already given up on.
+    deadline: Option<Instant>,
+    reply: Sender<ShardReplyMsg>,
+}
+
+/// Key of the stale-answer fallback cache: `(k, τ bits, ψ identity)` —
+/// deliberately epoch-free, the point is serving across epochs.
+type StaleKey = (usize, u64, u8, u64);
+
+fn stale_key(q: &TopsQuery) -> StaleKey {
+    let (tag, param) = crate::cache::preference_key(&q.preference);
+    (q.k, q.tau.to_bits(), tag, param)
+}
+
+/// Last full (non-degraded) answer per query shape, insertion-ordered
+/// bounded map — the fallback of last resort when every shard fails.
+struct StaleCache {
+    cap: usize,
+    map: HashMap<StaleKey, Arc<ShardedServiceAnswer>>,
+    order: VecDeque<StaleKey>,
+}
+
+impl StaleCache {
+    fn new(cap: usize) -> StaleCache {
+        StaleCache {
+            cap,
+            map: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn get(&self, key: &StaleKey) -> Option<Arc<ShardedServiceAnswer>> {
+        self.map.get(key).cloned()
+    }
+
+    fn insert(&mut self, key: StaleKey, answer: Arc<ShardedServiceAnswer>) {
+        if self.map.insert(key, answer).is_none() {
+            self.order.push_back(key);
+            if self.order.len() > self.cap {
+                if let Some(evicted) = self.order.pop_front() {
+                    self.map.remove(&evicted);
+                }
+            }
+        }
+    }
+}
+
+/// Central fault counters (breaker transition counts live on the
+/// breakers themselves and are summed into the report).
+#[derive(Default)]
+struct FaultCounters {
+    degraded_answers: AtomicU64,
+    stale_answers: AtomicU64,
+    shard_failures: AtomicU64,
+    shard_timeouts: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    breaker_skips: AtomicU64,
+    worker_panics: AtomicU64,
+    worker_respawns: AtomicU64,
+    abandoned_gathers: AtomicU64,
+    unavailable_answers: AtomicU64,
+}
+
+/// Poison-recovering mutex lock: a worker that panicked mid-task cannot
+/// take the serving path down with it — the protected state is either a
+/// plain queue (panics never happen while it is held inconsistent) or
+/// monotone counters, so inheriting the guard is always safe.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
 }
 
 struct RouterQueue {
@@ -217,6 +392,17 @@ struct RouterInner {
     tracer: Tracer,
     /// Per-shard load/heat gauges (qps EWMA, cache heat, cold fraction).
     gauges: Vec<LoadGauge>,
+    /// Per-shard circuit breakers (closed → open → half-open).
+    breakers: Vec<CircuitBreaker>,
+    /// Fast-path flag for the fault-injection hook: workers check this
+    /// one relaxed load per task and only read the plan when it is set.
+    fault_on: AtomicBool,
+    /// The installed fault plan, if any (see [`FaultPlan`]).
+    fault_plan: RwLock<Option<Arc<FaultPlan>>>,
+    /// Central fault counters (the `FaultReport` section).
+    faultc: FaultCounters,
+    /// Stale-answer fallback; `None` when disabled (capacity 0).
+    stale: Option<Mutex<StaleCache>>,
 }
 
 /// The sharded in-process query server. See the module docs.
@@ -228,11 +414,15 @@ pub struct ShardRouter {
 impl ShardRouter {
     /// Consumes a built [`ShardedNetClusIndex`], publishes each shard as
     /// epoch 0 of its own snapshot store and starts the worker pool.
+    ///
+    /// # Errors
+    /// Returns the OS error when a worker thread cannot be spawned;
+    /// already-spawned workers are stopped and joined first.
     pub fn start(
         net: Arc<RoadNetwork>,
         sharded: ShardedNetClusIndex,
         cfg: ShardRouterConfig,
-    ) -> Self {
+    ) -> std::io::Result<Self> {
         let next_id = sharded.traj_id_bound() as u64;
         let (partition, shards, replication) = sharded.into_parts();
         let stores: Vec<SnapshotStore> = shards
@@ -271,20 +461,39 @@ impl ShardRouter {
             fanout_queries: AtomicU64::new(0),
             tracer: Tracer::new(cfg.trace),
             gauges: (0..lanes).map(|_| LoadGauge::default()).collect(),
+            breakers: (0..lanes)
+                .map(|_| CircuitBreaker::new(cfg.breaker))
+                .collect(),
+            fault_on: AtomicBool::new(false),
+            fault_plan: RwLock::new(None),
+            faultc: FaultCounters::default(),
+            stale: (cfg.stale_cache_capacity > 0)
+                .then(|| Mutex::new(StaleCache::new(cfg.stale_cache_capacity))),
         });
-        let handles = (0..workers)
-            .map(|i| {
-                let inner = Arc::clone(&inner);
-                std::thread::Builder::new()
-                    .name(format!("netclus-shard-worker-{i}"))
-                    .spawn(move || worker_loop(&inner))
-                    .expect("spawn shard worker")
-            })
-            .collect();
-        ShardRouter {
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let worker_inner = Arc::clone(&inner);
+            let spawned = std::thread::Builder::new()
+                .name(format!("netclus-shard-worker-{i}"))
+                .spawn(move || worker_entry(&worker_inner));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    // Unwind the partial pool before surfacing the error.
+                    inner.stopping.store(true, Ordering::Release);
+                    lock_recover(&inner.queue).shutdown = true;
+                    inner.queue_cv.notify_all();
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(ShardRouter {
             inner,
             workers: Mutex::new(handles),
-        }
+        })
     }
 
     /// Number of shards served.
@@ -303,17 +512,46 @@ impl ShardRouter {
     }
 
     /// Answers one TOPS query with the two-round scatter-gather protocol,
-    /// blocking until the merged answer is ready.
+    /// blocking until the merged answer is ready. Equivalent to
+    /// [`ShardRouter::query`] with default options; kept for callers that
+    /// predate deadlines and degraded answers.
     pub fn query_blocking(
         &self,
-        mut query: TopsQuery,
+        query: TopsQuery,
     ) -> Result<Arc<ShardedServiceAnswer>, SubmitError> {
+        match self.query(query, &QueryOptions::default()) {
+            Ok(answer) => Ok(answer),
+            Err(QueryError::Submit(e)) => Err(e),
+            // Without a deadline the only residual failure is total shard
+            // loss with no stale fallback — serving is effectively down.
+            Err(_) => Err(SubmitError::ShuttingDown),
+        }
+    }
+
+    /// Answers one TOPS query with the two-round scatter-gather protocol.
+    ///
+    /// Fault behavior (see the module docs): shards skipped by an open
+    /// breaker or failing round 1 degrade the answer instead of failing
+    /// the query, as long as at least one shard survives; a fully-failed
+    /// fan-out is served from the stale-answer fallback when possible;
+    /// [`QueryOptions::deadline`] bounds the total wait.
+    ///
+    /// # Errors
+    /// [`QueryError::Submit`] for invalid queries or shutdown,
+    /// [`QueryError::DeadlineExceeded`] when the budget elapsed first,
+    /// [`QueryError::Unavailable`] when every shard failed and no stale
+    /// answer was cached.
+    pub fn query(
+        &self,
+        mut query: TopsQuery,
+        opts: &QueryOptions,
+    ) -> Result<Arc<ShardedServiceAnswer>, QueryError> {
         query.tau = quantize_tau(query.tau);
         validate_query(&query)?;
         let inner = &*self.inner;
         if inner.stopping.load(Ordering::Acquire) {
             inner.clock.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-            return Err(SubmitError::ShuttingDown);
+            return Err(SubmitError::ShuttingDown.into());
         }
         inner
             .clock
@@ -321,28 +559,50 @@ impl ShardRouter {
             .submitted
             .fetch_add(1, Ordering::Relaxed);
         let start = Instant::now();
+        let deadline = opts.deadline.map(|d| start + d);
+        let round1_deadline = opts
+            .deadline
+            .map(|d| start + d.mul_f64(ROUND1_BUDGET_FRACTION));
         // Span recorder: stack-held, zero-allocation; `finish` discards it
         // unless the query lands in the sampled tail.
         let mut spans = inner.tracer.begin();
 
         // Shared read guard: updates (write side) cannot interleave with
-        // the fan-out, so every shard is pinned at one lockstep epoch.
-        let _fanout = inner.update_lock.read().expect("update lock poisoned");
+        // the fan-out, so every shard is pinned at one lockstep epoch. The
+        // guard also exposes the live per-shard trajectory counts the
+        // degraded-answer bound needs.
+        let state = read_recover(&inner.update_lock);
         let lanes = inner.stores.len();
         let (tx, rx) = channel();
+        let mut outcomes: Vec<Option<Result<ShardOk, ShardFailure>>> =
+            (0..lanes).map(|_| None).collect();
+        let mut probes = vec![false; lanes];
+        let mut pending = 0usize;
         {
-            let mut queue = inner.queue.lock().expect("router queue poisoned");
+            let mut queue = lock_recover(&inner.queue);
             if queue.shutdown {
                 inner.clock.metrics.rejected.fetch_add(1, Ordering::Relaxed);
-                return Err(SubmitError::ShuttingDown);
+                return Err(SubmitError::ShuttingDown.into());
             }
             for shard in 0..lanes as u32 {
-                queue.tasks.push_back(ShardTask {
-                    shard,
-                    query,
-                    reply: tx.clone(),
-                });
-                inner.clock.metrics.queue_enter();
+                let s = shard as usize;
+                match inner.breakers[s].admit(start) {
+                    BreakerAdmit::Skip => {
+                        outcomes[s] = Some(Err(ShardFailure::BreakerOpen));
+                        inner.faultc.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                    }
+                    admit => {
+                        probes[s] = admit == BreakerAdmit::Probe;
+                        queue.tasks.push_back(ShardTask {
+                            shard,
+                            query,
+                            deadline: round1_deadline,
+                            reply: tx.clone(),
+                        });
+                        inner.clock.metrics.queue_enter();
+                        pending += 1;
+                    }
+                }
             }
         }
         inner.queue_cv.notify_all();
@@ -352,46 +612,195 @@ impl ShardRouter {
             .saturating_duration_since(spans.started())
             .as_micros() as u64;
 
-        let mut rounds: Vec<Option<(u64, usize, Round1Source, ShardRoundOne)>> =
-            (0..lanes).map(|_| None).collect();
-        for _ in 0..lanes {
-            let Ok((shard, epoch, bound, source, round)) = rx.recv() else {
-                return Err(SubmitError::ShuttingDown);
+        // Gather within the round-1 budget. Every scattered task holds a
+        // reply-sender clone, so a worker dropping its reply (injected
+        // drop, or a panicking pool during shutdown) disconnects the
+        // channel once the other shards answered — never a hang.
+        let mut timed_out = false;
+        while pending > 0 {
+            let msg = match round1_deadline {
+                None => match rx.recv() {
+                    Ok(msg) => msg,
+                    Err(_) => break,
+                },
+                Some(dl) => {
+                    let now = Instant::now();
+                    if now >= dl {
+                        timed_out = true;
+                        break;
+                    }
+                    match rx.recv_timeout(dl - now) {
+                        Ok(msg) => msg,
+                        Err(RecvTimeoutError::Timeout) => {
+                            timed_out = true;
+                            break;
+                        }
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
             };
-            rounds[shard as usize] = Some((epoch, bound, source, round));
+            let (shard, result) = msg;
+            let slot = &mut outcomes[shard as usize];
+            if slot.is_none() {
+                pending -= 1;
+            }
+            *slot = Some(result);
+        }
+        // Shards that never answered: late (budget blown) or lost.
+        for slot in outcomes.iter_mut() {
+            if slot.is_none() {
+                *slot = Some(Err(if timed_out {
+                    ShardFailure::TimedOut
+                } else {
+                    ShardFailure::Dropped
+                }));
+            }
+        }
+        // Breaker + failure accounting, exactly once per scattered task —
+        // the gather is the one place every task's fate is known.
+        let verdict_at = Instant::now();
+        for (s, slot) in outcomes.iter().enumerate() {
+            match slot.as_ref().expect("outcome classified") {
+                Ok(_) => inner.breakers[s].record_success(probes[s]),
+                Err(ShardFailure::BreakerOpen) => {}
+                Err(failure) => {
+                    if *failure == ShardFailure::TimedOut {
+                        inner.faultc.shard_timeouts.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        inner.faultc.shard_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    inner.breakers[s].record_failure(verdict_at, probes[s]);
+                }
+            }
         }
         cursor = spans.stage(Stage::Round1, cursor);
+
         let merge_start = Instant::now();
         let mut epoch = 0u64;
         let mut bound = 0usize;
         let mut all_hot = true;
-        let mut shard_micros = Vec::with_capacity(lanes);
+        let mut shard_micros = vec![0u64; lanes];
         let mut candidates = Vec::new();
         let mut instance = 0usize;
-        for (shard, slot) in rounds.into_iter().enumerate() {
-            let (e, b, source, round) = slot.expect("every shard replied");
-            if shard == 0 {
-                epoch = e;
-                instance = round.instance;
-            } else {
-                assert_eq!(e, epoch, "scatter mixed epochs {e} vs {epoch}");
+        let mut survivor_utility = 0.0f64;
+        let mut missing: Vec<u32> = Vec::new();
+        let mut failures: Vec<(u32, ShardFailure)> = Vec::new();
+        let mut first_survivor = true;
+        for (shard, slot) in outcomes.into_iter().enumerate() {
+            match slot.expect("outcome classified") {
+                Ok(ok) => {
+                    if first_survivor {
+                        epoch = ok.epoch;
+                        instance = ok.round.instance;
+                        first_survivor = false;
+                    } else {
+                        assert_eq!(
+                            ok.epoch, epoch,
+                            "scatter mixed epochs {} vs {epoch}",
+                            ok.epoch
+                        );
+                    }
+                    bound = bound.max(ok.bound);
+                    all_hot &= ok.source.is_hot();
+                    shard_micros[shard] = ok.round.elapsed.as_micros() as u64;
+                    // Child span: this shard's round-1 greedy solve (zero
+                    // for memo prefix hits — no solve ran), tagged with
+                    // the answer source.
+                    spans.child(
+                        Stage::Solve,
+                        shard as i32,
+                        ok.source.name(),
+                        round1_off,
+                        ok.round.solve_us,
+                    );
+                    survivor_utility += ok.round.local_utility;
+                    candidates.extend(ok.round.candidates);
+                }
+                Err(failure) => {
+                    missing.push(shard as u32);
+                    failures.push((shard as u32, failure));
+                }
             }
-            bound = bound.max(b);
-            all_hot &= source.is_hot();
-            shard_micros.push(round.elapsed.as_micros() as u64);
-            // Child span: this shard's round-1 greedy solve (zero for memo
-            // prefix hits — no solve ran), tagged with the answer source.
-            spans.child(
-                Stage::Solve,
-                shard as i32,
-                source.name(),
-                round1_off,
-                round.solve_us,
-            );
-            candidates.extend(round.candidates);
         }
-        let (solution, candidate_count, merge_timing) =
-            merge_candidates_timed(candidates, &query, bound);
+
+        let key = stale_key(&query);
+        if first_survivor {
+            // Nothing survived: stale fallback, then a typed error.
+            drop(state);
+            if let Some(stale) = &inner.stale {
+                if let Some(prev) = lock_recover(stale).get(&key) {
+                    inner.faultc.stale_answers.fetch_add(1, Ordering::Relaxed);
+                    inner
+                        .clock
+                        .metrics
+                        .completed
+                        .fetch_add(1, Ordering::Relaxed);
+                    inner.clock.metrics.latency.record(start.elapsed());
+                    let mut answer = (*prev).clone();
+                    answer.stale = true;
+                    answer.degraded = true;
+                    answer.shards_missing = missing;
+                    answer.total_micros = start.elapsed().as_micros() as u64;
+                    return Ok(Arc::new(answer));
+                }
+            }
+            if timed_out {
+                inner
+                    .faultc
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(QueryError::DeadlineExceeded {
+                    deadline: opts.deadline.expect("timeout implies a deadline"),
+                });
+            }
+            inner
+                .faultc
+                .unavailable_answers
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(QueryError::Unavailable { failures });
+        }
+        // Round 2 runs on the remaining budget; if nothing remains the
+        // query is already late — fail typed instead of merging anyway.
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                inner
+                    .faultc
+                    .deadline_exceeded
+                    .fetch_add(1, Ordering::Relaxed);
+                return Err(QueryError::DeadlineExceeded {
+                    deadline: opts.deadline.expect("deadline present"),
+                });
+            }
+        }
+
+        let degraded = !missing.is_empty();
+        let (solution, candidate_count, merge_timing, utility_bound) = if degraded {
+            // Upper-bound each missing shard's lost utility by its live
+            // trajectory mass (every ψ score is in [0, 1]); the per-shard
+            // counts come from the replication gauges under the same read
+            // guard the fan-out holds, so they match the pinned epoch.
+            let missing_mass: f64 = missing
+                .iter()
+                .map(|&s| {
+                    state
+                        .replication
+                        .per_shard
+                        .get(s as usize)
+                        .copied()
+                        .unwrap_or(0) as f64
+                })
+                .sum();
+            inner
+                .faultc
+                .degraded_answers
+                .fetch_add(1, Ordering::Relaxed);
+            let m =
+                merge_candidates_subset(candidates, &query, bound, survivor_utility, missing_mass);
+            (m.solution, m.candidates, m.timing, m.utility_bound)
+        } else {
+            let (solution, n, timing) = merge_candidates_timed(candidates, &query, bound);
+            (solution, n, timing, 1.0)
+        };
         let merge_off = cursor
             .saturating_duration_since(spans.started())
             .as_micros() as u64;
@@ -432,7 +841,7 @@ impl ShardRouter {
             },
         );
 
-        Ok(Arc::new(ShardedServiceAnswer {
+        let answer = Arc::new(ShardedServiceAnswer {
             epoch,
             covered: solution.covered,
             utility: solution.utility,
@@ -442,7 +851,76 @@ impl ShardRouter {
             shard_micros,
             merge_micros: merge_start.elapsed().as_micros() as u64,
             total_micros: start.elapsed().as_micros() as u64,
-        }))
+            degraded,
+            shards_missing: missing,
+            utility_bound,
+            stale: false,
+        });
+        // Only full answers refresh the stale fallback — a degraded
+        // answer must not mask a better earlier one.
+        if !degraded {
+            if let Some(stale) = &inner.stale {
+                lock_recover(stale).insert(key, Arc::clone(&answer));
+            }
+        }
+        Ok(answer)
+    }
+
+    /// Installs (or clears, with `None`) the fault-injection plan the
+    /// workers consult per round-1 task. Zero-cost when cleared: workers
+    /// check one relaxed atomic before touching the plan. The query-path
+    /// sibling of the ingest publisher's `set_publish_stall`.
+    pub fn set_fault_plan(&self, plan: Option<FaultPlan>) {
+        let mut slot = self
+            .inner
+            .fault_plan
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        self.inner.fault_on.store(plan.is_some(), Ordering::Release);
+        *slot = plan.map(Arc::new);
+    }
+
+    /// Point-in-time per-shard breaker snapshots, in shard order.
+    pub fn breaker_snapshots(&self) -> Vec<BreakerSnapshot> {
+        self.inner
+            .breakers
+            .iter()
+            .map(CircuitBreaker::snapshot)
+            .collect()
+    }
+
+    /// Single-line JSON of every shard's breaker state — the payload of
+    /// the telemetry `breakers` command.
+    pub fn breakers_json(&self) -> String {
+        let snaps = self.breaker_snapshots();
+        let mut s = String::from("{");
+        let push_u64 = |s: &mut String, key: &str, v: u64| {
+            s.push('"');
+            s.push_str(key);
+            s.push_str("\":");
+            s.push_str(&v.to_string());
+            s.push(',');
+        };
+        push_u64(&mut s, "shards", snaps.len() as u64);
+        let open = snaps
+            .iter()
+            .filter(|b| b.state == crate::fault::BreakerState::Open)
+            .count();
+        push_u64(&mut s, "open", open as u64);
+        for (i, snap) in snaps.iter().enumerate() {
+            s.push_str(&format!("\"breaker{i}_state\":\"{}\",", snap.state.name()));
+            push_u64(
+                &mut s,
+                &format!("breaker{i}_consecutive_failures"),
+                u64::from(snap.consecutive_failures),
+            );
+            push_u64(&mut s, &format!("breaker{i}_opens"), snap.opens);
+            push_u64(&mut s, &format!("breaker{i}_probes"), snap.probes);
+            push_u64(&mut s, &format!("breaker{i}_closes"), snap.closes);
+        }
+        s.pop();
+        s.push('}');
+        s
     }
 
     /// Applies an update batch: trajectory adds receive router-assigned
@@ -453,7 +931,10 @@ impl ShardRouter {
     pub fn apply_updates(&self, batch: UpdateBatch) -> UpdateReceipt {
         let inner = &*self.inner;
         let t = Instant::now();
-        let mut state = inner.update_lock.write().expect("update lock poisoned");
+        let mut state = inner
+            .update_lock
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
         let lanes = inner.stores.len();
         let snaps: Vec<_> = inner.stores.iter().map(SnapshotStore::load).collect();
         let mut routed: Vec<Vec<RoutedOp>> = (0..lanes).map(|_| Vec::new()).collect();
@@ -589,7 +1070,7 @@ impl ShardRouter {
     /// A point-in-time report with the scatter-gather section filled.
     pub fn metrics_report(&self) -> MetricsReport {
         let inner = &*self.inner;
-        let state = inner.update_lock.read().expect("update lock poisoned");
+        let state = read_recover(&inner.update_lock);
         let replication = state.replication.clone();
         drop(state);
         let provider_stats = inner
@@ -636,6 +1117,7 @@ impl ShardRouter {
             trajectories: replication.trajectories as u64,
             boundary_trajs: replication.boundary as u64,
             replicas: replication.replicas as u64,
+            fault: self.fault_report(),
         });
         report.process.arena_resident_bytes = Some(
             inner
@@ -663,15 +1145,51 @@ impl ShardRouter {
         &self.inner.tracer
     }
 
+    /// The current [`FaultReport`]: central fault counters plus summed
+    /// breaker transitions and the number of currently-open breakers.
+    pub fn fault_report(&self) -> FaultReport {
+        let inner = &*self.inner;
+        let c = &inner.faultc;
+        let mut opens = 0u64;
+        let mut probes = 0u64;
+        let mut closes = 0u64;
+        let mut open_shards = 0u64;
+        for breaker in &inner.breakers {
+            let snap = breaker.snapshot();
+            opens += snap.opens;
+            probes += snap.probes;
+            closes += snap.closes;
+            if snap.state == crate::fault::BreakerState::Open {
+                open_shards += 1;
+            }
+        }
+        FaultReport {
+            degraded_answers: c.degraded_answers.load(Ordering::Relaxed),
+            stale_answers: c.stale_answers.load(Ordering::Relaxed),
+            shard_failures: c.shard_failures.load(Ordering::Relaxed),
+            shard_timeouts: c.shard_timeouts.load(Ordering::Relaxed),
+            deadline_exceeded: c.deadline_exceeded.load(Ordering::Relaxed),
+            breaker_opens: opens,
+            breaker_probes: probes,
+            breaker_closes: closes,
+            breaker_skips: c.breaker_skips.load(Ordering::Relaxed),
+            breaker_open_shards: open_shards,
+            worker_panics: c.worker_panics.load(Ordering::Relaxed),
+            worker_respawns: c.worker_respawns.load(Ordering::Relaxed),
+            abandoned_gathers: c.abandoned_gathers.load(Ordering::Relaxed),
+            unavailable_answers: c.unavailable_answers.load(Ordering::Relaxed),
+        }
+    }
+
     /// Stops the workers and joins them. Idempotent; also run by `Drop`.
     pub fn shutdown(&self) {
         self.inner.stopping.store(true, Ordering::Release);
         {
-            let mut queue = self.inner.queue.lock().expect("router queue poisoned");
+            let mut queue = lock_recover(&self.inner.queue);
             queue.shutdown = true;
         }
         self.inner.queue_cv.notify_all();
-        let mut workers = self.workers.lock().expect("workers lock poisoned");
+        let mut workers = lock_recover(&self.workers);
         for handle in workers.drain(..) {
             let _ = handle.join();
         }
@@ -681,6 +1199,70 @@ impl ShardRouter {
 impl Drop for ShardRouter {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Guards one task's reply sender: however the task ends — normal reply,
+/// injected error, shed, or a panic unwinding through the worker — the
+/// gather hears something typed, or the drop is accounted.
+struct ReplyGuard<'a> {
+    reply: Option<Sender<ShardReplyMsg>>,
+    shard: u32,
+    abandoned: &'a AtomicU64,
+}
+
+impl ReplyGuard<'_> {
+    /// Sends the task's outcome. A failed send means the gather stopped
+    /// listening (deadline given up, client gone) — counted as an
+    /// abandoned gather instead of silently ignored.
+    fn send(mut self, result: Result<ShardOk, ShardFailure>) {
+        if let Some(tx) = self.reply.take() {
+            if tx.send((self.shard, result)).is_err() {
+                self.abandoned.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Drops the reply without sending — only for the injected
+    /// [`FaultAction::Drop`](crate::fault::FaultAction::Drop), which
+    /// models exactly this.
+    fn disarm(mut self) {
+        self.reply = None;
+    }
+}
+
+impl Drop for ReplyGuard<'_> {
+    fn drop(&mut self) {
+        // Reached with the sender still armed only when a panic unwinds
+        // through the task: convert the crash into a typed failure so the
+        // gather never hangs on a dead worker.
+        if let Some(tx) = self.reply.take() {
+            if tx.send((self.shard, Err(ShardFailure::Panicked))).is_err() {
+                self.abandoned.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Worker thread entry: supervises [`worker_loop`]. A panic (injected or
+/// organic) unwinds out of the loop — the in-flight task already replied
+/// `Panicked` via its [`ReplyGuard`] — and the supervisor counts it and
+/// respawns the loop with fresh scratch, so one poisoned task never costs
+/// a worker. `catch_unwind` is safe code; the loop state it discards is
+/// per-iteration only.
+fn worker_entry(inner: &RouterInner) {
+    loop {
+        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| worker_loop(inner)));
+        match run {
+            Ok(()) => return,
+            Err(_) => {
+                inner.faultc.worker_panics.fetch_add(1, Ordering::Relaxed);
+                if inner.stopping.load(Ordering::Acquire) {
+                    return;
+                }
+                inner.faultc.worker_respawns.fetch_add(1, Ordering::Relaxed);
+            }
+        }
     }
 }
 
@@ -698,11 +1280,16 @@ impl Drop for ShardRouter {
 ///
 /// A task is *hot* when it performed no provider build (paths 1, and 2 on
 /// a hit; a coalesced wait rides a build, so it counts cold).
+///
+/// Before any of that, the task passes the fault hook (an installed
+/// [`FaultPlan`] may delay, fail, panic, or drop it) and the deadline
+/// shed (a task popped after its round-1 budget replies `TimedOut`
+/// instead of computing an answer the gather has abandoned).
 fn worker_loop(inner: &RouterInner) {
     let mut scratch = ProviderScratch::default();
     loop {
         let task = {
-            let mut queue = inner.queue.lock().expect("router queue poisoned");
+            let mut queue = lock_recover(&inner.queue);
             loop {
                 if let Some(task) = queue.tasks.pop_front() {
                     break task;
@@ -710,19 +1297,66 @@ fn worker_loop(inner: &RouterInner) {
                 if queue.shutdown {
                     return;
                 }
-                queue = inner.queue_cv.wait(queue).expect("router queue poisoned");
+                queue = inner
+                    .queue_cv
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         inner.clock.metrics.queue_exit(1);
-        let snap = inner.stores[task.shard as usize].load();
+        let ShardTask {
+            shard,
+            query,
+            deadline,
+            reply,
+        } = task;
+        let lane = shard as usize;
+        // Per-shard task sequence number: drives both the lane query
+        // counter and the fault plan's scheduled windows.
+        let seq = inner.shard_tasks[lane].fetch_add(1, Ordering::Relaxed);
+        let guard = ReplyGuard {
+            reply: Some(reply),
+            shard,
+            abandoned: &inner.faultc.abandoned_gathers,
+        };
+        // Fault-injection hook: one relaxed load when disabled.
+        if inner.fault_on.load(Ordering::Acquire) {
+            let plan = read_recover(&inner.fault_plan).clone();
+            if let Some(action) = plan.and_then(|p| p.decide(shard, seq)) {
+                use crate::fault::FaultAction;
+                match action {
+                    FaultAction::Delay(d) => std::thread::sleep(d),
+                    FaultAction::Error => {
+                        guard.send(Err(ShardFailure::Injected));
+                        continue;
+                    }
+                    FaultAction::Panic => {
+                        panic!("injected panic: shard {shard} task {seq}")
+                    }
+                    FaultAction::Drop => {
+                        guard.disarm();
+                        continue;
+                    }
+                }
+            }
+        }
+        // Deadline shed: the gather stops listening at the round-1
+        // budget; don't compute an answer nobody will read.
+        if let Some(dl) = deadline {
+            if Instant::now() >= dl {
+                guard.send(Err(ShardFailure::TimedOut));
+                continue;
+            }
+        }
+        let snap = inner.stores[lane].load();
         let epoch = snap.epoch();
         let bound = snap.trajs().id_bound();
-        let query = &task.query;
+        let query = &query;
         let t = Instant::now();
         let memo_key = inner
             .rounds
             .as_ref()
-            .map(|_| RoundKey::new(epoch, task.shard, query.tau, &query.preference));
+            .map(|_| RoundKey::new(epoch, shard, query.tau, &query.preference));
         let memoized = match (&inner.rounds, &memo_key) {
             (Some(rounds), Some(key)) => rounds.lookup(key, query.k),
             _ => None,
@@ -733,7 +1367,7 @@ fn worker_loop(inner: &RouterInner) {
                 let (round, source) = match &inner.providers {
                     Some(providers) => {
                         let p = snap.index().instance_for(query.tau);
-                        let key = ShardProviderKey::new(epoch, task.shard, p, query.tau);
+                        let key = ShardProviderKey::new(epoch, shard, p, query.tau);
                         let (provider, outcome) = providers.get_or_build(key, || {
                             let build_start = Instant::now();
                             let built = ClusteredProvider::build_with(
@@ -768,11 +1402,14 @@ fn worker_loop(inner: &RouterInner) {
                 (round, source)
             }
         };
-        inner.shard_latency[task.shard as usize].record(t.elapsed());
-        inner.shard_tasks[task.shard as usize].fetch_add(1, Ordering::Relaxed);
-        inner.gauges[task.shard as usize].observe(source);
-        // A gather that vanished (client gone) is fine to ignore.
-        let _ = task.reply.send((task.shard, epoch, bound, source, round));
+        inner.shard_latency[lane].record(t.elapsed());
+        inner.gauges[lane].observe(source);
+        guard.send(Ok(ShardOk {
+            epoch,
+            bound,
+            source,
+            round,
+        }));
     }
 }
 
@@ -831,7 +1468,8 @@ mod tests {
                 workers,
                 ..Default::default()
             },
-        );
+        )
+        .expect("start router");
         (router, net, trajs, sites)
     }
 
@@ -954,6 +1592,7 @@ mod tests {
             let partition = RegionPartition::build(&net, 2);
             let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, cfg);
             ShardRouter::start(Arc::clone(&net), sharded, ShardRouterConfig::uncached())
+                .expect("start router")
         };
         // Query 1 (k=3): cold — both shards build providers.
         // Query 2 (k=3, same τ): memo hit on both shards.
@@ -1063,6 +1702,247 @@ mod tests {
             }
         });
         assert_eq!(router.epoch(), 20);
+        router.shutdown();
+    }
+
+    use crate::fault::{BreakerState, FaultAction, FaultRule};
+
+    #[test]
+    fn injected_error_degrades_with_a_conservative_bound() {
+        let (router, ..) = router(2);
+        let q = TopsQuery::binary(2, 800.0);
+        router.set_fault_plan(Some(
+            FaultPlan::new(7).with_rule(FaultRule::always(1, FaultAction::Error)),
+        ));
+        let degraded = router.query(q, &QueryOptions::default()).unwrap();
+        assert!(degraded.degraded);
+        assert!(!degraded.stale);
+        assert_eq!(degraded.shards_missing, vec![1]);
+        assert!(degraded.utility > 0.0, "survivor still answers");
+        // The bound must be conservative against the true achieved ratio.
+        router.set_fault_plan(None);
+        let full = router.query(q, &QueryOptions::default()).unwrap();
+        assert!(!full.degraded);
+        assert_eq!(full.utility_bound, 1.0);
+        let true_ratio = degraded.utility / full.utility;
+        assert!(
+            degraded.utility_bound >= 0.0 && degraded.utility_bound <= 1.0,
+            "bound out of range: {}",
+            degraded.utility_bound
+        );
+        assert!(
+            degraded.utility_bound <= true_ratio + 1e-9,
+            "bound {} exceeds true ratio {true_ratio}",
+            degraded.utility_bound
+        );
+        assert!(true_ratio <= 1.0 + 1e-9);
+        let fault = router.fault_report();
+        assert_eq!(fault.degraded_answers, 1);
+        assert!(fault.shard_failures >= 1);
+        router.shutdown();
+    }
+
+    #[test]
+    fn full_outage_serves_stale_then_fails_typed() {
+        let (router, ..) = router(2);
+        let q = TopsQuery::binary(2, 800.0);
+        // Warm the stale fallback with a full answer for this shape.
+        let fresh = router.query(q, &QueryOptions::default()).unwrap();
+        router.set_fault_plan(Some(
+            FaultPlan::new(1)
+                .with_rule(FaultRule::always(0, FaultAction::Error))
+                .with_rule(FaultRule::always(1, FaultAction::Error)),
+        ));
+        let stale = router.query(q, &QueryOptions::default()).unwrap();
+        assert!(stale.stale && stale.degraded);
+        assert_eq!(stale.shards_missing, vec![0, 1]);
+        assert_eq!(
+            stale.sites, fresh.sites,
+            "stale answer replays the cached one"
+        );
+        assert_eq!(stale.epoch, fresh.epoch);
+        // A shape never answered before has no fallback: typed error.
+        match router.query(TopsQuery::binary(3, 800.0), &QueryOptions::default()) {
+            Err(QueryError::Unavailable { failures }) => {
+                assert_eq!(failures.len(), 2);
+                assert!(failures.iter().all(|(_, f)| *f == ShardFailure::Injected));
+            }
+            other => panic!("expected Unavailable, got {other:?}"),
+        }
+        let fault = router.fault_report();
+        assert_eq!(fault.stale_answers, 1);
+        assert_eq!(fault.unavailable_answers, 1);
+        router.shutdown();
+    }
+
+    #[test]
+    fn deadline_bounds_the_wait_with_a_typed_error() {
+        let (router, ..) = router(2);
+        let q = TopsQuery::binary(2, 800.0);
+        router.set_fault_plan(Some(
+            FaultPlan::new(3)
+                .with_rule(FaultRule::always(
+                    0,
+                    FaultAction::Delay(Duration::from_millis(400)),
+                ))
+                .with_rule(FaultRule::always(
+                    1,
+                    FaultAction::Delay(Duration::from_millis(400)),
+                )),
+        ));
+        let start = Instant::now();
+        let opts = QueryOptions::with_deadline(Duration::from_millis(60));
+        match router.query(q, &opts) {
+            Err(QueryError::DeadlineExceeded { deadline }) => {
+                assert_eq!(deadline, Duration::from_millis(60));
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        assert!(
+            start.elapsed() < Duration::from_millis(350),
+            "query blocked past its budget: {:?}",
+            start.elapsed()
+        );
+        assert!(router.fault_report().deadline_exceeded >= 1);
+        // Once the delayed workers wake, their replies land on a gather
+        // that already returned — counted, not silently ignored.
+        router.set_fault_plan(None);
+        let woke = Instant::now() + Duration::from_secs(5);
+        while router.fault_report().abandoned_gathers == 0 && Instant::now() < woke {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        assert!(router.fault_report().abandoned_gathers >= 1);
+        // The pool is healthy again afterwards.
+        let ok = router.query(q, &QueryOptions::with_deadline(Duration::from_secs(30)));
+        assert!(ok.unwrap().sites.len() == 2);
+        router.shutdown();
+    }
+
+    #[test]
+    fn slow_shard_degrades_within_the_budget() {
+        let (router, ..) = router(2);
+        let q = TopsQuery::binary(2, 800.0);
+        router.set_fault_plan(Some(FaultPlan::new(5).with_rule(FaultRule::always(
+            1,
+            FaultAction::Delay(Duration::from_millis(500)),
+        ))));
+        let answer = router
+            .query(q, &QueryOptions::with_deadline(Duration::from_millis(150)))
+            .unwrap();
+        assert!(answer.degraded);
+        assert_eq!(answer.shards_missing, vec![1]);
+        assert!(answer.utility_bound <= 1.0);
+        assert!(router.fault_report().shard_timeouts >= 1);
+        router.shutdown();
+    }
+
+    #[test]
+    fn panicked_worker_is_typed_and_the_pool_respawns() {
+        let (router, ..) = router(2);
+        let q = TopsQuery::binary(2, 800.0);
+        // Panic exactly once: shard 1's first task (seq 0) only.
+        router.set_fault_plan(Some(FaultPlan::new(11).with_rule(FaultRule::outage(
+            1,
+            FaultAction::Panic,
+            0,
+            1,
+        ))));
+        let degraded = router.query(q, &QueryOptions::default()).unwrap();
+        assert!(degraded.degraded, "panic must degrade, not wedge");
+        assert_eq!(degraded.shards_missing, vec![1]);
+        // The respawned worker serves shard 1 again (seq 1 is clean).
+        let healed = router.query(q, &QueryOptions::default()).unwrap();
+        assert!(!healed.degraded);
+        // The typed reply races the supervisor's bookkeeping (the guard
+        // fires during the unwind, before catch_unwind lands) — wait for
+        // the counters rather than sampling them.
+        let until = Instant::now() + Duration::from_secs(5);
+        while router.fault_report().worker_respawns == 0 && Instant::now() < until {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let fault = router.fault_report();
+        assert_eq!(fault.worker_panics, 1);
+        assert_eq!(fault.worker_respawns, 1);
+        router.shutdown();
+    }
+
+    #[test]
+    fn breaker_opens_skips_and_recovers_through_a_probe() {
+        let (net, trajs, sites, partition) = fixture();
+        let cfg = NetClusConfig {
+            tau_min: 200.0,
+            tau_max: 3_000.0,
+            threads: 1,
+            ..Default::default()
+        };
+        let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, cfg);
+        let router = ShardRouter::start(
+            Arc::clone(&net),
+            sharded,
+            ShardRouterConfig {
+                workers: 2,
+                breaker: BreakerConfig {
+                    failure_threshold: 1,
+                    cooldown: Duration::from_millis(40),
+                },
+                ..Default::default()
+            },
+        )
+        .expect("start router");
+        let q = TopsQuery::binary(2, 800.0);
+        router.set_fault_plan(Some(
+            FaultPlan::new(2).with_rule(FaultRule::always(1, FaultAction::Error)),
+        ));
+        // Failure 1 trips the threshold-1 breaker open.
+        let first = router.query(q, &QueryOptions::default()).unwrap();
+        assert!(first.degraded);
+        assert_eq!(router.breaker_snapshots()[1].state, BreakerState::Open);
+        // While open and inside the cooldown, the shard is skipped at
+        // scatter — no task is even queued for it.
+        let skipped = router.query(q, &QueryOptions::default()).unwrap();
+        assert!(skipped.degraded);
+        assert!(router.fault_report().breaker_skips >= 1);
+        // Recovery: clear the faults, wait out the cooldown; the next
+        // query rides a half-open probe and closes the breaker.
+        router.set_fault_plan(None);
+        std::thread::sleep(Duration::from_millis(50));
+        let probed = router.query(q, &QueryOptions::default()).unwrap();
+        assert!(!probed.degraded, "successful probe restores the shard");
+        let snap = &router.breaker_snapshots()[1];
+        assert_eq!(snap.state, BreakerState::Closed);
+        assert!(snap.opens >= 1 && snap.probes >= 1 && snap.closes >= 1);
+        let fault = router.fault_report();
+        assert!(fault.breaker_opens >= 1);
+        assert!(fault.breaker_closes >= 1);
+        assert_eq!(fault.breaker_open_shards, 0);
+        // The telemetry payload reflects the recovered state.
+        let json = router.breakers_json();
+        assert!(json.contains("\"shards\":2"), "{json}");
+        assert!(json.contains("\"open\":0"), "{json}");
+        assert!(json.contains("\"breaker1_state\":\"closed\""), "{json}");
+        router.shutdown();
+    }
+
+    #[test]
+    fn fault_counters_flow_into_flight_series() {
+        let (router, ..) = router(1);
+        router.set_fault_plan(Some(
+            FaultPlan::new(9).with_rule(FaultRule::always(1, FaultAction::Error)),
+        ));
+        router
+            .query(TopsQuery::binary(1, 600.0), &QueryOptions::default())
+            .unwrap();
+        let sample = router.flight_sample();
+        let get = |key: &str| {
+            sample
+                .iter()
+                .find(|(k, _)| k == key)
+                .unwrap_or_else(|| panic!("{key} missing from flight sample"))
+                .1
+        };
+        assert_eq!(get("degraded_answers"), 1.0);
+        assert!(get("shard_failures") >= 1.0);
+        assert_eq!(get("breaker_opens"), 0.0);
         router.shutdown();
     }
 }

@@ -16,9 +16,12 @@
 //! | `history <series> [window]` | retained `[t, v]` points of one recorder series        |
 //! | `rates`                     | per-second rate of every series over the last tick     |
 //! | `health`                    | SLO evaluation: verdict + per-rule detail              |
+//! | `breakers`                  | per-shard circuit-breaker states and counters          |
 //!
 //! `history`/`rates`/`health` answer `{"error":"no flight recorder"}`
-//! unless the source was built [`TelemetrySource::with_flight`].
+//! unless the source was built [`TelemetrySource::with_flight`];
+//! `breakers` answers `{"error":"no circuit breakers"}` unless built
+//! [`TelemetrySource::with_breakers`] (the router path).
 //!
 //! Unknown commands get `{"error":"unknown command"}` rather than a
 //! dropped connection, so probes stay debuggable. Responses are rendered
@@ -63,6 +66,7 @@ pub struct TelemetrySource {
     stages: Render,
     slow: Render,
     flight: Option<(Arc<FlightRecorder>, HealthEvaluator)>,
+    breakers: Option<Render>,
 }
 
 impl std::fmt::Debug for TelemetrySource {
@@ -84,6 +88,7 @@ impl TelemetrySource {
             stages: Box::new(stages),
             slow: Box::new(slow),
             flight: None,
+            breakers: None,
         }
     }
 
@@ -92,6 +97,15 @@ impl TelemetrySource {
     #[must_use]
     pub fn with_flight(mut self, recorder: Arc<FlightRecorder>, health: HealthEvaluator) -> Self {
         self.flight = Some((recorder, health));
+        self
+    }
+
+    /// Attaches a circuit-breaker snapshot renderer (the router's
+    /// [`crate::ShardRouter::breakers_json`]), enabling the `breakers`
+    /// command.
+    #[must_use]
+    pub fn with_breakers(mut self, breakers: impl Fn() -> String + Send + Sync + 'static) -> Self {
+        self.breakers = Some(Box::new(breakers));
         self
     }
 
@@ -118,6 +132,10 @@ impl TelemetrySource {
             Some("health") => match &self.flight {
                 None => no_recorder(),
                 Some((recorder, health)) => health.evaluate(recorder).to_json_line(),
+            },
+            Some("breakers") => match &self.breakers {
+                None => "{\"error\":\"no circuit breakers\"}".to_string(),
+                Some(render) => render(),
             },
             _ => "{\"error\":\"unknown command\"}".to_string(),
         }
@@ -321,8 +339,22 @@ mod tests {
             fetch(addr, "history qps").unwrap(),
             "{\"error\":\"no flight recorder\"}"
         );
+        assert_eq!(
+            fetch(addr, "breakers").unwrap(),
+            "{\"error\":\"no circuit breakers\"}"
+        );
         server.shutdown();
         server.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn serves_breaker_snapshots_when_attached() {
+        let source = test_source().with_breakers(|| "{\"shards\":2,\"open\":1}".to_string());
+        let server = TelemetryServer::start("127.0.0.1:0", source).unwrap();
+        assert_eq!(
+            fetch(server.addr(), "breakers").unwrap(),
+            "{\"shards\":2,\"open\":1}"
+        );
     }
 
     #[test]

@@ -51,7 +51,7 @@ fn start_service() -> NetClusService {
             ..Default::default()
         },
     );
-    NetClusService::start(net, trajs, index, ServiceConfig::default())
+    NetClusService::start(net, trajs, index, ServiceConfig::default()).expect("start service")
 }
 
 fn wait_for(deadline: Duration, mut check: impl FnMut() -> bool) -> bool {

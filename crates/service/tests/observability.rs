@@ -72,7 +72,8 @@ fn run_router(trace: TraceConfig) -> ShardRouter {
             trace,
             ..Default::default()
         },
-    );
+    )
+    .expect("start router");
     for round in 0..2 {
         if round > 0 {
             router.apply_updates(vec![UpdateOp::AddTrajectory(Trajectory::new(vec![
@@ -113,6 +114,7 @@ fn every_incremented_shard_counter_serializes() {
         trajectories,
         boundary_trajs,
         replicas,
+        fault,
     } = report.shards.expect("router report has a shard section");
 
     let has = |key: &str, v: String| {
@@ -146,6 +148,13 @@ fn every_incremented_shard_counter_serializes() {
     has("shard_trajectories", trajectories.to_string());
     has("boundary_trajs", boundary_trajs.to_string());
     has("shard_replicas", replicas.to_string());
+    // A fault-free run serializes an all-zero fault section — the keys
+    // must be present (flight series exist from tick one) and zero.
+    has("degraded_answers", fault.degraded_answers.to_string());
+    has("breaker_opens", fault.breaker_opens.to_string());
+    has("worker_panics", fault.worker_panics.to_string());
+    has("abandoned_gathers", fault.abandoned_gathers.to_string());
+    assert_eq!(fault, netclus_service::FaultReport::default());
 
     assert_eq!(lanes.len(), REGIONS, "one lane per shard");
     for lane in &lanes {
@@ -259,7 +268,8 @@ fn executor_tracer_covers_the_query_lifecycle() {
             },
             ..Default::default()
         },
-    );
+    )
+    .expect("start service");
     for &tau in &[600.0, 900.0] {
         for k in [3usize, 5, 3] {
             service

@@ -195,12 +195,14 @@ proptest! {
                 Arc::clone(&shared_net),
                 build(),
                 ShardRouterConfig::default(),
-            );
+            )
+            .expect("start router");
             let cold = ShardRouter::start(
                 Arc::clone(&shared_net),
                 build(),
                 ShardRouterConfig::uncached(),
-            );
+            )
+            .expect("start router");
             for (epoch, wants) in expected.iter().enumerate() {
                 if epoch > 0 {
                     let batch = &batches[epoch - 1];

@@ -87,15 +87,18 @@ fn main() {
     );
 
     // Online phase: start the service and race queries against updates.
-    let service = Arc::new(NetClusService::start(
-        scenario.net,
-        scenario.trajectories,
-        index,
-        ServiceConfig {
-            workers: WORKERS,
-            ..Default::default()
-        },
-    ));
+    let service = Arc::new(
+        NetClusService::start(
+            scenario.net,
+            scenario.trajectories,
+            index,
+            ServiceConfig {
+                workers: WORKERS,
+                ..Default::default()
+            },
+        )
+        .expect("start service"),
+    );
     println!("[serve] {WORKERS} workers up; epoch {}", service.epoch());
 
     // Live telemetry: a std-only framed TCP endpoint over the same

@@ -141,11 +141,10 @@ fn main() {
 
     // Serve through the router with live updates.
     let net = Arc::new(scenario.net.clone());
-    let router = Arc::new(ShardRouter::start(
-        Arc::clone(&net),
-        sharded,
-        ShardRouterConfig::default(),
-    ));
+    let router = Arc::new(
+        ShardRouter::start(Arc::clone(&net), sharded, ShardRouterConfig::default())
+            .expect("start router"),
+    );
     // Telemetry endpoint, live for the whole serving phase.
     let mut telemetry_server = TelemetryServer::start(
         "127.0.0.1:0",

@@ -72,6 +72,7 @@ fn build_service() -> NetClusService {
             ..Default::default()
         },
     )
+    .expect("start service")
 }
 
 #[test]
