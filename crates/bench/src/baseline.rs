@@ -104,6 +104,22 @@ pub fn gated_metrics(prefix: &str) -> Vec<GatedMetric> {
             // shape as `slo_health_ok`: any dropped query fails the gate.
             higher("availability_ok", 0.0),
         ],
+        "BENCH_CLUSTER_RPC" => vec![
+            // 1 = every answer of the loopback-TCP cluster lane matched
+            // the in-process router bit-for-bit (sites and utility bits).
+            // Same 0/1 shape as `slo_health_ok`: with tolerance 0.25 the
+            // limit is 0.75, so any divergence (0) fails the gate.
+            higher("bit_identical", 0.0),
+            // 1 = every query across the hard shard-server shutdown was
+            // answered — degraded partial merges count, errors do not.
+            higher("availability_ok", 0.0),
+            // The warm remote serving path: a dashboard fan-out over four
+            // persistent framed-TCP connections with the server-side
+            // caches hot. Generous floor — the RPC round trip sits well
+            // under a millisecond on loopback, and sub-ms medians flutter
+            // on shared CI runners.
+            lower("remote_hot_p50_us", 2_000.0),
+        ],
         _ => Vec::new(),
     }
 }

@@ -6,13 +6,17 @@
 //! fan-outs ride the per-shard provider cache and the round-1 candidate
 //! memo on a dashboard-style stream of recurring `(k, τ)` shapes.
 //!
-//! Prints four tables, writes `results/shard{,_quality,_router}.csv`
-//! (the router CSV carries one row per lane), and emits a
-//! `BENCH_SHARD_SCALING` single-line JSON record (per-shard-count build
-//! work, replication factor, sharded-vs-monolithic utility ratio, hot and
-//! cold router latency lanes, round-1 cache hit rate) consumed by the CI
-//! perf-regression gate. The `speedup_potential_s*` figures are
-//! informational-only — see `crate::baseline`.
+//! Prints the scaling/quality/latency/fault/cluster tables, writes
+//! `results/shard{,_quality,_router,_faults,_cluster}.csv`, and emits two
+//! gated single-line JSON records consumed by the CI perf-regression
+//! gate: `BENCH_SHARD_SCALING` (per-shard-count build work, replication
+//! factor, sharded-vs-monolithic utility ratio, hot and cold router
+//! latency lanes, round-1 cache hit rate, fault-lane availability) and
+//! `BENCH_CLUSTER_RPC` (the same corpus served through real loopback-TCP
+//! shard servers: remote hot/cold lanes, RPC overhead vs in-process,
+//! transport counters, and availability across a hard shard-server
+//! shutdown). The `speedup_potential_s*` figures are informational-only —
+//! see `crate::baseline`.
 
 use std::time::{Duration, Instant};
 
@@ -20,7 +24,8 @@ use netclus::prelude::*;
 use netclus_roadnet::{NodeId, RegionPartition};
 use netclus_service::{
     BreakerConfig, FaultAction, FaultPlan, FaultRule, FlightConfig, FlightRecorder,
-    HealthEvaluator, Severity, ShardRouter, ShardRouterConfig, SloRule, UpdateOp,
+    HealthEvaluator, RemoteShardConfig, Severity, ShardRouter, ShardRouterConfig, ShardServer,
+    ShardServerConfig, SloRule, SnapshotStore, UpdateOp,
 };
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -491,6 +496,222 @@ pub fn run(ctx: &mut Ctx) {
         &frows,
     );
     ctx.write_csv("shard_faults", &fheader, &frows);
+
+    // ---- Part 5: cluster RPC lane — remote scatter over loopback TCP ---
+    //
+    // The cross-process serving path of `ShardRouter::connect`: every
+    // shard behind a `ShardServer` (its own provider/memo caches behind
+    // length-prefixed CRC-framed TCP) and the router scattering round 1
+    // through persistent connections. An in-process router over the
+    // *identical* corpus (the sharded build is deterministic, so a clone
+    // is bit-exact) answers the same stream as the exactness reference
+    // and the RPC-overhead contrast. Cold lane: lockstep epoch advances
+    // through the `Apply` RPC plus first-touch τs (server-side provider
+    // rebuilds). Hot lane: the dashboard stream against warm server-side
+    // caches. The lane ends with a hard shutdown of one shard server
+    // mid-stream: `availability_ok` gates CI at 100% answered (degraded
+    // partial merges count, errors do not) and `bit_identical` gates the
+    // healthy phases at exact equality.
+    let cluster_net = Arc::new(s.net.clone());
+    let cluster_sharded =
+        ShardedNetClusIndex::build(&s.net, &s.trajectories, &s.sites, &partition, cfg);
+    let inproc = ShardRouter::start(
+        Arc::clone(&cluster_net),
+        cluster_sharded.clone(),
+        ShardRouterConfig::default(),
+    )
+    .expect("start in-process reference router");
+    let (cluster_partition, views, _replication) = cluster_sharded.into_parts();
+    let mut servers = Vec::with_capacity(views.len());
+    let mut addrs = Vec::with_capacity(views.len());
+    for view in views {
+        let store =
+            SnapshotStore::with_shared_net(Arc::clone(&cluster_net), view.trajs, view.index);
+        let server =
+            ShardServer::start("127.0.0.1:0", view.id, store, ShardServerConfig::default())
+                .expect("start shard server");
+        addrs.push(server.addr());
+        servers.push(server);
+    }
+    let remote = ShardRouter::connect(
+        Arc::clone(&cluster_net),
+        cluster_partition,
+        &addrs,
+        ShardRouterConfig::default(),
+        RemoteShardConfig::default(),
+    )
+    .expect("connect remote router");
+
+    let mut compared = 0u64;
+    let mut mismatches = 0u64;
+    let mut cluster_cold: Vec<u64> = Vec::new();
+    for round in 0..COLD_ROUNDS {
+        if round > 0 {
+            let v = rng.random_range(0..s.net.node_count() as u32 - 1);
+            let batch = vec![UpdateOp::AddTrajectory(
+                netclus_trajectory::Trajectory::new(vec![NodeId(v), NodeId(v + 1)]),
+            )];
+            let rl = inproc.apply_updates(batch.clone());
+            let rr = remote.apply_updates(batch);
+            assert_eq!(
+                (rl.epoch, rl.applied, rl.rejected),
+                (rr.epoch, rr.applied, rr.rejected),
+                "epoch lockstep over the Apply RPC"
+            );
+        }
+        for &tau in &TAUS {
+            let q = TopsQuery::binary(K_COLD, tau);
+            let t = Instant::now();
+            let b = remote.query_blocking(q).expect("remote cold query failed");
+            cluster_cold.push(t.elapsed().as_micros() as u64);
+            let a = inproc
+                .query_blocking(q)
+                .expect("in-process cold query failed");
+            compared += 1;
+            if b.sites != a.sites || b.utility.to_bits() != a.utility.to_bits() {
+                mismatches += 1;
+                eprintln!("[warn] cluster lane diverged: k={K_COLD} tau={tau}");
+            }
+        }
+    }
+
+    let cluster_hot_count = ((400.0 * ctx.cfg.scale) as usize).max(80);
+    let mut cluster_hot: Vec<u64> = Vec::with_capacity(cluster_hot_count);
+    let mut inproc_hot: Vec<u64> = Vec::with_capacity(cluster_hot_count);
+    for _ in 0..cluster_hot_count {
+        let tau = TAUS[rng.random_range(0..TAUS.len())];
+        let k = rng.random_range(1..=12);
+        let q = TopsQuery::binary(k, tau);
+        let t = Instant::now();
+        let b = remote.query_blocking(q).expect("remote hot query failed");
+        cluster_hot.push(t.elapsed().as_micros() as u64);
+        let t = Instant::now();
+        let a = inproc
+            .query_blocking(q)
+            .expect("in-process hot query failed");
+        inproc_hot.push(t.elapsed().as_micros() as u64);
+        compared += 1;
+        if b.sites != a.sites || b.utility.to_bits() != a.utility.to_bits() {
+            mismatches += 1;
+            eprintln!("[warn] cluster lane diverged: k={k} tau={tau}");
+        }
+    }
+
+    // One shard server goes down hard mid-stream — no goodbye to the
+    // router. Every subsequent scatter must still answer promptly as a
+    // degraded partial merge with a sound conservative bound, never an
+    // error or a hang.
+    servers[3].shutdown();
+    let mut outage_attempted = 0u64;
+    let mut outage_answered = 0u64;
+    let mut outage_degraded = 0u64;
+    for _ in 0..2 {
+        for &tau in &TAUS {
+            outage_attempted += 1;
+            let t = Instant::now();
+            match remote.query_blocking(TopsQuery::binary(K_COLD, tau)) {
+                Ok(a) => {
+                    outage_answered += 1;
+                    assert!(
+                        t.elapsed() < Duration::from_secs(10),
+                        "outage query must not hang"
+                    );
+                    if a.degraded {
+                        outage_degraded += 1;
+                        assert!(
+                            a.shards_missing.contains(&3),
+                            "the dead server is the missing shard: {:?}",
+                            a.shards_missing
+                        );
+                        assert!(
+                            a.utility_bound > 0.0 && a.utility_bound <= 1.0,
+                            "degraded bound out of range: {}",
+                            a.utility_bound
+                        );
+                    }
+                }
+                Err(e) => eprintln!("[warn] cluster outage query failed: {e}"),
+            }
+        }
+    }
+    assert_eq!(
+        outage_degraded, outage_answered,
+        "with one server down every answered query is a degraded partial merge"
+    );
+
+    let cluster_report = remote
+        .metrics_report()
+        .shards
+        .expect("remote router shard section");
+    remote.shutdown();
+    inproc.shutdown();
+    for server in &mut servers {
+        server.shutdown();
+    }
+
+    cluster_cold.sort_unstable();
+    cluster_hot.sort_unstable();
+    inproc_hot.sort_unstable();
+    let bit_identical = u8::from(mismatches == 0);
+    let cluster_availability = outage_answered as f64 / outage_attempted as f64;
+    let cluster_availability_ok = u8::from(outage_answered == outage_attempted);
+    let rpc_overhead_p50 = pct(&cluster_hot, 0.50).saturating_sub(pct(&inproc_hot, 0.50));
+    let crows = vec![
+        vec![
+            "cold (rpc)".to_string(),
+            cluster_cold.len().to_string(),
+            pct(&cluster_cold, 0.50).to_string(),
+            pct(&cluster_cold, 0.99).to_string(),
+        ],
+        vec![
+            "hot (rpc)".to_string(),
+            cluster_hot.len().to_string(),
+            pct(&cluster_hot, 0.50).to_string(),
+            pct(&cluster_hot, 0.99).to_string(),
+        ],
+        vec![
+            "hot (in-proc)".to_string(),
+            inproc_hot.len().to_string(),
+            pct(&inproc_hot, 0.50).to_string(),
+            pct(&inproc_hot, 0.99).to_string(),
+        ],
+    ];
+    let cheader = ["lane", "queries", "p50 µs", "p99 µs"];
+    print_table(
+        &format!(
+            "shard — cluster RPC lane: remote scatter over loopback TCP \
+             (4 shard servers, outage availability {cluster_availability:.3})"
+        ),
+        &cheader,
+        &crows,
+    );
+    ctx.write_csv("shard_cluster", &cheader, &crows);
+
+    let crecord = format!(
+        "{{\"shards\":4,\"cluster_queries\":{compared},\"bit_identical\":{bit_identical},\
+         \"remote_cold_queries\":{},\"remote_cold_p50_us\":{},\"remote_cold_p99_us\":{},\
+         \"remote_hot_queries\":{},\"remote_hot_p50_us\":{},\"remote_hot_p99_us\":{},\
+         \"inproc_hot_p50_us\":{},\"rpc_overhead_p50_us\":{rpc_overhead_p50},\
+         \"rpc_requests\":{},\"rpc_errors\":{},\"rpc_reconnects\":{},\
+         \"rpc_p50_us\":{},\"rpc_p99_us\":{},\
+         \"outage_attempted\":{outage_attempted},\"outage_answered\":{outage_answered},\
+         \"outage_degraded\":{outage_degraded},\"availability\":{cluster_availability:.3},\
+         \"availability_ok\":{cluster_availability_ok}}}",
+        cluster_cold.len(),
+        pct(&cluster_cold, 0.50),
+        pct(&cluster_cold, 0.99),
+        cluster_hot.len(),
+        pct(&cluster_hot, 0.50),
+        pct(&cluster_hot, 0.99),
+        pct(&inproc_hot, 0.50),
+        cluster_report.transport_requests,
+        cluster_report.transport_errors,
+        cluster_report.transport_reconnects,
+        cluster_report.transport_rpc.p50_micros,
+        cluster_report.transport_rpc.p99_micros,
+    );
+    crate::schema::check_record("BENCH_CLUSTER_RPC", &crecord);
+    println!("BENCH_CLUSTER_RPC {crecord}");
 
     let all_queries = cold_lat.len() + hot_lat.len();
     let mut all_lat = cold_lat;

@@ -160,6 +160,11 @@ pub const SHARD_SECTION_KEYS: &[&str] = &[
     "worker_respawns",
     "abandoned_gathers",
     "unavailable_answers",
+    "transport_requests",
+    "transport_errors",
+    "transport_reconnects",
+    "transport_rpc_p50_us",
+    "transport_rpc_p99_us",
     "shardN_queries",
     "shardN_p50_us",
     "shardN_p99_us",
@@ -167,6 +172,7 @@ pub const SHARD_SECTION_KEYS: &[&str] = &[
     "shardN_qps_ewma",
     "shardN_cache_heat",
     "shardN_cold_fraction",
+    "shardN_transport",
 ];
 
 /// The pinned key set of `BENCH_SHARD_SCALING` (index-normalized).
@@ -215,6 +221,34 @@ pub const SHARD_SCALING_KEYS: &[&str] = &[
     "availability_ok",
 ];
 
+/// The pinned key set of `BENCH_CLUSTER_RPC` (the shard experiment's
+/// loopback-TCP cluster lane: remote hot/cold latency, RPC overhead vs
+/// in-process, transport counters, and availability across a hard
+/// shard-server shutdown).
+pub const CLUSTER_RPC_KEYS: &[&str] = &[
+    "shards",
+    "cluster_queries",
+    "bit_identical",
+    "remote_cold_queries",
+    "remote_cold_p50_us",
+    "remote_cold_p99_us",
+    "remote_hot_queries",
+    "remote_hot_p50_us",
+    "remote_hot_p99_us",
+    "inproc_hot_p50_us",
+    "rpc_overhead_p50_us",
+    "rpc_requests",
+    "rpc_errors",
+    "rpc_reconnects",
+    "rpc_p50_us",
+    "rpc_p99_us",
+    "outage_attempted",
+    "outage_answered",
+    "outage_degraded",
+    "availability",
+    "availability_ok",
+];
+
 /// The expected (normalized) key set of a record prefix; `None` for
 /// prefixes this module does not pin.
 pub fn expected_keys(prefix: &str) -> Option<BTreeSet<String>> {
@@ -223,6 +257,7 @@ pub fn expected_keys(prefix: &str) -> Option<BTreeSet<String>> {
         "BENCH_INGEST_THROUGHPUT" => INGEST_THROUGHPUT_KEYS.to_vec(),
         "BENCH_SERVICE_THROUGHPUT" => SERVICE_THROUGHPUT_KEYS.to_vec(),
         "BENCH_SHARD_SCALING" => SHARD_SCALING_KEYS.to_vec(),
+        "BENCH_CLUSTER_RPC" => CLUSTER_RPC_KEYS.to_vec(),
         "SHARD_ROUTER_METRICS" => SERVICE_THROUGHPUT_KEYS
             .iter()
             .chain(SHARD_SECTION_KEYS)
@@ -244,7 +279,7 @@ pub fn record_keys(json: &str) -> Vec<String> {
         out.push(rest[open + 1..open + 1 + close].to_string());
         rest = &rest[open + 2 + close..];
         // Skip the value: up to the next top-level comma (the records are
-        // flat — numbers, nulls, no strings or nesting).
+        // flat — numbers, nulls, and comma-free string tags; no nesting).
         match rest.find(',') {
             Some(comma) => rest = &rest[comma + 1..],
             None => break,
@@ -326,6 +361,7 @@ mod tests {
             "BENCH_QUERY_LATENCY",
             "BENCH_INGEST_THROUGHPUT",
             "BENCH_SHARD_SCALING",
+            "BENCH_CLUSTER_RPC",
         ] {
             let expected = expected_keys(prefix).unwrap();
             for m in gated_metrics(prefix) {
@@ -349,6 +385,7 @@ mod tests {
             ("query_latency.json", "BENCH_QUERY_LATENCY"),
             ("ingest_throughput.json", "BENCH_INGEST_THROUGHPUT"),
             ("shard_scaling.json", "BENCH_SHARD_SCALING"),
+            ("cluster_rpc.json", "BENCH_CLUSTER_RPC"),
         ] {
             let text = std::fs::read_to_string(dir.join(file))
                 .unwrap_or_else(|e| panic!("baseline {file} unreadable: {e}"));
@@ -376,6 +413,7 @@ mod tests {
             ("query_latency.json", "BENCH_QUERY_LATENCY"),
             ("ingest_throughput.json", "BENCH_INGEST_THROUGHPUT"),
             ("shard_scaling.json", "BENCH_SHARD_SCALING"),
+            ("cluster_rpc.json", "BENCH_CLUSTER_RPC"),
         ] {
             let text = std::fs::read_to_string(dir.join(file)).unwrap();
             let record = extract_record(&text, prefix).unwrap();

@@ -339,7 +339,7 @@ impl ShardedNetClusIndex {
 
 /// One round-1 candidate: a locally selected site with its coverage row
 /// (global trajectory ids, estimated detours ascending).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Candidate {
     /// The candidate site.
     pub node: NodeId,
@@ -356,7 +356,7 @@ pub struct Candidate {
 }
 
 /// Result of one shard's round-1 local greedy.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct ShardRoundOne {
     /// The shard's `k` (or fewer) local candidates, in selection order.
     pub candidates: Vec<Candidate>,
@@ -415,6 +415,164 @@ impl ShardRoundOne {
             shard_hint: self.shard_hint,
         }
     }
+
+    /// Serializes the round for the shard wire protocol. Fixed-width
+    /// little-endian fields; floats as IEEE-754 bits, so a decoded round
+    /// is **bit-identical** to the encoded one and the remote scatter path
+    /// merges exactly what an in-process shard would have returned.
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_u32w(buf, self.candidates.len() as u32);
+        for c in &self.candidates {
+            c.encode_into(buf);
+        }
+        put_u64w(buf, self.k as u64);
+        put_u64w(buf, self.instance as u64);
+        put_u64w(buf, self.representatives as u64);
+        put_u64w(buf, self.local_utility.to_bits());
+        put_u64w(buf, self.elapsed.as_nanos() as u64);
+        put_u64w(buf, self.solve_us);
+        put_u32w(buf, self.shard_hint);
+    }
+
+    /// Decodes a round previously written by [`Self::encode_into`],
+    /// consuming from `r`. `max_candidates` bounds
+    /// the candidate count *before* any allocation, so a corrupt or
+    /// hostile length prefix cannot trigger a giant allocation. Every
+    /// malformed input returns a typed error — never a panic.
+    pub fn decode_from(
+        r: &mut WireReader<'_>,
+        max_candidates: usize,
+    ) -> Result<ShardRoundOne, ShardCodecError> {
+        let n = r.u32()? as usize;
+        if n > max_candidates {
+            return Err(ShardCodecError("candidate count exceeds wire cap"));
+        }
+        let mut candidates = Vec::with_capacity(n);
+        for _ in 0..n {
+            candidates.push(Candidate::decode_from(r)?);
+        }
+        Ok(ShardRoundOne {
+            candidates,
+            k: r.u64()? as usize,
+            instance: r.u64()? as usize,
+            representatives: r.u64()? as usize,
+            local_utility: f64::from_bits(r.u64()?),
+            elapsed: Duration::from_nanos(r.u64()?),
+            solve_us: r.u64()?,
+            shard_hint: r.u32()?,
+        })
+    }
+}
+
+impl Candidate {
+    /// Serializes one candidate row (see [`ShardRoundOne::encode_into`]).
+    pub fn encode_into(&self, buf: &mut Vec<u8>) {
+        put_u32w(buf, self.node.0);
+        put_u32w(buf, self.cluster);
+        put_u64w(buf, self.gain.to_bits());
+        put_u32w(buf, self.row.len() as u32);
+        for &(traj, detour) in &self.row {
+            put_u32w(buf, traj);
+            put_u64w(buf, detour.to_bits());
+        }
+    }
+
+    /// Decodes one candidate row; typed error on any malformed input.
+    pub fn decode_from(r: &mut WireReader<'_>) -> Result<Candidate, ShardCodecError> {
+        let node = NodeId(r.u32()?);
+        let cluster = r.u32()?;
+        let gain = f64::from_bits(r.u64()?);
+        let len = r.u32()? as usize;
+        // Each row entry occupies 12 encoded bytes; a length prefix the
+        // remaining payload cannot hold is rejected before allocating.
+        if len > r.remaining() / 12 {
+            return Err(ShardCodecError("coverage row longer than payload"));
+        }
+        let mut row = Vec::with_capacity(len);
+        for _ in 0..len {
+            let traj = r.u32()?;
+            row.push((traj, f64::from_bits(r.u64()?)));
+        }
+        Ok(Candidate {
+            node,
+            cluster,
+            gain,
+            row,
+        })
+    }
+}
+
+/// Typed decode failure of the candidate-row wire codec: the payload was
+/// truncated or carried an impossible length prefix. CRC framing catches
+/// random corruption before decode; this layer guarantees that whatever
+/// still reaches it fails closed instead of panicking or over-allocating.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardCodecError(pub &'static str);
+
+impl std::fmt::Display for ShardCodecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "shard wire decode: {}", self.0)
+    }
+}
+
+impl std::error::Error for ShardCodecError {}
+
+/// Bounds-checked little-endian cursor over a received payload. All reads
+/// return [`ShardCodecError`] past the end — decoding never indexes out of
+/// bounds and never panics.
+#[derive(Debug)]
+pub struct WireReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> WireReader<'a> {
+    /// A reader over the whole payload.
+    pub fn new(buf: &'a [u8]) -> Self {
+        WireReader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ShardCodecError> {
+        if self.remaining() < n {
+            return Err(ShardCodecError("truncated payload"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    pub fn u8(&mut self) -> Result<u8, ShardCodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn u32(&mut self) -> Result<u32, ShardCodecError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn u64(&mut self) -> Result<u64, ShardCodecError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    /// Reads `n` raw bytes.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], ShardCodecError> {
+        self.take(n)
+    }
+}
+
+fn put_u32w(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64w(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
 }
 
 /// Per-shard reporting row of a [`ShardedAnswer`].
@@ -996,5 +1154,94 @@ mod tests {
         assert_eq!(got.solution.sites, want.solution.sites);
         assert_eq!(got.rounds.len(), 1);
         assert!(got.candidates <= 2);
+    }
+
+    fn wire_round() -> ShardRoundOne {
+        ShardRoundOne {
+            candidates: vec![
+                Candidate {
+                    node: NodeId(7),
+                    cluster: 3,
+                    gain: 2.5,
+                    row: vec![(0, 120.25), (4, 300.5)],
+                },
+                Candidate {
+                    node: NodeId(11),
+                    cluster: 3,
+                    gain: 1.0 / 3.0, // not exactly representable: bit test
+                    row: vec![],
+                },
+            ],
+            k: 2,
+            instance: 1,
+            representatives: 9,
+            local_utility: 2.5 + 1.0 / 3.0,
+            elapsed: Duration::from_micros(1234),
+            solve_us: 890,
+            shard_hint: 1,
+        }
+    }
+
+    #[test]
+    fn round_one_wire_roundtrip_is_bit_identical() {
+        let round = wire_round();
+        let mut buf = Vec::new();
+        round.encode_into(&mut buf);
+        let mut r = WireReader::new(&buf);
+        let got = ShardRoundOne::decode_from(&mut r, 16).expect("decode");
+        assert_eq!(r.remaining(), 0, "decoder must consume the payload");
+        assert_eq!(got.candidates.len(), round.candidates.len());
+        for (a, b) in got.candidates.iter().zip(&round.candidates) {
+            assert_eq!(a.node, b.node);
+            assert_eq!(a.cluster, b.cluster);
+            assert_eq!(a.gain.to_bits(), b.gain.to_bits());
+            assert_eq!(a.row, b.row);
+        }
+        assert_eq!(got.k, round.k);
+        assert_eq!(got.instance, round.instance);
+        assert_eq!(got.representatives, round.representatives);
+        assert_eq!(got.local_utility.to_bits(), round.local_utility.to_bits());
+        assert_eq!(got.elapsed, round.elapsed);
+        assert_eq!(got.solve_us, round.solve_us);
+        assert_eq!(got.shard_hint, round.shard_hint);
+    }
+
+    /// Every truncation of a valid encoding fails with a typed error —
+    /// never a panic, never an out-of-bounds read.
+    #[test]
+    fn round_one_decode_rejects_every_truncation() {
+        let round = wire_round();
+        let mut buf = Vec::new();
+        round.encode_into(&mut buf);
+        for cut in 0..buf.len() {
+            let mut r = WireReader::new(&buf[..cut]);
+            assert!(
+                ShardRoundOne::decode_from(&mut r, 16).is_err(),
+                "truncation at {cut}/{} must fail typed",
+                buf.len()
+            );
+        }
+    }
+
+    #[test]
+    fn round_one_decode_rejects_oversized_counts() {
+        let round = wire_round();
+        let mut buf = Vec::new();
+        round.encode_into(&mut buf);
+        // Candidate count above the caller's cap: rejected pre-allocation.
+        let mut r = WireReader::new(&buf);
+        assert_eq!(
+            ShardRoundOne::decode_from(&mut r, 1),
+            Err(ShardCodecError("candidate count exceeds wire cap"))
+        );
+        // A coverage-row length the payload cannot hold: the first
+        // candidate's row length lives after node+cluster+gain.
+        let mut forged = buf.clone();
+        forged[4 + 4 + 4 + 8..4 + 4 + 4 + 8 + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut r = WireReader::new(&forged);
+        assert_eq!(
+            ShardRoundOne::decode_from(&mut r, 16),
+            Err(ShardCodecError("coverage row longer than payload"))
+        );
     }
 }

@@ -30,8 +30,9 @@ use crate::codec::{put_f64, put_u32, put_u64, Cursor};
 use crate::crc::crc32;
 
 /// Upper bound on one frame's payload (1 MiB ≈ 43k fixes) — a corrupt
-/// length prefix must not trigger a giant allocation.
-pub const MAX_RECORD_PAYLOAD: usize = 1 << 20;
+/// length prefix must not trigger a giant allocation. Defined with every
+/// other wire limit in `netclus_service::wire`.
+pub const MAX_RECORD_PAYLOAD: usize = netclus_service::wire::MAX_RECORD_FRAME;
 
 /// One raw GPS trace in flight: who sent it, its per-source sequence
 /// number, and the fixes.

@@ -75,8 +75,9 @@ const MAGIC: &[u8; 4] = b"NCWL";
 const VERSION: u32 = 2;
 const SEGMENT_HEADER_BYTES: u64 = 16;
 
-/// Upper bound on one WAL frame's payload (16 MiB).
-pub const MAX_WAL_PAYLOAD: usize = 16 << 20;
+/// Upper bound on one WAL frame's payload (16 MiB) — the workspace-wide
+/// frame ceiling from `netclus_service::wire`.
+pub const MAX_WAL_PAYLOAD: usize = netclus_service::wire::MAX_BATCH_FRAME;
 
 /// WAL configuration.
 #[derive(Clone, Debug)]

@@ -39,6 +39,22 @@ pub enum FaultAction {
     /// observes the disconnect and classifies the shard as
     /// [`ShardFailure::Dropped`]).
     Drop,
+    /// Socket-level: close the connection mid-request without replying.
+    /// A shard server slams the TCP stream shut; the remote transport
+    /// observes the mid-frame disconnect as [`ShardFailure::Dropped`].
+    /// In-process workers treat it like [`FaultAction::Drop`].
+    DropConnection,
+    /// Socket-level: sit on the request this long before answering
+    /// (models a wedged peer or a black-holing network; the remote
+    /// transport's read deadline converts it to
+    /// [`ShardFailure::TimedOut`]). In-process workers treat it like
+    /// [`FaultAction::Delay`].
+    Stall(Duration),
+    /// Socket-level: flip bits in the response frame so its CRC check
+    /// fails; the remote transport classifies it as
+    /// [`ShardFailure::CorruptReply`]. In-process workers reply with
+    /// `CorruptReply` directly (no frame exists to corrupt).
+    CorruptFrame,
 }
 
 /// One injection rule of a [`FaultPlan`].
@@ -172,6 +188,19 @@ pub enum ShardFailure {
     Dropped,
     /// The shard's circuit breaker was open; the task was never scattered.
     BreakerOpen,
+    /// Remote transport: the shard server could not be reached (connect
+    /// refused, or the connection is in reconnect backoff).
+    Unreachable,
+    /// Remote transport: a response frame failed its CRC check or did not
+    /// decode (torn frame, corrupt payload, protocol violation).
+    CorruptReply,
+    /// Remote transport: the shard server speaks a different protocol
+    /// version (handshake mismatch).
+    VersionSkew,
+    /// The shard answered at an epoch behind the router's lockstep epoch
+    /// (a remote shard that missed an update batch); merging it would
+    /// tear the answer, so it is demoted to a degraded-answer miss.
+    EpochSkew,
 }
 
 impl std::fmt::Display for ShardFailure {
@@ -182,6 +211,10 @@ impl std::fmt::Display for ShardFailure {
             ShardFailure::TimedOut => write!(f, "deadline exceeded"),
             ShardFailure::Dropped => write!(f, "reply dropped"),
             ShardFailure::BreakerOpen => write!(f, "circuit breaker open"),
+            ShardFailure::Unreachable => write!(f, "shard unreachable"),
+            ShardFailure::CorruptReply => write!(f, "corrupt reply frame"),
+            ShardFailure::VersionSkew => write!(f, "protocol version skew"),
+            ShardFailure::EpochSkew => write!(f, "stale shard epoch"),
         }
     }
 }

@@ -123,10 +123,13 @@ pub mod framing;
 pub mod health;
 pub mod metrics;
 pub mod provider_cache;
+pub mod shard_proto;
 pub mod shard_router;
+pub mod shard_server;
 pub mod snapshot;
 pub mod telemetry;
 pub mod trace;
+pub mod wire;
 
 pub use cache::{preference_key, CacheStats, QueryKey, ShardedCache};
 pub use executor::{
@@ -148,8 +151,11 @@ pub use provider_cache::{
     ProviderKey, RoundCacheStats, RoundKey, RoundOneCache, ShardProviderCache, ShardProviderKey,
 };
 pub use shard_router::{
-    QueryOptions, ShardRouter, ShardRouterConfig, ShardedServiceAnswer, ROUND1_BUDGET_FRACTION,
+    InProcessShard, QueryOptions, RemoteShard, RemoteShardConfig, Round1Ctx, Round1Ok,
+    ShardApplyOutcome, ShardHello, ShardRouter, ShardRouterConfig, ShardTransport,
+    ShardedServiceAnswer, TransportCounters, TransportSnapshot, ROUND1_BUDGET_FRACTION,
 };
+pub use shard_server::{ShardServer, ShardServerConfig};
 pub use snapshot::{RoutedOp, Snapshot, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
 pub use telemetry::{TelemetryServer, TelemetrySource};
 pub use trace::{
@@ -191,4 +197,8 @@ fn send_sync_audit() {
     assert_send_sync::<CircuitBreaker>();
     assert_send_sync::<QueryError>();
     assert_send_sync::<FaultReport>();
+    assert_send_sync::<RemoteShard>();
+    assert_send_sync::<TransportCounters>();
+    assert_send_sync::<Box<dyn ShardTransport>>();
+    assert_send_sync::<ShardServer>();
 }

@@ -265,6 +265,10 @@ pub struct ShardLaneReport {
     /// Smoothed fraction of round-1 tasks that built a provider, in
     /// [0, 1] — the signal a shard rebalancer would split on.
     pub cold_fraction: f64,
+    /// How this shard is reached: `"in_process"` (snapshot store in the
+    /// router process) or `"remote"` (a `netclus-shardd` process over
+    /// the framed TCP protocol).
+    pub transport: &'static str,
 }
 
 /// Scatter-gather section of a [`MetricsReport`] (present when the report
@@ -300,6 +304,16 @@ pub struct ShardReport {
     /// Fault-tolerance counters (degraded/stale answers, shard failures,
     /// breaker transitions, worker supervision).
     pub fault: FaultReport,
+    /// Transport RPCs issued across all remote lanes (0 when every shard
+    /// is in-process).
+    pub transport_requests: u64,
+    /// Transport RPCs that ended in a shard failure.
+    pub transport_errors: u64,
+    /// Successful (re)connect handshakes across all remote lanes.
+    pub transport_reconnects: u64,
+    /// Round-trip latency of completed transport RPCs (counts summed
+    /// across lanes; percentiles are the worst lane's — conservative).
+    pub transport_rpc: LatencySummary,
 }
 
 /// Fault-tolerance section of a [`ShardReport`]: every counter is
@@ -525,6 +539,19 @@ impl MetricsReport {
             push_u64(&mut s, "worker_respawns", fault.worker_respawns);
             push_u64(&mut s, "abandoned_gathers", fault.abandoned_gathers);
             push_u64(&mut s, "unavailable_answers", fault.unavailable_answers);
+            push_u64(&mut s, "transport_requests", shards.transport_requests);
+            push_u64(&mut s, "transport_errors", shards.transport_errors);
+            push_u64(&mut s, "transport_reconnects", shards.transport_reconnects);
+            push_u64(
+                &mut s,
+                "transport_rpc_p50_us",
+                shards.transport_rpc.p50_micros,
+            );
+            push_u64(
+                &mut s,
+                "transport_rpc_p99_us",
+                shards.transport_rpc.p99_micros,
+            );
             for lane in &shards.lanes {
                 push_u64(
                     &mut s,
@@ -561,6 +588,11 @@ impl MetricsReport {
                     &format!("shard{}_cold_fraction", lane.shard),
                     lane.cold_fraction,
                 );
+                push_str(
+                    &mut s,
+                    &format!("shard{}_transport", lane.shard),
+                    lane.transport,
+                );
             }
         }
         s.pop(); // trailing comma
@@ -587,6 +619,17 @@ fn push_f64(s: &mut String, key: &str, v: f64) {
         s.push_str("null");
     }
     s.push(',');
+}
+
+/// Quoted-string field; `v` must need no JSON escaping (the only
+/// callers pass fixed identifier-like tags).
+fn push_str(s: &mut String, key: &str, v: &str) {
+    debug_assert!(!v.contains(['"', '\\']), "push_str takes plain tags");
+    s.push('"');
+    s.push_str(key);
+    s.push_str("\":\"");
+    s.push_str(v);
+    s.push_str("\",");
 }
 
 /// Shared counters for the ingestion subsystem (`netclus-ingest`), kept
@@ -966,6 +1009,7 @@ mod tests {
             qps_ewma: 12.5,
             cache_heat: 0.75,
             cold_fraction: 0.25,
+            transport: "in_process",
         };
         report.shards = Some(ShardReport {
             lanes: vec![lane(0, 4), lane(1, 4)],
@@ -1007,6 +1051,15 @@ mod tests {
                 abandoned_gathers: 3,
                 ..Default::default()
             },
+            transport_requests: 9,
+            transport_errors: 2,
+            transport_reconnects: 1,
+            transport_rpc: LatencySummary {
+                count: 7,
+                p50_micros: 311,
+                p99_micros: 640,
+                ..Default::default()
+            },
         });
         let json = report.to_json_line();
         assert!(json.contains("\"shards\":2"));
@@ -1032,6 +1085,12 @@ mod tests {
         assert!(json.contains("\"shard0_qps_ewma\":12.500"));
         assert!(json.contains("\"shard1_cache_heat\":0.750"));
         assert!(json.contains("\"shard1_cold_fraction\":0.250"));
+        assert!(json.contains("\"transport_requests\":9"));
+        assert!(json.contains("\"transport_errors\":2"));
+        assert!(json.contains("\"transport_reconnects\":1"));
+        assert!(json.contains("\"transport_rpc_p50_us\":311"));
+        assert!(json.contains("\"transport_rpc_p99_us\":640"));
+        assert!(json.contains("\"shard0_transport\":\"in_process\""));
         assert!(!json.contains('\n'));
         assert!(json.ends_with('}'));
     }

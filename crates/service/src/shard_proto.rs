@@ -1,0 +1,747 @@
+//! The shard-server wire protocol: framed request/response messages
+//! between a [`crate::shard_router::ShardRouter`] (remote transport) and
+//! a `netclus-shardd` shard server.
+//!
+//! Every message travels as one length-prefixed, CRC-32-framed payload
+//! ([`crate::framing`]) — the same frame layout the ingest codec, the
+//! WAL and the telemetry endpoint use:
+//!
+//! | bytes | field |
+//! |-------|-------------------------------------------|
+//! | 4     | payload length, `u32` LE                  |
+//! | 4     | CRC-32 (IEEE) of the payload, `u32` LE    |
+//! | n     | payload: `tag: u8` + body, LE fixed-width |
+//!
+//! Requests are bounded at [`crate::wire::MAX_SHARD_REQUEST`] bytes and
+//! responses at [`crate::wire::MAX_SHARD_RESPONSE`]; a `Round1Resp`
+//! carries at most [`crate::wire::MAX_WIRE_CANDIDATES`] candidate rows
+//! (encoded by the bit-exact codec in [`netclus::shard`]). Floats cross
+//! the wire as IEEE-754 bits, so a remote round-1 answer merges into
+//! **bit-identical** top-k results.
+//!
+//! The decoder is paranoid by construction: every length prefix is
+//! validated against the remaining payload *before* allocation, unknown
+//! tags and trailing bytes are rejected, and every failure is a typed
+//! [`WireError`] — never a panic, never an unbounded allocation. CRC
+//! framing rejects random corruption one layer below; this layer
+//! guarantees whatever still reaches it fails closed (proptested in
+//! `crates/service/tests/cluster.rs`: any truncation/corruption of a
+//! valid frame decodes to a typed error).
+//!
+//! The message set mirrors the scatter/update/observe seams of the
+//! router: `Round1` (the scatter RPC), `Apply` (epoch-lockstep routed
+//! updates with per-op acks), `Report`/`Heartbeat` (for dashboards and
+//! the future gateway tier), and a versioned `Hello` handshake that
+//! fails fast on protocol skew.
+
+use netclus::preference::PreferenceFunction;
+use netclus::shard::{ShardCodecError, ShardRoundOne, WireReader};
+use netclus::TopsQuery;
+use netclus_roadnet::NodeId;
+use netclus_trajectory::{TrajId, Trajectory};
+
+use crate::cache::preference_key;
+use crate::snapshot::RoutedOp;
+use crate::trace::Round1Source;
+use crate::wire::{MAX_SHARD_REQUEST, MAX_WIRE_CANDIDATES};
+
+/// Protocol version spoken by this build. A `Hello` carrying any other
+/// version is answered with [`RespError::VersionSkew`] and the connection
+/// is closed — skew is a deploy-ordering bug, not something to limp
+/// through.
+pub const SHARD_PROTOCOL_VERSION: u32 = 1;
+
+/// Typed decode failure of a shard-protocol payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The payload ended before the message did, or a length prefix
+    /// exceeds what the payload can hold.
+    Truncated(&'static str),
+    /// An unknown message or error tag.
+    BadTag(u8),
+    /// A field value the protocol forbids (empty trajectory, oversized
+    /// count, malformed UTF-8).
+    BadValue(&'static str),
+    /// Bytes remained after the message was fully decoded.
+    TrailingBytes,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated(what) => write!(f, "truncated payload: {what}"),
+            WireError::BadTag(t) => write!(f, "unknown message tag {t}"),
+            WireError::BadValue(what) => write!(f, "invalid field: {what}"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<ShardCodecError> for WireError {
+    fn from(e: ShardCodecError) -> Self {
+        WireError::Truncated(e.0)
+    }
+}
+
+/// A request frame, router → shard server.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Versioned handshake; first frame on every connection.
+    Hello {
+        /// Sender's [`SHARD_PROTOCOL_VERSION`].
+        version: u32,
+        /// The shard id the client believes this server owns.
+        shard: u32,
+    },
+    /// The scatter RPC: one shard's round-1 local greedy.
+    Round1 {
+        /// The epoch the router last observed (informational; the reply
+        /// carries the server's authoritative epoch and the gather
+        /// asserts lockstep across shards).
+        epoch_hint: u64,
+        /// Shard id (must match the server's; a mismatch is a routing
+        /// bug answered with [`RespError::BadRequest`]).
+        shard: u32,
+        /// Sites requested.
+        k: u64,
+        /// Query τ as IEEE-754 bits (already quantized by the router).
+        tau_bits: u64,
+        /// ψ tag (see [`crate::cache::preference_key`]).
+        psi_tag: u8,
+        /// ψ parameter bits.
+        psi_param: u64,
+        /// Query-variant selector; 0 = greedy (the only variant today,
+        /// reserved for the FM-sketch path).
+        variant: u8,
+    },
+    /// Epoch-lockstep routed update batch.
+    Apply {
+        /// Routed ops in batch order.
+        ops: Vec<RoutedOp>,
+    },
+    /// Full metrics report (JSON line), for dashboards.
+    Report,
+    /// Cheap liveness + load probe, for the future gateway tier.
+    Heartbeat,
+    /// Graceful stop: the server acks, dumps its flight recorder, and
+    /// exits its accept loop.
+    Shutdown,
+}
+
+/// A response frame, shard server → router.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    HelloAck {
+        /// Server's protocol version (== [`SHARD_PROTOCOL_VERSION`]).
+        version: u32,
+        /// The shard this server owns.
+        shard: u32,
+        /// Current snapshot epoch.
+        epoch: u64,
+        /// The server's trajectory id bound (routers take the max across
+        /// shards to seed global id assignment).
+        traj_id_bound: u64,
+        /// Live trajectories on this shard (seeds the router's
+        /// replication gauge for degraded-merge mass estimates).
+        live_trajs: u64,
+    },
+    /// Round-1 answer with candidate coverage rows.
+    Round1Ok {
+        /// Epoch the answer was computed against.
+        epoch: u64,
+        /// The shard snapshot's trajectory id bound (the merge arena is
+        /// sized by the max across shards).
+        bound: u64,
+        /// Which cache lane served the round (memo/provider/built/...).
+        source: Round1Source,
+        /// The candidates, bit-exact.
+        round: ShardRoundOne,
+    },
+    /// Update batch applied and published.
+    ApplyAck {
+        /// The epoch the batch published.
+        epoch: u64,
+        /// Live trajectories after the batch.
+        live_trajs: u64,
+        /// Per-op outcome in batch order (`true` = applied).
+        results: Vec<bool>,
+    },
+    /// The metrics report JSON line.
+    ReportJson {
+        /// Single-line JSON (same shape as the telemetry `metrics`
+        /// command).
+        json: String,
+    },
+    /// Liveness + load summary.
+    HeartbeatAck {
+        /// Current snapshot epoch.
+        epoch: u64,
+        /// Recent queries/s (EWMA) on this shard.
+        load_qps: f64,
+        /// Fraction of recent round-1 answers served from cache.
+        cache_heat: f64,
+        /// Live trajectories.
+        live_trajs: u64,
+    },
+    /// Shutdown acknowledged; the server exits after this frame.
+    ShutdownAck,
+    /// Typed refusal.
+    Error(RespError),
+}
+
+/// Typed error responses. The remote transport maps each onto the
+/// [`crate::fault::ShardFailure`] taxonomy (see the README's
+/// failure-mapping table).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RespError {
+    /// Handshake version mismatch → `ShardFailure::VersionSkew`.
+    VersionSkew,
+    /// Malformed or mis-routed request → `ShardFailure::CorruptReply`
+    /// (the router never sends these; seeing one means the stream is
+    /// corrupt or the peer confused).
+    BadRequest,
+    /// A scripted [`crate::fault::FaultAction::Error`] on the server →
+    /// `ShardFailure::Injected`.
+    Injected,
+}
+
+const REQ_HELLO: u8 = 0;
+const REQ_ROUND1: u8 = 1;
+const REQ_APPLY: u8 = 2;
+const REQ_REPORT: u8 = 3;
+const REQ_HEARTBEAT: u8 = 4;
+const REQ_SHUTDOWN: u8 = 5;
+
+const RESP_HELLO: u8 = 0;
+const RESP_ROUND1: u8 = 1;
+const RESP_APPLY: u8 = 2;
+const RESP_REPORT: u8 = 3;
+const RESP_HEARTBEAT: u8 = 4;
+const RESP_SHUTDOWN: u8 = 5;
+const RESP_ERROR: u8 = 0xFF;
+
+const OP_ADD_TRAJ: u8 = 0;
+const OP_REMOVE_TRAJ: u8 = 1;
+const OP_ADD_SITE: u8 = 2;
+const OP_REMOVE_SITE: u8 = 3;
+
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Builds the `Round1` request for `query` against `shard` — the ψ goes
+/// over the wire in its cache-key form, so every layer (result cache,
+/// memo, protocol) agrees on ψ identity.
+pub fn round1_request(epoch_hint: u64, shard: u32, query: &TopsQuery) -> Request {
+    let (psi_tag, psi_param) = preference_key(&query.preference);
+    Request::Round1 {
+        epoch_hint,
+        shard,
+        k: query.k as u64,
+        tau_bits: query.tau.to_bits(),
+        psi_tag,
+        psi_param,
+        variant: 0,
+    }
+}
+
+/// Reconstructs the ψ from its wire/cache-key form; `None` for unknown
+/// tags (a decoder rejects the request).
+pub fn preference_from_key(tag: u8, param: u64) -> Option<PreferenceFunction> {
+    Some(match tag {
+        0 => PreferenceFunction::Binary,
+        1 => PreferenceFunction::LinearDecay,
+        2 => PreferenceFunction::ExponentialDecay {
+            lambda: f64::from_bits(param),
+        },
+        3 => PreferenceFunction::ConvexProbability {
+            alpha: f64::from_bits(param),
+        },
+        4 => PreferenceFunction::MinInconvenience {
+            normalizer_m: f64::from_bits(param),
+        },
+        _ => return None,
+    })
+}
+
+fn source_tag(s: Round1Source) -> u8 {
+    match s {
+        Round1Source::Memo => 0,
+        Round1Source::ProviderHit => 1,
+        Round1Source::Coalesced => 2,
+        Round1Source::Built => 3,
+        Round1Source::Cold => 4,
+    }
+}
+
+fn source_from_tag(t: u8) -> Option<Round1Source> {
+    Some(match t {
+        0 => Round1Source::Memo,
+        1 => Round1Source::ProviderHit,
+        2 => Round1Source::Coalesced,
+        3 => Round1Source::Built,
+        4 => Round1Source::Cold,
+        _ => return None,
+    })
+}
+
+fn encode_op(buf: &mut Vec<u8>, op: &RoutedOp) {
+    match op {
+        RoutedOp::AddTrajectoryAt(id, t) => {
+            buf.push(OP_ADD_TRAJ);
+            put_u32(buf, id.0);
+            let nodes = t.nodes();
+            put_u32(buf, nodes.len() as u32);
+            for v in nodes {
+                put_u32(buf, v.0);
+            }
+        }
+        RoutedOp::RemoveTrajectory(id) => {
+            buf.push(OP_REMOVE_TRAJ);
+            put_u32(buf, id.0);
+        }
+        RoutedOp::AddSite(v) => {
+            buf.push(OP_ADD_SITE);
+            put_u32(buf, v.0);
+        }
+        RoutedOp::RemoveSite(v) => {
+            buf.push(OP_REMOVE_SITE);
+            put_u32(buf, v.0);
+        }
+    }
+}
+
+fn decode_op(r: &mut WireReader<'_>) -> Result<RoutedOp, WireError> {
+    Ok(match r.u8()? {
+        OP_ADD_TRAJ => {
+            let id = TrajId(r.u32()?);
+            let n = r.u32()? as usize;
+            if n == 0 {
+                // `Trajectory::new` panics on empty node lists; the
+                // decoder must refuse first.
+                return Err(WireError::BadValue("empty trajectory"));
+            }
+            if n > r.remaining() / 4 {
+                return Err(WireError::Truncated("trajectory nodes"));
+            }
+            let mut nodes = Vec::with_capacity(n);
+            for _ in 0..n {
+                nodes.push(NodeId(r.u32()?));
+            }
+            RoutedOp::AddTrajectoryAt(id, Trajectory::new(nodes))
+        }
+        OP_REMOVE_TRAJ => RoutedOp::RemoveTrajectory(TrajId(r.u32()?)),
+        OP_ADD_SITE => RoutedOp::AddSite(NodeId(r.u32()?)),
+        OP_REMOVE_SITE => RoutedOp::RemoveSite(NodeId(r.u32()?)),
+        t => return Err(WireError::BadTag(t)),
+    })
+}
+
+impl Request {
+    /// Serializes the request into a fresh payload (to be framed by
+    /// [`crate::framing::write_frame`]).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Request::Hello { version, shard } => {
+                buf.push(REQ_HELLO);
+                put_u32(&mut buf, *version);
+                put_u32(&mut buf, *shard);
+            }
+            Request::Round1 {
+                epoch_hint,
+                shard,
+                k,
+                tau_bits,
+                psi_tag,
+                psi_param,
+                variant,
+            } => {
+                buf.push(REQ_ROUND1);
+                put_u64(&mut buf, *epoch_hint);
+                put_u32(&mut buf, *shard);
+                put_u64(&mut buf, *k);
+                put_u64(&mut buf, *tau_bits);
+                buf.push(*psi_tag);
+                put_u64(&mut buf, *psi_param);
+                buf.push(*variant);
+            }
+            Request::Apply { ops } => {
+                buf.push(REQ_APPLY);
+                put_u32(&mut buf, ops.len() as u32);
+                for op in ops {
+                    encode_op(&mut buf, op);
+                }
+            }
+            Request::Report => buf.push(REQ_REPORT),
+            Request::Heartbeat => buf.push(REQ_HEARTBEAT),
+            Request::Shutdown => buf.push(REQ_SHUTDOWN),
+        }
+        debug_assert!(buf.len() <= MAX_SHARD_REQUEST, "request exceeds wire cap");
+        buf
+    }
+
+    /// Decodes one request payload; every malformed input is a typed
+    /// error, and trailing bytes are rejected.
+    pub fn decode(payload: &[u8]) -> Result<Request, WireError> {
+        let mut r = WireReader::new(payload);
+        let req = match r.u8()? {
+            REQ_HELLO => Request::Hello {
+                version: r.u32()?,
+                shard: r.u32()?,
+            },
+            REQ_ROUND1 => Request::Round1 {
+                epoch_hint: r.u64()?,
+                shard: r.u32()?,
+                k: r.u64()?,
+                tau_bits: r.u64()?,
+                psi_tag: r.u8()?,
+                psi_param: r.u64()?,
+                variant: r.u8()?,
+            },
+            REQ_APPLY => {
+                let n = r.u32()? as usize;
+                // Each op is ≥ 5 encoded bytes; reject impossible counts
+                // before allocating.
+                if n > r.remaining() / 5 {
+                    return Err(WireError::Truncated("op count"));
+                }
+                let mut ops = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ops.push(decode_op(&mut r)?);
+                }
+                Request::Apply { ops }
+            }
+            REQ_REPORT => Request::Report,
+            REQ_HEARTBEAT => Request::Heartbeat,
+            REQ_SHUTDOWN => Request::Shutdown,
+            t => return Err(WireError::BadTag(t)),
+        };
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serializes the response into a fresh payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        match self {
+            Response::HelloAck {
+                version,
+                shard,
+                epoch,
+                traj_id_bound,
+                live_trajs,
+            } => {
+                buf.push(RESP_HELLO);
+                put_u32(&mut buf, *version);
+                put_u32(&mut buf, *shard);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *traj_id_bound);
+                put_u64(&mut buf, *live_trajs);
+            }
+            Response::Round1Ok {
+                epoch,
+                bound,
+                source,
+                round,
+            } => {
+                buf.push(RESP_ROUND1);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *bound);
+                buf.push(source_tag(*source));
+                round.encode_into(&mut buf);
+            }
+            Response::ApplyAck {
+                epoch,
+                live_trajs,
+                results,
+            } => {
+                buf.push(RESP_APPLY);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *live_trajs);
+                put_u32(&mut buf, results.len() as u32);
+                buf.extend(results.iter().map(|&b| b as u8));
+            }
+            Response::ReportJson { json } => {
+                buf.push(RESP_REPORT);
+                put_u32(&mut buf, json.len() as u32);
+                buf.extend_from_slice(json.as_bytes());
+            }
+            Response::HeartbeatAck {
+                epoch,
+                load_qps,
+                cache_heat,
+                live_trajs,
+            } => {
+                buf.push(RESP_HEARTBEAT);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, load_qps.to_bits());
+                put_u64(&mut buf, cache_heat.to_bits());
+                put_u64(&mut buf, *live_trajs);
+            }
+            Response::ShutdownAck => buf.push(RESP_SHUTDOWN),
+            Response::Error(e) => {
+                buf.push(RESP_ERROR);
+                buf.push(match e {
+                    RespError::VersionSkew => 0,
+                    RespError::BadRequest => 1,
+                    RespError::Injected => 2,
+                });
+            }
+        }
+        buf
+    }
+
+    /// Decodes one response payload; typed errors only, trailing bytes
+    /// rejected, candidate counts capped at
+    /// [`crate::wire::MAX_WIRE_CANDIDATES`] before allocation.
+    pub fn decode(payload: &[u8]) -> Result<Response, WireError> {
+        let mut r = WireReader::new(payload);
+        let resp = match r.u8()? {
+            RESP_HELLO => Response::HelloAck {
+                version: r.u32()?,
+                shard: r.u32()?,
+                epoch: r.u64()?,
+                traj_id_bound: r.u64()?,
+                live_trajs: r.u64()?,
+            },
+            RESP_ROUND1 => {
+                let epoch = r.u64()?;
+                let bound = r.u64()?;
+                let source =
+                    source_from_tag(r.u8()?).ok_or(WireError::BadValue("round-1 source"))?;
+                let round = ShardRoundOne::decode_from(&mut r, MAX_WIRE_CANDIDATES)?;
+                Response::Round1Ok {
+                    epoch,
+                    bound,
+                    source,
+                    round,
+                }
+            }
+            RESP_APPLY => {
+                let epoch = r.u64()?;
+                let live_trajs = r.u64()?;
+                let n = r.u32()? as usize;
+                if n > r.remaining() {
+                    return Err(WireError::Truncated("apply results"));
+                }
+                let results = r.bytes(n)?.iter().map(|&b| b != 0).collect();
+                Response::ApplyAck {
+                    epoch,
+                    live_trajs,
+                    results,
+                }
+            }
+            RESP_REPORT => {
+                let n = r.u32()? as usize;
+                if n > r.remaining() {
+                    return Err(WireError::Truncated("report json"));
+                }
+                let json = std::str::from_utf8(r.bytes(n)?)
+                    .map_err(|_| WireError::BadValue("report not utf-8"))?
+                    .to_string();
+                Response::ReportJson { json }
+            }
+            RESP_HEARTBEAT => Response::HeartbeatAck {
+                epoch: r.u64()?,
+                load_qps: f64::from_bits(r.u64()?),
+                cache_heat: f64::from_bits(r.u64()?),
+                live_trajs: r.u64()?,
+            },
+            RESP_SHUTDOWN => Response::ShutdownAck,
+            RESP_ERROR => Response::Error(match r.u8()? {
+                0 => RespError::VersionSkew,
+                1 => RespError::BadRequest,
+                2 => RespError::Injected,
+                t => return Err(WireError::BadTag(t)),
+            }),
+            t => return Err(WireError::BadTag(t)),
+        };
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netclus::shard::Candidate;
+    use std::time::Duration;
+
+    fn sample_round() -> ShardRoundOne {
+        ShardRoundOne {
+            candidates: vec![Candidate {
+                node: NodeId(3),
+                cluster: 1,
+                gain: 4.25,
+                row: vec![(2, 150.0), (5, 600.5)],
+            }],
+            k: 3,
+            instance: 0,
+            representatives: 4,
+            local_utility: 4.25,
+            elapsed: Duration::from_micros(77),
+            solve_us: 41,
+            shard_hint: 2,
+        }
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        vec![
+            Request::Hello {
+                version: SHARD_PROTOCOL_VERSION,
+                shard: 2,
+            },
+            round1_request(7, 1, &TopsQuery::binary(4, 1_200.0)),
+            Request::Apply {
+                ops: vec![
+                    RoutedOp::AddTrajectoryAt(
+                        TrajId(9),
+                        Trajectory::new(vec![NodeId(0), NodeId(1), NodeId(2)]),
+                    ),
+                    RoutedOp::RemoveTrajectory(TrajId(4)),
+                    RoutedOp::AddSite(NodeId(5)),
+                    RoutedOp::RemoveSite(NodeId(6)),
+                ],
+            },
+            Request::Report,
+            Request::Heartbeat,
+            Request::Shutdown,
+        ]
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::HelloAck {
+                version: SHARD_PROTOCOL_VERSION,
+                shard: 2,
+                epoch: 5,
+                traj_id_bound: 120,
+                live_trajs: 80,
+            },
+            Response::Round1Ok {
+                epoch: 5,
+                bound: 120,
+                source: Round1Source::Memo,
+                round: sample_round(),
+            },
+            Response::ApplyAck {
+                epoch: 6,
+                live_trajs: 81,
+                results: vec![true, false, true],
+            },
+            Response::ReportJson {
+                json: "{\"epoch\":6}".to_string(),
+            },
+            Response::HeartbeatAck {
+                epoch: 6,
+                load_qps: 123.5,
+                cache_heat: 0.75,
+                live_trajs: 81,
+            },
+            Response::ShutdownAck,
+            Response::Error(RespError::VersionSkew),
+            Response::Error(RespError::BadRequest),
+            Response::Error(RespError::Injected),
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in sample_requests() {
+            let got = Request::decode(&req.encode()).expect("decode");
+            assert_eq!(got, req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in sample_responses() {
+            let got = Response::decode(&resp.encode()).expect("decode");
+            assert_eq!(got, resp);
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_every_message_fails_typed() {
+        for req in sample_requests() {
+            let buf = req.encode();
+            for cut in 0..buf.len() {
+                assert!(Request::decode(&buf[..cut]).is_err(), "req cut {cut}");
+            }
+        }
+        for resp in sample_responses() {
+            let buf = resp.encode();
+            for cut in 0..buf.len() {
+                assert!(Response::decode(&buf[..cut]).is_err(), "resp cut {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut buf = Request::Heartbeat.encode();
+        buf.push(0);
+        assert_eq!(Request::decode(&buf), Err(WireError::TrailingBytes));
+        let mut buf = Response::ShutdownAck.encode();
+        buf.push(9);
+        assert_eq!(Response::decode(&buf), Err(WireError::TrailingBytes));
+    }
+
+    #[test]
+    fn hostile_lengths_are_rejected_before_allocation() {
+        // Apply with an op count far beyond the payload.
+        let mut buf = vec![REQ_APPLY];
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(Request::decode(&buf), Err(WireError::Truncated("op count")));
+        // An empty trajectory is refused (Trajectory::new would panic).
+        let mut buf = vec![REQ_APPLY];
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(OP_ADD_TRAJ);
+        buf.extend_from_slice(&7u32.to_le_bytes()); // id
+        buf.extend_from_slice(&0u32.to_le_bytes()); // node count 0
+        assert_eq!(
+            Request::decode(&buf),
+            Err(WireError::BadValue("empty trajectory"))
+        );
+        // Unknown tags fail typed.
+        assert_eq!(Request::decode(&[200]), Err(WireError::BadTag(200)));
+        assert_eq!(Response::decode(&[200]), Err(WireError::BadTag(200)));
+        assert_eq!(
+            Request::decode(&[]),
+            Err(WireError::Truncated("truncated payload"))
+        );
+    }
+
+    #[test]
+    fn psi_key_roundtrips_through_the_wire_form() {
+        let psis = [
+            PreferenceFunction::Binary,
+            PreferenceFunction::LinearDecay,
+            PreferenceFunction::ExponentialDecay { lambda: 1.5 },
+            PreferenceFunction::ConvexProbability { alpha: 2.0 },
+            PreferenceFunction::MinInconvenience {
+                normalizer_m: 5_000.0,
+            },
+        ];
+        for psi in psis {
+            let (tag, param) = preference_key(&psi);
+            let back = preference_from_key(tag, param).expect("known tag");
+            assert_eq!(preference_key(&back), (tag, param));
+        }
+        assert!(preference_from_key(9, 0).is_none());
+    }
+}

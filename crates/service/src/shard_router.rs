@@ -1,9 +1,9 @@
-//! The scatter-gather shard router: per-shard snapshot stores, a fan-out
+//! The scatter-gather shard router: per-shard transports, a fan-out
 //! worker pool, and the two-round distributed greedy over them.
 //!
 //! [`ShardRouter`] is the sharded sibling of
 //! [`NetClusService`](crate::executor::NetClusService). It owns one
-//! [`SnapshotStore`] per shard of a
+//! [`ShardTransport`] per shard of a
 //! [`netclus::ShardedNetClusIndex`] (all
 //! sharing the same `Arc`-held road network) and answers each query by
 //!
@@ -15,6 +15,25 @@
 //!    greedy on the merged coverage view (see `netclus::shard` for the
 //!    approximation contract).
 //!
+//! ## Transports
+//!
+//! Where a shard's data lives is abstracted behind [`ShardTransport`]:
+//!
+//! * [`InProcessShard`] — the shard's [`SnapshotStore`] lives in the
+//!   router process; round 1 runs on the router's worker threads against
+//!   the router-shared caches (bit-identical to the pre-transport
+//!   router). Built by [`ShardRouter::start`].
+//! * [`RemoteShard`] — the shard is a `netclus-shardd` process reached
+//!   over the framed TCP protocol ([`crate::shard_proto`]): one
+//!   persistent connection per shard with reconnect-and-backoff, a
+//!   versioned hello handshake, and per-RPC timeouts clamped to the
+//!   query deadline. Built by [`ShardRouter::connect`]. Every
+//!   socket-level failure — connect refusal, read timeout, CRC mismatch,
+//!   version skew, mid-frame disconnect — maps onto the same
+//!   [`ShardFailure`] taxonomy the in-process path uses, so breakers,
+//!   deadline budgets, degraded merges and the stale fallback work
+//!   unchanged over TCP.
+//!
 //! ## Epoch lockstep
 //!
 //! Updates are routed: a trajectory add is assigned a **global** id by the
@@ -24,7 +43,11 @@
 //! gather never mixes epochs. Queries hold a shared read guard against the
 //! router's update lock for the duration of one fan-out; updates take the
 //! write side, so a scatter observes either all-old or all-new shards,
-//! never a torn mix (asserted at gather time).
+//! never a torn mix. A shard that answers at an epoch behind the
+//! router's lockstep epoch — possible only for a remote shard that
+//! missed an apply — is demoted to [`ShardFailure::EpochSkew`] at gather
+//! time and the answer degrades with a sound utility bound instead of
+//! tearing.
 //!
 //! ## Round-1 caches (the warm path)
 //!
@@ -92,6 +115,8 @@
 //!   publisher stall.
 
 use std::collections::{HashMap, VecDeque};
+use std::io::{self, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard};
@@ -114,14 +139,18 @@ use crate::fault::{
     BreakerAdmit, BreakerConfig, BreakerSnapshot, CircuitBreaker, FaultPlan, QueryError,
     ShardFailure,
 };
+use crate::framing::{read_frame, write_frame};
 use crate::metrics::{
-    FaultReport, LatencyHistogram, MetricsClock, MetricsReport, ShardLaneReport, ShardReport,
+    FaultReport, LatencyHistogram, LatencySummary, MetricsClock, MetricsReport, ShardLaneReport,
+    ShardReport,
 };
 use crate::provider_cache::{
     quantize_tau, CacheOutcome, RoundKey, RoundOneCache, ShardProviderCache, ShardProviderKey,
 };
-use crate::snapshot::{RoutedOp, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
+use crate::shard_proto::{round1_request, Request, RespError, Response, SHARD_PROTOCOL_VERSION};
+use crate::snapshot::{RoutedOp, Snapshot, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
 use crate::trace::{LoadGauge, Round1Source, Stage, TraceConfig, TraceMeta, Tracer};
+use crate::wire::MAX_SHARD_RESPONSE;
 
 /// Router configuration.
 #[derive(Clone, Copy, Debug)]
@@ -247,20 +276,535 @@ pub struct ShardedServiceAnswer {
     pub stale: bool,
 }
 
-/// A successful round-1 shard reply. The trajectory-id bound rides along
-/// because shard bounds can differ (a shard that never received a
-/// trajectory keeps the shorter id space) and the merge must size its
-/// inversion to the largest; `source` reports where the round-1 answer
-/// came from (memo, provider hit, coalesced wait, or build), which
-/// drives the hot/cold lane split and the trace span detail.
-struct ShardOk {
-    epoch: u64,
-    bound: usize,
-    source: Round1Source,
-    round: ShardRoundOne,
+/// A successful round-1 shard reply — what a [`ShardTransport`] returns.
+/// The trajectory-id bound rides along because shard bounds can differ
+/// (a shard that never received a trajectory keeps the shorter id space)
+/// and the merge must size its inversion to the largest; `source`
+/// reports where the round-1 answer came from (memo, provider hit,
+/// coalesced wait, or build), which drives the hot/cold lane split and
+/// the trace span detail.
+#[derive(Clone, Debug)]
+pub struct Round1Ok {
+    /// Epoch the shard snapshot was pinned at.
+    pub epoch: u64,
+    /// The shard's trajectory-id bound (merge inversion sizing).
+    pub bound: usize,
+    /// Which cache lane served the answer.
+    pub source: Round1Source,
+    /// The candidates with coverage rows plus round-1 timings.
+    pub round: ShardRoundOne,
 }
 
-type ShardReplyMsg = (u32, Result<ShardOk, ShardFailure>);
+/// What one shard did with its routed slice of an update batch.
+#[derive(Clone, Debug)]
+pub struct ShardApplyOutcome {
+    /// The epoch the shard published after the batch.
+    pub epoch: u64,
+    /// Per-op outcome in routed order (`true` = applied).
+    pub results: Vec<bool>,
+}
+
+/// Borrowed router-side context for one round-1 task. The in-process
+/// transport runs the full memo → provider → cold resolution against the
+/// router-shared caches; the remote transport only reads `shard` and
+/// `deadline` (the shard server keeps its own caches).
+pub struct Round1Ctx<'a> {
+    /// Shard lane being served.
+    pub shard: u32,
+    /// Round-1 budget deadline, if any.
+    pub deadline: Option<Instant>,
+    /// Router-shared provider cache (`None` = disabled).
+    pub providers: Option<&'a ShardProviderCache>,
+    /// Router-shared round-1 candidate memo (`None` = disabled).
+    pub rounds: Option<&'a RoundOneCache>,
+    /// Threads per provider build on a cache miss.
+    pub build_threads: usize,
+    /// The calling worker's reusable provider-build scratch.
+    pub scratch: &'a mut ProviderScratch,
+    /// Provider-build latency sink (one sample per actual build).
+    pub provider_build: &'a LatencyHistogram,
+}
+
+/// Where one shard's data lives and how to talk to it. The router is
+/// transport-agnostic: [`InProcessShard`] serves from a local
+/// [`SnapshotStore`] on the router's own worker threads, [`RemoteShard`]
+/// speaks the framed TCP protocol to a `netclus-shardd` process.
+/// Failures surface as [`ShardFailure`] either way, so the fault
+/// machinery (breakers, budgets, degraded merges, stale fallback) is
+/// shared between both.
+pub trait ShardTransport: Send + Sync {
+    /// Transport tag for the metrics report: `"in_process"` or
+    /// `"remote"`.
+    fn kind(&self) -> &'static str;
+    /// Answers one round-1 scatter task.
+    fn round1(&self, query: &TopsQuery, ctx: &mut Round1Ctx<'_>) -> Result<Round1Ok, ShardFailure>;
+    /// Applies this shard's routed slice of an update batch (possibly
+    /// empty — lockstep epochs advance on every batch) and reports the
+    /// published epoch plus per-op acks.
+    fn apply(&self, ops: &[RoutedOp]) -> Result<ShardApplyOutcome, ShardFailure>;
+    /// The shard's current (local) or last-observed (remote) epoch.
+    fn epoch(&self) -> u64;
+    /// The local snapshot store, when the shard lives in this process.
+    fn local_store(&self) -> Option<&SnapshotStore> {
+        None
+    }
+    /// RPC counters, when the transport issues RPCs.
+    fn counters(&self) -> Option<&TransportCounters> {
+        None
+    }
+}
+
+/// The in-process transport: the shard's [`SnapshotStore`] lives in the
+/// router process and round 1 runs on the router's worker threads
+/// against the router-shared caches — bit-identical to the
+/// pre-transport router.
+pub struct InProcessShard {
+    store: SnapshotStore,
+}
+
+impl InProcessShard {
+    /// Wraps one shard's snapshot store.
+    pub fn new(store: SnapshotStore) -> InProcessShard {
+        InProcessShard { store }
+    }
+}
+
+impl ShardTransport for InProcessShard {
+    fn kind(&self) -> &'static str {
+        "in_process"
+    }
+
+    fn round1(&self, query: &TopsQuery, ctx: &mut Round1Ctx<'_>) -> Result<Round1Ok, ShardFailure> {
+        let snap = self.store.load();
+        Ok(resolve_round1(
+            &snap,
+            ctx.shard,
+            query,
+            ctx.providers,
+            ctx.rounds,
+            ctx.build_threads,
+            ctx.scratch,
+            ctx.provider_build,
+        ))
+    }
+
+    fn apply(&self, ops: &[RoutedOp]) -> Result<ShardApplyOutcome, ShardFailure> {
+        let (receipt, results) = self.store.apply_routed_results(ops);
+        Ok(ShardApplyOutcome {
+            epoch: receipt.epoch,
+            results,
+        })
+    }
+
+    fn epoch(&self) -> u64 {
+        self.store.epoch()
+    }
+
+    fn local_store(&self) -> Option<&SnapshotStore> {
+        Some(&self.store)
+    }
+}
+
+/// The shared round-1 resolution, cheapest lane first: candidate memo →
+/// provider cache (single-flight build on a miss) → cold rebuild. Used
+/// by [`InProcessShard`] against the router's caches and by the shard
+/// server against its own.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn resolve_round1(
+    snap: &Snapshot,
+    shard: u32,
+    query: &TopsQuery,
+    providers: Option<&ShardProviderCache>,
+    rounds: Option<&RoundOneCache>,
+    build_threads: usize,
+    scratch: &mut ProviderScratch,
+    provider_build: &LatencyHistogram,
+) -> Round1Ok {
+    let epoch = snap.epoch();
+    let bound = snap.trajs().id_bound();
+    let memo_key = rounds.map(|_| RoundKey::new(epoch, shard, query.tau, &query.preference));
+    let memoized = match (rounds, &memo_key) {
+        (Some(rounds), Some(key)) => rounds.lookup(key, query.k),
+        _ => None,
+    };
+    let (round, source) = match memoized {
+        Some(round) => (round, Round1Source::Memo),
+        None => {
+            let (round, source) = match providers {
+                Some(providers) => {
+                    let p = snap.index().instance_for(query.tau);
+                    let key = ShardProviderKey::new(epoch, shard, p, query.tau);
+                    let (provider, outcome) = providers.get_or_build(key, || {
+                        let build_start = Instant::now();
+                        let built = ClusteredProvider::build_with(
+                            snap.index().instance(p),
+                            query.tau,
+                            bound,
+                            build_threads,
+                            scratch,
+                        );
+                        provider_build.record(build_start.elapsed());
+                        built
+                    });
+                    let source = match outcome {
+                        CacheOutcome::Hit => Round1Source::ProviderHit,
+                        CacheOutcome::Coalesced => Round1Source::Coalesced,
+                        CacheOutcome::Miss => Round1Source::Built,
+                    };
+                    (local_candidates_on(&provider, p, query), source)
+                }
+                None => (
+                    local_candidates(snap.index(), query, bound, scratch),
+                    Round1Source::Cold,
+                ),
+            };
+            if let (Some(rounds), Some(key)) = (rounds, memo_key) {
+                rounds.insert(key, round.clone());
+            }
+            (round, source)
+        }
+    };
+    Round1Ok {
+        epoch,
+        bound,
+        source,
+        round,
+    }
+}
+
+/// RPC counters a remote transport maintains; summed into the
+/// `transport_*` fields of [`ShardReport`].
+#[derive(Debug, Default)]
+pub struct TransportCounters {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    reconnects: AtomicU64,
+    rpc_latency: LatencyHistogram,
+}
+
+impl TransportCounters {
+    /// Point-in-time view.
+    pub fn snapshot(&self) -> TransportSnapshot {
+        TransportSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            reconnects: self.reconnects.load(Ordering::Relaxed),
+            rpc: self.rpc_latency.summary(),
+        }
+    }
+}
+
+/// Point-in-time [`TransportCounters`] view.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct TransportSnapshot {
+    /// RPCs issued, including failed ones.
+    pub requests: u64,
+    /// RPCs that ended in a [`ShardFailure`].
+    pub errors: u64,
+    /// Successful (re)connect handshakes.
+    pub reconnects: u64,
+    /// Round-trip latency of completed RPCs.
+    pub rpc: LatencySummary,
+}
+
+/// Tuning for one [`RemoteShard`] connection. All timeouts must be
+/// nonzero.
+#[derive(Clone, Copy, Debug)]
+pub struct RemoteShardConfig {
+    /// TCP connect timeout per attempt.
+    pub connect_timeout: Duration,
+    /// Per-RPC read/write timeout (clamped further by the query
+    /// deadline).
+    pub io_timeout: Duration,
+    /// First reconnect backoff after a failed attempt; doubles per
+    /// consecutive failure. While the backoff window is open, RPCs
+    /// fast-fail [`ShardFailure::Unreachable`] without touching the
+    /// socket.
+    pub backoff: Duration,
+    /// Backoff ceiling.
+    pub backoff_max: Duration,
+}
+
+impl Default for RemoteShardConfig {
+    fn default() -> Self {
+        RemoteShardConfig {
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(5),
+            backoff: Duration::from_millis(50),
+            backoff_max: Duration::from_secs(2),
+        }
+    }
+}
+
+/// What the hello handshake learned about a shard server.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardHello {
+    /// Epoch the shard currently publishes.
+    pub epoch: u64,
+    /// The shard's trajectory-id bound (global ids assigned so far).
+    pub traj_id_bound: u64,
+    /// Live trajectories the shard holds.
+    pub live_trajs: u64,
+}
+
+struct ConnState {
+    stream: Option<TcpStream>,
+    /// No reconnect attempt before this instant (backoff window).
+    next_attempt: Option<Instant>,
+    backoff: Duration,
+}
+
+/// The remote transport: one shard served by a `netclus-shardd` process
+/// over the framed TCP protocol ([`crate::shard_proto`]). Keeps one
+/// persistent connection guarded by a mutex (the router scatters at most
+/// one round-1 task per shard at a time, so the lock is uncontended on
+/// the query path) and reconnects with exponential backoff after any
+/// transport-level failure.
+pub struct RemoteShard {
+    shard: u32,
+    addr: SocketAddr,
+    cfg: RemoteShardConfig,
+    conn: Mutex<ConnState>,
+    /// Last epoch observed in any response — the router's lockstep hint.
+    last_epoch: AtomicU64,
+    counters: TransportCounters,
+}
+
+impl RemoteShard {
+    /// A transport for shard `shard` served at `addr`. Connects lazily:
+    /// the first RPC performs the hello handshake.
+    pub fn new(shard: u32, addr: SocketAddr, cfg: RemoteShardConfig) -> RemoteShard {
+        RemoteShard {
+            shard,
+            addr,
+            conn: Mutex::new(ConnState {
+                stream: None,
+                next_attempt: None,
+                backoff: cfg.backoff,
+            }),
+            cfg,
+            last_epoch: AtomicU64::new(0),
+            counters: TransportCounters::default(),
+        }
+    }
+
+    /// The shard id this transport routes to.
+    pub fn shard(&self) -> u32 {
+        self.shard
+    }
+
+    /// Asks the server for its hello summary (connecting first if
+    /// needed) — what [`ShardRouter::connect`] seeds its global id space
+    /// and replication gauges from.
+    pub fn hello(&self) -> Result<ShardHello, ShardFailure> {
+        let req = Request::Hello {
+            version: SHARD_PROTOCOL_VERSION,
+            shard: self.shard,
+        };
+        match self.call(&req, None)? {
+            Response::HelloAck {
+                epoch,
+                traj_id_bound,
+                live_trajs,
+                ..
+            } => Ok(ShardHello {
+                epoch,
+                traj_id_bound,
+                live_trajs,
+            }),
+            _ => Err(ShardFailure::CorruptReply),
+        }
+    }
+
+    /// One RPC: (re)connect if needed, clamp the io timeout to the
+    /// remaining deadline, exchange one frame pair, classify failures.
+    fn call(&self, req: &Request, deadline: Option<Instant>) -> Result<Response, ShardFailure> {
+        let start = Instant::now();
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        let result = self.call_locked(req, deadline);
+        match &result {
+            Ok(_) => self.counters.rpc_latency.record(start.elapsed()),
+            Err(_) => {
+                self.counters.errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        result
+    }
+
+    fn call_locked(
+        &self,
+        req: &Request,
+        deadline: Option<Instant>,
+    ) -> Result<Response, ShardFailure> {
+        let mut conn = lock_recover(&self.conn);
+        if conn.stream.is_none() {
+            self.reconnect_locked(&mut conn)?;
+        }
+        let stream = conn.stream.as_mut().expect("connected above");
+        let mut timeout = self.cfg.io_timeout;
+        if let Some(dl) = deadline {
+            let left = dl.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(ShardFailure::TimedOut);
+            }
+            timeout = timeout.min(left);
+        }
+        let _ = stream.set_read_timeout(Some(timeout));
+        let _ = stream.set_write_timeout(Some(timeout));
+        let result = exchange(stream, req);
+        match &result {
+            Ok(resp) => {
+                if let Some(epoch) = response_epoch(resp) {
+                    self.last_epoch.store(epoch, Ordering::Relaxed);
+                }
+            }
+            Err(_) => {
+                // The stream may hold a half-written request or a
+                // half-read reply; start fresh on the next call.
+                conn.stream = None;
+            }
+        }
+        result
+    }
+
+    fn reconnect_locked(&self, conn: &mut ConnState) -> Result<(), ShardFailure> {
+        let now = Instant::now();
+        if let Some(at) = conn.next_attempt {
+            if now < at {
+                return Err(ShardFailure::Unreachable);
+            }
+        }
+        let attempt = (|| {
+            let mut stream = TcpStream::connect_timeout(&self.addr, self.cfg.connect_timeout)
+                .map_err(|_| ShardFailure::Unreachable)?;
+            let _ = stream.set_nodelay(true);
+            let _ = stream.set_read_timeout(Some(self.cfg.io_timeout));
+            let _ = stream.set_write_timeout(Some(self.cfg.io_timeout));
+            let hello = Request::Hello {
+                version: SHARD_PROTOCOL_VERSION,
+                shard: self.shard,
+            };
+            match exchange(&mut stream, &hello)? {
+                Response::HelloAck {
+                    version,
+                    shard,
+                    epoch,
+                    ..
+                } => {
+                    if version != SHARD_PROTOCOL_VERSION || shard != self.shard {
+                        return Err(ShardFailure::VersionSkew);
+                    }
+                    self.last_epoch.store(epoch, Ordering::Relaxed);
+                    Ok(stream)
+                }
+                _ => Err(ShardFailure::CorruptReply),
+            }
+        })();
+        match attempt {
+            Ok(stream) => {
+                conn.stream = Some(stream);
+                conn.next_attempt = None;
+                conn.backoff = self.cfg.backoff;
+                self.counters.reconnects.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            }
+            Err(failure) => {
+                conn.next_attempt = Some(now + conn.backoff);
+                conn.backoff = (conn.backoff * 2).min(self.cfg.backoff_max);
+                Err(failure)
+            }
+        }
+    }
+}
+
+impl ShardTransport for RemoteShard {
+    fn kind(&self) -> &'static str {
+        "remote"
+    }
+
+    fn round1(&self, query: &TopsQuery, ctx: &mut Round1Ctx<'_>) -> Result<Round1Ok, ShardFailure> {
+        let req = round1_request(self.epoch(), ctx.shard, query);
+        match self.call(&req, ctx.deadline)? {
+            Response::Round1Ok {
+                epoch,
+                bound,
+                source,
+                round,
+            } => Ok(Round1Ok {
+                epoch,
+                bound: bound as usize,
+                source,
+                round,
+            }),
+            _ => Err(ShardFailure::CorruptReply),
+        }
+    }
+
+    fn apply(&self, ops: &[RoutedOp]) -> Result<ShardApplyOutcome, ShardFailure> {
+        let req = Request::Apply { ops: ops.to_vec() };
+        match self.call(&req, None)? {
+            Response::ApplyAck { epoch, results, .. } => Ok(ShardApplyOutcome { epoch, results }),
+            _ => Err(ShardFailure::CorruptReply),
+        }
+    }
+
+    fn epoch(&self) -> u64 {
+        self.last_epoch.load(Ordering::Relaxed)
+    }
+
+    fn counters(&self) -> Option<&TransportCounters> {
+        Some(&self.counters)
+    }
+}
+
+/// One request/response exchange on an established stream; the request
+/// is framed into one buffer so it leaves as a single write. Maps every
+/// socket- and codec-level failure onto the [`ShardFailure`] taxonomy,
+/// including the server's typed [`Response::Error`] refusals.
+fn exchange(stream: &mut TcpStream, req: &Request) -> Result<Response, ShardFailure> {
+    let payload = req.encode();
+    let mut framed = Vec::with_capacity(payload.len() + 8);
+    write_frame(&mut framed, &payload).map_err(|_| ShardFailure::CorruptReply)?;
+    stream.write_all(&framed).map_err(|e| io_failure(&e))?;
+    let frame = match read_frame(stream, MAX_SHARD_RESPONSE) {
+        Ok(Some(frame)) => frame,
+        Ok(None) => return Err(ShardFailure::Dropped),
+        Err(e) => return Err(io_failure(&e)),
+    };
+    let resp = Response::decode(&frame).map_err(|_| ShardFailure::CorruptReply)?;
+    if let Response::Error(e) = &resp {
+        return Err(match e {
+            RespError::VersionSkew => ShardFailure::VersionSkew,
+            RespError::BadRequest => ShardFailure::CorruptReply,
+            RespError::Injected => ShardFailure::Injected,
+        });
+    }
+    Ok(resp)
+}
+
+/// Socket error → taxonomy: a timeout is [`ShardFailure::TimedOut`] (the
+/// deadline machinery owns it), a CRC mismatch or oversize frame is
+/// [`ShardFailure::CorruptReply`], anything else means the connection
+/// died mid-exchange ([`ShardFailure::Dropped`]).
+fn io_failure(e: &io::Error) -> ShardFailure {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ShardFailure::TimedOut,
+        io::ErrorKind::InvalidData => ShardFailure::CorruptReply,
+        _ => ShardFailure::Dropped,
+    }
+}
+
+fn response_epoch(resp: &Response) -> Option<u64> {
+    match resp {
+        Response::HelloAck { epoch, .. }
+        | Response::Round1Ok { epoch, .. }
+        | Response::ApplyAck { epoch, .. }
+        | Response::HeartbeatAck { epoch, .. } => Some(*epoch),
+        _ => None,
+    }
+}
+
+type ShardReplyMsg = (u32, Result<Round1Ok, ShardFailure>);
 
 /// One round-1 unit of work handed to the pool.
 struct ShardTask {
@@ -352,6 +896,10 @@ struct RouterQueue {
 struct UpdateState {
     /// Next global trajectory id to assign.
     next_id: u64,
+    /// The authoritative lockstep epoch. Every shard that is keeping up
+    /// publishes this epoch; a gather demotes answers from any other
+    /// epoch to [`ShardFailure::EpochSkew`].
+    epoch: u64,
     /// Live replication bookkeeping (kept in sync with routed updates).
     replication: ReplicationStats,
 }
@@ -359,7 +907,7 @@ struct UpdateState {
 struct RouterInner {
     net: Arc<RoadNetwork>,
     partition: RegionPartition,
-    stores: Vec<SnapshotStore>,
+    transports: Vec<Box<dyn ShardTransport>>,
     /// Queries take `read`, updates take `write`: a fan-out observes every
     /// shard at one lockstep epoch.
     update_lock: RwLock<UpdateState>,
@@ -425,20 +973,97 @@ impl ShardRouter {
     ) -> std::io::Result<Self> {
         let next_id = sharded.traj_id_bound() as u64;
         let (partition, shards, replication) = sharded.into_parts();
-        let stores: Vec<SnapshotStore> = shards
+        let transports: Vec<Box<dyn ShardTransport>> = shards
             .into_iter()
             .map(|NetClusShard { trajs, index, .. }| {
-                SnapshotStore::with_shared_net(Arc::clone(&net), trajs, index)
+                Box::new(InProcessShard::new(SnapshotStore::with_shared_net(
+                    Arc::clone(&net),
+                    trajs,
+                    index,
+                ))) as Box<dyn ShardTransport>
             })
             .collect();
-        let lanes = stores.len();
+        Self::start_with_transports(net, partition, transports, next_id, 0, replication, cfg)
+    }
+
+    /// Connects to `netclus-shardd` servers at `addrs` (one per shard, in
+    /// shard order) and starts a router whose every lane is a
+    /// [`RemoteShard`]. Every hello handshake must succeed; the global id
+    /// space is seeded from the largest per-shard trajectory-id bound and
+    /// the lockstep epoch from the largest reported epoch (a shard behind
+    /// it is demoted to [`ShardFailure::EpochSkew`] at query time until
+    /// it catches up).
+    ///
+    /// Replication seeding is best-effort: the per-shard live-trajectory
+    /// counts — the only figures the degraded-answer utility bound uses —
+    /// are exact from the handshakes, while the global trajectory and
+    /// boundary gauges assume a partition-respecting corpus (no
+    /// cross-shard trajectories), which holds for corpora built by
+    /// `netclus-shardd` itself.
+    ///
+    /// # Errors
+    /// An [`io::Error`] when any shard cannot be reached or refuses the
+    /// handshake, or when worker threads cannot spawn.
+    pub fn connect(
+        net: Arc<RoadNetwork>,
+        partition: RegionPartition,
+        addrs: &[SocketAddr],
+        cfg: ShardRouterConfig,
+        remote: RemoteShardConfig,
+    ) -> std::io::Result<Self> {
+        let mut transports: Vec<Box<dyn ShardTransport>> = Vec::with_capacity(addrs.len());
+        let mut next_id = 0u64;
+        let mut epoch = 0u64;
+        let mut per_shard = Vec::with_capacity(addrs.len());
+        for (s, &addr) in addrs.iter().enumerate() {
+            let shard = RemoteShard::new(s as u32, addr, remote);
+            let info = shard.hello().map_err(|failure| {
+                io::Error::new(
+                    io::ErrorKind::ConnectionRefused,
+                    format!("shard {s} at {addr}: {failure}"),
+                )
+            })?;
+            next_id = next_id.max(info.traj_id_bound);
+            epoch = epoch.max(info.epoch);
+            per_shard.push(info.live_trajs as usize);
+            transports.push(Box::new(shard));
+        }
+        let total: usize = per_shard.iter().sum();
+        let replication = ReplicationStats {
+            trajectories: total,
+            boundary: 0,
+            replicas: total,
+            per_shard,
+        };
+        Self::start_with_transports(net, partition, transports, next_id, epoch, replication, cfg)
+    }
+
+    /// Starts a router over an explicit transport mix (the constructor
+    /// [`ShardRouter::start`] and [`ShardRouter::connect`] both lower
+    /// into). `next_id`, `epoch` and `replication` seed the update-side
+    /// state and must describe the shards' current contents.
+    ///
+    /// # Errors
+    /// Returns the OS error when a worker thread cannot be spawned;
+    /// already-spawned workers are stopped and joined first.
+    pub fn start_with_transports(
+        net: Arc<RoadNetwork>,
+        partition: RegionPartition,
+        transports: Vec<Box<dyn ShardTransport>>,
+        next_id: u64,
+        epoch: u64,
+        replication: ReplicationStats,
+        cfg: ShardRouterConfig,
+    ) -> std::io::Result<Self> {
+        let lanes = transports.len();
         let workers = if cfg.workers == 0 { lanes } else { cfg.workers }.max(1);
         let inner = Arc::new(RouterInner {
             net,
             partition,
-            stores,
+            transports,
             update_lock: RwLock::new(UpdateState {
                 next_id,
+                epoch,
                 replication,
             }),
             queue: Mutex::new(RouterQueue {
@@ -498,12 +1123,18 @@ impl ShardRouter {
 
     /// Number of shards served.
     pub fn shard_count(&self) -> usize {
-        self.inner.stores.len()
+        self.inner.transports.len()
     }
 
-    /// The (lockstep) epoch currently published by every shard store.
+    /// The authoritative lockstep epoch (what every keeping-up shard
+    /// publishes).
     pub fn epoch(&self) -> u64 {
-        self.inner.stores[0].epoch()
+        read_recover(&self.inner.update_lock).epoch
+    }
+
+    /// Transport tags in shard order (`"in_process"` / `"remote"`).
+    pub fn transport_kinds(&self) -> Vec<&'static str> {
+        self.inner.transports.iter().map(|t| t.kind()).collect()
     }
 
     /// The node partition queries are routed by.
@@ -572,9 +1203,9 @@ impl ShardRouter {
         // guard also exposes the live per-shard trajectory counts the
         // degraded-answer bound needs.
         let state = read_recover(&inner.update_lock);
-        let lanes = inner.stores.len();
+        let lanes = inner.transports.len();
         let (tx, rx) = channel();
-        let mut outcomes: Vec<Option<Result<ShardOk, ShardFailure>>> =
+        let mut outcomes: Vec<Option<Result<Round1Ok, ShardFailure>>> =
             (0..lanes).map(|_| None).collect();
         let mut probes = vec![false; lanes];
         let mut pending = 0usize;
@@ -656,6 +1287,18 @@ impl ShardRouter {
                 }));
             }
         }
+        // A survivor pinned at a different epoch than the lockstep state
+        // (a remote shard that missed an apply) cannot be merged without
+        // tearing the answer: demote it to a typed failure *before* the
+        // accounting below, so breakers back off the lagging shard too.
+        let lockstep_epoch = state.epoch;
+        for slot in outcomes.iter_mut() {
+            if let Some(Ok(ok)) = slot {
+                if ok.epoch != lockstep_epoch {
+                    *slot = Some(Err(ShardFailure::EpochSkew));
+                }
+            }
+        }
         // Breaker + failure accounting, exactly once per scattered task —
         // the gather is the one place every task's fate is known.
         let verdict_at = Instant::now();
@@ -689,16 +1332,11 @@ impl ShardRouter {
         for (shard, slot) in outcomes.into_iter().enumerate() {
             match slot.expect("outcome classified") {
                 Ok(ok) => {
+                    debug_assert_eq!(ok.epoch, lockstep_epoch, "skewed epochs demoted above");
                     if first_survivor {
                         epoch = ok.epoch;
                         instance = ok.round.instance;
                         first_survivor = false;
-                    } else {
-                        assert_eq!(
-                            ok.epoch, epoch,
-                            "scatter mixed epochs {} vs {epoch}",
-                            ok.epoch
-                        );
                     }
                     bound = bound.max(ok.bound);
                     all_hot &= ok.source.is_hot();
@@ -924,10 +1562,15 @@ impl ShardRouter {
     }
 
     /// Applies an update batch: trajectory adds receive router-assigned
-    /// global ids and are shipped to exactly the shards they touch; every
-    /// shard store publishes the next epoch (possibly from an empty batch)
-    /// so epochs stay in lockstep. Returns the aggregate receipt under the
-    /// new epoch.
+    /// global ids and are shipped to exactly the shards they touch,
+    /// removes are broadcast (ownership lives shard-side — a remote
+    /// shard's corpus is not visible here); every shard publishes the
+    /// next epoch (possibly from an empty batch) so epochs stay in
+    /// lockstep. Receipts and replication bookkeeping are reconstructed
+    /// from the per-op acks each shard returns, so they are exact over
+    /// both transports. A shard whose apply RPC fails outright misses
+    /// the batch and falls behind the lockstep epoch; its answers are
+    /// demoted to [`ShardFailure::EpochSkew`] until it catches up.
     pub fn apply_updates(&self, batch: UpdateBatch) -> UpdateReceipt {
         let inner = &*self.inner;
         let t = Instant::now();
@@ -935,19 +1578,27 @@ impl ShardRouter {
             .update_lock
             .write()
             .unwrap_or_else(PoisonError::into_inner);
-        let lanes = inner.stores.len();
-        let snaps: Vec<_> = inner.stores.iter().map(SnapshotStore::load).collect();
+        let lanes = inner.transports.len();
         let mut routed: Vec<Vec<RoutedOp>> = (0..lanes).map(|_| Vec::new()).collect();
-        let mut applied = 0usize;
-        let mut rejected = 0usize;
-        // Within-batch overlay so sequenced ops (remove site, re-add it)
-        // validate against the state earlier ops in this batch produced,
-        // matching the monolithic store's sequential semantics.
-        let mut site_overlay: std::collections::HashMap<u32, bool> =
-            std::collections::HashMap::new();
-        let mut removed_trajs: std::collections::HashSet<u32> = std::collections::HashSet::new();
-        let mut added_owners: std::collections::HashMap<u32, Vec<u32>> =
-            std::collections::HashMap::new();
+        // Where each batch op's routed copies landed — `(shard, index in
+        // that shard's slice)` — so shard acks map back to per-op
+        // outcomes. Per-shard slices stay in batch order, so sequenced
+        // semantics (remove a site, re-add it; add a trajectory, remove
+        // it) match the monolithic store's.
+        enum Placed {
+            /// Failed router-side validation (off-network node).
+            Rejected,
+            Add {
+                slots: Vec<(usize, usize)>,
+            },
+            Remove {
+                slots: Vec<(usize, usize)>,
+            },
+            Site {
+                slot: (usize, usize),
+            },
+        }
+        let mut placements: Vec<Placed> = Vec::new();
         for op in batch {
             match op {
                 UpdateOp::AddTrajectory(traj) => {
@@ -956,90 +1607,136 @@ impl ShardRouter {
                         .iter()
                         .any(|v| v.index() >= inner.net.node_count())
                     {
-                        rejected += 1;
+                        placements.push(Placed::Rejected);
                         continue;
                     }
                     let owners = netclus::shards_of_trajectory(&inner.partition, &traj);
                     let id = TrajId(state.next_id as u32);
                     state.next_id += 1;
-                    state.replication.trajectories += 1;
-                    state.replication.replicas += owners.len();
-                    if owners.len() >= 2 {
-                        state.replication.boundary += 1;
-                    }
+                    let mut slots = Vec::with_capacity(owners.len());
                     for &s in &owners {
-                        state.replication.per_shard[s as usize] += 1;
+                        slots.push((s as usize, routed[s as usize].len()));
                         routed[s as usize].push(RoutedOp::AddTrajectoryAt(id, traj.clone()));
                     }
-                    added_owners.insert(id.0, owners);
-                    applied += 1;
+                    placements.push(Placed::Add { slots });
                 }
                 UpdateOp::RemoveTrajectory(id) => {
-                    // A trajectory added earlier in this same batch is
-                    // removable — per-shard ops stay sequenced, matching
-                    // the monolithic store's semantics.
-                    let owners: Vec<u32> = match added_owners.get(&id.0) {
-                        Some(owners) => owners.clone(),
-                        None => (0..lanes as u32)
-                            .filter(|&s| snaps[s as usize].trajs().get(id).is_some())
-                            .collect(),
-                    };
-                    if owners.is_empty() || !removed_trajs.insert(id.0) {
-                        rejected += 1;
-                        continue;
+                    let mut slots = Vec::with_capacity(lanes);
+                    for (s, ops) in routed.iter_mut().enumerate() {
+                        slots.push((s, ops.len()));
+                        ops.push(RoutedOp::RemoveTrajectory(id));
                     }
-                    state.replication.trajectories -= 1;
-                    state.replication.replicas -= owners.len();
-                    if owners.len() >= 2 {
-                        state.replication.boundary -= 1;
-                    }
-                    for &s in &owners {
-                        state.replication.per_shard[s as usize] -= 1;
-                        routed[s as usize].push(RoutedOp::RemoveTrajectory(id));
-                    }
-                    applied += 1;
+                    placements.push(Placed::Remove { slots });
                 }
                 UpdateOp::AddSite(v) => {
                     if v.index() >= inner.net.node_count() {
-                        rejected += 1;
+                        placements.push(Placed::Rejected);
                         continue;
                     }
                     let s = inner.partition.shard_of(v) as usize;
-                    let is_site = site_overlay
-                        .get(&v.0)
-                        .copied()
-                        .unwrap_or_else(|| snaps[s].index().is_site(v));
-                    if is_site {
-                        rejected += 1;
-                    } else {
-                        site_overlay.insert(v.0, true);
-                        routed[s].push(RoutedOp::AddSite(v));
-                        applied += 1;
-                    }
+                    let slot = (s, routed[s].len());
+                    routed[s].push(RoutedOp::AddSite(v));
+                    placements.push(Placed::Site { slot });
                 }
                 UpdateOp::RemoveSite(v) => {
                     if v.index() >= inner.net.node_count() {
-                        rejected += 1;
+                        placements.push(Placed::Rejected);
                         continue;
                     }
                     let s = inner.partition.shard_of(v) as usize;
-                    let is_site = site_overlay
-                        .get(&v.0)
-                        .copied()
-                        .unwrap_or_else(|| snaps[s].index().is_site(v));
-                    if is_site {
-                        site_overlay.insert(v.0, false);
-                        routed[s].push(RoutedOp::RemoveSite(v));
+                    let slot = (s, routed[s].len());
+                    routed[s].push(RoutedOp::RemoveSite(v));
+                    placements.push(Placed::Site { slot });
+                }
+            }
+        }
+        // Ship every slice — empty ones too, lockstep epochs advance on
+        // every batch — and collect the per-op acks.
+        let mut epoch = state.epoch;
+        let mut acks: Vec<Vec<bool>> = Vec::with_capacity(lanes);
+        for (transport, ops) in inner.transports.iter().zip(&routed) {
+            match transport.apply(ops) {
+                Ok(outcome) => {
+                    epoch = epoch.max(outcome.epoch);
+                    let mut results = outcome.results;
+                    // Defensive against a short remote ack vector: a
+                    // missing ack reads as "not applied".
+                    results.resize(ops.len(), false);
+                    acks.push(results);
+                }
+                Err(_) => {
+                    inner.faultc.shard_failures.fetch_add(1, Ordering::Relaxed);
+                    acks.push(vec![false; ops.len()]);
+                }
+            }
+        }
+        state.epoch = epoch;
+        // Reconstruct the receipt and replication gauges from the acks.
+        // The per-shard counts stay exact under partial failure (they
+        // track actual acks — what the degraded-answer bound needs); the
+        // global trajectory/boundary figures are exact whenever every
+        // owner acked, which is always the case in-process.
+        let mut applied = 0usize;
+        let mut rejected = 0usize;
+        for placed in placements {
+            match placed {
+                Placed::Rejected => rejected += 1,
+                Placed::Add { slots } => {
+                    let acked: Vec<usize> = slots
+                        .iter()
+                        .filter(|&&(s, i)| acks[s][i])
+                        .map(|&(s, _)| s)
+                        .collect();
+                    if !acked.is_empty() && acked.len() == slots.len() {
+                        applied += 1;
+                    } else {
+                        rejected += 1;
+                    }
+                    if !acked.is_empty() {
+                        state.replication.trajectories += 1;
+                        state.replication.replicas += acked.len();
+                        if acked.len() >= 2 {
+                            state.replication.boundary += 1;
+                        }
+                        for s in acked {
+                            state.replication.per_shard[s] += 1;
+                        }
+                    }
+                }
+                Placed::Remove { slots } => {
+                    let acked: Vec<usize> = slots
+                        .iter()
+                        .filter(|&&(s, i)| acks[s][i])
+                        .map(|&(s, _)| s)
+                        .collect();
+                    if acked.is_empty() {
+                        rejected += 1;
+                    } else {
+                        applied += 1;
+                        // Saturating: a remote-connected router seeds the
+                        // global gauges from hello handshakes, which carry
+                        // per-shard live counts but not the boundary
+                        // split — removing a cross-shard trajectory must
+                        // not underflow the best-effort figures.
+                        let r = &mut state.replication;
+                        r.trajectories = r.trajectories.saturating_sub(1);
+                        r.replicas = r.replicas.saturating_sub(acked.len());
+                        if acked.len() >= 2 {
+                            r.boundary = r.boundary.saturating_sub(1);
+                        }
+                        for s in acked {
+                            r.per_shard[s] = r.per_shard[s].saturating_sub(1);
+                        }
+                    }
+                }
+                Placed::Site { slot: (s, i) } => {
+                    if acks[s][i] {
                         applied += 1;
                     } else {
                         rejected += 1;
                     }
                 }
             }
-        }
-        let mut epoch = 0;
-        for (store, ops) in inner.stores.iter().zip(&routed) {
-            epoch = store.apply_routed(ops).epoch;
         }
         // The new lockstep epoch makes every older cache key unreachable;
         // purge eagerly so stale providers/rounds release their memory.
@@ -1063,8 +1760,15 @@ impl ShardRouter {
     }
 
     /// Pins shard `s`'s current snapshot (out-of-band inspection).
+    ///
+    /// # Panics
+    /// When shard `s` is served by a remote transport — a remote shard's
+    /// snapshot is not addressable from the router process.
     pub fn shard_snapshot(&self, s: usize) -> Arc<crate::snapshot::Snapshot> {
-        self.inner.stores[s].load()
+        self.inner.transports[s]
+            .local_store()
+            .expect("shard_snapshot requires an in-process shard")
+            .load()
     }
 
     /// A point-in-time report with the scatter-gather section filled.
@@ -1072,6 +1776,7 @@ impl ShardRouter {
         let inner = &*self.inner;
         let state = read_recover(&inner.update_lock);
         let replication = state.replication.clone();
+        let epoch = state.epoch;
         drop(state);
         let provider_stats = inner
             .providers
@@ -1081,7 +1786,7 @@ impl ShardRouter {
         let round_stats = inner.rounds.as_ref().map(|r| r.stats()).unwrap_or_default();
         let mut report = inner.clock.metrics.report(
             inner.clock.uptime(),
-            self.epoch(),
+            epoch,
             self.workers.lock().map(|w| w.len()).unwrap_or(0).max(1),
             Default::default(),
             // The router's shared provider cache reports through the
@@ -1089,6 +1794,32 @@ impl ShardRouter {
             // provider_* JSON fields work for router reports too.
             provider_stats,
         );
+        // Transport RPC rollup across remote lanes: counts sum; the
+        // latency percentiles take the worst lane (conservative — exact
+        // cross-lane percentiles would need histogram merging) while the
+        // mean is count-weighted.
+        let mut transport_requests = 0u64;
+        let mut transport_errors = 0u64;
+        let mut transport_reconnects = 0u64;
+        let mut transport_rpc = LatencySummary::default();
+        let mut rpc_mean_acc = 0.0f64;
+        for transport in &inner.transports {
+            if let Some(counters) = transport.counters() {
+                let snap = counters.snapshot();
+                transport_requests += snap.requests;
+                transport_errors += snap.errors;
+                transport_reconnects += snap.reconnects;
+                rpc_mean_acc += snap.rpc.mean_micros as f64 * snap.rpc.count as f64;
+                transport_rpc.count += snap.rpc.count;
+                transport_rpc.p50_micros = transport_rpc.p50_micros.max(snap.rpc.p50_micros);
+                transport_rpc.p95_micros = transport_rpc.p95_micros.max(snap.rpc.p95_micros);
+                transport_rpc.p99_micros = transport_rpc.p99_micros.max(snap.rpc.p99_micros);
+                transport_rpc.max_micros = transport_rpc.max_micros.max(snap.rpc.max_micros);
+            }
+        }
+        if transport_rpc.count > 0 {
+            transport_rpc.mean_micros = (rpc_mean_acc / transport_rpc.count as f64) as u64;
+        }
         report.shards = Some(ShardReport {
             lanes: inner
                 .shard_latency
@@ -1105,6 +1836,7 @@ impl ShardRouter {
                         qps_ewma: gauge.qps_ewma,
                         cache_heat: gauge.cache_heat,
                         cold_fraction: gauge.cold_fraction,
+                        transport: inner.transports[s].kind(),
                     }
                 })
                 .collect(),
@@ -1118,14 +1850,24 @@ impl ShardRouter {
             boundary_trajs: replication.boundary as u64,
             replicas: replication.replicas as u64,
             fault: self.fault_report(),
+            transport_requests,
+            transport_errors,
+            transport_reconnects,
+            transport_rpc,
         });
-        report.process.arena_resident_bytes = Some(
-            inner
-                .stores
+        // Arena residency is only meaningful when every shard's index
+        // lives in this process; a cluster of remote shards reports none.
+        let local: Vec<&SnapshotStore> = inner
+            .transports
+            .iter()
+            .filter_map(|t| t.local_store())
+            .collect();
+        report.process.arena_resident_bytes = (local.len() == inner.transports.len()).then(|| {
+            local
                 .iter()
                 .map(|s| s.load().index().heap_size_bytes() as u64)
-                .sum(),
-        );
+                .sum()
+        });
         report
     }
 
@@ -1215,7 +1957,7 @@ impl ReplyGuard<'_> {
     /// Sends the task's outcome. A failed send means the gather stopped
     /// listening (deadline given up, client gone) — counted as an
     /// abandoned gather instead of silently ignored.
-    fn send(mut self, result: Result<ShardOk, ShardFailure>) {
+    fn send(mut self, result: Result<Round1Ok, ShardFailure>) {
         if let Some(tx) = self.reply.take() {
             if tx.send((self.shard, result)).is_err() {
                 self.abandoned.fetch_add(1, Ordering::Relaxed);
@@ -1325,7 +2067,10 @@ fn worker_loop(inner: &RouterInner) {
             if let Some(action) = plan.and_then(|p| p.decide(shard, seq)) {
                 use crate::fault::FaultAction;
                 match action {
-                    FaultAction::Delay(d) => std::thread::sleep(d),
+                    // Socket-level actions degrade to their nearest
+                    // in-process analog here; over a real socket the
+                    // shard server applies them to the stream itself.
+                    FaultAction::Delay(d) | FaultAction::Stall(d) => std::thread::sleep(d),
                     FaultAction::Error => {
                         guard.send(Err(ShardFailure::Injected));
                         continue;
@@ -1333,8 +2078,12 @@ fn worker_loop(inner: &RouterInner) {
                     FaultAction::Panic => {
                         panic!("injected panic: shard {shard} task {seq}")
                     }
-                    FaultAction::Drop => {
+                    FaultAction::Drop | FaultAction::DropConnection => {
                         guard.disarm();
+                        continue;
+                    }
+                    FaultAction::CorruptFrame => {
+                        guard.send(Err(ShardFailure::CorruptReply));
                         continue;
                     }
                 }
@@ -1348,68 +2097,27 @@ fn worker_loop(inner: &RouterInner) {
                 continue;
             }
         }
-        let snap = inner.stores[lane].load();
-        let epoch = snap.epoch();
-        let bound = snap.trajs().id_bound();
-        let query = &query;
+        // Dispatch through the shard's transport: in-process runs the
+        // memo → provider → cold resolution right here against the
+        // router-shared caches; remote issues one framed RPC (the server
+        // keeps its own caches) and maps socket failures to the
+        // taxonomy.
         let t = Instant::now();
-        let memo_key = inner
-            .rounds
-            .as_ref()
-            .map(|_| RoundKey::new(epoch, shard, query.tau, &query.preference));
-        let memoized = match (&inner.rounds, &memo_key) {
-            (Some(rounds), Some(key)) => rounds.lookup(key, query.k),
-            _ => None,
+        let mut ctx = Round1Ctx {
+            shard,
+            deadline,
+            providers: inner.providers.as_ref(),
+            rounds: inner.rounds.as_ref(),
+            build_threads: inner.build_threads,
+            scratch: &mut scratch,
+            provider_build: &inner.clock.metrics.provider_build,
         };
-        let (round, source) = match memoized {
-            Some(round) => (round, Round1Source::Memo),
-            None => {
-                let (round, source) = match &inner.providers {
-                    Some(providers) => {
-                        let p = snap.index().instance_for(query.tau);
-                        let key = ShardProviderKey::new(epoch, shard, p, query.tau);
-                        let (provider, outcome) = providers.get_or_build(key, || {
-                            let build_start = Instant::now();
-                            let built = ClusteredProvider::build_with(
-                                snap.index().instance(p),
-                                query.tau,
-                                bound,
-                                inner.build_threads,
-                                &mut scratch,
-                            );
-                            inner
-                                .clock
-                                .metrics
-                                .provider_build
-                                .record(build_start.elapsed());
-                            built
-                        });
-                        let source = match outcome {
-                            CacheOutcome::Hit => Round1Source::ProviderHit,
-                            CacheOutcome::Coalesced => Round1Source::Coalesced,
-                            CacheOutcome::Miss => Round1Source::Built,
-                        };
-                        (local_candidates_on(&provider, p, query), source)
-                    }
-                    None => (
-                        local_candidates(snap.index(), query, bound, &mut scratch),
-                        Round1Source::Cold,
-                    ),
-                };
-                if let (Some(rounds), Some(key)) = (&inner.rounds, memo_key) {
-                    rounds.insert(key, round.clone());
-                }
-                (round, source)
-            }
-        };
+        let result = inner.transports[lane].round1(&query, &mut ctx);
         inner.shard_latency[lane].record(t.elapsed());
-        inner.gauges[lane].observe(source);
-        guard.send(Ok(ShardOk {
-            epoch,
-            bound,
-            source,
-            round,
-        }));
+        if let Ok(ok) = &result {
+            inner.gauges[lane].observe(ok.source);
+        }
+        guard.send(result);
     }
 }
 

@@ -1,0 +1,886 @@
+//! The shard-server side of the cluster protocol: one shard's
+//! [`SnapshotStore`] behind a framed TCP accept loop, speaking
+//! [`crate::shard_proto`] to remote routers.
+//!
+//! A [`ShardServer`] is what the `netclus-shardd` binary wraps: it owns
+//! the shard's snapshot store plus its **own** round-1 caches (provider
+//! cache with single-flight builds and the candidate memo — remote
+//! routers cannot share the router-process caches, so the server keeps
+//! the equivalent pair and invalidates them on every epoch advance), a
+//! load gauge feeding `Heartbeat` answers, and an optional
+//! [`FaultPlan`] whose socket-level actions let the chaos suite script
+//! real-connection failures (drop the connection mid-request, stall
+//! past the client's read deadline, corrupt a response frame so its CRC
+//! check fails).
+//!
+//! The listener reuses the telemetry endpoint's hardening: every
+//! connection is served on its own thread under read/write deadlines,
+//! request frames are bounded at [`crate::wire::MAX_SHARD_REQUEST`],
+//! and at most [`ShardServerConfig::max_connections`] connections are
+//! served at once — excess connections are dropped without a reply, so
+//! a router sees [`crate::fault::ShardFailure::Dropped`] and its
+//! breaker/degraded machinery takes over instead of queueing behind a
+//! wedged server.
+//!
+//! Request handling is validate-first: the `Hello` version gate answers
+//! [`RespError::VersionSkew`] on protocol skew, and a `Round1` for the
+//! wrong shard, an unknown ψ, a hostile `k`, or a non-finite τ is
+//! refused with [`RespError::BadRequest`] before any work happens. The
+//! round-1 body itself is `resolve_round1` — the same memo → provider →
+//! cold resolution the in-process transport runs, so a remote answer is
+//! bit-identical to a local one.
+
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use netclus::{ProviderScratch, TopsQuery};
+
+use crate::fault::{FaultAction, FaultPlan};
+use crate::framing::{read_frame, write_frame};
+use crate::metrics::LatencyHistogram;
+use crate::provider_cache::{RoundOneCache, ShardProviderCache};
+use crate::shard_proto::{
+    preference_from_key, Request, RespError, Response, SHARD_PROTOCOL_VERSION,
+};
+use crate::shard_router::resolve_round1;
+use crate::snapshot::SnapshotStore;
+use crate::telemetry::TelemetrySource;
+use crate::trace::LoadGauge;
+use crate::wire::{MAX_SHARD_REQUEST, MAX_WIRE_CANDIDATES};
+
+/// Shard-server tuning.
+#[derive(Clone, Debug)]
+pub struct ShardServerConfig {
+    /// Provider-cache capacity in built providers; **0 disables** (every
+    /// round-1 rebuilds — the cold reference path).
+    pub provider_cache_capacity: usize,
+    /// Round-1 candidate-memo capacity; **0 disables**.
+    pub round_memo_capacity: usize,
+    /// Threads per provider build on a cache miss.
+    pub provider_build_threads: usize,
+    /// Per-connection read/write deadline; a client that stalls longer
+    /// is dropped.
+    pub io_timeout: Duration,
+    /// Connections served concurrently before the accept loop sheds new
+    /// ones (dropped without a reply — the router classifies that as
+    /// [`crate::fault::ShardFailure::Dropped`]).
+    pub max_connections: usize,
+    /// Scripted fault injection on the round-1 request path (see
+    /// [`FaultPlan`]); `None` serves faithfully.
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl Default for ShardServerConfig {
+    fn default() -> Self {
+        ShardServerConfig {
+            provider_cache_capacity: 32,
+            round_memo_capacity: 128,
+            provider_build_threads: 1,
+            io_timeout: Duration::from_secs(5),
+            max_connections: 8,
+            fault_plan: None,
+        }
+    }
+}
+
+/// State shared by every connection thread.
+struct ServerShared {
+    shard: u32,
+    store: SnapshotStore,
+    providers: Option<ShardProviderCache>,
+    rounds: Option<RoundOneCache>,
+    build_threads: usize,
+    gauge: LoadGauge,
+    provider_build: LatencyHistogram,
+    round1_latency: LatencyHistogram,
+    requests: AtomicU64,
+    round1_served: AtomicU64,
+    apply_batches: AtomicU64,
+    bad_requests: AtomicU64,
+    injected_faults: AtomicU64,
+    /// Per-task fault sequence (round-1 requests only, mirroring the
+    /// in-process worker hook).
+    fault_seq: AtomicU64,
+    fault_plan: Option<FaultPlan>,
+    stopping: AtomicBool,
+}
+
+impl ServerShared {
+    /// The single-line JSON the `Report` RPC and the telemetry `metrics`
+    /// command serve.
+    fn metrics_json(&self) -> String {
+        let snap = self.store.load();
+        let gauge = self.gauge.snapshot();
+        let r1 = self.round1_latency.summary();
+        let build = self.provider_build.summary();
+        let (phits, pmiss) = self
+            .providers
+            .as_ref()
+            .map(|p| {
+                let s = p.stats();
+                (s.hits, s.misses)
+            })
+            .unwrap_or((0, 0));
+        let (rhits, rmiss) = self
+            .rounds
+            .as_ref()
+            .map(|r| {
+                let s = r.stats();
+                (s.hits, s.misses)
+            })
+            .unwrap_or((0, 0));
+        format!(
+            "{{\"shard\":{},\"epoch\":{},\"live_trajs\":{},\"traj_id_bound\":{},\
+             \"requests\":{},\"round1_served\":{},\"apply_batches\":{},\
+             \"bad_requests\":{},\"injected_faults\":{},\
+             \"round1_p50_us\":{},\"round1_p99_us\":{},\
+             \"provider_build_p99_us\":{},\
+             \"provider_hits\":{phits},\"provider_misses\":{pmiss},\
+             \"round_hits\":{rhits},\"round_misses\":{rmiss},\
+             \"qps_ewma\":{:.3},\"cache_heat\":{:.3},\"cold_fraction\":{:.3}}}",
+            self.shard,
+            snap.epoch(),
+            snap.trajs().len(),
+            snap.trajs().id_bound(),
+            self.requests.load(Ordering::Relaxed),
+            self.round1_served.load(Ordering::Relaxed),
+            self.apply_batches.load(Ordering::Relaxed),
+            self.bad_requests.load(Ordering::Relaxed),
+            self.injected_faults.load(Ordering::Relaxed),
+            r1.p50_micros,
+            r1.p99_micros,
+            build.p99_micros,
+            gauge.qps_ewma,
+            gauge.cache_heat,
+            gauge.cold_fraction,
+        )
+    }
+
+    fn stages_json(&self) -> String {
+        let r1 = self.round1_latency.summary();
+        let build = self.provider_build.summary();
+        format!(
+            "{{\"stage_round1_p50_us\":{},\"stage_round1_p99_us\":{},\
+             \"stage_provider_build_p50_us\":{},\"stage_provider_build_p99_us\":{}}}",
+            r1.p50_micros, r1.p99_micros, build.p50_micros, build.p99_micros,
+        )
+    }
+}
+
+/// A live connection worker: its join handle plus a clone of its socket
+/// so [`ShardServer::shutdown`] can unblock a read in progress instead
+/// of waiting out the io deadline.
+type ConnWorker = (JoinHandle<()>, Option<TcpStream>);
+
+/// Owned by each connection worker: releases the connection slot when
+/// the worker exits — normal return or panic — and shuts the socket
+/// down explicitly. The shutdown matters because the accept loop holds
+/// a duplicate of the socket (see [`ConnWorker`]); without it that
+/// duplicate keeps the TCP connection open after the worker is done,
+/// and a peer waiting on a reply sees its read deadline instead of the
+/// EOF it should.
+struct ConnGuard {
+    active: Arc<AtomicUsize>,
+    socket: Option<TcpStream>,
+}
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        if let Some(socket) = &self.socket {
+            let _ = socket.shutdown(std::net::Shutdown::Both);
+        }
+        self.active.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// A running shard server: one accept thread handing each connection to
+/// a short-lived worker thread, serving the framed shard protocol.
+pub struct ShardServer {
+    addr: SocketAddr,
+    shared: Arc<ServerShared>,
+    accept_thread: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<ConnWorker>>>,
+}
+
+impl std::fmt::Debug for ShardServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardServer")
+            .field("addr", &self.addr)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardServer {
+    /// Binds `addr` (port 0 for an OS-assigned port) and serves `store`
+    /// as shard `shard`.
+    ///
+    /// # Errors
+    /// The bind or accept-thread spawn error.
+    pub fn start(
+        addr: &str,
+        shard: u32,
+        store: SnapshotStore,
+        cfg: ShardServerConfig,
+    ) -> io::Result<ShardServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(ServerShared {
+            shard,
+            store,
+            providers: (cfg.provider_cache_capacity > 0)
+                .then(|| ShardProviderCache::new(cfg.provider_cache_capacity)),
+            rounds: (cfg.round_memo_capacity > 0)
+                .then(|| RoundOneCache::new(cfg.round_memo_capacity)),
+            build_threads: cfg.provider_build_threads.max(1),
+            gauge: LoadGauge::default(),
+            provider_build: LatencyHistogram::default(),
+            round1_latency: LatencyHistogram::default(),
+            requests: AtomicU64::new(0),
+            round1_served: AtomicU64::new(0),
+            apply_batches: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            injected_faults: AtomicU64::new(0),
+            fault_seq: AtomicU64::new(0),
+            fault_plan: cfg.fault_plan,
+            stopping: AtomicBool::new(false),
+        });
+        let workers: Arc<Mutex<Vec<ConnWorker>>> = Arc::new(Mutex::new(Vec::new()));
+        let active = Arc::new(AtomicUsize::new(0));
+        let io_timeout = cfg.io_timeout;
+        let max_connections = cfg.max_connections.max(1);
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            let workers = Arc::clone(&workers);
+            std::thread::Builder::new()
+                .name(format!("netclus-shardd-{shard}"))
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shared.stopping.load(Ordering::Acquire) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        let mut guard = lock_recover(&workers);
+                        guard.retain(|(h, _)| !h.is_finished());
+                        if active.load(Ordering::Acquire) >= max_connections {
+                            // Shed by dropping: the router sees the close
+                            // as `Dropped` and falls back on its breaker.
+                            drop(stream);
+                            continue;
+                        }
+                        active.fetch_add(1, Ordering::AcqRel);
+                        let socket = stream.try_clone().ok();
+                        let conn_shared = Arc::clone(&shared);
+                        let conn_guard = ConnGuard {
+                            active: Arc::clone(&active),
+                            socket: stream.try_clone().ok(),
+                        };
+                        let spawned = std::thread::Builder::new()
+                            .name(format!("netclus-shardd-{shard}-conn"))
+                            .spawn(move || {
+                                // Releases the slot and shuts the socket
+                                // down on every exit, panic included.
+                                let _guard = conn_guard;
+                                // A misbehaving client (or an injected
+                                // fault) only ever costs its own
+                                // connection.
+                                let _ = serve_connection(stream, &conn_shared, io_timeout);
+                            });
+                        // On spawn failure the closure is dropped unrun,
+                        // and dropping its captured guard already
+                        // releases the connection slot.
+                        if let Ok(handle) = spawned {
+                            guard.push((handle, socket));
+                        }
+                    }
+                })?
+        };
+        Ok(ShardServer {
+            addr,
+            shared,
+            accept_thread: Some(accept_thread),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shard id served.
+    pub fn shard(&self) -> u32 {
+        self.shared.shard
+    }
+
+    /// Current snapshot epoch.
+    pub fn epoch(&self) -> u64 {
+        self.shared.store.epoch()
+    }
+
+    /// The shard-server metrics line (same payload as the `Report` RPC).
+    pub fn metrics_json(&self) -> String {
+        self.shared.metrics_json()
+    }
+
+    /// A [`TelemetrySource`] over this server's own metrics, so a shard
+    /// process can expose the standard `metrics`/`stages`/`slow`
+    /// telemetry commands on its own port (`netclus-shardd --telemetry`).
+    /// Shard servers have no tail-sampler (`slow` is empty) and no
+    /// breakers — those live in the router — so `breakers` answers the
+    /// endpoint's standard no-breakers error.
+    pub fn telemetry_source(&self) -> TelemetrySource {
+        let m = Arc::clone(&self.shared);
+        let s = Arc::clone(&self.shared);
+        TelemetrySource::new(
+            move || m.metrics_json(),
+            move || s.stages_json(),
+            String::new,
+        )
+    }
+
+    /// Whether a `Shutdown` RPC has been accepted (the accept loop is
+    /// winding down).
+    pub fn is_stopping(&self) -> bool {
+        self.shared.stopping.load(Ordering::Acquire)
+    }
+
+    /// Stops the accept loop and joins all connection threads. Prompt:
+    /// live connection sockets are shut down so a worker blocked in a
+    /// read returns immediately instead of waiting out the io deadline.
+    /// Idempotent.
+    pub fn shutdown(&mut self) {
+        if self.shared.stopping.swap(true, Ordering::AcqRel) {
+            // Another path (a `Shutdown` RPC) already initiated the stop;
+            // still join below so shutdown() is a barrier either way.
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+        let workers = std::mem::take(&mut *lock_recover(&self.workers));
+        for (handle, socket) in workers {
+            if let Some(socket) = socket {
+                let _ = socket.shutdown(std::net::Shutdown::Both);
+            }
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for ShardServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn lock_recover<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// What the fault hook decided to do to this response.
+enum Delivery {
+    /// Send the response as-is.
+    Send(Response),
+    /// Send a deliberately CRC-broken frame of the response.
+    Corrupt(Response),
+    /// Swallow the response (the client's read deadline fires).
+    Swallow,
+    /// Close the connection without replying.
+    Hangup,
+}
+
+/// Serves one connection: a loop of framed request → framed response.
+/// Any io or protocol error just drops the connection — the router maps
+/// that onto its failure taxonomy and the server keeps serving others.
+fn serve_connection(
+    stream: TcpStream,
+    shared: &ServerShared,
+    io_timeout: Duration,
+) -> io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(io_timeout))?;
+    stream.set_write_timeout(Some(io_timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut scratch = ProviderScratch::default();
+    while let Some(payload) = read_frame(&mut reader, MAX_SHARD_REQUEST)? {
+        if shared.stopping.load(Ordering::Acquire) {
+            break;
+        }
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        let Ok(req) = Request::decode(&payload) else {
+            // An undecodable request means the stream is torn or the
+            // peer is hostile: refuse and close.
+            shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+            send(&mut writer, &Response::Error(RespError::BadRequest))?;
+            break;
+        };
+        let close_after = matches!(req, Request::Shutdown)
+            || matches!(req, Request::Hello { version, .. } if version != SHARD_PROTOCOL_VERSION);
+        if matches!(req, Request::Shutdown) {
+            shared.stopping.store(true, Ordering::Release);
+        }
+        match handle_request(shared, req, &mut scratch) {
+            Delivery::Send(resp) => send(&mut writer, &resp)?,
+            Delivery::Corrupt(resp) => send_corrupted(&mut writer, &resp)?,
+            Delivery::Swallow => {}
+            Delivery::Hangup => break,
+        }
+        if close_after {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn send(writer: &mut BufWriter<TcpStream>, resp: &Response) -> io::Result<()> {
+    write_frame(writer, &resp.encode())?;
+    writer.flush()
+}
+
+/// Frames the response, then flips the last payload byte so the CRC
+/// check fails on the client — the scripted
+/// [`FaultAction::CorruptFrame`] over a real socket.
+fn send_corrupted(writer: &mut BufWriter<TcpStream>, resp: &Response) -> io::Result<()> {
+    let mut framed = Vec::new();
+    write_frame(&mut framed, &resp.encode())?;
+    let last = framed.len() - 1;
+    framed[last] ^= 0x01;
+    writer.write_all(&framed)?;
+    writer.flush()
+}
+
+fn handle_request(shared: &ServerShared, req: Request, scratch: &mut ProviderScratch) -> Delivery {
+    match req {
+        Request::Hello { version, shard } => {
+            if version != SHARD_PROTOCOL_VERSION {
+                return Delivery::Send(Response::Error(RespError::VersionSkew));
+            }
+            if shard != shared.shard {
+                shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+                return Delivery::Send(Response::Error(RespError::BadRequest));
+            }
+            let snap = shared.store.load();
+            Delivery::Send(Response::HelloAck {
+                version: SHARD_PROTOCOL_VERSION,
+                shard: shared.shard,
+                epoch: snap.epoch(),
+                traj_id_bound: snap.trajs().id_bound() as u64,
+                live_trajs: snap.trajs().len() as u64,
+            })
+        }
+        Request::Round1 {
+            epoch_hint: _,
+            shard,
+            k,
+            tau_bits,
+            psi_tag,
+            psi_param,
+            variant,
+        } => {
+            // The scripted fault hook sits where the in-process worker's
+            // does: on the round-1 task path, sequenced per request.
+            let fault = shared.fault_plan.as_ref().and_then(|plan| {
+                let seq = shared.fault_seq.fetch_add(1, Ordering::Relaxed);
+                plan.decide(shared.shard, seq)
+            });
+            match fault {
+                Some(FaultAction::Delay(d)) | Some(FaultAction::Stall(d)) => {
+                    // Delay answers late; Stall (typically scripted past
+                    // the client's read deadline) answers so late the
+                    // client has already classified the shard TimedOut.
+                    std::thread::sleep(d);
+                }
+                Some(FaultAction::Error) => {
+                    shared.injected_faults.fetch_add(1, Ordering::Relaxed);
+                    return Delivery::Send(Response::Error(RespError::Injected));
+                }
+                Some(FaultAction::Panic) => {
+                    shared.injected_faults.fetch_add(1, Ordering::Relaxed);
+                    // The connection thread dies; the client observes the
+                    // hangup as `Dropped`.
+                    panic!("scripted shard-server panic (fault injection)");
+                }
+                Some(FaultAction::Drop) => {
+                    shared.injected_faults.fetch_add(1, Ordering::Relaxed);
+                    return Delivery::Swallow;
+                }
+                Some(FaultAction::DropConnection) => {
+                    shared.injected_faults.fetch_add(1, Ordering::Relaxed);
+                    return Delivery::Hangup;
+                }
+                Some(FaultAction::CorruptFrame) => {
+                    shared.injected_faults.fetch_add(1, Ordering::Relaxed);
+                    // Compute the real answer, then break its frame.
+                    if let Some(resp) = round1_response(
+                        shared, shard, k, tau_bits, psi_tag, psi_param, variant, scratch,
+                    ) {
+                        return Delivery::Corrupt(resp);
+                    }
+                    return Delivery::Send(Response::Error(RespError::BadRequest));
+                }
+                None => {}
+            }
+            match round1_response(
+                shared, shard, k, tau_bits, psi_tag, psi_param, variant, scratch,
+            ) {
+                Some(resp) => Delivery::Send(resp),
+                None => {
+                    shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+                    Delivery::Send(Response::Error(RespError::BadRequest))
+                }
+            }
+        }
+        Request::Apply { ops } => {
+            let (receipt, results) = shared.store.apply_routed_results(&ops);
+            // The new epoch is published: everything keyed to older
+            // epochs is dead weight.
+            if let Some(providers) = &shared.providers {
+                providers.invalidate_before(receipt.epoch);
+            }
+            if let Some(rounds) = &shared.rounds {
+                rounds.invalidate_before(receipt.epoch);
+            }
+            shared.apply_batches.fetch_add(1, Ordering::Relaxed);
+            let snap = shared.store.load();
+            Delivery::Send(Response::ApplyAck {
+                epoch: receipt.epoch,
+                live_trajs: snap.trajs().len() as u64,
+                results,
+            })
+        }
+        Request::Report => Delivery::Send(Response::ReportJson {
+            json: shared.metrics_json(),
+        }),
+        Request::Heartbeat => {
+            let snap = shared.store.load();
+            let gauge = shared.gauge.snapshot();
+            Delivery::Send(Response::HeartbeatAck {
+                epoch: snap.epoch(),
+                load_qps: gauge.qps_ewma,
+                cache_heat: gauge.cache_heat,
+                live_trajs: snap.trajs().len() as u64,
+            })
+        }
+        Request::Shutdown => Delivery::Send(Response::ShutdownAck),
+    }
+}
+
+/// Validates and answers one round-1 request; `None` is a refusal
+/// (mis-routed shard, unknown ψ, hostile `k`, non-finite τ).
+#[allow(clippy::too_many_arguments)]
+fn round1_response(
+    shared: &ServerShared,
+    shard: u32,
+    k: u64,
+    tau_bits: u64,
+    psi_tag: u8,
+    psi_param: u64,
+    variant: u8,
+    scratch: &mut ProviderScratch,
+) -> Option<Response> {
+    if shard != shared.shard || variant != 0 {
+        return None;
+    }
+    let tau = f64::from_bits(tau_bits);
+    if !tau.is_finite() || tau <= 0.0 {
+        return None;
+    }
+    if k == 0 || k > MAX_WIRE_CANDIDATES as u64 {
+        return None;
+    }
+    let preference = preference_from_key(psi_tag, psi_param)?;
+    let query = TopsQuery {
+        k: k as usize,
+        tau,
+        preference,
+    };
+    let snap = shared.store.load();
+    let started = std::time::Instant::now();
+    let ok = resolve_round1(
+        &snap,
+        shared.shard,
+        &query,
+        shared.providers.as_ref(),
+        shared.rounds.as_ref(),
+        shared.build_threads,
+        scratch,
+        &shared.provider_build,
+    );
+    shared.round1_latency.record(started.elapsed());
+    shared.round1_served.fetch_add(1, Ordering::Relaxed);
+    shared.gauge.observe(ok.source);
+    Some(Response::Round1Ok {
+        epoch: ok.epoch,
+        bound: ok.bound as u64,
+        source: ok.source,
+        round: ok.round,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultRule;
+    use crate::shard_router::{RemoteShardConfig, ShardTransport};
+    use crate::snapshot::RoutedOp;
+    use crate::ShardFailure;
+    use netclus::prelude::*;
+    use netclus_roadnet::{Point, RoadNetworkBuilder};
+    use netclus_trajectory::{Trajectory, TrajectorySet};
+    use std::sync::Arc;
+
+    fn line_store() -> SnapshotStore {
+        let mut b = RoadNetworkBuilder::new();
+        let nodes: Vec<_> = (0..8)
+            .map(|i| b.add_node(Point::new(i as f64 * 300.0, 0.0)))
+            .collect();
+        for w in nodes.windows(2) {
+            b.add_two_way(w[0], w[1], 300.0).unwrap();
+        }
+        let net = Arc::new(b.build().unwrap());
+        let mut trajs = TrajectorySet::for_network(&net);
+        trajs.add(Trajectory::new(nodes[0..5].to_vec()));
+        trajs.add(Trajectory::new(nodes[2..8].to_vec()));
+        let sites: Vec<_> = net.nodes().collect();
+        let index = NetClusIndex::build(
+            &net,
+            &trajs,
+            &sites,
+            NetClusConfig {
+                tau_min: 600.0,
+                tau_max: 2_400.0,
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        SnapshotStore::with_shared_net(net, trajs, index)
+    }
+
+    fn server(cfg: ShardServerConfig) -> ShardServer {
+        ShardServer::start("127.0.0.1:0", 0, line_store(), cfg).expect("start shard server")
+    }
+
+    fn remote(server: &ShardServer) -> crate::shard_router::RemoteShard {
+        crate::shard_router::RemoteShard::new(0, server.addr(), RemoteShardConfig::default())
+    }
+
+    #[test]
+    fn hello_round1_apply_heartbeat_over_a_real_socket() {
+        let mut srv = server(ShardServerConfig::default());
+        let shard = remote(&srv);
+        let hello = shard.hello().expect("hello");
+        assert_eq!(hello.epoch, 0);
+        assert_eq!(hello.live_trajs, 2);
+
+        // Round 1 through the ShardTransport interface.
+        let query = TopsQuery::binary(2, 900.0);
+        let mut scratch = ProviderScratch::default();
+        let hist = LatencyHistogram::default();
+        let mut ctx = crate::shard_router::Round1Ctx {
+            shard: 0,
+            deadline: None,
+            providers: None,
+            rounds: None,
+            build_threads: 1,
+            scratch: &mut scratch,
+            provider_build: &hist,
+        };
+        let ok = shard.round1(&query, &mut ctx).expect("round1");
+        assert_eq!(ok.epoch, 0);
+        assert!(!ok.round.candidates.is_empty());
+
+        // An empty lockstep batch still advances the epoch.
+        let outcome = shard.apply(&[]).expect("apply");
+        assert_eq!(outcome.epoch, 1);
+        assert!(outcome.results.is_empty());
+        assert_eq!(shard.epoch(), 1);
+
+        // A routed remove acks true and drops the live count.
+        let outcome = shard
+            .apply(&[RoutedOp::RemoveTrajectory(netclus_trajectory::TrajId(0))])
+            .expect("apply remove");
+        assert_eq!(outcome.epoch, 2);
+        assert_eq!(outcome.results, vec![true]);
+        assert_eq!(srv.epoch(), 2);
+        srv.shutdown();
+    }
+
+    #[test]
+    fn version_skew_and_misrouted_requests_are_refused() {
+        let mut srv = server(ShardServerConfig::default());
+        // Wrong shard id in the handshake: the transport reports skew
+        // (its hello validates the ack) or corrupt; the server answers
+        // BadRequest which the client maps to CorruptReply.
+        let wrong =
+            crate::shard_router::RemoteShard::new(7, srv.addr(), RemoteShardConfig::default());
+        assert!(matches!(
+            wrong.hello(),
+            Err(ShardFailure::CorruptReply) | Err(ShardFailure::VersionSkew)
+        ));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn hostile_round1_fields_get_bad_request_not_panic() {
+        let mut srv = server(ShardServerConfig::default());
+        let stream = TcpStream::connect(srv.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        let mut reader = BufReader::new(stream);
+        let mut rpc = |req: &Request| -> Response {
+            write_frame(&mut writer, &req.encode()).unwrap();
+            writer.flush().unwrap();
+            let frame = read_frame(&mut reader, crate::wire::MAX_SHARD_RESPONSE)
+                .unwrap()
+                .unwrap();
+            Response::decode(&frame).unwrap()
+        };
+        // NaN τ, k = 0, unknown ψ, wrong shard — all typed refusals.
+        let bads = [
+            Request::Round1 {
+                epoch_hint: 0,
+                shard: 0,
+                k: 1,
+                tau_bits: f64::NAN.to_bits(),
+                psi_tag: 0,
+                psi_param: 0,
+                variant: 0,
+            },
+            Request::Round1 {
+                epoch_hint: 0,
+                shard: 0,
+                k: 0,
+                tau_bits: 900f64.to_bits(),
+                psi_tag: 0,
+                psi_param: 0,
+                variant: 0,
+            },
+            Request::Round1 {
+                epoch_hint: 0,
+                shard: 0,
+                k: 1,
+                tau_bits: 900f64.to_bits(),
+                psi_tag: 9,
+                psi_param: 0,
+                variant: 0,
+            },
+            Request::Round1 {
+                epoch_hint: 0,
+                shard: 3,
+                k: 1,
+                tau_bits: 900f64.to_bits(),
+                psi_tag: 0,
+                psi_param: 0,
+                variant: 0,
+            },
+        ];
+        for bad in &bads {
+            assert_eq!(rpc(bad), Response::Error(RespError::BadRequest), "{bad:?}");
+        }
+        // The connection is still serviceable afterwards.
+        assert!(matches!(
+            rpc(&Request::Heartbeat),
+            Response::HeartbeatAck { .. }
+        ));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn scripted_socket_faults_map_to_the_failure_taxonomy() {
+        let plan = FaultPlan::new(11)
+            .with_rule(FaultRule {
+                shard: 0,
+                action: FaultAction::Error,
+                probability: 1.0,
+                window: Some((0, 1)),
+            })
+            .with_rule(FaultRule {
+                shard: 0,
+                action: FaultAction::CorruptFrame,
+                probability: 1.0,
+                window: Some((1, 2)),
+            })
+            .with_rule(FaultRule {
+                shard: 0,
+                action: FaultAction::DropConnection,
+                probability: 1.0,
+                window: Some((2, 3)),
+            });
+        let mut srv = server(ShardServerConfig {
+            fault_plan: Some(plan),
+            ..Default::default()
+        });
+        let shard = remote(&srv);
+        let query = TopsQuery::binary(1, 900.0);
+        let hist = LatencyHistogram::default();
+        let mut scratch = ProviderScratch::default();
+        let run = |scratch: &mut ProviderScratch| {
+            let mut ctx = crate::shard_router::Round1Ctx {
+                shard: 0,
+                deadline: None,
+                providers: None,
+                rounds: None,
+                build_threads: 1,
+                scratch,
+                provider_build: &hist,
+            };
+            shard.round1(&query, &mut ctx)
+        };
+        assert!(matches!(run(&mut scratch), Err(ShardFailure::Injected)));
+        assert!(matches!(run(&mut scratch), Err(ShardFailure::CorruptReply)));
+        assert!(matches!(run(&mut scratch), Err(ShardFailure::Dropped)));
+        // The script is exhausted: service recovers over a fresh
+        // connection (the transport reconnects transparently).
+        assert!(run(&mut scratch).is_ok());
+        let snap = shard.counters().expect("remote counters").snapshot();
+        assert_eq!(snap.errors, 3);
+        assert!(snap.reconnects >= 2, "faults force reconnects");
+        srv.shutdown();
+    }
+
+    #[test]
+    fn report_and_telemetry_serve_the_metrics_line() {
+        let mut srv = server(ShardServerConfig::default());
+        let line = srv.metrics_json();
+        assert!(line.contains("\"shard\":0"));
+        assert!(line.contains("\"live_trajs\":2"));
+        let telemetry =
+            crate::telemetry::TelemetryServer::start("127.0.0.1:0", srv.telemetry_source())
+                .expect("telemetry");
+        let fetched = crate::telemetry::fetch(telemetry.addr(), "metrics").unwrap();
+        assert!(fetched.contains("\"shard\":0"));
+        let stages = crate::telemetry::fetch(telemetry.addr(), "stages").unwrap();
+        assert!(stages.contains("stage_round1_p50_us"));
+        // health/breakers answer their standard unattached errors.
+        assert!(crate::telemetry::fetch(telemetry.addr(), "breakers")
+            .unwrap()
+            .contains("no circuit breakers"));
+        srv.shutdown();
+    }
+
+    #[test]
+    fn shutdown_rpc_stops_the_accept_loop() {
+        let srv = server(ShardServerConfig::default());
+        let stream = TcpStream::connect(srv.addr()).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let mut writer = BufWriter::new(stream.try_clone().unwrap());
+        write_frame(&mut writer, &Request::Shutdown.encode()).unwrap();
+        writer.flush().unwrap();
+        let mut reader = BufReader::new(stream);
+        let frame = read_frame(&mut reader, crate::wire::MAX_SHARD_RESPONSE)
+            .unwrap()
+            .unwrap();
+        assert_eq!(Response::decode(&frame).unwrap(), Response::ShutdownAck);
+        assert!(srv.is_stopping());
+    }
+}

@@ -81,7 +81,7 @@ pub type UpdateBatch = Vec<UpdateOp>;
 /// [`TrajectorySet::insert_at`]) keeps every shard's id space aligned
 /// with the global one, which is what lets round-2 merges mix coverage
 /// rows from different shards.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub enum RoutedOp {
     /// Adds a trajectory under a pre-assigned global id.
     AddTrajectoryAt(TrajId, Trajectory),
@@ -169,6 +169,7 @@ impl SnapshotStore {
             UpdateOp::AddSite(v) => GenericOp::AddSite(*v),
             UpdateOp::RemoveSite(v) => GenericOp::RemoveSite(*v),
         }))
+        .0
     }
 
     /// The shard-routed variant of [`SnapshotStore::apply`]: trajectory
@@ -177,6 +178,15 @@ impl SnapshotStore {
     /// keep every shard store's epoch in lockstep even when a batch
     /// touches only some shards.
     pub fn apply_routed(&self, ops: &[RoutedOp]) -> UpdateReceipt {
+        self.apply_routed_results(ops).0
+    }
+
+    /// Like [`SnapshotStore::apply_routed`], additionally returning the
+    /// per-op outcome (`true` = applied) in batch order. The shard-server
+    /// protocol ships these acks back so a remote router can reconstruct
+    /// exact receipts and replication bookkeeping without a second round
+    /// trip.
+    pub fn apply_routed_results(&self, ops: &[RoutedOp]) -> (UpdateReceipt, Vec<bool>) {
         self.apply_with(ops.iter().map(|op| match op {
             RoutedOp::AddTrajectoryAt(id, t) => GenericOp::AddTrajectory(Some(*id), t),
             RoutedOp::RemoveTrajectory(id) => GenericOp::RemoveTrajectory(*id),
@@ -188,7 +198,7 @@ impl SnapshotStore {
     /// The single writer path behind [`SnapshotStore::apply`] and
     /// [`SnapshotStore::apply_routed`]: copy-on-write clone, sequential op
     /// application, atomic publish of the next epoch.
-    fn apply_with<'a, I>(&self, ops: I) -> UpdateReceipt
+    fn apply_with<'a, I>(&self, ops: I) -> (UpdateReceipt, Vec<bool>)
     where
         I: Iterator<Item = GenericOp<'a>>,
     {
@@ -199,6 +209,7 @@ impl SnapshotStore {
         let mut index = (*base.index).clone();
         let mut applied = 0usize;
         let mut rejected = 0usize;
+        let mut results = Vec::new();
         for op in ops {
             let ok = match op {
                 GenericOp::AddTrajectory(id, t) => {
@@ -238,6 +249,7 @@ impl SnapshotStore {
                     v.index() < base.net.node_count() && index.remove_site(&trajs, v)
                 }
             };
+            results.push(ok);
             if ok {
                 applied += 1;
             } else {
@@ -252,11 +264,14 @@ impl SnapshotStore {
         };
         let epoch = next.epoch;
         *self.current.write().expect("snapshot lock poisoned") = Arc::new(next);
-        UpdateReceipt {
-            epoch,
-            applied,
-            rejected,
-        }
+        (
+            UpdateReceipt {
+                epoch,
+                applied,
+                rejected,
+            },
+            results,
+        )
     }
 }
 

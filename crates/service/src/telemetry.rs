@@ -46,12 +46,14 @@ use crate::flight::FlightRecorder;
 use crate::framing::{read_frame, write_frame};
 use crate::health::HealthEvaluator;
 
-/// Upper bound on a telemetry response frame.
-pub const MAX_TELEMETRY_FRAME: usize = 4 << 20;
+/// Upper bound on a telemetry response frame (defined with every other
+/// wire limit in [`crate::wire`]).
+pub const MAX_TELEMETRY_FRAME: usize = crate::wire::MAX_TELEMETRY_FRAME;
 
 /// Upper bound on a request (command) frame — commands are a few words,
-/// so anything larger is a hostile or confused client.
-pub const MAX_TELEMETRY_COMMAND: usize = 1_024;
+/// so anything larger is a hostile or confused client (defined in
+/// [`crate::wire`]).
+pub const MAX_TELEMETRY_COMMAND: usize = crate::wire::MAX_COMMAND_FRAME;
 
 /// Connections served concurrently before the listener starts shedding.
 pub const MAX_TELEMETRY_CONNECTIONS: usize = 8;

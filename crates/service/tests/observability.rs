@@ -115,6 +115,10 @@ fn every_incremented_shard_counter_serializes() {
         boundary_trajs,
         replicas,
         fault,
+        transport_requests,
+        transport_errors,
+        transport_reconnects,
+        transport_rpc,
     } = report.shards.expect("router report has a shard section");
 
     let has = |key: &str, v: String| {
@@ -155,6 +159,13 @@ fn every_incremented_shard_counter_serializes() {
     has("worker_panics", fault.worker_panics.to_string());
     has("abandoned_gathers", fault.abandoned_gathers.to_string());
     assert_eq!(fault, netclus_service::FaultReport::default());
+    // An all-in-process router issues no transport RPCs, but the keys
+    // (and the per-lane transport tag) must still serialize.
+    assert_eq!((transport_requests, transport_errors), (0, 0));
+    has("transport_requests", transport_requests.to_string());
+    has("transport_errors", transport_errors.to_string());
+    has("transport_reconnects", transport_reconnects.to_string());
+    has("transport_rpc_p50_us", transport_rpc.p50_micros.to_string());
 
     assert_eq!(lanes.len(), REGIONS, "one lane per shard");
     for lane in &lanes {
@@ -180,6 +191,11 @@ fn every_incremented_shard_counter_serializes() {
             let key = format!("\"shard{}_{gauge}\":", lane.shard);
             assert!(json.contains(&key), "{key} missing from {json}");
         }
+        assert_eq!(lane.transport, "in_process");
+        has(
+            &format!("shard{}_transport", lane.shard),
+            format!("\"{}\"", lane.transport),
+        );
     }
 
     // Process gauges ride along on router reports too.

@@ -1,0 +1,102 @@
+//! `netclus-shardd` — one shard of a NetClus cluster as a standalone
+//! process.
+//!
+//! Rebuilds the deterministic cluster corpus for `(--seed, --scale,
+//! --shards)`, keeps shard `--shard`'s trajectory view and index, and
+//! serves the framed TCP shard protocol on `--listen`. With
+//! `--telemetry`, the standard telemetry commands (`metrics`, `stages`,
+//! `slow`, ...) are answered on a second port.
+//!
+//! Startup prints machine-readable lines on stdout:
+//!
+//! ```text
+//! SHARD <id> LISTENING <addr>
+//! SHARD <id> TELEMETRY <addr>      (only with --telemetry)
+//! ```
+//!
+//! The process exits after a `Shutdown` RPC (or on SIGKILL — the
+//! cluster example kills one shard mid-stream to demonstrate degraded
+//! answers).
+
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+use netclus_service::{ShardServer, ShardServerConfig, SnapshotStore, TelemetryServer};
+use netclus_shardd::build_corpus;
+
+struct Args {
+    shard: usize,
+    shards: usize,
+    seed: u64,
+    scale: f64,
+    listen: String,
+    telemetry: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: netclus-shardd --shard <i> [--shards <n>] [--seed <u64>] \
+         [--scale <f64>] [--listen <addr>] [--telemetry <addr>]"
+    );
+    exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        shard: usize::MAX,
+        shards: 4,
+        seed: 0xC1A5,
+        scale: 0.08,
+        listen: "127.0.0.1:0".to_string(),
+        telemetry: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--shard" => args.shard = value().parse().unwrap_or_else(|_| usage()),
+            "--shards" => args.shards = value().parse().unwrap_or_else(|_| usage()),
+            "--seed" => args.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--scale" => args.scale = value().parse().unwrap_or_else(|_| usage()),
+            "--listen" => args.listen = value(),
+            "--telemetry" => args.telemetry = Some(value()),
+            _ => usage(),
+        }
+    }
+    if args.shard == usize::MAX || args.shard >= args.shards || args.shards == 0 {
+        usage();
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let mut corpus = build_corpus(args.seed, args.scale, args.shards);
+    let view = corpus.shards.swap_remove(args.shard);
+    let store = SnapshotStore::with_shared_net(Arc::clone(&corpus.net), view.trajs, view.index);
+    let mut server = ShardServer::start(
+        &args.listen,
+        args.shard as u32,
+        store,
+        ShardServerConfig::default(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("netclus-shardd: bind {}: {e}", args.listen);
+        exit(1);
+    });
+    println!("SHARD {} LISTENING {}", args.shard, server.addr());
+    let _telemetry = args.telemetry.as_deref().map(|addr| {
+        let t = TelemetryServer::start(addr, server.telemetry_source()).unwrap_or_else(|e| {
+            eprintln!("netclus-shardd: bind telemetry {addr}: {e}");
+            exit(1);
+        });
+        println!("SHARD {} TELEMETRY {}", args.shard, t.addr());
+        t
+    });
+    // Serve until a Shutdown RPC flips the flag, then join cleanly.
+    while !server.is_stopping() {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    server.shutdown();
+}

@@ -1,0 +1,302 @@
+//! Cross-process cluster demo: four `netclus-shardd` shard servers as
+//! real child processes, a remote-transport `ShardRouter` scattering
+//! round 1 over framed TCP, and an in-process router over the identical
+//! corpus as the exactness reference.
+//!
+//! The acceptance arc, all asserted:
+//!
+//! * every child rebuilds the deterministic `(seed, scale, shards)`
+//!   corpus and serves its shard; the parent connects with a versioned
+//!   hello handshake;
+//! * remote top-k answers are **bit-identical** to the in-process
+//!   router, before and after an epoch-lockstep update batch applied
+//!   through the `Apply` RPC;
+//! * the standard telemetry commands are answered from each shard
+//!   process's own telemetry port, and per-shard metrics dumps plus the
+//!   router's slow-query trace log are written as CI artifacts;
+//! * one shard process is killed mid-stream (SIGKILL, no goodbye): the
+//!   router keeps answering, degraded, with a sound conservative
+//!   utility bound;
+//! * the surviving shards exit through the graceful `Shutdown` RPC.
+//!
+//! Build the server first: `cargo build -p netclus-shardd`, then
+//! `cargo run --example cluster` (CI runs both in release).
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use netclus::prelude::*;
+use netclus_service::framing::{read_frame, write_frame};
+use netclus_service::shard_proto::{Request, Response};
+use netclus_service::wire::MAX_SHARD_RESPONSE;
+use netclus_service::{
+    telemetry, InProcessShard, RemoteShardConfig, ShardRouter, ShardRouterConfig, ShardTransport,
+    SnapshotStore, UpdateOp,
+};
+use netclus_shardd::build_corpus;
+use netclus_trajectory::TrajId;
+
+const SHARDS: usize = 4;
+const SEED: u64 = 0xC1A5;
+const SCALE: f64 = 0.05;
+/// The shard process the chaos phase kills mid-stream.
+const VICTIM: usize = 2;
+
+/// A spawned shard process plus the addresses it announced. Killed on
+/// drop so a failed assertion never leaks children into CI.
+struct ShardProc {
+    child: Child,
+    addr: SocketAddr,
+    telemetry: SocketAddr,
+}
+
+impl Drop for ShardProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// `target/<profile>/netclus-shardd`, next to this example's own binary.
+fn shardd_binary() -> PathBuf {
+    let exe = std::env::current_exe().expect("current_exe");
+    let profile_dir = exe
+        .parent()
+        .and_then(|examples| examples.parent())
+        .expect("examples dir inside the target profile dir");
+    let bin = profile_dir.join("netclus-shardd");
+    assert!(
+        bin.exists(),
+        "{} not found — run `cargo build -p netclus-shardd` first",
+        bin.display()
+    );
+    bin
+}
+
+fn spawn_shard(bin: &PathBuf, shard: usize) -> ShardProc {
+    let mut child = Command::new(bin)
+        .args([
+            "--shard",
+            &shard.to_string(),
+            "--shards",
+            &SHARDS.to_string(),
+            "--seed",
+            &SEED.to_string(),
+            "--scale",
+            &SCALE.to_string(),
+            "--telemetry",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn netclus-shardd");
+    let mut lines = BufReader::new(child.stdout.take().expect("child stdout")).lines();
+    let mut read_addr = |tag: &str| -> SocketAddr {
+        let line = lines
+            .next()
+            .expect("child announced an address")
+            .expect("read child stdout");
+        let want = format!("SHARD {shard} {tag} ");
+        let rest = line
+            .strip_prefix(&want)
+            .unwrap_or_else(|| panic!("unexpected announcement {line:?}, wanted {want:?}"));
+        rest.parse().expect("announced address parses")
+    };
+    let addr = read_addr("LISTENING");
+    let telemetry = read_addr("TELEMETRY");
+    ShardProc {
+        child,
+        addr,
+        telemetry,
+    }
+}
+
+/// The graceful stop: a `Shutdown` RPC over a fresh connection; the
+/// server acks and exits its accept loop.
+fn shutdown_rpc(addr: SocketAddr) -> std::io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    write_frame(&mut stream, &Request::Shutdown.encode())?;
+    stream.flush()?;
+    let payload = read_frame(&mut stream, MAX_SHARD_RESPONSE)?
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "no ack"))?;
+    Response::decode(&payload)
+        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+}
+
+fn main() {
+    // Spawn the cluster first — the children build their corpus copies
+    // while the parent builds its own two.
+    let bin = shardd_binary();
+    let t = Instant::now();
+    let mut procs: Vec<ShardProc> = (0..SHARDS).map(|s| spawn_shard(&bin, s)).collect();
+    let addrs: Vec<SocketAddr> = procs.iter().map(|p| p.addr).collect();
+    println!("[spawn] {SHARDS} shard processes up in {:?}", t.elapsed());
+
+    // The in-process reference over the identical deterministic corpus.
+    let corpus = build_corpus(SEED, SCALE, SHARDS);
+    let transports: Vec<Box<dyn ShardTransport>> = corpus
+        .shards
+        .into_iter()
+        .map(|view| {
+            Box::new(InProcessShard::new(SnapshotStore::with_shared_net(
+                Arc::clone(&corpus.net),
+                view.trajs,
+                view.index,
+            ))) as Box<dyn ShardTransport>
+        })
+        .collect();
+    let local = ShardRouter::start_with_transports(
+        Arc::clone(&corpus.net),
+        corpus.partition.clone(),
+        transports,
+        corpus.traj_id_bound as u64,
+        0,
+        corpus.replication.clone(),
+        ShardRouterConfig::default(),
+    )
+    .expect("start in-process reference router");
+
+    // The remote router: hello handshake per shard, persistent framed
+    // TCP connections.
+    let remote = ShardRouter::connect(
+        Arc::clone(&corpus.net),
+        corpus.partition.clone(),
+        &addrs,
+        ShardRouterConfig::default(),
+        RemoteShardConfig::default(),
+    )
+    .expect("connect remote router");
+    assert_eq!(remote.transport_kinds(), vec!["remote"; SHARDS]);
+    println!("[conn ] remote router connected to {addrs:?}");
+
+    let queries: Vec<TopsQuery> = [600.0, 1_000.0, 1_600.0, 2_400.0]
+        .iter()
+        .flat_map(|&tau| (1..=6).map(move |k| TopsQuery::binary(k, tau)))
+        .collect();
+
+    // Phase 1 — bit-identical scatter-gather across process boundaries,
+    // at epoch 0 and again after an epoch-lockstep update batch.
+    let mut checked = 0usize;
+    for epoch in 0..2u64 {
+        if epoch == 1 {
+            let batch = vec![
+                UpdateOp::RemoveTrajectory(TrajId(0)),
+                UpdateOp::RemoveTrajectory(TrajId(1)),
+            ];
+            let rl = local.apply_updates(batch.clone());
+            let rr = remote.apply_updates(batch);
+            assert_eq!((rl.epoch, rr.epoch), (1, 1), "epoch lockstep over RPC");
+            assert_eq!(
+                (rl.applied, rl.rejected),
+                (rr.applied, rr.rejected),
+                "apply outcomes must match"
+            );
+        }
+        for q in &queries {
+            let a = local.query_blocking(*q).expect("local answer");
+            let b = remote.query_blocking(*q).expect("remote answer");
+            assert!(!b.degraded && !b.stale, "healthy cluster answers full");
+            assert_eq!(b.epoch, epoch);
+            assert_eq!(b.sites, a.sites, "remote sites diverged (k={})", q.k);
+            assert_eq!(
+                b.utility.to_bits(),
+                a.utility.to_bits(),
+                "remote utility diverged (k={})",
+                q.k
+            );
+            checked += 1;
+        }
+    }
+    println!("[exact] {checked} remote answers bit-identical to in-process");
+
+    // Phase 2 — each shard process answers the standard telemetry
+    // commands on its own port; dump the metrics as CI artifacts next to
+    // the router's slow-query trace log.
+    let artifact_dir = std::env::var("NETCLUS_ARTIFACT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/cluster-artifacts"));
+    std::fs::create_dir_all(&artifact_dir).expect("create artifact dir");
+    for (s, proc_) in procs.iter().enumerate() {
+        let metrics = telemetry::fetch(proc_.telemetry, "metrics").expect("shard metrics");
+        assert!(
+            metrics.contains(&format!("\"shard\":{s}")),
+            "shard {s} metrics must identify itself: {metrics}"
+        );
+        assert!(metrics.contains("\"round1_served\":"), "served counters");
+        std::fs::write(
+            artifact_dir.join(format!("shard{s}-metrics.json")),
+            &metrics,
+        )
+        .expect("write shard metrics artifact");
+    }
+    std::fs::write(
+        artifact_dir.join("router-metrics.json"),
+        remote.metrics_report().to_json_line(),
+    )
+    .expect("write router metrics artifact");
+    std::fs::write(
+        artifact_dir.join("router-slow.jsonl"),
+        remote.tracer().slow_log_jsonl(),
+    )
+    .expect("write slow-query artifact");
+    println!(
+        "[tele ] {SHARDS} shard telemetry ports probed, artifacts in {}",
+        artifact_dir.display()
+    );
+
+    // Phase 3 — kill one shard process mid-stream. No goodbye: the next
+    // scatter sees the dead socket, and the answer degrades with a sound
+    // conservative bound instead of failing.
+    let full = local
+        .query_blocking(TopsQuery::binary(3, 1_000.0))
+        .expect("reference answer");
+    procs[VICTIM].child.kill().expect("kill shard process");
+    procs[VICTIM].child.wait().expect("reap shard process");
+    let t = Instant::now();
+    let a = remote
+        .query_blocking(TopsQuery::binary(3, 1_000.0))
+        .expect("degraded answer after process kill");
+    assert!(t.elapsed() < Duration::from_secs(10), "no hang on outage");
+    assert!(a.degraded && !a.stale, "answer must be degraded");
+    assert!(
+        a.shards_missing.contains(&(VICTIM as u32)),
+        "the killed shard is the missing one: {:?}",
+        a.shards_missing
+    );
+    assert!(
+        (0.0..=1.0).contains(&a.utility_bound) && a.utility_bound > 0.0,
+        "bound in (0, 1]: {}",
+        a.utility_bound
+    );
+    let true_ratio = a.utility / full.utility;
+    assert!(
+        a.utility_bound <= true_ratio + 1e-9,
+        "bound {} must not exceed the true ratio {true_ratio}",
+        a.utility_bound
+    );
+    println!(
+        "[chaos] shard {VICTIM} killed; degraded answer bound {:.3} ≤ true ratio {:.3}",
+        a.utility_bound, true_ratio
+    );
+
+    // Phase 4 — graceful stop: the survivors exit through the Shutdown
+    // RPC and the parent reaps clean exit codes.
+    remote.shutdown();
+    local.shutdown();
+    for (s, proc_) in procs.iter_mut().enumerate() {
+        if s == VICTIM {
+            continue;
+        }
+        let ack = shutdown_rpc(proc_.addr).expect("shutdown RPC");
+        assert_eq!(ack, Response::ShutdownAck);
+        let status = proc_.child.wait().expect("reap shard process");
+        assert!(status.success(), "shard {s} must exit clean: {status:?}");
+    }
+    println!("[done ] cluster demo complete");
+}
