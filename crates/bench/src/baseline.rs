@@ -120,6 +120,22 @@ pub fn gated_metrics(prefix: &str) -> Vec<GatedMetric> {
             // on shared CI runners.
             lower("remote_hot_p50_us", 2_000.0),
         ],
+        "BENCH_CLUSTER_HA" => vec![
+            // 1 = every answer — before, during, and after one replica of
+            // every shard was SIGKILLed — matched the monolithic
+            // reference bit-for-bit. Any divergence (0) fails the gate.
+            higher("bit_identical", 0.0),
+            // 1 = every query was answered in full; with a live sibling
+            // replica per shard, nothing may drop.
+            higher("availability_ok", 0.0),
+            // The tentpole contract: replica failover never produces a
+            // degraded (partial-merge) answer. Baseline 0, floor 0 — a
+            // single degraded answer fails the gate.
+            lower("degraded_answers", 0.0),
+            // Post-kill tail latency: failover to the surviving replica
+            // plus reconnect probing. Generous floor for shared runners.
+            lower("failover_p99_us", 50_000.0),
+        ],
         _ => Vec::new(),
     }
 }

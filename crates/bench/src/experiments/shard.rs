@@ -308,6 +308,15 @@ pub fn run(ctx: &mut Ctx) {
             30.0,
             2.0,
             Severity::Critical,
+        ))
+        // Replica divergence: no replica may sit behind the lockstep
+        // epoch at the end of a healthy run — a persistent positive lag
+        // means a replica is missing applies and needs a resync.
+        .with_rule(SloRule::ceiling(
+            "replica_divergence",
+            "replica_lag_max",
+            0.0,
+            Severity::Degrading,
         ));
     let health_report = health.evaluate(&recorder);
     let slo_health_ok = u8::from(health_report.verdict == netclus_service::Verdict::Healthy);

@@ -146,6 +146,7 @@ pub const SHARD_SECTION_KEYS: &[&str] = &[
     "boundary_trajs",
     "shard_replicas",
     "replication_factor",
+    "replica_lag_max",
     "degraded_answers",
     "stale_answers",
     "shard_failures",
@@ -160,6 +161,10 @@ pub const SHARD_SECTION_KEYS: &[&str] = &[
     "worker_respawns",
     "abandoned_gathers",
     "unavailable_answers",
+    "hedged_requests",
+    "hedge_wins",
+    "replica_failovers",
+    "resyncs",
     "transport_requests",
     "transport_errors",
     "transport_reconnects",
@@ -249,6 +254,27 @@ pub const CLUSTER_RPC_KEYS: &[&str] = &[
     "availability_ok",
 ];
 
+/// The pinned key set of `BENCH_CLUSTER_HA` (the replicated cluster
+/// lane: 2 replicas per shard, one replica of every shard SIGKILLed
+/// mid-stream; hedged failover keeps every answer full and
+/// bit-identical, and a killed replica rejoins via `--join` resync).
+pub const CLUSTER_HA_KEYS: &[&str] = &[
+    "shards",
+    "replicas_per_shard",
+    "cluster_queries",
+    "bit_identical",
+    "replicas_killed",
+    "degraded_answers",
+    "replica_failovers",
+    "hedged_requests",
+    "hedge_wins",
+    "failover_p50_us",
+    "failover_p99_us",
+    "rejoin_ok",
+    "availability",
+    "availability_ok",
+];
+
 /// The expected (normalized) key set of a record prefix; `None` for
 /// prefixes this module does not pin.
 pub fn expected_keys(prefix: &str) -> Option<BTreeSet<String>> {
@@ -258,6 +284,7 @@ pub fn expected_keys(prefix: &str) -> Option<BTreeSet<String>> {
         "BENCH_SERVICE_THROUGHPUT" => SERVICE_THROUGHPUT_KEYS.to_vec(),
         "BENCH_SHARD_SCALING" => SHARD_SCALING_KEYS.to_vec(),
         "BENCH_CLUSTER_RPC" => CLUSTER_RPC_KEYS.to_vec(),
+        "BENCH_CLUSTER_HA" => CLUSTER_HA_KEYS.to_vec(),
         "SHARD_ROUTER_METRICS" => SERVICE_THROUGHPUT_KEYS
             .iter()
             .chain(SHARD_SECTION_KEYS)
@@ -362,6 +389,7 @@ mod tests {
             "BENCH_INGEST_THROUGHPUT",
             "BENCH_SHARD_SCALING",
             "BENCH_CLUSTER_RPC",
+            "BENCH_CLUSTER_HA",
         ] {
             let expected = expected_keys(prefix).unwrap();
             for m in gated_metrics(prefix) {
@@ -386,6 +414,7 @@ mod tests {
             ("ingest_throughput.json", "BENCH_INGEST_THROUGHPUT"),
             ("shard_scaling.json", "BENCH_SHARD_SCALING"),
             ("cluster_rpc.json", "BENCH_CLUSTER_RPC"),
+            ("cluster_ha.json", "BENCH_CLUSTER_HA"),
         ] {
             let text = std::fs::read_to_string(dir.join(file))
                 .unwrap_or_else(|e| panic!("baseline {file} unreadable: {e}"));
@@ -414,6 +443,7 @@ mod tests {
             ("ingest_throughput.json", "BENCH_INGEST_THROUGHPUT"),
             ("shard_scaling.json", "BENCH_SHARD_SCALING"),
             ("cluster_rpc.json", "BENCH_CLUSTER_RPC"),
+            ("cluster_ha.json", "BENCH_CLUSTER_HA"),
         ] {
             let text = std::fs::read_to_string(dir.join(file)).unwrap();
             let record = extract_record(&text, prefix).unwrap();

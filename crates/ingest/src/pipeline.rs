@@ -52,7 +52,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use netclus_roadnet::GridIndex;
-use netclus_service::{IngestMetrics, SnapshotStore, Stage, UpdateOp};
+use netclus_service::{IngestMetrics, SnapshotStore, Stage, UpdateOp, UpdateSink};
 use netclus_trajectory::{MapMatcher, Trajectory};
 
 use crate::lifecycle::LifecycleManager;
@@ -343,6 +343,22 @@ impl Ingestor {
         cfg: IngestConfig,
         metrics: Arc<IngestMetrics>,
     ) -> io::Result<Ingestor> {
+        Self::start_with_sink(store, grid, cfg, metrics)
+    }
+
+    /// [`Ingestor::start`] over any [`UpdateSink`] — the same pipeline
+    /// publishing into a replicated
+    /// [`ShardRouter`](netclus_service::ShardRouter) instead of a
+    /// monolithic store, wiring ingest into sharded serving end to end.
+    /// Every durability and restart rule of `start` holds unchanged: the
+    /// sink must sit exactly at the WAL's last epoch, and the pipeline
+    /// must be the sink's only writer.
+    pub fn start_with_sink(
+        sink: Arc<dyn UpdateSink>,
+        grid: Arc<GridIndex>,
+        cfg: IngestConfig,
+        metrics: Arc<IngestMetrics>,
+    ) -> io::Result<Ingestor> {
         // Repair, read and validate the existing log BEFORE the writer
         // runs: a rejected start must not leave a fresh (empty) segment
         // behind on every retry. The repair is idempotent maintenance the
@@ -352,11 +368,9 @@ impl Ingestor {
         repair_tail(&cfg.wal.dir).map_err(to_io)?;
         let log = read_wal(&cfg.wal.dir).map_err(to_io)?;
 
-        let base = store.load();
-        let net = base.net_shared();
-        let next_id = base.trajs().id_bound() as u32;
-        let epoch = base.epoch();
-        drop(base);
+        let net = sink.sink_net();
+        let next_id = sink.sink_traj_id_bound() as u32;
+        let epoch = sink.sink_epoch();
 
         let logged_epoch = log.batches.last().map_or(0, |b| b.epoch);
         if logged_epoch != epoch {
@@ -420,7 +434,7 @@ impl Ingestor {
                     .spawn(move || {
                         publish_loop(
                             rx,
-                            store,
+                            sink,
                             wal,
                             lifecycle,
                             &tracker,
@@ -746,11 +760,11 @@ fn admit_to_batch(
 }
 
 /// Publisher body: order per source, batch, WAL, publish. Sole writer of
-/// `store`.
+/// `sink`.
 #[allow(clippy::too_many_arguments)]
 fn publish_loop(
     rx: Receiver<Matched>,
-    store: Arc<SnapshotStore>,
+    sink: Arc<dyn UpdateSink>,
     mut wal: WalWriter,
     mut lifecycle: LifecycleManager,
     tracker: &SourceTracker,
@@ -810,7 +824,7 @@ fn publish_loop(
                 // completely; then flush the tail.
                 drain_waiting(&mut waiting, tracker, &mut lifecycle, &mut batch, metrics);
                 debug_assert!(waiting.is_empty(), "records parked past shutdown");
-                if !batch.ops.is_empty() && !publish(&store, &mut wal, &mut batch, metrics) {
+                if !batch.ops.is_empty() && !publish(&*sink, &mut wal, &mut batch, metrics) {
                     fail(metrics);
                     return;
                 }
@@ -854,7 +868,7 @@ fn publish_loop(
             continue;
         }
         if batch.ops.len() >= max_batch_ops {
-            if !publish(&store, &mut wal, &mut batch, metrics) {
+            if !publish(&*sink, &mut wal, &mut batch, metrics) {
                 fail(metrics);
                 return;
             }
@@ -862,7 +876,7 @@ fn publish_loop(
         } else if batch.ops.is_empty() {
             deadline = None;
         } else if deadline.is_some_and(|d| Instant::now() >= d) {
-            if !publish(&store, &mut wal, &mut batch, metrics) {
+            if !publish(&*sink, &mut wal, &mut batch, metrics) {
                 fail(metrics);
                 return;
             }
@@ -877,12 +891,12 @@ fn publish_loop(
 /// recording its add end times and per-source marks alongside it. Returns
 /// false on an unrecoverable WAL failure (the pipeline stops publishing).
 fn publish(
-    store: &SnapshotStore,
+    sink: &dyn UpdateSink,
     wal: &mut WalWriter,
     batch: &mut PendingBatch,
     metrics: &IngestMetrics,
 ) -> bool {
-    let epoch = store.epoch() + 1;
+    let epoch = sink.sink_epoch() + 1;
     let mut marks: Vec<(u32, u64)> = batch.marks.iter().map(|(&s, &q)| (s, q)).collect();
     marks.sort_unstable();
     let payload = encode_batch(epoch, &batch.ops, &batch.add_times, &marks);
@@ -895,12 +909,12 @@ fn publish(
         }
     };
     metrics.stages.record(Stage::WalAppend, t.elapsed());
-    let receipt = store.apply(&batch.ops);
+    let receipt = sink.apply_batch(&batch.ops);
     metrics.publish_latency.record(t.elapsed());
     metrics.stages.record(Stage::Publish, t.elapsed());
     assert_eq!(
         receipt.epoch, epoch,
-        "ingest pipeline must be the snapshot store's only writer"
+        "ingest pipeline must be its sink's only writer"
     );
     metrics.batches_published.fetch_add(1, Ordering::Relaxed);
     metrics

@@ -14,8 +14,8 @@ use netclus_ingest::{
     recover_store, BackpressurePolicy, IngestConfig, Ingestor, StreamRecord, SubmitOutcome,
     WalConfig,
 };
-use netclus_roadnet::{GridIndex, NodeId, RoadNetwork};
-use netclus_service::{IngestMetrics, SnapshotStore};
+use netclus_roadnet::{GridIndex, NodeId, RegionPartition, RoadNetwork};
+use netclus_service::{IngestMetrics, ShardRouter, ShardRouterConfig, SnapshotStore, UpdateSink};
 use netclus_trajectory::{GpsPoint, GpsTrace, TrajId, TrajectorySet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -941,4 +941,125 @@ fn backpressure_accounting_is_conserved() {
         assert_eq!(store.load().trajs().len() as u64, matched);
         std::fs::remove_dir_all(&dir).unwrap();
     }
+}
+
+/// An empty-corpus replicated router over the fixture net: two region
+/// shards, two bit-identical replicas each (PR 10's replica sets).
+fn replicated_router(f: &Fixture) -> ShardRouter {
+    let net = Arc::new(f.net.clone());
+    let trajs = TrajectorySet::for_network(&net);
+    let sites: Vec<NodeId> = net.nodes().collect();
+    let partition = RegionPartition::build(&net, 2);
+    let sharded = ShardedNetClusIndex::build(
+        &net,
+        &trajs,
+        &sites,
+        &partition,
+        NetClusConfig {
+            tau_min: 300.0,
+            tau_max: 2_500.0,
+            threads: 1,
+            ..Default::default()
+        },
+    );
+    ShardRouter::start_replicated(net, sharded, 2, ShardRouterConfig::default())
+        .expect("start replicated router")
+}
+
+/// The fixed query panel through the scatter-gather path, as comparable
+/// data. Every answer must be full — replication means no degradation.
+fn router_panel(router: &ShardRouter) -> Vec<(u64, Vec<NodeId>, u64, usize)> {
+    [(1usize, 500.0f64), (3, 900.0), (5, 1_800.0)]
+        .iter()
+        .map(|&(k, tau)| {
+            let a = router.query_blocking(TopsQuery::binary(k, tau)).unwrap();
+            assert!(!a.degraded, "replicated router degraded an answer");
+            (a.epoch, a.sites.clone(), a.utility.to_bits(), a.covered)
+        })
+        .collect()
+}
+
+/// The pipeline publishes straight into a *replicated sharded router*
+/// through the [`UpdateSink`] seam — no monolithic store in the write
+/// path — and after a mid-stream crash the WAL alone rebuilds a fresh
+/// replica set to the same epoch with bit-identical scatter-gather
+/// answers. The same log still drives the monolithic recovery path: the
+/// WAL is sink-agnostic.
+#[test]
+fn crashed_pipeline_wal_replays_into_a_replicated_router() {
+    let f = fixture(18, 40);
+    let dir = wal_dir("router-crash");
+    let metrics = Arc::new(IngestMetrics::default());
+    let live = Arc::new(replicated_router(&f));
+    let ingestor = Ingestor::start_with_sink(
+        Arc::clone(&live) as Arc<dyn UpdateSink>,
+        Arc::clone(&f.grid),
+        IngestConfig {
+            match_workers: 2,
+            max_batch_ops: 4,
+            wal: WalConfig {
+                segment_max_bytes: 512, // force rotation mid-run
+                sync_every_frames: 1,   // every batch durable before publish
+                ..WalConfig::new(&dir)
+            },
+            ..IngestConfig::new(&dir)
+        },
+        Arc::clone(&metrics),
+    )
+    .unwrap();
+
+    // Feed until at least five batches are durably published, then kill
+    // the pipeline — genuinely mid-stream.
+    for r in &f.records {
+        ingestor.submit(r.clone());
+        if metrics.batches_published.load(Ordering::Relaxed) >= 5 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    while metrics.batches_published.load(Ordering::Relaxed) < 5 {
+        assert!(std::time::Instant::now() < deadline, "no batches published");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    ingestor.abort(); // crash: queued + pending-but-unappended work is lost
+
+    let pre_epoch = live.epoch();
+    assert!(pre_epoch >= 5);
+    // Lockstep apply kept every replica of every shard current.
+    assert_eq!(live.replica_lag_max(), 0);
+    let pre_panel = router_panel(&live);
+
+    // Replay the WAL into a fresh, empty replica set. Logged ops are the
+    // *unrouted* `UpdateOp`s the pipeline published, so the router
+    // re-routes them and re-assigns global ids exactly as the live run
+    // did — batch order is the id sequence.
+    let log = netclus_ingest::read_wal(&dir).unwrap();
+    assert!(!log.truncated_tail, "abort happens between batches");
+    assert_eq!(log.batches.len() as u64, pre_epoch);
+    let replayed = replicated_router(&f);
+    for batch in &log.batches {
+        let receipt = replayed.apply_updates(batch.ops.clone());
+        assert_eq!(receipt.epoch, batch.epoch, "epoch chain must not tear");
+    }
+    assert_eq!(replayed.epoch(), pre_epoch);
+    assert_eq!(replayed.replica_lag_max(), 0);
+    assert_eq!(router_panel(&replayed), pre_panel);
+
+    // The monolithic recovery path reads the same log to the same epoch.
+    let (recovered, report) = recover_store(
+        f.net.clone(),
+        TrajectorySet::for_network(&f.net),
+        f.index.clone(),
+        &dir,
+        None,
+    )
+    .unwrap();
+    assert_eq!(report.epoch, pre_epoch);
+    assert_eq!(recovered.epoch(), pre_epoch);
+    assert!(!corpus_of(&recovered).is_empty());
+
+    live.shutdown();
+    replayed.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -62,6 +62,11 @@ pub enum FaultAction {
 pub struct FaultRule {
     /// Shard the rule applies to.
     pub shard: u32,
+    /// Replica the rule applies to within the shard's replica set;
+    /// `None` hits every replica. Replica-scoped rules are how a chaos
+    /// script "kills" one replica while its siblings keep serving — the
+    /// router fails over and the answer stays full.
+    pub replica: Option<u32>,
     /// What to inject.
     pub action: FaultAction,
     /// Probability in `[0, 1]` that the rule fires on a matching task
@@ -77,10 +82,11 @@ pub struct FaultRule {
 }
 
 impl FaultRule {
-    /// A rule that always fires on `shard`, forever.
+    /// A rule that always fires on `shard` (every replica), forever.
     pub fn always(shard: u32, action: FaultAction) -> FaultRule {
         FaultRule {
             shard,
+            replica: None,
             action,
             probability: 1.0,
             window: None,
@@ -92,10 +98,17 @@ impl FaultRule {
     pub fn outage(shard: u32, action: FaultAction, from: u64, until: u64) -> FaultRule {
         FaultRule {
             shard,
+            replica: None,
             action,
             probability: 1.0,
             window: Some((from, until)),
         }
+    }
+
+    /// Scopes the rule to one replica of the shard (builder style).
+    pub fn on_replica(mut self, replica: u32) -> FaultRule {
+        self.replica = Some(replica);
+        self
     }
 }
 
@@ -132,11 +145,17 @@ impl FaultPlan {
     }
 
     /// Decides what, if anything, to inject for task number `seq` on
-    /// `shard`. The first matching rule that fires wins. Deterministic in
-    /// `(seed, shard, seq, rule index)`.
-    pub fn decide(&self, shard: u32, seq: u64) -> Option<FaultAction> {
+    /// replica `replica` of `shard`. The first matching rule that fires
+    /// wins. Deterministic in `(seed, shard, seq, rule index)` — the
+    /// replica only selects which rules apply, so a shard-wide rule makes
+    /// the same decision on every replica of the shard (replicas stay
+    /// bit-identical even under shard-wide chaos).
+    pub fn decide(&self, shard: u32, replica: u32, seq: u64) -> Option<FaultAction> {
         for (i, rule) in self.rules.iter().enumerate() {
             if rule.shard != shard {
+                continue;
+            }
+            if rule.replica.is_some_and(|r| r != replica) {
                 continue;
             }
             if let Some((from, until)) = rule.window {
@@ -165,8 +184,10 @@ impl FaultPlan {
 }
 
 /// SplitMix64 — the standard 64-bit avalanche mix; good enough to turn a
-/// counter into an i.i.d.-looking coin without a vendored RNG.
-fn splitmix64(mut z: u64) -> u64 {
+/// counter into an i.i.d.-looking coin without a vendored RNG. Also
+/// seeds the remote transport's reconnect-backoff jitter, so replica
+/// reconnects after a server restart de-synchronize deterministically.
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
     z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -456,6 +477,7 @@ mod tests {
             .with_rule(FaultRule::outage(1, FaultAction::Error, 2, 5))
             .with_rule(FaultRule {
                 shard: 0,
+                replica: None,
                 action: FaultAction::Drop,
                 probability: 0.5,
                 window: None,
@@ -463,16 +485,39 @@ mod tests {
         // Windowed rule: exact half-open interval on shard 1.
         for seq in 0..8 {
             let want = (2..5).contains(&seq).then_some(FaultAction::Error);
-            assert_eq!(plan.decide(1, seq), want, "shard 1 seq {seq}");
+            assert_eq!(plan.decide(1, 0, seq), want, "shard 1 seq {seq}");
         }
         // Probabilistic rule: deterministic replay, non-trivial mix.
-        let a: Vec<_> = (0..64).map(|s| plan.decide(0, s)).collect();
-        let b: Vec<_> = (0..64).map(|s| plan.decide(0, s)).collect();
+        let a: Vec<_> = (0..64).map(|s| plan.decide(0, 0, s)).collect();
+        let b: Vec<_> = (0..64).map(|s| plan.decide(0, 0, s)).collect();
         assert_eq!(a, b);
         let fired = a.iter().filter(|d| d.is_some()).count();
         assert!(fired > 8 && fired < 56, "p=0.5 fired {fired}/64");
         // Unlisted shard: never.
-        assert_eq!(plan.decide(7, 0), None);
+        assert_eq!(plan.decide(7, 0, 0), None);
+    }
+
+    #[test]
+    fn replica_scoped_rules_hit_only_their_replica() {
+        let plan =
+            FaultPlan::new(3).with_rule(FaultRule::always(0, FaultAction::Error).on_replica(1));
+        for seq in 0..8 {
+            assert_eq!(plan.decide(0, 1, seq), Some(FaultAction::Error));
+            assert_eq!(plan.decide(0, 0, seq), None, "healthy replica untouched");
+            assert_eq!(plan.decide(0, 2, seq), None);
+        }
+        // A shard-wide rule makes the same decision on every replica, so
+        // replicas under shard-wide chaos fail (or survive) together.
+        let plan = FaultPlan::new(9).with_rule(FaultRule {
+            shard: 2,
+            replica: None,
+            action: FaultAction::Drop,
+            probability: 0.5,
+            window: None,
+        });
+        for seq in 0..64 {
+            assert_eq!(plan.decide(2, 0, seq), plan.decide(2, 1, seq));
+        }
     }
 
     #[test]
@@ -480,6 +525,7 @@ mod tests {
         let plan = FaultPlan::new(7)
             .with_rule(FaultRule {
                 shard: 0,
+                replica: None,
                 action: FaultAction::Panic,
                 probability: 0.0,
                 window: None,
@@ -487,7 +533,7 @@ mod tests {
             .with_rule(FaultRule::always(0, FaultAction::Error));
         for seq in 0..32 {
             // p=0 never fires, so the always-rule behind it wins.
-            assert_eq!(plan.decide(0, seq), Some(FaultAction::Error));
+            assert_eq!(plan.decide(0, 0, seq), Some(FaultAction::Error));
         }
     }
 

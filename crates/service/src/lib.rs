@@ -38,9 +38,11 @@
 //!   gauges (uptime, RSS, arena bytes), exposed as a [`MetricsReport`]
 //!   serializable to single-line JSON.
 //! * [`shard_router`] — scatter-gather serving over a region-sharded
-//!   index: per-shard snapshot stores in epoch lockstep, a fan-out worker
-//!   pool running the two-round distributed greedy, and per-shard
-//!   latency/replication lanes in the metrics report.
+//!   index: per-shard **replica sets** of snapshot stores in epoch
+//!   lockstep (hedged round-1 reads, per-replica breakers, catch-up
+//!   resync), a fan-out worker pool running the two-round distributed
+//!   greedy, and per-shard latency/replication lanes in the metrics
+//!   report.
 //! * [`trace`] — structured query-path tracing: per-stage latency
 //!   histograms over all traffic, allocation-free span recorders, and
 //!   **tail-based sampling** into a bounded slow-query log with full
@@ -150,13 +152,17 @@ pub use provider_cache::{
     quantize_tau, CacheOutcome, EpochKeyed, FlightCache, ProviderCache, ProviderCacheStats,
     ProviderKey, RoundCacheStats, RoundKey, RoundOneCache, ShardProviderCache, ShardProviderKey,
 };
+pub use shard_proto::ResyncSnapshot;
 pub use shard_router::{
-    InProcessShard, QueryOptions, RemoteShard, RemoteShardConfig, Round1Ctx, Round1Ok,
-    ShardApplyOutcome, ShardHello, ShardRouter, ShardRouterConfig, ShardTransport,
-    ShardedServiceAnswer, TransportCounters, TransportSnapshot, ROUND1_BUDGET_FRACTION,
+    install_resync_snapshot, InProcessShard, QueryOptions, RemoteShard, RemoteShardConfig,
+    Round1Ctx, Round1Ok, ShardApplyOutcome, ShardHello, ShardRouter, ShardRouterConfig,
+    ShardTransport, ShardedServiceAnswer, TransportCounters, TransportSnapshot,
+    HEDGE_DELAY_FRACTION, ROUND1_BUDGET_FRACTION,
 };
 pub use shard_server::{ShardServer, ShardServerConfig};
-pub use snapshot::{RoutedOp, Snapshot, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
+pub use snapshot::{
+    RoutedOp, Snapshot, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt, UpdateSink,
+};
 pub use telemetry::{TelemetryServer, TelemetrySource};
 pub use trace::{
     LoadGauge, LoadGaugeSnapshot, Round1Source, SlowQueryRecord, SpanRecord, Stage, StageStats,
@@ -201,4 +207,5 @@ fn send_sync_audit() {
     assert_send_sync::<TransportCounters>();
     assert_send_sync::<Box<dyn ShardTransport>>();
     assert_send_sync::<ShardServer>();
+    assert_send_sync::<ResyncSnapshot>();
 }

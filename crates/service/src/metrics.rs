@@ -301,6 +301,11 @@ pub struct ShardReport {
     pub boundary_trajs: u64,
     /// Total shard-local trajectory copies.
     pub replicas: u64,
+    /// Replica-divergence gauge: the largest number of epochs any serving
+    /// replica lags the lockstep epoch by, across every shard. Zero in the
+    /// steady state; persistently positive means a replica is missing
+    /// applies and needs a resync.
+    pub replica_lag_max: u64,
     /// Fault-tolerance counters (degraded/stale answers, shard failures,
     /// breaker transitions, worker supervision).
     pub fault: FaultReport,
@@ -350,6 +355,16 @@ pub struct FaultReport {
     pub abandoned_gathers: u64,
     /// Queries that failed with every shard down and no stale fallback.
     pub unavailable_answers: u64,
+    /// Round-1 backup requests fired because the hedge delay elapsed
+    /// without an answer from the preferred replica.
+    pub hedged_requests: u64,
+    /// Round 1s won by a hedged or failed-over backup replica.
+    pub hedge_wins: u64,
+    /// Round-1 backup requests fired immediately on a typed failure of a
+    /// sibling replica.
+    pub replica_failovers: u64,
+    /// Replica catch-up resyncs completed.
+    pub resyncs: u64,
 }
 
 impl ShardReport {
@@ -524,6 +539,7 @@ impl MetricsReport {
             push_u64(&mut s, "boundary_trajs", shards.boundary_trajs);
             push_u64(&mut s, "shard_replicas", shards.replicas);
             push_f64(&mut s, "replication_factor", shards.replication_factor());
+            push_u64(&mut s, "replica_lag_max", shards.replica_lag_max);
             let fault = &shards.fault;
             push_u64(&mut s, "degraded_answers", fault.degraded_answers);
             push_u64(&mut s, "stale_answers", fault.stale_answers);
@@ -539,6 +555,10 @@ impl MetricsReport {
             push_u64(&mut s, "worker_respawns", fault.worker_respawns);
             push_u64(&mut s, "abandoned_gathers", fault.abandoned_gathers);
             push_u64(&mut s, "unavailable_answers", fault.unavailable_answers);
+            push_u64(&mut s, "hedged_requests", fault.hedged_requests);
+            push_u64(&mut s, "hedge_wins", fault.hedge_wins);
+            push_u64(&mut s, "replica_failovers", fault.replica_failovers);
+            push_u64(&mut s, "resyncs", fault.resyncs);
             push_u64(&mut s, "transport_requests", shards.transport_requests);
             push_u64(&mut s, "transport_errors", shards.transport_errors);
             push_u64(&mut s, "transport_reconnects", shards.transport_reconnects);
@@ -1039,6 +1059,7 @@ mod tests {
             trajectories: 18,
             boundary_trajs: 3,
             replicas: 21,
+            replica_lag_max: 2,
             fault: FaultReport {
                 degraded_answers: 2,
                 stale_answers: 1,
@@ -1049,6 +1070,10 @@ mod tests {
                 worker_panics: 1,
                 worker_respawns: 1,
                 abandoned_gathers: 3,
+                hedged_requests: 4,
+                hedge_wins: 2,
+                replica_failovers: 1,
+                resyncs: 1,
                 ..Default::default()
             },
             transport_requests: 9,
@@ -1073,6 +1098,11 @@ mod tests {
         assert!(json.contains("\"worker_panics\":1"));
         assert!(json.contains("\"abandoned_gathers\":3"));
         assert!(json.contains("\"unavailable_answers\":0"));
+        assert!(json.contains("\"hedged_requests\":4"));
+        assert!(json.contains("\"hedge_wins\":2"));
+        assert!(json.contains("\"replica_failovers\":1"));
+        assert!(json.contains("\"resyncs\":1"));
+        assert!(json.contains("\"replica_lag_max\":2"));
         assert!(json.contains("\"shard0_queries\":4"));
         assert!(json.contains("\"shard1_replicated_trajs\":11"));
         assert!(json.contains("\"boundary_trajs\":3"));

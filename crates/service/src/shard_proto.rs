@@ -41,9 +41,9 @@ use netclus_roadnet::NodeId;
 use netclus_trajectory::{TrajId, Trajectory};
 
 use crate::cache::preference_key;
-use crate::snapshot::RoutedOp;
+use crate::snapshot::{RoutedOp, Snapshot};
 use crate::trace::Round1Source;
-use crate::wire::{MAX_SHARD_REQUEST, MAX_WIRE_CANDIDATES};
+use crate::wire::{MAX_RESYNC_CHUNK, MAX_SHARD_REQUEST, MAX_WIRE_CANDIDATES};
 
 /// Protocol version spoken by this build. A `Hello` carrying any other
 /// version is answered with [`RespError::VersionSkew`] and the connection
@@ -125,6 +125,16 @@ pub enum Request {
     Report,
     /// Cheap liveness + load probe, for the future gateway tier.
     Heartbeat,
+    /// One chunk of a corpus-snapshot transfer (replica catch-up). The
+    /// first request (`offset == 0`) pins the server's current snapshot
+    /// for this connection; subsequent offsets read the pinned blob, so
+    /// a transfer is consistent even while updates keep publishing.
+    Resync {
+        /// Shard id (must match the server's).
+        shard: u32,
+        /// Byte offset into the encoded [`ResyncSnapshot`] blob.
+        offset: u64,
+    },
     /// Graceful stop: the server acks, dumps its flight recorder, and
     /// exits its accept loop.
     Shutdown,
@@ -188,8 +198,125 @@ pub enum Response {
     },
     /// Shutdown acknowledged; the server exits after this frame.
     ShutdownAck,
+    /// One chunk of the pinned resync blob. The transfer is complete when
+    /// `offset + data.len() == total_len`; each chunk carries at most
+    /// [`MAX_RESYNC_CHUNK`] bytes so every frame stays under the shard
+    /// response cap.
+    ResyncChunk {
+        /// Epoch of the pinned snapshot being transferred.
+        epoch: u64,
+        /// Total length of the encoded [`ResyncSnapshot`] blob.
+        total_len: u64,
+        /// This chunk's bytes (starting at the requested offset).
+        data: Vec<u8>,
+    },
     /// Typed refusal.
     Error(RespError),
+}
+
+/// The corpus state a replica needs to catch up to a healthy sibling's
+/// epoch: every live trajectory under its global id, the exact id bound
+/// (tombstones included — the round-2 merge arena is sized by it), and
+/// the candidate-site set. The receiver rebuilds its [`netclus::NetClusIndex`]
+/// from these over the fixed road network, which reproduces the source's
+/// index bit-identically (index construction is deterministic in the
+/// corpus), and installs the result at `epoch`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ResyncSnapshot {
+    /// The epoch this state was published under on the source replica.
+    pub epoch: u64,
+    /// The source's [`netclus_trajectory::TrajectorySet::id_bound`].
+    pub id_bound: u64,
+    /// Every live trajectory, `(global id, nodes)` in id order.
+    pub trajs: Vec<(TrajId, Trajectory)>,
+    /// Every candidate site.
+    pub sites: Vec<NodeId>,
+}
+
+impl ResyncSnapshot {
+    /// Captures a shard snapshot's full corpus state: what a healthy
+    /// replica serves so a lagging sibling can catch up to its epoch.
+    pub fn capture(snap: &Snapshot) -> ResyncSnapshot {
+        ResyncSnapshot {
+            epoch: snap.epoch(),
+            id_bound: snap.trajs().id_bound() as u64,
+            trajs: snap.trajs().iter().map(|(id, t)| (id, t.clone())).collect(),
+            sites: snap
+                .net()
+                .nodes()
+                .filter(|&v| snap.index().is_site(v))
+                .collect(),
+        }
+    }
+
+    /// Serializes the snapshot into the blob that `Resync` chunks
+    /// transfer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.epoch);
+        put_u64(&mut buf, self.id_bound);
+        put_u32(&mut buf, self.trajs.len() as u32);
+        for (id, t) in &self.trajs {
+            put_u32(&mut buf, id.0);
+            let nodes = t.nodes();
+            put_u32(&mut buf, nodes.len() as u32);
+            for v in nodes {
+                put_u32(&mut buf, v.0);
+            }
+        }
+        put_u32(&mut buf, self.sites.len() as u32);
+        for v in &self.sites {
+            put_u32(&mut buf, v.0);
+        }
+        buf
+    }
+
+    /// Decodes a transferred blob; every malformed input is a typed
+    /// error, lengths are validated before allocation, and trailing bytes
+    /// are rejected.
+    pub fn decode(payload: &[u8]) -> Result<ResyncSnapshot, WireError> {
+        let mut r = WireReader::new(payload);
+        let epoch = r.u64()?;
+        let id_bound = r.u64()?;
+        let n = r.u32()? as usize;
+        // Each trajectory is ≥ 12 encoded bytes (id + count + one node).
+        if n > r.remaining() / 12 {
+            return Err(WireError::Truncated("resync trajectory count"));
+        }
+        let mut trajs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let id = TrajId(r.u32()?);
+            let len = r.u32()? as usize;
+            if len == 0 {
+                return Err(WireError::BadValue("empty trajectory"));
+            }
+            if len > r.remaining() / 4 {
+                return Err(WireError::Truncated("resync trajectory nodes"));
+            }
+            let mut nodes = Vec::with_capacity(len);
+            for _ in 0..len {
+                nodes.push(NodeId(r.u32()?));
+            }
+            trajs.push((id, Trajectory::new(nodes)));
+        }
+        let n_sites = r.u32()? as usize;
+        if n_sites > r.remaining() / 4 {
+            return Err(WireError::Truncated("resync site count"));
+        }
+        let mut sites = Vec::with_capacity(n_sites);
+        for _ in 0..n_sites {
+            sites.push(NodeId(r.u32()?));
+        }
+        if r.remaining() != 0 {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(ResyncSnapshot {
+            epoch,
+            id_bound,
+            trajs,
+            sites,
+        })
+    }
 }
 
 /// Typed error responses. The remote transport maps each onto the
@@ -214,6 +341,7 @@ const REQ_APPLY: u8 = 2;
 const REQ_REPORT: u8 = 3;
 const REQ_HEARTBEAT: u8 = 4;
 const REQ_SHUTDOWN: u8 = 5;
+const REQ_RESYNC: u8 = 6;
 
 const RESP_HELLO: u8 = 0;
 const RESP_ROUND1: u8 = 1;
@@ -221,6 +349,7 @@ const RESP_APPLY: u8 = 2;
 const RESP_REPORT: u8 = 3;
 const RESP_HEARTBEAT: u8 = 4;
 const RESP_SHUTDOWN: u8 = 5;
+const RESP_RESYNC: u8 = 6;
 const RESP_ERROR: u8 = 0xFF;
 
 const OP_ADD_TRAJ: u8 = 0;
@@ -383,6 +512,11 @@ impl Request {
             Request::Report => buf.push(REQ_REPORT),
             Request::Heartbeat => buf.push(REQ_HEARTBEAT),
             Request::Shutdown => buf.push(REQ_SHUTDOWN),
+            Request::Resync { shard, offset } => {
+                buf.push(REQ_RESYNC);
+                put_u32(&mut buf, *shard);
+                put_u64(&mut buf, *offset);
+            }
         }
         debug_assert!(buf.len() <= MAX_SHARD_REQUEST, "request exceeds wire cap");
         buf
@@ -422,6 +556,10 @@ impl Request {
             REQ_REPORT => Request::Report,
             REQ_HEARTBEAT => Request::Heartbeat,
             REQ_SHUTDOWN => Request::Shutdown,
+            REQ_RESYNC => Request::Resync {
+                shard: r.u32()?,
+                offset: r.u64()?,
+            },
             t => return Err(WireError::BadTag(t)),
         };
         if r.remaining() != 0 {
@@ -491,6 +629,17 @@ impl Response {
                 put_u64(&mut buf, *live_trajs);
             }
             Response::ShutdownAck => buf.push(RESP_SHUTDOWN),
+            Response::ResyncChunk {
+                epoch,
+                total_len,
+                data,
+            } => {
+                buf.push(RESP_RESYNC);
+                put_u64(&mut buf, *epoch);
+                put_u64(&mut buf, *total_len);
+                put_u32(&mut buf, data.len() as u32);
+                buf.extend_from_slice(data);
+            }
             Response::Error(e) => {
                 buf.push(RESP_ERROR);
                 buf.push(match e {
@@ -560,6 +709,20 @@ impl Response {
                 live_trajs: r.u64()?,
             },
             RESP_SHUTDOWN => Response::ShutdownAck,
+            RESP_RESYNC => {
+                let epoch = r.u64()?;
+                let total_len = r.u64()?;
+                let n = r.u32()? as usize;
+                if n > MAX_RESYNC_CHUNK || n > r.remaining() {
+                    return Err(WireError::Truncated("resync chunk"));
+                }
+                let data = r.bytes(n)?.to_vec();
+                Response::ResyncChunk {
+                    epoch,
+                    total_len,
+                    data,
+                }
+            }
             RESP_ERROR => Response::Error(match r.u8()? {
                 0 => RespError::VersionSkew,
                 1 => RespError::BadRequest,
@@ -620,6 +783,10 @@ mod tests {
             Request::Report,
             Request::Heartbeat,
             Request::Shutdown,
+            Request::Resync {
+                shard: 1,
+                offset: 4_096,
+            },
         ]
     }
 
@@ -653,6 +820,11 @@ mod tests {
                 live_trajs: 81,
             },
             Response::ShutdownAck,
+            Response::ResyncChunk {
+                epoch: 6,
+                total_len: 10,
+                data: vec![1, 2, 3, 4],
+            },
             Response::Error(RespError::VersionSkew),
             Response::Error(RespError::BadRequest),
             Response::Error(RespError::Injected),
@@ -723,6 +895,50 @@ mod tests {
         assert_eq!(
             Request::decode(&[]),
             Err(WireError::Truncated("truncated payload"))
+        );
+    }
+
+    #[test]
+    fn resync_snapshot_blob_roundtrips_and_fails_closed() {
+        let snap = ResyncSnapshot {
+            epoch: 9,
+            id_bound: 12,
+            trajs: vec![
+                (TrajId(0), Trajectory::new(vec![NodeId(0), NodeId(1)])),
+                (
+                    TrajId(7),
+                    Trajectory::new(vec![NodeId(2), NodeId(3), NodeId(4)]),
+                ),
+            ],
+            sites: vec![NodeId(0), NodeId(5)],
+        };
+        let blob = snap.encode();
+        assert_eq!(ResyncSnapshot::decode(&blob).expect("decode"), snap);
+        // Every truncation fails typed.
+        for cut in 0..blob.len() {
+            assert!(ResyncSnapshot::decode(&blob[..cut]).is_err(), "cut {cut}");
+        }
+        // Trailing bytes are rejected.
+        let mut long = blob.clone();
+        long.push(0);
+        assert_eq!(ResyncSnapshot::decode(&long), Err(WireError::TrailingBytes));
+        // Hostile counts are refused before allocation.
+        let mut hostile = Vec::new();
+        put_u64(&mut hostile, 1);
+        put_u64(&mut hostile, 1);
+        hostile.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            ResyncSnapshot::decode(&hostile),
+            Err(WireError::Truncated("resync trajectory count"))
+        );
+        // An oversized chunk length in the RPC is refused.
+        let mut chunk = vec![RESP_RESYNC];
+        put_u64(&mut chunk, 1);
+        put_u64(&mut chunk, u64::MAX);
+        chunk.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(
+            Response::decode(&chunk),
+            Err(WireError::Truncated("resync chunk"))
         );
     }
 

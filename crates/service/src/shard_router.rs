@@ -117,7 +117,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard};
 use std::thread::JoinHandle;
@@ -128,11 +128,11 @@ use netclus::shard::{
     ShardRoundOne,
 };
 use netclus::{
-    ClusteredProvider, NetClusShard, ProviderScratch, ReplicationStats, ShardedNetClusIndex,
-    TopsQuery,
+    ClusteredProvider, NetClusIndex, NetClusShard, ProviderScratch, ReplicationStats,
+    ShardedNetClusIndex, TopsQuery,
 };
 use netclus_roadnet::{NodeId, RegionPartition, RoadNetwork};
-use netclus_trajectory::TrajId;
+use netclus_trajectory::{TrajId, TrajectorySet};
 
 use crate::executor::{validate_query, SubmitError};
 use crate::fault::{
@@ -147,10 +147,14 @@ use crate::metrics::{
 use crate::provider_cache::{
     quantize_tau, CacheOutcome, RoundKey, RoundOneCache, ShardProviderCache, ShardProviderKey,
 };
-use crate::shard_proto::{round1_request, Request, RespError, Response, SHARD_PROTOCOL_VERSION};
-use crate::snapshot::{RoutedOp, Snapshot, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt};
+use crate::shard_proto::{
+    round1_request, Request, RespError, Response, ResyncSnapshot, SHARD_PROTOCOL_VERSION,
+};
+use crate::snapshot::{
+    RoutedOp, Snapshot, SnapshotStore, UpdateBatch, UpdateOp, UpdateReceipt, UpdateSink,
+};
 use crate::trace::{LoadGauge, Round1Source, Stage, TraceConfig, TraceMeta, Tracer};
-use crate::wire::MAX_SHARD_RESPONSE;
+use crate::wire::{MAX_RESYNC_BLOB, MAX_SHARD_RESPONSE};
 
 /// Router configuration.
 #[derive(Clone, Copy, Debug)]
@@ -213,6 +217,19 @@ impl ShardRouterConfig {
 /// the remainder is reserved for the round-2 merge, so a slow shard
 /// cannot starve the merge of the surviving candidates.
 pub const ROUND1_BUDGET_FRACTION: f64 = 0.75;
+
+/// Fraction of the round-1 budget the gather waits before **hedging**: a
+/// shard that has not answered by then gets a second round-1 request on
+/// its next healthy replica, and the first bit-identical answer wins.
+/// Replicas pin the same lockstep epoch, so either answer is the answer;
+/// hedging trades one redundant RPC for tail latency only when round 1
+/// is already slower than the typical reply.
+pub const HEDGE_DELAY_FRACTION: f64 = 0.25;
+
+/// Hedge delay for queries without a deadline (no round-1 budget to take
+/// a fraction of): comfortably above a healthy round-1 reply, far below
+/// a human-visible stall.
+const DEFAULT_HEDGE_DELAY: Duration = Duration::from_millis(20);
 
 /// Per-query execution options for [`ShardRouter::query`].
 #[derive(Clone, Copy, Debug, Default)]
@@ -352,6 +369,21 @@ pub trait ShardTransport: Send + Sync {
     fn counters(&self) -> Option<&TransportCounters> {
         None
     }
+    /// Captures this replica's full corpus snapshot so a lagging sibling
+    /// can catch up. Transports that cannot serve a snapshot return
+    /// [`ShardFailure::Unreachable`].
+    fn fetch_resync(&self) -> Result<ResyncSnapshot, ShardFailure> {
+        Err(ShardFailure::Unreachable)
+    }
+    /// Installs a corpus snapshot fetched from a healthy sibling,
+    /// replacing this replica's corpus and index wholesale and adopting
+    /// the snapshot's epoch. Transports that cannot install (a remote
+    /// replica rejoins via `netclus-shardd --join` instead) return
+    /// [`ShardFailure::Unreachable`].
+    fn install_resync(&self, snap: &ResyncSnapshot) -> Result<(), ShardFailure> {
+        let _ = snap;
+        Err(ShardFailure::Unreachable)
+    }
 }
 
 /// The in-process transport: the shard's [`SnapshotStore`] lives in the
@@ -403,6 +435,44 @@ impl ShardTransport for InProcessShard {
     fn local_store(&self) -> Option<&SnapshotStore> {
         Some(&self.store)
     }
+
+    fn fetch_resync(&self) -> Result<ResyncSnapshot, ShardFailure> {
+        Ok(ResyncSnapshot::capture(&self.store.load()))
+    }
+
+    fn install_resync(&self, snap: &ResyncSnapshot) -> Result<(), ShardFailure> {
+        install_resync_snapshot(&self.store, snap)
+    }
+}
+
+/// Validates `snap` against `store`'s (fixed) road network, rebuilds the
+/// shard corpus and index from it, and publishes the result wholesale at
+/// `snap.epoch` — the receiving half of a resync transfer. Any
+/// out-of-network node or duplicate trajectory id rejects the whole
+/// snapshot as [`ShardFailure::CorruptReply`] without touching the
+/// published state. Shared by the in-process transport's resync path and
+/// `netclus-shardd --join`.
+pub fn install_resync_snapshot(
+    store: &SnapshotStore,
+    snap: &ResyncSnapshot,
+) -> Result<(), ShardFailure> {
+    let cur = store.load();
+    let net = cur.net_shared();
+    let nodes = net.node_count();
+    let mut trajs = TrajectorySet::for_network(&net);
+    for (id, traj) in &snap.trajs {
+        if traj.nodes().iter().any(|v| v.0 as usize >= nodes) || !trajs.insert_at(*id, traj.clone())
+        {
+            return Err(ShardFailure::CorruptReply);
+        }
+    }
+    trajs.align_id_bound(snap.id_bound as usize);
+    if snap.sites.iter().any(|v| v.0 as usize >= nodes) {
+        return Err(ShardFailure::CorruptReply);
+    }
+    let index = NetClusIndex::build(&net, &trajs, &snap.sites, *cur.index().config());
+    store.install(snap.epoch, trajs, index);
+    Ok(())
 }
 
 /// The shared round-1 resolution, cheapest lane first: candidate memo →
@@ -567,6 +637,9 @@ pub struct RemoteShard {
     conn: Mutex<ConnState>,
     /// Last epoch observed in any response — the router's lockstep hint.
     last_epoch: AtomicU64,
+    /// Failed reconnect attempts, ever — the per-attempt term of the
+    /// backoff-jitter seed.
+    reconnect_failures: AtomicU64,
     counters: TransportCounters,
 }
 
@@ -584,6 +657,7 @@ impl RemoteShard {
             }),
             cfg,
             last_epoch: AtomicU64::new(0),
+            reconnect_failures: AtomicU64::new(0),
             counters: TransportCounters::default(),
         }
     }
@@ -709,9 +783,70 @@ impl RemoteShard {
                 Ok(())
             }
             Err(failure) => {
-                conn.next_attempt = Some(now + conn.backoff);
+                // Deterministic seeded jitter (±25%) against thundering
+                // herd: when a shard server restarts, its clients' retry
+                // clocks must not be phase-locked. Seeding from (shard,
+                // port, failure ordinal) keeps each client's schedule
+                // reproducible while decorrelating clients from each
+                // other.
+                let ordinal = self.reconnect_failures.fetch_add(1, Ordering::Relaxed);
+                let seed = (u64::from(self.shard) << 32) ^ u64::from(self.addr.port()) ^ ordinal;
+                let roll = crate::fault::splitmix64(seed);
+                let factor = 0.75 + 0.5 * (roll as f64 / (u64::MAX as f64 + 1.0));
+                conn.next_attempt = Some(now + conn.backoff.mul_f64(factor));
                 conn.backoff = (conn.backoff * 2).min(self.cfg.backoff_max);
                 Err(failure)
+            }
+        }
+    }
+
+    /// Fetches the server's full corpus snapshot over the chunked
+    /// `Resync` exchange. The server pins the blob at the first chunk of
+    /// a transfer, so sequential chunks are internally consistent; if an
+    /// epoch change is observed mid-transfer (the pin was lost to a
+    /// reconnect and the corpus moved), the transfer restarts from
+    /// offset 0, a bounded number of times.
+    fn fetch_resync_blob(&self) -> Result<ResyncSnapshot, ShardFailure> {
+        const MAX_RESTARTS: u32 = 8;
+        let mut restarts = 0;
+        let mut blob: Vec<u8> = Vec::new();
+        let mut pinned_epoch: Option<u64> = None;
+        loop {
+            let req = Request::Resync {
+                shard: self.shard,
+                offset: blob.len() as u64,
+            };
+            let (epoch, total_len, data) = match self.call(&req, None)? {
+                Response::ResyncChunk {
+                    epoch,
+                    total_len,
+                    data,
+                } => (epoch, total_len, data),
+                _ => return Err(ShardFailure::CorruptReply),
+            };
+            if total_len as usize > MAX_RESYNC_BLOB {
+                return Err(ShardFailure::CorruptReply);
+            }
+            if pinned_epoch.is_some_and(|e| e != epoch) {
+                restarts += 1;
+                if restarts > MAX_RESTARTS {
+                    return Err(ShardFailure::CorruptReply);
+                }
+                blob.clear();
+                pinned_epoch = None;
+                continue;
+            }
+            pinned_epoch = Some(epoch);
+            if data.is_empty() && (blob.len() as u64) < total_len {
+                // A non-final empty chunk would loop forever.
+                return Err(ShardFailure::CorruptReply);
+            }
+            blob.extend_from_slice(&data);
+            if blob.len() as u64 > total_len {
+                return Err(ShardFailure::CorruptReply);
+            }
+            if blob.len() as u64 == total_len {
+                return ResyncSnapshot::decode(&blob).map_err(|_| ShardFailure::CorruptReply);
             }
         }
     }
@@ -754,6 +889,10 @@ impl ShardTransport for RemoteShard {
 
     fn counters(&self) -> Option<&TransportCounters> {
         Some(&self.counters)
+    }
+
+    fn fetch_resync(&self) -> Result<ResyncSnapshot, ShardFailure> {
+        self.fetch_resync_blob()
     }
 }
 
@@ -804,11 +943,13 @@ fn response_epoch(resp: &Response) -> Option<u64> {
     }
 }
 
-type ShardReplyMsg = (u32, Result<Round1Ok, ShardFailure>);
+type ShardReplyMsg = (u32, u32, Result<Round1Ok, ShardFailure>);
 
 /// One round-1 unit of work handed to the pool.
 struct ShardTask {
     shard: u32,
+    /// Replica within the shard's set that serves this attempt.
+    replica: u32,
     query: TopsQuery,
     /// Round-1 budget: a worker popping the task after this instant sheds
     /// it with [`ShardFailure::TimedOut`] instead of computing an answer
@@ -873,6 +1014,10 @@ struct FaultCounters {
     worker_respawns: AtomicU64,
     abandoned_gathers: AtomicU64,
     unavailable_answers: AtomicU64,
+    hedged_requests: AtomicU64,
+    hedge_wins: AtomicU64,
+    replica_failovers: AtomicU64,
+    resyncs: AtomicU64,
 }
 
 /// Poison-recovering mutex lock: a worker that panicked mid-task cannot
@@ -907,7 +1052,11 @@ struct UpdateState {
 struct RouterInner {
     net: Arc<RoadNetwork>,
     partition: RegionPartition,
-    transports: Vec<Box<dyn ShardTransport>>,
+    /// Replica sets, `transports[shard][replica]`. Every replica of a
+    /// shard holds the same corpus at the same lockstep epoch (applies
+    /// fan out to all of them), so any replica's round-1 answer is *the*
+    /// answer — which is what makes hedged reads and failover safe.
+    transports: Vec<Vec<Box<dyn ShardTransport>>>,
     /// Queries take `read`, updates take `write`: a fan-out observes every
     /// shard at one lockstep epoch.
     update_lock: RwLock<UpdateState>,
@@ -940,8 +1089,15 @@ struct RouterInner {
     tracer: Tracer,
     /// Per-shard load/heat gauges (qps EWMA, cache heat, cold fraction).
     gauges: Vec<LoadGauge>,
-    /// Per-shard circuit breakers (closed → open → half-open).
-    breakers: Vec<CircuitBreaker>,
+    /// Per-replica circuit breakers, `breakers[shard][replica]` (closed →
+    /// open → half-open) — one replica's outage must not poison its
+    /// healthy siblings.
+    breakers: Vec<Vec<CircuitBreaker>>,
+    /// Per-shard preferred-replica cursor: the last replica that won a
+    /// round 1. The scatter starts its replica walk here, so a healthy
+    /// primary stays sticky and a failed-over shard keeps preferring the
+    /// replica that actually answered.
+    preferred: Vec<AtomicUsize>,
     /// Fast-path flag for the fault-injection hook: workers check this
     /// one relaxed load per task and only read the plan when it is set.
     fault_on: AtomicBool,
@@ -971,19 +1127,51 @@ impl ShardRouter {
         sharded: ShardedNetClusIndex,
         cfg: ShardRouterConfig,
     ) -> std::io::Result<Self> {
+        Self::start_replicated(net, sharded, 1, cfg)
+    }
+
+    /// Like [`ShardRouter::start`], but publishes `replicas` in-process
+    /// copies of every shard (each with its own snapshot store, all at
+    /// epoch 0). Round 1 prefers one replica per shard and **hedges** to
+    /// a sibling when the preferred replica is slow or failing; updates
+    /// fan out to every replica in lockstep. With `replicas == 1` this is
+    /// exactly [`ShardRouter::start`].
+    ///
+    /// # Errors
+    /// Returns the OS error when a worker thread cannot be spawned;
+    /// already-spawned workers are stopped and joined first.
+    pub fn start_replicated(
+        net: Arc<RoadNetwork>,
+        sharded: ShardedNetClusIndex,
+        replicas: usize,
+        cfg: ShardRouterConfig,
+    ) -> std::io::Result<Self> {
+        let replicas = replicas.max(1);
         let next_id = sharded.traj_id_bound() as u64;
         let (partition, shards, replication) = sharded.into_parts();
-        let transports: Vec<Box<dyn ShardTransport>> = shards
+        let transports: Vec<Vec<Box<dyn ShardTransport>>> = shards
             .into_iter()
             .map(|NetClusShard { trajs, index, .. }| {
-                Box::new(InProcessShard::new(SnapshotStore::with_shared_net(
-                    Arc::clone(&net),
-                    trajs,
-                    index,
-                ))) as Box<dyn ShardTransport>
+                (0..replicas)
+                    .map(|_| {
+                        Box::new(InProcessShard::new(SnapshotStore::with_shared_net(
+                            Arc::clone(&net),
+                            trajs.clone(),
+                            index.clone(),
+                        ))) as Box<dyn ShardTransport>
+                    })
+                    .collect()
             })
             .collect();
-        Self::start_with_transports(net, partition, transports, next_id, 0, replication, cfg)
+        Self::start_with_replica_transports(
+            net,
+            partition,
+            transports,
+            next_id,
+            0,
+            replication,
+            cfg,
+        )
     }
 
     /// Connects to `netclus-shardd` servers at `addrs` (one per shard, in
@@ -1011,22 +1199,57 @@ impl ShardRouter {
         cfg: ShardRouterConfig,
         remote: RemoteShardConfig,
     ) -> std::io::Result<Self> {
-        let mut transports: Vec<Box<dyn ShardTransport>> = Vec::with_capacity(addrs.len());
+        let addr_sets: Vec<Vec<SocketAddr>> = addrs.iter().map(|&a| vec![a]).collect();
+        Self::connect_replicated(net, partition, &addr_sets, cfg, remote)
+    }
+
+    /// Like [`ShardRouter::connect`], but each shard is served by a
+    /// **replica set** of `netclus-shardd` processes (`addr_sets[shard]`
+    /// lists that shard's replicas). Every replica's hello must succeed;
+    /// the id space and lockstep epoch are seeded from the largest
+    /// reported values, and a replica behind the lockstep epoch is
+    /// avoided at scatter time until it catches up (via
+    /// `netclus-shardd --join` or [`ShardRouter::resync_replica`]).
+    ///
+    /// # Errors
+    /// An [`io::Error`] when any replica cannot be reached or refuses the
+    /// handshake, when a shard has no replicas, or when worker threads
+    /// cannot spawn.
+    pub fn connect_replicated(
+        net: Arc<RoadNetwork>,
+        partition: RegionPartition,
+        addr_sets: &[Vec<SocketAddr>],
+        cfg: ShardRouterConfig,
+        remote: RemoteShardConfig,
+    ) -> std::io::Result<Self> {
+        let mut transports: Vec<Vec<Box<dyn ShardTransport>>> = Vec::with_capacity(addr_sets.len());
         let mut next_id = 0u64;
         let mut epoch = 0u64;
-        let mut per_shard = Vec::with_capacity(addrs.len());
-        for (s, &addr) in addrs.iter().enumerate() {
-            let shard = RemoteShard::new(s as u32, addr, remote);
-            let info = shard.hello().map_err(|failure| {
-                io::Error::new(
-                    io::ErrorKind::ConnectionRefused,
-                    format!("shard {s} at {addr}: {failure}"),
-                )
-            })?;
-            next_id = next_id.max(info.traj_id_bound);
-            epoch = epoch.max(info.epoch);
-            per_shard.push(info.live_trajs as usize);
-            transports.push(Box::new(shard));
+        let mut per_shard = Vec::with_capacity(addr_sets.len());
+        for (s, addrs) in addr_sets.iter().enumerate() {
+            if addrs.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("shard {s} has no replica addresses"),
+                ));
+            }
+            let mut set: Vec<Box<dyn ShardTransport>> = Vec::with_capacity(addrs.len());
+            let mut live = 0u64;
+            for &addr in addrs {
+                let shard = RemoteShard::new(s as u32, addr, remote);
+                let info = shard.hello().map_err(|failure| {
+                    io::Error::new(
+                        io::ErrorKind::ConnectionRefused,
+                        format!("shard {s} at {addr}: {failure}"),
+                    )
+                })?;
+                next_id = next_id.max(info.traj_id_bound);
+                epoch = epoch.max(info.epoch);
+                live = live.max(info.live_trajs);
+                set.push(Box::new(shard));
+            }
+            per_shard.push(live as usize);
+            transports.push(set);
         }
         let total: usize = per_shard.iter().sum();
         let replication = ReplicationStats {
@@ -1035,7 +1258,15 @@ impl ShardRouter {
             replicas: total,
             per_shard,
         };
-        Self::start_with_transports(net, partition, transports, next_id, epoch, replication, cfg)
+        Self::start_with_replica_transports(
+            net,
+            partition,
+            transports,
+            next_id,
+            epoch,
+            replication,
+            cfg,
+        )
     }
 
     /// Starts a router over an explicit transport mix (the constructor
@@ -1055,8 +1286,52 @@ impl ShardRouter {
         replication: ReplicationStats,
         cfg: ShardRouterConfig,
     ) -> std::io::Result<Self> {
+        let transports = transports.into_iter().map(|t| vec![t]).collect();
+        Self::start_with_replica_transports(
+            net,
+            partition,
+            transports,
+            next_id,
+            epoch,
+            replication,
+            cfg,
+        )
+    }
+
+    /// The core constructor every other one lowers into: an explicit
+    /// replica-set transport mix, `transports[shard][replica]`. Every
+    /// replica of a shard must hold the same corpus at the same epoch
+    /// (the hedged scatter treats their answers as interchangeable).
+    ///
+    /// # Errors
+    /// Returns the OS error when a worker thread cannot be spawned;
+    /// already-spawned workers are stopped and joined first.
+    pub fn start_with_replica_transports(
+        net: Arc<RoadNetwork>,
+        partition: RegionPartition,
+        transports: Vec<Vec<Box<dyn ShardTransport>>>,
+        next_id: u64,
+        epoch: u64,
+        replication: ReplicationStats,
+        cfg: ShardRouterConfig,
+    ) -> std::io::Result<Self> {
+        assert!(
+            transports.iter().all(|set| !set.is_empty()),
+            "every shard needs at least one replica transport"
+        );
         let lanes = transports.len();
-        let workers = if cfg.workers == 0 { lanes } else { cfg.workers }.max(1);
+        // Default worker count: one lane per *replica*, so a hedged
+        // second attempt never queues behind the slow primary it is
+        // meant to overtake. With single-replica shards this is the old
+        // one-worker-per-shard default.
+        let total_replicas: usize = transports.iter().map(Vec::len).sum();
+        let workers = if cfg.workers == 0 {
+            total_replicas
+        } else {
+            cfg.workers
+        }
+        .max(1);
+        let replica_counts: Vec<usize> = transports.iter().map(Vec::len).collect();
         let inner = Arc::new(RouterInner {
             net,
             partition,
@@ -1086,9 +1361,11 @@ impl ShardRouter {
             fanout_queries: AtomicU64::new(0),
             tracer: Tracer::new(cfg.trace),
             gauges: (0..lanes).map(|_| LoadGauge::default()).collect(),
-            breakers: (0..lanes)
-                .map(|_| CircuitBreaker::new(cfg.breaker))
+            breakers: replica_counts
+                .iter()
+                .map(|&n| (0..n).map(|_| CircuitBreaker::new(cfg.breaker)).collect())
                 .collect(),
+            preferred: (0..lanes).map(|_| AtomicUsize::new(0)).collect(),
             fault_on: AtomicBool::new(false),
             fault_plan: RwLock::new(None),
             faultc: FaultCounters::default(),
@@ -1132,9 +1409,10 @@ impl ShardRouter {
         read_recover(&self.inner.update_lock).epoch
     }
 
-    /// Transport tags in shard order (`"in_process"` / `"remote"`).
+    /// Transport tags in shard order (`"in_process"` / `"remote"`),
+    /// reported from each shard's first replica.
     pub fn transport_kinds(&self) -> Vec<&'static str> {
-        self.inner.transports.iter().map(|t| t.kind()).collect()
+        self.inner.transports.iter().map(|t| t[0].kind()).collect()
     }
 
     /// The node partition queries are routed by.
@@ -1203,12 +1481,53 @@ impl ShardRouter {
         // guard also exposes the live per-shard trajectory counts the
         // degraded-answer bound needs.
         let state = read_recover(&inner.update_lock);
+        let lockstep_epoch = state.epoch;
         let lanes = inner.transports.len();
         let (tx, rx) = channel();
         let mut outcomes: Vec<Option<Result<Round1Ok, ShardFailure>>> =
             (0..lanes).map(|_| None).collect();
-        let mut probes = vec![false; lanes];
+        // Per-shard hedged-gather state. `fired` lists every attempt as
+        // `(replica, fired-as-probe, replied)` in fire order; `hedge_idx`
+        // marks the one attempt launched by the hedge wave (a win by it
+        // is a hedge win — failover-fired attempts are counted as
+        // failovers, not hedges). `backups` holds admitted replicas not
+        // yet fired, in cursor order.
+        struct GatherLane {
+            fired: Vec<(u32, bool, bool)>,
+            hedge_idx: Option<usize>,
+            backups: VecDeque<u32>,
+        }
+        /// Fires one backup attempt for `shard`; false when the pool is
+        /// shutting down (nothing was enqueued).
+        fn fire_backup(
+            inner: &RouterInner,
+            lane: &mut GatherLane,
+            shard: u32,
+            replica: u32,
+            query: TopsQuery,
+            deadline: Option<Instant>,
+            reply: &Sender<ShardReplyMsg>,
+        ) -> bool {
+            let mut queue = lock_recover(&inner.queue);
+            if queue.shutdown {
+                return false;
+            }
+            lane.fired.push((replica, false, false));
+            queue.tasks.push_back(ShardTask {
+                shard,
+                replica,
+                query,
+                deadline,
+                reply: reply.clone(),
+            });
+            inner.clock.metrics.queue_enter();
+            drop(queue);
+            inner.queue_cv.notify_all();
+            true
+        }
+        let mut gathers: Vec<GatherLane> = Vec::with_capacity(lanes);
         let mut pending = 0usize;
+        let mut any_backups = false;
         {
             let mut queue = lock_recover(&inner.queue);
             if queue.shutdown {
@@ -1217,104 +1536,257 @@ impl ShardRouter {
             }
             for shard in 0..lanes as u32 {
                 let s = shard as usize;
-                match inner.breakers[s].admit(start) {
-                    BreakerAdmit::Skip => {
-                        outcomes[s] = Some(Err(ShardFailure::BreakerOpen));
-                        inner.faultc.breaker_skips.fetch_add(1, Ordering::Relaxed);
-                    }
-                    admit => {
-                        probes[s] = admit == BreakerAdmit::Probe;
-                        queue.tasks.push_back(ShardTask {
-                            shard,
-                            query,
-                            deadline: round1_deadline,
-                            reply: tx.clone(),
-                        });
-                        inner.clock.metrics.queue_enter();
-                        pending += 1;
+                let set = &inner.transports[s];
+                let n = set.len();
+                let pref = inner.preferred[s].load(Ordering::Relaxed) % n;
+                // Walk the replica set from the preferred cursor.
+                // Healthy replicas at the lockstep epoch become the
+                // primary plus the backup pool; lagging replicas hedge
+                // last (their answers demote to EpochSkew — still better
+                // than nothing once every caught-up replica is gone); a
+                // half-open breaker fires its probe *in addition to* the
+                // primary, so a recovering replica never steals the
+                // healthy replica's slot.
+                let mut fired: Vec<(u32, bool, bool)> = Vec::new();
+                let mut backups: VecDeque<u32> = VecDeque::new();
+                let mut lagging: VecDeque<u32> = VecDeque::new();
+                let mut primary: Option<u32> = None;
+                for j in 0..n {
+                    let r = (pref + j) % n;
+                    match inner.breakers[s][r].admit(start) {
+                        BreakerAdmit::Yes => {
+                            if set[r].epoch() != lockstep_epoch {
+                                lagging.push_back(r as u32);
+                            } else if primary.is_none() {
+                                primary = Some(r as u32);
+                            } else {
+                                backups.push_back(r as u32);
+                            }
+                        }
+                        BreakerAdmit::Probe => fired.push((r as u32, true, false)),
+                        BreakerAdmit::Skip => {}
                     }
                 }
+                if primary.is_none() {
+                    primary = lagging.pop_front();
+                }
+                backups.extend(lagging);
+                if let Some(p) = primary {
+                    fired.insert(0, (p, false, false));
+                }
+                if fired.is_empty() && backups.is_empty() {
+                    // Every replica's breaker is open: the whole shard is
+                    // skipped this query.
+                    outcomes[s] = Some(Err(ShardFailure::BreakerOpen));
+                    inner.faultc.breaker_skips.fetch_add(1, Ordering::Relaxed);
+                    gathers.push(GatherLane {
+                        fired,
+                        hedge_idx: None,
+                        backups,
+                    });
+                    continue;
+                }
+                for &(replica, _, _) in &fired {
+                    queue.tasks.push_back(ShardTask {
+                        shard,
+                        replica,
+                        query,
+                        deadline: round1_deadline,
+                        reply: tx.clone(),
+                    });
+                    inner.clock.metrics.queue_enter();
+                }
+                pending += 1;
+                any_backups |= !backups.is_empty();
+                gathers.push(GatherLane {
+                    fired,
+                    hedge_idx: None,
+                    backups,
+                });
             }
         }
         inner.queue_cv.notify_all();
-        drop(tx);
+        // Keep one spare sender only while unfired backups remain; once
+        // it is gone the channel disconnects when the last in-flight
+        // attempt resolves, which is what un-hangs a no-deadline gather
+        // over a dying pool.
+        let mut spare_tx = any_backups.then_some(tx);
         let mut cursor = spans.stage(Stage::Admission, spans.started());
         let round1_off = cursor
             .saturating_duration_since(spans.started())
             .as_micros() as u64;
 
-        // Gather within the round-1 budget. Every scattered task holds a
+        // Gather within the round-1 budget, hedging slow shards onto
+        // their backup replicas after the hedge delay and failing over
+        // immediately on a typed failure. Every scattered task holds a
         // reply-sender clone, so a worker dropping its reply (injected
         // drop, or a panicking pool during shutdown) disconnects the
         // channel once the other shards answered — never a hang.
         let mut timed_out = false;
+        let hedge_delay = opts
+            .deadline
+            .map(|d| d.mul_f64(ROUND1_BUDGET_FRACTION * HEDGE_DELAY_FRACTION))
+            .unwrap_or(DEFAULT_HEDGE_DELAY);
+        let mut hedge_at = any_backups.then(|| start + hedge_delay);
         while pending > 0 {
-            let msg = match round1_deadline {
+            let now = Instant::now();
+            if let Some(dl) = round1_deadline {
+                if now >= dl {
+                    timed_out = true;
+                    break;
+                }
+            }
+            if let Some(at) = hedge_at {
+                if now >= at {
+                    // Hedge wave (once per query): every unresolved shard
+                    // with a spare replica fires one more attempt.
+                    hedge_at = None;
+                    for s in 0..lanes {
+                        if outcomes[s].is_some() {
+                            continue;
+                        }
+                        let lane = &mut gathers[s];
+                        let Some(replica) = lane.backups.pop_front() else {
+                            continue;
+                        };
+                        let Some(reply) = spare_tx.as_ref() else {
+                            break;
+                        };
+                        if fire_backup(
+                            inner,
+                            lane,
+                            s as u32,
+                            replica,
+                            query,
+                            round1_deadline,
+                            reply,
+                        ) {
+                            lane.hedge_idx = Some(lane.fired.len() - 1);
+                            inner.faultc.hedged_requests.fetch_add(1, Ordering::Relaxed);
+                        } else {
+                            lane.backups.clear();
+                        }
+                    }
+                    if gathers.iter().all(|l| l.backups.is_empty()) {
+                        spare_tx = None;
+                    }
+                    continue;
+                }
+            }
+            let wait_until = match (round1_deadline, hedge_at) {
+                (Some(dl), Some(h)) => Some(dl.min(h)),
+                (Some(dl), None) => Some(dl),
+                (None, h) => h,
+            };
+            let msg = match wait_until {
                 None => match rx.recv() {
                     Ok(msg) => msg,
                     Err(_) => break,
                 },
-                Some(dl) => {
-                    let now = Instant::now();
-                    if now >= dl {
-                        timed_out = true;
-                        break;
-                    }
-                    match rx.recv_timeout(dl - now) {
-                        Ok(msg) => msg,
-                        Err(RecvTimeoutError::Timeout) => {
-                            timed_out = true;
-                            break;
-                        }
-                        Err(RecvTimeoutError::Disconnected) => break,
-                    }
-                }
+                Some(until) => match rx.recv_timeout(until.saturating_duration_since(now)) {
+                    Ok(msg) => msg,
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Err(RecvTimeoutError::Disconnected) => break,
+                },
             };
-            let (shard, result) = msg;
-            let slot = &mut outcomes[shard as usize];
-            if slot.is_none() {
-                pending -= 1;
-            }
-            *slot = Some(result);
-        }
-        // Shards that never answered: late (budget blown) or lost.
-        for slot in outcomes.iter_mut() {
-            if slot.is_none() {
-                *slot = Some(Err(if timed_out {
-                    ShardFailure::TimedOut
-                } else {
-                    ShardFailure::Dropped
-                }));
-            }
-        }
-        // A survivor pinned at a different epoch than the lockstep state
-        // (a remote shard that missed an apply) cannot be merged without
-        // tearing the answer: demote it to a typed failure *before* the
-        // accounting below, so breakers back off the lagging shard too.
-        let lockstep_epoch = state.epoch;
-        for slot in outcomes.iter_mut() {
-            if let Some(Ok(ok)) = slot {
-                if ok.epoch != lockstep_epoch {
-                    *slot = Some(Err(ShardFailure::EpochSkew));
+            let (shard, replica, result) = msg;
+            let s = shard as usize;
+            let lane = &mut gathers[s];
+            let Some(idx) = lane
+                .fired
+                .iter()
+                .position(|&(r, _, replied)| r == replica && !replied)
+            else {
+                continue;
+            };
+            lane.fired[idx].2 = true;
+            let probe = lane.fired[idx].1;
+            let resolved = outcomes[s].is_some();
+            match result {
+                Ok(ok) if ok.epoch == lockstep_epoch => {
+                    inner.breakers[s][replica as usize].record_success(probe);
+                    if !resolved {
+                        if lane.hedge_idx == Some(idx) {
+                            inner.faultc.hedge_wins.fetch_add(1, Ordering::Relaxed);
+                        }
+                        inner.preferred[s].store(replica as usize, Ordering::Relaxed);
+                        lane.backups.clear();
+                        outcomes[s] = Some(Ok(ok));
+                        pending -= 1;
+                    }
                 }
-            }
-        }
-        // Breaker + failure accounting, exactly once per scattered task —
-        // the gather is the one place every task's fate is known.
-        let verdict_at = Instant::now();
-        for (s, slot) in outcomes.iter().enumerate() {
-            match slot.as_ref().expect("outcome classified") {
-                Ok(_) => inner.breakers[s].record_success(probes[s]),
-                Err(ShardFailure::BreakerOpen) => {}
-                Err(failure) => {
-                    if *failure == ShardFailure::TimedOut {
+                other => {
+                    // An answer at a skewed epoch (a replica that missed
+                    // an apply) cannot merge without tearing the answer:
+                    // demote it to a typed failure so the breaker backs
+                    // off the lagging replica too.
+                    let failure = match other {
+                        Ok(_) => ShardFailure::EpochSkew,
+                        Err(f) => f,
+                    };
+                    if failure == ShardFailure::TimedOut {
                         inner.faultc.shard_timeouts.fetch_add(1, Ordering::Relaxed);
                     } else {
                         inner.faultc.shard_failures.fetch_add(1, Ordering::Relaxed);
                     }
-                    inner.breakers[s].record_failure(verdict_at, probes[s]);
+                    inner.breakers[s][replica as usize].record_failure(Instant::now(), probe);
+                    if !resolved {
+                        // Fail over to the next replica immediately; once
+                        // none is left and nothing is in flight, the
+                        // shard has failed for real.
+                        let mut fired_over = false;
+                        while let Some(next) = lane.backups.pop_front() {
+                            let Some(reply) = spare_tx.as_ref() else {
+                                break;
+                            };
+                            if fire_backup(inner, lane, shard, next, query, round1_deadline, reply)
+                            {
+                                inner
+                                    .faultc
+                                    .replica_failovers
+                                    .fetch_add(1, Ordering::Relaxed);
+                                fired_over = true;
+                                break;
+                            }
+                            lane.backups.clear();
+                        }
+                        let outstanding = lane.fired.iter().any(|&(_, _, replied)| !replied);
+                        if !fired_over && !outstanding {
+                            outcomes[s] = Some(Err(failure));
+                            pending -= 1;
+                        }
+                    }
                 }
             }
+            if spare_tx.is_some() && gathers.iter().all(|l| l.backups.is_empty()) {
+                spare_tx = None;
+            }
+        }
+        // Shards that never resolved: late (budget blown) or lost. Their
+        // still-unanswered attempts are charged to their breakers;
+        // attempts racing a shard that already resolved are cancelled
+        // losers and cost their replicas nothing.
+        let verdict_at = Instant::now();
+        for (s, slot) in outcomes.iter_mut().enumerate() {
+            if slot.is_some() {
+                continue;
+            }
+            let failure = if timed_out {
+                ShardFailure::TimedOut
+            } else {
+                ShardFailure::Dropped
+            };
+            for &(replica, probe, replied) in &gathers[s].fired {
+                if !replied {
+                    if failure == ShardFailure::TimedOut {
+                        inner.faultc.shard_timeouts.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        inner.faultc.shard_failures.fetch_add(1, Ordering::Relaxed);
+                    }
+                    inner.breakers[s][replica as usize].record_failure(verdict_at, probe);
+                }
+            }
+            *slot = Some(Err(failure));
         }
         cursor = spans.stage(Stage::Round1, cursor);
 
@@ -1518,13 +1990,33 @@ impl ShardRouter {
         *slot = plan.map(Arc::new);
     }
 
-    /// Point-in-time per-shard breaker snapshots, in shard order.
+    /// Point-in-time per-shard breaker snapshots, in shard order: each
+    /// shard reports its **preferred replica's** breaker (with one
+    /// replica per shard that is *the* breaker, as before replication).
     pub fn breaker_snapshots(&self) -> Vec<BreakerSnapshot> {
         self.inner
             .breakers
             .iter()
+            .enumerate()
+            .map(|(s, set)| {
+                let pref = self.inner.preferred[s].load(Ordering::Relaxed) % set.len();
+                set[pref].snapshot()
+            })
+            .collect()
+    }
+
+    /// Point-in-time breaker snapshots of every replica of shard `s`, in
+    /// replica order.
+    pub fn replica_breaker_snapshots(&self, s: usize) -> Vec<BreakerSnapshot> {
+        self.inner.breakers[s]
+            .iter()
             .map(CircuitBreaker::snapshot)
             .collect()
+    }
+
+    /// Per-shard replica-set sizes, in shard order.
+    pub fn replica_counts(&self) -> Vec<usize> {
+        self.inner.transports.iter().map(Vec::len).collect()
     }
 
     /// Single-line JSON of every shard's breaker state — the payload of
@@ -1651,24 +2143,36 @@ impl ShardRouter {
             }
         }
         // Ship every slice — empty ones too, lockstep epochs advance on
-        // every batch — and collect the per-op acks.
+        // every batch — to **every replica** of every shard, and collect
+        // the per-op acks. Replicas hold bit-identical corpora, so the
+        // first successful replica's ack vector is authoritative for the
+        // receipt; a replica whose apply fails misses the batch and falls
+        // behind the lockstep epoch, which excludes it from primary
+        // selection until it resyncs ([`ShardRouter::resync_replica`] or
+        // `netclus-shardd --join`).
         let mut epoch = state.epoch;
         let mut acks: Vec<Vec<bool>> = Vec::with_capacity(lanes);
-        for (transport, ops) in inner.transports.iter().zip(&routed) {
-            match transport.apply(ops) {
-                Ok(outcome) => {
-                    epoch = epoch.max(outcome.epoch);
-                    let mut results = outcome.results;
-                    // Defensive against a short remote ack vector: a
-                    // missing ack reads as "not applied".
-                    results.resize(ops.len(), false);
-                    acks.push(results);
-                }
-                Err(_) => {
-                    inner.faultc.shard_failures.fetch_add(1, Ordering::Relaxed);
-                    acks.push(vec![false; ops.len()]);
+        for (set, ops) in inner.transports.iter().zip(&routed) {
+            let mut shard_acks: Option<Vec<bool>> = None;
+            for transport in set {
+                match transport.apply(ops) {
+                    Ok(outcome) => {
+                        epoch = epoch.max(outcome.epoch);
+                        if shard_acks.is_none() {
+                            let mut results = outcome.results;
+                            // Defensive against a short remote ack
+                            // vector: a missing ack reads as "not
+                            // applied".
+                            results.resize(ops.len(), false);
+                            shard_acks = Some(results);
+                        }
+                    }
+                    Err(_) => {
+                        inner.faultc.shard_failures.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
+            acks.push(shard_acks.unwrap_or_else(|| vec![false; ops.len()]));
         }
         state.epoch = epoch;
         // Reconstruct the receipt and replication gauges from the acks.
@@ -1759,16 +2263,83 @@ impl ShardRouter {
         }
     }
 
-    /// Pins shard `s`'s current snapshot (out-of-band inspection).
+    /// Pins shard `s`'s current snapshot (out-of-band inspection; with
+    /// replicas, the preferred replica's).
     ///
     /// # Panics
     /// When shard `s` is served by a remote transport — a remote shard's
     /// snapshot is not addressable from the router process.
     pub fn shard_snapshot(&self, s: usize) -> Arc<crate::snapshot::Snapshot> {
-        self.inner.transports[s]
+        let set = &self.inner.transports[s];
+        let pref = self.inner.preferred[s].load(Ordering::Relaxed) % set.len();
+        set[pref]
             .local_store()
             .expect("shard_snapshot requires an in-process shard")
             .load()
+    }
+
+    /// Catches replica `replica` of shard `s` up to the live lockstep
+    /// epoch: under the update write lock (no applies or queries can
+    /// interleave), a healthy sibling at the lockstep epoch serves its
+    /// full corpus snapshot and the lagging replica installs it
+    /// wholesale, adopting the snapshot's epoch. Index construction is
+    /// deterministic in the corpus, so the rejoined replica serves
+    /// **bit-identical** round-1 answers from the first query after the
+    /// resync. Returns the epoch the replica was synced to.
+    ///
+    /// # Errors
+    /// [`ShardFailure::Unreachable`] when no healthy sibling at the
+    /// lockstep epoch exists (or the target transport cannot install —
+    /// remote replicas rejoin via `netclus-shardd --join` instead), or
+    /// the sibling's fetch failure.
+    ///
+    /// # Panics
+    /// When `s` or `replica` is out of range.
+    pub fn resync_replica(&self, s: usize, replica: usize) -> Result<u64, ShardFailure> {
+        let inner = &*self.inner;
+        let state = inner
+            .update_lock
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        let set = &inner.transports[s];
+        let n = set.len();
+        let pref = inner.preferred[s].load(Ordering::Relaxed) % n;
+        let mut last = ShardFailure::Unreachable;
+        for j in 0..n {
+            let src = (pref + j) % n;
+            if src == replica || set[src].epoch() != state.epoch {
+                continue;
+            }
+            match set[src].fetch_resync() {
+                Ok(snap) => {
+                    debug_assert_eq!(snap.epoch, state.epoch, "source pinned under write lock");
+                    set[replica].install_resync(&snap)?;
+                    inner.faultc.resyncs.fetch_add(1, Ordering::Relaxed);
+                    return Ok(snap.epoch);
+                }
+                Err(failure) => last = failure,
+            }
+        }
+        Err(last)
+    }
+
+    /// The replica-divergence gauge: the largest number of epochs any
+    /// replica lags the lockstep epoch by, across every shard. Zero when
+    /// every replica of every shard is caught up — the steady state; a
+    /// persistent positive lag means a replica is missing applies and
+    /// needs a resync.
+    pub fn replica_lag_max(&self) -> u64 {
+        let inner = &*self.inner;
+        let state = read_recover(&inner.update_lock);
+        let epoch = state.epoch;
+        drop(state);
+        inner
+            .transports
+            .iter()
+            .flat_map(|set| set.iter())
+            .map(|t| epoch.saturating_sub(t.epoch()))
+            .max()
+            .unwrap_or(0)
     }
 
     /// A point-in-time report with the scatter-gather section filled.
@@ -1803,7 +2374,7 @@ impl ShardRouter {
         let mut transport_reconnects = 0u64;
         let mut transport_rpc = LatencySummary::default();
         let mut rpc_mean_acc = 0.0f64;
-        for transport in &inner.transports {
+        for transport in inner.transports.iter().flat_map(|set| set.iter()) {
             if let Some(counters) = transport.counters() {
                 let snap = counters.snapshot();
                 transport_requests += snap.requests;
@@ -1836,7 +2407,7 @@ impl ShardRouter {
                         qps_ewma: gauge.qps_ewma,
                         cache_heat: gauge.cache_heat,
                         cold_fraction: gauge.cold_fraction,
-                        transport: inner.transports[s].kind(),
+                        transport: inner.transports[s][0].kind(),
                     }
                 })
                 .collect(),
@@ -1849,20 +2420,29 @@ impl ShardRouter {
             trajectories: replication.trajectories as u64,
             boundary_trajs: replication.boundary as u64,
             replicas: replication.replicas as u64,
+            replica_lag_max: inner
+                .transports
+                .iter()
+                .flat_map(|set| set.iter())
+                .map(|t| epoch.saturating_sub(t.epoch()))
+                .max()
+                .unwrap_or(0),
             fault: self.fault_report(),
             transport_requests,
             transport_errors,
             transport_reconnects,
             transport_rpc,
         });
-        // Arena residency is only meaningful when every shard's index
+        // Arena residency is only meaningful when every replica's index
         // lives in this process; a cluster of remote shards reports none.
+        let total_replicas: usize = inner.transports.iter().map(Vec::len).sum();
         let local: Vec<&SnapshotStore> = inner
             .transports
             .iter()
+            .flat_map(|set| set.iter())
             .filter_map(|t| t.local_store())
             .collect();
-        report.process.arena_resident_bytes = (local.len() == inner.transports.len()).then(|| {
+        report.process.arena_resident_bytes = (local.len() == total_replicas).then(|| {
             local
                 .iter()
                 .map(|s| s.load().index().heap_size_bytes() as u64)
@@ -1896,12 +2476,18 @@ impl ShardRouter {
         let mut probes = 0u64;
         let mut closes = 0u64;
         let mut open_shards = 0u64;
-        for breaker in &inner.breakers {
-            let snap = breaker.snapshot();
-            opens += snap.opens;
-            probes += snap.probes;
-            closes += snap.closes;
-            if snap.state == crate::fault::BreakerState::Open {
+        for set in &inner.breakers {
+            let mut all_open = !set.is_empty();
+            for breaker in set {
+                let snap = breaker.snapshot();
+                opens += snap.opens;
+                probes += snap.probes;
+                closes += snap.closes;
+                all_open &= snap.state == crate::fault::BreakerState::Open;
+            }
+            // A shard counts as breaker-open only when **every** replica's
+            // breaker is open — one healthy replica keeps it serving.
+            if all_open {
                 open_shards += 1;
             }
         }
@@ -1920,6 +2506,10 @@ impl ShardRouter {
             worker_respawns: c.worker_respawns.load(Ordering::Relaxed),
             abandoned_gathers: c.abandoned_gathers.load(Ordering::Relaxed),
             unavailable_answers: c.unavailable_answers.load(Ordering::Relaxed),
+            hedged_requests: c.hedged_requests.load(Ordering::Relaxed),
+            hedge_wins: c.hedge_wins.load(Ordering::Relaxed),
+            replica_failovers: c.replica_failovers.load(Ordering::Relaxed),
+            resyncs: c.resyncs.load(Ordering::Relaxed),
         }
     }
 
@@ -1944,22 +2534,42 @@ impl Drop for ShardRouter {
     }
 }
 
+impl UpdateSink for ShardRouter {
+    fn sink_epoch(&self) -> u64 {
+        self.epoch()
+    }
+
+    fn sink_net(&self) -> Arc<RoadNetwork> {
+        Arc::clone(&self.inner.net)
+    }
+
+    fn sink_traj_id_bound(&self) -> usize {
+        read_recover(&self.inner.update_lock).next_id as usize
+    }
+
+    fn apply_batch(&self, ops: &[UpdateOp]) -> UpdateReceipt {
+        self.apply_updates(ops.to_vec())
+    }
+}
+
 /// Guards one task's reply sender: however the task ends — normal reply,
 /// injected error, shed, or a panic unwinding through the worker — the
 /// gather hears something typed, or the drop is accounted.
 struct ReplyGuard<'a> {
     reply: Option<Sender<ShardReplyMsg>>,
     shard: u32,
+    replica: u32,
     abandoned: &'a AtomicU64,
 }
 
 impl ReplyGuard<'_> {
     /// Sends the task's outcome. A failed send means the gather stopped
-    /// listening (deadline given up, client gone) — counted as an
-    /// abandoned gather instead of silently ignored.
+    /// listening (deadline given up, client gone, or a hedged sibling
+    /// already won) — counted as an abandoned gather instead of silently
+    /// ignored.
     fn send(mut self, result: Result<Round1Ok, ShardFailure>) {
         if let Some(tx) = self.reply.take() {
-            if tx.send((self.shard, result)).is_err() {
+            if tx.send((self.shard, self.replica, result)).is_err() {
                 self.abandoned.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -1979,7 +2589,10 @@ impl Drop for ReplyGuard<'_> {
         // through the task: convert the crash into a typed failure so the
         // gather never hangs on a dead worker.
         if let Some(tx) = self.reply.take() {
-            if tx.send((self.shard, Err(ShardFailure::Panicked))).is_err() {
+            if tx
+                .send((self.shard, self.replica, Err(ShardFailure::Panicked)))
+                .is_err()
+            {
                 self.abandoned.fetch_add(1, Ordering::Relaxed);
             }
         }
@@ -2048,23 +2661,26 @@ fn worker_loop(inner: &RouterInner) {
         inner.clock.metrics.queue_exit(1);
         let ShardTask {
             shard,
+            replica,
             query,
             deadline,
             reply,
         } = task;
         let lane = shard as usize;
-        // Per-shard task sequence number: drives both the lane query
-        // counter and the fault plan's scheduled windows.
+        // Per-shard task sequence number (shared by the shard's
+        // replicas): drives both the lane query counter and the fault
+        // plan's scheduled windows.
         let seq = inner.shard_tasks[lane].fetch_add(1, Ordering::Relaxed);
         let guard = ReplyGuard {
             reply: Some(reply),
             shard,
+            replica,
             abandoned: &inner.faultc.abandoned_gathers,
         };
         // Fault-injection hook: one relaxed load when disabled.
         if inner.fault_on.load(Ordering::Acquire) {
             let plan = read_recover(&inner.fault_plan).clone();
-            if let Some(action) = plan.and_then(|p| p.decide(shard, seq)) {
+            if let Some(action) = plan.and_then(|p| p.decide(shard, replica, seq)) {
                 use crate::fault::FaultAction;
                 match action {
                     // Socket-level actions degrade to their nearest
@@ -2112,7 +2728,7 @@ fn worker_loop(inner: &RouterInner) {
             scratch: &mut scratch,
             provider_build: &inner.clock.metrics.provider_build,
         };
-        let result = inner.transports[lane].round1(&query, &mut ctx);
+        let result = inner.transports[lane][replica as usize].round1(&query, &mut ctx);
         inner.shard_latency[lane].record(t.elapsed());
         if let Ok(ok) = &result {
             inner.gauges[lane].observe(ok.source);
@@ -2631,6 +3247,247 @@ mod tests {
         router.shutdown();
     }
 
+    fn replicated(replicas: usize, cfg: ShardRouterConfig) -> ShardRouter {
+        let (net, trajs, sites, partition) = fixture();
+        let ncfg = NetClusConfig {
+            tau_min: 200.0,
+            tau_max: 3_000.0,
+            threads: 1,
+            ..Default::default()
+        };
+        let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, ncfg);
+        ShardRouter::start_replicated(net, sharded, replicas, cfg).expect("start replicated router")
+    }
+
+    #[test]
+    fn replica_failover_preserves_the_answer_bit_for_bit() {
+        let router = replicated(2, ShardRouterConfig::default());
+        assert_eq!(router.replica_counts(), vec![2, 2]);
+        assert_eq!(router.replica_breaker_snapshots(0).len(), 2);
+        assert_eq!(router.replica_lag_max(), 0);
+        let q = TopsQuery::binary(2, 800.0);
+        let reference = router.query_blocking(q).unwrap();
+        assert!(!reference.degraded);
+        // Kill the preferred replica (0) of BOTH shards: every scatter
+        // fails over to the sibling, and the answer must not change by a
+        // single bit — replicas serve the identical deterministic round 1.
+        router.set_fault_plan(Some(
+            FaultPlan::new(21)
+                .with_rule(FaultRule::always(0, FaultAction::Error).on_replica(0))
+                .with_rule(FaultRule::always(1, FaultAction::Error).on_replica(0)),
+        ));
+        let failed_over = router.query_blocking(q).unwrap();
+        assert!(!failed_over.degraded && !failed_over.stale);
+        assert_eq!(failed_over.sites, reference.sites);
+        assert_eq!(
+            failed_over.utility.to_bits(),
+            reference.utility.to_bits(),
+            "failover answer must be bit-identical"
+        );
+        let fault = router.fault_report();
+        assert_eq!(fault.degraded_answers, 0);
+        assert!(fault.replica_failovers >= 2, "{fault:?}");
+        // The winners became the preferred cursors: the next query goes
+        // straight to the survivors without another failover.
+        let failovers = fault.replica_failovers;
+        let again = router.query_blocking(q).unwrap();
+        assert!(!again.degraded);
+        assert_eq!(router.fault_report().replica_failovers, failovers);
+        router.shutdown();
+    }
+
+    #[test]
+    fn hedge_fires_on_a_slow_preferred_replica_and_wins() {
+        let router = replicated(2, ShardRouterConfig::default());
+        let q = TopsQuery::binary(2, 800.0);
+        let reference = router.query_blocking(q).unwrap();
+        // Shard 0's preferred replica stalls far past the hedge delay;
+        // the hedge wave fires its sibling, which wins the lane.
+        router.set_fault_plan(Some(FaultPlan::new(23).with_rule(
+            FaultRule::always(0, FaultAction::Delay(Duration::from_millis(400))).on_replica(0),
+        )));
+        let hedged = router.query_blocking(q).unwrap();
+        assert!(!hedged.degraded && !hedged.stale);
+        assert_eq!(hedged.sites, reference.sites);
+        assert_eq!(hedged.utility.to_bits(), reference.utility.to_bits());
+        let fault = router.fault_report();
+        assert!(fault.hedged_requests >= 1, "{fault:?}");
+        assert!(fault.hedge_wins >= 1, "{fault:?}");
+        assert_eq!(fault.degraded_answers, 0);
+        router.shutdown();
+    }
+
+    #[test]
+    fn half_open_probe_rides_alongside_the_healthy_replica() {
+        let router = replicated(
+            2,
+            ShardRouterConfig {
+                breaker: BreakerConfig {
+                    failure_threshold: 1,
+                    cooldown: Duration::from_millis(40),
+                },
+                ..Default::default()
+            },
+        );
+        let q = TopsQuery::binary(2, 800.0);
+        router.set_fault_plan(Some(
+            FaultPlan::new(29).with_rule(FaultRule::always(0, FaultAction::Error).on_replica(0)),
+        ));
+        // Failure 1 trips replica (0,0)'s breaker; the sibling serves.
+        let first = router.query_blocking(q).unwrap();
+        assert!(!first.degraded);
+        assert_eq!(
+            router.replica_breaker_snapshots(0)[0].state,
+            BreakerState::Open
+        );
+        // Past the cooldown, the half-open probe fires IN ADDITION to the
+        // healthy sibling — a still-broken replica failing its probe must
+        // not cost the shard its full answer.
+        std::thread::sleep(Duration::from_millis(50));
+        let probed = router.query_blocking(q).unwrap();
+        assert!(!probed.degraded, "probe stole the healthy replica's slot");
+        let snaps = router.replica_breaker_snapshots(0);
+        assert_eq!(snaps[0].state, BreakerState::Open, "failed probe reopens");
+        assert!(snaps[0].probes >= 1);
+        assert_eq!(snaps[1].state, BreakerState::Closed);
+        assert_eq!(router.fault_report().degraded_answers, 0);
+        // Once the replica heals, its next probe closes the breaker and
+        // the full set serves again.
+        router.set_fault_plan(None);
+        std::thread::sleep(Duration::from_millis(50));
+        let healed = router.query_blocking(q).unwrap();
+        assert!(!healed.degraded);
+        assert_eq!(
+            router.replica_breaker_snapshots(0)[0].state,
+            BreakerState::Closed
+        );
+        router.shutdown();
+    }
+
+    /// Test-only transport wrapper whose `apply` can be switched to fail,
+    /// making its replica miss batches and fall behind the lockstep epoch.
+    struct FlakyApply {
+        inner: InProcessShard,
+        fail: Arc<AtomicBool>,
+    }
+
+    impl ShardTransport for FlakyApply {
+        fn kind(&self) -> &'static str {
+            self.inner.kind()
+        }
+        fn round1(
+            &self,
+            query: &TopsQuery,
+            ctx: &mut Round1Ctx<'_>,
+        ) -> Result<Round1Ok, ShardFailure> {
+            self.inner.round1(query, ctx)
+        }
+        fn apply(&self, ops: &[RoutedOp]) -> Result<ShardApplyOutcome, ShardFailure> {
+            if self.fail.load(Ordering::Acquire) {
+                return Err(ShardFailure::Unreachable);
+            }
+            self.inner.apply(ops)
+        }
+        fn epoch(&self) -> u64 {
+            self.inner.epoch()
+        }
+        fn fetch_resync(&self) -> Result<ResyncSnapshot, ShardFailure> {
+            self.inner.fetch_resync()
+        }
+        fn install_resync(&self, snap: &ResyncSnapshot) -> Result<(), ShardFailure> {
+            self.inner.install_resync(snap)
+        }
+    }
+
+    /// A 2-shard × 2-replica router where replica `(0, 1)`'s apply path
+    /// is gated on the returned flag — flip it to make that replica miss
+    /// batches and fall behind the lockstep epoch.
+    fn flaky_replica_router() -> (ShardRouter, Arc<AtomicBool>) {
+        let (net, trajs, sites, partition) = fixture();
+        let ncfg = NetClusConfig {
+            tau_min: 200.0,
+            tau_max: 3_000.0,
+            threads: 1,
+            ..Default::default()
+        };
+        let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, ncfg);
+        let next_id = sharded.traj_id_bound() as u64;
+        let (partition, shards, replication) = sharded.into_parts();
+        let fail = Arc::new(AtomicBool::new(false));
+        let transports: Vec<Vec<Box<dyn ShardTransport>>> = shards
+            .into_iter()
+            .enumerate()
+            .map(|(s, NetClusShard { trajs, index, .. })| {
+                let store = |t: &TrajectorySet, i: &NetClusIndex| {
+                    InProcessShard::new(SnapshotStore::with_shared_net(
+                        Arc::clone(&net),
+                        t.clone(),
+                        i.clone(),
+                    ))
+                };
+                let primary = Box::new(store(&trajs, &index)) as Box<dyn ShardTransport>;
+                let sibling: Box<dyn ShardTransport> = if s == 0 {
+                    Box::new(FlakyApply {
+                        inner: store(&trajs, &index),
+                        fail: Arc::clone(&fail),
+                    })
+                } else {
+                    Box::new(store(&trajs, &index))
+                };
+                vec![primary, sibling]
+            })
+            .collect();
+        let router = ShardRouter::start_with_replica_transports(
+            Arc::clone(&net),
+            partition,
+            transports,
+            next_id,
+            0,
+            replication,
+            ShardRouterConfig::default(),
+        )
+        .expect("start router");
+        (router, fail)
+    }
+
+    #[test]
+    fn resync_catches_a_lagging_replica_up_to_the_live_epoch() {
+        let (router, fail) = flaky_replica_router();
+        // Replica (0,1) misses one batch and falls behind the lockstep
+        // epoch; answers keep flowing from the caught-up replicas.
+        fail.store(true, Ordering::Release);
+        let receipt = router.apply_updates(vec![UpdateOp::AddTrajectory(Trajectory::new(
+            (0..4).map(NodeId).collect(),
+        ))]);
+        assert_eq!(receipt.epoch, 1);
+        assert_eq!(router.replica_lag_max(), 1, "missed batch shows as lag");
+        let q = TopsQuery::binary(2, 800.0);
+        let reference = router.query_blocking(q).unwrap();
+        assert!(!reference.degraded);
+        assert_eq!(reference.epoch, 1);
+        // Catch-up: resync from the healthy sibling restores the replica
+        // to the live epoch wholesale.
+        fail.store(false, Ordering::Release);
+        assert_eq!(router.resync_replica(0, 1), Ok(1));
+        assert_eq!(router.replica_lag_max(), 0);
+        assert_eq!(router.fault_report().resyncs, 1);
+        // The resynced replica serves the identical answer when the
+        // former primary goes down.
+        router.set_fault_plan(Some(
+            FaultPlan::new(31).with_rule(FaultRule::always(0, FaultAction::Error).on_replica(0)),
+        ));
+        let served = router.query_blocking(q).unwrap();
+        assert!(!served.degraded && !served.stale);
+        assert_eq!(served.sites, reference.sites);
+        assert_eq!(
+            served.utility.to_bits(),
+            reference.utility.to_bits(),
+            "resynced replica must serve the bit-identical answer"
+        );
+        assert!(router.fault_report().replica_failovers >= 1);
+        router.shutdown();
+    }
+
     #[test]
     fn fault_counters_flow_into_flight_series() {
         let (router, ..) = router(1);
@@ -2651,6 +3508,46 @@ mod tests {
         assert_eq!(get("degraded_answers"), 1.0);
         assert!(get("shard_failures") >= 1.0);
         assert_eq!(get("breaker_opens"), 0.0);
+        router.shutdown();
+    }
+
+    /// The replica-divergence SLO: a ceiling of zero on the
+    /// `replica_lag_max` flight series fires while any replica is behind
+    /// the lockstep epoch and clears once a resync catches it up.
+    #[test]
+    fn replica_divergence_slo_fires_on_lag_and_clears_after_resync() {
+        let (router, fail) = flaky_replica_router();
+        let recorder = crate::FlightRecorder::new(crate::FlightConfig {
+            tick: Duration::from_secs(1),
+            capacity: 64,
+            downsample_every: 8,
+            coarse_capacity: 8,
+        });
+        let health = crate::HealthEvaluator::new().with_rule(crate::SloRule::ceiling(
+            "replica_divergence",
+            "replica_lag_max",
+            0.0,
+            crate::Severity::Degrading,
+        ));
+        recorder.record_at(0.0, &router.flight_sample());
+        assert_eq!(health.evaluate(&recorder).verdict, crate::Verdict::Healthy);
+
+        // Replica (0,1) misses a batch: the gauge goes positive and the
+        // ceiling rule fires by name.
+        fail.store(true, Ordering::Release);
+        router.apply_updates(vec![UpdateOp::AddTrajectory(Trajectory::new(
+            (0..4).map(NodeId).collect(),
+        ))]);
+        recorder.record_at(1.0, &router.flight_sample());
+        let report = health.evaluate(&recorder);
+        assert_eq!(report.verdict, crate::Verdict::Degraded);
+        assert_eq!(report.firing(), vec!["replica_divergence"]);
+
+        // Catch-up resync clears the divergence and the verdict.
+        fail.store(false, Ordering::Release);
+        assert_eq!(router.resync_replica(0, 1), Ok(1));
+        recorder.record_at(2.0, &router.flight_sample());
+        assert_eq!(health.evaluate(&recorder).verdict, crate::Verdict::Healthy);
         router.shutdown();
     }
 }

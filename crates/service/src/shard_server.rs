@@ -44,13 +44,13 @@ use crate::framing::{read_frame, write_frame};
 use crate::metrics::LatencyHistogram;
 use crate::provider_cache::{RoundOneCache, ShardProviderCache};
 use crate::shard_proto::{
-    preference_from_key, Request, RespError, Response, SHARD_PROTOCOL_VERSION,
+    preference_from_key, Request, RespError, Response, ResyncSnapshot, SHARD_PROTOCOL_VERSION,
 };
 use crate::shard_router::resolve_round1;
 use crate::snapshot::SnapshotStore;
 use crate::telemetry::TelemetrySource;
 use crate::trace::LoadGauge;
-use crate::wire::{MAX_SHARD_REQUEST, MAX_WIRE_CANDIDATES};
+use crate::wire::{MAX_RESYNC_CHUNK, MAX_SHARD_REQUEST, MAX_WIRE_CANDIDATES};
 
 /// Shard-server tuning.
 #[derive(Clone, Debug)]
@@ -102,6 +102,7 @@ struct ServerShared {
     apply_batches: AtomicU64,
     bad_requests: AtomicU64,
     injected_faults: AtomicU64,
+    resyncs_served: AtomicU64,
     /// Per-task fault sequence (round-1 requests only, mirroring the
     /// in-process worker hook).
     fault_seq: AtomicU64,
@@ -136,7 +137,7 @@ impl ServerShared {
         format!(
             "{{\"shard\":{},\"epoch\":{},\"live_trajs\":{},\"traj_id_bound\":{},\
              \"requests\":{},\"round1_served\":{},\"apply_batches\":{},\
-             \"bad_requests\":{},\"injected_faults\":{},\
+             \"bad_requests\":{},\"injected_faults\":{},\"resyncs_served\":{},\
              \"round1_p50_us\":{},\"round1_p99_us\":{},\
              \"provider_build_p99_us\":{},\
              \"provider_hits\":{phits},\"provider_misses\":{pmiss},\
@@ -151,6 +152,7 @@ impl ServerShared {
             self.apply_batches.load(Ordering::Relaxed),
             self.bad_requests.load(Ordering::Relaxed),
             self.injected_faults.load(Ordering::Relaxed),
+            self.resyncs_served.load(Ordering::Relaxed),
             r1.p50_micros,
             r1.p99_micros,
             build.p99_micros,
@@ -244,6 +246,7 @@ impl ShardServer {
             apply_batches: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
             injected_faults: AtomicU64::new(0),
+            resyncs_served: AtomicU64::new(0),
             fault_seq: AtomicU64::new(0),
             fault_plan: cfg.fault_plan,
             stopping: AtomicBool::new(false),
@@ -408,6 +411,11 @@ fn serve_connection(
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut scratch = ProviderScratch::default();
+    // A resync transfer pins one encoded corpus snapshot per connection,
+    // so every chunk the client assembles comes from the same epoch even
+    // while applies land concurrently. Re-pinned when a client restarts
+    // the transfer at offset 0.
+    let mut resync: Option<(u64, Vec<u8>)> = None;
     while let Some(payload) = read_frame(&mut reader, MAX_SHARD_REQUEST)? {
         if shared.stopping.load(Ordering::Acquire) {
             break;
@@ -425,7 +433,7 @@ fn serve_connection(
         if matches!(req, Request::Shutdown) {
             shared.stopping.store(true, Ordering::Release);
         }
-        match handle_request(shared, req, &mut scratch) {
+        match handle_request(shared, req, &mut scratch, &mut resync) {
             Delivery::Send(resp) => send(&mut writer, &resp)?,
             Delivery::Corrupt(resp) => send_corrupted(&mut writer, &resp)?,
             Delivery::Swallow => {}
@@ -455,7 +463,12 @@ fn send_corrupted(writer: &mut BufWriter<TcpStream>, resp: &Response) -> io::Res
     writer.flush()
 }
 
-fn handle_request(shared: &ServerShared, req: Request, scratch: &mut ProviderScratch) -> Delivery {
+fn handle_request(
+    shared: &ServerShared,
+    req: Request,
+    scratch: &mut ProviderScratch,
+    resync: &mut Option<(u64, Vec<u8>)>,
+) -> Delivery {
     match req {
         Request::Hello { version, shard } => {
             if version != SHARD_PROTOCOL_VERSION {
@@ -487,7 +500,10 @@ fn handle_request(shared: &ServerShared, req: Request, scratch: &mut ProviderScr
             // does: on the round-1 task path, sequenced per request.
             let fault = shared.fault_plan.as_ref().and_then(|plan| {
                 let seq = shared.fault_seq.fetch_add(1, Ordering::Relaxed);
-                plan.decide(shared.shard, seq)
+                // A standalone server process is one replica of its
+                // shard; replica scoping is decided by which server a
+                // plan is installed on, so the hook reports replica 0.
+                plan.decide(shared.shard, 0, seq)
             });
             match fault {
                 Some(FaultAction::Delay(d)) | Some(FaultAction::Stall(d)) => {
@@ -552,6 +568,32 @@ fn handle_request(shared: &ServerShared, req: Request, scratch: &mut ProviderScr
                 epoch: receipt.epoch,
                 live_trajs: snap.trajs().len() as u64,
                 results,
+            })
+        }
+        Request::Resync { shard, offset } => {
+            if shard != shared.shard {
+                shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+                return Delivery::Send(Response::Error(RespError::BadRequest));
+            }
+            if offset == 0 || resync.is_none() {
+                let snap = shared.store.load();
+                let blob = ResyncSnapshot::capture(&snap).encode();
+                *resync = Some((snap.epoch(), blob));
+                if offset == 0 {
+                    shared.resyncs_served.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            let (epoch, blob) = resync.as_ref().expect("resync blob pinned above");
+            let offset = offset as usize;
+            if offset > blob.len() {
+                shared.bad_requests.fetch_add(1, Ordering::Relaxed);
+                return Delivery::Send(Response::Error(RespError::BadRequest));
+            }
+            let end = blob.len().min(offset + MAX_RESYNC_CHUNK);
+            Delivery::Send(Response::ResyncChunk {
+                epoch: *epoch,
+                total_len: blob.len() as u64,
+                data: blob[offset..end].to_vec(),
             })
         }
         Request::Report => Delivery::Send(Response::ReportJson {
@@ -798,18 +840,21 @@ mod tests {
         let plan = FaultPlan::new(11)
             .with_rule(FaultRule {
                 shard: 0,
+                replica: None,
                 action: FaultAction::Error,
                 probability: 1.0,
                 window: Some((0, 1)),
             })
             .with_rule(FaultRule {
                 shard: 0,
+                replica: None,
                 action: FaultAction::CorruptFrame,
                 probability: 1.0,
                 window: Some((1, 2)),
             })
             .with_rule(FaultRule {
                 shard: 0,
+                replica: None,
                 action: FaultAction::DropConnection,
                 probability: 1.0,
                 window: Some((2, 3)),

@@ -195,6 +195,25 @@ impl SnapshotStore {
         }))
     }
 
+    /// Replaces the published state wholesale with `(trajs, index)` at
+    /// exactly `epoch` — the resync catch-up path, where a lagging or
+    /// restarted replica installs a snapshot transferred from a healthy
+    /// sibling instead of replaying the update batches it missed. The
+    /// road network is fixed across epochs and is carried over from the
+    /// current snapshot. Readers holding older pinned snapshots are
+    /// unaffected; the next [`SnapshotStore::load`] sees the new state.
+    pub fn install(&self, epoch: u64, trajs: TrajectorySet, index: NetClusIndex) {
+        let _writer = self.writer.lock().expect("writer lock poisoned");
+        let base = self.load();
+        let next = Snapshot {
+            epoch,
+            net: Arc::clone(&base.net),
+            trajs: Arc::new(trajs),
+            index: Arc::new(index),
+        };
+        *self.current.write().expect("snapshot lock poisoned") = Arc::new(next);
+    }
+
     /// The single writer path behind [`SnapshotStore::apply`] and
     /// [`SnapshotStore::apply_routed`]: copy-on-write clone, sequential op
     /// application, atomic publish of the next epoch.
@@ -272,6 +291,43 @@ impl SnapshotStore {
             },
             results,
         )
+    }
+}
+
+/// Where an update publisher (the ingest pipeline) lands its batches: a
+/// monolithic [`SnapshotStore`] or a replicated
+/// [`crate::shard_router::ShardRouter`] fanning every batch out to every
+/// replica of every shard. The publisher's contract is identical over
+/// both: batches publish sequential epochs, trajectory ids are dense and
+/// predictable from `traj_id_bound`, and the road network is fixed.
+pub trait UpdateSink: Send + Sync {
+    /// The currently published (for a router: lockstep) epoch.
+    fn sink_epoch(&self) -> u64;
+    /// The shared, epoch-invariant road network new batches are matched
+    /// and validated against.
+    fn sink_net(&self) -> Arc<netclus_roadnet::RoadNetwork>;
+    /// The current trajectory id bound — the next dense id a publisher's
+    /// id prediction will assign.
+    fn sink_traj_id_bound(&self) -> usize;
+    /// Applies `ops` as one batch publishing the next epoch.
+    fn apply_batch(&self, ops: &[UpdateOp]) -> UpdateReceipt;
+}
+
+impl UpdateSink for SnapshotStore {
+    fn sink_epoch(&self) -> u64 {
+        self.epoch()
+    }
+
+    fn sink_net(&self) -> Arc<netclus_roadnet::RoadNetwork> {
+        self.load().net_shared()
+    }
+
+    fn sink_traj_id_bound(&self) -> usize {
+        self.load().trajs().id_bound()
+    }
+
+    fn apply_batch(&self, ops: &[UpdateOp]) -> UpdateReceipt {
+        self.apply(ops)
     }
 }
 

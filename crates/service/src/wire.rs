@@ -41,6 +41,18 @@ pub const MAX_SHARD_REQUEST: usize = 8 << 20;
 /// up to [`MAX_WIRE_CANDIDATES`] candidate rows with coverage).
 pub const MAX_SHARD_RESPONSE: usize = 8 << 20;
 
+/// Largest data slice one `ResyncChunk` may carry. A corpus-snapshot
+/// transfer (replica catch-up) is chunked at this size so every chunk —
+/// plus its fixed header — stays comfortably under
+/// [`MAX_SHARD_RESPONSE`]; a decoder seeing a larger chunk length
+/// rejects the frame instead of allocating.
+pub const MAX_RESYNC_CHUNK: usize = 1 << 20;
+
+/// Largest complete corpus-snapshot blob a resync client will assemble.
+/// A server advertising a larger `total_len` is broken or hostile, and
+/// the client aborts the transfer instead of buffering without bound.
+pub const MAX_RESYNC_BLOB: usize = 256 << 20;
+
 /// Most candidate rows a single `Round1Response` may carry. Round 1
 /// returns at most `k` candidates per shard; `k` beyond this bound is a
 /// malformed request, and a decoder seeing a larger count rejects the
@@ -61,4 +73,10 @@ const _: () = {
     // A max-candidate response must plausibly fit the response cap: even
     // at ~1 KiB of coverage rows per candidate there is room.
     assert!(MAX_WIRE_CANDIDATES * 1024 <= MAX_SHARD_RESPONSE);
+    // A full resync chunk plus its header fits the response cap with an
+    // order of magnitude to spare.
+    assert!(MAX_RESYNC_CHUNK * 2 <= MAX_SHARD_RESPONSE);
+    // A resync transfer is chunked, so the blob ceiling sits above the
+    // chunk size (many chunks per blob) without any frame obligation.
+    assert!(MAX_RESYNC_CHUNK <= MAX_RESYNC_BLOB);
 };

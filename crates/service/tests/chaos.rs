@@ -28,7 +28,7 @@ use netclus_roadnet::{NodeId, Point, RegionPartition, RoadNetwork, RoadNetworkBu
 use netclus_service::{
     BreakerConfig, BreakerState, FaultAction, FaultPlan, FaultRule, FlightConfig, FlightRecorder,
     HealthEvaluator, QueryError, QueryOptions, Severity, ShardRouter, ShardRouterConfig, SloRule,
-    Verdict,
+    UpdateOp, Verdict,
 };
 use netclus_trajectory::{Trajectory, TrajectorySet};
 use proptest::prelude::*;
@@ -105,6 +105,20 @@ fn start_router(regions: usize, cfg: ShardRouterConfig) -> ShardRouter {
     ShardRouter::start(net, sharded, cfg).expect("start router")
 }
 
+/// Same corpus behind `replicas` bit-identical replica transports per
+/// shard (PR 10's replica sets).
+fn start_replicated_router(regions: usize, replicas: usize, cfg: ShardRouterConfig) -> ShardRouter {
+    let (net, trajs, sites, partition) = fixture(regions);
+    let netclus_cfg = NetClusConfig {
+        tau_min: 200.0,
+        tau_max: 3_000.0,
+        threads: 1,
+        ..Default::default()
+    };
+    let sharded = ShardedNetClusIndex::build(&net, &trajs, &sites, &partition, netclus_cfg);
+    ShardRouter::start_replicated(net, sharded, replicas, cfg).expect("start replicated router")
+}
+
 /// The dashboard-shaped query stream every test replays.
 const QUERIES: [(usize, f64); 6] = [
     (1, 400.0),
@@ -119,7 +133,7 @@ const QUERIES: [(usize, f64); 6] = [
 /// windowed flag, window start, window length)`.
 type RuleSpec = (u32, u8, u8, u8, u64, u64);
 
-fn build_plan(seed: u64, shards: u32, specs: &[RuleSpec]) -> FaultPlan {
+fn build_plan(seed: u64, shards: u32, specs: &[RuleSpec], replica: Option<u32>) -> FaultPlan {
     let mut plan = FaultPlan::new(seed);
     for &(shard, action, prob, windowed, from, len) in specs {
         let action = match action % 4 {
@@ -130,6 +144,7 @@ fn build_plan(seed: u64, shards: u32, specs: &[RuleSpec]) -> FaultPlan {
         };
         plan = plan.with_rule(FaultRule {
             shard: shard % shards,
+            replica,
             action,
             probability: [0.0, 0.5, 1.0][(prob % 3) as usize],
             window: (windowed == 1).then_some((from, from + len)),
@@ -157,7 +172,7 @@ proptest! {
         silence_injected_panics();
         let router = start_router(shards, ShardRouterConfig::default());
         let reference = start_router(shards, ShardRouterConfig::uncached());
-        router.set_fault_plan(Some(build_plan(seed, shards as u32, &specs)));
+        router.set_fault_plan(Some(build_plan(seed, shards as u32, &specs, None)));
 
         for (i, &(k, tau)) in QUERIES.iter().enumerate() {
             let q = TopsQuery::binary(k, tau);
@@ -208,6 +223,61 @@ proptest! {
         let fault = router.fault_report();
         prop_assert!(fault.breaker_open_shards <= shards as u64);
         prop_assert!(fault.worker_respawns <= fault.worker_panics);
+        router.shutdown();
+        reference.shutdown();
+    }
+
+    /// Replica sets change the contract: random chaos confined to ONE
+    /// replica per shard (replica 0 — delays, errors, panics, drops) must
+    /// never degrade an answer at all. Every query returns full and
+    /// bit-identical to the unreplicated fault-free reference, and the
+    /// kills surface as replica failovers, not degraded merges.
+    #[test]
+    fn single_replica_chaos_never_degrades_an_answer(
+        shards in prop_oneof![Just(2usize), Just(4usize)],
+        seed in any::<u64>(),
+        specs in prop::collection::vec(
+            (0u32..4, 0u8..4, 0u8..3, 0u8..2, 0u64..4, 1u64..4),
+            0..4,
+        ),
+    ) {
+        silence_injected_panics();
+        let router = start_replicated_router(shards, 2, ShardRouterConfig::default());
+        let reference = start_router(shards, ShardRouterConfig::uncached());
+        // Random rules all scoped to replica 0, plus one guaranteed
+        // hard-kill of shard 0's preferred replica so at least one real
+        // failover happens every case.
+        let plan = build_plan(seed, shards as u32, &specs, Some(0))
+            .with_rule(FaultRule::always(0, FaultAction::Error).on_replica(0));
+        router.set_fault_plan(Some(plan));
+
+        for &(k, tau) in QUERIES.iter() {
+            let q = TopsQuery::binary(k, tau);
+            let answer = router
+                .query(q, &QueryOptions::default())
+                .expect("a live sibling per shard means no typed failures");
+            prop_assert!(
+                !answer.degraded && !answer.stale,
+                "single-replica chaos must never degrade: k={} τ={}",
+                k,
+                tau
+            );
+            prop_assert_eq!(answer.epoch, 0);
+            prop_assert_eq!(answer.utility_bound, 1.0);
+            let full = reference.query_blocking(q).expect("reference query");
+            prop_assert_eq!(&answer.sites, &full.sites, "k={} τ={}", k, tau);
+            prop_assert_eq!(
+                answer.utility.to_bits(),
+                full.utility.to_bits(),
+                "failover answers must stay bit-identical"
+            );
+        }
+
+        let fault = router.fault_report();
+        prop_assert_eq!(fault.degraded_answers, 0);
+        prop_assert_eq!(fault.stale_answers, 0);
+        prop_assert_eq!(fault.unavailable_answers, 0);
+        prop_assert!(fault.replica_failovers >= 1, "{:?}", fault);
         router.shutdown();
         reference.shutdown();
     }
@@ -330,6 +400,107 @@ fn one_of_four_shards_outage_arc_degrades_brakes_and_recovers() {
     for snap in router.breaker_snapshots() {
         assert_eq!(snap.state, BreakerState::Closed);
     }
+    router.shutdown();
+    reference.shutdown();
+}
+
+/// The PR 10 acceptance arc over replica sets, scripted end to end:
+/// killing one replica of EVERY shard never costs a single full answer
+/// (failover, not degradation), epoch-lockstep updates keep flowing to
+/// the survivors with zero replica lag, only losing a shard's *whole*
+/// replica set opens the degraded lane with its conservative bound, and
+/// after the outage clears the answers return to bit-exact.
+#[test]
+fn replica_kill_arc_fails_over_then_only_full_set_loss_degrades() {
+    silence_injected_panics();
+    let router = start_replicated_router(
+        4,
+        2,
+        ShardRouterConfig {
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                cooldown: Duration::from_millis(50),
+            },
+            ..Default::default()
+        },
+    );
+    let reference = start_router(4, ShardRouterConfig::uncached());
+    let q = TopsQuery::binary(3, 800.0);
+    let full = reference.query_blocking(q).expect("reference answer");
+
+    // Phase 0 — healthy: bit-exact through the replica sets.
+    let healthy = router.query_blocking(q).expect("healthy answer");
+    assert!(!healthy.degraded && !healthy.stale);
+    assert_eq!(healthy.sites, full.sites);
+    assert_eq!(healthy.utility.to_bits(), full.utility.to_bits());
+
+    // Phase 1 — kill the preferred replica (0) of EVERY shard: each lane
+    // fails over to its sibling and every answer stays full + bit-exact.
+    let kill_preferred = || {
+        let mut plan = FaultPlan::new(13);
+        for s in 0..4 {
+            plan = plan.with_rule(FaultRule::always(s, FaultAction::Error).on_replica(0));
+        }
+        plan
+    };
+    router.set_fault_plan(Some(kill_preferred()));
+    for _ in 0..3 {
+        let a = router.query_blocking(q).expect("failover answer");
+        assert!(!a.degraded && !a.stale, "a live sibling means no degrade");
+        assert_eq!(a.sites, full.sites);
+        assert_eq!(a.utility.to_bits(), full.utility.to_bits());
+    }
+    let fault = router.fault_report();
+    assert_eq!(fault.degraded_answers, 0);
+    assert!(fault.replica_failovers >= 4, "one per shard: {fault:?}");
+
+    // Phase 2 — updates keep flowing mid-outage: the apply fan-out
+    // reaches BOTH replicas of every shard (round-1 faults don't touch
+    // the apply path), so the lockstep epoch advances with zero lag and
+    // answers at the new epoch stay bit-exact.
+    let batch = vec![UpdateOp::AddTrajectory(Trajectory::new(
+        (0..5).map(NodeId).collect(),
+    ))];
+    let receipt = router.apply_updates(batch.clone());
+    assert_eq!(receipt.epoch, 1);
+    assert_eq!(router.replica_lag_max(), 0, "lockstep spans the outage");
+    let r2 = reference.apply_updates(batch);
+    assert_eq!(r2.epoch, 1);
+    let fresh_full = reference.query_blocking(q).expect("reference at epoch 1");
+    let fresh = router
+        .query_blocking(q)
+        .expect("failover answer at epoch 1");
+    assert!(!fresh.degraded);
+    assert_eq!(fresh.epoch, 1);
+    assert_eq!(fresh.sites, fresh_full.sites);
+    assert_eq!(fresh.utility.to_bits(), fresh_full.utility.to_bits());
+
+    // Phase 3 — shard 2 loses its LAST replica too: only now does the
+    // PR 8 degraded lane open, with the sound conservative bound.
+    router.set_fault_plan(Some(
+        kill_preferred().with_rule(FaultRule::always(2, FaultAction::Error).on_replica(1)),
+    ));
+    let degraded = router.query_blocking(q).expect("degraded answer");
+    assert!(degraded.degraded && !degraded.stale);
+    assert_eq!(degraded.shards_missing, vec![2]);
+    let true_ratio = degraded.utility / fresh_full.utility;
+    assert!(
+        degraded.utility_bound <= true_ratio + 1e-9 && true_ratio <= 1.0 + 1e-9,
+        "bound {} vs true ratio {true_ratio}",
+        degraded.utility_bound
+    );
+    assert_eq!(router.fault_report().degraded_answers, 1);
+
+    // Phase 4 — the killed replicas come back: the plan clears, the
+    // breaker cooldown elapses, and answers return to full + bit-exact
+    // with zero further degraded answers.
+    router.set_fault_plan(None);
+    std::thread::sleep(Duration::from_millis(60));
+    let recovered = router.query_blocking(q).expect("recovered answer");
+    assert!(!recovered.degraded && !recovered.stale);
+    assert_eq!(recovered.sites, fresh_full.sites);
+    assert_eq!(recovered.utility.to_bits(), fresh_full.utility.to_bits());
+    assert_eq!(router.fault_report().degraded_answers, 1, "no new degrades");
     router.shutdown();
     reference.shutdown();
 }

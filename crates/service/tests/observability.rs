@@ -114,6 +114,7 @@ fn every_incremented_shard_counter_serializes() {
         trajectories,
         boundary_trajs,
         replicas,
+        replica_lag_max,
         fault,
         transport_requests,
         transport_errors,
@@ -152,6 +153,10 @@ fn every_incremented_shard_counter_serializes() {
     has("shard_trajectories", trajectories.to_string());
     has("boundary_trajs", boundary_trajs.to_string());
     has("shard_replicas", replicas.to_string());
+    // Lockstep applies keep every replica current: the lag gauge is
+    // present and zero on a healthy run.
+    assert_eq!(replica_lag_max, 0, "lockstep replicas never lag");
+    has("replica_lag_max", replica_lag_max.to_string());
     // A fault-free run serializes an all-zero fault section — the keys
     // must be present (flight series exist from tick one) and zero.
     has("degraded_answers", fault.degraded_answers.to_string());

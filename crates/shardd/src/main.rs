@@ -7,22 +7,33 @@
 //! `--telemetry`, the standard telemetry commands (`metrics`, `stages`,
 //! `slow`, ...) are answered on a second port.
 //!
+//! With `--join <peer_addr>`, the process catches up **before**
+//! listening: it fetches a resync snapshot (epoch + full shard corpus)
+//! from a healthy replica of the same shard and installs it over the
+//! seed-built corpus, so a restarted replica rejoins at the live epoch
+//! instead of epoch 0.
+//!
 //! Startup prints machine-readable lines on stdout:
 //!
 //! ```text
+//! SHARD <id> RESYNCED <epoch>      (only with --join)
 //! SHARD <id> LISTENING <addr>
 //! SHARD <id> TELEMETRY <addr>      (only with --telemetry)
 //! ```
 //!
 //! The process exits after a `Shutdown` RPC (or on SIGKILL — the
-//! cluster example kills one shard mid-stream to demonstrate degraded
-//! answers).
+//! cluster example kills one replica per shard mid-stream to
+//! demonstrate hedged failover).
 
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::process::exit;
 use std::sync::Arc;
 use std::time::Duration;
 
-use netclus_service::{ShardServer, ShardServerConfig, SnapshotStore, TelemetryServer};
+use netclus_service::{
+    install_resync_snapshot, RemoteShard, RemoteShardConfig, ShardServer, ShardServerConfig,
+    ShardTransport, SnapshotStore, TelemetryServer,
+};
 use netclus_shardd::build_corpus;
 
 struct Args {
@@ -32,12 +43,14 @@ struct Args {
     scale: f64,
     listen: String,
     telemetry: Option<String>,
+    join: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: netclus-shardd --shard <i> [--shards <n>] [--seed <u64>] \
-         [--scale <f64>] [--listen <addr>] [--telemetry <addr>]"
+         [--scale <f64>] [--listen <addr>] [--telemetry <addr>] \
+         [--join <peer_addr>]"
     );
     exit(2);
 }
@@ -50,6 +63,7 @@ fn parse_args() -> Args {
         scale: 0.08,
         listen: "127.0.0.1:0".to_string(),
         telemetry: None,
+        join: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -61,6 +75,7 @@ fn parse_args() -> Args {
             "--scale" => args.scale = value().parse().unwrap_or_else(|_| usage()),
             "--listen" => args.listen = value(),
             "--telemetry" => args.telemetry = Some(value()),
+            "--join" => args.join = Some(value()),
             _ => usage(),
         }
     }
@@ -75,6 +90,29 @@ fn main() {
     let mut corpus = build_corpus(args.seed, args.scale, args.shards);
     let view = corpus.shards.swap_remove(args.shard);
     let store = SnapshotStore::with_shared_net(Arc::clone(&corpus.net), view.trajs, view.index);
+    if let Some(peer) = args.join.as_deref() {
+        let peer_addr: SocketAddr = peer
+            .to_socket_addrs()
+            .ok()
+            .and_then(|mut it| it.next())
+            .unwrap_or_else(|| {
+                eprintln!("netclus-shardd: bad --join address {peer}");
+                exit(1);
+            });
+        // Catch up to the live epoch from a healthy replica of the same
+        // shard before accepting any traffic.
+        let remote = RemoteShard::new(args.shard as u32, peer_addr, RemoteShardConfig::default());
+        let snap = remote.fetch_resync().unwrap_or_else(|e| {
+            eprintln!("netclus-shardd: resync from {peer_addr}: {e}");
+            exit(1);
+        });
+        let epoch = snap.epoch;
+        install_resync_snapshot(&store, &snap).unwrap_or_else(|e| {
+            eprintln!("netclus-shardd: install resync snapshot: {e}");
+            exit(1);
+        });
+        println!("SHARD {} RESYNCED {epoch}", args.shard);
+    }
     let mut server = ShardServer::start(
         &args.listen,
         args.shard as u32,

@@ -80,6 +80,21 @@ impl TrajectorySet {
         true
     }
 
+    /// Pads the id space with tombstones until [`TrajectorySet::id_bound`]
+    /// is at least `bound`. A no-op when the bound is already reached.
+    ///
+    /// A shard replica rebuilding its corpus from a resync snapshot uses
+    /// this to reproduce the source's exact id bound: the highest live id
+    /// on one shard can sit below tombstones left by removes, and the
+    /// round-2 merge arena is sized by the max bound across shards — so
+    /// the bound is part of the replicated state, not derivable from the
+    /// live trajectories alone.
+    pub fn align_id_bound(&mut self, bound: usize) {
+        if bound > self.trajs.len() {
+            self.trajs.resize_with(bound, || None);
+        }
+    }
+
     /// The id-preserving subset containing exactly the live trajectories
     /// `keep` accepts: kept trajectories retain their ids (dropped ones
     /// become tombstones), so `id_bound` — and with it every id-indexed

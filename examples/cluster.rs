@@ -1,23 +1,29 @@
-//! Cross-process cluster demo: four `netclus-shardd` shard servers as
-//! real child processes, a remote-transport `ShardRouter` scattering
-//! round 1 over framed TCP, and an in-process router over the identical
-//! corpus as the exactness reference.
+//! Cross-process replicated cluster demo: four shards × two
+//! `netclus-shardd` replicas each (eight child processes), a
+//! remote-transport `ShardRouter` hedging round 1 over framed TCP, and
+//! an in-process router over the identical corpus as the exactness
+//! reference.
 //!
 //! The acceptance arc, all asserted:
 //!
 //! * every child rebuilds the deterministic `(seed, scale, shards)`
-//!   corpus and serves its shard; the parent connects with a versioned
-//!   hello handshake;
+//!   corpus and serves its shard; the parent connects to both replicas
+//!   of every shard with a versioned hello handshake;
 //! * remote top-k answers are **bit-identical** to the in-process
-//!   router, before and after an epoch-lockstep update batch applied
-//!   through the `Apply` RPC;
-//! * the standard telemetry commands are answered from each shard
-//!   process's own telemetry port, and per-shard metrics dumps plus the
-//!   router's slow-query trace log are written as CI artifacts;
-//! * one shard process is killed mid-stream (SIGKILL, no goodbye): the
-//!   router keeps answering, degraded, with a sound conservative
-//!   utility bound;
-//! * the surviving shards exit through the graceful `Shutdown` RPC.
+//!   router, before and after an epoch-lockstep update batch fanned out
+//!   to every replica through the `Apply` RPC;
+//! * one replica of **every** shard is killed mid-stream (SIGKILL, no
+//!   goodbye): every answer stays full and bit-identical — failover to
+//!   the surviving replica, never a degraded merge — and the post-kill
+//!   latencies become the `failover_p50_us`/`failover_p99_us` record;
+//! * a killed replica rejoins with `--join`: it resyncs to the live
+//!   epoch from the surviving replica and serves byte-identical round-1
+//!   responses;
+//! * only killing the **last** replica of a shard degrades an answer,
+//!   with the sound conservative utility bound;
+//! * the survivors exit through the graceful `Shutdown` RPC, and the
+//!   run emits a schema-checked `BENCH_CLUSTER_HA` record CI gates
+//!   against `results/baselines/cluster_ha.json`.
 //!
 //! Build the server first: `cargo build -p netclus-shardd`, then
 //! `cargo run --example cluster` (CI runs both in release).
@@ -30,8 +36,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use netclus::prelude::*;
+use netclus_bench::schema::check_record;
 use netclus_service::framing::{read_frame, write_frame};
-use netclus_service::shard_proto::{Request, Response};
+use netclus_service::shard_proto::{round1_request, Request, Response};
 use netclus_service::wire::MAX_SHARD_RESPONSE;
 use netclus_service::{
     telemetry, InProcessShard, RemoteShardConfig, ShardRouter, ShardRouterConfig, ShardTransport,
@@ -41,17 +48,20 @@ use netclus_shardd::build_corpus;
 use netclus_trajectory::TrajId;
 
 const SHARDS: usize = 4;
+const REPLICAS: usize = 2;
 const SEED: u64 = 0xC1A5;
 const SCALE: f64 = 0.05;
-/// The shard process the chaos phase kills mid-stream.
+/// The shard whose **last** replica the final chaos phase kills, forcing
+/// the degraded lane.
 const VICTIM: usize = 2;
 
-/// A spawned shard process plus the addresses it announced. Killed on
-/// drop so a failed assertion never leaks children into CI.
+/// A spawned shard-replica process plus the addresses it announced.
+/// Killed on drop so a failed assertion never leaks children into CI.
 struct ShardProc {
     child: Child,
     addr: SocketAddr,
-    telemetry: SocketAddr,
+    /// Only replica 0 of each shard opens a telemetry port.
+    telemetry: Option<SocketAddr>,
 }
 
 impl Drop for ShardProc {
@@ -77,56 +87,75 @@ fn shardd_binary() -> PathBuf {
     bin
 }
 
-fn spawn_shard(bin: &PathBuf, shard: usize) -> ShardProc {
+/// Spawns one replica of `shard`. With `join`, the child resyncs from
+/// that peer before listening (the rejoin lane) and announces the epoch
+/// it caught up to.
+fn spawn_replica(
+    bin: &PathBuf,
+    shard: usize,
+    telemetry: bool,
+    join: Option<SocketAddr>,
+) -> (ShardProc, Option<u64>) {
+    let mut args = vec![
+        "--shard".to_string(),
+        shard.to_string(),
+        "--shards".to_string(),
+        SHARDS.to_string(),
+        "--seed".to_string(),
+        SEED.to_string(),
+        "--scale".to_string(),
+        SCALE.to_string(),
+    ];
+    if telemetry {
+        args.push("--telemetry".to_string());
+        args.push("127.0.0.1:0".to_string());
+    }
+    if let Some(peer) = join {
+        args.push("--join".to_string());
+        args.push(peer.to_string());
+    }
     let mut child = Command::new(bin)
-        .args([
-            "--shard",
-            &shard.to_string(),
-            "--shards",
-            &SHARDS.to_string(),
-            "--seed",
-            &SEED.to_string(),
-            "--scale",
-            &SCALE.to_string(),
-            "--telemetry",
-            "127.0.0.1:0",
-        ])
+        .args(&args)
         .stdout(Stdio::piped())
         .spawn()
         .expect("spawn netclus-shardd");
     let mut lines = BufReader::new(child.stdout.take().expect("child stdout")).lines();
-    let mut read_addr = |tag: &str| -> SocketAddr {
+    let mut read_line = |tag: &str| -> String {
         let line = lines
             .next()
-            .expect("child announced an address")
+            .expect("child announced a line")
             .expect("read child stdout");
         let want = format!("SHARD {shard} {tag} ");
-        let rest = line
-            .strip_prefix(&want)
-            .unwrap_or_else(|| panic!("unexpected announcement {line:?}, wanted {want:?}"));
-        rest.parse().expect("announced address parses")
+        line.strip_prefix(&want)
+            .unwrap_or_else(|| panic!("unexpected announcement {line:?}, wanted {want:?}"))
+            .to_string()
     };
-    let addr = read_addr("LISTENING");
-    let telemetry = read_addr("TELEMETRY");
-    ShardProc {
-        child,
-        addr,
-        telemetry,
-    }
+    let resynced = join.map(|_| {
+        read_line("RESYNCED")
+            .parse::<u64>()
+            .expect("resynced epoch parses")
+    });
+    let addr: SocketAddr = read_line("LISTENING").parse().expect("address parses");
+    let telemetry = telemetry.then(|| read_line("TELEMETRY").parse().expect("address parses"));
+    (
+        ShardProc {
+            child,
+            addr,
+            telemetry,
+        },
+        resynced,
+    )
 }
 
-/// The graceful stop: a `Shutdown` RPC over a fresh connection; the
-/// server acks and exits its accept loop.
-fn shutdown_rpc(addr: SocketAddr) -> std::io::Result<Response> {
+/// One framed request → response exchange over a fresh connection.
+fn rpc(addr: SocketAddr, req: &Request) -> std::io::Result<Vec<u8>> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    write_frame(&mut stream, &Request::Shutdown.encode())?;
+    write_frame(&mut stream, &req.encode())?;
     stream.flush()?;
-    let payload = read_frame(&mut stream, MAX_SHARD_RESPONSE)?
-        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "no ack"))?;
-    Response::decode(&payload)
-        .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))
+    read_frame(&mut stream, MAX_SHARD_RESPONSE)?
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::UnexpectedEof, "no reply"))
 }
 
 fn main() {
@@ -134,9 +163,22 @@ fn main() {
     // while the parent builds its own two.
     let bin = shardd_binary();
     let t = Instant::now();
-    let mut procs: Vec<ShardProc> = (0..SHARDS).map(|s| spawn_shard(&bin, s)).collect();
-    let addrs: Vec<SocketAddr> = procs.iter().map(|p| p.addr).collect();
-    println!("[spawn] {SHARDS} shard processes up in {:?}", t.elapsed());
+    // procs[shard][replica]; replica 0 carries the telemetry port.
+    let mut procs: Vec<Vec<ShardProc>> = (0..SHARDS)
+        .map(|s| {
+            (0..REPLICAS)
+                .map(|r| spawn_replica(&bin, s, r == 0, None).0)
+                .collect()
+        })
+        .collect();
+    let addr_sets: Vec<Vec<SocketAddr>> = procs
+        .iter()
+        .map(|set| set.iter().map(|p| p.addr).collect())
+        .collect();
+    println!(
+        "[spawn] {SHARDS} shards x {REPLICAS} replicas up in {:?}",
+        t.elapsed()
+    );
 
     // The in-process reference over the identical deterministic corpus.
     let corpus = build_corpus(SEED, SCALE, SHARDS);
@@ -162,27 +204,31 @@ fn main() {
     )
     .expect("start in-process reference router");
 
-    // The remote router: hello handshake per shard, persistent framed
-    // TCP connections.
-    let remote = ShardRouter::connect(
+    // The remote router: hello handshakes to both replicas of every
+    // shard, persistent framed TCP connections.
+    let remote = ShardRouter::connect_replicated(
         Arc::clone(&corpus.net),
         corpus.partition.clone(),
-        &addrs,
+        &addr_sets,
         ShardRouterConfig::default(),
         RemoteShardConfig::default(),
     )
     .expect("connect remote router");
     assert_eq!(remote.transport_kinds(), vec!["remote"; SHARDS]);
-    println!("[conn ] remote router connected to {addrs:?}");
+    assert_eq!(remote.replica_counts(), vec![REPLICAS; SHARDS]);
+    println!("[conn ] remote router connected to {addr_sets:?}");
 
     let queries: Vec<TopsQuery> = [600.0, 1_000.0, 1_600.0, 2_400.0]
         .iter()
         .flat_map(|&tau| (1..=6).map(move |k| TopsQuery::binary(k, tau)))
         .collect();
+    let mut attempted = 0u64;
+    let mut answered_full = 0u64;
+    let mut bit_identical = true;
 
     // Phase 1 — bit-identical scatter-gather across process boundaries,
-    // at epoch 0 and again after an epoch-lockstep update batch.
-    let mut checked = 0usize;
+    // at epoch 0 and again after an epoch-lockstep update batch fanned
+    // out to all eight replicas.
     for epoch in 0..2u64 {
         if epoch == 1 {
             let batch = vec![
@@ -199,31 +245,28 @@ fn main() {
             );
         }
         for q in &queries {
+            attempted += 1;
             let a = local.query_blocking(*q).expect("local answer");
             let b = remote.query_blocking(*q).expect("remote answer");
             assert!(!b.degraded && !b.stale, "healthy cluster answers full");
             assert_eq!(b.epoch, epoch);
-            assert_eq!(b.sites, a.sites, "remote sites diverged (k={})", q.k);
-            assert_eq!(
-                b.utility.to_bits(),
-                a.utility.to_bits(),
-                "remote utility diverged (k={})",
-                q.k
-            );
-            checked += 1;
+            bit_identical &= b.sites == a.sites && b.utility.to_bits() == a.utility.to_bits();
+            assert!(bit_identical, "remote answer diverged (k={})", q.k);
+            answered_full += 1;
         }
     }
-    println!("[exact] {checked} remote answers bit-identical to in-process");
+    println!("[exact] {answered_full} remote answers bit-identical to in-process");
 
-    // Phase 2 — each shard process answers the standard telemetry
+    // Phase 2 — each shard's replica 0 answers the standard telemetry
     // commands on its own port; dump the metrics as CI artifacts next to
     // the router's slow-query trace log.
     let artifact_dir = std::env::var("NETCLUS_ARTIFACT_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|_| PathBuf::from("target/cluster-artifacts"));
     std::fs::create_dir_all(&artifact_dir).expect("create artifact dir");
-    for (s, proc_) in procs.iter().enumerate() {
-        let metrics = telemetry::fetch(proc_.telemetry, "metrics").expect("shard metrics");
+    for (s, set) in procs.iter().enumerate() {
+        let port = set[0].telemetry.expect("replica 0 has telemetry");
+        let metrics = telemetry::fetch(port, "metrics").expect("shard metrics");
         assert!(
             metrics.contains(&format!("\"shard\":{s}")),
             "shard {s} metrics must identify itself: {metrics}"
@@ -235,38 +278,121 @@ fn main() {
         )
         .expect("write shard metrics artifact");
     }
-    std::fs::write(
-        artifact_dir.join("router-metrics.json"),
-        remote.metrics_report().to_json_line(),
-    )
-    .expect("write router metrics artifact");
-    std::fs::write(
-        artifact_dir.join("router-slow.jsonl"),
-        remote.tracer().slow_log_jsonl(),
-    )
-    .expect("write slow-query artifact");
     println!(
         "[tele ] {SHARDS} shard telemetry ports probed, artifacts in {}",
         artifact_dir.display()
     );
 
-    // Phase 3 — kill one shard process mid-stream. No goodbye: the next
-    // scatter sees the dead socket, and the answer degrades with a sound
-    // conservative bound instead of failing.
+    // Phase 3 — SIGKILL one replica of EVERY shard mid-stream: replica 0,
+    // the router's preferred target, so every shard is forced through a
+    // real failover (killing the backup would be invisible). No goodbye:
+    // the next scatter sees dead sockets everywhere, fails over to the
+    // surviving replica per shard, and every answer stays full and
+    // bit-identical. The post-kill latencies are the failover tail.
+    for set in procs.iter_mut() {
+        set[0].child.kill().expect("kill shard replica");
+        set[0].child.wait().expect("reap shard replica");
+    }
+    let mut failover_us: Vec<u64> = Vec::new();
+    for q in &queries {
+        attempted += 1;
+        let a = local.query_blocking(*q).expect("local answer");
+        let t = Instant::now();
+        let b = remote
+            .query_blocking(*q)
+            .expect("failover answer after replica kills");
+        failover_us.push(t.elapsed().as_micros() as u64);
+        assert!(
+            !b.degraded && !b.stale,
+            "a surviving replica per shard means no degraded answers (k={})",
+            q.k
+        );
+        bit_identical &= b.sites == a.sites && b.utility.to_bits() == a.utility.to_bits();
+        assert!(bit_identical, "failover answer diverged (k={})", q.k);
+        answered_full += 1;
+    }
+    failover_us.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        let idx = ((failover_us.len() as f64 - 1.0) * p).round() as usize;
+        failover_us[idx]
+    };
+    let (failover_p50, failover_p99) = (pct(0.50), pct(0.99));
+    let fault = remote.fault_report();
+    assert!(
+        fault.replica_failovers > 0,
+        "kills must surface as failovers: {fault:?}"
+    );
+    assert_eq!(
+        fault.degraded_answers, 0,
+        "no degraded answers with a live sibling"
+    );
+    println!(
+        "[chaos] {SHARDS} replicas SIGKILLed; {} failover answers full, p50 {failover_p50}us p99 {failover_p99}us, {} failovers",
+        queries.len(),
+        fault.replica_failovers
+    );
+
+    // Phase 4 — rejoin: restart shard 0's killed replica with --join
+    // pointing at its surviving sibling. The child resyncs to the live
+    // epoch before listening and serves byte-identical round-1 responses.
+    let lockstep = remote.epoch();
+    let (rejoined, resynced) = spawn_replica(&bin, 0, false, Some(procs[0][1].addr));
+    let resynced = resynced.expect("--join announces the resynced epoch");
+    assert_eq!(
+        resynced, lockstep,
+        "rejoined replica caught up to the live epoch"
+    );
+    let probe = round1_request(lockstep, 0, &TopsQuery::binary(3, 1_000.0));
+    // The encoded replies carry timing diagnostics (elapsed, cache lane);
+    // the answer payload — epoch, id bound, candidates with their coverage
+    // rows — must be bit-exact between the survivor and the rejoiner.
+    let round1_payload = |raw: &[u8]| match Response::decode(raw).expect("round-1 decodes") {
+        Response::Round1Ok {
+            epoch,
+            bound,
+            round,
+            ..
+        } => (
+            epoch,
+            bound,
+            round.candidates,
+            round.k,
+            round.instance,
+            round.representatives,
+            round.local_utility.to_bits(),
+        ),
+        other => panic!("expected Round1Ok, got {other:?}"),
+    };
+    let from_survivor = round1_payload(&rpc(procs[0][1].addr, &probe).expect("survivor round-1"));
+    let from_rejoined = round1_payload(&rpc(rejoined.addr, &probe).expect("rejoined round-1"));
+    assert_eq!(
+        from_survivor, from_rejoined,
+        "rejoined replica must serve a bit-identical round-1 payload"
+    );
+    let rejoin_ok = true;
+    println!("[join ] killed replica rejoined at epoch {resynced}, responses byte-identical");
+
+    // The HA record is cut HERE — the next phase deliberately degrades.
+    let ha_fault = remote.fault_report();
+    let availability = answered_full as f64 / attempted as f64;
+
+    // Phase 5 — kill the VICTIM shard's last replica: only now, with the
+    // whole replica set down, does the degraded lane open, with a sound
+    // conservative utility bound.
     let full = local
         .query_blocking(TopsQuery::binary(3, 1_000.0))
         .expect("reference answer");
-    procs[VICTIM].child.kill().expect("kill shard process");
-    procs[VICTIM].child.wait().expect("reap shard process");
+    procs[VICTIM][1].child.kill().expect("kill last replica");
+    procs[VICTIM][1].child.wait().expect("reap last replica");
     let t = Instant::now();
     let a = remote
         .query_blocking(TopsQuery::binary(3, 1_000.0))
-        .expect("degraded answer after process kill");
+        .expect("degraded answer after losing the whole replica set");
     assert!(t.elapsed() < Duration::from_secs(10), "no hang on outage");
     assert!(a.degraded && !a.stale, "answer must be degraded");
     assert!(
         a.shards_missing.contains(&(VICTIM as u32)),
-        "the killed shard is the missing one: {:?}",
+        "the dead shard is the missing one: {:?}",
         a.shards_missing
     );
     assert!(
@@ -281,22 +407,58 @@ fn main() {
         a.utility_bound
     );
     println!(
-        "[chaos] shard {VICTIM} killed; degraded answer bound {:.3} ≤ true ratio {:.3}",
+        "[chaos] shard {VICTIM} fully down; degraded answer bound {:.3} <= true ratio {:.3}",
         a.utility_bound, true_ratio
     );
 
-    // Phase 4 — graceful stop: the survivors exit through the Shutdown
+    // Phase 6 — graceful stop: the survivors exit through the Shutdown
     // RPC and the parent reaps clean exit codes.
+    std::fs::write(
+        artifact_dir.join("router-metrics.json"),
+        remote.metrics_report().to_json_line(),
+    )
+    .expect("write router metrics artifact");
+    std::fs::write(
+        artifact_dir.join("router-slow.jsonl"),
+        remote.tracer().slow_log_jsonl(),
+    )
+    .expect("write slow-query artifact");
     remote.shutdown();
     local.shutdown();
-    for (s, proc_) in procs.iter_mut().enumerate() {
-        if s == VICTIM {
-            continue;
+    let mut survivors: Vec<ShardProc> = vec![rejoined];
+    for (s, set) in procs.drain(..).enumerate() {
+        for (r, p) in set.into_iter().enumerate() {
+            if r == 1 && s != VICTIM {
+                survivors.push(p);
+            }
         }
-        let ack = shutdown_rpc(proc_.addr).expect("shutdown RPC");
-        assert_eq!(ack, Response::ShutdownAck);
-        let status = proc_.child.wait().expect("reap shard process");
-        assert!(status.success(), "shard {s} must exit clean: {status:?}");
     }
-    println!("[done ] cluster demo complete");
+    for proc_ in survivors.iter_mut() {
+        let ack = rpc(proc_.addr, &Request::Shutdown).expect("shutdown RPC");
+        assert_eq!(
+            Response::decode(&ack).expect("ack decodes"),
+            Response::ShutdownAck
+        );
+        let status = proc_.child.wait().expect("reap shard process");
+        assert!(status.success(), "replica must exit clean: {status:?}");
+    }
+
+    let record = format!(
+        "{{\"shards\":{SHARDS},\"replicas_per_shard\":{REPLICAS},\
+         \"cluster_queries\":{attempted},\"bit_identical\":{},\
+         \"replicas_killed\":{SHARDS},\"degraded_answers\":{},\
+         \"replica_failovers\":{},\"hedged_requests\":{},\"hedge_wins\":{},\
+         \"failover_p50_us\":{failover_p50},\"failover_p99_us\":{failover_p99},\
+         \"rejoin_ok\":{},\"availability\":{availability:.3},\"availability_ok\":{}}}",
+        u8::from(bit_identical),
+        ha_fault.degraded_answers,
+        ha_fault.replica_failovers,
+        ha_fault.hedged_requests,
+        ha_fault.hedge_wins,
+        u8::from(rejoin_ok),
+        u8::from(availability >= 1.0),
+    );
+    check_record("BENCH_CLUSTER_HA", &record);
+    println!("BENCH_CLUSTER_HA {record}");
+    println!("[done ] replicated cluster demo complete");
 }
